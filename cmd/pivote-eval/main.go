@@ -1,0 +1,130 @@
+// Command pivote-eval regenerates every table and figure of the PivotE
+// reproduction (see DESIGN.md for the experiment index): the paper's
+// Table 1 and Figures 1–4 as artifacts, and the quality/efficiency
+// evaluation of the ranking models as measured tables.
+//
+// Usage:
+//
+//	pivote-eval                          # run everything, write artifacts/
+//	pivote-eval -exp E5,A1               # a subset
+//	pivote-eval -scale 2000 -queries 200 # bigger workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pivote/internal/eval"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiment IDs (T1,F1a,F1b,F2,F3,F4,E5,E6,E7,E8,E9,A1,A2,A3,A4) or 'all'")
+	scale := flag.Int("scale", 1000, "synthetic KG size (films) for quality experiments")
+	seed := flag.Int64("seed", 42, "generator/workload seed")
+	queries := flag.Int("queries", 100, "queries per quality experiment")
+	seedsPer := flag.Int("seeds", 3, "example entities per expansion query")
+	outDir := flag.String("out", "artifacts", "artifact output directory")
+	latencyScales := flag.String("latency-scales", "500,2000,8000", "comma-separated scales for E8/E9")
+	flag.Parse()
+
+	cfg := eval.Config{Scale: *scale, Seed: *seed, Queries: *queries, SeedsPerQuery: *seedsPer}
+	wanted := map[string]bool{}
+	all := *exps == "all"
+	for _, id := range strings.Split(*exps, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
+	want := func(id string) bool { return all || wanted[id] }
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+
+	var scales []int
+	for _, s := range strings.Split(*latencyScales, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+			log.Fatalf("bad -latency-scales entry %q", s)
+		}
+		scales = append(scales, n)
+	}
+
+	needEnv := want("T1") || want("F1a") || want("F1b") || want("F3") || want("F4") ||
+		want("E5") || want("E6") || want("E7") ||
+		want("A1") || want("A2") || want("A3") || want("A4")
+	var env *eval.Env
+	if needEnv {
+		fmt.Fprintf(os.Stderr, "generating environment (scale %d, seed %d) ...\n", *scale, *seed)
+		env = eval.NewEnv(*scale, *seed)
+	}
+
+	emitArtifact := func(a eval.Artifact) {
+		fmt.Printf("%s\n", a.Text)
+		base := filepath.Join(*outDir, a.ID)
+		if err := os.WriteFile(base+".txt", []byte(a.Text), 0o644); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		for name, content := range a.Files {
+			if err := os.WriteFile(filepath.Join(*outDir, a.ID+"_"+name), []byte(content), 0o644); err != nil {
+				log.Fatalf("write: %v", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s artifacts\n", a.ID)
+	}
+	emitTable := func(t eval.Table) {
+		text := t.Render()
+		fmt.Println(text)
+		if err := os.WriteFile(filepath.Join(*outDir, t.ID+".txt"), []byte(text), 0o644); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+	}
+
+	if want("T1") {
+		emitArtifact(eval.RunT1(env))
+	}
+	if want("F1a") {
+		emitArtifact(eval.RunF1a(env))
+	}
+	if want("F1b") {
+		emitArtifact(eval.RunF1b(env))
+	}
+	if want("F2") {
+		emitArtifact(eval.RunF2())
+	}
+	if want("F3") {
+		emitArtifact(eval.RunF3(env))
+	}
+	if want("F4") {
+		emitArtifact(eval.RunF4(env))
+	}
+	if want("E5") {
+		emitTable(eval.RunE5(env, cfg))
+	}
+	if want("E6") {
+		emitTable(eval.RunE6(env, cfg))
+	}
+	if want("E7") {
+		emitTable(eval.RunE7(env, cfg))
+	}
+	if want("E8") {
+		emitTable(eval.RunE8(cfg, scales, 30))
+	}
+	if want("E9") {
+		emitTable(eval.RunE9(cfg, scales))
+	}
+	if want("A1") {
+		emitTable(eval.RunA1(env, cfg))
+	}
+	if want("A2") {
+		emitTable(eval.RunA2(env, cfg))
+	}
+	if want("A3") {
+		emitTable(eval.RunA3(env, cfg))
+	}
+	if want("A4") {
+		emitTable(eval.RunA4(env, cfg))
+	}
+}

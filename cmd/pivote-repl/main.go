@@ -1,0 +1,43 @@
+// Command pivote-repl explores the knowledge graph from the terminal:
+// the same investigate/pivot/heat-map loop as the web UI, line by line.
+//
+// Usage:
+//
+//	pivote-repl [-scale 1000] [-seed 42]
+//	pivote-repl -load graph.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pivote"
+	"pivote/internal/core"
+	"pivote/internal/repl"
+)
+
+func main() {
+	scale := flag.Int("scale", 1000, "synthetic KG size (films)")
+	seed := flag.Int64("seed", 42, "synthetic KG seed")
+	load := flag.String("load", "", "load an N-Triples file instead of generating")
+	flag.Parse()
+
+	var g *pivote.Graph
+	var err error
+	if *load != "" {
+		g, err = pivote.LoadNTriplesFile(*load)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+	} else {
+		g = pivote.GenerateDemo(*scale, *seed)
+	}
+	fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
+		len(g.Entities()), g.Store().Len())
+	eng := core.New(g, core.Options{TopEntities: 15, TopFeatures: 10})
+	if err := repl.Run(g, eng, os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

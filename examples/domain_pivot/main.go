@@ -1,0 +1,66 @@
+// Domain pivot: the paper's §3.2 scenario. Start in the Film domain,
+// pivot into the Actor domain through Tom Hanks, pivot again into the
+// Director domain through Robert Zemeckis, then revisit the original
+// query — and export the exploratory path (Fig. 4) as DOT.
+//
+//	go run ./examples/domain_pivot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pivote"
+)
+
+func main() {
+	g := pivote.GenerateDemo(1000, 42)
+	eng := pivote.New(g, pivote.Options{TopEntities: 8, TopFeatures: 6})
+
+	// Step 1: start a session in the Film domain.
+	res := eng.Submit("forrest gump")
+	fmt.Printf("step 1 — keyword query, top hit: %s\n", res.Entities[0].Name)
+
+	// Step 2: investigate similar films.
+	res = eng.AddSeed(g.EntityByName("Forrest_Gump"))
+	fmt.Println("step 2 — similar films:")
+	for i, e := range res.Entities {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("    %s\n", e.Name)
+	}
+
+	// Step 3: pivot into the Actor domain through Tom Hanks. The x-axis
+	// now holds actors similar to him (co-occurrence in films).
+	res = eng.Pivot(g.EntityByName("Tom_Hanks"))
+	fmt.Println("step 3 — pivot to Actor domain, actors similar to Tom Hanks:")
+	for i, e := range res.Entities {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("    %s\n", e.Name)
+	}
+
+	// Step 4: pivot again, into the Director domain.
+	res = eng.Pivot(g.EntityByName("Robert_Zemeckis"))
+	fmt.Println("step 4 — pivot to Director domain, directors similar to Robert Zemeckis:")
+	for i, e := range res.Entities {
+		if i >= 4 {
+			break
+		}
+		fmt.Printf("    %s\n", e.Name)
+	}
+
+	// Step 5: revisit the original query from the timeline.
+	if _, err := eng.Revisit(1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("step 5 — revisited the original query")
+
+	// The exploratory path of Fig. 4.
+	fmt.Println()
+	fmt.Print(eng.Session().PathASCII())
+	fmt.Println("\nGraphviz DOT of the path:")
+	fmt.Print(eng.Session().PathDOT())
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a synthetic knowledge graph, run a keyword query,
+// investigate similar entities, and print the assembled interface state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pivote"
+)
+
+func main() {
+	// A deterministic DBpedia-like KG: ~1000 films plus actors,
+	// directors, studios, genres... The paper's running examples
+	// (Forrest_Gump, Tom_Hanks, ...) are embedded at every scale.
+	g := pivote.GenerateDemo(1000, 42)
+	fmt.Printf("knowledge graph: %d entities, %d triples\n\n",
+		len(g.Entities()), g.Store().Len())
+
+	eng := pivote.New(g, pivote.Options{TopEntities: 10, TopFeatures: 8})
+
+	// 1. Keyword search (the query area, Fig. 3-a).
+	res := eng.Submit("forrest gump")
+	fmt.Printf("top hit for %q: %s\n", "forrest gump", res.Entities[0].Name)
+
+	// 2. Investigation: use the top hit as an example entity — "find
+	// films similar to Forrest Gump".
+	res = eng.AddSeed(res.Entities[0].Entity)
+	fmt.Println("\nfilms similar to Forrest Gump:")
+	for i, e := range res.Entities {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-30s %.5f\n", i+1, e.Name, e.Score)
+	}
+
+	// 3. The recommended semantic features are the exploration pointers.
+	fmt.Println("\nrecommended semantic features:")
+	for i, f := range res.Features {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-34s r=%.5f |E|=%d\n", i+1, f.Label, f.R, f.ExtentSize)
+	}
+
+	// 4. The full workspace, including the 7-level heat map.
+	fmt.Println()
+	fmt.Print(res.RenderASCII())
+}

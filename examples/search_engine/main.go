@@ -1,0 +1,46 @@
+// Search engine: the five-field entity representation of Table 1 and a
+// comparison of the paper's mixture-of-language-models retrieval with
+// the BM25F and names-only baselines — including an alias query that
+// only the multi-fielded representation can answer.
+//
+//	go run ./examples/search_engine
+package main
+
+import (
+	"fmt"
+
+	"pivote"
+	"pivote/internal/search"
+)
+
+func main() {
+	g := pivote.GenerateDemo(1000, 42)
+
+	// Table 1: the five-field representation of Forrest_Gump.
+	ff := search.FiveFieldsOf(g, g.EntityByName("Forrest_Gump"))
+	fmt.Print(ff.Render("Forrest_Gump"))
+
+	eng := search.NewEngine(g)
+	queries := []string{
+		"forrest gump",   // exact name
+		"tom hanks",      // person + his films via the related field
+		"geenbow",        // redirect alias (Table 1) — needs the similar field
+		"american drama", // category + attribute terms
+	}
+	models := []pivote.SearchModel{pivote.ModelMLM, pivote.ModelBM25F, pivote.ModelLMNames}
+
+	for _, q := range queries {
+		fmt.Printf("\nquery: %q\n", q)
+		for _, m := range models {
+			hits := eng.Search(q, 3, m)
+			fmt.Printf("  %-10s", m)
+			if len(hits) == 0 {
+				fmt.Print("  (no hits)")
+			}
+			for _, h := range hits {
+				fmt.Printf("  %s (%.3f)", h.Name, h.Score)
+			}
+			fmt.Println()
+		}
+	}
+}

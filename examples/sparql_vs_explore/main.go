@@ -1,0 +1,105 @@
+// SPARQL vs. exploration: the paper's motivating contrast. Structured
+// queries (basic graph patterns) answer precisely — but only if you
+// already know the schema and the exact entities. PivotE's exploration
+// reaches the same answers from a keyword and a few clicks, revealing
+// the schema (semantic features, coupled types) along the way.
+//
+//	go run ./examples/sparql_vs_explore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pivote"
+)
+
+func main() {
+	g := pivote.GenerateDemo(1000, 42)
+
+	// --- The structured way: you must know predicate names, directions
+	// and exact entity identifiers up front.
+	fmt.Println("SPARQL-style access (schema knowledge required):")
+	q, err := pivote.ParseBGP(g, `
+		SELECT ?film WHERE {
+			?film starring Tom_Hanks .
+			?film director Robert_Zemeckis
+		}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := pivote.ExecuteBGP(g, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("  %s\n", g.Name(row["film"]))
+	}
+
+	// A second structured query: co-stars of Tom Hanks.
+	q2, err := pivote.ParseBGP(g, `
+		SELECT DISTINCT ?costar WHERE {
+			?film starring Tom_Hanks .
+			?film starring ?costar
+		} LIMIT 8`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows2, err := pivote.ExecuteBGP(g, q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  distinct co-stars (first 8):")
+	for _, row := range rows2 {
+		fmt.Printf("  %s\n", g.Name(row["costar"]))
+	}
+
+	// --- The exploratory way: no schema knowledge. Type a keyword; the
+	// recommended semantic features ARE the schema, discovered on the
+	// fly; clicking replaces query writing.
+	fmt.Println("\nPivotE exploration (schema discovered on the fly):")
+	eng := pivote.New(g, pivote.Options{TopEntities: 8, TopFeatures: 6})
+	res := eng.Submit("forrest gump")
+	res = eng.AddSeed(res.Entities[0].Entity)
+	fmt.Println("  after one keyword + one click, the system reveals these directions:")
+	for _, f := range res.Features {
+		fmt.Printf("    %-34s (reaches %d entities)\n", f.Label, f.ExtentSize)
+	}
+
+	// Clicking the Tom_Hanks:starring feature expresses the first SPARQL
+	// query's intent — without knowing that "starring" exists.
+	thFeature, err := pivote.ParseFeature(g, "Tom_Hanks:starring")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res = eng.AddFeature(thFeature)
+	fmt.Println("\n  pinning Tom_Hanks:starring gives the films:")
+	for _, e := range res.Entities {
+		fmt.Printf("    %s\n", e.Name)
+	}
+	fmt.Println("\n  ...and the session kept the whole path for revisiting:")
+	fmt.Print(indent(eng.Session().PathASCII(), "  "))
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += prefix + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

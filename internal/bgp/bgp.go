@@ -1,0 +1,321 @@
+// Package bgp implements a SPARQL-style basic-graph-pattern matcher over
+// the RDF store. The paper positions PivotE against "effective accesses
+// of the KGs in a structured manner like SPARQL"; this package is that
+// baseline access path, used by the examples to contrast structured
+// querying (you must already know the schema) with PivotE's exploration
+// (the schema reveals itself as you click).
+//
+// Supported: conjunctive triple patterns with shared variables,
+// selectivity-ordered left-deep evaluation, SELECT projection, LIMIT.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"pivote/internal/rdf"
+)
+
+// Node is one position of a triple pattern: either a variable or a
+// concrete term.
+type Node struct {
+	// Var is the variable name (without '?'); empty for concrete nodes.
+	Var string
+	// ID is the concrete term; NoTerm for variables.
+	ID rdf.TermID
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// Variable returns a variable node.
+func Variable(name string) Node { return Node{Var: name} }
+
+// Bound returns a concrete node.
+func Bound(id rdf.TermID) Node { return Node{ID: id} }
+
+// Pattern is one triple pattern.
+type Pattern struct {
+	S, P, O Node
+}
+
+// Query is a basic graph pattern with projection.
+type Query struct {
+	// Select lists the projected variables; empty selects all.
+	Select []string
+	// Distinct deduplicates projected rows (SELECT DISTINCT).
+	Distinct bool
+	// Where is the conjunctive pattern set.
+	Where []Pattern
+	// Limit bounds the result count; 0 is unlimited. With Distinct it
+	// bounds distinct rows.
+	Limit int
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]rdf.TermID
+
+// Execute evaluates the query and returns all bindings of the projected
+// variables, deterministically ordered. Unbound projected variables are
+// an error.
+func Execute(st *rdf.Store, q Query) ([]Binding, error) {
+	vars := map[string]bool{}
+	for _, p := range q.Where {
+		for _, n := range []Node{p.S, p.P, p.O} {
+			if n.IsVar() {
+				vars[n.Var] = true
+			}
+		}
+	}
+	for _, v := range q.Select {
+		if !vars[v] {
+			return nil, fmt.Errorf("bgp: projected variable ?%s not used in any pattern", v)
+		}
+	}
+	if len(q.Where) == 0 {
+		return nil, fmt.Errorf("bgp: empty pattern")
+	}
+
+	var results []Binding
+	var seen map[string]bool
+	if q.Distinct {
+		seen = map[string]bool{}
+	}
+	binding := Binding{}
+	remaining := append([]Pattern(nil), q.Where...)
+	var walk func() bool // returns true to stop (limit reached)
+	walk = func() bool {
+		if len(remaining) == 0 {
+			row := project(binding, q.Select)
+			if q.Distinct {
+				k := rowKey(row, q.Select, vars)
+				if seen[k] {
+					return false
+				}
+				seen[k] = true
+			}
+			results = append(results, row)
+			return q.Limit > 0 && len(results) >= q.Limit
+		}
+		// Pick the most selective remaining pattern under the current
+		// binding (fewest estimated matches).
+		best := 0
+		bestCost := int(^uint(0) >> 1)
+		for i, p := range remaining {
+			c := estimate(st, p, binding)
+			if c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		p := remaining[best]
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+		stop := false
+		enumerate(st, p, binding, func(newVars []string) bool {
+			stop = walk()
+			for _, v := range newVars {
+				delete(binding, v)
+			}
+			return stop
+		})
+		remaining = append(remaining, Pattern{})
+		copy(remaining[best+1:], remaining[best:])
+		remaining[best] = p
+		return stop
+	}
+	walk()
+	sortBindings(results, q.Select, vars)
+	return results, nil
+}
+
+func project(b Binding, sel []string) Binding {
+	out := Binding{}
+	if len(sel) == 0 {
+		for k, v := range b {
+			out[k] = v
+		}
+		return out
+	}
+	for _, v := range sel {
+		out[v] = b[v]
+	}
+	return out
+}
+
+// rowKey serializes a projected row for DISTINCT comparison.
+func rowKey(row Binding, sel []string, vars map[string]bool) string {
+	keys := sel
+	if len(keys) == 0 {
+		keys = make([]string, 0, len(vars))
+		for v := range vars {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+	}
+	out := make([]byte, 0, len(keys)*5)
+	for _, k := range keys {
+		v := row[k]
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), '|')
+	}
+	return string(out)
+}
+
+func sortBindings(bs []Binding, sel []string, vars map[string]bool) {
+	keys := sel
+	if len(keys) == 0 {
+		keys = make([]string, 0, len(vars))
+		for v := range vars {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys)
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		for _, k := range keys {
+			if bs[i][k] != bs[j][k] {
+				return bs[i][k] < bs[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// resolve substitutes the current binding into a node.
+func resolve(n Node, b Binding) Node {
+	if n.IsVar() {
+		if id, ok := b[n.Var]; ok {
+			return Bound(id)
+		}
+	}
+	return n
+}
+
+// estimate approximates the number of matches of p under b; lower is more
+// selective. Exact counts are used where an index run answers directly.
+func estimate(st *rdf.Store, p Pattern, b Binding) int {
+	s, pr, o := resolve(p.S, b), resolve(p.P, b), resolve(p.O, b)
+	switch {
+	case !s.IsVar() && !pr.IsVar() && !o.IsVar():
+		return 1
+	case !s.IsVar() && !pr.IsVar():
+		return st.CountObjects(s.ID, pr.ID)
+	case !pr.IsVar() && !o.IsVar():
+		return st.CountSubjects(pr.ID, o.ID)
+	case !s.IsVar():
+		return st.OutDegree(s.ID)
+	case !o.IsVar():
+		return st.InDegree(o.ID)
+	default:
+		return st.Len() // full scan
+	}
+}
+
+// enumerate yields every extension of b matching p. yield's argument
+// lists the variables newly bound for that match (to be unbound by the
+// caller after recursion); returning true stops enumeration.
+func enumerate(st *rdf.Store, p Pattern, b Binding, yield func(newVars []string) bool) {
+	s, pr, o := resolve(p.S, b), resolve(p.P, b), resolve(p.O, b)
+
+	bind := func(pairs ...interface{}) []string {
+		var names []string
+		for i := 0; i < len(pairs); i += 2 {
+			name := pairs[i].(string)
+			b[name] = pairs[i+1].(rdf.TermID)
+			names = append(names, name)
+		}
+		return names
+	}
+
+	switch {
+	case !s.IsVar() && !pr.IsVar() && !o.IsVar():
+		if st.Has(s.ID, pr.ID, o.ID) {
+			yield(nil)
+		}
+	case !s.IsVar() && !pr.IsVar(): // objects of (s, p)
+		for _, obj := range st.Objects(s.ID, pr.ID) {
+			if stop := yield(bind(o.Var, obj)); stop {
+				return
+			}
+		}
+	case !pr.IsVar() && !o.IsVar(): // subjects of (p, o)
+		for _, sub := range st.Subjects(pr.ID, o.ID) {
+			if stop := yield(bind(s.Var, sub)); stop {
+				return
+			}
+		}
+	case !s.IsVar(): // out edges of s
+		for _, e := range st.Out(s.ID) {
+			if !o.IsVar() && e.Node != o.ID {
+				continue
+			}
+			var args []interface{}
+			if pr.IsVar() {
+				args = append(args, pr.Var, e.P)
+			}
+			if o.IsVar() {
+				args = append(args, o.Var, e.Node)
+			}
+			if pr.IsVar() && o.IsVar() && pr.Var == o.Var && e.P != e.Node {
+				continue
+			}
+			if stop := yield(bind(args...)); stop {
+				return
+			}
+		}
+	case !o.IsVar(): // in edges of o
+		for _, e := range st.In(o.ID) {
+			var args []interface{}
+			if s.IsVar() {
+				args = append(args, s.Var, e.Node)
+			}
+			if pr.IsVar() {
+				args = append(args, pr.Var, e.P)
+			}
+			if s.IsVar() && pr.IsVar() && s.Var == pr.Var && e.Node != e.P {
+				continue
+			}
+			if stop := yield(bind(args...)); stop {
+				return
+			}
+		}
+	default: // full scan
+		stop := false
+		st.ForEachTriple(func(t rdf.Triple) {
+			if stop {
+				return
+			}
+			// Consistency for repeated variables within the pattern.
+			trial := map[string]rdf.TermID{}
+			ok := true
+			tryBind := func(n Node, id rdf.TermID) {
+				if !ok || !n.IsVar() {
+					if !n.IsVar() && n.ID != id {
+						ok = false
+					}
+					return
+				}
+				if prev, seen := trial[n.Var]; seen && prev != id {
+					ok = false
+					return
+				}
+				trial[n.Var] = id
+			}
+			tryBind(s, t.S)
+			tryBind(pr, t.P)
+			tryBind(o, t.O)
+			if !ok {
+				return
+			}
+			var args []interface{}
+			var names []string
+			for name, id := range trial {
+				args = append(args, name, id)
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			sortedArgs := make([]interface{}, 0, len(args))
+			for _, n := range names {
+				sortedArgs = append(sortedArgs, n, trial[n])
+			}
+			stop = yield(bind(sortedArgs...))
+		})
+	}
+}

@@ -1,0 +1,292 @@
+package bgp
+
+import (
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+)
+
+func mustParse(t *testing.T, f *kgtest.Fixture, q string) Query {
+	t.Helper()
+	query, err := Parse(f.Graph, q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return query
+}
+
+func mustExec(t *testing.T, f *kgtest.Fixture, q string) []Binding {
+	t.Helper()
+	query := mustParse(t, f, q)
+	out, err := Execute(f.Store, query)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", q, err)
+	}
+	return out
+}
+
+func TestSinglePattern(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?film WHERE { ?film starring Tom_Hanks }`)
+	if len(out) != 6 {
+		t.Fatalf("films starring Tom Hanks = %d, want 6", len(out))
+	}
+	for _, b := range out {
+		if !f.Store.Has(b["film"], f.E("p:starring"), f.E("Tom_Hanks")) {
+			t.Fatalf("binding %v does not satisfy the pattern", b)
+		}
+	}
+}
+
+func TestConjunctiveJoin(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `
+		SELECT ?film WHERE {
+			?film starring Tom_Hanks .
+			?film director Robert_Zemeckis
+		}`)
+	// Forrest Gump and Cast Away.
+	if len(out) != 2 {
+		t.Fatalf("join = %d results, want 2", len(out))
+	}
+	names := map[rdf.TermID]bool{f.E("Forrest_Gump"): true, f.E("Cast_Away"): true}
+	for _, b := range out {
+		if !names[b["film"]] {
+			t.Fatalf("unexpected film %s", f.Graph.Name(b["film"]))
+		}
+	}
+}
+
+func TestJoinAcrossEntities(t *testing.T) {
+	// Co-stars of Tom Hanks: actors appearing in a film with him.
+	f := kgtest.Build()
+	out := mustExec(t, f, `
+		SELECT ?costar WHERE {
+			?film starring Tom_Hanks .
+			?film starring ?costar
+		}`)
+	seen := map[string]bool{}
+	for _, b := range out {
+		seen[f.Graph.Name(b["costar"])] = true
+	}
+	// Includes Hanks himself plus every fixture co-star.
+	for _, want := range []string{"Tom Hanks", "Gary Sinise", "Robin Wright", "Kevin Bacon", "Matt Damon", "Michael Clarke Duncan"} {
+		if !seen[want] {
+			t.Fatalf("co-stars missing %s: %v", want, seen)
+		}
+	}
+	if seen["Leonardo DiCaprio"] {
+		t.Fatal("DiCaprio is not a Hanks co-star")
+	}
+}
+
+func TestTypePatternWithA(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?x WHERE { ?x a Director }`)
+	// Zemeckis, Howard, Darabont, Demme, Spielberg, Nolan, Cameron.
+	if len(out) != 7 {
+		t.Fatalf("directors = %d, want 7", len(out))
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?p WHERE { Forrest_Gump ?p Tom_Hanks }`)
+	if len(out) != 1 || out[0]["p"] != f.E("p:starring") {
+		t.Fatalf("predicates between FG and TH = %v", out)
+	}
+}
+
+func TestLiteralObject(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?film WHERE { ?film runtime "142 minutes" }`)
+	if len(out) != 1 || out[0]["film"] != f.E("Forrest_Gump") {
+		t.Fatalf("runtime query = %v", out)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?film WHERE { ?film starring Tom_Hanks } LIMIT 3`)
+	if len(out) != 3 {
+		t.Fatalf("LIMIT 3 returned %d", len(out))
+	}
+}
+
+func TestProjectionAndOrdering(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?film ?actor WHERE { ?film starring ?actor }`)
+	if len(out) != 14 { // 3+3+1+2+1+2+1+1 (film, actor) pairs
+		t.Fatalf("pairs = %d, want 14", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		if a["film"] > b["film"] || (a["film"] == b["film"] && a["actor"] > b["actor"]) {
+			t.Fatal("results not deterministically ordered")
+		}
+	}
+	// Projection drops unselected vars.
+	if _, ok := out[0]["nope"]; ok {
+		t.Fatal("unexpected variable in projection")
+	}
+}
+
+func TestSelectOmittedProjectsAll(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `{ ?film director ?d }`)
+	if len(out) == 0 {
+		t.Fatal("no results")
+	}
+	if _, ok := out[0]["film"]; !ok {
+		t.Fatal("film variable missing")
+	}
+	if _, ok := out[0]["d"]; !ok {
+		t.Fatal("d variable missing")
+	}
+}
+
+func TestFullIRINode(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?x WHERE { ?x <http://pivote.dev/ontology/director> <http://pivote.dev/resource/Ron_Howard> }`)
+	if len(out) != 1 || out[0]["x"] != f.E("Apollo_13") {
+		t.Fatalf("IRI query = %v", out)
+	}
+}
+
+func TestFullScanPattern(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 5`)
+	if len(out) != 5 {
+		t.Fatalf("full scan LIMIT 5 = %d", len(out))
+	}
+	for _, b := range out {
+		if !f.Store.Has(b["s"], b["p"], b["o"]) {
+			t.Fatalf("scan produced non-triple %v", b)
+		}
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	// ?x starring ?x can never hold in the fixture.
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT ?x WHERE { ?x starring ?x }`)
+	if len(out) != 0 {
+		t.Fatalf("self-starring = %v", out)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	f := kgtest.Build()
+	// Without DISTINCT: one row per (film, costar) match, projected to
+	// costar — duplicates for actors in several Hanks films.
+	plain := mustExec(t, f, `SELECT ?costar WHERE { ?film starring Tom_Hanks . ?film starring ?costar }`)
+	distinct := mustExec(t, f, `SELECT DISTINCT ?costar WHERE { ?film starring Tom_Hanks . ?film starring ?costar }`)
+	if len(distinct) >= len(plain) {
+		t.Fatalf("DISTINCT (%d) not smaller than plain (%d)", len(distinct), len(plain))
+	}
+	seen := map[rdf.TermID]bool{}
+	for _, b := range distinct {
+		if seen[b["costar"]] {
+			t.Fatalf("duplicate %s under DISTINCT", f.Graph.Name(b["costar"]))
+		}
+		seen[b["costar"]] = true
+	}
+	// 6 distinct co-stars (Hanks + 5 others).
+	if len(distinct) != 6 {
+		t.Fatalf("distinct co-stars = %d, want 6", len(distinct))
+	}
+}
+
+func TestDistinctWithLimit(t *testing.T) {
+	f := kgtest.Build()
+	out := mustExec(t, f, `SELECT DISTINCT ?costar WHERE { ?film starring Tom_Hanks . ?film starring ?costar } LIMIT 3`)
+	if len(out) != 3 {
+		t.Fatalf("DISTINCT LIMIT 3 = %d rows", len(out))
+	}
+	seen := map[rdf.TermID]bool{}
+	for _, b := range out {
+		if seen[b["costar"]] {
+			t.Fatal("duplicate under DISTINCT LIMIT")
+		}
+		seen[b["costar"]] = true
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	f := kgtest.Build()
+	cases := []string{
+		``,
+		`SELECT ?x WHERE { }`,
+		`SELECT ?x WHERE { ?x starring`,
+		`SELECT x WHERE { ?x starring Tom_Hanks }`,
+		`SELECT ?x WHERE { ?x starring Tom_Hanks } LIMIT abc`,
+		`SELECT ?x WHERE { ?x starring Tom_Hanks } garbage`,
+		`{ ?x unknownpred ?y }`,
+		`{ ?x starring Unknown_Entity_Zzz }`,
+		`{ ?x starring "no such literal" }`,
+		`{ ?x starring <http://nope/iri> }`,
+		`{ ?x starring }`,
+		`{ ?x ?y ?z ?w }`,
+		`{ ?x starring ? }`,
+	}
+	for _, q := range cases {
+		if _, err := Parse(f.Graph, q); err == nil {
+			t.Fatalf("no error for %q", q)
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	f := kgtest.Build()
+	// Projected variable not bound anywhere.
+	q := Query{
+		Select: []string{"ghost"},
+		Where:  []Pattern{{S: Variable("x"), P: Bound(f.E("p:starring")), O: Bound(f.E("Tom_Hanks"))}},
+	}
+	if _, err := Execute(f.Store, q); err == nil {
+		t.Fatal("no error for unbound projection")
+	}
+	if _, err := Execute(f.Store, Query{}); err == nil {
+		t.Fatal("no error for empty query")
+	}
+}
+
+func TestSelectivityOrderingBeatsNaive(t *testing.T) {
+	// A query written in worst order (full scan first) must still
+	// evaluate correctly and fast because patterns are reordered.
+	f := kgtest.Build()
+	out := mustExec(t, f, `
+		SELECT ?film WHERE {
+			?film ?p ?o .
+			?film director Robert_Zemeckis .
+			?film starring Gary_Sinise
+		}`)
+	// Forrest Gump is the only Zemeckis film with Sinise; it has many
+	// (p, o) pairs, each producing one binding of the first pattern —
+	// project+dedup is the caller's job, bindings are per-match.
+	if len(out) == 0 {
+		t.Fatal("no results")
+	}
+	for _, b := range out {
+		if b["film"] != f.E("Forrest_Gump") {
+			t.Fatalf("wrong film %s", f.Graph.Name(b["film"]))
+		}
+	}
+}
+
+func BenchmarkJoinQuery(b *testing.B) {
+	f := kgtest.Build()
+	q, err := Parse(f.Graph, `SELECT ?film WHERE { ?film starring Tom_Hanks . ?film director Robert_Zemeckis }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Execute(f.Store, q)
+		if err != nil || len(out) != 2 {
+			b.Fatalf("bad result: %v %v", out, err)
+		}
+	}
+}

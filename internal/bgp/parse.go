@@ -1,0 +1,191 @@
+package bgp
+
+import (
+	"fmt"
+	"strings"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// Parse reads a small SPARQL-like surface syntax:
+//
+//	SELECT ?film ?actor WHERE {
+//	  ?film starring ?actor .
+//	  ?film director Robert_Zemeckis
+//	} LIMIT 10
+//
+// Node syntax: ?var, <full-iri>, "literal", or a bare name resolved
+// against the graph (entity local names, predicate local names in the
+// generator's ontology namespace, class and category names). SELECT and
+// LIMIT are optional; SELECT * or omitting SELECT projects every
+// variable.
+func Parse(g *kg.Graph, query string) (Query, error) {
+	toks, err := tokenize(query)
+	if err != nil {
+		return Query{}, err
+	}
+	q := Query{}
+	i := 0
+	if i < len(toks) && strings.EqualFold(toks[i], "SELECT") {
+		i++
+		if i < len(toks) && strings.EqualFold(toks[i], "DISTINCT") {
+			q.Distinct = true
+			i++
+		}
+		for i < len(toks) && !strings.EqualFold(toks[i], "WHERE") {
+			t := toks[i]
+			if t == "*" {
+				i++
+				continue
+			}
+			if !strings.HasPrefix(t, "?") {
+				return Query{}, fmt.Errorf("bgp: SELECT expects variables, got %q", t)
+			}
+			q.Select = append(q.Select, t[1:])
+			i++
+		}
+	}
+	if i < len(toks) && strings.EqualFold(toks[i], "WHERE") {
+		i++
+	}
+	if i >= len(toks) || toks[i] != "{" {
+		return Query{}, fmt.Errorf("bgp: expected '{' to open the pattern block")
+	}
+	i++
+	var current []Node
+	flush := func() error {
+		if len(current) == 0 {
+			return nil
+		}
+		if len(current) != 3 {
+			return fmt.Errorf("bgp: pattern has %d terms, want 3", len(current))
+		}
+		q.Where = append(q.Where, Pattern{S: current[0], P: current[1], O: current[2]})
+		current = nil
+		return nil
+	}
+	for i < len(toks) && toks[i] != "}" {
+		t := toks[i]
+		if t == "." {
+			if err := flush(); err != nil {
+				return Query{}, err
+			}
+			i++
+			continue
+		}
+		n, err := parseNode(g, t)
+		if err != nil {
+			return Query{}, err
+		}
+		current = append(current, n)
+		i++
+	}
+	if i >= len(toks) {
+		return Query{}, fmt.Errorf("bgp: unterminated pattern block")
+	}
+	i++ // consume '}'
+	if err := flush(); err != nil {
+		return Query{}, err
+	}
+	if i < len(toks) && strings.EqualFold(toks[i], "LIMIT") {
+		i++
+		if i >= len(toks) {
+			return Query{}, fmt.Errorf("bgp: LIMIT needs a number")
+		}
+		if _, err := fmt.Sscanf(toks[i], "%d", &q.Limit); err != nil {
+			return Query{}, fmt.Errorf("bgp: bad LIMIT %q", toks[i])
+		}
+		i++
+	}
+	if i != len(toks) {
+		return Query{}, fmt.Errorf("bgp: trailing tokens starting at %q", toks[i])
+	}
+	if len(q.Where) == 0 {
+		return Query{}, fmt.Errorf("bgp: no patterns")
+	}
+	return q, nil
+}
+
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == '*':
+			toks = append(toks, string(c))
+			i++
+		case c == '.':
+			toks = append(toks, ".")
+			i++
+		case c == '<':
+			end := strings.IndexByte(s[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("bgp: unterminated IRI")
+			}
+			toks = append(toks, s[i:i+end+1])
+			i += end + 1
+		case c == '"':
+			end := strings.IndexByte(s[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("bgp: unterminated literal")
+			}
+			toks = append(toks, s[i:i+end+2])
+			i += end + 2
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n\r{}.", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// namespaces tried, in order, when resolving bare names.
+var bareNamespaces = []string{
+	"http://pivote.dev/ontology/",
+	"http://pivote.dev/resource/",
+	"http://pivote.dev/ontology/class/",
+	"http://pivote.dev/category/",
+}
+
+func parseNode(g *kg.Graph, tok string) (Node, error) {
+	switch {
+	case strings.HasPrefix(tok, "?"):
+		if len(tok) == 1 {
+			return Node{}, fmt.Errorf("bgp: empty variable name")
+		}
+		return Variable(tok[1:]), nil
+	case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
+		iri := tok[1 : len(tok)-1]
+		if id := g.Dict().LookupIRI(iri); id != rdf.NoTerm {
+			return Bound(id), nil
+		}
+		return Node{}, fmt.Errorf("bgp: IRI %q not in the graph", iri)
+	case strings.HasPrefix(tok, `"`) && strings.HasSuffix(tok, `"`) && len(tok) >= 2:
+		lit := g.Dict().Lookup(rdf.NewLiteral(tok[1 : len(tok)-1]))
+		if lit == rdf.NoTerm {
+			return Node{}, fmt.Errorf("bgp: literal %s not in the graph", tok)
+		}
+		return Bound(lit), nil
+	default:
+		if tok == "a" { // SPARQL shorthand for rdf:type
+			return Bound(g.Dict().LookupIRI(kg.IRIType)), nil
+		}
+		for _, ns := range bareNamespaces {
+			if id := g.Dict().LookupIRI(ns + tok); id != rdf.NoTerm {
+				return Bound(id), nil
+			}
+		}
+		if id := g.Dict().LookupIRI(tok); id != rdf.NoTerm {
+			return Bound(id), nil
+		}
+		return Node{}, fmt.Errorf("bgp: cannot resolve name %q", tok)
+	}
+}

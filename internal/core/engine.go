@@ -1,0 +1,366 @@
+// Package core is the PivotE engine: it wires the search engine (§2.2),
+// the recommendation engine (§2.3) and the session state into the
+// interaction loop of the paper's interface (Fig. 2 architecture, Fig. 3
+// workspace). Every user operation — submitting keywords, adding/removing
+// example entities and semantic-feature conditions, looking up profiles,
+// pivoting across domains, revisiting the timeline — returns the full
+// interface state: ranked entities (x-axis), ranked semantic features
+// (y-axis), the seven-level correlation heat map, and the timeline.
+package core
+
+import (
+	"fmt"
+
+	"pivote/internal/expand"
+	"pivote/internal/heatmap"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+	"pivote/internal/session"
+)
+
+// Options configure an Engine; zero values select the documented
+// defaults.
+type Options struct {
+	// TopEntities is the x-axis size (default 20).
+	TopEntities int
+	// TopFeatures is the y-axis size (default 15).
+	TopFeatures int
+	// PseudoSeeds is how many top keyword hits seed the feature
+	// recommendation after a plain keyword query (default 3).
+	PseudoSeeds int
+	// SearchModel is the retrieval model for keyword queries (default
+	// the paper's MLM).
+	SearchModel search.Model
+	// SearchParams override the retrieval hyperparameters when non-nil.
+	SearchParams *search.Params
+	// Expand configures the recommendation engine. SameTypeOnly defaults
+	// to true (investigation keeps one domain on the x-axis).
+	Expand *expand.Options
+	// Features configures the semantic-feature model (ablations).
+	Features semfeat.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopEntities <= 0 {
+		o.TopEntities = 20
+	}
+	if o.TopFeatures <= 0 {
+		o.TopFeatures = 15
+	}
+	if o.PseudoSeeds <= 0 {
+		o.PseudoSeeds = 3
+	}
+	if o.Expand == nil {
+		o.Expand = &expand.Options{SameTypeOnly: true}
+	}
+	return o
+}
+
+// Result is the assembled interface state after an operation — the five
+// areas of Fig. 3.
+type Result struct {
+	// Query is the live query (area b) and Description its rendering.
+	Query       session.Query
+	Description string
+	// Entities is the recommendation area (c): the x-axis.
+	Entities []expand.Ranked
+	// Features is the semantic-feature area (e): the y-axis.
+	Features []semfeat.Score
+	// Heat is the explanation area (f).
+	Heat *heatmap.Matrix
+	// Timeline is the query history (g).
+	Timeline []session.Action
+}
+
+// Engine is a single-user PivotE instance. It is not safe for concurrent
+// use (the session is stateful); the HTTP server creates one per session.
+type Engine struct {
+	g        *kg.Graph
+	searcher *search.Engine
+	feats    *semfeat.Engine
+	expander *expand.Expander
+	sess     *session.Session
+	opts     Options
+}
+
+// New builds an engine over the graph, constructing the search index and
+// recommendation machinery.
+func New(g *kg.Graph, opts Options) *Engine {
+	opts = opts.withDefaults()
+	var searcher *search.Engine
+	if opts.SearchParams != nil {
+		searcher = search.NewEngineWithParams(g, *opts.SearchParams)
+	} else {
+		searcher = search.NewEngine(g)
+	}
+	fe := semfeat.NewEngineWithOptions(g, opts.Features)
+	return &Engine{
+		g:        g,
+		searcher: searcher,
+		feats:    fe,
+		expander: expand.New(fe, *opts.Expand),
+		sess:     session.New(),
+		opts:     opts,
+	}
+}
+
+// Graph exposes the knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// Features exposes the semantic-feature engine (for explanations).
+func (e *Engine) Features() *semfeat.Engine { return e.feats }
+
+// Searcher exposes the keyword search engine.
+func (e *Engine) Searcher() *search.Engine { return e.searcher }
+
+// Session exposes the session (read-mostly; use Engine methods to act).
+func (e *Engine) Session() *session.Session { return e.sess }
+
+// Submit starts a new keyword query (Fig. 3-a) and evaluates it.
+func (e *Engine) Submit(keywords string) *Result {
+	e.sess.Submit(keywords)
+	return e.evaluate()
+}
+
+// AddSeed adds an example entity to the query ("find entities similar to
+// X") and re-evaluates.
+func (e *Engine) AddSeed(ent rdf.TermID) *Result {
+	e.sess.AddSeed(ent, e.g.Name(ent))
+	return e.evaluate()
+}
+
+// RemoveSeed removes an example entity and re-evaluates.
+func (e *Engine) RemoveSeed(ent rdf.TermID) *Result {
+	e.sess.RemoveSeed(ent, e.g.Name(ent))
+	return e.evaluate()
+}
+
+// AddFeature pins a semantic-feature condition ("find films starring Tom
+// Hanks") and re-evaluates.
+func (e *Engine) AddFeature(f semfeat.Feature) *Result {
+	e.sess.AddFeature(f, e.feats.Label(f))
+	return e.evaluate()
+}
+
+// RemoveFeature unpins a condition and re-evaluates.
+func (e *Engine) RemoveFeature(f semfeat.Feature) *Result {
+	e.sess.RemoveFeature(f, e.feats.Label(f))
+	return e.evaluate()
+}
+
+// Lookup records a profile view (Fig. 3-d) and returns the profile; the
+// query and results are unchanged.
+func (e *Engine) Lookup(ent rdf.TermID) kg.Profile {
+	e.sess.Lookup(ent, e.g.Name(ent))
+	return e.g.ProfileOf(ent, 25)
+}
+
+// Pivot switches the search domain to the entity's domain (§3.2): the
+// query becomes {entity} and the x-axis fills with entities of its type.
+// Double-clicking an entity image (Fig. 3-c) or a feature's anchor name
+// (Fig. 3-e) both land here.
+func (e *Engine) Pivot(ent rdf.TermID) *Result {
+	domain := "unknown"
+	if t := e.g.PrimaryType(ent); t != rdf.NoTerm {
+		domain = e.g.Name(t)
+	}
+	e.sess.Pivot(ent, e.g.Name(ent), domain)
+	return e.evaluate()
+}
+
+// PivotOnFeature pivots into the anchor entity of a recommended feature.
+func (e *Engine) PivotOnFeature(f semfeat.Feature) *Result {
+	return e.Pivot(f.Anchor)
+}
+
+// Revisit restores a historical query from the timeline (Fig. 3-g) and
+// re-evaluates it.
+func (e *Engine) Revisit(step int) (*Result, error) {
+	if _, err := e.sess.Revisit(step); err != nil {
+		return nil, err
+	}
+	return e.evaluate(), nil
+}
+
+// Evaluate re-runs the current query without recording a new action.
+func (e *Engine) Evaluate() *Result { return e.evaluate() }
+
+func (e *Engine) evaluate() *Result {
+	q := e.sess.Current()
+	res := &Result{
+		Query:       q,
+		Description: e.DescribeQuery(q),
+		Timeline:    e.sess.Timeline(),
+	}
+	switch {
+	case len(q.Seeds) > 0 || len(q.Features) > 0:
+		res.Entities, res.Features = e.structured(q)
+	case q.Keywords != "":
+		res.Entities, res.Features = e.keyword(q.Keywords)
+	}
+	res.Heat = heatmap.Build(e.feats, res.Entities, res.Features)
+	return res
+}
+
+// keyword answers a plain keyword query: entities from the search engine,
+// features recommended from the top hits as pseudo-seeds.
+func (e *Engine) keyword(kw string) ([]expand.Ranked, []semfeat.Score) {
+	hits := e.searcher.Search(kw, e.opts.TopEntities, e.opts.SearchModel)
+	entities := make([]expand.Ranked, len(hits))
+	var pseudo []rdf.TermID
+	for i, h := range hits {
+		entities[i] = expand.Ranked{Entity: h.Entity, Name: h.Name, Score: h.Score}
+		if i < e.opts.PseudoSeeds {
+			pseudo = append(pseudo, h.Entity)
+		}
+	}
+	var feats []semfeat.Score
+	if len(pseudo) > 0 {
+		// Each pseudo-seed contributes its own features; rank per seed so
+		// one odd hit cannot zero out the commonality product.
+		seen := map[semfeat.Feature]bool{}
+		for _, p := range pseudo {
+			for _, fs := range e.feats.Rank([]rdf.TermID{p}, e.opts.TopFeatures) {
+				if !seen[fs.Feature] {
+					seen[fs.Feature] = true
+					feats = append(feats, fs)
+				}
+			}
+		}
+		feats = topFeatures(feats, e.opts.TopFeatures)
+	}
+	return entities, feats
+}
+
+// structured answers a query with example entities and/or pinned feature
+// conditions: Φ(Q) = pinned conditions ∪ top seed features; candidates
+// come from the conditions' extents when conditions exist (they are
+// mandatory), otherwise from expansion.
+func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) {
+	var phi []semfeat.Score
+	pinned := map[semfeat.Feature]bool{}
+	for _, f := range q.Features {
+		r := e.feats.Relevance(f, q.Seeds) // seeds empty → c=1 → r=d(π)
+		phi = append(phi, semfeat.Score{
+			Feature:    f,
+			Label:      e.feats.Label(f),
+			R:          r,
+			ExtentSize: e.feats.ExtentSize(f),
+		})
+		pinned[f] = true
+	}
+	if len(q.Seeds) > 0 {
+		for _, fs := range e.feats.Rank(q.Seeds, e.opts.TopFeatures) {
+			if !pinned[fs.Feature] {
+				phi = append(phi, fs)
+			}
+		}
+	}
+	if len(phi) > e.opts.TopFeatures {
+		phi = phi[:e.opts.TopFeatures]
+	}
+
+	var cands []rdf.TermID
+	if len(q.Features) > 0 {
+		cands = e.conditionCandidates(q)
+	} else {
+		cands = e.expander.CandidatesOf(q.Seeds, phi)
+	}
+	entities := e.expander.ScoreCandidates(cands, phi, e.opts.TopEntities)
+	if len(entities) == 0 && len(q.Seeds) > 0 && len(q.Features) == 0 {
+		// The SF extents found no same-type candidates — typical when
+		// pivoting into a domain whose entities connect only via longer
+		// paths (two directors share no neighbour, but do share
+		// film→actor→film chains). Fall back to a random walk with
+		// restart so a pivot never dead-ends.
+		entities = e.expander.ExpandWith(expand.MethodPPR, q.Seeds, e.opts.TopEntities)
+	}
+	return entities, phi
+}
+
+// conditionCandidates intersects the extents of all pinned features and
+// removes the seeds.
+func (e *Engine) conditionCandidates(q session.Query) []rdf.TermID {
+	var inter []rdf.TermID
+	for i, f := range q.Features {
+		ext := e.feats.Extent(f)
+		if i == 0 {
+			inter = append([]rdf.TermID(nil), ext...)
+			continue
+		}
+		inter = rdf.IntersectSortedInto(inter[:0], inter, ext)
+	}
+	out := inter[:0]
+	for _, c := range inter {
+		isSeed := false
+		for _, s := range q.Seeds {
+			if c == s {
+				isSeed = true
+				break
+			}
+		}
+		if !isSeed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DescribeQuery renders the query-condition area (Fig. 3-b).
+func (e *Engine) DescribeQuery(q session.Query) string {
+	desc := ""
+	if q.Keywords != "" {
+		desc += fmt.Sprintf("keywords=%q", q.Keywords)
+	}
+	if len(q.Seeds) > 0 {
+		if desc != "" {
+			desc += " "
+		}
+		desc += "entities=["
+		for i, s := range q.Seeds {
+			if i > 0 {
+				desc += ", "
+			}
+			desc += e.g.Name(s)
+		}
+		desc += "]"
+	}
+	if len(q.Features) > 0 {
+		if desc != "" {
+			desc += " "
+		}
+		desc += "features=["
+		for i, f := range q.Features {
+			if i > 0 {
+				desc += ", "
+			}
+			desc += e.feats.Label(f)
+		}
+		desc += "]"
+	}
+	if desc == "" {
+		desc = "(empty query)"
+	}
+	return desc
+}
+
+func topFeatures(feats []semfeat.Score, k int) []semfeat.Score {
+	// feats arrive grouped per pseudo-seed; re-sort globally.
+	for i := 1; i < len(feats); i++ {
+		for j := i; j > 0; j-- {
+			a, b := feats[j], feats[j-1]
+			if a.R > b.R || (a.R == b.R && (a.ExtentSize < b.ExtentSize ||
+				(a.ExtentSize == b.ExtentSize && a.Label < b.Label))) {
+				feats[j], feats[j-1] = feats[j-1], feats[j]
+				continue
+			}
+			break
+		}
+	}
+	if len(feats) > k {
+		feats = feats[:k]
+	}
+	return feats
+}

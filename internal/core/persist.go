@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/session"
+)
+
+// graphResolver implements session.Resolver over the knowledge graph:
+// entities persist as IRIs, features as anchor:predicate labels.
+type graphResolver struct {
+	g *kg.Graph
+}
+
+func (r graphResolver) EntityIRI(e rdf.TermID) string {
+	return r.g.Dict().Term(e).Value
+}
+
+func (r graphResolver) ResolveEntity(iri string) (rdf.TermID, error) {
+	if id := r.g.EntityByName(iri); id != rdf.NoTerm {
+		return id, nil
+	}
+	return rdf.NoTerm, fmt.Errorf("unknown entity %q", iri)
+}
+
+func (r graphResolver) FeatureLabel(f semfeat.Feature) string {
+	return semfeat.Label(r.g, f)
+}
+
+func (r graphResolver) ResolveFeature(label string) (semfeat.Feature, error) {
+	return semfeat.Parse(r.g, label)
+}
+
+// SaveSession serializes the whole timeline (and therefore the live
+// query) as portable JSON.
+func (e *Engine) SaveSession() ([]byte, error) {
+	return e.sess.Save(graphResolver{e.g})
+}
+
+// LoadSession replaces the session with a previously saved one and
+// evaluates its live query. The graph must contain every entity and
+// predicate the saved session references.
+func (e *Engine) LoadSession(data []byte) (*Result, error) {
+	s, err := session.Load(data, graphResolver{e.g})
+	if err != nil {
+		return nil, err
+	}
+	e.sess = s
+	return e.evaluate(), nil
+}

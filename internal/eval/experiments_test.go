@@ -1,0 +1,291 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tinyEnv is shared across experiment tests; generation is deterministic
+// so sharing is safe.
+var tinyEnv = NewEnv(120, 7)
+
+func tinyConfig() Config {
+	return Config{Scale: 120, Seed: 7, Queries: 8, SeedsPerQuery: 2, MinConcept: 5, MaxConcept: 80, TopK: 50}
+}
+
+func TestExpansionWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := ExpansionWorkload(tinyEnv.Graph, rng, 10, 2, 5, 80)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Seeds) != 2 {
+			t.Fatalf("query has %d seeds", len(q.Seeds))
+		}
+		if len(q.Relevant) == 0 {
+			t.Fatalf("query %s has empty relevance set", q.Concept)
+		}
+		for _, s := range q.Seeds {
+			if q.Relevant[s] {
+				t.Fatal("seed leaked into relevance set")
+			}
+		}
+	}
+}
+
+func TestExpansionWorkloadDeterministic(t *testing.T) {
+	a := ExpansionWorkload(tinyEnv.Graph, rand.New(rand.NewSource(3)), 5, 2, 5, 80)
+	b := ExpansionWorkload(tinyEnv.Graph, rand.New(rand.NewSource(3)), 5, 2, 5, 80)
+	for i := range a {
+		if a[i].Concept != b[i].Concept || len(a[i].Relevant) != len(b[i].Relevant) {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestRetrievalWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	qs := RetrievalWorkload(tinyEnv.Graph, rng, 40)
+	if len(qs) < 30 {
+		t.Fatalf("got only %d retrieval queries", len(qs))
+	}
+	kinds := map[string]int{}
+	for _, q := range qs {
+		if q.Text == "" || len(q.Relevant) != 1 {
+			t.Fatalf("malformed query %+v", q)
+		}
+		kinds[q.Kind]++
+	}
+	for _, k := range []string{"exact", "partial", "alias", "category-hint"} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %q queries generated: %v", k, kinds)
+		}
+	}
+}
+
+func TestRunT1ContainsPaperContent(t *testing.T) {
+	a := RunT1(tinyEnv)
+	for _, want := range []string{"Forrest Gump", "142 minutes", "55 million dollars", "Geenbow", "Tom Hanks"} {
+		if !strings.Contains(a.Text, want) {
+			t.Fatalf("T1 missing %q:\n%s", want, a.Text)
+		}
+	}
+}
+
+func TestRunF1a(t *testing.T) {
+	a := RunF1a(tinyEnv)
+	dot := a.Files["forrest_gump.dot"]
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "Forrest Gump") {
+		t.Fatal("F1a DOT malformed")
+	}
+}
+
+func TestRunF1b(t *testing.T) {
+	a := RunF1b(tinyEnv)
+	for _, want := range []string{"Type histogram", "Film", "starring"} {
+		if !strings.Contains(a.Text, want) {
+			t.Fatalf("F1b missing %q", want)
+		}
+	}
+}
+
+func TestRunF2(t *testing.T) {
+	a := RunF2()
+	if !strings.Contains(a.Files["architecture.dot"], "Recommendation Engine") {
+		t.Fatal("F2 architecture DOT malformed")
+	}
+}
+
+func TestRunF3(t *testing.T) {
+	a := RunF3(tinyEnv)
+	for _, want := range []string{"entities (c)", "semantic features (e)", "timeline (g)", "Forrest Gump"} {
+		if !strings.Contains(a.Text, want) {
+			t.Fatalf("F3 missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(a.Files["heatmap.svg"], "<svg") {
+		t.Fatal("F3 heat map SVG missing")
+	}
+	if a.Files["heatmap.json"] == "" {
+		t.Fatal("F3 heat map JSON missing")
+	}
+}
+
+func TestRunF4(t *testing.T) {
+	a := RunF4(tinyEnv)
+	for _, want := range []string{"pivot", "revisit"} {
+		if !strings.Contains(a.Text, want) {
+			t.Fatalf("F4 missing %q:\n%s", want, a.Text)
+		}
+	}
+	if !strings.Contains(a.Files["path.dot"], "digraph") {
+		t.Fatal("F4 DOT missing")
+	}
+	if !strings.HasPrefix(a.Files["path.svg"], "<svg") {
+		t.Fatal("F4 SVG missing")
+	}
+}
+
+func TestRunE5ShapePivotEWins(t *testing.T) {
+	tab := RunE5(tinyEnv, tinyConfig())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E5 rows = %d, want 5 methods", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "PivotE-SF" {
+		t.Fatal("first row should be PivotE-SF")
+	}
+	// The paper's method should beat the weakest baseline on MAP.
+	pivot := parseF(t, tab.Rows[0][1])
+	worst := 1.0
+	for _, row := range tab.Rows[1:] {
+		if v := parseF(t, row[1]); v < worst {
+			worst = v
+		}
+	}
+	if pivot <= worst {
+		t.Fatalf("PivotE MAP %.3f does not beat the weakest baseline %.3f", pivot, worst)
+	}
+}
+
+func TestRunE6Shape(t *testing.T) {
+	tab := RunE6(tinyEnv, tinyConfig())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E6 rows = %d, want 5 seed counts", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Fatalf("E6 row %d has %d cells", i, len(row))
+		}
+	}
+}
+
+func TestRunE7MLMBeatsNamesOnly(t *testing.T) {
+	tab := RunE7(tinyEnv, tinyConfig())
+	var mlm, lmNames float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "MLM":
+			mlm = parseF(t, row[1])
+		case "LM-names":
+			lmNames = parseF(t, row[1])
+		}
+	}
+	// Alias queries are only answerable through the similar-names field,
+	// so five-field MLM must beat the names-only LM on MRR.
+	if mlm <= lmNames {
+		t.Fatalf("MLM MRR %.3f does not beat LM-names %.3f", mlm, lmNames)
+	}
+}
+
+func TestRunA1TolerantBeatsStrictRecall(t *testing.T) {
+	tab := RunA1(tinyEnv, tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatal("A1 needs 2 rows")
+	}
+	tolerantR50 := parseF(t, tab.Rows[0][3])
+	strictR50 := parseF(t, tab.Rows[1][3])
+	if tolerantR50 < strictR50 {
+		t.Fatalf("error-tolerant R@50 %.3f below strict %.3f", tolerantR50, strictR50)
+	}
+}
+
+func TestRunA2RunsBothVariants(t *testing.T) {
+	tab := RunA2(tinyEnv, tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatal("A2 needs 2 rows")
+	}
+	for _, row := range tab.Rows {
+		if v := parseF(t, row[1]); v < 0 || v > 1 {
+			t.Fatalf("A2 MAP out of range: %v", row)
+		}
+	}
+}
+
+func TestRunA3NamesMatter(t *testing.T) {
+	tab := RunA3(tinyEnv, tinyConfig())
+	var tuned, noNames float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "tuned (paper defaults)":
+			tuned = parseF(t, row[1])
+		case "no names":
+			noNames = parseF(t, row[1])
+		}
+	}
+	if tuned <= noNames {
+		t.Fatalf("tuned MRR %.3f does not beat no-names %.3f", tuned, noNames)
+	}
+}
+
+func TestRunA4QuantilePopulatesMoreLevels(t *testing.T) {
+	tab := RunA4(tinyEnv, tinyConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatal("A4 needs 2 rows")
+	}
+	quantile := parseF(t, tab.Rows[0][1])
+	linear := parseF(t, tab.Rows[1][1])
+	if quantile < linear {
+		t.Fatalf("quantile levels %.2f below linear %.2f", quantile, linear)
+	}
+	if quantile < 3 {
+		t.Fatalf("quantile populates only %.2f levels", quantile)
+	}
+}
+
+func TestRunE8Shape(t *testing.T) {
+	tab := RunE8(tinyConfig(), []int{60}, 3)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E8 rows = %d, want 4 operations", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 6 {
+			t.Fatalf("E8 row cells = %d", len(row))
+		}
+	}
+}
+
+func TestRunE9Shape(t *testing.T) {
+	tab := RunE9(tinyConfig(), []int{60, 120})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E9 rows = %d, want 2 scales", len(tab.Rows))
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+// fmtSscan avoids importing fmt solely for tests' parse helper.
+func fmtSscan(s string, v *float64) (int, error) {
+	var parsed float64
+	var frac, scale float64 = 0, 1
+	neg := false
+	i := 0
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		parsed = parsed*10 + float64(s[i]-'0')
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			frac = frac*10 + float64(s[i]-'0')
+			scale *= 10
+		}
+	}
+	parsed += frac / scale
+	if neg {
+		parsed = -parsed
+	}
+	*v = parsed
+	return 1, nil
+}

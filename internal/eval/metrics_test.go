@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pivote/internal/rdf"
+)
+
+func rel(ids ...rdf.TermID) map[rdf.TermID]bool {
+	m := map[rdf.TermID]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAveragePrecision(t *testing.T) {
+	ranking := []rdf.TermID{1, 2, 3, 4, 5}
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	if got := AveragePrecision(ranking, rel(1, 3)); !almost(got, (1.0+2.0/3)/2) {
+		t.Fatalf("AP = %f", got)
+	}
+	// Unfound relevant items count in the denominator.
+	if got := AveragePrecision(ranking, rel(1, 99)); !almost(got, 0.5) {
+		t.Fatalf("AP with missing relevant = %f, want 0.5", got)
+	}
+	if got := AveragePrecision(ranking, rel()); got != 0 {
+		t.Fatalf("AP with empty relevance = %f", got)
+	}
+	if got := AveragePrecision(nil, rel(1)); got != 0 {
+		t.Fatalf("AP of empty ranking = %f", got)
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	ranking := []rdf.TermID{1, 2, 3}
+	if got := PrecisionAt(ranking, rel(1, 3), 3); !almost(got, 2.0/3) {
+		t.Fatalf("P@3 = %f", got)
+	}
+	// Short rankings are padded with misses.
+	if got := PrecisionAt(ranking, rel(1, 3), 10); !almost(got, 0.2) {
+		t.Fatalf("P@10 = %f, want 0.2", got)
+	}
+	if got := PrecisionAt(ranking, rel(1), 0); got != 0 {
+		t.Fatalf("P@0 = %f", got)
+	}
+}
+
+func TestRecallAt(t *testing.T) {
+	ranking := []rdf.TermID{1, 2, 3, 4}
+	if got := RecallAt(ranking, rel(1, 9, 8), 4); !almost(got, 1.0/3) {
+		t.Fatalf("R@4 = %f", got)
+	}
+	if got := RecallAt(ranking, rel(), 4); got != 0 {
+		t.Fatalf("R with empty relevance = %f", got)
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	// Perfect ranking of 2 relevant items in top-2.
+	if got := NDCGAt([]rdf.TermID{1, 2, 3}, rel(1, 2), 10); !almost(got, 1) {
+		t.Fatalf("perfect nDCG = %f", got)
+	}
+	// Relevant at rank 2 only, one relevant total: DCG = 1/log2(3),
+	// ideal = 1.
+	want := 1 / math.Log2(3)
+	if got := NDCGAt([]rdf.TermID{9, 1}, rel(1), 10); !almost(got, want) {
+		t.Fatalf("nDCG = %f, want %f", got, want)
+	}
+	if got := NDCGAt(nil, rel(1), 10); got != 0 {
+		t.Fatalf("nDCG of empty ranking = %f", got)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	if got := ReciprocalRank([]rdf.TermID{9, 9, 1}, rel(1)); !almost(got, 1.0/3) {
+		t.Fatalf("RR = %f", got)
+	}
+	if got := ReciprocalRank([]rdf.TermID{9}, rel(1)); got != 0 {
+		t.Fatalf("RR without hit = %f", got)
+	}
+}
+
+func TestMetricsAccumulateFinalize(t *testing.T) {
+	var m Metrics
+	m.Accumulate([]rdf.TermID{1}, rel(1))    // AP=1, P10=0.1, MRR=1
+	m.Accumulate([]rdf.TermID{9, 1}, rel(1)) // AP=0.5, MRR=0.5
+	f := m.Finalize()
+	if f.Queries != 2 || !almost(f.MAP, 0.75) || !almost(f.MRR, 0.75) {
+		t.Fatalf("finalized = %+v", f)
+	}
+	// Finalize of zero queries is a no-op.
+	var z Metrics
+	if got := z.Finalize(); got.Queries != 0 {
+		t.Fatal("zero finalize changed state")
+	}
+}
+
+func TestMetricBoundsProperty(t *testing.T) {
+	// All metrics lie in [0,1] for arbitrary rankings/relevance sets.
+	f := func(rankRaw, relRaw []uint8) bool {
+		seen := map[rdf.TermID]bool{}
+		var ranking []rdf.TermID
+		for _, r := range rankRaw {
+			id := rdf.TermID(r) + 1
+			if !seen[id] {
+				seen[id] = true
+				ranking = append(ranking, id)
+			}
+		}
+		relevant := map[rdf.TermID]bool{}
+		for _, r := range relRaw {
+			relevant[rdf.TermID(r)+1] = true
+		}
+		vals := []float64{
+			AveragePrecision(ranking, relevant),
+			PrecisionAt(ranking, relevant, 10),
+			RecallAt(ranking, relevant, 50),
+			NDCGAt(ranking, relevant, 10),
+			ReciprocalRank(ranking, relevant),
+		}
+		for _, v := range vals {
+			if v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectRankingMaximizesAP(t *testing.T) {
+	// AP of a ranking with all relevant items first is 1.
+	ranking := []rdf.TermID{1, 2, 3, 4, 5}
+	if got := AveragePrecision(ranking, rel(1, 2, 3)); !almost(got, 1) {
+		t.Fatalf("perfect AP = %f", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(s, 50); got != 5 {
+		t.Fatalf("p50 = %f", got)
+	}
+	if got := Percentile(s, 95); got != 10 {
+		t.Fatalf("p95 = %f", got)
+	}
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %f", got)
+	}
+	if got := Percentile(s, 100); got != 10 {
+		t.Fatalf("p100 = %f", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty percentile did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}, Notes: "n"}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "333", "note: n"} {
+		if !contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

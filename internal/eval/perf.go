@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pivote/internal/core"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+)
+
+// latencies collects wall-clock samples and reports percentiles in
+// milliseconds. Timing lives only in the experiment harness — library
+// code paths stay deterministic.
+type latencies struct{ samples []float64 }
+
+func (l *latencies) observe(d time.Duration) {
+	l.samples = append(l.samples, float64(d.Nanoseconds())/1e6)
+}
+
+func (l *latencies) percentiles() (p50, p95, p99 float64) {
+	sort.Float64s(l.samples)
+	return Percentile(l.samples, 50), Percentile(l.samples, 95), Percentile(l.samples, 99)
+}
+
+// RunE8 measures interactive latency of the four core operations —
+// keyword search, investigation (seed expansion), pivot, and full
+// interface assembly with heat map — across KG scales. The demo's
+// implicit claim is that every interaction stays interactive; the table
+// lets the reader check where that holds.
+func RunE8(cfg Config, scales []int, opsPerScale int) Table {
+	cfg = cfg.withDefaults()
+	if opsPerScale <= 0 {
+		opsPerScale = 30
+	}
+	t := Table{
+		ID:     "E8",
+		Title:  "Interactive latency by scale (milliseconds)",
+		Header: []string{"scale(films)", "entities", "operation", "p50", "p95", "p99"},
+	}
+	for _, scale := range scales {
+		env := NewEnv(scale, cfg.Seed)
+		eng := core.New(env.Graph, core.Options{})
+		rng := rand.New(rand.NewSource(cfg.Seed + 8))
+		films := env.Result.Manifest.Films
+		actors := env.Result.Manifest.Actors
+		nEnts := len(env.Graph.Entities())
+
+		ops := []struct {
+			name string
+			run  func()
+		}{
+			{"keyword search", func() {
+				eng.Submit(env.Graph.Name(films[rng.Intn(len(films))]))
+			}},
+			{"investigate (expand)", func() {
+				eng.Submit("")
+				eng.AddSeed(films[rng.Intn(len(films))])
+			}},
+			{"pivot", func() {
+				eng.Pivot(actors[rng.Intn(len(actors))])
+			}},
+			{"full state + heat map", func() {
+				eng.Submit("")
+				eng.AddSeed(films[rng.Intn(len(films))])
+				eng.AddSeed(films[rng.Intn(len(films))])
+			}},
+		}
+		for _, op := range ops {
+			var lat latencies
+			for i := 0; i < opsPerScale; i++ {
+				start := time.Now()
+				op.run()
+				lat.observe(time.Since(start))
+			}
+			p50, p95, p99 := lat.percentiles()
+			t.AddRow(fmt.Sprintf("%d", scale), fmt.Sprintf("%d", nEnts), op.name,
+				fmt.Sprintf("%.2f", p50), fmt.Sprintf("%.2f", p95), fmt.Sprintf("%.2f", p99))
+		}
+	}
+	t.Notes = "single-threaded; includes result assembly and 7-level heat map"
+	return t
+}
+
+// RunE9 measures the scalability of the semantic-feature machinery and
+// index construction: build times and SF-operation throughput per scale.
+func RunE9(cfg Config, scales []int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "E9",
+		Title:  "Substrate scalability",
+		Header: []string{"scale(films)", "triples", "graph build(ms)", "index build(ms)", "extent ops/s", "rank ops/s"},
+	}
+	for _, scale := range scales {
+		start := time.Now()
+		env := NewEnv(scale, cfg.Seed)
+		buildMS := float64(time.Since(start).Nanoseconds()) / 1e6
+
+		start = time.Now()
+		_ = search.BuildIndex(env.Graph)
+		indexMS := float64(time.Since(start).Nanoseconds()) / 1e6
+
+		en := semfeat.NewEngine(env.Graph)
+		rng := rand.New(rand.NewSource(cfg.Seed + 9))
+		films := env.Result.Manifest.Films
+
+		// Extent throughput over fresh (uncached) features.
+		var feats []semfeat.Feature
+		for len(feats) < 500 {
+			e := films[rng.Intn(len(films))]
+			feats = append(feats, en.FeaturesOf(e)...)
+		}
+		start = time.Now()
+		for _, f := range feats {
+			_ = en.Extent(f)
+		}
+		extentOps := float64(len(feats)) / time.Since(start).Seconds()
+
+		// Feature-ranking throughput (two-seed queries).
+		const rankOpsN = 20
+		start = time.Now()
+		for i := 0; i < rankOpsN; i++ {
+			seeds := []rdf.TermID{
+				films[rng.Intn(len(films))],
+				films[rng.Intn(len(films))],
+			}
+			_ = en.Rank(seeds, 50)
+		}
+		rankOps := float64(rankOpsN) / time.Since(start).Seconds()
+
+		t.AddRow(fmt.Sprintf("%d", scale),
+			fmt.Sprintf("%d", env.Result.Store.Len()),
+			fmt.Sprintf("%.1f", buildMS),
+			fmt.Sprintf("%.1f", indexMS),
+			fmt.Sprintf("%.0f", extentOps),
+			fmt.Sprintf("%.1f", rankOps))
+	}
+	t.Notes = "graph build includes synthesis + freeze + entity scan; extent ops measured cold"
+	return t
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one measured experiment result, rendered as an aligned text
+// table — the shape in which the harness reports every E/A experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// AddRow appends one row; the cell count should match the header.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render prints the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Artifact is a regenerated figure or illustration (T1, F1a, F1b, F2, F3,
+// F4): a primary text rendering plus optional extra files (SVG, DOT,
+// JSON) keyed by suggested filename.
+type Artifact struct {
+	ID    string
+	Title string
+	Text  string
+	Files map[string]string
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

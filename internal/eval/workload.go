@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/text"
+)
+
+// ExpansionQuery is one entity-set-expansion task: given the seeds, an
+// expansion method should recover the held-out members of the hidden
+// concept.
+type ExpansionQuery struct {
+	Concept  string
+	Seeds    []rdf.TermID
+	Relevant map[rdf.TermID]bool
+}
+
+// ExpansionWorkload derives expansion queries from the graph's category
+// system: each query picks a category whose size lies in [minSize,
+// maxSize], samples numSeeds members as the query and holds out the rest
+// as the relevance set. Categories are the hidden concepts — precisely
+// the evaluation protocol of the paper's refs [1][6]. Generation is
+// deterministic for a given rng.
+func ExpansionWorkload(g *kg.Graph, rng *rand.Rand, numQueries, numSeeds, minSize, maxSize int) []ExpansionQuery {
+	var eligible []rdf.TermID
+	for _, c := range g.Categories() {
+		n := len(g.CategoryMembers(c))
+		if n >= minSize && n <= maxSize && n > numSeeds {
+			eligible = append(eligible, c)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
+	var out []ExpansionQuery
+	for len(out) < numQueries && len(eligible) > 0 {
+		c := eligible[rng.Intn(len(eligible))]
+		members := g.CategoryMembers(c)
+		perm := rng.Perm(len(members))
+		seeds := make([]rdf.TermID, numSeeds)
+		for i := 0; i < numSeeds; i++ {
+			seeds[i] = members[perm[i]]
+		}
+		relevant := make(map[rdf.TermID]bool, len(members)-numSeeds)
+		for _, idx := range perm[numSeeds:] {
+			relevant[members[idx]] = true
+		}
+		out = append(out, ExpansionQuery{
+			Concept:  g.Dict().Term(c).LocalName(),
+			Seeds:    seeds,
+			Relevant: relevant,
+		})
+	}
+	return out
+}
+
+// RetrievalQuery is one keyword-search task with its relevant entities.
+type RetrievalQuery struct {
+	Text     string
+	Kind     string // "exact", "partial", "alias", "category-hint"
+	Relevant map[rdf.TermID]bool
+}
+
+// RetrievalWorkload derives known-item keyword queries from entity
+// labels: exact labels, partial labels (one non-stopword token dropped),
+// redirect alias labels (only findable through the similar-entity-names
+// field) and label+category hints. Each query's relevant set is the
+// single target entity. The four kinds are interleaved evenly; each kind
+// samples only from the entities that can express it, so the mix stays
+// stable at every graph scale.
+func RetrievalWorkload(g *kg.Graph, rng *rand.Rand, numQueries int) []RetrievalQuery {
+	var multiToken, withAlias, withCats []rdf.TermID
+	ents := g.Entities()
+	if len(ents) == 0 {
+		return nil
+	}
+	for _, e := range ents {
+		if len(text.Analyze(g.Name(e))) >= 2 {
+			multiToken = append(multiToken, e)
+		}
+		if len(g.SimilarNames(e)) > 0 {
+			withAlias = append(withAlias, e)
+		}
+		if len(g.CategoriesOf(e)) > 0 {
+			withCats = append(withCats, e)
+		}
+	}
+	var out []RetrievalQuery
+	for i := 0; len(out) < numQueries && i < numQueries*4; i++ {
+		rel := func(e rdf.TermID) map[rdf.TermID]bool { return map[rdf.TermID]bool{e: true} }
+		switch i % 4 {
+		case 0:
+			e := ents[rng.Intn(len(ents))]
+			out = append(out, RetrievalQuery{Text: g.Name(e), Kind: "exact", Relevant: rel(e)})
+		case 1:
+			if len(multiToken) == 0 {
+				continue
+			}
+			e := multiToken[rng.Intn(len(multiToken))]
+			toks := text.Analyze(g.Name(e))
+			drop := rng.Intn(len(toks))
+			kept := make([]string, 0, len(toks)-1)
+			for j, t := range toks {
+				if j != drop {
+					kept = append(kept, t)
+				}
+			}
+			out = append(out, RetrievalQuery{Text: strings.Join(kept, " "), Kind: "partial", Relevant: rel(e)})
+		case 2:
+			if len(withAlias) == 0 {
+				continue
+			}
+			e := withAlias[rng.Intn(len(withAlias))]
+			similar := g.SimilarNames(e)
+			out = append(out, RetrievalQuery{Text: similar[rng.Intn(len(similar))], Kind: "alias", Relevant: rel(e)})
+		default:
+			if len(withCats) == 0 {
+				continue
+			}
+			e := withCats[rng.Intn(len(withCats))]
+			cats := g.CategoriesOf(e)
+			hint := g.Name(cats[rng.Intn(len(cats))])
+			hintToks := text.Tokenize(hint)
+			out = append(out, RetrievalQuery{
+				Text:     g.Name(e) + " " + hintToks[0],
+				Kind:     "category-hint",
+				Relevant: rel(e),
+			})
+		}
+	}
+	return out
+}

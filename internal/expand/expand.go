@@ -1,0 +1,447 @@
+// Package expand implements PivotE's entity recommendation (§2.3.2 of the
+// paper): given a query Q of seed entities, candidate entities are ranked
+// by r(e,Q) = Σ_{π∈Φ(Q)} p(π|e) × r(π,Q), where Φ(Q) is the top-K
+// semantic features of the seed set. This is the entity-set-expansion
+// model of the paper's refs [1][6].
+//
+// For the quality experiments the package also implements the classical
+// baselines a full evaluation would compare against: common-neighbour
+// counting, Jaccard neighbourhood similarity, unweighted shared-feature
+// counting, and personalized PageRank (random walk with restart).
+package expand
+
+import (
+	"fmt"
+	"sort"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+// Method selects the expansion model.
+type Method int
+
+const (
+	// MethodPivotE is the paper's SF-based ranking.
+	MethodPivotE Method = iota
+	// MethodCommonNeighbors scores candidates by summed common-neighbour
+	// counts with the seeds.
+	MethodCommonNeighbors
+	// MethodJaccard scores candidates by summed Jaccard similarity of
+	// entity neighbourhoods.
+	MethodJaccard
+	// MethodFeatureCount counts shared top features without weights —
+	// PivotE with both d(π) and the error-tolerant back-off removed.
+	MethodFeatureCount
+	// MethodPPR is personalized PageRank (random walk with restart) from
+	// the seed set over the semantic entity graph.
+	MethodPPR
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodPivotE:
+		return "PivotE-SF"
+	case MethodCommonNeighbors:
+		return "CommonNeighbors"
+	case MethodJaccard:
+		return "Jaccard"
+	case MethodFeatureCount:
+		return "FeatureCount"
+	case MethodPPR:
+		return "PPR"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists every implemented expansion method, PivotE first.
+func Methods() []Method {
+	return []Method{MethodPivotE, MethodCommonNeighbors, MethodJaccard, MethodFeatureCount, MethodPPR}
+}
+
+// Options tune expansion; the zero value means the defaults documented on
+// each field.
+type Options struct {
+	// TopFeatures is K = |Φ(Q)|, the number of ranked features used for
+	// candidate generation and scoring. Default 50.
+	TopFeatures int
+	// SameTypeOnly keeps only candidates sharing a primary type with at
+	// least one seed — PivotE's investigation semantics (the x-axis holds
+	// entities of one type).
+	SameTypeOnly bool
+	// IncludeSeeds keeps the seeds themselves in the ranking; by default
+	// they are removed.
+	IncludeSeeds bool
+	// PPRAlpha is the restart probability (default 0.15) and
+	// PPRIterations the number of power iterations (default 15) for
+	// MethodPPR.
+	PPRAlpha      float64
+	PPRIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopFeatures <= 0 {
+		o.TopFeatures = 50
+	}
+	if o.PPRAlpha <= 0 || o.PPRAlpha >= 1 {
+		o.PPRAlpha = 0.15
+	}
+	if o.PPRIterations <= 0 {
+		o.PPRIterations = 15
+	}
+	return o
+}
+
+// Ranked is one recommended entity.
+type Ranked struct {
+	Entity rdf.TermID
+	Name   string
+	Score  float64
+}
+
+// Expander runs entity set expansion over one graph.
+type Expander struct {
+	en   *semfeat.Engine
+	g    *kg.Graph
+	opts Options
+}
+
+// New returns an expander with the given options over the feature
+// engine's graph.
+func New(en *semfeat.Engine, opts Options) *Expander {
+	return &Expander{en: en, g: en.Graph(), opts: opts.withDefaults()}
+}
+
+// Options returns the effective options.
+func (x *Expander) Options() Options { return x.opts }
+
+// Expand ranks candidates for the seed set with the paper's model and
+// returns the top-k entities along with the ranked feature set Φ(Q) that
+// produced them (for the y-axis and the heat map). k <= 0 returns all.
+func (x *Expander) Expand(seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score) {
+	feats := x.en.Rank(seeds, x.opts.TopFeatures)
+	cands := x.candidates(seeds, feats)
+	ranked := make([]Ranked, 0, len(cands))
+	for _, e := range cands {
+		score := 0.0
+		for _, fs := range feats {
+			p := x.en.Prob(fs.Feature, e)
+			if p > 0 {
+				score += p * fs.R
+			}
+		}
+		if score > 0 {
+			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: score})
+		}
+	}
+	return x.top(ranked, k), feats
+}
+
+// ExpandWith ranks candidates using the selected method. For
+// MethodPivotE it is equivalent to Expand (features discarded).
+func (x *Expander) ExpandWith(method Method, seeds []rdf.TermID, k int) []Ranked {
+	switch method {
+	case MethodPivotE:
+		r, _ := x.Expand(seeds, k)
+		return r
+	case MethodCommonNeighbors:
+		return x.expandNeighbors(seeds, k, false)
+	case MethodJaccard:
+		return x.expandNeighbors(seeds, k, true)
+	case MethodFeatureCount:
+		return x.expandFeatureCount(seeds, k)
+	case MethodPPR:
+		return x.expandPPR(seeds, k)
+	default:
+		panic(fmt.Sprintf("expand: unknown method %d", int(method)))
+	}
+}
+
+// CandidatesOf exposes candidate generation for callers that assemble
+// their own feature sets (the core engine mixes user-pinned feature
+// conditions with seed-derived features): the union of the features'
+// extents, same-type filtered, seeds removed per the options.
+func (x *Expander) CandidatesOf(seeds []rdf.TermID, feats []semfeat.Score) []rdf.TermID {
+	return x.candidates(seeds, feats)
+}
+
+// ScoreCandidates ranks an explicit candidate set against an explicit
+// feature set with the paper's r(e,Q) = Σ p(π|e)·r(π,Q) and returns the
+// top-k.
+func (x *Expander) ScoreCandidates(cands []rdf.TermID, feats []semfeat.Score, k int) []Ranked {
+	ranked := make([]Ranked, 0, len(cands))
+	for _, e := range cands {
+		score := 0.0
+		for _, fs := range feats {
+			p := x.en.Prob(fs.Feature, e)
+			if p > 0 {
+				score += p * fs.R
+			}
+		}
+		if score > 0 {
+			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: score})
+		}
+	}
+	return x.top(ranked, k)
+}
+
+// candidates unions the extents of the ranked features, applies the
+// same-type filter and removes seeds.
+func (x *Expander) candidates(seeds []rdf.TermID, feats []semfeat.Score) []rdf.TermID {
+	seedSet := map[rdf.TermID]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	var seedTypes map[rdf.TermID]bool
+	if x.opts.SameTypeOnly {
+		seedTypes = map[rdf.TermID]bool{}
+		for _, s := range seeds {
+			if t := x.g.PrimaryType(s); t != rdf.NoTerm {
+				seedTypes[t] = true
+			}
+		}
+	}
+	seen := map[rdf.TermID]bool{}
+	var out []rdf.TermID
+	admit := func(e rdf.TermID) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		if !x.opts.IncludeSeeds && seedSet[e] {
+			return
+		}
+		if seedTypes != nil && !seedTypes[x.g.PrimaryType(e)] {
+			return
+		}
+		out = append(out, e)
+	}
+	for _, fs := range feats {
+		for _, e := range x.en.Extent(fs.Feature) {
+			admit(e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expandFeatureCount scores candidates by the number of top features they
+// hold, unweighted and strict.
+func (x *Expander) expandFeatureCount(seeds []rdf.TermID, k int) []Ranked {
+	feats := x.en.Rank(seeds, x.opts.TopFeatures)
+	cands := x.candidates(seeds, feats)
+	ranked := make([]Ranked, 0, len(cands))
+	for _, e := range cands {
+		n := 0
+		for _, fs := range feats {
+			if x.en.Holds(e, fs.Feature) {
+				n++
+			}
+		}
+		if n > 0 {
+			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: float64(n)})
+		}
+	}
+	return x.top(ranked, k)
+}
+
+// neighborSet returns the semantic entity neighbourhood of e.
+func (x *Expander) neighborSet(e rdf.TermID) map[rdf.TermID]bool {
+	set := map[rdf.TermID]bool{}
+	voc := x.g.Voc()
+	for _, edge := range x.g.Store().Out(e) {
+		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) {
+			set[edge.Node] = true
+		}
+	}
+	for _, edge := range x.g.Store().In(e) {
+		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) {
+			set[edge.Node] = true
+		}
+	}
+	return set
+}
+
+// expandNeighbors implements the common-neighbour and Jaccard baselines.
+// Candidates are entities at distance 2 from a seed (sharing at least one
+// neighbour).
+func (x *Expander) expandNeighbors(seeds []rdf.TermID, k int, jaccard bool) []Ranked {
+	seedSet := map[rdf.TermID]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	seedNbrs := make([]map[rdf.TermID]bool, len(seeds))
+	candSet := map[rdf.TermID]bool{}
+	for i, s := range seeds {
+		seedNbrs[i] = x.neighborSet(s)
+		for n := range seedNbrs[i] {
+			for c := range x.neighborSet(n) {
+				if !seedSet[c] || x.opts.IncludeSeeds {
+					candSet[c] = true
+				}
+			}
+		}
+	}
+	var seedTypes map[rdf.TermID]bool
+	if x.opts.SameTypeOnly {
+		seedTypes = map[rdf.TermID]bool{}
+		for _, s := range seeds {
+			if t := x.g.PrimaryType(s); t != rdf.NoTerm {
+				seedTypes[t] = true
+			}
+		}
+	}
+	cands := make([]rdf.TermID, 0, len(candSet))
+	for c := range candSet {
+		if !x.opts.IncludeSeeds && seedSet[c] {
+			continue
+		}
+		if seedTypes != nil && !seedTypes[x.g.PrimaryType(c)] {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	ranked := make([]Ranked, 0, len(cands))
+	for _, c := range cands {
+		cn := x.neighborSet(c)
+		score := 0.0
+		for i := range seeds {
+			inter := 0
+			for n := range cn {
+				if seedNbrs[i][n] {
+					inter++
+				}
+			}
+			if jaccard {
+				union := len(cn) + len(seedNbrs[i]) - inter
+				if union > 0 {
+					score += float64(inter) / float64(union)
+				}
+			} else {
+				score += float64(inter)
+			}
+		}
+		if score > 0 {
+			ranked = append(ranked, Ranked{Entity: c, Name: x.g.Name(c), Score: score})
+		}
+	}
+	return x.top(ranked, k)
+}
+
+// expandPPR runs a power-iteration personalized PageRank from the seeds
+// over the semantic entity graph (edges treated as bidirectional, uniform
+// transition probabilities).
+func (x *Expander) expandPPR(seeds []rdf.TermID, k int) []Ranked {
+	if len(seeds) == 0 {
+		return nil
+	}
+	alpha := x.opts.PPRAlpha
+	restart := map[rdf.TermID]float64{}
+	for _, s := range seeds {
+		restart[s] += 1.0 / float64(len(seeds))
+	}
+	p := map[rdf.TermID]float64{}
+	for s, v := range restart {
+		p[s] = v
+	}
+	// Neighbour lists are recomputed per iteration frontier but memoized
+	// across iterations: the frontier stabilizes quickly.
+	nbrCache := map[rdf.TermID][]rdf.TermID{}
+	neighbors := func(e rdf.TermID) []rdf.TermID {
+		if ns, ok := nbrCache[e]; ok {
+			return ns
+		}
+		set := x.neighborSet(e)
+		ns := make([]rdf.TermID, 0, len(set))
+		for n := range set {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		nbrCache[e] = ns
+		return ns
+	}
+	// Accumulation follows sorted node order so floating-point sums are
+	// identical across runs (map iteration order is randomized in Go).
+	sortedNodes := func(m map[rdf.TermID]float64) []rdf.TermID {
+		out := make([]rdf.TermID, 0, len(m))
+		for e := range m {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	restartNodes := sortedNodes(restart)
+	const prune = 1e-9
+	for it := 0; it < x.opts.PPRIterations; it++ {
+		next := map[rdf.TermID]float64{}
+		for _, s := range restartNodes {
+			next[s] += alpha * restart[s]
+		}
+		for _, e := range sortedNodes(p) {
+			mass := p[e]
+			ns := neighbors(e)
+			if len(ns) == 0 {
+				// Dangling mass restarts.
+				for _, s := range restartNodes {
+					next[s] += (1 - alpha) * mass * restart[s]
+				}
+				continue
+			}
+			share := (1 - alpha) * mass / float64(len(ns))
+			for _, n := range ns {
+				next[n] += share
+			}
+		}
+		for e, v := range next {
+			if v < prune {
+				delete(next, e)
+			}
+		}
+		p = next
+	}
+	seedSet := map[rdf.TermID]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	var seedTypes map[rdf.TermID]bool
+	if x.opts.SameTypeOnly {
+		seedTypes = map[rdf.TermID]bool{}
+		for _, s := range seeds {
+			if t := x.g.PrimaryType(s); t != rdf.NoTerm {
+				seedTypes[t] = true
+			}
+		}
+	}
+	ranked := make([]Ranked, 0, len(p))
+	for e, v := range p {
+		if !x.opts.IncludeSeeds && seedSet[e] {
+			continue
+		}
+		if !x.g.IsEntity(e) {
+			continue
+		}
+		if seedTypes != nil && !seedTypes[x.g.PrimaryType(e)] {
+			continue
+		}
+		ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: v})
+	}
+	return x.top(ranked, k)
+}
+
+// top sorts descending by score (ties by entity ID) and truncates to k.
+func (x *Expander) top(ranked []Ranked, k int) []Ranked {
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Entity < ranked[j].Entity
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}

@@ -1,0 +1,298 @@
+package expand
+
+import (
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+func newExpander(t testing.TB, opts Options) (*Expander, *kgtest.Fixture) {
+	t.Helper()
+	f := kgtest.Build()
+	return New(semfeat.NewEngine(f.Graph), opts), f
+}
+
+func names(rs []Ranked) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func TestExpandFindsSimilarFilms(t *testing.T) {
+	// "Find films similar to Forrest Gump": Tom Hanks films sharing the
+	// director or cast must dominate; the Leonardo DiCaprio films must
+	// rank below them or be absent.
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked, feats := x.Expand([]rdf.TermID{f.E("Forrest_Gump")}, 0)
+	if len(ranked) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if len(feats) == 0 {
+		t.Fatal("no features returned")
+	}
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i + 1
+	}
+	for _, want := range []string{"Cast Away", "Apollo 13"} {
+		p, ok := pos[want]
+		if !ok {
+			t.Fatalf("%s missing from recommendations: %v", want, names(ranked))
+		}
+		if incep, ok := pos["Inception"]; ok && incep < p {
+			t.Fatalf("Inception (%d) outranked %s (%d)", incep, want, p)
+		}
+	}
+}
+
+func TestExpandExcludesSeedsByDefault(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked, _ := x.Expand([]rdf.TermID{f.E("Forrest_Gump")}, 0)
+	for _, r := range ranked {
+		if r.Entity == f.E("Forrest_Gump") {
+			t.Fatal("seed appeared in results")
+		}
+	}
+	x2, f2 := newExpander(t, Options{SameTypeOnly: true, IncludeSeeds: true})
+	ranked2, _ := x2.Expand([]rdf.TermID{f2.E("Forrest_Gump")}, 0)
+	found := false
+	for _, r := range ranked2 {
+		if r.Entity == f2.E("Forrest_Gump") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("IncludeSeeds did not keep the seed")
+	}
+}
+
+func TestExpandSameTypeFilter(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked, _ := x.Expand([]rdf.TermID{f.E("Forrest_Gump")}, 0)
+	film := f.E("Film")
+	for _, r := range ranked {
+		if got := x.g.PrimaryType(r.Entity); got != film {
+			t.Fatalf("%s has primary type %s, want Film", r.Name, x.g.Name(got))
+		}
+	}
+	// Without the filter, people (e.g. co-stars via ~starring features)
+	// may appear.
+	x2, f2 := newExpander(t, Options{SameTypeOnly: false})
+	ranked2, _ := x2.Expand([]rdf.TermID{f2.E("Forrest_Gump")}, 0)
+	if len(ranked2) < len(ranked) {
+		t.Fatalf("unfiltered expansion smaller than filtered: %d < %d", len(ranked2), len(ranked))
+	}
+}
+
+func TestExpandTwoSeedsSharpensRanking(t *testing.T) {
+	// Seeds {Forrest_Gump, Apollo_13} share Gary Sinise and Tom Hanks;
+	// their strongest co-member should be a Hanks film.
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked, _ := x.Expand([]rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}, 3)
+	if len(ranked) == 0 {
+		t.Fatal("no recommendations")
+	}
+	hanksFilms := map[string]bool{
+		"Cast Away": true, "The Green Mile": true, "Philadelphia": true,
+		"Saving Private Ryan": true,
+	}
+	if !hanksFilms[ranked[0].Name] {
+		t.Fatalf("top recommendation = %s, want a Tom Hanks film", ranked[0].Name)
+	}
+}
+
+func TestExpandTopKBound(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked, _ := x.Expand([]rdf.TermID{f.E("Forrest_Gump")}, 2)
+	if len(ranked) > 2 {
+		t.Fatalf("k=2 returned %d", len(ranked))
+	}
+}
+
+func TestExpandScoresNonIncreasing(t *testing.T) {
+	x, f := newExpander(t, Options{})
+	ranked, _ := x.Expand([]rdf.TermID{f.E("Forrest_Gump"), f.E("Cast_Away")}, 0)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatalf("scores increase at %d", i)
+		}
+	}
+}
+
+func TestExpandEmptySeeds(t *testing.T) {
+	x, _ := newExpander(t, Options{})
+	ranked, feats := x.Expand(nil, 5)
+	if len(ranked) != 0 || len(feats) != 0 {
+		t.Fatalf("empty seeds produced %d ranked, %d feats", len(ranked), len(feats))
+	}
+}
+
+func TestAllMethodsReturnFilms(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	for _, m := range Methods() {
+		ranked := x.ExpandWith(m, seeds, 5)
+		if len(ranked) == 0 {
+			t.Fatalf("%v returned nothing", m)
+		}
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i].Score > ranked[i-1].Score {
+				t.Fatalf("%v scores not sorted", m)
+			}
+		}
+		for _, r := range ranked {
+			if r.Entity == seeds[0] || r.Entity == seeds[1] {
+				t.Fatalf("%v leaked a seed", m)
+			}
+		}
+	}
+}
+
+func TestCommonNeighborsFindsCoStarFilms(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked := x.ExpandWith(MethodCommonNeighbors, []rdf.TermID{f.E("Forrest_Gump")}, 0)
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i + 1
+	}
+	// Cast Away shares Tom Hanks AND Robert Zemeckis with the seed (2
+	// common neighbours); Philadelphia shares only Tom Hanks.
+	ca, okCA := pos["Cast Away"]
+	ph, okPH := pos["Philadelphia"]
+	if !okCA || !okPH {
+		t.Fatalf("expected films missing: %v", names(ranked))
+	}
+	if ca > ph {
+		t.Fatalf("Cast Away (%d) should outrank Philadelphia (%d)", ca, ph)
+	}
+}
+
+func TestJaccardNormalizesDegree(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked := x.ExpandWith(MethodJaccard, []rdf.TermID{f.E("Forrest_Gump")}, 0)
+	if len(ranked) == 0 {
+		t.Fatal("Jaccard returned nothing")
+	}
+	for _, r := range ranked {
+		if r.Score <= 0 || r.Score > float64(len(ranked))+1 {
+			t.Fatalf("implausible Jaccard score %f for %s", r.Score, r.Name)
+		}
+	}
+}
+
+func TestFeatureCountIsIntegerScores(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked := x.ExpandWith(MethodFeatureCount, []rdf.TermID{f.E("Forrest_Gump")}, 0)
+	for _, r := range ranked {
+		if r.Score != float64(int(r.Score)) {
+			t.Fatalf("FeatureCount score %f not integral", r.Score)
+		}
+	}
+}
+
+func TestPPRMassBounded(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: false, IncludeSeeds: true})
+	ranked := x.ExpandWith(MethodPPR, []rdf.TermID{f.E("Forrest_Gump")}, 0)
+	total := 0.0
+	for _, r := range ranked {
+		if r.Score < 0 {
+			t.Fatalf("negative PPR mass for %s", r.Name)
+		}
+		total += r.Score
+	}
+	if total > 1.0+1e-9 {
+		t.Fatalf("PPR mass %f exceeds 1", total)
+	}
+	if total < 0.5 {
+		t.Fatalf("PPR mass %f implausibly low", total)
+	}
+}
+
+func TestPPRSeedNeighborsScoreHigh(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	ranked := x.ExpandWith(MethodPPR, []rdf.TermID{f.E("Forrest_Gump")}, 3)
+	if len(ranked) == 0 {
+		t.Fatal("PPR returned nothing")
+	}
+	// The top film should be one connected to Forrest Gump through
+	// shared people (any Hanks/Zemeckis film qualifies).
+	connected := map[string]bool{
+		"Cast Away": true, "Apollo 13": true, "The Green Mile": true,
+		"Philadelphia": true, "Saving Private Ryan": true,
+	}
+	if !connected[ranked[0].Name] {
+		t.Fatalf("PPR top film = %s, want a connected film", ranked[0].Name)
+	}
+}
+
+func TestUnknownMethodPanics(t *testing.T) {
+	x, f := newExpander(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown method did not panic")
+		}
+	}()
+	x.ExpandWith(Method(77), []rdf.TermID{f.E("Forrest_Gump")}, 1)
+}
+
+func TestMethodString(t *testing.T) {
+	want := map[Method]string{
+		MethodPivotE:          "PivotE-SF",
+		MethodCommonNeighbors: "CommonNeighbors",
+		MethodJaccard:         "Jaccard",
+		MethodFeatureCount:    "FeatureCount",
+		MethodPPR:             "PPR",
+		Method(9):             "Method(9)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("Method(%d).String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.TopFeatures != 50 || o.PPRAlpha != 0.15 || o.PPRIterations != 15 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := Options{TopFeatures: 7, PPRAlpha: 0.3, PPRIterations: 5}.withDefaults()
+	if o2.TopFeatures != 7 || o2.PPRAlpha != 0.3 || o2.PPRIterations != 5 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	x, f := newExpander(t, Options{SameTypeOnly: true})
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	for _, m := range Methods() {
+		a := x.ExpandWith(m, seeds, 10)
+		b := x.ExpandWith(m, seeds, 10)
+		if len(a) != len(b) {
+			t.Fatalf("%v nondeterministic count", m)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v nondeterministic at %d: %v vs %v", m, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func BenchmarkExpandPivotE(b *testing.B) {
+	f := kgtest.Build()
+	x := New(semfeat.NewEngine(f.Graph), Options{SameTypeOnly: true})
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := x.Expand(seeds, 10)
+		if len(r) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package heatmap builds and renders PivotE's explanation area (Fig. 3-f
+// of the paper): a matrix whose columns are the recommended entities
+// (x-axis), whose rows are the recommended semantic features (y-axis) and
+// whose cells visualize the semantic correlation p(π|e)·r(π,Q), divided
+// into seven levels exactly as §2.3.2 describes ("the darker the color,
+// the stronger the semantic correlation").
+package heatmap
+
+import (
+	"sort"
+
+	"pivote/internal/expand"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+// Levels is the number of correlation levels (0 = no correlation,
+// Levels-1 = strongest).
+const Levels = 7
+
+// EntityAxis is one column of the matrix.
+type EntityAxis struct {
+	ID    rdf.TermID `json:"id"`
+	Name  string     `json:"name"`
+	Score float64    `json:"score"`
+}
+
+// FeatureAxis is one row of the matrix.
+type FeatureAxis struct {
+	Feature semfeat.Feature `json:"-"`
+	Label   string          `json:"label"`
+	R       float64         `json:"r"`
+}
+
+// Matrix is the built heat map. Values and Level are indexed
+// [row=feature][col=entity].
+type Matrix struct {
+	Entities []EntityAxis  `json:"entities"`
+	Features []FeatureAxis `json:"features"`
+	Values   [][]float64   `json:"values"`
+	Level    [][]int       `json:"level"`
+}
+
+// Quantization selects how cell values map to the seven levels.
+type Quantization int
+
+const (
+	// QuantileLevels splits the non-zero cells at value quantiles so
+	// every shade is populated whenever enough distinct values exist —
+	// the default, because r(π,Q) is heavy-tailed.
+	QuantileLevels Quantization = iota
+	// LinearLevels splits the [0, max] value range evenly — the naive
+	// alternative, kept for the A4 ablation; it collapses most cells
+	// into the bottom shades.
+	LinearLevels
+)
+
+// Build computes the correlation matrix for the recommended entities and
+// features with the default quantile quantization. Cell (π, e) holds
+// p(π|e)·r(π,Q).
+func Build(en *semfeat.Engine, entities []expand.Ranked, features []semfeat.Score) *Matrix {
+	return BuildWith(en, entities, features, QuantileLevels)
+}
+
+// BuildWith is Build with an explicit quantization mode.
+func BuildWith(en *semfeat.Engine, entities []expand.Ranked, features []semfeat.Score, q Quantization) *Matrix {
+	m := &Matrix{}
+	for _, e := range entities {
+		m.Entities = append(m.Entities, EntityAxis{ID: e.Entity, Name: e.Name, Score: e.Score})
+	}
+	for _, f := range features {
+		m.Features = append(m.Features, FeatureAxis{Feature: f.Feature, Label: f.Label, R: f.R})
+	}
+	m.Values = make([][]float64, len(m.Features))
+	var nonzero []float64
+	for i, f := range features {
+		row := make([]float64, len(entities))
+		for j, e := range entities {
+			v := en.Prob(f.Feature, e.Entity) * f.R
+			row[j] = v
+			if v > 0 {
+				nonzero = append(nonzero, v)
+			}
+		}
+		m.Values[i] = row
+	}
+	m.quantize(nonzero, q)
+	return m
+}
+
+// quantize assigns levels 1..6 to the non-zero cells and level 0 to zero
+// cells.
+func (m *Matrix) quantize(nonzero []float64, q Quantization) {
+	sort.Float64s(nonzero)
+	thresholds := make([]float64, 0, Levels-2)
+	if n := len(nonzero); n > 0 {
+		switch q {
+		case LinearLevels:
+			maxV := nonzero[n-1]
+			for i := 1; i <= Levels-2; i++ {
+				thresholds = append(thresholds, maxV*float64(i)/float64(Levels-1))
+			}
+		default:
+			for i := 1; i <= Levels-2; i++ {
+				idx := i * n / (Levels - 1)
+				if idx >= n {
+					idx = n - 1
+				}
+				thresholds = append(thresholds, nonzero[idx])
+			}
+		}
+	}
+	m.Level = make([][]int, len(m.Values))
+	for i, row := range m.Values {
+		lv := make([]int, len(row))
+		for j, v := range row {
+			lv[j] = levelOf(v, thresholds)
+		}
+		m.Level[i] = lv
+	}
+}
+
+// PopulatedLevels counts how many of the seven levels occur in the
+// matrix — the quality measure of a quantization (more populated shades
+// = more visual discrimination).
+func (m *Matrix) PopulatedLevels() int {
+	seen := [Levels]bool{}
+	for _, row := range m.Level {
+		for _, l := range row {
+			seen[l] = true
+		}
+	}
+	n := 0
+	for _, s := range seen {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+func levelOf(v float64, thresholds []float64) int {
+	if v <= 0 {
+		return 0
+	}
+	level := 1
+	for _, t := range thresholds {
+		if v > t {
+			level++
+		}
+	}
+	return level
+}
+
+// MaxLevel returns the largest level present in the matrix.
+func (m *Matrix) MaxLevel() int {
+	maxL := 0
+	for _, row := range m.Level {
+		for _, l := range row {
+			if l > maxL {
+				maxL = l
+			}
+		}
+	}
+	return maxL
+}
+
+// CellExplanation describes why entity column j correlates with feature
+// row i — the hover text of the explanation area ("both performed by Tom
+// Hanks and Gary Sinise" in the paper's example).
+func (m *Matrix) CellExplanation(en *semfeat.Engine, i, j int) string {
+	f := m.Features[i]
+	e := m.Entities[j]
+	switch {
+	case m.Values[i][j] == 0:
+		return e.Name + " has no correlation with " + f.Label
+	case en.Holds(e.ID, f.Feature):
+		return e.Name + " matches " + f.Label
+	default:
+		return e.Name + " is related to " + f.Label + " through its category"
+	}
+}

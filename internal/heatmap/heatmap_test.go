@@ -1,0 +1,217 @@
+package heatmap
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pivote/internal/expand"
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+func buildMatrix(t testing.TB, seeds ...string) (*Matrix, *semfeat.Engine, *kgtest.Fixture) {
+	t.Helper()
+	f := kgtest.Build()
+	en := semfeat.NewEngine(f.Graph)
+	x := expand.New(en, expand.Options{SameTypeOnly: true})
+	ids := make([]rdf.TermID, len(seeds))
+	for i, s := range seeds {
+		ids[i] = f.E(s)
+	}
+	ranked, feats := x.Expand(ids, 8)
+	if len(ranked) == 0 || len(feats) == 0 {
+		t.Fatal("expansion produced nothing to plot")
+	}
+	return Build(en, ranked, feats), en, f
+}
+
+func TestBuildShape(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump")
+	if len(m.Values) != len(m.Features) {
+		t.Fatalf("rows = %d, features = %d", len(m.Values), len(m.Features))
+	}
+	for i, row := range m.Values {
+		if len(row) != len(m.Entities) {
+			t.Fatalf("row %d has %d cols, want %d", i, len(row), len(m.Entities))
+		}
+		if len(m.Level[i]) != len(m.Entities) {
+			t.Fatal("Level shape mismatch")
+		}
+	}
+}
+
+func TestLevelsWithinRange(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump", "Apollo_13")
+	for i, row := range m.Level {
+		for j, l := range row {
+			if l < 0 || l >= Levels {
+				t.Fatalf("cell (%d,%d) level %d out of [0,%d)", i, j, l, Levels)
+			}
+			if (m.Values[i][j] == 0) != (l == 0) {
+				t.Fatalf("cell (%d,%d): value %f but level %d", i, j, m.Values[i][j], l)
+			}
+		}
+	}
+}
+
+func TestLevelMonotoneInValue(t *testing.T) {
+	// Within the matrix, a strictly greater value must never get a lower
+	// level.
+	m, _, _ := buildMatrix(t, "Forrest_Gump", "Apollo_13")
+	type cell struct {
+		v float64
+		l int
+	}
+	var cells []cell
+	for i := range m.Values {
+		for j := range m.Values[i] {
+			cells = append(cells, cell{m.Values[i][j], m.Level[i][j]})
+		}
+	}
+	for _, a := range cells {
+		for _, b := range cells {
+			if a.v > b.v && a.l < b.l {
+				t.Fatalf("value %f got level %d but smaller %f got %d", a.v, a.l, b.v, b.l)
+			}
+		}
+	}
+}
+
+func TestMemberCellStrongerThanBackoff(t *testing.T) {
+	// A film that actually stars Tom Hanks must have a higher
+	// Tom_Hanks:starring cell than a film that only backs off through
+	// categories.
+	m, en, f := buildMatrix(t, "Forrest_Gump", "Apollo_13")
+	row := -1
+	for i, ft := range m.Features {
+		if ft.Label == "Tom_Hanks:starring" {
+			row = i
+		}
+	}
+	if row < 0 {
+		t.Fatal("Tom_Hanks:starring row missing")
+	}
+	var member, backoff float64 = -1, -1
+	for j, e := range m.Entities {
+		if en.Holds(e.ID, m.Features[row].Feature) {
+			member = m.Values[row][j]
+		} else if m.Values[row][j] > 0 {
+			backoff = m.Values[row][j]
+		}
+	}
+	_ = f
+	if member < 0 {
+		t.Fatal("no member film in the matrix")
+	}
+	if backoff >= 0 && member <= backoff {
+		t.Fatalf("member cell %f not stronger than back-off cell %f", member, backoff)
+	}
+}
+
+func TestQuantizationPopulatesMultipleLevels(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump", "Apollo_13")
+	if m.MaxLevel() < 3 {
+		t.Fatalf("quantile quantization produced max level %d; expected a spread", m.MaxLevel())
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump")
+	out := m.ASCII()
+	for _, want := range []string{"columns:", "levels:", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Every entity must be listed in the legend.
+	for _, e := range m.Entities {
+		if !strings.Contains(out, e.Name) {
+			t.Fatalf("legend missing %s", e.Name)
+		}
+	}
+}
+
+func TestSVGRender(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump")
+	svg := m.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if got := strings.Count(svg, "<rect"); got != len(m.Entities)*len(m.Features) {
+		t.Fatalf("SVG has %d rects, want %d", got, len(m.Entities)*len(m.Features))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, _, _ := buildMatrix(t, "Forrest_Gump")
+	raw, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Matrix
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Entities) != len(m.Entities) || len(decoded.Values) != len(m.Values) {
+		t.Fatal("JSON round trip lost shape")
+	}
+}
+
+func TestCellExplanation(t *testing.T) {
+	m, en, _ := buildMatrix(t, "Forrest_Gump", "Apollo_13")
+	foundMatch, foundBackoff := false, false
+	for i := range m.Features {
+		for j := range m.Entities {
+			ex := m.CellExplanation(en, i, j)
+			switch {
+			case strings.Contains(ex, "matches"):
+				foundMatch = true
+			case strings.Contains(ex, "through its category"):
+				foundBackoff = true
+			case strings.Contains(ex, "no correlation"):
+			default:
+				t.Fatalf("unexpected explanation %q", ex)
+			}
+		}
+	}
+	if !foundMatch || !foundBackoff {
+		t.Fatalf("explanations incomplete: match=%v backoff=%v", foundMatch, foundBackoff)
+	}
+}
+
+func TestQuantileBeatsLinearQuantization(t *testing.T) {
+	// The heavy-tailed cell values leave linear splits with few
+	// populated shades; quantile splits must populate at least as many.
+	f := kgtest.Build()
+	en := semfeat.NewEngine(f.Graph)
+	x := expand.New(en, expand.Options{SameTypeOnly: true})
+	ranked, feats := x.Expand([]rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}, 8)
+	quantile := BuildWith(en, ranked, feats, QuantileLevels)
+	linear := BuildWith(en, ranked, feats, LinearLevels)
+	if quantile.PopulatedLevels() < linear.PopulatedLevels() {
+		t.Fatalf("quantile populates %d levels, linear %d",
+			quantile.PopulatedLevels(), linear.PopulatedLevels())
+	}
+	// Values are identical across modes; only levels differ.
+	for i := range quantile.Values {
+		for j := range quantile.Values[i] {
+			if quantile.Values[i][j] != linear.Values[i][j] {
+				t.Fatal("quantization changed values")
+			}
+		}
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	f := kgtest.Build()
+	en := semfeat.NewEngine(f.Graph)
+	m := Build(en, nil, nil)
+	if len(m.Values) != 0 || m.MaxLevel() != 0 {
+		t.Fatal("empty build not empty")
+	}
+	if out := m.ASCII(); out == "" {
+		t.Fatal("empty matrix should still render headers")
+	}
+}

@@ -1,0 +1,88 @@
+package heatmap
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pivote/internal/viz"
+)
+
+// shades maps levels 0..6 to ASCII density glyphs.
+var shades = [Levels]rune{' ', '·', ':', '-', '=', '#', '@'}
+
+// colors maps levels 0..6 to an SVG blue ramp (light → dark), matching
+// the paper's "darker means stronger".
+var colors = [Levels]string{
+	"#f7fbff", "#deebf7", "#c6dbef", "#9ecae1", "#6baed6", "#3182bd", "#08519c",
+}
+
+// ASCII renders the matrix as a fixed-width text grid: one row per
+// feature (label left), one column per entity (header rotated into
+// numbered columns with a legend below).
+func (m *Matrix) ASCII() string {
+	var b strings.Builder
+	labelW := 0
+	for _, f := range m.Features {
+		if len(f.Label) > labelW {
+			labelW = len(f.Label)
+		}
+	}
+	if labelW > 40 {
+		labelW = 40
+	}
+	// Header: column numbers.
+	fmt.Fprintf(&b, "%*s |", labelW, "")
+	for j := range m.Entities {
+		fmt.Fprintf(&b, "%2d", j+1)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%s-+%s\n", strings.Repeat("-", labelW), strings.Repeat("--", len(m.Entities)))
+	for i, f := range m.Features {
+		fmt.Fprintf(&b, "%*s |", labelW, viz.Truncate(f.Label, labelW))
+		for j := range m.Entities {
+			b.WriteString(" ")
+			b.WriteRune(shades[m.Level[i][j]])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\ncolumns:\n")
+	for j, e := range m.Entities {
+		fmt.Fprintf(&b, "  %2d: %s\n", j+1, e.Name)
+	}
+	fmt.Fprintf(&b, "levels: 0..%d rendered as %q\n", Levels-1, string(shades[:]))
+	return b.String()
+}
+
+// SVG renders the matrix as a colored grid with entity names on top
+// (rotated) and feature labels on the left.
+func (m *Matrix) SVG() string {
+	const (
+		cell    = 18.0
+		leftPad = 260.0
+		topPad  = 120.0
+	)
+	w := int(leftPad + float64(len(m.Entities))*cell + 20)
+	h := int(topPad + float64(len(m.Features))*cell + 20)
+	s := viz.NewSVG(w, h)
+	for j, e := range m.Entities {
+		x := leftPad + float64(j)*cell + cell/2
+		s.TextRotated(x, topPad-6, 10, -60, viz.Truncate(e.Name, 24))
+	}
+	for i, f := range m.Features {
+		y := topPad + float64(i)*cell + cell*0.7
+		s.Text(leftPad-6, y, 10, "end", viz.Truncate(f.Label, 36))
+	}
+	for i := range m.Features {
+		for j := range m.Entities {
+			s.Rect(leftPad+float64(j)*cell, topPad+float64(i)*cell, cell-1, cell-1,
+				colors[m.Level[i][j]], "#ffffff")
+		}
+	}
+	return s.String()
+}
+
+// JSON renders the matrix for the web UI.
+func (m *Matrix) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}

@@ -1,0 +1,196 @@
+// Package index implements the fielded inverted index behind PivotE's
+// search engine. Each entity becomes one document with the paper's five
+// fields (Table 1): names, attributes, categories, similar-entity names
+// and related-entity names. The index stores per-field postings with term
+// frequencies, per-field document lengths, and per-field collection
+// language models — exactly the statistics the mixture-of-language-models
+// retrieval model consumes.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"pivote/internal/rdf"
+)
+
+// Field enumerates the five fields of the entity representation.
+type Field int
+
+const (
+	FieldNames Field = iota
+	FieldAttributes
+	FieldCategories
+	FieldSimilar
+	FieldRelated
+	// NumFields is the number of fields; valid fields are < NumFields.
+	NumFields
+)
+
+var fieldNames = [NumFields]string{
+	"names", "attributes", "categories", "similar entity names", "related entity names",
+}
+
+func (f Field) String() string {
+	if f < 0 || f >= NumFields {
+		return fmt.Sprintf("Field(%d)", int(f))
+	}
+	return fieldNames[f]
+}
+
+// Posting records a term occurrence: document ordinal and term frequency.
+type Posting struct {
+	Doc int
+	TF  int32
+}
+
+// fieldIndex holds the statistics of one field across the collection.
+type fieldIndex struct {
+	postings map[string][]Posting
+	docLen   []int32
+	totalLen int64
+	collTF   map[string]int64
+}
+
+// Index is an immutable fielded inverted index. Build one with a Builder.
+type Index struct {
+	fields   [NumFields]fieldIndex
+	entities []rdf.TermID       // doc ordinal → entity
+	docOf    map[rdf.TermID]int // entity → doc ordinal
+}
+
+// Builder accumulates documents and produces an Index.
+type Builder struct {
+	idx *Index
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	idx := &Index{docOf: map[rdf.TermID]int{}}
+	for f := range idx.fields {
+		idx.fields[f].postings = map[string][]Posting{}
+		idx.fields[f].collTF = map[string]int64{}
+	}
+	return &Builder{idx: idx}
+}
+
+// Add indexes one entity document given its per-field token streams.
+// Adding the same entity twice is a bug and panics.
+func (b *Builder) Add(entity rdf.TermID, tokens [NumFields][]string) {
+	idx := b.idx
+	if _, dup := idx.docOf[entity]; dup {
+		panic(fmt.Sprintf("index: entity %d added twice", entity))
+	}
+	doc := len(idx.entities)
+	idx.entities = append(idx.entities, entity)
+	idx.docOf[entity] = doc
+	for f := Field(0); f < NumFields; f++ {
+		fi := &idx.fields[f]
+		toks := tokens[f]
+		fi.docLen = append(fi.docLen, int32(len(toks)))
+		fi.totalLen += int64(len(toks))
+		if len(toks) == 0 {
+			continue
+		}
+		tf := map[string]int32{}
+		for _, t := range toks {
+			tf[t]++
+			fi.collTF[t]++
+		}
+		// Deterministic posting construction: sort the doc's terms.
+		terms := make([]string, 0, len(tf))
+		for t := range tf {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			fi.postings[t] = append(fi.postings[t], Posting{Doc: doc, TF: tf[t]})
+		}
+	}
+}
+
+// Build finalizes and returns the index. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Index {
+	idx := b.idx
+	b.idx = nil
+	return idx
+}
+
+// DocCount reports the number of indexed documents.
+func (x *Index) DocCount() int { return len(x.entities) }
+
+// Entity maps a document ordinal back to its entity ID.
+func (x *Index) Entity(doc int) rdf.TermID { return x.entities[doc] }
+
+// DocOf maps an entity to its document ordinal.
+func (x *Index) DocOf(e rdf.TermID) (int, bool) {
+	d, ok := x.docOf[e]
+	return d, ok
+}
+
+// Postings returns the posting list of term in field f (ascending doc
+// order; shared slice, do not modify).
+func (x *Index) Postings(f Field, term string) []Posting {
+	return x.fields[f].postings[term]
+}
+
+// DocLen reports the token length of field f in document doc.
+func (x *Index) DocLen(f Field, doc int) int { return int(x.fields[f].docLen[doc]) }
+
+// AvgDocLen reports the mean token length of field f across documents.
+func (x *Index) AvgDocLen(f Field) float64 {
+	if len(x.entities) == 0 {
+		return 0
+	}
+	return float64(x.fields[f].totalLen) / float64(len(x.entities))
+}
+
+// CollectionProb returns the collection language model probability
+// p(term | C_f): collection term frequency over total field length. It is
+// 0 for out-of-vocabulary terms.
+func (x *Index) CollectionProb(f Field, term string) float64 {
+	fi := &x.fields[f]
+	if fi.totalLen == 0 {
+		return 0
+	}
+	return float64(fi.collTF[term]) / float64(fi.totalLen)
+}
+
+// DocFreq reports the number of documents containing term in field f.
+func (x *Index) DocFreq(f Field, term string) int {
+	return len(x.fields[f].postings[term])
+}
+
+// TotalLen reports the summed token length of field f.
+func (x *Index) TotalLen(f Field) int64 { return x.fields[f].totalLen }
+
+// CandidateDocs returns the ascending, deduplicated set of documents that
+// contain at least one of the terms in at least one field — the candidate
+// pool every retrieval model scores.
+func (x *Index) CandidateDocs(terms []string) []int {
+	seen := map[int]bool{}
+	for _, t := range terms {
+		for f := Field(0); f < NumFields; f++ {
+			for _, p := range x.fields[f].postings[t] {
+				seen[p.Doc] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TF returns the term frequency of term in (field, doc), 0 if absent.
+func (x *Index) TF(f Field, term string, doc int) int32 {
+	ps := x.fields[f].postings[term]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= doc })
+	if i < len(ps) && ps[i].Doc == doc {
+		return ps[i].TF
+	}
+	return 0
+}

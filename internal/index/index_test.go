@@ -1,0 +1,196 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pivote/internal/rdf"
+)
+
+func buildTestIndex() *Index {
+	b := NewBuilder()
+	var docs = []struct {
+		e      rdf.TermID
+		fields [NumFields][]string
+	}{
+		{1, [NumFields][]string{
+			FieldNames:      {"forrest", "gump"},
+			FieldAttributes: {"142", "minutes", "55", "million", "dollars"},
+			FieldCategories: {"american", "films"},
+			FieldSimilar:    {"geenbow", "gumpian"},
+			FieldRelated:    {"tom", "hanks", "robert", "zemeckis"},
+		}},
+		{2, [NumFields][]string{
+			FieldNames:      {"apollo", "13"},
+			FieldAttributes: {"140", "minutes"},
+			FieldCategories: {"american", "films"},
+			FieldRelated:    {"tom", "hanks", "ron", "howard"},
+		}},
+		{3, [NumFields][]string{
+			FieldNames:   {"tom", "hanks"},
+			FieldRelated: {"forrest", "gump", "apollo", "13"},
+		}},
+	}
+	for _, d := range docs {
+		b.Add(d.e, d.fields)
+	}
+	return b.Build()
+}
+
+func TestIndexBasics(t *testing.T) {
+	x := buildTestIndex()
+	if x.DocCount() != 3 {
+		t.Fatalf("DocCount = %d, want 3", x.DocCount())
+	}
+	if x.Entity(0) != 1 || x.Entity(2) != 3 {
+		t.Fatal("Entity mapping wrong")
+	}
+	if d, ok := x.DocOf(2); !ok || d != 1 {
+		t.Fatalf("DocOf(2) = %d,%v", d, ok)
+	}
+	if _, ok := x.DocOf(99); ok {
+		t.Fatal("DocOf(unknown) reported present")
+	}
+}
+
+func TestPostings(t *testing.T) {
+	x := buildTestIndex()
+	ps := x.Postings(FieldRelated, "tom")
+	if len(ps) != 2 {
+		t.Fatalf("postings for related:tom = %d, want 2", len(ps))
+	}
+	if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc }) {
+		t.Fatal("postings not sorted by doc")
+	}
+	if x.Postings(FieldNames, "zzz") != nil {
+		t.Fatal("postings for absent term should be nil")
+	}
+}
+
+func TestTF(t *testing.T) {
+	x := buildTestIndex()
+	if got := x.TF(FieldNames, "gump", 0); got != 1 {
+		t.Fatalf("TF = %d, want 1", got)
+	}
+	if got := x.TF(FieldNames, "gump", 1); got != 0 {
+		t.Fatalf("TF of absent doc = %d, want 0", got)
+	}
+}
+
+func TestDocLenAndAvg(t *testing.T) {
+	x := buildTestIndex()
+	if got := x.DocLen(FieldAttributes, 0); got != 5 {
+		t.Fatalf("DocLen = %d, want 5", got)
+	}
+	if got := x.DocLen(FieldSimilar, 1); got != 0 {
+		t.Fatalf("DocLen empty field = %d, want 0", got)
+	}
+	want := (2.0 + 2.0 + 2.0) / 3.0
+	if got := x.AvgDocLen(FieldNames); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AvgDocLen = %f, want %f", got, want)
+	}
+}
+
+func TestCollectionProb(t *testing.T) {
+	x := buildTestIndex()
+	// "minutes" occurs twice in attributes; attribute field total = 7.
+	if got, want := x.CollectionProb(FieldAttributes, "minutes"), 2.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CollectionProb = %f, want %f", got, want)
+	}
+	if got := x.CollectionProb(FieldAttributes, "zzz"); got != 0 {
+		t.Fatalf("OOV CollectionProb = %f, want 0", got)
+	}
+	if got := x.CollectionProb(FieldSimilar, "geenbow"); got != 0.5 {
+		t.Fatalf("similar field prob = %f, want 0.5", got)
+	}
+}
+
+func TestDocFreq(t *testing.T) {
+	x := buildTestIndex()
+	if got := x.DocFreq(FieldCategories, "american"); got != 2 {
+		t.Fatalf("DocFreq = %d, want 2", got)
+	}
+}
+
+func TestCandidateDocs(t *testing.T) {
+	x := buildTestIndex()
+	docs := x.CandidateDocs([]string{"gump"})
+	// "gump" appears in doc0 names and doc2 related.
+	if len(docs) != 2 || docs[0] != 0 || docs[1] != 1 {
+		// doc ordinals: entity1→0, entity2→1, entity3→2; gump is in doc0
+		// (names) and doc2 (related).
+		if len(docs) != 2 || docs[0] != 0 || docs[1] != 2 {
+			t.Fatalf("CandidateDocs = %v", docs)
+		}
+	}
+	if got := x.CandidateDocs([]string{"zzz"}); len(got) != 0 {
+		t.Fatalf("CandidateDocs for OOV = %v", got)
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1, [NumFields][]string{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	b.Add(1, [NumFields][]string{})
+}
+
+func TestFieldString(t *testing.T) {
+	if FieldNames.String() != "names" || FieldSimilar.String() != "similar entity names" {
+		t.Fatal("Field.String mismatch")
+	}
+	if Field(99).String() != "Field(99)" {
+		t.Fatal("out-of-range Field.String mismatch")
+	}
+}
+
+func TestIndexInvariantsProperty(t *testing.T) {
+	// For random documents: Σ_t collTF(t) == totalLen, postings doc
+	// ordinals ascend, and TF(term, doc) sums match doc length.
+	f := func(docTokens [][]byte) bool {
+		b := NewBuilder()
+		for i, raw := range docTokens {
+			var fields [NumFields][]string
+			toks := make([]string, 0, len(raw))
+			for _, c := range raw {
+				toks = append(toks, string(rune('a'+c%7)))
+			}
+			fields[FieldNames] = toks
+			b.Add(rdf.TermID(i+1), fields)
+		}
+		x := b.Build()
+		var collSum int64
+		for _, term := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+			ps := x.Postings(FieldNames, term)
+			for i, p := range ps {
+				if i > 0 && ps[i-1].Doc >= p.Doc {
+					return false
+				}
+				collSum += int64(p.TF)
+			}
+		}
+		if collSum != x.TotalLen(FieldNames) {
+			return false
+		}
+		for doc := 0; doc < x.DocCount(); doc++ {
+			var sum int32
+			for _, term := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+				sum += x.TF(FieldNames, term, doc)
+			}
+			if int(sum) != x.DocLen(FieldNames, doc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package kg
+
+import (
+	"sort"
+
+	"pivote/internal/rdf"
+)
+
+// Graph is the entity-centric view over a frozen store. Construction
+// scans the store once to identify the entity, type and category
+// universes; all per-entity accessors afterwards are index lookups.
+type Graph struct {
+	store *rdf.Store
+	voc   Vocab
+
+	entities   []rdf.TermID // sorted: IRIs that have at least one rdf:type
+	types      []rdf.TermID // sorted: objects of rdf:type
+	categories []rdf.TermID // sorted: objects of dct:subject
+}
+
+// NewGraph builds the graph view. The store must already be frozen.
+func NewGraph(st *rdf.Store) *Graph {
+	if !st.Frozen() {
+		panic("kg: store must be frozen before building a Graph")
+	}
+	g := &Graph{store: st, voc: InternVocab(st.Dict())}
+	entSet := map[rdf.TermID]bool{}
+	typeSet := map[rdf.TermID]bool{}
+	catSet := map[rdf.TermID]bool{}
+	for _, s := range st.NodesWithOut() {
+		for _, e := range st.Out(s) {
+			switch e.P {
+			case g.voc.Type:
+				entSet[s] = true
+				typeSet[e.Node] = true
+			case g.voc.Subject:
+				catSet[e.Node] = true
+			}
+		}
+	}
+	g.entities = sortedIDs(entSet)
+	g.types = sortedIDs(typeSet)
+	g.categories = sortedIDs(catSet)
+	return g
+}
+
+func sortedIDs(set map[rdf.TermID]bool) []rdf.TermID {
+	out := make([]rdf.TermID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Store exposes the underlying triple store.
+func (g *Graph) Store() *rdf.Store { return g.store }
+
+// Dict exposes the term dictionary.
+func (g *Graph) Dict() *rdf.Dictionary { return g.store.Dict() }
+
+// Voc exposes the metadata vocabulary.
+func (g *Graph) Voc() Vocab { return g.voc }
+
+// Entities returns the sorted entity universe (shared slice; do not
+// modify).
+func (g *Graph) Entities() []rdf.TermID { return g.entities }
+
+// Types returns the sorted set of entity types.
+func (g *Graph) Types() []rdf.TermID { return g.types }
+
+// Categories returns the sorted set of categories.
+func (g *Graph) Categories() []rdf.TermID { return g.categories }
+
+// IsEntity reports whether id is in the entity universe.
+func (g *Graph) IsEntity(id rdf.TermID) bool {
+	return rdf.ContainsSorted(g.entities, id)
+}
+
+// EntityByName resolves an entity by the local name of its IRI under the
+// DBpedia-style resource namespace used by the synthetic generator, or by
+// exact IRI. It returns NoTerm if the entity is unknown.
+func (g *Graph) EntityByName(name string) rdf.TermID {
+	if id := g.Dict().LookupIRI(name); id != rdf.NoTerm && g.IsEntity(id) {
+		return id
+	}
+	if id := g.Dict().LookupIRI(ResourceIRI(name)); id != rdf.NoTerm && g.IsEntity(id) {
+		return id
+	}
+	return rdf.NoTerm
+}
+
+// ResourceIRI maps a local entity name to the resource namespace shared
+// with the synthetic generator.
+func ResourceIRI(name string) string {
+	return "http://pivote.dev/resource/" + name
+}
+
+// Name returns the display identifier of any term: its first rdfs:label
+// if present, otherwise the IRI local name or literal form.
+func (g *Graph) Name(id rdf.TermID) string {
+	for _, e := range g.store.Out(id) {
+		if e.P == g.voc.Label {
+			if t := g.Dict().Term(e.Node); t.IsLiteral() {
+				return t.Value
+			}
+		}
+	}
+	return g.Dict().Term(id).LocalName()
+}
+
+// Labels returns all rdfs:label literal values of id.
+func (g *Graph) Labels(id rdf.TermID) []string {
+	var out []string
+	for _, e := range g.store.Out(id) {
+		if e.P == g.voc.Label {
+			if t := g.Dict().Term(e.Node); t.IsLiteral() {
+				out = append(out, t.Value)
+			}
+		}
+	}
+	return out
+}
+
+// TypesOf returns the sorted type IDs of the entity.
+func (g *Graph) TypesOf(e rdf.TermID) []rdf.TermID {
+	return g.store.Objects(e, g.voc.Type)
+}
+
+// PrimaryType returns the most specific type of e: the one with the
+// fewest members (ties broken by ID for determinism), or NoTerm.
+func (g *Graph) PrimaryType(e rdf.TermID) rdf.TermID {
+	best := rdf.NoTerm
+	bestN := int(^uint(0) >> 1)
+	for _, t := range g.TypesOf(e) {
+		n := g.store.CountSubjects(g.voc.Type, t)
+		if n < bestN || (n == bestN && t < best) {
+			best, bestN = t, n
+		}
+	}
+	return best
+}
+
+// CategoriesOf returns the sorted category IDs of the entity.
+func (g *Graph) CategoriesOf(e rdf.TermID) []rdf.TermID {
+	return g.store.Objects(e, g.voc.Subject)
+}
+
+// TypeMembers returns the sorted entities of type t.
+func (g *Graph) TypeMembers(t rdf.TermID) []rdf.TermID {
+	return g.store.Subjects(g.voc.Type, t)
+}
+
+// CategoryMembers returns the sorted entities in category c.
+func (g *Graph) CategoryMembers(c rdf.TermID) []rdf.TermID {
+	return g.store.Subjects(g.voc.Subject, c)
+}
+
+// Attributes returns the literal values attached to e via non-metadata
+// predicates plus the abstract — the "attributes" field of Table 1.
+func (g *Graph) Attributes(e rdf.TermID) []string {
+	var out []string
+	for _, edge := range g.store.Out(e) {
+		t := g.Dict().Term(edge.Node)
+		if !t.IsLiteral() {
+			continue
+		}
+		if edge.P == g.voc.Label {
+			continue // labels are the names field
+		}
+		out = append(out, t.Value)
+	}
+	return out
+}
+
+// SimilarNames returns the labels of entities that redirect to or
+// disambiguate to e — the "similar entity names" field of Table 1.
+func (g *Graph) SimilarNames(e rdf.TermID) []string {
+	var out []string
+	for _, edge := range g.store.In(e) {
+		if edge.P == g.voc.Redirects || edge.P == g.voc.Disambiguates {
+			out = append(out, g.Name(edge.Node))
+		}
+	}
+	return out
+}
+
+// Related returns the distinct entities connected to e by semantic
+// (non-metadata) predicates in either direction, sorted by ID — the
+// "related entity names" field of Table 1 uses their labels.
+func (g *Graph) Related(e rdf.TermID) []rdf.TermID {
+	seen := map[rdf.TermID]bool{}
+	for _, edge := range g.store.Out(e) {
+		if g.voc.IsMeta(edge.P) {
+			continue
+		}
+		if g.IsEntity(edge.Node) {
+			seen[edge.Node] = true
+		}
+	}
+	for _, edge := range g.store.In(e) {
+		if g.voc.IsMeta(edge.P) {
+			continue
+		}
+		if g.IsEntity(edge.Node) {
+			seen[edge.Node] = true
+		}
+	}
+	return sortedIDs(seen)
+}
+
+// Abstract returns the first abstract literal of e, or "".
+func (g *Graph) Abstract(e rdf.TermID) string {
+	for _, edge := range g.store.Out(e) {
+		if edge.P == g.voc.Abstract {
+			if t := g.Dict().Term(edge.Node); t.IsLiteral() {
+				return t.Value
+			}
+		}
+	}
+	return ""
+}
+
+// Names applies Name to each ID.
+func (g *Graph) Names(ids []rdf.TermID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Name(id)
+	}
+	return out
+}

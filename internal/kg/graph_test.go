@@ -1,0 +1,310 @@
+package kg_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"pivote/internal/kg"
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+)
+
+func TestEntityUniverse(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	if !g.IsEntity(f.E("Forrest_Gump")) {
+		t.Fatal("Forrest_Gump not recognized as entity")
+	}
+	if !g.IsEntity(f.E("Tom_Hanks")) {
+		t.Fatal("Tom_Hanks not recognized as entity")
+	}
+	// Category nodes have no rdf:type in the fixture, so they are not
+	// entities.
+	if g.IsEntity(f.E("American_films")) {
+		t.Fatal("category node wrongly classified as entity")
+	}
+	ents := g.Entities()
+	if !sort.SliceIsSorted(ents, func(i, j int) bool { return ents[i] < ents[j] }) {
+		t.Fatal("Entities() not sorted")
+	}
+}
+
+func TestEntityByName(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	if got := g.EntityByName("Forrest_Gump"); got != f.E("Forrest_Gump") {
+		t.Fatalf("EntityByName(Forrest_Gump) = %d, want %d", got, f.E("Forrest_Gump"))
+	}
+	if got := g.EntityByName(kg.ResourceIRI("Apollo_13")); got != f.E("Apollo_13") {
+		t.Fatal("EntityByName by full IRI failed")
+	}
+	if got := g.EntityByName("Nonexistent_Entity"); got != rdf.NoTerm {
+		t.Fatalf("EntityByName(missing) = %d, want NoTerm", got)
+	}
+}
+
+func TestNameAndLabels(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	if got := g.Name(f.E("Forrest_Gump")); got != "Forrest Gump" {
+		t.Fatalf("Name = %q, want %q", got, "Forrest Gump")
+	}
+	labels := g.Labels(f.E("Forrest_Gump"))
+	if len(labels) != 1 || labels[0] != "Forrest Gump" {
+		t.Fatalf("Labels = %v", labels)
+	}
+	// A node with no label falls back to the IRI local name.
+	if got := g.Name(f.E("p:starring")); got != "starring" {
+		t.Fatalf("Name of unlabeled predicate = %q, want starring", got)
+	}
+}
+
+func TestTypesAndPrimaryType(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	types := g.TypesOf(f.E("Tom_Hanks"))
+	if len(types) != 2 {
+		t.Fatalf("Tom_Hanks has %d types, want 2 (Actor, Person)", len(types))
+	}
+	// Actor is more specific than Person (fewer members).
+	if got := g.PrimaryType(f.E("Tom_Hanks")); got != f.E("Actor") {
+		t.Fatalf("PrimaryType(Tom_Hanks) = %s, want Actor", g.Name(got))
+	}
+	if got := g.PrimaryType(f.E("Forrest_Gump")); got != f.E("Film") {
+		t.Fatalf("PrimaryType(Forrest_Gump) = %s, want Film", g.Name(got))
+	}
+}
+
+func TestCategories(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	cats := g.CategoriesOf(f.E("Forrest_Gump"))
+	if len(cats) != 3 {
+		t.Fatalf("Forrest_Gump has %d categories, want 3", len(cats))
+	}
+	members := g.CategoryMembers(f.E("American_films"))
+	if len(members) != 8 {
+		t.Fatalf("American_films has %d members, want 8", len(members))
+	}
+	zem := g.CategoryMembers(f.E("Films_directed_by_Robert_Zemeckis"))
+	if len(zem) != 2 {
+		t.Fatalf("Zemeckis category has %d members, want 2", len(zem))
+	}
+}
+
+func TestTable1FiveFieldSources(t *testing.T) {
+	// The raw material of Table 1 must be retrievable through the Graph.
+	f := kgtest.Build()
+	g := f.Graph
+	gump := f.E("Forrest_Gump")
+
+	attrs := g.Attributes(gump)
+	joined := strings.Join(attrs, "|")
+	if !strings.Contains(joined, "142 minutes") || !strings.Contains(joined, "55 million dollars") {
+		t.Fatalf("attributes = %v, want runtime and budget literals", attrs)
+	}
+
+	similar := g.SimilarNames(gump)
+	sort.Strings(similar)
+	if len(similar) != 2 || similar[0] != "Geenbow" || similar[1] != "Gumpian" {
+		t.Fatalf("similar names = %v, want [Geenbow Gumpian]", similar)
+	}
+
+	related := g.Names(g.Related(gump))
+	joinedRel := strings.Join(related, "|")
+	for _, want := range []string{"Tom Hanks", "Robert Zemeckis", "Gary Sinise", "Robin Wright", "Winston Groom"} {
+		if !strings.Contains(joinedRel, want) {
+			t.Fatalf("related = %v, missing %q", related, want)
+		}
+	}
+	// Metadata neighbours (categories, redirect sources) are excluded.
+	if strings.Contains(joinedRel, "Geenbow") || strings.Contains(joinedRel, "American films") {
+		t.Fatalf("related = %v leaked metadata neighbours", related)
+	}
+}
+
+func TestAbstract(t *testing.T) {
+	f := kgtest.Build()
+	if got := f.Graph.Abstract(f.E("Forrest_Gump")); !strings.Contains(got, "1994 American film") {
+		t.Fatalf("Abstract = %q", got)
+	}
+	if got := f.Graph.Abstract(f.E("Apollo_13")); got != "" {
+		t.Fatalf("Abstract of entity without abstract = %q, want empty", got)
+	}
+}
+
+func TestProfileOf(t *testing.T) {
+	f := kgtest.Build()
+	p := f.Graph.ProfileOf(f.E("Forrest_Gump"), 0)
+	if p.Name != "Forrest Gump" {
+		t.Fatalf("profile name = %q", p.Name)
+	}
+	if len(p.Types) == 0 || p.Types[0] != "Film" {
+		t.Fatalf("profile types = %v", p.Types)
+	}
+	if len(p.Literals) != 2 {
+		t.Fatalf("profile literals = %v, want runtime+budget", p.Literals)
+	}
+	if len(p.Facts) != 5 { // 3 stars + director + writer
+		t.Fatalf("profile facts = %d, want 5: %v", len(p.Facts), p.Facts)
+	}
+	text := p.Render()
+	for _, want := range []string{"Forrest Gump", "142 minutes", "starring → Tom Hanks", "types: Film"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered profile missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestProfileMaxFacts(t *testing.T) {
+	f := kgtest.Build()
+	p := f.Graph.ProfileOf(f.E("Forrest_Gump"), 2)
+	if len(p.Facts) != 2 || len(p.Literals) != 2 {
+		t.Fatalf("maxFacts not applied: facts=%d literals=%d", len(p.Facts), len(p.Literals))
+	}
+}
+
+func TestProfileIncomingEdges(t *testing.T) {
+	f := kgtest.Build()
+	p := f.Graph.ProfileOf(f.E("Tom_Hanks"), 0)
+	if len(p.InvertedIn) != 6 { // six films star Tom Hanks
+		t.Fatalf("Tom_Hanks incoming facts = %d, want 6", len(p.InvertedIn))
+	}
+}
+
+func TestTypeView(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	view := g.TypeView(f.E("Film"), 0)
+	if len(view) == 0 {
+		t.Fatal("empty type view for Film")
+	}
+	// The strongest coupling of Film must be starring→Actor
+	// (12 film-actor pairs, each counted once per actor type).
+	top := view[0]
+	if top.PredName != "starring" || !top.Outgoing || top.OtherType != f.E("Actor") {
+		t.Fatalf("top coupling = %+v, want Film —starring→ Actor", top)
+	}
+	// Couplings must also include director→Director.
+	found := false
+	for _, c := range view {
+		if c.PredName == "director" && c.Outgoing && c.OtherType == f.E("Director") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Film —director→ Director coupling missing")
+	}
+	text := g.RenderTypeView(f.E("Film"), 0, 5)
+	if !strings.Contains(text, "starring") {
+		t.Fatalf("rendered type view missing starring:\n%s", text)
+	}
+}
+
+func TestTypeViewDirections(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	view := g.TypeView(f.E("Actor"), 0)
+	// Actors are coupled to films via an incoming starring edge.
+	found := false
+	for _, c := range view {
+		if c.PredName == "starring" && !c.Outgoing && c.OtherType == f.E("Film") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Actor ←starring— Film coupling missing: %+v", view)
+	}
+}
+
+func TestTypeHistogram(t *testing.T) {
+	f := kgtest.Build()
+	hist := f.Graph.TypeHistogram()
+	if len(hist) == 0 {
+		t.Fatal("empty histogram")
+	}
+	counts := map[string]int{}
+	for _, h := range hist {
+		counts[h.Name] = h.Count
+	}
+	if counts["Film"] != 8 {
+		t.Fatalf("Film count = %d, want 8", counts["Film"])
+	}
+	if counts["Person"] != counts["Actor"]+counts["Director"]+1 { // +1 writer
+		t.Fatalf("Person=%d Actor=%d Director=%d", counts["Person"], counts["Actor"], counts["Director"])
+	}
+	if !sort.SliceIsSorted(hist, func(i, j int) bool {
+		if hist[i].Count != hist[j].Count {
+			return hist[i].Count > hist[j].Count
+		}
+		return hist[i].Type < hist[j].Type
+	}) {
+		t.Fatal("histogram not sorted by descending count")
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	f := kgtest.Build()
+	g := f.Graph
+	nb := g.NeighborhoodOf(f.E("Forrest_Gump"), 1, 0)
+	// 1 hop: the 3 stars + director + writer = 6 nodes with seed.
+	if len(nb.Nodes) != 6 {
+		t.Fatalf("1-hop neighbourhood has %d nodes, want 6", len(nb.Nodes))
+	}
+	nb2 := g.NeighborhoodOf(f.E("Forrest_Gump"), 2, 0)
+	if len(nb2.Nodes) <= len(nb.Nodes) {
+		t.Fatal("2-hop neighbourhood not larger than 1-hop")
+	}
+	// 2 hops reaches Apollo_13 via Tom_Hanks.
+	if !rdf.ContainsSorted(nb2.Nodes, f.E("Apollo_13")) {
+		t.Fatal("Apollo_13 not reached in 2 hops")
+	}
+	// Every edge endpoint must be in Nodes.
+	for _, e := range nb2.Edges {
+		if !rdf.ContainsSorted(nb2.Nodes, e.From) || !rdf.ContainsSorted(nb2.Nodes, e.To) {
+			t.Fatalf("edge %+v has endpoint outside node set", e)
+		}
+	}
+}
+
+func TestNeighborhoodMaxNodes(t *testing.T) {
+	f := kgtest.Build()
+	nb := f.Graph.NeighborhoodOf(f.E("Tom_Hanks"), 2, 4)
+	if len(nb.Nodes) > 4 {
+		t.Fatalf("maxNodes violated: %d nodes", len(nb.Nodes))
+	}
+}
+
+func TestNeighborhoodDOT(t *testing.T) {
+	f := kgtest.Build()
+	nb := f.Graph.NeighborhoodOf(f.E("Forrest_Gump"), 1, 0)
+	dot := f.Graph.DOT(nb)
+	for _, want := range []string{"digraph", `"Forrest Gump"`, "starring", "fillcolor=gold"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestVocabIsMeta(t *testing.T) {
+	d := rdf.NewDictionary()
+	v := kg.InternVocab(d)
+	if !v.IsMeta(v.Type) || !v.IsMeta(v.Label) || !v.IsMeta(v.Subject) ||
+		!v.IsMeta(v.Redirects) || !v.IsMeta(v.Disambiguates) || !v.IsMeta(v.Abstract) {
+		t.Fatal("metadata predicate not flagged as meta")
+	}
+	other := d.Intern(rdf.NewIRI("http://pivote.dev/ontology/starring"))
+	if v.IsMeta(other) {
+		t.Fatal("semantic predicate flagged as meta")
+	}
+}
+
+func TestNewGraphPanicsOnUnfrozen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGraph on unfrozen store did not panic")
+		}
+	}()
+	kg.NewGraph(rdf.NewStore(nil))
+}

@@ -1,0 +1,100 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pivote/internal/rdf"
+)
+
+// NeighborEdge is one edge of an extracted neighbourhood subgraph.
+type NeighborEdge struct {
+	From, To rdf.TermID
+	Pred     rdf.TermID
+}
+
+// Neighborhood is the hop-bounded subgraph around a seed entity that
+// Figure 1-a of the paper draws.
+type Neighborhood struct {
+	Seed  rdf.TermID
+	Nodes []rdf.TermID // sorted, includes Seed
+	Edges []NeighborEdge
+}
+
+// NeighborhoodOf extracts the subgraph within `hops` hops of seed over
+// semantic predicates, visiting at most maxNodes nodes (breadth-first, so
+// closer entities win). maxNodes <= 0 means unbounded.
+func (g *Graph) NeighborhoodOf(seed rdf.TermID, hops, maxNodes int) Neighborhood {
+	nb := Neighborhood{Seed: seed}
+	visited := map[rdf.TermID]bool{seed: true}
+	frontier := []rdf.TermID{seed}
+	for depth := 0; depth < hops; depth++ {
+		var next []rdf.TermID
+		for _, e := range frontier {
+			for _, edge := range g.store.Out(e) {
+				if g.voc.IsMeta(edge.P) || !g.IsEntity(edge.Node) {
+					continue
+				}
+				nb.Edges = append(nb.Edges, NeighborEdge{From: e, To: edge.Node, Pred: edge.P})
+				if !visited[edge.Node] && (maxNodes <= 0 || len(visited) < maxNodes) {
+					visited[edge.Node] = true
+					next = append(next, edge.Node)
+				}
+			}
+			for _, edge := range g.store.In(e) {
+				if g.voc.IsMeta(edge.P) || !g.IsEntity(edge.Node) {
+					continue
+				}
+				nb.Edges = append(nb.Edges, NeighborEdge{From: edge.Node, To: e, Pred: edge.P})
+				if !visited[edge.Node] && (maxNodes <= 0 || len(visited) < maxNodes) {
+					visited[edge.Node] = true
+					next = append(next, edge.Node)
+				}
+			}
+		}
+		frontier = next
+	}
+	// Keep only edges whose two endpoints were admitted, then dedup.
+	seenEdge := map[NeighborEdge]bool{}
+	kept := nb.Edges[:0]
+	for _, e := range nb.Edges {
+		if visited[e.From] && visited[e.To] && !seenEdge[e] {
+			seenEdge[e] = true
+			kept = append(kept, e)
+		}
+	}
+	nb.Edges = kept
+	nb.Nodes = sortedIDs(visited)
+	return nb
+}
+
+// DOT renders the neighbourhood in Graphviz DOT format, with the seed
+// highlighted — the reproduction artifact for Figure 1-a.
+func (g *Graph) DOT(nb Neighborhood) string {
+	var b strings.Builder
+	b.WriteString("digraph neighborhood {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n")
+	fmt.Fprintf(&b, "  %q [style=\"rounded,filled\", fillcolor=gold];\n", g.Name(nb.Seed))
+	for _, n := range nb.Nodes {
+		if n == nb.Seed {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q;\n", g.Name(n))
+	}
+	edges := append([]NeighborEdge(nil), nb.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Pred < edges[j].Pred
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+			g.Name(e.From), g.Name(e.To), g.Dict().Term(e.Pred).LocalName())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

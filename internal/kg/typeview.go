@@ -1,0 +1,124 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pivote/internal/rdf"
+)
+
+// TypeCoupling records that entities of one type are statistically
+// coupled, via a predicate and a direction, to entities of another type —
+// the structure Figure 1-b of the paper visualizes (e.g. Film —starring→
+// Actor). Count is the number of (entity, neighbour) pairs observed.
+type TypeCoupling struct {
+	Pred      rdf.TermID
+	PredName  string
+	Outgoing  bool // true: type —pred→ other; false: other —pred→ type
+	OtherType rdf.TermID
+	OtherName string
+	Count     int
+}
+
+// TypeView computes the couplings of type t, sorted by descending count.
+// sample bounds how many members of t are scanned (<=0 scans all), which
+// keeps the view interactive on large graphs exactly like PivotE's
+// on-the-fly discovery.
+func (g *Graph) TypeView(t rdf.TermID, sample int) []TypeCoupling {
+	members := g.TypeMembers(t)
+	if sample > 0 && len(members) > sample {
+		members = members[:sample]
+	}
+	type key struct {
+		p     rdf.TermID
+		out   bool
+		other rdf.TermID
+	}
+	counts := map[key]int{}
+	for _, e := range members {
+		for _, edge := range g.store.Out(e) {
+			if g.voc.IsMeta(edge.P) || !g.IsEntity(edge.Node) {
+				continue
+			}
+			for _, ot := range g.TypesOf(edge.Node) {
+				counts[key{edge.P, true, ot}]++
+			}
+		}
+		for _, edge := range g.store.In(e) {
+			if g.voc.IsMeta(edge.P) || !g.IsEntity(edge.Node) {
+				continue
+			}
+			for _, ot := range g.TypesOf(edge.Node) {
+				counts[key{edge.P, false, ot}]++
+			}
+		}
+	}
+	out := make([]TypeCoupling, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, TypeCoupling{
+			Pred:      k.p,
+			PredName:  g.Dict().Term(k.p).LocalName(),
+			Outgoing:  k.out,
+			OtherType: k.other,
+			OtherName: g.Name(k.other),
+			Count:     c,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		if out[i].Outgoing != out[j].Outgoing {
+			return out[i].Outgoing
+		}
+		return out[i].OtherType < out[j].OtherType
+	})
+	return out
+}
+
+// RenderTypeView prints the coupled-type view for t, the textual
+// equivalent of Figure 1-b.
+func (g *Graph) RenderTypeView(t rdf.TermID, sample, limit int) string {
+	var b strings.Builder
+	name := g.Name(t)
+	fmt.Fprintf(&b, "type %s (%d entities)\n", name, len(g.TypeMembers(t)))
+	view := g.TypeView(t, sample)
+	if limit > 0 && len(view) > limit {
+		view = view[:limit]
+	}
+	for _, c := range view {
+		if c.Outgoing {
+			fmt.Fprintf(&b, "  %s —%s→ %s  (%d)\n", name, c.PredName, c.OtherName, c.Count)
+		} else {
+			fmt.Fprintf(&b, "  %s ←%s— %s  (%d)\n", name, c.PredName, c.OtherName, c.Count)
+		}
+	}
+	return b.String()
+}
+
+// TypeHistogram returns (type, member count) pairs for the whole graph,
+// descending — the overview panel of Figure 1-b.
+func (g *Graph) TypeHistogram() []TypeCount {
+	out := make([]TypeCount, 0, len(g.types))
+	for _, t := range g.types {
+		out = append(out, TypeCount{Type: t, Name: g.Name(t), Count: len(g.TypeMembers(t))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// TypeCount is one bar of the type histogram.
+type TypeCount struct {
+	Type  rdf.TermID
+	Name  string
+	Count int
+}

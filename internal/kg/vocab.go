@@ -1,0 +1,59 @@
+// Package kg layers a knowledge-graph view over the raw RDF store: it
+// knows which predicates are metadata (types, labels, categories,
+// redirects) and which are semantic relations, and exposes the
+// entity-centric accessors PivotE is built from — labels, attributes,
+// categories, similar-entity names, related entities (the five fields of
+// Table 1 in the paper), 2-hop neighbourhoods (Fig. 1-a) and the coupled
+// type view (Fig. 1-b).
+package kg
+
+import (
+	"pivote/internal/rdf"
+)
+
+// Well-known predicate IRIs. The synthetic generator emits exactly these,
+// and DBpedia dumps use them too, so a real DBpedia slice loads unchanged.
+const (
+	IRIType          = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	IRILabel         = "http://www.w3.org/2000/01/rdf-schema#label"
+	IRISubject       = "http://purl.org/dc/terms/subject"
+	IRIRedirects     = "http://dbpedia.org/ontology/wikiPageRedirects"
+	IRIDisambiguates = "http://dbpedia.org/ontology/wikiPageDisambiguates"
+	IRIAbstract      = "http://dbpedia.org/ontology/abstract"
+)
+
+// Vocab holds the interned IDs of the metadata predicates. Predicates not
+// listed here are semantic relations and are eligible to form semantic
+// features.
+type Vocab struct {
+	Type          rdf.TermID
+	Label         rdf.TermID
+	Subject       rdf.TermID
+	Redirects     rdf.TermID
+	Disambiguates rdf.TermID
+	Abstract      rdf.TermID
+}
+
+// InternVocab interns the well-known predicates into d and returns the
+// vocabulary. It is safe to call on a dictionary that already contains
+// them.
+func InternVocab(d *rdf.Dictionary) Vocab {
+	return Vocab{
+		Type:          d.Intern(rdf.NewIRI(IRIType)),
+		Label:         d.Intern(rdf.NewIRI(IRILabel)),
+		Subject:       d.Intern(rdf.NewIRI(IRISubject)),
+		Redirects:     d.Intern(rdf.NewIRI(IRIRedirects)),
+		Disambiguates: d.Intern(rdf.NewIRI(IRIDisambiguates)),
+		Abstract:      d.Intern(rdf.NewIRI(IRIAbstract)),
+	}
+}
+
+// IsMeta reports whether p is a metadata predicate (excluded from
+// semantic features and from the related-entities field).
+func (v Vocab) IsMeta(p rdf.TermID) bool {
+	switch p {
+	case v.Type, v.Label, v.Subject, v.Redirects, v.Disambiguates, v.Abstract:
+		return true
+	}
+	return false
+}

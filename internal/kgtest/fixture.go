@@ -1,0 +1,153 @@
+// Package kgtest provides a small handcrafted movie knowledge graph used
+// by tests across the repository. It reproduces the fragment drawn in
+// Figure 1-a of the PivotE paper (Forrest Gump, Apollo 13, Tom Hanks,
+// Gary Sinise, Robert Zemeckis, ...) extended just enough that every
+// ranking formula has non-trivial, hand-checkable values, including the
+// Table 1 five-field representation of Forrest_Gump.
+package kgtest
+
+import (
+	"strings"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// Fixture bundles the graph with name→ID lookups for test assertions.
+type Fixture struct {
+	Graph *kg.Graph
+	Store *rdf.Store
+	IDs   map[string]rdf.TermID
+}
+
+// E returns the ID of the named node, panicking on unknown names so tests
+// fail loudly on typos.
+func (f *Fixture) E(name string) rdf.TermID {
+	id, ok := f.IDs[name]
+	if !ok {
+		panic("kgtest: unknown fixture node " + name)
+	}
+	return id
+}
+
+// Build constructs the fixture graph.
+//
+// Films and their casts/directors:
+//
+//	Forrest_Gump      starring Tom_Hanks, Gary_Sinise, Robin_Wright; director Robert_Zemeckis
+//	Apollo_13         starring Tom_Hanks, Gary_Sinise, Kevin_Bacon;  director Ron_Howard
+//	Cast_Away         starring Tom_Hanks;                            director Robert_Zemeckis
+//	The_Green_Mile    starring Tom_Hanks, Michael_Clarke_Duncan;     director Frank_Darabont
+//	Philadelphia      starring Tom_Hanks;                            director Jonathan_Demme
+//	Saving_Private_Ryan starring Tom_Hanks, Matt_Damon;              director Steven_Spielberg
+//	Inception         starring Leonardo_DiCaprio;                    director Christopher_Nolan
+//	Titanic           starring Leonardo_DiCaprio;                    director James_Cameron
+//
+// All films have type Film; people have type Actor or Director (and
+// Person). Categories: American_films for all US films, Films_directed_by_*
+// for each director's films, 1994_films for Forrest_Gump.
+func Build() *Fixture {
+	st := rdf.NewStore(nil)
+	d := st.Dict()
+	ids := map[string]rdf.TermID{}
+
+	res := func(name string) rdf.TermID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := d.Intern(rdf.NewIRI(kg.ResourceIRI(name)))
+		ids[name] = id
+		return id
+	}
+	prop := func(name string) rdf.TermID {
+		key := "p:" + name
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := d.Intern(rdf.NewIRI("http://pivote.dev/ontology/" + name))
+		ids[key] = id
+		return id
+	}
+	voc := kg.InternVocab(d)
+	lit := func(s string) rdf.TermID { return d.Intern(rdf.NewLiteral(s)) }
+
+	label := func(node rdf.TermID, text string) { st.Add(node, voc.Label, lit(text)) }
+	typ := func(node rdf.TermID, t string) { st.Add(node, voc.Type, res(t)) }
+	cat := func(node rdf.TermID, c string) { st.Add(node, voc.Subject, res(c)) }
+
+	starring := prop("starring")
+	director := prop("director")
+	writer := prop("writer")
+
+	type filmSpec struct {
+		name     string
+		stars    []string
+		director string
+		cats     []string
+	}
+	films := []filmSpec{
+		{"Forrest_Gump", []string{"Tom_Hanks", "Gary_Sinise", "Robin_Wright"}, "Robert_Zemeckis", []string{"American_films", "1994_films", "Films_directed_by_Robert_Zemeckis"}},
+		{"Apollo_13", []string{"Tom_Hanks", "Gary_Sinise", "Kevin_Bacon"}, "Ron_Howard", []string{"American_films", "Films_directed_by_Ron_Howard"}},
+		{"Cast_Away", []string{"Tom_Hanks"}, "Robert_Zemeckis", []string{"American_films", "Films_directed_by_Robert_Zemeckis"}},
+		{"The_Green_Mile", []string{"Tom_Hanks", "Michael_Clarke_Duncan"}, "Frank_Darabont", []string{"American_films"}},
+		{"Philadelphia", []string{"Tom_Hanks"}, "Jonathan_Demme", []string{"American_films"}},
+		{"Saving_Private_Ryan", []string{"Tom_Hanks", "Matt_Damon"}, "Steven_Spielberg", []string{"American_films"}},
+		{"Inception", []string{"Leonardo_DiCaprio"}, "Christopher_Nolan", []string{"American_films"}},
+		{"Titanic", []string{"Leonardo_DiCaprio"}, "James_Cameron", []string{"American_films", "1997_films"}},
+	}
+	actorSet := map[string]bool{}
+	directorSet := map[string]bool{}
+	for _, f := range films {
+		film := res(f.name)
+		typ(film, "Film")
+		label(film, strings.ReplaceAll(f.name, "_", " "))
+		for _, a := range f.stars {
+			st.Add(film, starring, res(a))
+			actorSet[a] = true
+		}
+		st.Add(film, director, res(f.director))
+		directorSet[f.director] = true
+		for _, c := range f.cats {
+			cat(film, c)
+		}
+	}
+	for a := range actorSet {
+		typ(res(a), "Actor")
+		typ(res(a), "Person")
+		label(res(a), strings.ReplaceAll(a, "_", " "))
+	}
+	for dd := range directorSet {
+		typ(res(dd), "Director")
+		typ(res(dd), "Person")
+		label(res(dd), strings.ReplaceAll(dd, "_", " "))
+	}
+	// Type and category nodes get labels too.
+	for _, t := range []string{"Film", "Actor", "Director", "Person"} {
+		label(res(t), t)
+	}
+	for _, c := range []string{"American_films", "1994_films", "1997_films",
+		"Films_directed_by_Robert_Zemeckis", "Films_directed_by_Ron_Howard"} {
+		label(res(c), strings.ReplaceAll(c, "_", " "))
+	}
+
+	// Table 1 content for Forrest_Gump: attributes, similar entity names.
+	gump := res("Forrest_Gump")
+	st.Add(gump, prop("runtime"), lit("142 minutes"))
+	st.Add(gump, prop("budget"), lit("55 million dollars"))
+	st.Add(gump, voc.Abstract, lit("Forrest Gump is a 1994 American film."))
+	st.Add(gump, writer, res("Winston_Groom"))
+	typ(res("Winston_Groom"), "Writer")
+	typ(res("Winston_Groom"), "Person")
+	label(res("Winston_Groom"), "Winston Groom")
+	label(res("Writer"), "Writer")
+	// Redirect/disambiguation sources ("Geenbow", "Gumpian" in the paper).
+	geenbow := res("Geenbow")
+	label(geenbow, "Geenbow")
+	st.Add(geenbow, voc.Redirects, gump)
+	gumpian := res("Gumpian")
+	label(gumpian, "Gumpian")
+	st.Add(gumpian, voc.Disambiguates, gump)
+
+	st.Freeze()
+	return &Fixture{Graph: kg.NewGraph(st), Store: st, IDs: ids}
+}

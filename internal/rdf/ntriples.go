@@ -1,0 +1,166 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadNTriples parses a stream of N-Triples lines into the store. Blank
+// lines and comment lines (starting with '#') are skipped. The reader is
+// line-oriented, which matches the N-Triples grammar. Parsing stops at the
+// first malformed line with an error that names the line number.
+func ReadNTriples(st *Store, r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, p, o, err := parseNTriple(text)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", line, err)
+		}
+		st.AddTerms(s, p, o)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("rdf: read: %w", err)
+	}
+	return n, nil
+}
+
+// WriteNTriples serializes every triple in the store in subject order.
+func WriteNTriples(st *Store, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	st.ForEachTriple(func(t Triple) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%s %s %s .\n",
+			st.dict.Term(t.S), st.dict.Term(t.P), st.dict.Term(t.O))
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func parseNTriple(line string) (s, p, o Term, err error) {
+	rest := line
+	if s, rest, err = parseTerm(rest); err != nil {
+		return s, p, o, fmt.Errorf("subject: %w", err)
+	}
+	if s.Kind == Literal {
+		return s, p, o, fmt.Errorf("subject must not be a literal")
+	}
+	if p, rest, err = parseTerm(rest); err != nil {
+		return s, p, o, fmt.Errorf("predicate: %w", err)
+	}
+	if p.Kind != IRI {
+		return s, p, o, fmt.Errorf("predicate must be an IRI")
+	}
+	if o, rest, err = parseTerm(rest); err != nil {
+		return s, p, o, fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return s, p, o, fmt.Errorf("expected terminating '.', got %q", rest)
+	}
+	return s, p, o, nil
+}
+
+// parseTerm consumes one term from the front of s and returns the
+// remainder.
+func parseTerm(s string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of line")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI")
+		}
+		return NewIRI(s[1:end]), s[end+1:], nil
+	case '_':
+		if !strings.HasPrefix(s, "_:") {
+			return Term{}, "", fmt.Errorf("malformed blank node")
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return Term{Kind: Blank, Value: s[2:end]}, s[end:], nil
+	case '"':
+		lex, rest, err := parseQuoted(s)
+		if err != nil {
+			return Term{}, "", err
+		}
+		t := NewLiteral(lex)
+		if strings.HasPrefix(rest, "@") {
+			end := strings.IndexAny(rest, " \t")
+			if end < 0 {
+				end = len(rest)
+			}
+			t.Lang = rest[1:end]
+			rest = rest[end:]
+		} else if strings.HasPrefix(rest, "^^<") {
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype IRI")
+			}
+			t.Datatype = rest[3:end]
+			rest = rest[end+1:]
+		}
+		return t, rest, nil
+	default:
+		return Term{}, "", fmt.Errorf("unexpected character %q", s[0])
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string.
+func parseQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", "", fmt.Errorf("unterminated literal")
+}

@@ -1,0 +1,128 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `
+# The Figure 1-a fragment.
+<http://x/Forrest_Gump> <http://x/starring> <http://x/Tom_Hanks> .
+<http://x/Forrest_Gump> <http://x/runtime> "142 minutes" .
+<http://x/Forrest_Gump> <http://x/budget> "55"^^<http://www.w3.org/2001/XMLSchema#int> .
+<http://x/Forrest_Gump> <http://x/label> "Forrest Gump"@en .
+_:b0 <http://x/seeAlso> <http://x/Apollo_13> .
+`
+
+func TestReadNTriples(t *testing.T) {
+	st := NewStore(nil)
+	n, err := ReadNTriples(st, strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("parsed %d triples, want 5", n)
+	}
+	st.Freeze()
+	gump := st.Dict().LookupIRI("http://x/Forrest_Gump")
+	if gump == NoTerm {
+		t.Fatal("Forrest_Gump not interned")
+	}
+	if got := st.OutDegree(gump); got != 4 {
+		t.Fatalf("out-degree of Forrest_Gump = %d, want 4", got)
+	}
+	runtime := st.Dict().LookupIRI("http://x/runtime")
+	objs := st.Objects(gump, runtime)
+	if len(objs) != 1 {
+		t.Fatalf("runtime objects = %d, want 1", len(objs))
+	}
+	lit := st.Dict().Term(objs[0])
+	if !lit.IsLiteral() || lit.Value != "142 minutes" {
+		t.Fatalf("runtime literal = %v", lit)
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"literal subject", `"x" <http://p> <http://o> .`},
+		{"literal predicate", `<http://s> "p" <http://o> .`},
+		{"blank predicate", `<http://s> _:p <http://o> .`},
+		{"missing dot", `<http://s> <http://p> <http://o>`},
+		{"unterminated iri", `<http://s <http://p> <http://o> .`},
+		{"unterminated literal", `<http://s> <http://p> "abc .`},
+		{"bad escape", `<http://s> <http://p> "a\qb" .`},
+		{"garbage", `hello world .`},
+		{"truncated", `<http://s> <http://p>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := NewStore(nil)
+			if _, err := ReadNTriples(st, strings.NewReader(c.line)); err == nil {
+				t.Fatalf("no error for %q", c.line)
+			}
+		})
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	st := NewStore(nil)
+	if _, err := ReadNTriples(st, strings.NewReader(sampleNT)); err != nil {
+		t.Fatal(err)
+	}
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := WriteNTriples(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore(nil)
+	n, err := ReadNTriples(st2, &buf)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("round trip produced %d triples, want 5", n)
+	}
+	st2.Freeze()
+	// Every triple of st must exist in st2 under its own dictionary.
+	st.ForEachTriple(func(tr Triple) {
+		s := st2.Dict().Lookup(st.Dict().Term(tr.S))
+		p := st2.Dict().Lookup(st.Dict().Term(tr.P))
+		o := st2.Dict().Lookup(st.Dict().Term(tr.O))
+		if s == NoTerm || p == NoTerm || o == NoTerm || !st2.Has(s, p, o) {
+			t.Fatalf("triple %v lost in round trip", tr)
+		}
+	})
+}
+
+func TestNTriplesEscapedLiteralsRoundTrip(t *testing.T) {
+	st := NewStore(nil)
+	s := st.Dict().Intern(NewIRI("http://x/s"))
+	p := st.Dict().Intern(NewIRI("http://x/p"))
+	o := st.Dict().Intern(NewLiteral("line1\nline2\t\"quoted\" back\\slash"))
+	st.Add(s, p, o)
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := WriteNTriples(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore(nil)
+	if _, err := ReadNTriples(st2, &buf); err != nil {
+		t.Fatalf("re-read escaped literal: %v", err)
+	}
+	if st2.Dict().Lookup(st.Dict().Term(o)) == NoTerm {
+		t.Fatal("escaped literal did not survive the round trip")
+	}
+}
+
+func TestReadNTriplesSkipsCommentsAndBlank(t *testing.T) {
+	st := NewStore(nil)
+	in := "# comment only\n\n   \n<http://s> <http://p> <http://o> .\n"
+	n, err := ReadNTriples(st, strings.NewReader(in))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v, want 1 triple and no error", n, err)
+	}
+}

@@ -1,0 +1,187 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary snapshot format. N-Triples is the interchange format; snapshots
+// are the fast path for repeatedly serving the same graph (they skip
+// string parsing and re-interning — loading is one pass of varint
+// decoding).
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   "PVTE" + version byte
+//	nTerms  then per term: kind byte, value, datatype, lang (len-prefixed)
+//	nTriples then per triple: S, P, O as deltas — triples are emitted in
+//	        (S,P,O) order, so S is delta-coded against the previous S and
+//	        P/O restart per subject run
+const (
+	snapshotMagic   = "PVTE"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes the frozen store.
+func WriteSnapshot(st *Store, w io.Writer) error {
+	st.mustFrozen()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	d := st.dict
+	if err := writeUvarint(uint64(d.Len())); err != nil {
+		return err
+	}
+	for id := TermID(1); int(id) <= d.Len(); id++ {
+		t := d.Term(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		if err := writeString(t.Value); err != nil {
+			return err
+		}
+		if err := writeString(t.Datatype); err != nil {
+			return err
+		}
+		if err := writeString(t.Lang); err != nil {
+			return err
+		}
+	}
+
+	if err := writeUvarint(uint64(st.Len())); err != nil {
+		return err
+	}
+	var prevS TermID
+	var werr error
+	st.ForEachTriple(func(t Triple) {
+		if werr != nil {
+			return
+		}
+		// Delta-code subjects (sorted ascending); P and O raw.
+		if werr = writeUvarint(uint64(t.S - prevS)); werr != nil {
+			return
+		}
+		prevS = t.S
+		if werr = writeUvarint(uint64(t.P)); werr != nil {
+			return
+		}
+		werr = writeUvarint(uint64(t.O))
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a snapshot into a fresh, frozen store.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rdf: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("rdf: not a snapshot (magic %q)", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("rdf: unsupported snapshot version %d", version)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<30 {
+			return "", fmt.Errorf("rdf: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	st := NewStore(nil)
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rdf: term count: %w", err)
+	}
+	for i := uint64(0); i < nTerms; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: term %d: %w", i, err)
+		}
+		if TermKind(kind) > Blank {
+			return nil, fmt.Errorf("rdf: term %d: bad kind %d", i, kind)
+		}
+		value, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: term %d value: %w", i, err)
+		}
+		datatype, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: term %d datatype: %w", i, err)
+		}
+		lang, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("rdf: term %d lang: %w", i, err)
+		}
+		got := st.dict.Intern(Term{Kind: TermKind(kind), Value: value, Datatype: datatype, Lang: lang})
+		if got != TermID(i+1) {
+			return nil, fmt.Errorf("rdf: snapshot contains duplicate term at %d", i)
+		}
+	}
+
+	nTriples, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rdf: triple count: %w", err)
+	}
+	maxID := uint64(st.dict.Len())
+	var prevS uint64
+	for i := uint64(0); i < nTriples; i++ {
+		ds, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d: %w", i, err)
+		}
+		s := prevS + ds
+		prevS = s
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d: %w", i, err)
+		}
+		o, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d: %w", i, err)
+		}
+		if s == 0 || s > maxID || p == 0 || p > maxID || o == 0 || o > maxID {
+			return nil, fmt.Errorf("rdf: triple %d references term out of range", i)
+		}
+		st.Add(TermID(s), TermID(p), TermID(o))
+	}
+	st.Freeze()
+	return st, nil
+}

@@ -1,0 +1,189 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// quickCheck runs the property with the package's standard settings.
+func quickCheck(t *testing.T, f interface{}) error {
+	t.Helper()
+	return quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(31))})
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	// Add literal and language-tagged terms to exercise every term shape.
+	s := ids["Forrest_Gump"]
+	p := st.Dict().Intern(NewIRI("http://x/label"))
+	_ = p
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("triples after round trip: %d vs %d", st2.Len(), st.Len())
+	}
+	if st2.Dict().Len() != st.Dict().Len() {
+		t.Fatalf("terms after round trip: %d vs %d", st2.Dict().Len(), st.Dict().Len())
+	}
+	// Term IDs are preserved exactly, so queries transfer unchanged.
+	st.ForEachTriple(func(tr Triple) {
+		if !st2.Has(tr.S, tr.P, tr.O) {
+			t.Fatalf("triple %v missing after round trip", tr)
+		}
+	})
+	if st2.Dict().Term(s) != st.Dict().Term(s) {
+		t.Fatal("term content changed")
+	}
+}
+
+func TestSnapshotWithLiterals(t *testing.T) {
+	st := NewStore(nil)
+	d := st.Dict()
+	a := d.Intern(NewIRI("http://x/a"))
+	p := d.Intern(NewIRI("http://x/p"))
+	st.Add(a, p, d.Intern(NewLiteral("plain")))
+	st.Add(a, p, d.Intern(NewLangLiteral("hallo", "de")))
+	st.Add(a, p, d.Intern(NewTypedLiteral("5", "http://x/int")))
+	st.Add(a, p, d.Intern(Term{Kind: Blank, Value: "b0"}))
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := TermID(1); int(id) <= st.Dict().Len(); id++ {
+		if st.Dict().Term(id) != st2.Dict().Term(id) {
+			t.Fatalf("term %d differs: %v vs %v", id, st.Dict().Term(id), st2.Dict().Term(id))
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":   "NOPE\x01",
+		"empty":       "",
+		"short magic": "PV",
+		"bad version": "PVTE\x09",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSnapshot(strings.NewReader(in)); err == nil {
+				t.Fatal("no error")
+			}
+		})
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	st, _ := buildFilmStore(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSnapshotUnfrozenPanics(t *testing.T) {
+	st := NewStore(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteSnapshot on unfrozen store did not panic")
+		}
+	}()
+	_ = WriteSnapshot(st, io.Discard)
+}
+
+func TestSnapshotSmallerThanNTriples(t *testing.T) {
+	st, _ := buildFilmStore(t)
+	var snap, nt bytes.Buffer
+	if err := WriteSnapshot(st, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNTriples(st, &nt); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() >= nt.Len() {
+		t.Fatalf("snapshot (%d bytes) not smaller than N-Triples (%d bytes)", snap.Len(), nt.Len())
+	}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	// Random stores survive the round trip with identical dictionaries
+	// and triple sets.
+	f := func(raw []uint16, litSel []bool) bool {
+		st := NewStore(nil)
+		d := st.Dict()
+		term := func(v uint16, i int) TermID {
+			if i < len(litSel) && litSel[i] {
+				return d.Intern(NewLiteral(string(rune('a' + v%17))))
+			}
+			return d.Intern(NewIRI(string(rune('A' + v%17))))
+		}
+		for i := 0; i+2 < len(raw); i += 3 {
+			s := term(raw[i], i)
+			p := d.Intern(NewIRI(string(rune('p' + raw[i+1]%5))))
+			o := term(raw[i+2], i+2)
+			st.Add(s, p, o)
+		}
+		st.Freeze()
+		var buf bytes.Buffer
+		if err := WriteSnapshot(st, &buf); err != nil {
+			return false
+		}
+		st2, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if st2.Len() != st.Len() || st2.Dict().Len() != st.Dict().Len() {
+			return false
+		}
+		ok := true
+		st.ForEachTriple(func(tr Triple) {
+			if !st2.Has(tr.S, tr.P, tr.O) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quickCheck(t, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	st, _ := buildFilmStore(b)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

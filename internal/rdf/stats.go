@@ -1,0 +1,88 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the shape of a frozen store. PivotE uses these numbers
+// to size caches and the experiment harness prints them alongside every
+// measurement so that results are interpretable.
+type Stats struct {
+	Triples        int
+	Terms          int
+	Subjects       int
+	Objects        int
+	Predicates     int
+	MaxOutDegree   int
+	MaxInDegree    int
+	MeanOutDegree  float64
+	PredicateFreqs []PredicateFreq // descending by count
+}
+
+// PredicateFreq is the usage count of one predicate.
+type PredicateFreq struct {
+	P     TermID
+	Count int
+}
+
+// ComputeStats scans the store once and returns its statistics.
+func ComputeStats(st *Store) Stats {
+	st.mustFrozen()
+	var s Stats
+	s.Triples = st.Len()
+	s.Terms = st.dict.Len()
+	s.Subjects = len(st.out)
+	s.Objects = len(st.in)
+	predCount := make(map[TermID]int)
+	totalOut := 0
+	for _, edges := range st.out {
+		if len(edges) > s.MaxOutDegree {
+			s.MaxOutDegree = len(edges)
+		}
+		totalOut += len(edges)
+		for _, e := range edges {
+			predCount[e.P]++
+		}
+	}
+	for _, edges := range st.in {
+		if len(edges) > s.MaxInDegree {
+			s.MaxInDegree = len(edges)
+		}
+	}
+	if s.Subjects > 0 {
+		s.MeanOutDegree = float64(totalOut) / float64(s.Subjects)
+	}
+	s.Predicates = len(predCount)
+	s.PredicateFreqs = make([]PredicateFreq, 0, len(predCount))
+	for p, c := range predCount {
+		s.PredicateFreqs = append(s.PredicateFreqs, PredicateFreq{P: p, Count: c})
+	}
+	sort.Slice(s.PredicateFreqs, func(i, j int) bool {
+		if s.PredicateFreqs[i].Count != s.PredicateFreqs[j].Count {
+			return s.PredicateFreqs[i].Count > s.PredicateFreqs[j].Count
+		}
+		return s.PredicateFreqs[i].P < s.PredicateFreqs[j].P
+	})
+	return s
+}
+
+// Summary renders the statistics as a short human-readable block, decoding
+// the top predicates through the dictionary.
+func (s Stats) Summary(d *Dictionary, topPredicates int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "triples=%d terms=%d subjects=%d objects=%d predicates=%d\n",
+		s.Triples, s.Terms, s.Subjects, s.Objects, s.Predicates)
+	fmt.Fprintf(&b, "out-degree: mean=%.2f max=%d; in-degree: max=%d\n",
+		s.MeanOutDegree, s.MaxOutDegree, s.MaxInDegree)
+	n := topPredicates
+	if n > len(s.PredicateFreqs) {
+		n = len(s.PredicateFreqs)
+	}
+	for i := 0; i < n; i++ {
+		pf := s.PredicateFreqs[i]
+		fmt.Fprintf(&b, "  %-40s %d\n", d.Term(pf.P).LocalName(), pf.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Triple is a dictionary-encoded RDF statement.
+type Triple struct {
+	S, P, O TermID
+}
+
+// Edge is one half of a triple as seen from a subject or an object:
+// (P, Node) where Node is the other endpoint.
+type Edge struct {
+	P    TermID
+	Node TermID
+}
+
+// Store holds a set of triples with three access paths:
+//
+//   - out[s]  = sorted edges (p, o) leaving s     → forward traversal
+//   - in[o]   = sorted edges (p, s) entering o    → backward traversal
+//   - extents = (p, o) → sorted subjects, (s, p) → sorted objects,
+//     materialized lazily from out/in on demand
+//
+// Adjacency lists are sorted by (P, Node), so the objects of a fixed
+// (s, p) — the extent of a forward semantic feature — and the subjects of
+// a fixed (p, o) — the extent of a backward one — are contiguous runs
+// located with binary search.
+//
+// A Store is built once and then read concurrently; mutation is not
+// goroutine-safe and Freeze must be called before concurrent reads.
+type Store struct {
+	dict    *Dictionary
+	out     map[TermID][]Edge
+	in      map[TermID][]Edge
+	triples int
+	frozen  bool
+}
+
+// NewStore returns an empty store sharing (or creating) a dictionary.
+// Passing nil creates a fresh dictionary.
+func NewStore(dict *Dictionary) *Store {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &Store{
+		dict: dict,
+		out:  make(map[TermID][]Edge),
+		in:   make(map[TermID][]Edge),
+	}
+}
+
+// Dict exposes the store's dictionary.
+func (st *Store) Dict() *Dictionary { return st.dict }
+
+// Len reports the number of triples added (including duplicates removed at
+// Freeze time, until Freeze runs).
+func (st *Store) Len() int { return st.triples }
+
+// Add inserts the triple (s, p, o). Duplicate triples are tolerated and
+// removed when the store is frozen.
+func (st *Store) Add(s, p, o TermID) {
+	if st.frozen {
+		panic("rdf: Add after Freeze")
+	}
+	st.out[s] = append(st.out[s], Edge{P: p, Node: o})
+	st.in[o] = append(st.in[o], Edge{P: p, Node: s})
+	st.triples++
+}
+
+// AddTerms interns the three terms and inserts the triple, returning it.
+func (st *Store) AddTerms(s, p, o Term) Triple {
+	t := Triple{st.dict.Intern(s), st.dict.Intern(p), st.dict.Intern(o)}
+	st.Add(t.S, t.P, t.O)
+	return t
+}
+
+// Freeze sorts and deduplicates all adjacency lists. It must be called
+// after loading and before any query; queries on an unfrozen store panic
+// so that missing-Freeze bugs surface immediately.
+func (st *Store) Freeze() {
+	if st.frozen {
+		return
+	}
+	dedup := func(m map[TermID][]Edge) int {
+		removed := 0
+		for k, edges := range m {
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].P != edges[j].P {
+					return edges[i].P < edges[j].P
+				}
+				return edges[i].Node < edges[j].Node
+			})
+			w := 0
+			for i, e := range edges {
+				if i > 0 && e == edges[i-1] {
+					removed++
+					continue
+				}
+				edges[w] = e
+				w++
+			}
+			m[k] = edges[:w:w]
+		}
+		return removed
+	}
+	removedOut := dedup(st.out)
+	dedup(st.in)
+	st.triples -= removedOut
+	st.frozen = true
+}
+
+// Frozen reports whether Freeze has run.
+func (st *Store) Frozen() bool { return st.frozen }
+
+func (st *Store) mustFrozen() {
+	if !st.frozen {
+		panic("rdf: query on unfrozen store (call Freeze first)")
+	}
+}
+
+// Out returns the sorted (p, o) edges leaving s. The returned slice is
+// shared with the store and must not be modified.
+func (st *Store) Out(s TermID) []Edge {
+	st.mustFrozen()
+	return st.out[s]
+}
+
+// In returns the sorted (p, s) edges entering o. The returned slice is
+// shared with the store and must not be modified.
+func (st *Store) In(o TermID) []Edge {
+	st.mustFrozen()
+	return st.in[o]
+}
+
+// predRun binary-searches the run of edges with predicate p inside a list
+// sorted by (P, Node).
+func predRun(edges []Edge, p TermID) []Edge {
+	lo := sort.Search(len(edges), func(i int) bool { return edges[i].P >= p })
+	hi := sort.Search(len(edges), func(i int) bool { return edges[i].P > p })
+	return edges[lo:hi]
+}
+
+// Objects returns the sorted objects o of triples (s, p, o). The slice
+// aliases internal storage via the Node field; callers receive a fresh
+// []TermID copy only when copyOut is true in ObjectsAppend, so here the
+// result is materialized into dst (which may be nil).
+func (st *Store) Objects(s, p TermID) []TermID {
+	st.mustFrozen()
+	return nodes(predRun(st.out[s], p), nil)
+}
+
+// Subjects returns the sorted subjects s of triples (s, p, o).
+func (st *Store) Subjects(p, o TermID) []TermID {
+	st.mustFrozen()
+	return nodes(predRun(st.in[o], p), nil)
+}
+
+// ObjectsAppend appends the objects of (s, p, *) to dst and returns it,
+// avoiding an allocation when the caller reuses buffers.
+func (st *Store) ObjectsAppend(dst []TermID, s, p TermID) []TermID {
+	st.mustFrozen()
+	return nodes(predRun(st.out[s], p), dst)
+}
+
+// SubjectsAppend appends the subjects of (*, p, o) to dst and returns it.
+func (st *Store) SubjectsAppend(dst []TermID, p, o TermID) []TermID {
+	st.mustFrozen()
+	return nodes(predRun(st.in[o], p), dst)
+}
+
+// CountObjects reports |{o : (s,p,o)}| without materializing the set.
+func (st *Store) CountObjects(s, p TermID) int {
+	st.mustFrozen()
+	return len(predRun(st.out[s], p))
+}
+
+// CountSubjects reports |{s : (s,p,o)}| without materializing the set.
+func (st *Store) CountSubjects(p, o TermID) int {
+	st.mustFrozen()
+	return len(predRun(st.in[o], p))
+}
+
+// Has reports whether the triple (s, p, o) is present.
+func (st *Store) Has(s, p, o TermID) bool {
+	st.mustFrozen()
+	run := predRun(st.out[s], p)
+	i := sort.Search(len(run), func(i int) bool { return run[i].Node >= o })
+	return i < len(run) && run[i].Node == o
+}
+
+// OutDegree reports the number of distinct outgoing edges of s.
+func (st *Store) OutDegree(s TermID) int {
+	st.mustFrozen()
+	return len(st.out[s])
+}
+
+// InDegree reports the number of distinct incoming edges of o.
+func (st *Store) InDegree(o TermID) int {
+	st.mustFrozen()
+	return len(st.in[o])
+}
+
+// Subjects.
+//
+// ForEachTriple visits every triple in subject order. The callback must
+// not retain the triple beyond the call if it mutates it.
+func (st *Store) ForEachTriple(fn func(Triple)) {
+	st.mustFrozen()
+	ids := make([]TermID, 0, len(st.out))
+	for s := range st.out {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, s := range ids {
+		for _, e := range st.out[s] {
+			fn(Triple{S: s, P: e.P, O: e.Node})
+		}
+	}
+}
+
+// NodesWithOut returns all subjects that have at least one outgoing edge.
+func (st *Store) NodesWithOut() []TermID {
+	st.mustFrozen()
+	ids := make([]TermID, 0, len(st.out))
+	for s := range st.out {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func nodes(run []Edge, dst []TermID) []TermID {
+	if dst == nil {
+		dst = make([]TermID, 0, len(run))
+	}
+	for _, e := range run {
+		dst = append(dst, e.Node)
+	}
+	return dst
+}
+
+// IntersectSorted computes |a ∩ b| for two ascending TermID slices.
+func IntersectSorted(a, b []TermID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// IntersectSortedInto writes a ∩ b into dst (which may be nil) and returns
+// it. Both inputs must be ascending and duplicate-free.
+func IntersectSortedInto(dst, a, b []TermID) []TermID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
+
+// ContainsSorted reports whether x occurs in the ascending slice a.
+func ContainsSorted(a []TermID, x TermID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	return i < len(a) && a[i] == x
+}

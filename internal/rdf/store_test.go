@@ -1,0 +1,288 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildFilmStore assembles the paper's Figure 1-a fragment: Forrest Gump,
+// Apollo 13, Tom Hanks, Gary Sinise, Robert Zemeckis.
+func buildFilmStore(t testing.TB) (*Store, map[string]TermID) {
+	t.Helper()
+	st := NewStore(nil)
+	ids := map[string]TermID{}
+	iri := func(name string) TermID {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		id := st.Dict().Intern(NewIRI("http://x/" + name))
+		ids[name] = id
+		return id
+	}
+	add := func(s, p, o string) { st.Add(iri(s), iri(p), iri(o)) }
+	add("Forrest_Gump", "starring", "Tom_Hanks")
+	add("Forrest_Gump", "starring", "Gary_Sinise")
+	add("Forrest_Gump", "director", "Robert_Zemeckis")
+	add("Apollo_13", "starring", "Tom_Hanks")
+	add("Apollo_13", "starring", "Gary_Sinise")
+	add("Cast_Away", "starring", "Tom_Hanks")
+	add("Cast_Away", "director", "Robert_Zemeckis")
+	st.Freeze()
+	return st, ids
+}
+
+func TestStoreObjectsAndSubjects(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	stars := st.Objects(ids["Forrest_Gump"], ids["starring"])
+	if len(stars) != 2 {
+		t.Fatalf("Forrest_Gump starring -> %d objects, want 2", len(stars))
+	}
+	films := st.Subjects(ids["starring"], ids["Tom_Hanks"])
+	if len(films) != 3 {
+		t.Fatalf("?film starring Tom_Hanks -> %d subjects, want 3", len(films))
+	}
+	if !sort.SliceIsSorted(films, func(i, j int) bool { return films[i] < films[j] }) {
+		t.Fatal("Subjects result not sorted")
+	}
+}
+
+func TestStoreCounts(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	if got := st.CountSubjects(ids["starring"], ids["Tom_Hanks"]); got != 3 {
+		t.Fatalf("CountSubjects = %d, want 3", got)
+	}
+	if got := st.CountObjects(ids["Forrest_Gump"], ids["starring"]); got != 2 {
+		t.Fatalf("CountObjects = %d, want 2", got)
+	}
+	if got := st.CountObjects(ids["Forrest_Gump"], ids["producer"]); got != 0 {
+		t.Fatalf("CountObjects for absent predicate = %d, want 0", got)
+	}
+}
+
+func TestStoreHas(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	if !st.Has(ids["Apollo_13"], ids["starring"], ids["Gary_Sinise"]) {
+		t.Fatal("Has missed an existing triple")
+	}
+	if st.Has(ids["Apollo_13"], ids["director"], ids["Gary_Sinise"]) {
+		t.Fatal("Has reported an absent triple")
+	}
+}
+
+func TestStoreDeduplicatesOnFreeze(t *testing.T) {
+	st := NewStore(nil)
+	a := st.Dict().Intern(NewIRI("a"))
+	p := st.Dict().Intern(NewIRI("p"))
+	b := st.Dict().Intern(NewIRI("b"))
+	st.Add(a, p, b)
+	st.Add(a, p, b)
+	st.Add(a, p, b)
+	st.Freeze()
+	if st.Len() != 1 {
+		t.Fatalf("Len after dedup = %d, want 1", st.Len())
+	}
+	if got := len(st.Out(a)); got != 1 {
+		t.Fatalf("out-degree after dedup = %d, want 1", got)
+	}
+}
+
+func TestStoreQueryBeforeFreezePanics(t *testing.T) {
+	st := NewStore(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("query on unfrozen store did not panic")
+		}
+	}()
+	st.Objects(1, 2)
+}
+
+func TestStoreAddAfterFreezePanics(t *testing.T) {
+	st := NewStore(nil)
+	st.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Freeze did not panic")
+		}
+	}()
+	st.Add(1, 2, 3)
+}
+
+func TestStoreInOutSymmetryProperty(t *testing.T) {
+	// For random triple sets, every (s,p,o) visible via Out must be
+	// visible via In and vice versa, and ForEachTriple must enumerate
+	// exactly the deduplicated set.
+	f := func(raw []uint16) bool {
+		st := NewStore(nil)
+		// Map raw bytes into a small ID space to force collisions.
+		get := func(v uint16) TermID {
+			return st.Dict().Intern(NewIRI(string(rune('a' + v%23))))
+		}
+		type tr struct{ s, p, o TermID }
+		want := map[tr]bool{}
+		for i := 0; i+2 < len(raw); i += 3 {
+			s, p, o := get(raw[i]), get(raw[i+1]), get(raw[i+2])
+			st.Add(s, p, o)
+			want[tr{s, p, o}] = true
+		}
+		st.Freeze()
+		got := map[tr]bool{}
+		st.ForEachTriple(func(x Triple) { got[tr{x.S, x.P, x.O}] = true })
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			return false
+		}
+		for k := range want {
+			if !st.Has(k.s, k.p, k.o) {
+				return false
+			}
+			if !ContainsSorted(st.Subjects(k.p, k.o), k.s) {
+				return false
+			}
+			if !ContainsSorted(st.Objects(k.s, k.p), k.o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct {
+		a, b []TermID
+		want int
+	}{
+		{nil, nil, 0},
+		{[]TermID{1, 2, 3}, nil, 0},
+		{[]TermID{1, 2, 3}, []TermID{2, 3, 4}, 2},
+		{[]TermID{1, 5, 9}, []TermID{2, 6, 10}, 0},
+		{[]TermID{1, 2, 3}, []TermID{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := IntersectSorted(c.a, c.b); got != c.want {
+			t.Errorf("IntersectSorted(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		into := IntersectSortedInto(nil, c.a, c.b)
+		if len(into) != c.want {
+			t.Errorf("IntersectSortedInto(%v, %v) has %d items, want %d", c.a, c.b, len(into), c.want)
+		}
+	}
+}
+
+func TestIntersectAgreesWithMapProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := toSortedIDs(xs)
+		b := toSortedIDs(ys)
+		set := map[TermID]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		want := 0
+		for _, v := range b {
+			if set[v] {
+				want++
+			}
+		}
+		return IntersectSorted(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func toSortedIDs(xs []uint8) []TermID {
+	seen := map[TermID]bool{}
+	var out []TermID
+	for _, x := range xs {
+		id := TermID(x) + 1
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestAppendVariantsReuseBuffer(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	buf := make([]TermID, 0, 8)
+	got := st.SubjectsAppend(buf, ids["starring"], ids["Tom_Hanks"])
+	if len(got) != 3 {
+		t.Fatalf("SubjectsAppend returned %d, want 3", len(got))
+	}
+	got2 := st.ObjectsAppend(got[:0], ids["Forrest_Gump"], ids["director"])
+	if len(got2) != 1 {
+		t.Fatalf("ObjectsAppend returned %d, want 1", len(got2))
+	}
+}
+
+func TestInOutAccessors(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	if !st.Frozen() {
+		t.Fatal("store should report frozen")
+	}
+	in := st.In(ids["Tom_Hanks"])
+	if len(in) != 3 {
+		t.Fatalf("In(Tom_Hanks) = %d edges, want 3", len(in))
+	}
+	if got := st.InDegree(ids["Tom_Hanks"]); got != 3 {
+		t.Fatalf("InDegree = %d, want 3", got)
+	}
+	if got := st.OutDegree(ids["Forrest_Gump"]); got != 3 {
+		t.Fatalf("OutDegree = %d, want 3", got)
+	}
+	subs := st.NodesWithOut()
+	if len(subs) != 3 { // the three films with outgoing edges
+		t.Fatalf("NodesWithOut = %d, want 3", len(subs))
+	}
+	if !sort.SliceIsSorted(subs, func(i, j int) bool { return subs[i] < subs[j] }) {
+		t.Fatal("NodesWithOut not sorted")
+	}
+}
+
+func TestTermKindPredicates(t *testing.T) {
+	if !NewIRI("x").IsIRI() || NewIRI("x").IsLiteral() {
+		t.Fatal("IRI predicates wrong")
+	}
+	if !NewLiteral("x").IsLiteral() || NewLiteral("x").IsIRI() {
+		t.Fatal("literal predicates wrong")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	st, ids := buildFilmStore(t)
+	s := ComputeStats(st)
+	if s.Triples != 7 {
+		t.Fatalf("Triples = %d, want 7", s.Triples)
+	}
+	if s.Predicates != 2 {
+		t.Fatalf("Predicates = %d, want 2", s.Predicates)
+	}
+	if s.PredicateFreqs[0].P != ids["starring"] || s.PredicateFreqs[0].Count != 5 {
+		t.Fatalf("top predicate = %+v, want starring x5", s.PredicateFreqs[0])
+	}
+	if s.MaxInDegree < 3 {
+		t.Fatalf("MaxInDegree = %d, want >= 3 (Tom_Hanks)", s.MaxInDegree)
+	}
+	sum := s.Summary(st.Dict(), 2)
+	if sum == "" {
+		t.Fatal("Summary returned empty string")
+	}
+}
+
+func BenchmarkStoreSubjects(b *testing.B) {
+	st, ids := buildFilmStore(b)
+	p, o := ids["starring"], ids["Tom_Hanks"]
+	var buf []TermID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = st.SubjectsAppend(buf[:0], p, o)
+	}
+	_ = buf
+}

@@ -1,0 +1,205 @@
+// Package rdf implements the RDF substrate PivotE runs on: an interning
+// term dictionary, a triple store with subject/object adjacency and
+// pattern indexes, an N-Triples reader/writer, and graph statistics.
+//
+// The store is dictionary-encoded: every IRI and literal is interned to a
+// dense TermID, and all triples are stored as (TermID, TermID, TermID).
+// This keeps the in-memory footprint small enough to hold DBpedia-scale
+// slices of a knowledge graph and makes set operations over entity IDs
+// (the heart of PivotE's semantic-feature ranking) cheap.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermID is a dense identifier assigned by a Dictionary. The zero value is
+// never assigned to a term, so it can be used as a sentinel.
+type TermID uint32
+
+// NoTerm is the sentinel TermID returned by lookups that find nothing.
+const NoTerm TermID = 0
+
+// TermKind distinguishes the lexical categories of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI identifies a resource (entity, predicate, class, category).
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal value.
+	Literal
+	// Blank is an anonymous node. The synthetic generator never emits
+	// blank nodes but the N-Triples reader accepts them.
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a decoded RDF term. Value holds the IRI, the blank-node label or
+// the literal's lexical form; Datatype and Lang are only meaningful for
+// literals and are empty when absent.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: lang}
+}
+
+// NewTypedLiteral returns a datatyped literal term.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	}
+}
+
+// LocalName returns the fragment of an IRI after the last '/' or '#',
+// which is how PivotE displays entity identifiers (e.g. "Forrest_Gump").
+// For literals it returns the lexical form unchanged.
+func (t Term) LocalName() string {
+	if t.Kind != IRI {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexAny(v, "/#"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// key produces the unique dictionary key for the term. Kind and the
+// qualifiers are folded in so that an IRI and a literal with the same
+// lexical form intern to different IDs.
+func (t Term) key() string {
+	switch t.Kind {
+	case IRI:
+		return "i\x00" + t.Value
+	case Blank:
+		return "b\x00" + t.Value
+	default:
+		return "l\x00" + t.Value + "\x00" + t.Datatype + "\x00" + t.Lang
+	}
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Dictionary interns terms to dense TermIDs and decodes them back. The
+// zero value is not usable; call NewDictionary.
+type Dictionary struct {
+	byKey map[string]TermID
+	terms []Term // index 0 is a placeholder for NoTerm
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		byKey: make(map[string]TermID),
+		terms: make([]Term, 1), // reserve index 0 = NoTerm
+	}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dictionary) Intern(t Term) TermID {
+	k := t.key()
+	if id, ok := d.byKey[k]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.byKey[k] = id
+	return id
+}
+
+// Lookup returns the ID previously assigned to t, or NoTerm.
+func (d *Dictionary) Lookup(t Term) TermID {
+	return d.byKey[t.key()]
+}
+
+// LookupIRI returns the ID of the IRI, or NoTerm if it was never interned.
+func (d *Dictionary) LookupIRI(iri string) TermID {
+	return d.byKey["i\x00"+iri]
+}
+
+// Term decodes an ID. It panics on NoTerm or out-of-range IDs, which
+// always indicate a programming error rather than bad data.
+func (d *Dictionary) Term(id TermID) Term {
+	if id == NoTerm || int(id) >= len(d.terms) {
+		panic(fmt.Sprintf("rdf: invalid TermID %d (dictionary size %d)", id, len(d.terms)-1))
+	}
+	return d.terms[id]
+}
+
+// Len reports the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) - 1 }

@@ -1,0 +1,141 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryInternIsIdempotent(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern(NewIRI("http://x/A"))
+	b := d.Intern(NewIRI("http://x/A"))
+	if a != b {
+		t.Fatalf("interning the same IRI twice gave %d and %d", a, b)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDictionaryDistinguishesKinds(t *testing.T) {
+	d := NewDictionary()
+	iri := d.Intern(NewIRI("Gump"))
+	lit := d.Intern(NewLiteral("Gump"))
+	blank := d.Intern(Term{Kind: Blank, Value: "Gump"})
+	if iri == lit || iri == blank || lit == blank {
+		t.Fatalf("IRI/literal/blank with same lexical form collided: %d %d %d", iri, lit, blank)
+	}
+}
+
+func TestDictionaryDistinguishesLiteralQualifiers(t *testing.T) {
+	d := NewDictionary()
+	plain := d.Intern(NewLiteral("1994"))
+	typed := d.Intern(NewTypedLiteral("1994", "http://www.w3.org/2001/XMLSchema#gYear"))
+	lang := d.Intern(NewLangLiteral("1994", "en"))
+	if plain == typed || plain == lang || typed == lang {
+		t.Fatal("literals differing only in datatype/lang collided")
+	}
+}
+
+func TestDictionaryLookupMissing(t *testing.T) {
+	d := NewDictionary()
+	if got := d.Lookup(NewIRI("http://x/missing")); got != NoTerm {
+		t.Fatalf("Lookup of missing term = %d, want NoTerm", got)
+	}
+	if got := d.LookupIRI("http://x/missing"); got != NoTerm {
+		t.Fatalf("LookupIRI of missing term = %d, want NoTerm", got)
+	}
+}
+
+func TestDictionaryRoundTripProperty(t *testing.T) {
+	d := NewDictionary()
+	f := func(value, datatype, lang string, kindSel uint8) bool {
+		var tm Term
+		switch kindSel % 3 {
+		case 0:
+			tm = NewIRI(value)
+		case 1:
+			tm = Term{Kind: Literal, Value: value, Datatype: datatype, Lang: lang}
+		default:
+			tm = Term{Kind: Blank, Value: value}
+		}
+		id := d.Intern(tm)
+		return d.Term(id) == tm && d.Intern(tm) == id && d.Lookup(tm) == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermPanicOnInvalidID(t *testing.T) {
+	d := NewDictionary()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term(NoTerm) did not panic")
+		}
+	}()
+	d.Term(NoTerm)
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{NewIRI("http://dbpedia.org/resource/Forrest_Gump"), "Forrest_Gump"},
+		{NewIRI("http://example.org/ns#starring"), "starring"},
+		{NewIRI("plain"), "plain"},
+		{NewIRI("http://example.org/trailing/"), "http://example.org/trailing/"},
+		{NewLiteral("142 minutes"), "142 minutes"},
+	}
+	for _, c := range cases {
+		if got := c.in.LocalName(); got != c.want {
+			t.Errorf("LocalName(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTermStringNTriplesSyntax(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{NewIRI("http://x/A"), "<http://x/A>"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("5", "http://x/int"), `"5"^^<http://x/int>`},
+		{NewLiteral("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+		{Term{Kind: Blank, Value: "b0"}, "_:b0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "iri" || Literal.String() != "literal" || Blank.String() != "blank" {
+		t.Fatal("TermKind.String mismatch")
+	}
+	if got := TermKind(9).String(); got != "TermKind(9)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestDictionaryDenseIDs(t *testing.T) {
+	d := NewDictionary()
+	var ids []TermID
+	for i := 0; i < 100; i++ {
+		ids = append(ids, d.Intern(NewIRI(string(rune('a'+i%26))+string(rune('0'+i/26)))))
+	}
+	want := make([]TermID, 100)
+	for i := range want {
+		want[i] = TermID(i + 1)
+	}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatal("IDs are not dense starting at 1")
+	}
+}

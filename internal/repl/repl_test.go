@@ -1,0 +1,136 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+)
+
+func run(t *testing.T, script string) string {
+	t.Helper()
+	f := kgtest.Build()
+	eng := core.New(f.Graph, core.Options{TopEntities: 8, TopFeatures: 6})
+	var out strings.Builder
+	if err := Run(f.Graph, eng, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestSearchAndSeed(t *testing.T) {
+	out := run(t, "search forrest gump\nseed Forrest_Gump\nquit\n")
+	for _, want := range []string{"Forrest Gump", "entities (c)", "semantic features (e)", "bye"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestFeatureCondition(t *testing.T) {
+	out := run(t, "feature Tom_Hanks:starring\nquit\n")
+	if !strings.Contains(out, "Tom_Hanks:starring") {
+		t.Fatalf("feature not echoed:\n%s", out)
+	}
+	if !strings.Contains(out, "Apollo 13") {
+		t.Fatal("condition results missing a Hanks film")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	out := run(t, "profile Forrest_Gump\nquit\n")
+	if !strings.Contains(out, "142 minutes") {
+		t.Fatalf("profile missing attribute:\n%s", out)
+	}
+}
+
+func TestPivotAndPath(t *testing.T) {
+	out := run(t, "search forrest gump\npivot Tom_Hanks\npath\nquit\n")
+	if !strings.Contains(out, "pivot → Tom Hanks (Actor)") {
+		t.Fatalf("pivot missing:\n%s", out)
+	}
+	if !strings.Contains(out, "exploratory path") {
+		t.Fatal("path rendering missing")
+	}
+}
+
+func TestTimelineAndRevisit(t *testing.T) {
+	out := run(t, "search gump\nsearch apollo\ntimeline\nrevisit 1\nquit\n")
+	if !strings.Contains(out, `[1] query "gump"`) {
+		t.Fatalf("timeline missing:\n%s", out)
+	}
+	if !strings.Contains(out, `keywords="gump"`) {
+		t.Fatal("revisit did not restore query 1")
+	}
+}
+
+func TestHeat(t *testing.T) {
+	out := run(t, "seed Forrest_Gump\nheat\nquit\n")
+	if !strings.Contains(out, "levels: 0..6") {
+		t.Fatalf("heat map missing:\n%s", out)
+	}
+	out = run(t, "heat\nquit\n")
+	if !strings.Contains(out, "no heat map yet") {
+		t.Fatal("empty heat not handled")
+	}
+}
+
+func TestTypeView(t *testing.T) {
+	out := run(t, "typeview Film\nquit\n")
+	if !strings.Contains(out, "starring") {
+		t.Fatalf("type view missing:\n%s", out)
+	}
+	out = run(t, "typeview Nonsense\nquit\n")
+	if !strings.Contains(out, "unknown type") {
+		t.Fatal("unknown type not reported")
+	}
+}
+
+func TestErrorsAndUnknowns(t *testing.T) {
+	out := run(t, "seed Nope\nfeature bogus\nrevisit abc\nrevisit 99\nfrobnicate\nhelp\nquit\n")
+	for _, want := range []string{
+		"unknown entity", "not in Anchor:predicate form", "needs a step number",
+		"no step 99", "unknown command", "commands:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEOFTerminates(t *testing.T) {
+	out := run(t, "search gump\n") // no quit; EOF ends the loop
+	if !strings.Contains(out, "pivote>") {
+		t.Fatal("prompt missing")
+	}
+}
+
+func TestSparqlCommand(t *testing.T) {
+	out := run(t, "sparql SELECT ?f WHERE { ?f starring Tom_Hanks . ?f director Robert_Zemeckis }\nquit\n")
+	for _, want := range []string{"?f", "Forrest Gump", "Cast Away", "(2 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sparql output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, "sparql not a query\nquit\n")
+	if !strings.Contains(out, "bgp:") {
+		t.Fatal("sparql error not reported")
+	}
+}
+
+func TestSaveLoadCommands(t *testing.T) {
+	path := t.TempDir() + "/session.json"
+	out := run(t, "search forrest gump\nseed Forrest_Gump\nsave "+path+"\nquit\n")
+	if !strings.Contains(out, "saved 2 actions") {
+		t.Fatalf("save missing:\n%s", out)
+	}
+	out = run(t, "load "+path+"\ntimeline\nquit\n")
+	if !strings.Contains(out, "restored 2 actions") || !strings.Contains(out, `query "forrest gump"`) {
+		t.Fatalf("load missing:\n%s", out)
+	}
+	out = run(t, "load /nonexistent/nope.json\nquit\n")
+	if !strings.Contains(out, "no such file") {
+		t.Fatal("load error not reported")
+	}
+}

@@ -1,0 +1,350 @@
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"pivote/internal/index"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/text"
+)
+
+// Model selects the retrieval model.
+type Model int
+
+const (
+	// ModelMLM is the paper's mixture of per-field language models.
+	ModelMLM Model = iota
+	// ModelBM25F is the fielded BM25 baseline.
+	ModelBM25F
+	// ModelLMNames is a single-field (names-only) language model.
+	ModelLMNames
+	// ModelBoolean is conjunctive boolean retrieval ranked by raw tf.
+	ModelBoolean
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelMLM:
+		return "MLM"
+	case ModelBM25F:
+		return "BM25F"
+	case ModelLMNames:
+		return "LM-names"
+	case ModelBoolean:
+		return "BooleanAND"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Params are the retrieval hyperparameters.
+type Params struct {
+	// FieldWeights mixes the per-field language models (MLM) or scales
+	// per-field term frequencies (BM25F). They are normalized to sum to 1
+	// at query time; all-zero weights are invalid.
+	FieldWeights [index.NumFields]float64
+	// Mu is the Dirichlet smoothing mass for the language models.
+	Mu float64
+	// K1 and B are the BM25F saturation and length-normalization knobs.
+	K1, B float64
+}
+
+// DefaultParams mirror the common DBpedia-entity-search settings: names
+// weighted highest, attributes and categories next, the two
+// neighbour-name fields lower; μ=100 suits short KG fields.
+func DefaultParams() Params {
+	return Params{
+		FieldWeights: [index.NumFields]float64{
+			index.FieldNames:      0.40,
+			index.FieldAttributes: 0.15,
+			index.FieldCategories: 0.20,
+			index.FieldSimilar:    0.10,
+			index.FieldRelated:    0.15,
+		},
+		Mu: 100,
+		K1: 1.2,
+		B:  0.75,
+	}
+}
+
+// Hit is one search result.
+type Hit struct {
+	Entity rdf.TermID
+	Name   string
+	Score  float64
+}
+
+// Engine retrieves entities for keyword queries.
+type Engine struct {
+	g      *kg.Graph
+	idx    *index.Index
+	params Params
+}
+
+// NewEngine builds the five-field index over the graph's entity universe.
+func NewEngine(g *kg.Graph) *Engine {
+	return &Engine{g: g, idx: BuildIndex(g), params: DefaultParams()}
+}
+
+// NewEngineWithParams is NewEngine with explicit hyperparameters.
+func NewEngineWithParams(g *kg.Graph, p Params) *Engine {
+	e := NewEngine(g)
+	e.params = p
+	return e
+}
+
+// Index exposes the underlying index (read-only) for diagnostics.
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// SetParams replaces the hyperparameters (used by the ablation benches).
+func (e *Engine) SetParams(p Params) { e.params = p }
+
+// Search runs the query under the given model and returns the top-k hits
+// in descending score order (ties broken by entity ID for determinism).
+// k <= 0 returns all matching entities.
+func (e *Engine) Search(query string, k int, model Model) []Hit {
+	terms := text.Analyze(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	var scored []Hit
+	switch model {
+	case ModelMLM:
+		scored = e.scoreMLM(terms)
+	case ModelBM25F:
+		scored = e.scoreBM25F(terms)
+	case ModelLMNames:
+		scored = e.scoreLMNames(terms)
+	case ModelBoolean:
+		scored = e.scoreBoolean(terms)
+	default:
+		panic(fmt.Sprintf("search: unknown model %d", int(model)))
+	}
+	return topK(scored, k)
+}
+
+// normWeights returns the field weights normalized to sum to 1.
+func (e *Engine) normWeights() [index.NumFields]float64 {
+	var w [index.NumFields]float64
+	sum := 0.0
+	for _, v := range e.params.FieldWeights {
+		sum += v
+	}
+	if sum <= 0 {
+		panic("search: all-zero field weights")
+	}
+	for f, v := range e.params.FieldWeights {
+		w[f] = v / sum
+	}
+	return w
+}
+
+// scoreMLM implements the paper's mixture of language models: the score
+// of a document is Σ_t log Σ_f w_f · p(t|θ_{d,f}) with per-field
+// Dirichlet-smoothed document models. Terms that are out of vocabulary in
+// every field contribute nothing (instead of -∞), which keeps multi-term
+// queries robust — the "error-tolerant" behaviour keyword search needs.
+func (e *Engine) scoreMLM(terms []string) []Hit {
+	w := e.normWeights()
+	mu := e.params.Mu
+	var collProb [index.NumFields]map[string]float64
+	for f := index.Field(0); f < index.NumFields; f++ {
+		collProb[f] = map[string]float64{}
+		for _, t := range terms {
+			collProb[f][t] = e.idx.CollectionProb(f, t)
+		}
+	}
+	docs := e.idx.CandidateDocs(terms)
+	hits := make([]Hit, 0, len(docs))
+	for _, d := range docs {
+		score := 0.0
+		matched := false
+		for _, t := range terms {
+			mix := 0.0
+			for f := index.Field(0); f < index.NumFields; f++ {
+				cp := collProb[f][t]
+				if cp == 0 && e.idx.TF(f, t, d) == 0 {
+					continue
+				}
+				dl := float64(e.idx.DocLen(f, d))
+				p := (float64(e.idx.TF(f, t, d)) + mu*cp) / (dl + mu)
+				mix += w[f] * p
+			}
+			if mix > 0 {
+				score += math.Log(mix)
+				matched = true
+			}
+		}
+		if matched {
+			hits = append(hits, e.hit(d, score))
+		}
+	}
+	return hits
+}
+
+// scoreBM25F implements the weighted-field BM25 variant: per-field term
+// frequencies are length-normalized, weighted and summed into a pseudo
+// frequency that feeds the usual BM25 saturation, with document frequency
+// computed over any-field occurrence.
+func (e *Engine) scoreBM25F(terms []string) []Hit {
+	w := e.normWeights()
+	k1, b := e.params.K1, e.params.B
+	n := float64(e.idx.DocCount())
+	df := map[string]float64{}
+	for _, t := range terms {
+		seen := map[int]bool{}
+		for f := index.Field(0); f < index.NumFields; f++ {
+			for _, p := range e.idx.Postings(f, t) {
+				seen[p.Doc] = true
+			}
+		}
+		df[t] = float64(len(seen))
+	}
+	docs := e.idx.CandidateDocs(terms)
+	hits := make([]Hit, 0, len(docs))
+	for _, d := range docs {
+		score := 0.0
+		for _, t := range terms {
+			if df[t] == 0 {
+				continue
+			}
+			pseudoTF := 0.0
+			for f := index.Field(0); f < index.NumFields; f++ {
+				tf := float64(e.idx.TF(f, t, d))
+				if tf == 0 {
+					continue
+				}
+				avg := e.idx.AvgDocLen(f)
+				norm := 1.0
+				if avg > 0 {
+					norm = 1 - b + b*float64(e.idx.DocLen(f, d))/avg
+				}
+				pseudoTF += w[f] * tf / norm
+			}
+			if pseudoTF == 0 {
+				continue
+			}
+			idf := math.Log((n-df[t]+0.5)/(df[t]+0.5) + 1)
+			score += idf * pseudoTF / (k1 + pseudoTF)
+		}
+		if score > 0 {
+			hits = append(hits, e.hit(d, score))
+		}
+	}
+	return hits
+}
+
+// scoreLMNames is the single-field query-likelihood baseline over names.
+func (e *Engine) scoreLMNames(terms []string) []Hit {
+	mu := e.params.Mu
+	docs := e.idx.CandidateDocs(terms)
+	hits := make([]Hit, 0, len(docs))
+	for _, d := range docs {
+		score := 0.0
+		matched := false
+		for _, t := range terms {
+			cp := e.idx.CollectionProb(index.FieldNames, t)
+			tf := float64(e.idx.TF(index.FieldNames, t, d))
+			if cp == 0 && tf == 0 {
+				continue
+			}
+			dl := float64(e.idx.DocLen(index.FieldNames, d))
+			score += math.Log((tf + mu*cp) / (dl + mu))
+			matched = true
+		}
+		if matched && score != 0 {
+			hits = append(hits, e.hit(d, score))
+		}
+	}
+	return hits
+}
+
+// scoreBoolean keeps documents containing every term (in any field) and
+// ranks them by summed term frequency.
+func (e *Engine) scoreBoolean(terms []string) []Hit {
+	docs := e.idx.CandidateDocs(terms)
+	hits := make([]Hit, 0, len(docs))
+	for _, d := range docs {
+		total := int32(0)
+		all := true
+		for _, t := range terms {
+			tf := int32(0)
+			for f := index.Field(0); f < index.NumFields; f++ {
+				tf += e.idx.TF(f, t, d)
+			}
+			if tf == 0 {
+				all = false
+				break
+			}
+			total += tf
+		}
+		if all {
+			hits = append(hits, e.hit(d, float64(total)))
+		}
+	}
+	return hits
+}
+
+func (e *Engine) hit(doc int, score float64) Hit {
+	ent := e.idx.Entity(doc)
+	return Hit{Entity: ent, Name: e.g.Name(ent), Score: score}
+}
+
+// topK selects the k best hits. A max-heap over all hits would also work;
+// for the typical k≪n a partial selection via a min-heap of size k is
+// cheaper.
+func topK(hits []Hit, k int) []Hit {
+	less := func(a, b Hit) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Entity < b.Entity
+	}
+	if k <= 0 || k >= len(hits) {
+		sort.Slice(hits, func(i, j int) bool { return less(hits[i], hits[j]) })
+		return hits
+	}
+	h := hitHeap{hits: make([]Hit, 0, k)}
+	for _, x := range hits {
+		if len(h.hits) < k {
+			h.hits = append(h.hits, x)
+			if len(h.hits) == k {
+				heap.Init(&h)
+			}
+			continue
+		}
+		if less(x, h.hits[0]) {
+			h.hits[0] = x
+			heap.Fix(&h, 0)
+		}
+	}
+	out := h.hits
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// hitHeap is a min-heap by (score, then entity desc) so the root is the
+// weakest of the current top-k.
+type hitHeap struct{ hits []Hit }
+
+func (h *hitHeap) Len() int { return len(h.hits) }
+func (h *hitHeap) Less(i, j int) bool {
+	a, b := h.hits[i], h.hits[j]
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Entity > b.Entity
+}
+func (h *hitHeap) Swap(i, j int)      { h.hits[i], h.hits[j] = h.hits[j], h.hits[i] }
+func (h *hitHeap) Push(x interface{}) { h.hits = append(h.hits, x.(Hit)) }
+func (h *hitHeap) Pop() interface{} {
+	old := h.hits
+	n := len(old)
+	x := old[n-1]
+	h.hits = old[:n-1]
+	return x
+}

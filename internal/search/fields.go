@@ -1,0 +1,93 @@
+// Package search implements PivotE's entity search engine (§2.2 of the
+// paper): every entity is represented as a five-field document — names,
+// attributes, categories, similar entity names, related entity names
+// (Table 1) — and retrieved with a mixture of per-field language models
+// (a multi-fielded query-likelihood model with Dirichlet smoothing).
+// BM25F, a names-only language model and boolean AND are provided as
+// baselines for experiment E7/A3.
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"pivote/internal/index"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/text"
+)
+
+// FiveFields is the raw (untokenized) five-field representation of an
+// entity — the content of Table 1 in the paper.
+type FiveFields struct {
+	Entity     rdf.TermID
+	Names      []string
+	Attributes []string
+	Categories []string
+	Similar    []string
+	Related    []string
+}
+
+// FiveFieldsOf assembles the representation from the graph.
+func FiveFieldsOf(g *kg.Graph, e rdf.TermID) FiveFields {
+	ff := FiveFields{Entity: e}
+	ff.Names = g.Labels(e)
+	if len(ff.Names) == 0 {
+		ff.Names = []string{g.Dict().Term(e).LocalName()}
+	}
+	ff.Attributes = g.Attributes(e)
+	for _, c := range g.CategoriesOf(e) {
+		ff.Categories = append(ff.Categories, g.Name(c))
+	}
+	ff.Similar = g.SimilarNames(e)
+	ff.Related = g.Names(g.Related(e))
+	return ff
+}
+
+// Tokens analyzes each field into the token streams the index consumes.
+func (ff FiveFields) Tokens() [index.NumFields][]string {
+	var out [index.NumFields][]string
+	out[index.FieldNames] = text.AnalyzeAll(ff.Names)
+	out[index.FieldAttributes] = text.AnalyzeAll(ff.Attributes)
+	out[index.FieldCategories] = text.AnalyzeAll(ff.Categories)
+	out[index.FieldSimilar] = text.AnalyzeAll(ff.Similar)
+	out[index.FieldRelated] = text.AnalyzeAll(ff.Related)
+	return out
+}
+
+// Render prints the representation as the two-column table of Table 1.
+func (ff FiveFields) Render(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: The multi-fielded entity representation for %s\n", name)
+	row := func(field string, values []string) {
+		content := strings.Join(values, ", ")
+		if content == "" {
+			content = "(none)"
+		}
+		fmt.Fprintf(&b, "  %-22s | %s\n", field, content)
+	}
+	row("names", ff.Names)
+	row("attributes", quoteAll(ff.Attributes))
+	row("categories", ff.Categories)
+	row("similar entities names", ff.Similar)
+	row("related entity names", ff.Related)
+	return b.String()
+}
+
+func quoteAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = `"` + s + `"`
+	}
+	return out
+}
+
+// BuildIndex indexes every entity of the graph under its five-field
+// representation.
+func BuildIndex(g *kg.Graph) *index.Index {
+	b := index.NewBuilder()
+	for _, e := range g.Entities() {
+		b.Add(e, FiveFieldsOf(g, e).Tokens())
+	}
+	return b.Build()
+}

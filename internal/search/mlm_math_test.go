@@ -1,0 +1,113 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"pivote/internal/index"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// buildTwoDocGraph constructs a minimal graph with two labeled entities
+// so every quantity in the MLM formula can be computed by hand:
+//
+//	doc A: names tokens {alpha, beta}
+//	doc B: names tokens {alpha, gamma, gamma}
+//
+// All other fields are empty.
+func buildTwoDocGraph(t *testing.T) (*kg.Graph, rdf.TermID, rdf.TermID) {
+	t.Helper()
+	st := rdf.NewStore(nil)
+	d := st.Dict()
+	voc := kg.InternVocab(d)
+	a := d.Intern(rdf.NewIRI(kg.ResourceIRI("A")))
+	b := d.Intern(rdf.NewIRI(kg.ResourceIRI("B")))
+	typ := d.Intern(rdf.NewIRI("http://x/Thing"))
+	st.Add(a, voc.Type, typ)
+	st.Add(b, voc.Type, typ)
+	st.Add(a, voc.Label, d.Intern(rdf.NewLiteral("alpha beta")))
+	st.Add(b, voc.Label, d.Intern(rdf.NewLiteral("alpha gamma gamma")))
+	st.Freeze()
+	return kg.NewGraph(st), a, b
+}
+
+// TestMLMScoreExact verifies the Dirichlet-smoothed mixture score digit
+// for digit against the formula
+//
+//	score(d) = Σ_t log Σ_f w_f · (tf + μ·p(t|C_f)) / (len_f + μ)
+func TestMLMScoreExact(t *testing.T) {
+	g, aID, bID := buildTwoDocGraph(t)
+	p := DefaultParams()
+	p.Mu = 10
+	eng := NewEngineWithParams(g, p)
+
+	// Collection statistics over the names field: total length 5,
+	// cf(alpha)=2, cf(beta)=1, cf(gamma)=2.
+	wNames := p.FieldWeights[index.FieldNames]
+	var wSum float64
+	for _, w := range p.FieldWeights {
+		wSum += w
+	}
+	wNames /= wSum
+
+	mu := 10.0
+	cpAlpha := 2.0 / 5.0
+	score := func(tf, docLen float64, cp float64) float64 {
+		return wNames * (tf + mu*cp) / (docLen + mu)
+	}
+
+	// Query "alpha": both docs match only in names.
+	wantA := math.Log(score(1, 2, cpAlpha))
+	wantB := math.Log(score(1, 3, cpAlpha))
+	hits := eng.Search("alpha", 0, ModelMLM)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2", len(hits))
+	}
+	got := map[rdf.TermID]float64{}
+	for _, h := range hits {
+		got[h.Entity] = h.Score
+	}
+	if math.Abs(got[aID]-wantA) > 1e-12 {
+		t.Fatalf("score(A) = %.15f, want %.15f", got[aID], wantA)
+	}
+	if math.Abs(got[bID]-wantB) > 1e-12 {
+		t.Fatalf("score(B) = %.15f, want %.15f", got[bID], wantB)
+	}
+	// Doc A is shorter, so its smoothed probability is higher.
+	if hits[0].Entity != aID {
+		t.Fatal("shorter doc must rank first for equal tf")
+	}
+
+	// Query "gamma": doc B has tf=2; doc A only background mass.
+	cpGamma := 2.0 / 5.0
+	wantB2 := math.Log(score(2, 3, cpGamma))
+	hits = eng.Search("gamma", 0, ModelMLM)
+	if hits[0].Entity != bID {
+		t.Fatal("B must rank first for gamma")
+	}
+	if math.Abs(hits[0].Score-wantB2) > 1e-12 {
+		t.Fatalf("score(B|gamma) = %.15f, want %.15f", hits[0].Score, wantB2)
+	}
+}
+
+// TestMLMTwoTermQueryIsSumOfLogs checks additivity over query terms.
+func TestMLMTwoTermQueryIsSumOfLogs(t *testing.T) {
+	g, aID, _ := buildTwoDocGraph(t)
+	p := DefaultParams()
+	p.Mu = 10
+	eng := NewEngineWithParams(g, p)
+	single := func(q string) float64 {
+		for _, h := range eng.Search(q, 0, ModelMLM) {
+			if h.Entity == aID {
+				return h.Score
+			}
+		}
+		t.Fatalf("A missing for %q", q)
+		return 0
+	}
+	both := single("alpha beta")
+	if math.Abs(both-(single("alpha")+single("beta"))) > 1e-12 {
+		t.Fatal("two-term score is not the sum of single-term scores")
+	}
+}

@@ -1,0 +1,262 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"pivote/internal/index"
+	"pivote/internal/kgtest"
+)
+
+func TestFiveFieldsOfForrestGump(t *testing.T) {
+	f := kgtest.Build()
+	ff := FiveFieldsOf(f.Graph, f.E("Forrest_Gump"))
+	if len(ff.Names) != 1 || ff.Names[0] != "Forrest Gump" {
+		t.Fatalf("names = %v", ff.Names)
+	}
+	attrs := strings.Join(ff.Attributes, "|")
+	if !strings.Contains(attrs, "142 minutes") || !strings.Contains(attrs, "55 million dollars") {
+		t.Fatalf("attributes = %v", ff.Attributes)
+	}
+	cats := strings.Join(ff.Categories, "|")
+	if !strings.Contains(cats, "American films") {
+		t.Fatalf("categories = %v", ff.Categories)
+	}
+	similar := strings.Join(ff.Similar, "|")
+	if !strings.Contains(similar, "Geenbow") || !strings.Contains(similar, "Gumpian") {
+		t.Fatalf("similar = %v", ff.Similar)
+	}
+	related := strings.Join(ff.Related, "|")
+	if !strings.Contains(related, "Tom Hanks") || !strings.Contains(related, "Robert Zemeckis") {
+		t.Fatalf("related = %v", ff.Related)
+	}
+}
+
+func TestFiveFieldsRender(t *testing.T) {
+	f := kgtest.Build()
+	ff := FiveFieldsOf(f.Graph, f.E("Forrest_Gump"))
+	out := ff.Render("Forrest_Gump")
+	for _, want := range []string{"Table 1", "names", `"142 minutes"`, "Geenbow", "Tom Hanks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiveFieldsFallbackName(t *testing.T) {
+	f := kgtest.Build()
+	// Predicates have no labels; an entity without a label would fall
+	// back to the local name. All fixture entities have labels, so check
+	// the tokens path instead: tokens of names include "forrest".
+	ff := FiveFieldsOf(f.Graph, f.E("Forrest_Gump"))
+	toks := ff.Tokens()
+	found := false
+	for _, tok := range toks[index.FieldNames] {
+		if tok == "forrest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("names tokens = %v", toks[index.FieldNames])
+	}
+}
+
+func TestSearchExactNameTopHit(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	for _, model := range []Model{ModelMLM, ModelBM25F, ModelBoolean} {
+		hits := e.Search("forrest gump", 5, model)
+		if len(hits) == 0 {
+			t.Fatalf("%v: no hits", model)
+		}
+		if hits[0].Entity != f.E("Forrest_Gump") {
+			t.Fatalf("%v: top hit = %s, want Forrest Gump", model, hits[0].Name)
+		}
+	}
+}
+
+func TestSearchRelatedFieldMatches(t *testing.T) {
+	// "tom hanks" must retrieve the films that star him (via the related
+	// field) in addition to the person.
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	hits := e.Search("tom hanks", 0, ModelMLM)
+	var names []string
+	for _, h := range hits {
+		names = append(names, h.Name)
+	}
+	joined := strings.Join(names, "|")
+	if !strings.Contains(joined, "Tom Hanks") {
+		t.Fatalf("person missing from hits: %v", names)
+	}
+	if !strings.Contains(joined, "Forrest Gump") {
+		t.Fatalf("film starring him missing from hits: %v", names)
+	}
+	// The person himself should outrank films (name-field match beats
+	// related-field match under the default weights).
+	if hits[0].Entity != f.E("Tom_Hanks") {
+		t.Fatalf("top hit = %s, want Tom Hanks", hits[0].Name)
+	}
+}
+
+func TestSearchSimilarNamesField(t *testing.T) {
+	// "geenbow" only occurs as a redirect label; MLM must still find
+	// Forrest Gump through the similar-entity-names field.
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	hits := e.Search("geenbow", 3, ModelMLM)
+	if len(hits) == 0 || hits[0].Entity != f.E("Forrest_Gump") {
+		t.Fatalf("geenbow should resolve to Forrest Gump, got %v", hits)
+	}
+	// The names-only baseline cannot find it: redirect stubs are not
+	// entities, so nothing has "geenbow" in its names field.
+	lm := e.Search("geenbow", 3, ModelLMNames)
+	for _, h := range lm {
+		if h.Entity == f.E("Forrest_Gump") && h.Score > 0 {
+			t.Fatal("LM-names unexpectedly matched through a non-name field")
+		}
+	}
+}
+
+func TestSearchBooleanConjunctive(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	// "gary sinise" AND-semantics: only docs containing both terms.
+	hits := e.Search("gary sinise", 0, ModelBoolean)
+	for _, h := range hits {
+		ff := FiveFieldsOf(f.Graph, h.Entity)
+		all := strings.ToLower(strings.Join(append(append(ff.Names, ff.Related...), ff.Similar...), " "))
+		if !strings.Contains(all, "gary") || !strings.Contains(all, "sinise") {
+			t.Fatalf("boolean hit %s lacks a query term", h.Name)
+		}
+	}
+}
+
+func TestSearchEmptyAndOOVQueries(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	if hits := e.Search("", 5, ModelMLM); hits != nil {
+		t.Fatalf("empty query returned %v", hits)
+	}
+	if hits := e.Search("zzzyqx qwwz", 5, ModelMLM); len(hits) != 0 {
+		t.Fatalf("OOV query returned %v", hits)
+	}
+}
+
+func TestSearchTopKOrderingAndBound(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	all := e.Search("films", 0, ModelMLM)
+	top3 := e.Search("films", 3, ModelMLM)
+	if len(top3) > 3 {
+		t.Fatalf("k=3 returned %d hits", len(top3))
+	}
+	if !sort.SliceIsSorted(top3, func(i, j int) bool {
+		if top3[i].Score != top3[j].Score {
+			return top3[i].Score > top3[j].Score
+		}
+		return top3[i].Entity < top3[j].Entity
+	}) {
+		t.Fatal("hits not sorted")
+	}
+	// Top-3 must agree with the prefix of the full ranking.
+	for i := range top3 {
+		if top3[i].Entity != all[i].Entity {
+			t.Fatalf("top-k disagrees with full ranking at %d: %v vs %v", i, top3[i], all[i])
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	a := e.Search("american films", 10, ModelMLM)
+	b := e.Search("american films", 10, ModelMLM)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic hit count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ranking at %d", i)
+		}
+	}
+}
+
+func TestFieldWeightsChangeRanking(t *testing.T) {
+	f := kgtest.Build()
+	// With all weight on the related field, the query "tom hanks" should
+	// rank a film above the person (films have him as related; his own
+	// related field holds film titles).
+	p := DefaultParams()
+	p.FieldWeights = [index.NumFields]float64{}
+	p.FieldWeights[index.FieldRelated] = 1
+	e := NewEngineWithParams(f.Graph, p)
+	hits := e.Search("tom hanks", 1, ModelMLM)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Entity == f.E("Tom_Hanks") {
+		t.Fatal("related-only weighting still ranks the person first")
+	}
+}
+
+func TestAllZeroWeightsPanics(t *testing.T) {
+	f := kgtest.Build()
+	p := DefaultParams()
+	p.FieldWeights = [index.NumFields]float64{}
+	e := NewEngineWithParams(f.Graph, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("all-zero weights did not panic")
+		}
+	}()
+	e.Search("gump", 1, ModelMLM)
+}
+
+func TestMLMScoresAreFiniteNegative(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	for _, h := range e.Search("american films", 0, ModelMLM) {
+		if math.IsInf(h.Score, 0) || math.IsNaN(h.Score) {
+			t.Fatalf("non-finite score for %s", h.Name)
+		}
+		if h.Score >= 0 {
+			t.Fatalf("log-probability score must be negative, got %f", h.Score)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelMLM.String() != "MLM" || ModelBM25F.String() != "BM25F" ||
+		ModelLMNames.String() != "LM-names" || ModelBoolean.String() != "BooleanAND" {
+		t.Fatal("Model.String mismatch")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Fatal("unknown model string")
+	}
+}
+
+func TestUnknownModelPanics(t *testing.T) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model did not panic")
+		}
+	}()
+	e.Search("gump", 1, Model(42))
+}
+
+func BenchmarkSearchMLM(b *testing.B) {
+	f := kgtest.Build()
+	e := NewEngine(f.Graph)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := e.Search("tom hanks american", 10, ModelMLM); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package semfeat
+
+import (
+	"sort"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// Options tune the ranking model; the zero value is the paper's model.
+type Options struct {
+	// Strict disables the error-tolerant category back-off of p(π|e)
+	// (ablation A1): a seed either holds the feature or contributes 0.
+	Strict bool
+	// UniformDiscriminability replaces d(π)=1/‖E(π)‖ with d(π)=1
+	// (ablation A2).
+	UniformDiscriminability bool
+}
+
+// Engine evaluates semantic features over one graph. It memoizes feature
+// extents and category back-off probabilities, which dominate the cost of
+// ranking. An Engine is not safe for concurrent use; create one per
+// goroutine (they share the read-only graph).
+type Engine struct {
+	g    *kg.Graph
+	opts Options
+
+	extents map[Feature][]rdf.TermID
+	// catProb memoizes p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖.
+	catProb map[catKey]float64
+	// catsBySize memoizes each entity's categories ordered most-specific
+	// first; Prob walks this list on every back-off.
+	catsBySize map[rdf.TermID][]rdf.TermID
+}
+
+type catKey struct {
+	f   Feature
+	cat rdf.TermID
+}
+
+// NewEngine returns an engine with the paper's model (error-tolerant,
+// IDF-like discriminability).
+func NewEngine(g *kg.Graph) *Engine { return NewEngineWithOptions(g, Options{}) }
+
+// NewEngineWithOptions returns an engine with explicit model options.
+func NewEngineWithOptions(g *kg.Graph, opts Options) *Engine {
+	return &Engine{
+		g:          g,
+		opts:       opts,
+		extents:    map[Feature][]rdf.TermID{},
+		catProb:    map[catKey]float64{},
+		catsBySize: map[rdf.TermID][]rdf.TermID{},
+	}
+}
+
+// Graph exposes the underlying graph.
+func (en *Engine) Graph() *kg.Graph { return en.g }
+
+// Options returns the model options in effect.
+func (en *Engine) Options() Options { return en.opts }
+
+// Reset drops the memoized extents and probabilities.
+func (en *Engine) Reset() {
+	en.extents = map[Feature][]rdf.TermID{}
+	en.catProb = map[catKey]float64{}
+	en.catsBySize = map[rdf.TermID][]rdf.TermID{}
+}
+
+// Label renders the feature in anchor:predicate notation.
+func (en *Engine) Label(f Feature) string { return Label(en.g, f) }
+
+// Extent returns E(π) as a sorted slice of entity IDs (shared with the
+// cache; do not modify). Non-entity nodes (literals, categories, redirect
+// stubs) are excluded.
+func (en *Engine) Extent(f Feature) []rdf.TermID {
+	if ext, ok := en.extents[f]; ok {
+		return ext
+	}
+	var raw []rdf.TermID
+	if f.Dir == Backward {
+		raw = en.g.Store().Subjects(f.Pred, f.Anchor)
+	} else {
+		raw = en.g.Store().Objects(f.Anchor, f.Pred)
+	}
+	ext := make([]rdf.TermID, 0, len(raw))
+	for _, id := range raw {
+		if en.g.IsEntity(id) {
+			ext = append(ext, id)
+		}
+	}
+	en.extents[f] = ext
+	return ext
+}
+
+// ExtentSize returns ‖E(π)‖.
+func (en *Engine) ExtentSize(f Feature) int { return len(en.Extent(f)) }
+
+// Holds reports e ⊨ π: the entity matches the feature's triple pattern.
+func (en *Engine) Holds(e rdf.TermID, f Feature) bool {
+	if f.Dir == Backward {
+		return en.g.Store().Has(e, f.Pred, f.Anchor)
+	}
+	return en.g.Store().Has(f.Anchor, f.Pred, e)
+}
+
+// Discriminability returns d(π) = 1/‖E(π)‖ (or 1 under the A2 ablation).
+// Features with empty extents have zero discriminability — they identify
+// nothing.
+func (en *Engine) Discriminability(f Feature) float64 {
+	n := en.ExtentSize(f)
+	if n == 0 {
+		return 0
+	}
+	if en.opts.UniformDiscriminability {
+		return 1
+	}
+	return 1 / float64(n)
+}
+
+// Prob returns p(π|e): 1 when e holds π; otherwise the error-tolerant
+// back-off p(π|c*) over e's best category — the most specific (smallest)
+// category of e whose extent overlaps E(π). Strict mode returns 0 for
+// non-holding entities.
+func (en *Engine) Prob(f Feature, e rdf.TermID) float64 {
+	if en.Holds(e, f) {
+		return 1
+	}
+	if en.opts.Strict {
+		return 0
+	}
+	// Scan categories from most to least specific; the first overlapping
+	// one is c*.
+	for _, cat := range en.categoriesBySize(e) {
+		if p := en.probGivenCategory(f, cat); p > 0 {
+			return p
+		}
+	}
+	return 0
+}
+
+// categoriesBySize returns e's categories ordered most-specific (fewest
+// members) first, memoized: Prob walks it once per (feature, entity)
+// back-off and candidates are scored against dozens of features.
+func (en *Engine) categoriesBySize(e rdf.TermID) []rdf.TermID {
+	if cats, ok := en.catsBySize[e]; ok {
+		return cats
+	}
+	cats := append([]rdf.TermID(nil), en.g.CategoriesOf(e)...)
+	sort.Slice(cats, func(i, j int) bool {
+		ni, nj := len(en.g.CategoryMembers(cats[i])), len(en.g.CategoryMembers(cats[j]))
+		if ni != nj {
+			return ni < nj
+		}
+		return cats[i] < cats[j]
+	})
+	en.catsBySize[e] = cats
+	return cats
+}
+
+func (en *Engine) probGivenCategory(f Feature, cat rdf.TermID) float64 {
+	key := catKey{f, cat}
+	if p, ok := en.catProb[key]; ok {
+		return p
+	}
+	members := en.g.CategoryMembers(cat)
+	p := 0.0
+	if len(members) > 0 {
+		inter := rdf.IntersectSorted(en.Extent(f), members)
+		p = float64(inter) / float64(len(members))
+	}
+	en.catProb[key] = p
+	return p
+}
+
+// Commonality returns c(π,Q) = Π_{e∈Q} p(π|e).
+func (en *Engine) Commonality(f Feature, seeds []rdf.TermID) float64 {
+	c := 1.0
+	for _, e := range seeds {
+		c *= en.Prob(f, e)
+		if c == 0 {
+			return 0
+		}
+	}
+	return c
+}
+
+// Relevance returns r(π,Q) = d(π) × c(π,Q).
+func (en *Engine) Relevance(f Feature, seeds []rdf.TermID) float64 {
+	d := en.Discriminability(f)
+	if d == 0 {
+		return 0
+	}
+	return d * en.Commonality(f, seeds)
+}
+
+// FeaturesOf enumerates the semantic features the entity holds: one
+// Backward feature per outgoing semantic edge (anchored at the object)
+// and one Forward feature per incoming semantic edge (anchored at the
+// subject). Metadata predicates and non-entity anchors are skipped.
+func (en *Engine) FeaturesOf(e rdf.TermID) []Feature {
+	var out []Feature
+	voc := en.g.Voc()
+	for _, edge := range en.g.Store().Out(e) {
+		if voc.IsMeta(edge.P) || !en.g.IsEntity(edge.Node) {
+			continue
+		}
+		out = append(out, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Backward})
+	}
+	for _, edge := range en.g.Store().In(e) {
+		if voc.IsMeta(edge.P) || !en.g.IsEntity(edge.Node) {
+			continue
+		}
+		out = append(out, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Forward})
+	}
+	return out
+}
+
+// CandidateFeatures unions the features held by the seeds, deduplicated,
+// in deterministic order.
+func (en *Engine) CandidateFeatures(seeds []rdf.TermID) []Feature {
+	seen := map[Feature]bool{}
+	var out []Feature
+	for _, e := range seeds {
+		for _, f := range en.FeaturesOf(e) {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Rank scores every candidate feature of the seed set and returns the
+// topK (all when topK <= 0) in descending relevance, ties broken by
+// extent size (smaller first — more discriminative) then label.
+func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
+	cands := en.CandidateFeatures(seeds)
+	scores := make([]Score, 0, len(cands))
+	for _, f := range cands {
+		r := en.Relevance(f, seeds)
+		if r <= 0 {
+			continue
+		}
+		scores = append(scores, Score{
+			Feature:    f,
+			Label:      en.Label(f),
+			R:          r,
+			ExtentSize: en.ExtentSize(f),
+		})
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].R != scores[j].R {
+			return scores[i].R > scores[j].R
+		}
+		if scores[i].ExtentSize != scores[j].ExtentSize {
+			return scores[i].ExtentSize < scores[j].ExtentSize
+		}
+		return scores[i].Label < scores[j].Label
+	})
+	if topK > 0 && len(scores) > topK {
+		scores = scores[:topK]
+	}
+	return scores
+}

@@ -1,0 +1,330 @@
+package semfeat
+
+import (
+	"math"
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+)
+
+const eps = 1e-12
+
+// feature constructors against the fixture.
+func starring(f *kgtest.Fixture, actor string) Feature {
+	return Feature{Anchor: f.E(actor), Pred: f.E("p:starring"), Dir: Backward}
+}
+
+func directedBy(f *kgtest.Fixture, d string) Feature {
+	return Feature{Anchor: f.E(d), Pred: f.E("p:director"), Dir: Backward}
+}
+
+func castOf(f *kgtest.Fixture, film string) Feature {
+	return Feature{Anchor: f.E(film), Pred: f.E("p:starring"), Dir: Forward}
+}
+
+func TestExtentBackward(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	// Tom Hanks stars in six fixture films.
+	ext := en.Extent(starring(f, "Tom_Hanks"))
+	if len(ext) != 6 {
+		t.Fatalf("E(Tom_Hanks:starring) = %d, want 6", len(ext))
+	}
+	if !rdf.ContainsSorted(ext, f.E("Forrest_Gump")) || !rdf.ContainsSorted(ext, f.E("Philadelphia")) {
+		t.Fatal("extent missing an expected film")
+	}
+	if got := en.ExtentSize(starring(f, "Gary_Sinise")); got != 2 {
+		t.Fatalf("E(Gary_Sinise:starring) = %d, want 2", got)
+	}
+}
+
+func TestExtentForward(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	// Forrest_Gump:~starring = the cast of Forrest Gump.
+	ext := en.Extent(castOf(f, "Forrest_Gump"))
+	if len(ext) != 3 {
+		t.Fatalf("E(Forrest_Gump:~starring) = %d, want 3", len(ext))
+	}
+}
+
+func TestExtentExcludesNonEntities(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	// Forward feature over a literal-valued predicate has empty extent.
+	ext := en.Extent(Feature{Anchor: f.E("Forrest_Gump"), Pred: f.E("p:runtime"), Dir: Forward})
+	if len(ext) != 0 {
+		t.Fatalf("literal extent = %d, want 0", len(ext))
+	}
+}
+
+func TestHolds(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	if !en.Holds(f.E("Forrest_Gump"), starring(f, "Tom_Hanks")) {
+		t.Fatal("Forrest_Gump must hold Tom_Hanks:starring")
+	}
+	if en.Holds(f.E("Inception"), starring(f, "Tom_Hanks")) {
+		t.Fatal("Inception must not hold Tom_Hanks:starring")
+	}
+	if !en.Holds(f.E("Tom_Hanks"), castOf(f, "Forrest_Gump")) {
+		t.Fatal("Tom_Hanks must hold Forrest_Gump:~starring")
+	}
+}
+
+func TestDiscriminability(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	if got := en.Discriminability(starring(f, "Tom_Hanks")); math.Abs(got-1.0/6) > eps {
+		t.Fatalf("d(Tom_Hanks:starring) = %f, want 1/6", got)
+	}
+	if got := en.Discriminability(starring(f, "Gary_Sinise")); math.Abs(got-0.5) > eps {
+		t.Fatalf("d(Gary_Sinise:starring) = %f, want 1/2", got)
+	}
+	// Empty extent → zero discriminability.
+	empty := Feature{Anchor: f.E("Tom_Hanks"), Pred: f.E("p:director"), Dir: Backward}
+	if got := en.Discriminability(empty); got != 0 {
+		t.Fatalf("d(empty) = %f, want 0", got)
+	}
+}
+
+func TestDiscriminabilityUniformAblation(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngineWithOptions(f.Graph, Options{UniformDiscriminability: true})
+	if got := en.Discriminability(starring(f, "Tom_Hanks")); got != 1 {
+		t.Fatalf("uniform d = %f, want 1", got)
+	}
+}
+
+func TestProbMemberIsOne(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	if got := en.Prob(starring(f, "Tom_Hanks"), f.E("Forrest_Gump")); got != 1 {
+		t.Fatalf("p(π|e) for holding entity = %f, want 1", got)
+	}
+}
+
+func TestProbErrorTolerantBackoff(t *testing.T) {
+	// Apollo_13 does not hold Robin_Wright:starring. Its most specific
+	// category is Films_directed_by_Ron_Howard = {Apollo_13}, which has
+	// empty overlap with E = {Forrest_Gump}; the next category,
+	// American_films (8 members, 1 of which is Forrest_Gump), yields 1/8.
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	got := en.Prob(starring(f, "Robin_Wright"), f.E("Apollo_13"))
+	if math.Abs(got-1.0/8) > eps {
+		t.Fatalf("back-off p = %f, want 1/8", got)
+	}
+}
+
+func TestProbStrictMode(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngineWithOptions(f.Graph, Options{Strict: true})
+	if got := en.Prob(starring(f, "Robin_Wright"), f.E("Apollo_13")); got != 0 {
+		t.Fatalf("strict p = %f, want 0", got)
+	}
+	if got := en.Prob(starring(f, "Robin_Wright"), f.E("Forrest_Gump")); got != 1 {
+		t.Fatalf("strict p for holder = %f, want 1", got)
+	}
+}
+
+func TestProbNoCategories(t *testing.T) {
+	// People have no categories in the fixture, so back-off fails to 0.
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	if got := en.Prob(starring(f, "Tom_Hanks"), f.E("Gary_Sinise")); got != 0 {
+		t.Fatalf("p for category-less entity = %f, want 0", got)
+	}
+}
+
+func TestCommonalityAndRelevance(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+
+	// Both seeds hold Gary_Sinise:starring: c = 1, d = 1/2.
+	gs := starring(f, "Gary_Sinise")
+	if got := en.Commonality(gs, seeds); got != 1 {
+		t.Fatalf("c(GS,Q) = %f, want 1", got)
+	}
+	if got := en.Relevance(gs, seeds); math.Abs(got-0.5) > eps {
+		t.Fatalf("r(GS,Q) = %f, want 0.5", got)
+	}
+
+	// Robert_Zemeckis:director: Forrest_Gump holds (p=1); Apollo_13 backs
+	// off to American_films where 2 of 8 members are Zemeckis films.
+	// c = 1 × 2/8, d = 1/2 → r = 1/8.
+	rz := directedBy(f, "Robert_Zemeckis")
+	if got := en.Relevance(rz, seeds); math.Abs(got-1.0/8) > eps {
+		t.Fatalf("r(RZ,Q) = %f, want 1/8", got)
+	}
+
+	// Tom_Hanks:starring: both hold, d = 1/6.
+	th := starring(f, "Tom_Hanks")
+	if got := en.Relevance(th, seeds); math.Abs(got-1.0/6) > eps {
+		t.Fatalf("r(TH,Q) = %f, want 1/6", got)
+	}
+}
+
+func TestCommonalityShortCircuitsOnZero(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngineWithOptions(f.Graph, Options{Strict: true})
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Inception")}
+	if got := en.Commonality(starring(f, "Tom_Hanks"), seeds); got != 0 {
+		t.Fatalf("c = %f, want 0", got)
+	}
+}
+
+func TestFeaturesOf(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	feats := en.FeaturesOf(f.E("Forrest_Gump"))
+	// Outgoing semantic edges: 3 stars + 1 director + 1 writer = 5
+	// Backward features; no semantic incoming edges.
+	if len(feats) != 5 {
+		t.Fatalf("FeaturesOf(Forrest_Gump) = %d features, want 5", len(feats))
+	}
+	for _, ft := range feats {
+		if ft.Dir != Backward {
+			t.Fatalf("unexpected forward feature %+v", ft)
+		}
+	}
+	// Tom_Hanks's features are all Forward (anchored at his films).
+	feats = en.FeaturesOf(f.E("Tom_Hanks"))
+	if len(feats) != 6 {
+		t.Fatalf("FeaturesOf(Tom_Hanks) = %d, want 6", len(feats))
+	}
+	for _, ft := range feats {
+		if ft.Dir != Forward {
+			t.Fatalf("unexpected backward feature %+v", ft)
+		}
+	}
+}
+
+func TestRankSingleSeed(t *testing.T) {
+	// With one seed every held feature has c=1, so ranking is pure
+	// discriminability: extent-1 features first, Tom_Hanks:starring
+	// (extent 6) last.
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	scores := en.Rank([]rdf.TermID{f.E("Forrest_Gump")}, 0)
+	if len(scores) != 5 {
+		t.Fatalf("got %d scored features, want 5", len(scores))
+	}
+	if scores[0].Label != "Robin_Wright:starring" || scores[1].Label != "Winston_Groom:writer" {
+		t.Fatalf("top-2 = %s, %s; want Robin_Wright:starring, Winston_Groom:writer",
+			scores[0].Label, scores[1].Label)
+	}
+	last := scores[len(scores)-1]
+	if last.Label != "Tom_Hanks:starring" || math.Abs(last.R-1.0/6) > eps {
+		t.Fatalf("last = %+v, want Tom_Hanks:starring at 1/6", last)
+	}
+}
+
+func TestRankTwoSeedsPrefersSharedSpecificFeature(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	scores := en.Rank(seeds, 0)
+	if len(scores) == 0 {
+		t.Fatal("no features ranked")
+	}
+	// Gary Sinise stars in exactly the two seeds: the strongest feature.
+	if scores[0].Label != "Gary_Sinise:starring" {
+		t.Fatalf("top feature = %s, want Gary_Sinise:starring", scores[0].Label)
+	}
+	if math.Abs(scores[0].R-0.5) > eps {
+		t.Fatalf("top score = %f, want 0.5", scores[0].R)
+	}
+	// Tom_Hanks:starring is second (both hold it, d=1/6 beats the 1/8
+	// back-off group).
+	if scores[1].Label != "Tom_Hanks:starring" {
+		t.Fatalf("second feature = %s, want Tom_Hanks:starring", scores[1].Label)
+	}
+}
+
+func TestRankTopKTruncates(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	scores := en.Rank([]rdf.TermID{f.E("Forrest_Gump")}, 2)
+	if len(scores) != 2 {
+		t.Fatalf("topK=2 returned %d", len(scores))
+	}
+}
+
+func TestRankMonotoneNonIncreasing(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	scores := en.Rank([]rdf.TermID{f.E("Forrest_Gump"), f.E("Cast_Away")}, 0)
+	for i := 1; i < len(scores); i++ {
+		if scores[i].R > scores[i-1].R+eps {
+			t.Fatalf("scores not non-increasing at %d: %f > %f", i, scores[i].R, scores[i-1].R)
+		}
+	}
+}
+
+func TestRankStrictSubsetOfTolerant(t *testing.T) {
+	// Every feature with positive score under strict mode must score at
+	// least as high under the error-tolerant model.
+	f := kgtest.Build()
+	tolerant := NewEngine(f.Graph)
+	strict := NewEngineWithOptions(f.Graph, Options{Strict: true})
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	strictScores := map[Feature]float64{}
+	for _, s := range strict.Rank(seeds, 0) {
+		strictScores[s.Feature] = s.R
+	}
+	tolerantScores := map[Feature]float64{}
+	for _, s := range tolerant.Rank(seeds, 0) {
+		tolerantScores[s.Feature] = s.R
+	}
+	if len(tolerantScores) < len(strictScores) {
+		t.Fatal("tolerant model ranked fewer features than strict")
+	}
+	for ft, rs := range strictScores {
+		if tolerantScores[ft]+eps < rs {
+			t.Fatalf("tolerant score below strict for %v: %f < %f", ft, tolerantScores[ft], rs)
+		}
+	}
+}
+
+func TestLabelNotation(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	if got := en.Label(starring(f, "Tom_Hanks")); got != "Tom_Hanks:starring" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := en.Label(castOf(f, "Forrest_Gump")); got != "Forrest_Gump:~starring" {
+		t.Fatalf("forward label = %q", got)
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if Backward.String() != "backward" || Forward.String() != "forward" {
+		t.Fatal("Dir.String mismatch")
+	}
+}
+
+func TestResetClearsCaches(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	_ = en.Extent(starring(f, "Tom_Hanks"))
+	en.Reset()
+	if got := en.ExtentSize(starring(f, "Tom_Hanks")); got != 6 {
+		t.Fatalf("extent after reset = %d, want 6", got)
+	}
+}
+
+func BenchmarkRankTwoSeeds(b *testing.B) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	seeds := []rdf.TermID{f.E("Forrest_Gump"), f.E("Apollo_13")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := en.Rank(seeds, 10); len(s) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}

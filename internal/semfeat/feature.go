@@ -1,0 +1,72 @@
+// Package semfeat implements PivotE's semantic features and their ranking
+// model (§2.3.1 of the paper).
+//
+// A semantic feature (SF) π is an anchor entity plus a directional
+// predicate, e.g. Tom_Hanks:starring — "the entities that have Tom_Hanks
+// as a star". Its extent E(π) is the set of entities matching the triple
+// pattern. Features are ranked against a query (a set of seed entities)
+// by r(π,Q) = d(π) × c(π,Q), where the discriminability d(π) = 1/‖E(π)‖
+// is IDF-like and the commonality c(π,Q) = Π_{e∈Q} p(π|e) multiplies the
+// per-seed membership probabilities. p(π|e) is error-tolerant: a seed
+// that does not hold π itself is backed off to its best category c*,
+// p(π|c*) = ‖E(π)∩E(c*)‖/‖E(c*)‖, so near-miss features still receive
+// credit — the property that makes the model robust to incomplete KGs.
+package semfeat
+
+import (
+	"fmt"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// Dir is the direction of a semantic feature's predicate relative to its
+// anchor.
+type Dir uint8
+
+const (
+	// Backward is the paper's canonical form <x, p, e>: the anchor is the
+	// object and the extent is the subjects (Tom_Hanks:starring — films
+	// that star Tom Hanks).
+	Backward Dir = iota
+	// Forward is the form <e, p, x>: the anchor is the subject and the
+	// extent is the objects (Forrest_Gump:starring — the actors starring
+	// in Forrest Gump).
+	Forward
+)
+
+func (d Dir) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// Feature is a semantic feature π. The zero value is not a valid feature.
+type Feature struct {
+	Anchor rdf.TermID
+	Pred   rdf.TermID
+	Dir    Dir
+}
+
+// Score pairs a feature with its relevance to a query.
+type Score struct {
+	Feature Feature
+	Label   string
+	// R is the relevance r(π,Q) = d(π)·c(π,Q).
+	R float64
+	// ExtentSize is ‖E(π)‖.
+	ExtentSize int
+}
+
+// Label renders π in the paper's anchor:predicate notation; the inverse
+// (Forward) direction is marked with '~' before the predicate, e.g.
+// "Forrest_Gump:~starring".
+func Label(g *kg.Graph, f Feature) string {
+	anchor := g.Dict().Term(f.Anchor).LocalName()
+	pred := g.Dict().Term(f.Pred).LocalName()
+	if f.Dir == Forward {
+		return fmt.Sprintf("%s:~%s", anchor, pred)
+	}
+	return fmt.Sprintf("%s:%s", anchor, pred)
+}

@@ -1,0 +1,45 @@
+package semfeat
+
+import (
+	"fmt"
+	"strings"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// ontologyNS is the predicate namespace of the synthetic generator; Parse
+// falls back to it for bare predicate names such as "starring".
+const ontologyNS = "http://pivote.dev/ontology/"
+
+// Parse resolves the "Anchor:predicate" / "Anchor:~predicate" notation
+// produced by Label back into a Feature. Anchors and predicates may be
+// local names or full IRIs.
+func Parse(g *kg.Graph, s string) (Feature, error) {
+	i := strings.LastIndex(s, ":")
+	// IRIs contain ':'; skip over any "://" so full-IRI anchors parse.
+	for i > 0 && strings.HasPrefix(s[i:], "://") {
+		i = strings.LastIndex(s[:i], ":")
+	}
+	if i <= 0 || i == len(s)-1 {
+		return Feature{}, fmt.Errorf("semfeat: feature %q is not in Anchor:predicate form", s)
+	}
+	anchorStr, predStr := s[:i], s[i+1:]
+	dir := Backward
+	if strings.HasPrefix(predStr, "~") {
+		dir = Forward
+		predStr = predStr[1:]
+	}
+	anchor := g.EntityByName(anchorStr)
+	if anchor == rdf.NoTerm {
+		return Feature{}, fmt.Errorf("semfeat: unknown anchor entity %q", anchorStr)
+	}
+	pred := g.Dict().LookupIRI(predStr)
+	if pred == rdf.NoTerm {
+		pred = g.Dict().LookupIRI(ontologyNS + predStr)
+	}
+	if pred == rdf.NoTerm {
+		return Feature{}, fmt.Errorf("semfeat: unknown predicate %q", predStr)
+	}
+	return Feature{Anchor: anchor, Pred: pred, Dir: dir}, nil
+}

@@ -1,0 +1,91 @@
+package semfeat
+
+import (
+	"testing"
+
+	"pivote/internal/kg"
+	"pivote/internal/kgtest"
+)
+
+func TestParseBackward(t *testing.T) {
+	f := kgtest.Build()
+	got, err := Parse(f.Graph, "Tom_Hanks:starring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Feature{Anchor: f.E("Tom_Hanks"), Pred: f.E("p:starring"), Dir: Backward}
+	if got != want {
+		t.Fatalf("Parse = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseForward(t *testing.T) {
+	f := kgtest.Build()
+	got, err := Parse(f.Graph, "Forrest_Gump:~starring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dir != Forward || got.Anchor != f.E("Forrest_Gump") {
+		t.Fatalf("Parse = %+v", got)
+	}
+}
+
+func TestParseFullIRIAnchor(t *testing.T) {
+	f := kgtest.Build()
+	got, err := Parse(f.Graph, kg.ResourceIRI("Tom_Hanks")+":starring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Anchor != f.E("Tom_Hanks") {
+		t.Fatalf("Parse with IRI anchor = %+v", got)
+	}
+}
+
+func TestParseFullIRIPredicate(t *testing.T) {
+	f := kgtest.Build()
+	got, err := Parse(f.Graph, "Tom_Hanks:http://pivote.dev/ontology/starring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pred != f.E("p:starring") {
+		t.Fatalf("Parse with IRI predicate = %+v", got)
+	}
+}
+
+func TestParseRoundTripsLabel(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngine(f.Graph)
+	for _, ft := range en.FeaturesOf(f.E("Forrest_Gump")) {
+		label := en.Label(ft)
+		back, err := Parse(f.Graph, label)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", label, err)
+		}
+		if back != ft {
+			t.Fatalf("round trip of %q: %+v vs %+v", label, back, ft)
+		}
+	}
+}
+
+func TestParseErrorCases(t *testing.T) {
+	f := kgtest.Build()
+	for _, bad := range []string{
+		"", ":", "noseparator", ":starring", "Tom_Hanks:",
+		"Unknown_Person:starring", "Tom_Hanks:nosuchpred", "Tom_Hanks:~",
+	} {
+		if _, err := Parse(f.Graph, bad); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	f := kgtest.Build()
+	en := NewEngineWithOptions(f.Graph, Options{Strict: true})
+	if en.Graph() != f.Graph {
+		t.Fatal("Graph accessor mismatch")
+	}
+	if !en.Options().Strict {
+		t.Fatal("Options accessor mismatch")
+	}
+}

@@ -1,0 +1,123 @@
+// Package server exposes a PivotE engine over HTTP: a JSON API mirroring
+// every interaction of the paper's interface plus an embedded
+// single-page web UI. One Server wraps one engine (one user session);
+// requests are serialized with a mutex because the underlying session is
+// stateful.
+package server
+
+import (
+	"pivote/internal/core"
+	"pivote/internal/heatmap"
+	"pivote/internal/kg"
+	"pivote/internal/session"
+)
+
+// stateDTO is the JSON form of a core.Result.
+type stateDTO struct {
+	Description string          `json:"description"`
+	Entities    []entityDTO     `json:"entities"`
+	Features    []featureDTO    `json:"features"`
+	Heat        *heatmap.Matrix `json:"heat,omitempty"`
+	Timeline    []timelineDTO   `json:"timeline"`
+}
+
+type entityDTO struct {
+	ID    uint32  `json:"id"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+	Type  string  `json:"type,omitempty"`
+}
+
+type featureDTO struct {
+	Label      string  `json:"label"`
+	AnchorID   uint32  `json:"anchorId"`
+	R          float64 `json:"r"`
+	ExtentSize int     `json:"extentSize"`
+}
+
+type timelineDTO struct {
+	Step         int    `json:"step"`
+	Kind         string `json:"kind"`
+	Label        string `json:"label"`
+	RevisitOf    int    `json:"revisitOf,omitempty"`
+	ChangesQuery bool   `json:"changesQuery"`
+}
+
+type profileDTO struct {
+	ID         uint32    `json:"id"`
+	IRI        string    `json:"iri"`
+	Name       string    `json:"name"`
+	Abstract   string    `json:"abstract,omitempty"`
+	Types      []string  `json:"types"`
+	Categories []string  `json:"categories"`
+	Facts      []factDTO `json:"facts"`
+	Literals   []factDTO `json:"literals"`
+	Incoming   []factDTO `json:"incoming"`
+}
+
+type factDTO struct {
+	Predicate string `json:"predicate"`
+	Value     string `json:"value"`
+}
+
+type errorDTO struct {
+	Error string `json:"error"`
+}
+
+func toStateDTO(g *kg.Graph, res *core.Result) stateDTO {
+	dto := stateDTO{Description: res.Description, Heat: res.Heat}
+	for _, e := range res.Entities {
+		typeName := ""
+		if t := g.PrimaryType(e.Entity); t != 0 {
+			typeName = g.Name(t)
+		}
+		dto.Entities = append(dto.Entities, entityDTO{
+			ID: uint32(e.Entity), Name: e.Name, Score: e.Score, Type: typeName,
+		})
+	}
+	for _, f := range res.Features {
+		dto.Features = append(dto.Features, featureDTO{
+			Label:      f.Label,
+			AnchorID:   uint32(f.Feature.Anchor),
+			R:          f.R,
+			ExtentSize: f.ExtentSize,
+		})
+	}
+	dto.Timeline = toTimelineDTO(res.Timeline)
+	return dto
+}
+
+func toTimelineDTO(actions []session.Action) []timelineDTO {
+	out := make([]timelineDTO, 0, len(actions))
+	for _, a := range actions {
+		out = append(out, timelineDTO{
+			Step:         a.Step,
+			Kind:         a.Kind.String(),
+			Label:        a.Label,
+			RevisitOf:    a.RevisitOf,
+			ChangesQuery: a.ChangesQuery,
+		})
+	}
+	return out
+}
+
+func toProfileDTO(p kg.Profile) profileDTO {
+	conv := func(fs []kg.Fact) []factDTO {
+		out := make([]factDTO, 0, len(fs))
+		for _, f := range fs {
+			out = append(out, factDTO{Predicate: f.Predicate, Value: f.Value})
+		}
+		return out
+	}
+	return profileDTO{
+		ID:         uint32(p.ID),
+		IRI:        p.IRI,
+		Name:       p.Name,
+		Abstract:   p.Abstract,
+		Types:      p.Types,
+		Categories: p.Categories,
+		Facts:      conv(p.Facts),
+		Literals:   conv(p.Literals),
+		Incoming:   conv(p.InvertedIn),
+	}
+}

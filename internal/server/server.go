@@ -1,0 +1,312 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pivote/internal/core"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+)
+
+// Server serves one PivotE session over HTTP.
+type Server struct {
+	mu  sync.Mutex
+	eng *core.Engine
+	g   *kg.Graph
+}
+
+// New wraps a fresh engine over the graph.
+func New(g *kg.Graph, opts core.Options) *Server {
+	return &Server{eng: core.New(g, opts), g: g}
+}
+
+// Handler returns the HTTP handler: the JSON API under /api/ and the
+// embedded UI at /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleUI)
+	mux.HandleFunc("GET /api/state", s.handleState)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/entity/add", s.entityOp((*core.Engine).AddSeed))
+	mux.HandleFunc("POST /api/entity/remove", s.entityOp((*core.Engine).RemoveSeed))
+	mux.HandleFunc("POST /api/pivot", s.entityOp((*core.Engine).Pivot))
+	mux.HandleFunc("POST /api/feature/add", s.featureOp((*core.Engine).AddFeature))
+	mux.HandleFunc("POST /api/feature/remove", s.featureOp((*core.Engine).RemoveFeature))
+	mux.HandleFunc("POST /api/revisit", s.handleRevisit)
+	mux.HandleFunc("GET /api/profile", s.handleProfile)
+	mux.HandleFunc("GET /api/heatmap.svg", s.handleHeatmapSVG)
+	mux.HandleFunc("GET /api/path.svg", s.handlePathSVG)
+	mux.HandleFunc("GET /api/path.dot", s.handlePathDOT)
+	mux.HandleFunc("GET /api/suggest", s.handleSuggest)
+	mux.HandleFunc("GET /api/explain", s.handleExplain)
+	mux.HandleFunc("GET /api/session/save", s.handleSessionSave)
+	mux.HandleFunc("POST /api/session/load", s.handleSessionLoad)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorDTO{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) writeState(w http.ResponseWriter, res *core.Result) {
+	writeJSON(w, http.StatusOK, toStateDTO(s.g, res))
+}
+
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeState(w, s.eng.Evaluate())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Keywords string `json:"keywords"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeState(w, s.eng.Submit(body.Keywords))
+}
+
+// resolveEntity accepts {"id": N} or {"name": "Forrest_Gump"}.
+func (s *Server) resolveEntity(r *http.Request) (rdf.TermID, error) {
+	var body struct {
+		ID   uint32 `json:"id"`
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return rdf.NoTerm, fmt.Errorf("bad request body: %v", err)
+	}
+	if body.ID != 0 {
+		id := rdf.TermID(body.ID)
+		if !s.g.IsEntity(id) {
+			return rdf.NoTerm, fmt.Errorf("id %d is not an entity", body.ID)
+		}
+		return id, nil
+	}
+	if body.Name != "" {
+		if id := s.g.EntityByName(body.Name); id != rdf.NoTerm {
+			return id, nil
+		}
+		return rdf.NoTerm, fmt.Errorf("unknown entity %q", body.Name)
+	}
+	return rdf.NoTerm, fmt.Errorf("need id or name")
+}
+
+func (s *Server) entityOp(op func(*core.Engine, rdf.TermID) *core.Result) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := s.resolveEntity(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.writeState(w, op(s.eng, id))
+	}
+}
+
+func (s *Server) featureOp(op func(*core.Engine, semfeat.Feature) *core.Result) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Label string `json:"label"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		f, err := semfeat.Parse(s.g, body.Label)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.writeState(w, op(s.eng, f))
+	}
+}
+
+func (s *Server) handleRevisit(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Step int `json:"step"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.eng.Revisit(body.Step)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeState(w, res)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	name := r.URL.Query().Get("name")
+	var id rdf.TermID
+	switch {
+	case idStr != "":
+		n, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad id %q", idStr)
+			return
+		}
+		id = rdf.TermID(n)
+		if !s.g.IsEntity(id) {
+			writeErr(w, http.StatusNotFound, "id %d is not an entity", n)
+			return
+		}
+	case name != "":
+		id = s.g.EntityByName(name)
+		if id == rdf.NoTerm {
+			writeErr(w, http.StatusNotFound, "unknown entity %q", name)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "need id or name")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, toProfileDTO(s.eng.Lookup(id)))
+}
+
+func (s *Server) handleHeatmapSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	res := s.eng.Evaluate()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if res.Heat != nil {
+		_, _ = w.Write([]byte(res.Heat.SVG()))
+	}
+}
+
+func (s *Server) handlePathSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	svg := s.eng.Session().PathSVG()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(svg))
+}
+
+func (s *Server) handlePathDOT(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	dot := s.eng.Session().PathDOT()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(dot))
+}
+
+// handleExplain answers "why does this entity correlate with this
+// feature?" — the §3.2 explanation ("both performed by Tom Hanks and
+// Gary Sinise"). Query params: entity id, feature label.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("entity")
+	label := r.URL.Query().Get("feature")
+	n, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad entity id %q", idStr)
+		return
+	}
+	id := rdf.TermID(n)
+	if !s.g.IsEntity(id) {
+		writeErr(w, http.StatusNotFound, "id %d is not an entity", n)
+		return
+	}
+	f, err := semfeat.Parse(s.g, label)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	fe := s.eng.Features()
+	prob := fe.Prob(f, id)
+	holds := fe.Holds(id, f)
+	s.mu.Unlock()
+	explanation := ""
+	switch {
+	case holds:
+		explanation = s.g.Name(id) + " matches " + label
+	case prob > 0:
+		explanation = s.g.Name(id) + " is related to " + label + " through its category"
+	default:
+		explanation = s.g.Name(id) + " has no correlation with " + label
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"entity":      s.g.Name(id),
+		"feature":     label,
+		"holds":       holds,
+		"probability": prob,
+		"explanation": explanation,
+	})
+}
+
+func (s *Server) handleSessionSave(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	raw, err := s.eng.SaveSession()
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="pivote-session.json"`)
+	_, _ = w.Write(raw)
+}
+
+func (s *Server) handleSessionLoad(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.eng.LoadSession(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeState(w, res)
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusOK, []entityDTO{})
+		return
+	}
+	s.mu.Lock()
+	hits := s.eng.Searcher().Search(q, 10, search.ModelMLM)
+	s.mu.Unlock()
+	out := make([]entityDTO, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, entityDTO{ID: uint32(h.Entity), Name: h.Name, Score: h.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *kgtest.Fixture) {
+	t.Helper()
+	f := kgtest.Build()
+	srv := New(f.Graph, core.Options{TopEntities: 10, TopFeatures: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, f
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeState(t *testing.T, resp *http.Response) stateDTO {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		var e errorDTO
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	var st stateDTO
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestUIServed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PivotE") || !strings.Contains(buf.String(), "api/query") {
+		t.Fatal("UI page malformed")
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	st := decodeState(t, postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "forrest gump"}))
+	if len(st.Entities) == 0 || st.Entities[0].Name != "Forrest Gump" {
+		t.Fatalf("entities = %+v", st.Entities)
+	}
+	if len(st.Timeline) != 1 {
+		t.Fatalf("timeline = %+v", st.Timeline)
+	}
+	if st.Entities[0].Type != "Film" {
+		t.Fatalf("type annotation = %q", st.Entities[0].Type)
+	}
+}
+
+func TestEntityAddByNameAndID(t *testing.T) {
+	ts, f := newTestServer(t)
+	st := decodeState(t, postJSON(t, ts.URL+"/api/entity/add", map[string]string{"name": "Forrest_Gump"}))
+	if !strings.Contains(st.Description, "Forrest Gump") {
+		t.Fatalf("description = %q", st.Description)
+	}
+	st = decodeState(t, postJSON(t, ts.URL+"/api/entity/add",
+		map[string]uint32{"id": uint32(f.E("Apollo_13"))}))
+	if !strings.Contains(st.Description, "Apollo 13") {
+		t.Fatalf("description = %q", st.Description)
+	}
+	if len(st.Entities) == 0 {
+		t.Fatal("no recommendations after two seeds")
+	}
+}
+
+func TestEntityAddErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/api/entity/add", map[string]string{"name": "Nope_Nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/entity/add", map[string]uint32{"id": 999999})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/api/entity/add", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestFeatureAddRemove(t *testing.T) {
+	ts, _ := newTestServer(t)
+	st := decodeState(t, postJSON(t, ts.URL+"/api/feature/add", map[string]string{"label": "Tom_Hanks:starring"}))
+	if len(st.Entities) != 6 {
+		t.Fatalf("Tom_Hanks:starring = %d films, want 6", len(st.Entities))
+	}
+	st = decodeState(t, postJSON(t, ts.URL+"/api/feature/remove", map[string]string{"label": "Tom_Hanks:starring"}))
+	if len(st.Entities) != 0 {
+		t.Fatal("feature removal did not clear results")
+	}
+	resp := postJSON(t, ts.URL+"/api/feature/add", map[string]string{"label": "Bogus:nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPivotEndpoint(t *testing.T) {
+	ts, f := newTestServer(t)
+	postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "forrest gump"})
+	st := decodeState(t, postJSON(t, ts.URL+"/api/pivot", map[string]uint32{"id": uint32(f.E("Tom_Hanks"))}))
+	if !strings.Contains(st.Description, "Tom Hanks") {
+		t.Fatalf("pivot description = %q", st.Description)
+	}
+	for _, e := range st.Entities {
+		if e.Type != "Actor" {
+			t.Fatalf("pivot produced %s of type %s", e.Name, e.Type)
+		}
+	}
+}
+
+func TestRevisitEndpoint(t *testing.T) {
+	ts, f := newTestServer(t)
+	postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "forrest gump"})
+	postJSON(t, ts.URL+"/api/pivot", map[string]uint32{"id": uint32(f.E("Tom_Hanks"))})
+	st := decodeState(t, postJSON(t, ts.URL+"/api/revisit", map[string]int{"step": 1}))
+	if !strings.Contains(st.Description, "forrest gump") {
+		t.Fatalf("revisit description = %q", st.Description)
+	}
+	resp := postJSON(t, ts.URL+"/api/revisit", map[string]int{"step": 99})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	ts, f := newTestServer(t)
+	resp, err := http.Get(fmt.Sprintf("%s/api/profile?id=%d", ts.URL, f.E("Forrest_Gump")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p profileDTO
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Forrest Gump" || len(p.Facts) == 0 || len(p.Literals) == 0 {
+		t.Fatalf("profile = %+v", p)
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/profile?name=Tom_Hanks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("by-name status = %d", resp2.StatusCode)
+	}
+
+	for _, bad := range []string{"/api/profile", "/api/profile?id=abc", "/api/profile?id=999999", "/api/profile?name=Zzz"} {
+		r, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			t.Fatalf("%s unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestHeatmapAndPathArtifacts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "forrest gump"})
+	postJSON(t, ts.URL+"/api/entity/add", map[string]string{"name": "Forrest_Gump"})
+	for _, path := range []string{"/api/heatmap.svg", "/api/path.svg"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("%s content type %q", path, ct)
+		}
+		if !strings.Contains(buf.String(), "<svg") {
+			t.Fatalf("%s not SVG", path)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/path.dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Fatal("path.dot not DOT")
+	}
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/suggest?q=tom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hits []entityDTO
+	if err := json.NewDecoder(resp.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no suggestions for 'tom'")
+	}
+	resp2, err := http.Get(ts.URL + "/api/suggest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var empty []entityDTO
+	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatal("empty query returned suggestions")
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts, f := newTestServer(t)
+	get := func(query string) (int, map[string]interface{}) {
+		resp, err := http.Get(ts.URL + "/api/explain?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]interface{}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get(fmt.Sprintf("entity=%d&feature=Tom_Hanks:starring", f.E("Forrest_Gump")))
+	if code != http.StatusOK || body["holds"] != true {
+		t.Fatalf("member explain = %d %v", code, body)
+	}
+	if !strings.Contains(body["explanation"].(string), "matches") {
+		t.Fatalf("explanation = %v", body["explanation"])
+	}
+
+	// Apollo_13 does not star Robin Wright but backs off via categories.
+	code, body = get(fmt.Sprintf("entity=%d&feature=Robin_Wright:starring", f.E("Apollo_13")))
+	if code != http.StatusOK || body["holds"] != false {
+		t.Fatalf("backoff explain = %d %v", code, body)
+	}
+	if body["probability"].(float64) <= 0 {
+		t.Fatal("backoff probability should be positive")
+	}
+
+	for _, bad := range []string{
+		"entity=abc&feature=Tom_Hanks:starring",
+		"entity=999999&feature=Tom_Hanks:starring",
+		fmt.Sprintf("entity=%d&feature=garbage", f.E("Apollo_13")),
+	} {
+		code, _ = get(bad)
+		if code == http.StatusOK {
+			t.Fatalf("explain %q unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestStateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeState(t, resp)
+	if st.Description != "(empty query)" {
+		t.Fatalf("initial description = %q", st.Description)
+	}
+}
+
+func TestBadJSONBodies(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/api/query", "/api/entity/add", "/api/feature/add", "/api/revisit"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with bad JSON: status %d", path, resp.StatusCode)
+		}
+	}
+}

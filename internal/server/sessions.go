@@ -1,0 +1,113 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync"
+
+	"pivote/internal/core"
+	"pivote/internal/kg"
+)
+
+// Multi serves independent PivotE sessions to multiple users over one
+// shared (read-only) graph. Each browser gets a cookie-keyed engine; an
+// LRU bound caps memory.
+type Multi struct {
+	mu       sync.Mutex
+	g        *kg.Graph
+	opts     core.Options
+	max      int
+	sessions map[string]*sessionEntry
+	order    []string // least recently used first
+}
+
+type sessionEntry struct {
+	srv     *Server
+	handler http.Handler
+}
+
+const sessionCookie = "pivote_session"
+
+// NewMulti creates a multi-session front end. maxSessions <= 0 defaults
+// to 64.
+func NewMulti(g *kg.Graph, opts core.Options, maxSessions int) *Multi {
+	if maxSessions <= 0 {
+		maxSessions = 64
+	}
+	return &Multi{
+		g:        g,
+		opts:     opts,
+		max:      maxSessions,
+		sessions: map[string]*sessionEntry{},
+	}
+}
+
+// SessionCount reports the number of live sessions.
+func (m *Multi) SessionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Handler returns the dispatching handler: it assigns a session cookie on
+// first contact and routes every request to that session's engine.
+func (m *Multi) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		token := ""
+		if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
+			token = c.Value
+		}
+		entry, token := m.getOrCreate(token)
+		http.SetCookie(w, &http.Cookie{
+			Name:     sessionCookie,
+			Value:    token,
+			Path:     "/",
+			HttpOnly: true,
+			SameSite: http.SameSiteLaxMode,
+		})
+		entry.handler.ServeHTTP(w, r)
+	})
+}
+
+func (m *Multi) getOrCreate(token string) (*sessionEntry, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.sessions[token]; ok {
+		m.touch(token)
+		return e, token
+	}
+	if token == "" || m.sessions[token] == nil {
+		token = newToken()
+	}
+	srv := New(m.g, m.opts)
+	e := &sessionEntry{srv: srv, handler: srv.Handler()}
+	m.sessions[token] = e
+	m.order = append(m.order, token)
+	for len(m.sessions) > m.max {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.sessions, oldest)
+	}
+	return e, token
+}
+
+func (m *Multi) touch(token string) {
+	for i, t := range m.order {
+		if t == token {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.order = append(m.order, token)
+			return
+		}
+	}
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a panic is
+		// more honest than serving predictable session tokens.
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

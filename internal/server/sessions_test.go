@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+)
+
+func newMultiServer(t *testing.T, maxSessions int) *httptest.Server {
+	t.Helper()
+	f := kgtest.Build()
+	m := NewMulti(f.Graph, core.Options{TopEntities: 5, TopFeatures: 5}, maxSessions)
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func clientWithJar(t *testing.T) *http.Client {
+	t.Helper()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Client{Jar: jar}
+}
+
+func postQuery(t *testing.T, c *http.Client, url, keywords string) stateDTO {
+	t.Helper()
+	raw, _ := json.Marshal(map[string]string{"keywords": keywords})
+	resp, err := c.Post(url+"/api/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stateDTO
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getState(t *testing.T, c *http.Client, url string) stateDTO {
+	t.Helper()
+	resp, err := c.Get(url + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st stateDTO
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestMultiSessionIsolation(t *testing.T) {
+	ts := newMultiServer(t, 8)
+	alice := clientWithJar(t)
+	bob := clientWithJar(t)
+
+	postQuery(t, alice, ts.URL, "forrest gump")
+	postQuery(t, bob, ts.URL, "apollo")
+
+	aliceState := getState(t, alice, ts.URL)
+	bobState := getState(t, bob, ts.URL)
+	if !strings.Contains(aliceState.Description, "forrest gump") {
+		t.Fatalf("alice sees %q", aliceState.Description)
+	}
+	if !strings.Contains(bobState.Description, "apollo") {
+		t.Fatalf("bob sees %q", bobState.Description)
+	}
+	if len(aliceState.Timeline) != 1 || len(bobState.Timeline) != 1 {
+		t.Fatal("timelines leaked between sessions")
+	}
+}
+
+func TestMultiSessionCookiePersistence(t *testing.T) {
+	ts := newMultiServer(t, 8)
+	c := clientWithJar(t)
+	postQuery(t, c, ts.URL, "gump")
+	postQuery(t, c, ts.URL, "apollo")
+	st := getState(t, c, ts.URL)
+	if len(st.Timeline) != 2 {
+		t.Fatalf("timeline = %d actions, want 2 (same session)", len(st.Timeline))
+	}
+}
+
+func TestMultiSessionEviction(t *testing.T) {
+	f := kgtest.Build()
+	m := NewMulti(f.Graph, core.Options{}, 2)
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		c := clientWithJar(t)
+		postQuery(t, c, ts.URL, "gump")
+	}
+	if got := m.SessionCount(); got > 2 {
+		t.Fatalf("sessions = %d, want <= 2", got)
+	}
+}
+
+func TestSessionSaveLoadEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/api/query", map[string]string{"keywords": "forrest gump"})
+	postJSON(t, ts.URL+"/api/entity/add", map[string]string{"name": "Forrest_Gump"})
+
+	resp, err := http.Get(ts.URL + "/api/session/save")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := new(bytes.Buffer)
+	_, _ = saved.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(saved.String(), "Forrest_Gump") {
+		t.Fatal("saved session lacks the seed")
+	}
+
+	// Load into a fresh server.
+	ts2, _ := newTestServer(t)
+	resp2, err := http.Post(ts2.URL+"/api/session/load", "application/json", bytes.NewReader(saved.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeState(t, resp2)
+	if !strings.Contains(st.Description, "Forrest Gump") {
+		t.Fatalf("loaded description = %q", st.Description)
+	}
+	if len(st.Timeline) != 2 {
+		t.Fatalf("loaded timeline = %d actions", len(st.Timeline))
+	}
+
+	// Malformed load is rejected.
+	resp3, err := http.Post(ts2.URL+"/api/session/load", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad load status = %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+
+	"pivote/internal/viz"
+)
+
+// PathASCII renders the exploratory path (Fig. 4) as an indented text
+// tree: sequential steps flow downward, revisits point back to the step
+// they restore.
+func (s *Session) PathASCII() string {
+	var b strings.Builder
+	b.WriteString("exploratory path\n")
+	for _, a := range s.actions {
+		marker := "├─"
+		if a.Step == len(s.actions) {
+			marker = "└─"
+		}
+		fmt.Fprintf(&b, " %s[%d] %-15s %s", marker, a.Step, a.Kind, a.Label)
+		if a.RevisitOf > 0 {
+			fmt.Fprintf(&b, "  ⤴ back to [%d]", a.RevisitOf)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PathDOT renders the exploratory path as a Graphviz digraph: solid edges
+// between consecutive steps, dashed edges from revisits to their targets.
+func (s *Session) PathDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph exploratory_path {\n  rankdir=TB;\n  node [shape=box, style=rounded, fontname=\"monospace\"];\n")
+	for _, a := range s.actions {
+		shape := ""
+		switch a.Kind {
+		case ActionSubmit:
+			shape = ", fillcolor=gold, style=\"rounded,filled\""
+		case ActionPivot:
+			shape = ", fillcolor=lightblue, style=\"rounded,filled\""
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"[%d] %s\"%s];\n", a.Step, a.Step, escapeDOT(a.Label), shape)
+	}
+	for i := 1; i < len(s.actions); i++ {
+		fmt.Fprintf(&b, "  s%d -> s%d;\n", s.actions[i-1].Step, s.actions[i].Step)
+	}
+	for _, a := range s.actions {
+		if a.RevisitOf > 0 {
+			fmt.Fprintf(&b, "  s%d -> s%d [style=dashed, constraint=false, label=\"revisit\"];\n",
+				a.Step, a.RevisitOf)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PathSVG renders the exploratory path as a vertical flow chart.
+func (s *Session) PathSVG() string {
+	const (
+		boxW  = 380.0
+		boxH  = 30.0
+		gap   = 16.0
+		leftX = 60.0
+		topY  = 20.0
+	)
+	h := int(topY + float64(len(s.actions))*(boxH+gap) + 20)
+	svg := viz.NewSVG(int(leftX+boxW+120), h)
+	y := topY
+	for _, a := range s.actions {
+		fill := "#f2f2f2"
+		switch a.Kind {
+		case ActionSubmit:
+			fill = "#ffe9a8"
+		case ActionPivot:
+			fill = "#cfe8ff"
+		case ActionRevisit:
+			fill = "#e8d5ff"
+		}
+		svg.Rect(leftX, y, boxW, boxH, fill, "#666666")
+		svg.Text(leftX+8, y+boxH*0.65, 11, "start",
+			fmt.Sprintf("[%d] %s", a.Step, viz.Truncate(a.Label, 46)))
+		if a.Step < len(s.actions) {
+			svg.Line(leftX+boxW/2, y+boxH, leftX+boxW/2, y+boxH+gap, "#666666", 1.5)
+		}
+		if a.RevisitOf > 0 {
+			// Back edge drawn on the right margin.
+			fromY := y + boxH/2
+			toY := topY + float64(a.RevisitOf-1)*(boxH+gap) + boxH/2
+			svg.Line(leftX+boxW, fromY, leftX+boxW+40, fromY, "#9955cc", 1.0)
+			svg.Line(leftX+boxW+40, fromY, leftX+boxW+40, toY, "#9955cc", 1.0)
+			svg.Line(leftX+boxW+40, toY, leftX+boxW, toY, "#9955cc", 1.0)
+		}
+		y += boxH + gap
+	}
+	return svg.String()
+}
+
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

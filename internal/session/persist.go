@@ -1,0 +1,125 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+// Saved is the portable JSON form of a session. Entities are stored as
+// IRIs and features as anchor:predicate labels, so a session survives
+// process restarts and graph reloads (term IDs do not).
+type Saved struct {
+	Version int           `json:"version"`
+	Actions []SavedAction `json:"actions"`
+}
+
+// SavedAction mirrors Action with symbolic references.
+type SavedAction struct {
+	Step         int        `json:"step"`
+	Kind         string     `json:"kind"`
+	Label        string     `json:"label"`
+	RevisitOf    int        `json:"revisitOf,omitempty"`
+	ChangesQuery bool       `json:"changesQuery"`
+	Query        SavedQuery `json:"query"`
+}
+
+// SavedQuery mirrors Query with symbolic references.
+type SavedQuery struct {
+	Keywords string   `json:"keywords,omitempty"`
+	Seeds    []string `json:"seeds,omitempty"`
+	Features []string `json:"features,omitempty"`
+}
+
+// Resolver converts between IDs/features and their symbolic forms. The
+// core engine provides one backed by the graph.
+type Resolver interface {
+	// EntityIRI returns the stable identifier of an entity.
+	EntityIRI(e rdf.TermID) string
+	// ResolveEntity inverts EntityIRI.
+	ResolveEntity(iri string) (rdf.TermID, error)
+	// FeatureLabel returns the anchor:predicate form of a feature.
+	FeatureLabel(f semfeat.Feature) string
+	// ResolveFeature inverts FeatureLabel.
+	ResolveFeature(label string) (semfeat.Feature, error)
+}
+
+// Save serializes the session.
+func (s *Session) Save(r Resolver) ([]byte, error) {
+	out := Saved{Version: 1}
+	for _, a := range s.actions {
+		sq := SavedQuery{Keywords: a.Query.Keywords}
+		for _, e := range a.Query.Seeds {
+			sq.Seeds = append(sq.Seeds, r.EntityIRI(e))
+		}
+		for _, f := range a.Query.Features {
+			sq.Features = append(sq.Features, r.FeatureLabel(f))
+		}
+		out.Actions = append(out.Actions, SavedAction{
+			Step:         a.Step,
+			Kind:         a.Kind.String(),
+			Label:        a.Label,
+			RevisitOf:    a.RevisitOf,
+			ChangesQuery: a.ChangesQuery,
+			Query:        sq,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Load deserializes a session saved with Save against a (possibly
+// freshly rebuilt) graph. The final action's query becomes the live
+// query.
+func Load(data []byte, r Resolver) (*Session, error) {
+	var saved Saved
+	if err := json.Unmarshal(data, &saved); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	if saved.Version != 1 {
+		return nil, fmt.Errorf("session: unsupported version %d", saved.Version)
+	}
+	kindByName := map[string]ActionKind{}
+	for k, name := range actionNames {
+		kindByName[name] = k
+	}
+	s := New()
+	for i, sa := range saved.Actions {
+		if sa.Step != i+1 {
+			return nil, fmt.Errorf("session: action %d has step %d", i, sa.Step)
+		}
+		kind, ok := kindByName[sa.Kind]
+		if !ok {
+			return nil, fmt.Errorf("session: unknown action kind %q", sa.Kind)
+		}
+		q := Query{Keywords: sa.Query.Keywords}
+		for _, iri := range sa.Query.Seeds {
+			id, err := r.ResolveEntity(iri)
+			if err != nil {
+				return nil, fmt.Errorf("session: step %d: %w", sa.Step, err)
+			}
+			q.Seeds = append(q.Seeds, id)
+		}
+		for _, label := range sa.Query.Features {
+			f, err := r.ResolveFeature(label)
+			if err != nil {
+				return nil, fmt.Errorf("session: step %d: %w", sa.Step, err)
+			}
+			q.Features = append(q.Features, f)
+		}
+		if sa.RevisitOf < 0 || sa.RevisitOf > len(saved.Actions) {
+			return nil, fmt.Errorf("session: step %d revisits impossible step %d", sa.Step, sa.RevisitOf)
+		}
+		s.actions = append(s.actions, Action{
+			Step:         sa.Step,
+			Kind:         kind,
+			Label:        sa.Label,
+			Query:        q,
+			RevisitOf:    sa.RevisitOf,
+			ChangesQuery: sa.ChangesQuery,
+		})
+		s.current = q.Clone()
+	}
+	return s, nil
+}

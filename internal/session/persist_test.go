@@ -1,0 +1,123 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+// fakeResolver maps IDs to synthetic IRIs and features to labels without
+// a real graph.
+type fakeResolver struct {
+	failEntity  bool
+	failFeature bool
+}
+
+func (r fakeResolver) EntityIRI(e rdf.TermID) string { return fmt.Sprintf("iri:%d", e) }
+
+func (r fakeResolver) ResolveEntity(iri string) (rdf.TermID, error) {
+	if r.failEntity {
+		return 0, fmt.Errorf("boom")
+	}
+	var id uint32
+	if _, err := fmt.Sscanf(iri, "iri:%d", &id); err != nil {
+		return 0, err
+	}
+	return rdf.TermID(id), nil
+}
+
+func (r fakeResolver) FeatureLabel(f semfeat.Feature) string {
+	return fmt.Sprintf("f:%d:%d:%d", f.Anchor, f.Pred, f.Dir)
+}
+
+func (r fakeResolver) ResolveFeature(label string) (semfeat.Feature, error) {
+	if r.failFeature {
+		return semfeat.Feature{}, fmt.Errorf("boom")
+	}
+	var a, p uint32
+	var d uint8
+	if _, err := fmt.Sscanf(label, "f:%d:%d:%d", &a, &p, &d); err != nil {
+		return semfeat.Feature{}, err
+	}
+	return semfeat.Feature{Anchor: rdf.TermID(a), Pred: rdf.TermID(p), Dir: semfeat.Dir(d)}, nil
+}
+
+func demoSessionForPersist() *Session {
+	s := New()
+	s.Submit("forrest gump")
+	s.AddSeed(11, "Forrest Gump")
+	s.AddFeature(semfeat.Feature{Anchor: 7, Pred: 3, Dir: semfeat.Backward}, "f:7:3:0")
+	s.Pivot(7, "Tom Hanks", "Actor")
+	s.Revisit(2)
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := demoSessionForPersist()
+	raw, err := s.Save(fakeResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(raw, fakeResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("timeline length %d, want %d", loaded.Len(), s.Len())
+	}
+	for i, a := range loaded.Timeline() {
+		want := s.Timeline()[i]
+		if a.Step != want.Step || a.Kind != want.Kind || a.Label != want.Label ||
+			a.RevisitOf != want.RevisitOf || a.ChangesQuery != want.ChangesQuery {
+			t.Fatalf("action %d differs: %+v vs %+v", i, a, want)
+		}
+		if a.Query.Keywords != want.Query.Keywords ||
+			len(a.Query.Seeds) != len(want.Query.Seeds) ||
+			len(a.Query.Features) != len(want.Query.Features) {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+	// The live query is the last action's query.
+	cur := loaded.Current()
+	if len(cur.Seeds) != 1 || cur.Seeds[0] != 11 || cur.Keywords != "forrest gump" {
+		t.Fatalf("live query = %+v", cur)
+	}
+	// The loaded session continues to work.
+	loaded.AddSeed(99, "More")
+	if loaded.Len() != s.Len()+1 {
+		t.Fatal("loaded session cannot be extended")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := demoSessionForPersist()
+	raw, err := s.Save(fakeResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load([]byte("{not json"), fakeResolver{}); err == nil {
+		t.Fatal("no error for bad JSON")
+	}
+	if _, err := Load([]byte(`{"version":9}`), fakeResolver{}); err == nil {
+		t.Fatal("no error for bad version")
+	}
+	if _, err := Load(raw, fakeResolver{failEntity: true}); err == nil {
+		t.Fatal("no error for unresolvable entity")
+	}
+	if _, err := Load(raw, fakeResolver{failFeature: true}); err == nil {
+		t.Fatal("no error for unresolvable feature")
+	}
+	// Corrupt step numbering.
+	broken := strings.Replace(string(raw), `"step": 1`, `"step": 5`, 1)
+	if _, err := Load([]byte(broken), fakeResolver{}); err == nil {
+		t.Fatal("no error for corrupt steps")
+	}
+	// Unknown action kind.
+	broken = strings.Replace(string(raw), `"kind": "submit"`, `"kind": "teleport"`, 1)
+	if _, err := Load([]byte(broken), fakeResolver{}); err == nil {
+		t.Fatal("no error for unknown kind")
+	}
+}

@@ -1,0 +1,210 @@
+// Package session models PivotE's exploratory search session: the current
+// query (keywords + example entities + semantic-feature conditions, the
+// query area of Fig. 3-a/b), the timeline of past queries that supports
+// revisiting (Fig. 3-g), and the exploratory path visualization (Fig. 4).
+//
+// A session is a pure state machine — it records what the user did and
+// what the query became; executing queries is the engine's job
+// (internal/core). That separation is what lets the timeline replay any
+// historical query verbatim.
+package session
+
+import (
+	"fmt"
+
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+// Query is a reformulable PivotE query: free-text keywords, example
+// ("seed") entities, and semantic-feature conditions. Any combination may
+// be present.
+type Query struct {
+	Keywords string
+	Seeds    []rdf.TermID
+	Features []semfeat.Feature
+}
+
+// Clone returns a deep copy, so stored snapshots cannot alias the live
+// query.
+func (q Query) Clone() Query {
+	return Query{
+		Keywords: q.Keywords,
+		Seeds:    append([]rdf.TermID(nil), q.Seeds...),
+		Features: append([]semfeat.Feature(nil), q.Features...),
+	}
+}
+
+// IsEmpty reports whether the query has no conditions at all.
+func (q Query) IsEmpty() bool {
+	return q.Keywords == "" && len(q.Seeds) == 0 && len(q.Features) == 0
+}
+
+// ActionKind enumerates the user interactions the paper's interface
+// supports.
+type ActionKind int
+
+const (
+	// ActionSubmit is a keyword query submission (Fig. 3-a).
+	ActionSubmit ActionKind = iota
+	// ActionAddSeed adds an example entity to the query (investigation).
+	ActionAddSeed
+	// ActionRemoveSeed removes an example entity.
+	ActionRemoveSeed
+	// ActionAddFeature adds a semantic-feature condition.
+	ActionAddFeature
+	// ActionRemoveFeature removes a semantic-feature condition.
+	ActionRemoveFeature
+	// ActionLookup is a profile view of an entity (Fig. 3-d); it does not
+	// change the query.
+	ActionLookup
+	// ActionPivot switches the search domain through a feature's anchor
+	// entity (browse, §3.2).
+	ActionPivot
+	// ActionRevisit restores a historical query from the timeline.
+	ActionRevisit
+)
+
+var actionNames = map[ActionKind]string{
+	ActionSubmit:        "submit",
+	ActionAddSeed:       "add-entity",
+	ActionRemoveSeed:    "remove-entity",
+	ActionAddFeature:    "add-feature",
+	ActionRemoveFeature: "remove-feature",
+	ActionLookup:        "lookup",
+	ActionPivot:         "pivot",
+	ActionRevisit:       "revisit",
+}
+
+func (k ActionKind) String() string {
+	if s, ok := actionNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// Action is one step of the exploratory path.
+type Action struct {
+	Step  int // 1-based position in the timeline
+	Kind  ActionKind
+	Label string // human-readable description
+	// Query is the query state after this action.
+	Query Query
+	// RevisitOf is the 1-based step restored by an ActionRevisit, 0
+	// otherwise.
+	RevisitOf int
+	// ChangesQuery reports whether this action produced a new query
+	// (lookups do not).
+	ChangesQuery bool
+}
+
+// Session accumulates the timeline. The zero value is not usable; call
+// New.
+type Session struct {
+	actions []Action
+	current Query
+}
+
+// New starts an empty session.
+func New() *Session { return &Session{} }
+
+// Current returns (a copy of) the live query.
+func (s *Session) Current() Query { return s.current.Clone() }
+
+// Timeline returns the recorded actions in order (shared slice; callers
+// must not modify).
+func (s *Session) Timeline() []Action { return s.actions }
+
+// Len reports the number of recorded actions.
+func (s *Session) Len() int { return len(s.actions) }
+
+func (s *Session) record(kind ActionKind, label string, changes bool, revisitOf int) Action {
+	a := Action{
+		Step:         len(s.actions) + 1,
+		Kind:         kind,
+		Label:        label,
+		Query:        s.current.Clone(),
+		RevisitOf:    revisitOf,
+		ChangesQuery: changes,
+	}
+	s.actions = append(s.actions, a)
+	return a
+}
+
+// Submit replaces the query with a fresh keyword query.
+func (s *Session) Submit(keywords string) Action {
+	s.current = Query{Keywords: keywords}
+	return s.record(ActionSubmit, fmt.Sprintf("query %q", keywords), true, 0)
+}
+
+// AddSeed appends an example entity (no-op if already present).
+func (s *Session) AddSeed(e rdf.TermID, name string) Action {
+	for _, x := range s.current.Seeds {
+		if x == e {
+			return s.record(ActionAddSeed, fmt.Sprintf("+entity %s (already present)", name), false, 0)
+		}
+	}
+	s.current.Seeds = append(s.current.Seeds, e)
+	return s.record(ActionAddSeed, "+entity "+name, true, 0)
+}
+
+// RemoveSeed removes an example entity (no-op if absent).
+func (s *Session) RemoveSeed(e rdf.TermID, name string) Action {
+	for i, x := range s.current.Seeds {
+		if x == e {
+			s.current.Seeds = append(s.current.Seeds[:i:i], s.current.Seeds[i+1:]...)
+			return s.record(ActionRemoveSeed, "-entity "+name, true, 0)
+		}
+	}
+	return s.record(ActionRemoveSeed, fmt.Sprintf("-entity %s (absent)", name), false, 0)
+}
+
+// AddFeature appends a semantic-feature condition (no-op if present).
+func (s *Session) AddFeature(f semfeat.Feature, label string) Action {
+	for _, x := range s.current.Features {
+		if x == f {
+			return s.record(ActionAddFeature, fmt.Sprintf("+feature %s (already present)", label), false, 0)
+		}
+	}
+	s.current.Features = append(s.current.Features, f)
+	return s.record(ActionAddFeature, "+feature "+label, true, 0)
+}
+
+// RemoveFeature removes a semantic-feature condition (no-op if absent).
+func (s *Session) RemoveFeature(f semfeat.Feature, label string) Action {
+	for i, x := range s.current.Features {
+		if x == f {
+			s.current.Features = append(s.current.Features[:i:i], s.current.Features[i+1:]...)
+			return s.record(ActionRemoveFeature, "-feature "+label, true, 0)
+		}
+	}
+	return s.record(ActionRemoveFeature, fmt.Sprintf("-feature %s (absent)", label), false, 0)
+}
+
+// Lookup records a profile view; the query is unchanged.
+func (s *Session) Lookup(e rdf.TermID, name string) Action {
+	return s.record(ActionLookup, "lookup "+name, false, 0)
+}
+
+// Pivot switches the search domain: the query becomes the single pivot
+// entity (the anchor of the clicked feature), which is how the paper's
+// browse operation jumps from one domain (e.g. Film) to another (Actor).
+func (s *Session) Pivot(anchor rdf.TermID, anchorName, domainName string) Action {
+	s.current = Query{Seeds: []rdf.TermID{anchor}}
+	return s.record(ActionPivot,
+		fmt.Sprintf("pivot → %s (%s)", anchorName, domainName), true, 0)
+}
+
+// Revisit restores the query of a historical step (1-based). It fails if
+// the step does not exist or did not change the query.
+func (s *Session) Revisit(step int) (Action, error) {
+	if step < 1 || step > len(s.actions) {
+		return Action{}, fmt.Errorf("session: no step %d in a timeline of %d", step, len(s.actions))
+	}
+	target := s.actions[step-1]
+	if !target.ChangesQuery {
+		return Action{}, fmt.Errorf("session: step %d (%s) has no query to revisit", step, target.Kind)
+	}
+	s.current = target.Query.Clone()
+	return s.record(ActionRevisit, fmt.Sprintf("revisit step %d", step), true, step), nil
+}

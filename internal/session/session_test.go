@@ -1,0 +1,211 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+)
+
+func feat(anchor, pred rdf.TermID) semfeat.Feature {
+	return semfeat.Feature{Anchor: anchor, Pred: pred, Dir: semfeat.Backward}
+}
+
+func TestSubmitResetsQuery(t *testing.T) {
+	s := New()
+	s.Submit("forrest gump")
+	s.AddSeed(1, "Forrest Gump")
+	s.Submit("apollo")
+	q := s.Current()
+	if q.Keywords != "apollo" || len(q.Seeds) != 0 {
+		t.Fatalf("Submit did not reset: %+v", q)
+	}
+}
+
+func TestAddRemoveSeed(t *testing.T) {
+	s := New()
+	s.Submit("x")
+	s.AddSeed(1, "A")
+	s.AddSeed(2, "B")
+	if q := s.Current(); len(q.Seeds) != 2 {
+		t.Fatalf("seeds = %v", q.Seeds)
+	}
+	// Duplicate add is a recorded no-op.
+	a := s.AddSeed(1, "A")
+	if a.ChangesQuery {
+		t.Fatal("duplicate add marked as changing the query")
+	}
+	s.RemoveSeed(1, "A")
+	if q := s.Current(); len(q.Seeds) != 1 || q.Seeds[0] != 2 {
+		t.Fatalf("after remove: %v", q.Seeds)
+	}
+	// Absent remove is a recorded no-op.
+	a = s.RemoveSeed(99, "Z")
+	if a.ChangesQuery {
+		t.Fatal("absent remove marked as changing the query")
+	}
+}
+
+func TestAddRemoveFeature(t *testing.T) {
+	s := New()
+	s.Submit("x")
+	f1 := feat(10, 20)
+	s.AddFeature(f1, "Tom_Hanks:starring")
+	if q := s.Current(); len(q.Features) != 1 {
+		t.Fatalf("features = %v", q.Features)
+	}
+	if a := s.AddFeature(f1, "Tom_Hanks:starring"); a.ChangesQuery {
+		t.Fatal("duplicate feature add changed query")
+	}
+	s.RemoveFeature(f1, "Tom_Hanks:starring")
+	if q := s.Current(); len(q.Features) != 0 {
+		t.Fatalf("features after remove = %v", q.Features)
+	}
+	if a := s.RemoveFeature(f1, "Tom_Hanks:starring"); a.ChangesQuery {
+		t.Fatal("absent feature remove changed query")
+	}
+}
+
+func TestLookupDoesNotChangeQuery(t *testing.T) {
+	s := New()
+	s.Submit("x")
+	before := s.Current()
+	a := s.Lookup(5, "Forrest Gump")
+	if a.ChangesQuery {
+		t.Fatal("lookup marked as changing query")
+	}
+	after := s.Current()
+	if before.Keywords != after.Keywords || len(before.Seeds) != len(after.Seeds) {
+		t.Fatal("lookup changed the query")
+	}
+}
+
+func TestPivotReplacesQuery(t *testing.T) {
+	s := New()
+	s.Submit("forrest gump")
+	s.AddSeed(1, "Forrest Gump")
+	s.Pivot(7, "Tom Hanks", "Actor")
+	q := s.Current()
+	if q.Keywords != "" || len(q.Seeds) != 1 || q.Seeds[0] != 7 || len(q.Features) != 0 {
+		t.Fatalf("pivot state = %+v", q)
+	}
+}
+
+func TestRevisit(t *testing.T) {
+	s := New()
+	s.Submit("forrest gump")  // step 1
+	s.AddSeed(1, "FG")        // step 2
+	s.Pivot(7, "TH", "Actor") // step 3
+	a, err := s.Revisit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RevisitOf != 2 {
+		t.Fatalf("RevisitOf = %d", a.RevisitOf)
+	}
+	q := s.Current()
+	if q.Keywords != "forrest gump" || len(q.Seeds) != 1 || q.Seeds[0] != 1 {
+		t.Fatalf("revisited query = %+v", q)
+	}
+}
+
+func TestRevisitErrors(t *testing.T) {
+	s := New()
+	s.Submit("x")
+	s.Lookup(1, "A") // step 2, does not change query
+	if _, err := s.Revisit(0); err == nil {
+		t.Fatal("no error for step 0")
+	}
+	if _, err := s.Revisit(9); err == nil {
+		t.Fatal("no error for out-of-range step")
+	}
+	if _, err := s.Revisit(2); err == nil {
+		t.Fatal("no error for revisiting a lookup")
+	}
+}
+
+func TestTimelineSnapshotsAreIsolated(t *testing.T) {
+	s := New()
+	s.Submit("x")
+	s.AddSeed(1, "A")
+	snap := s.Timeline()[1].Query
+	s.AddSeed(2, "B")
+	if len(snap.Seeds) != 1 {
+		t.Fatalf("historical snapshot mutated: %v", snap.Seeds)
+	}
+}
+
+func TestQueryCloneAndIsEmpty(t *testing.T) {
+	q := Query{Keywords: "k", Seeds: []rdf.TermID{1}, Features: []semfeat.Feature{feat(1, 2)}}
+	c := q.Clone()
+	c.Seeds[0] = 9
+	if q.Seeds[0] != 1 {
+		t.Fatal("Clone aliases seeds")
+	}
+	if q.IsEmpty() {
+		t.Fatal("non-empty query reported empty")
+	}
+	if !(Query{}).IsEmpty() {
+		t.Fatal("empty query not reported empty")
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	if ActionSubmit.String() != "submit" || ActionPivot.String() != "pivot" {
+		t.Fatal("ActionKind.String mismatch")
+	}
+	if ActionKind(99).String() != "ActionKind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func buildDemoSession() *Session {
+	s := New()
+	s.Submit("forrest gump")
+	s.Lookup(1, "Forrest Gump")
+	s.AddSeed(1, "Forrest Gump")
+	s.Pivot(7, "Tom Hanks", "Actor")
+	s.Revisit(1)
+	return s
+}
+
+func TestPathASCII(t *testing.T) {
+	s := buildDemoSession()
+	out := s.PathASCII()
+	for _, want := range []string{"[1]", "[5]", "pivot", "back to [1]", "exploratory path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("PathASCII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPathDOT(t *testing.T) {
+	s := buildDemoSession()
+	dot := s.PathDOT()
+	for _, want := range []string{"digraph", "s1 -> s2", "s4 -> s5", "style=dashed", "revisit"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("PathDOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPathSVG(t *testing.T) {
+	s := buildDemoSession()
+	svg := s.PathSVG()
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("not an SVG")
+	}
+	if got := strings.Count(svg, "<rect"); got != s.Len() {
+		t.Fatalf("SVG has %d boxes, want %d", got, s.Len())
+	}
+}
+
+func TestStepNumbersSequential(t *testing.T) {
+	s := buildDemoSession()
+	for i, a := range s.Timeline() {
+		if a.Step != i+1 {
+			t.Fatalf("step %d at index %d", a.Step, i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package synth generates deterministic, DBpedia-like synthetic knowledge
+// graphs. The PivotE paper demonstrates on DBpedia, which we cannot ship;
+// the generator reproduces the statistical structure PivotE exploits —
+// entities labelled with types, types coupled through specific relations
+// (films—starring→actors, films—director→directors, people—birthPlace→
+// cities, ...), Zipfian popularity so some anchors (prolific actors,
+// studios) have large semantic-feature extents while most are rare,
+// categories that group entities into human-meaningful overlapping sets,
+// and redirect/disambiguation stubs that feed the "similar entity names"
+// search field.
+//
+// Generation is fully deterministic for a (Config, Seed) pair: iteration
+// never ranges over maps and all randomness flows from one seeded source.
+// A small paper-anchor cluster (Forrest Gump, Tom Hanks, Apollo 13, ...)
+// is embedded verbatim so that the paper's running examples and Table 1
+// can be reproduced name-for-name at any scale.
+package synth
+
+// Config sizes the generated graph. Derived counts keep DBpedia-like
+// proportions; use DefaultConfig or Scaled rather than filling fields by
+// hand unless a test needs a specific shape.
+type Config struct {
+	Seed int64
+
+	Films        int
+	Actors       int
+	Directors    int
+	Writers      int
+	Composers    int
+	Studios      int
+	Cities       int
+	Universities int
+
+	// StarsPerFilmMax bounds the cast size (uniform 1..max, Zipf-chosen
+	// actors so popular actors accumulate many films).
+	StarsPerFilmMax int
+
+	// RedirectEvery creates one redirect stub per this many entities
+	// (0 disables). DisambiguateEvery likewise for disambiguation pages.
+	RedirectEvery     int
+	DisambiguateEvery int
+
+	// DropRelationRate simulates knowledge-graph incompleteness: each
+	// film's genre and country relation edge is independently omitted
+	// with this probability while the derived category membership is
+	// kept — exactly the gap the paper's error-tolerant p(π|e) bridges.
+	// Real DBpedia slices show 10–20% of such missing links.
+	DropRelationRate float64
+
+	// AnchorCluster embeds the paper's Forrest-Gump cluster.
+	AnchorCluster bool
+}
+
+// DefaultConfig returns the configuration used by examples and the
+// default experiment harness: ~2k films, ~4.3k entities total.
+func DefaultConfig() Config { return Scaled(2000) }
+
+// Scaled derives a config whose film count is n and whose other
+// populations follow fixed DBpedia-like ratios. Total entity count is
+// roughly 2.2×n.
+func Scaled(n int) Config {
+	if n < 10 {
+		n = 10
+	}
+	return Config{
+		Seed:              42,
+		Films:             n,
+		Actors:            n / 2,
+		Directors:         max(4, n/12),
+		Writers:           max(4, n/16),
+		Composers:         max(3, n/25),
+		Studios:           max(3, n/50),
+		Cities:            max(8, n/20),
+		Universities:      max(4, n/60),
+		StarsPerFilmMax:   6,
+		RedirectEvery:     10,
+		DisambiguateEvery: 40,
+		DropRelationRate:  0.15,
+		AnchorCluster:     true,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,485 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// Predicates holds the interned semantic predicate IDs the generator
+// emits, so that tests and experiments can form semantic features without
+// string lookups.
+type Predicates struct {
+	Starring   rdf.TermID
+	Director   rdf.TermID
+	Writer     rdf.TermID
+	Composer   rdf.TermID
+	Studio     rdf.TermID
+	Genre      rdf.TermID
+	Country    rdf.TermID
+	BirthPlace rdf.TermID
+	AlmaMater  rdf.TermID
+	Award      rdf.TermID
+	Spouse     rdf.TermID
+	LocatedIn  rdf.TermID
+
+	ReleaseYear rdf.TermID
+	Runtime     rdf.TermID
+	Budget      rdf.TermID
+	BirthYear   rdf.TermID
+}
+
+// Manifest records what was generated, keyed by kind, for workload
+// construction and tests.
+type Manifest struct {
+	Config Config
+	Preds  Predicates
+
+	Films        []rdf.TermID
+	Actors       []rdf.TermID
+	Directors    []rdf.TermID
+	Writers      []rdf.TermID
+	Composers    []rdf.TermID
+	Studios      []rdf.TermID
+	Cities       []rdf.TermID
+	Universities []rdf.TermID
+	Genres       []rdf.TermID
+	Countries    []rdf.TermID
+	Awards       []rdf.TermID
+}
+
+// Result is a generated graph plus its manifest.
+type Result struct {
+	Graph    *kg.Graph
+	Store    *rdf.Store
+	Manifest Manifest
+}
+
+const ontologyNS = "http://pivote.dev/ontology/"
+
+// Generate builds a synthetic knowledge graph per cfg. The same cfg
+// always yields the identical graph, triple for triple.
+func Generate(cfg Config) *Result {
+	g := &generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		st:     rdf.NewStore(nil),
+		minter: newNameMinter(),
+	}
+	g.voc = kg.InternVocab(g.st.Dict())
+	g.internPredicates()
+	if cfg.AnchorCluster {
+		// Claim the paper-example names before random generation can, so
+		// EntityByName("Tom_Hanks") always resolves to the anchor.
+		g.minter.reserve(anchorNames...)
+	}
+	g.makeFixedVocabEntities()
+	g.makeCities()
+	g.makeUniversities()
+	g.makeStudios()
+	g.makePeople()
+	if cfg.AnchorCluster {
+		g.makeAnchorCluster()
+	}
+	g.makeFilms()
+	g.makeRedirectsAndDisambiguations()
+	g.st.Freeze()
+	return &Result{
+		Graph:    kg.NewGraph(g.st),
+		Store:    g.st,
+		Manifest: g.man,
+	}
+}
+
+type generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	st     *rdf.Store
+	voc    kg.Vocab
+	minter *nameMinter
+	man    Manifest
+
+	// catIDs interns category nodes by local name; insertion order is
+	// tracked separately so nothing iterates this map.
+	catIDs map[string]rdf.TermID
+
+	allEntities []rdf.TermID // insertion order, for redirect stubs
+}
+
+func (g *generator) internPredicates() {
+	p := func(name string) rdf.TermID {
+		return g.st.Dict().Intern(rdf.NewIRI(ontologyNS + name))
+	}
+	g.man.Config = g.cfg
+	g.man.Preds = Predicates{
+		Starring:    p("starring"),
+		Director:    p("director"),
+		Writer:      p("writer"),
+		Composer:    p("musicComposer"),
+		Studio:      p("distributor"),
+		Genre:       p("genre"),
+		Country:     p("country"),
+		BirthPlace:  p("birthPlace"),
+		AlmaMater:   p("almaMater"),
+		Award:       p("award"),
+		Spouse:      p("spouse"),
+		LocatedIn:   p("locatedIn"),
+		ReleaseYear: p("releaseYear"),
+		Runtime:     p("runtime"),
+		Budget:      p("budget"),
+		BirthYear:   p("birthYear"),
+	}
+	g.catIDs = map[string]rdf.TermID{}
+}
+
+// entity interns a resource node, types it, labels it and registers it.
+func (g *generator) entity(local, typeName string) rdf.TermID {
+	id := g.st.Dict().Intern(rdf.NewIRI(kg.ResourceIRI(local)))
+	g.st.Add(id, g.voc.Type, g.typeNode(typeName))
+	g.st.Add(id, g.voc.Label, g.lit(display(local)))
+	g.allEntities = append(g.allEntities, id)
+	return id
+}
+
+func (g *generator) typeNode(name string) rdf.TermID {
+	key := "type:" + name
+	if id, ok := g.catIDs[key]; ok {
+		return id
+	}
+	id := g.st.Dict().Intern(rdf.NewIRI("http://pivote.dev/ontology/class/" + name))
+	g.st.Add(id, g.voc.Label, g.lit(display(name)))
+	g.catIDs[key] = id
+	return id
+}
+
+func (g *generator) category(local string) rdf.TermID {
+	if id, ok := g.catIDs[local]; ok {
+		return id
+	}
+	id := g.st.Dict().Intern(rdf.NewIRI("http://pivote.dev/category/" + local))
+	g.st.Add(id, g.voc.Label, g.lit(display(local)))
+	g.catIDs[local] = id
+	return id
+}
+
+func (g *generator) lit(s string) rdf.TermID {
+	return g.st.Dict().Intern(rdf.NewLiteral(s))
+}
+
+func (g *generator) makeFixedVocabEntities() {
+	for _, name := range genreNames {
+		g.man.Genres = append(g.man.Genres, g.entity(name, "Genre"))
+	}
+	for _, name := range countryNames {
+		g.man.Countries = append(g.man.Countries, g.entity(name, "Country"))
+	}
+	for _, name := range awardNames {
+		g.man.Awards = append(g.man.Awards, g.entity(name, "Award"))
+	}
+}
+
+func (g *generator) makeCities() {
+	for i := 0; i < g.cfg.Cities; i++ {
+		city := g.entity(cityName(g.rng, g.minter), "City")
+		country := g.man.Countries[g.rng.Intn(len(g.man.Countries))]
+		g.st.Add(city, g.man.Preds.LocatedIn, country)
+		g.man.Cities = append(g.man.Cities, city)
+	}
+}
+
+func (g *generator) makeUniversities() {
+	for i := 0; i < g.cfg.Universities; i++ {
+		cityIdx := g.rng.Intn(len(g.man.Cities))
+		cityLocal := g.st.Dict().Term(g.man.Cities[cityIdx]).LocalName()
+		uni := g.entity(universityName(g.rng, g.minter, cityLocal), "University")
+		g.st.Add(uni, g.man.Preds.LocatedIn, g.man.Cities[cityIdx])
+		g.man.Universities = append(g.man.Universities, uni)
+	}
+}
+
+func (g *generator) makeStudios() {
+	for i := 0; i < g.cfg.Studios; i++ {
+		studio := g.entity(studioName(g.rng, g.minter), "Studio")
+		country := g.pickCountry()
+		g.st.Add(studio, g.man.Preds.Country, country)
+		g.man.Studios = append(g.man.Studios, studio)
+	}
+}
+
+// pickCountry is biased toward the first country (United_States) the way
+// DBpedia's film slice is, which is what makes "American films" the
+// canonical big category of the paper.
+func (g *generator) pickCountry() rdf.TermID {
+	if g.rng.Float64() < 0.45 {
+		return g.man.Countries[0]
+	}
+	return g.man.Countries[g.rng.Intn(len(g.man.Countries))]
+}
+
+func (g *generator) makePerson(typeName string) rdf.TermID {
+	p := g.entity(personName(g.rng, g.minter), typeName)
+	g.st.Add(p, g.voc.Type, g.typeNode("Person"))
+	city := g.man.Cities[g.rng.Intn(len(g.man.Cities))]
+	g.st.Add(p, g.man.Preds.BirthPlace, city)
+	birth := 1920 + g.rng.Intn(81)
+	g.st.Add(p, g.man.Preds.BirthYear, g.lit(fmt.Sprintf("%d", birth)))
+	if g.rng.Float64() < 0.5 && len(g.man.Universities) > 0 {
+		g.st.Add(p, g.man.Preds.AlmaMater, g.man.Universities[g.rng.Intn(len(g.man.Universities))])
+	}
+	if g.rng.Float64() < 0.08 {
+		g.st.Add(p, g.man.Preds.Award, g.man.Awards[g.rng.Intn(len(g.man.Awards))])
+	}
+	return p
+}
+
+func (g *generator) makePeople() {
+	for i := 0; i < g.cfg.Actors; i++ {
+		g.man.Actors = append(g.man.Actors, g.makePerson("Actor"))
+	}
+	for i := 0; i < g.cfg.Directors; i++ {
+		g.man.Directors = append(g.man.Directors, g.makePerson("Director"))
+	}
+	for i := 0; i < g.cfg.Writers; i++ {
+		g.man.Writers = append(g.man.Writers, g.makePerson("Writer"))
+	}
+	for i := 0; i < g.cfg.Composers; i++ {
+		g.man.Composers = append(g.man.Composers, g.makePerson("Composer"))
+	}
+	// Sparse spouse edges between consecutive actors keep the person
+	// subgraph connected beyond film co-occurrence.
+	for i := 1; i < len(g.man.Actors); i++ {
+		if g.rng.Float64() < 0.03 {
+			g.st.Add(g.man.Actors[i-1], g.man.Preds.Spouse, g.man.Actors[i])
+		}
+	}
+}
+
+// zipfPick returns Zipf-distributed indexes into a population of size n so
+// that index 0 is most popular, matching real KG degree skew.
+func (g *generator) zipfPick(z *rand.Zipf, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(z.Uint64())
+}
+
+func (g *generator) makeFilms() {
+	p := g.man.Preds
+	actorZipf := rand.NewZipf(g.rng, 1.2, 8, uint64(maxInt(len(g.man.Actors)-1, 1)))
+	directorZipf := rand.NewZipf(g.rng, 1.2, 4, uint64(maxInt(len(g.man.Directors)-1, 1)))
+	writerZipf := rand.NewZipf(g.rng, 1.2, 4, uint64(maxInt(len(g.man.Writers)-1, 1)))
+	composerZipf := rand.NewZipf(g.rng, 1.2, 4, uint64(maxInt(len(g.man.Composers)-1, 1)))
+	studioZipf := rand.NewZipf(g.rng, 1.2, 2, uint64(maxInt(len(g.man.Studios)-1, 1)))
+
+	for i := 0; i < g.cfg.Films; i++ {
+		film := g.entity(filmTitle(g.rng, g.minter), "Film")
+		g.man.Films = append(g.man.Films, film)
+
+		year := 1930 + g.rng.Intn(91)
+		g.st.Add(film, p.ReleaseYear, g.lit(fmt.Sprintf("%d", year)))
+		g.st.Add(film, p.Runtime, g.lit(fmt.Sprintf("%d minutes", 70+g.rng.Intn(120))))
+		g.st.Add(film, p.Budget, g.lit(fmt.Sprintf("%d million dollars", 1+g.rng.Intn(250))))
+
+		// Cast: 1..StarsPerFilmMax distinct Zipf-chosen actors.
+		castSize := 1 + g.rng.Intn(g.cfg.StarsPerFilmMax)
+		cast := map[int]bool{}
+		for len(cast) < castSize && len(cast) < len(g.man.Actors) {
+			cast[g.zipfPick(actorZipf, len(g.man.Actors))] = true
+		}
+		castIdx := sortedKeys(cast)
+		for _, ai := range castIdx {
+			g.st.Add(film, p.Starring, g.man.Actors[ai])
+		}
+
+		di := g.zipfPick(directorZipf, len(g.man.Directors))
+		directorID := g.man.Directors[di]
+		g.st.Add(film, p.Director, directorID)
+
+		for w := g.rng.Intn(3); w > 0; w-- {
+			g.st.Add(film, p.Writer, g.man.Writers[g.zipfPick(writerZipf, len(g.man.Writers))])
+		}
+		if g.rng.Float64() < 0.6 {
+			g.st.Add(film, p.Composer, g.man.Composers[g.zipfPick(composerZipf, len(g.man.Composers))])
+		}
+		if len(g.man.Studios) > 0 {
+			g.st.Add(film, p.Studio, g.man.Studios[g.zipfPick(studioZipf, len(g.man.Studios))])
+		}
+
+		nGenres := 1 + g.rng.Intn(3)
+		genreSet := map[int]bool{}
+		for len(genreSet) < nGenres {
+			genreSet[g.rng.Intn(len(g.man.Genres))] = true
+		}
+		genreIdx := sortedKeys(genreSet)
+		country := g.pickCountry()
+		// The country/genre relation edges are dropped with
+		// DropRelationRate to simulate KG incompleteness; the category
+		// memberships below are always kept (Wikipedia editors maintain
+		// categories more completely than infobox relations).
+		if g.rng.Float64() >= g.cfg.DropRelationRate {
+			g.st.Add(film, p.Country, country)
+		}
+
+		// Categories: year, country adjective, genres, director.
+		g.st.Add(film, g.voc.Subject, g.category(fmt.Sprintf("%d_films", year)))
+		countryIdx := g.countryIndex(country)
+		g.st.Add(film, g.voc.Subject, g.category(countryAdjectives[countryIdx]+"_films"))
+		for _, gi := range genreIdx {
+			if g.rng.Float64() >= g.cfg.DropRelationRate {
+				g.st.Add(film, p.Genre, g.man.Genres[gi])
+			}
+			g.st.Add(film, g.voc.Subject, g.category(genreNames[gi]+"_films"))
+		}
+		directorLocal := g.st.Dict().Term(directorID).LocalName()
+		g.st.Add(film, g.voc.Subject, g.category("Films_directed_by_"+directorLocal))
+
+		if g.rng.Float64() < 0.04 {
+			g.st.Add(film, p.Award, g.man.Awards[g.rng.Intn(len(g.man.Awards))])
+		}
+
+		abstract := fmt.Sprintf("%s is a %d %s %s film directed by %s.",
+			display(g.st.Dict().Term(film).LocalName()), year,
+			display(countryAdjectives[countryIdx]),
+			display(genreNames[genreIdx[0]]),
+			display(directorLocal))
+		g.st.Add(film, g.voc.Abstract, g.lit(abstract))
+	}
+}
+
+func (g *generator) countryIndex(country rdf.TermID) int {
+	for i, c := range g.man.Countries {
+		if c == country {
+			return i
+		}
+	}
+	return 0
+}
+
+// anchorNames are the paper-example identifiers the generator reserves up
+// front; makeAnchorCluster uses them verbatim.
+var anchorNames = []string{
+	"Tom_Hanks", "Gary_Sinise", "Robin_Wright", "Kevin_Bacon",
+	"Michael_Clarke_Duncan", "Matt_Damon", "Robert_Zemeckis", "Ron_Howard",
+	"Frank_Darabont", "Steven_Spielberg", "Winston_Groom",
+	"Forrest_Gump", "Apollo_13", "Cast_Away", "The_Green_Mile",
+	"Saving_Private_Ryan", "Geenbow", "Gumpian",
+}
+
+// makeAnchorCluster embeds the paper's running example so Table 1 and the
+// Figure 1/3/4 scenarios reproduce name-for-name. The cluster reuses the
+// generated Country/Genre/Award nodes but introduces its own people and
+// films under the names reserved in Generate.
+func (g *generator) makeAnchorCluster() {
+	p := g.man.Preds
+	mk := func(name, typeName string) rdf.TermID {
+		return g.entity(name, typeName)
+	}
+	person := func(name, typeName string) rdf.TermID {
+		id := mk(name, typeName)
+		g.st.Add(id, g.voc.Type, g.typeNode("Person"))
+		if len(g.man.Cities) > 0 {
+			g.st.Add(id, p.BirthPlace, g.man.Cities[g.rng.Intn(len(g.man.Cities))])
+		}
+		return id
+	}
+	hanks := person("Tom_Hanks", "Actor")
+	sinise := person("Gary_Sinise", "Actor")
+	wright := person("Robin_Wright", "Actor")
+	bacon := person("Kevin_Bacon", "Actor")
+	duncan := person("Michael_Clarke_Duncan", "Actor")
+	damon := person("Matt_Damon", "Actor")
+	zemeckis := person("Robert_Zemeckis", "Director")
+	howard := person("Ron_Howard", "Director")
+	darabont := person("Frank_Darabont", "Director")
+	spielberg := person("Steven_Spielberg", "Director")
+	groom := person("Winston_Groom", "Writer")
+	g.man.Actors = append(g.man.Actors, hanks, sinise, wright, bacon, duncan, damon)
+	g.man.Directors = append(g.man.Directors, zemeckis, howard, darabont, spielberg)
+	g.man.Writers = append(g.man.Writers, groom)
+
+	usa := g.man.Countries[0]
+	drama := g.man.Genres[0]
+	film := func(name string, year int, runtime string, budget string, director rdf.TermID, stars ...rdf.TermID) rdf.TermID {
+		f := mk(name, "Film")
+		g.man.Films = append(g.man.Films, f)
+		g.st.Add(f, p.ReleaseYear, g.lit(fmt.Sprintf("%d", year)))
+		g.st.Add(f, p.Runtime, g.lit(runtime))
+		g.st.Add(f, p.Budget, g.lit(budget))
+		g.st.Add(f, p.Director, director)
+		for _, s := range stars {
+			g.st.Add(f, p.Starring, s)
+		}
+		g.st.Add(f, p.Country, usa)
+		g.st.Add(f, p.Genre, drama)
+		g.st.Add(f, g.voc.Subject, g.category("American_films"))
+		g.st.Add(f, g.voc.Subject, g.category(fmt.Sprintf("%d_films", year)))
+		g.st.Add(f, g.voc.Subject, g.category(genreNames[0]+"_films"))
+		directorLocal := g.st.Dict().Term(director).LocalName()
+		g.st.Add(f, g.voc.Subject, g.category("Films_directed_by_"+directorLocal))
+		return f
+	}
+
+	gump := film("Forrest_Gump", 1994, "142 minutes", "55 million dollars", zemeckis, hanks, sinise, wright)
+	g.st.Add(gump, p.Writer, groom)
+	g.st.Add(gump, g.voc.Abstract, g.lit("Forrest Gump is a 1994 American comedy-drama film directed by Robert Zemeckis."))
+	film("Apollo_13", 1995, "140 minutes", "52 million dollars", howard, hanks, sinise, bacon)
+	film("Cast_Away", 2000, "143 minutes", "90 million dollars", zemeckis, hanks)
+	film("The_Green_Mile", 1999, "189 minutes", "60 million dollars", darabont, hanks, duncan)
+	film("Saving_Private_Ryan", 1998, "169 minutes", "70 million dollars", spielberg, hanks, damon)
+
+	// Table 1's similar-entity names.
+	geenbow := g.st.Dict().Intern(rdf.NewIRI(kg.ResourceIRI("Geenbow")))
+	g.st.Add(geenbow, g.voc.Label, g.lit("Geenbow"))
+	g.st.Add(geenbow, g.voc.Redirects, gump)
+	gumpian := g.st.Dict().Intern(rdf.NewIRI(kg.ResourceIRI("Gumpian")))
+	g.st.Add(gumpian, g.voc.Label, g.lit("Gumpian"))
+	g.st.Add(gumpian, g.voc.Disambiguates, gump)
+}
+
+// makeRedirectsAndDisambiguations adds alias stubs: every RedirectEvery-th
+// entity receives a redirect page, every DisambiguateEvery-th a
+// disambiguation page. Stubs are plain IRIs without rdf:type, so they stay
+// outside the entity universe just like Wikipedia redirect pages.
+func (g *generator) makeRedirectsAndDisambiguations() {
+	d := g.st.Dict()
+	if g.cfg.RedirectEvery > 0 {
+		for i := g.cfg.RedirectEvery - 1; i < len(g.allEntities); i += g.cfg.RedirectEvery {
+			target := g.allEntities[i]
+			local := d.Term(target).LocalName()
+			stub := d.Intern(rdf.NewIRI(kg.ResourceIRI(g.minter.mint(local + "_(alias)"))))
+			g.st.Add(stub, g.voc.Label, g.lit(aliasLabel(display(local))))
+			g.st.Add(stub, g.voc.Redirects, target)
+		}
+	}
+	if g.cfg.DisambiguateEvery > 0 {
+		for i := g.cfg.DisambiguateEvery - 1; i < len(g.allEntities); i += g.cfg.DisambiguateEvery {
+			target := g.allEntities[i]
+			local := d.Term(target).LocalName()
+			stub := d.Intern(rdf.NewIRI(kg.ResourceIRI(g.minter.mint(local + "_(disambiguation)"))))
+			g.st.Add(stub, g.voc.Label, g.lit(display(local)+" (disambiguation)"))
+			g.st.Add(stub, g.voc.Disambiguates, target)
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,327 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pivote/internal/rdf"
+)
+
+func smallConfig() Config {
+	c := Scaled(150)
+	c.Seed = 7
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if a.Store.Len() != b.Store.Len() {
+		t.Fatalf("triple counts differ: %d vs %d", a.Store.Len(), b.Store.Len())
+	}
+	var bufA, bufB bytes.Buffer
+	if err := rdf.WriteNTriples(a.Store, &bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.WriteNTriples(b.Store, &bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same config produced different serializations")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	c1 := smallConfig()
+	c2 := smallConfig()
+	c2.Seed = 8
+	a := Generate(c1)
+	b := Generate(c2)
+	var bufA, bufB bytes.Buffer
+	if err := rdf.WriteNTriples(a.Store, &bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.WriteNTriples(b.Store, &bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGeneratePopulationCounts(t *testing.T) {
+	cfg := smallConfig()
+	r := Generate(cfg)
+	m := r.Manifest
+	// Anchor cluster adds 5 films, 6 actors, 4 directors, 1 writer.
+	if got, want := len(m.Films), cfg.Films+5; got != want {
+		t.Fatalf("films = %d, want %d", got, want)
+	}
+	if got, want := len(m.Actors), cfg.Actors+6; got != want {
+		t.Fatalf("actors = %d, want %d", got, want)
+	}
+	if got, want := len(m.Directors), cfg.Directors+4; got != want {
+		t.Fatalf("directors = %d, want %d", got, want)
+	}
+	if len(m.Genres) != 20 || len(m.Countries) != 30 || len(m.Awards) != 15 {
+		t.Fatalf("fixed vocab sizes wrong: %d genres %d countries %d awards",
+			len(m.Genres), len(m.Countries), len(m.Awards))
+	}
+}
+
+func TestGenerateAnchorClusterPresent(t *testing.T) {
+	r := Generate(smallConfig())
+	g := r.Graph
+	gump := g.EntityByName("Forrest_Gump")
+	if gump == rdf.NoTerm {
+		t.Fatal("Forrest_Gump missing")
+	}
+	hanks := g.EntityByName("Tom_Hanks")
+	if hanks == rdf.NoTerm {
+		t.Fatal("Tom_Hanks missing")
+	}
+	// Forrest_Gump stars Tom_Hanks.
+	if !g.Store().Has(gump, r.Manifest.Preds.Starring, hanks) {
+		t.Fatal("Forrest_Gump starring Tom_Hanks triple missing")
+	}
+	// Tom Hanks stars in the 5 anchor films, and possibly more: anchor
+	// actors join the casting pool for generated films.
+	films := g.Store().Subjects(r.Manifest.Preds.Starring, hanks)
+	if len(films) < 5 {
+		t.Fatalf("Tom_Hanks stars in %d films, want >= 5", len(films))
+	}
+	// Table 1 literals.
+	attrs := g.Attributes(gump)
+	found := map[string]bool{}
+	for _, a := range attrs {
+		found[a] = true
+	}
+	if !found["142 minutes"] || !found["55 million dollars"] {
+		t.Fatalf("Forrest_Gump attributes = %v", attrs)
+	}
+	similar := g.SimilarNames(gump)
+	if len(similar) < 2 {
+		t.Fatalf("similar names = %v, want Geenbow and Gumpian", similar)
+	}
+}
+
+func TestGenerateEveryFilmWellFormed(t *testing.T) {
+	r := Generate(smallConfig())
+	g := r.Graph
+	p := r.Manifest.Preds
+	for _, f := range r.Manifest.Films {
+		if n := g.Store().CountObjects(f, p.Director); n < 1 {
+			t.Fatalf("film %s has %d directors", g.Name(f), n)
+		}
+		if n := g.Store().CountObjects(f, p.Starring); n < 1 {
+			t.Fatalf("film %s has no cast", g.Name(f))
+		}
+		if len(g.CategoriesOf(f)) < 3 {
+			t.Fatalf("film %s has %d categories, want >= 3", g.Name(f), len(g.CategoriesOf(f)))
+		}
+		if g.PrimaryType(f) == rdf.NoTerm {
+			t.Fatalf("film %s has no type", g.Name(f))
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	// Popularity must be skewed: the most popular actor should appear in
+	// far more films than the median actor.
+	r := Generate(Scaled(500))
+	p := r.Manifest.Preds
+	counts := make([]int, 0, len(r.Manifest.Actors))
+	for _, a := range r.Manifest.Actors {
+		counts = append(counts, r.Store.CountSubjects(p.Starring, a))
+	}
+	maxC, total := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		total += c
+	}
+	mean := float64(total) / float64(len(counts))
+	if float64(maxC) < 5*mean {
+		t.Fatalf("degree distribution not skewed: max=%d mean=%.1f", maxC, mean)
+	}
+}
+
+func TestGenerateRedirectStubsAreNotEntities(t *testing.T) {
+	r := Generate(smallConfig())
+	g := r.Graph
+	voc := g.Voc()
+	nRedirects := 0
+	g.Store().ForEachTriple(func(tr rdf.Triple) {
+		if tr.P == voc.Redirects {
+			nRedirects++
+			if g.IsEntity(tr.S) {
+				t.Fatalf("redirect stub %s is in the entity universe", g.Name(tr.S))
+			}
+		}
+	})
+	if nRedirects == 0 {
+		t.Fatal("no redirect stubs generated")
+	}
+}
+
+func TestGenerateCategoriesCoverFilms(t *testing.T) {
+	r := Generate(smallConfig())
+	g := r.Graph
+	// American_films must exist and be one of the biggest categories.
+	var american rdf.TermID
+	for _, c := range g.Categories() {
+		if g.Dict().Term(c).LocalName() == "American_films" {
+			american = c
+		}
+	}
+	if american == rdf.NoTerm {
+		t.Fatal("American_films category missing")
+	}
+	members := g.CategoryMembers(american)
+	if len(members) < len(r.Manifest.Films)/4 {
+		t.Fatalf("American_films has only %d members out of %d films",
+			len(members), len(r.Manifest.Films))
+	}
+}
+
+func TestGenerateScalesMonotonically(t *testing.T) {
+	small := Generate(Scaled(100))
+	large := Generate(Scaled(400))
+	if large.Store.Len() <= small.Store.Len() {
+		t.Fatalf("larger scale produced fewer triples: %d <= %d",
+			large.Store.Len(), small.Store.Len())
+	}
+	if len(large.Graph.Entities()) <= len(small.Graph.Entities()) {
+		t.Fatal("larger scale produced fewer entities")
+	}
+}
+
+func TestDropRelationRateControlsIncompleteness(t *testing.T) {
+	count := func(rate float64) int {
+		cfg := Scaled(300)
+		cfg.Seed = 5
+		cfg.DropRelationRate = rate
+		r := Generate(cfg)
+		n := 0
+		for _, f := range r.Manifest.Films {
+			n += r.Store.CountObjects(f, r.Manifest.Preds.Genre)
+			n += r.Store.CountObjects(f, r.Manifest.Preds.Country)
+		}
+		return n
+	}
+	full := count(0)
+	half := count(0.5)
+	if half >= full {
+		t.Fatalf("drop rate 0.5 kept %d edges vs %d at rate 0", half, full)
+	}
+	// Roughly half should survive (anchor films always keep theirs).
+	ratio := float64(half) / float64(full)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("survival ratio %.2f implausible for rate 0.5", ratio)
+	}
+	// Categories are unaffected by dropping.
+	cfg := Scaled(300)
+	cfg.Seed = 5
+	cfg.DropRelationRate = 0.5
+	r := Generate(cfg)
+	for _, f := range r.Manifest.Films {
+		if len(r.Graph.CategoriesOf(f)) < 3 {
+			t.Fatalf("film %s lost categories under dropping", r.Graph.Name(f))
+		}
+	}
+}
+
+func TestAliasLabelsShareNoTokens(t *testing.T) {
+	cases := map[string]string{
+		"Forrest Gump": "Frrst Gmp",
+		"Tom Hanks":    "Tm Hnks",
+		"Apollo":       "Apll",
+	}
+	for in, want := range cases {
+		if got := aliasLabel(in); got != want {
+			t.Fatalf("aliasLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnchorNamesAlwaysResolve(t *testing.T) {
+	// Regardless of scale or seed, the paper anchors must resolve to the
+	// anchor entities (a random person named Robert_Zemeckis must not
+	// shadow the director).
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := Scaled(400)
+		cfg.Seed = seed
+		r := Generate(cfg)
+		g := r.Graph
+		hanks := g.EntityByName("Tom_Hanks")
+		gump := g.EntityByName("Forrest_Gump")
+		if !g.Store().Has(gump, r.Manifest.Preds.Starring, hanks) {
+			t.Fatalf("seed %d: anchor names shadowed", seed)
+		}
+		zem := g.EntityByName("Robert_Zemeckis")
+		if !g.Store().Has(gump, r.Manifest.Preds.Director, zem) {
+			t.Fatalf("seed %d: Robert_Zemeckis shadowed", seed)
+		}
+	}
+}
+
+func TestNameMinterUniqueness(t *testing.T) {
+	m := newNameMinter()
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		n := m.mint("Tom_Hanks")
+		if seen[n] {
+			t.Fatalf("minter produced duplicate %q", n)
+		}
+		seen[n] = true
+	}
+	if !seen["Tom_Hanks"] || !seen["Tom_Hanks_II"] || !seen["Tom_Hanks_III"] {
+		t.Fatal("expected roman-numeral suffix scheme")
+	}
+}
+
+func TestRoman(t *testing.T) {
+	cases := map[int]string{1: "I", 2: "II", 4: "IV", 9: "IX", 14: "XIV", 40: "XL", 1987: "MCMLXXXVII"}
+	for n, want := range cases {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	if display("Forrest_Gump") != "Forrest Gump" {
+		t.Fatal("display failed")
+	}
+}
+
+func TestCountryAdjectiveAlignment(t *testing.T) {
+	if len(countryNames) != len(countryAdjectives) {
+		t.Fatalf("countryNames (%d) and countryAdjectives (%d) misaligned",
+			len(countryNames), len(countryAdjectives))
+	}
+}
+
+func BenchmarkGenerateScale1000(b *testing.B) {
+	cfg := Scaled(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Generate(cfg)
+		if r.Store.Len() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func ExampleGenerate() {
+	r := Generate(Scaled(100))
+	g := r.Graph
+	gump := g.EntityByName("Forrest_Gump")
+	fmt.Println(g.Name(gump))
+	fmt.Println(g.Name(g.PrimaryType(gump)))
+	// Output:
+	// Forrest Gump
+	// Film
+}

@@ -1,0 +1,204 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Word tables for pseudo-realistic names. They are intentionally larger
+// than needed so that collisions stay rare at every scale; the generator
+// still deduplicates deterministically by appending roman-numeral
+// suffixes.
+var (
+	givenNames = []string{
+		"Tom", "Gary", "Robin", "Kevin", "Robert", "Ron", "Frank", "Steven",
+		"Anna", "Maria", "Elena", "Sofia", "James", "John", "Michael", "David",
+		"Laura", "Emma", "Olivia", "Noah", "Liam", "Mason", "Ethan", "Lucas",
+		"Amelia", "Harper", "Evelyn", "Abigail", "Henry", "Alexander", "Sebastian",
+		"Jack", "Aiden", "Owen", "Samuel", "Matthew", "Joseph", "Levi", "Mateo",
+		"Grace", "Chloe", "Victoria", "Riley", "Aria", "Lily", "Nora", "Zoey",
+		"Mila", "Aubrey", "Hannah", "Layla", "Ingrid", "Astrid", "Bjorn", "Sven",
+		"Yuki", "Hiro", "Kenji", "Mei", "Wei", "Jun", "Ravi", "Priya", "Arjun",
+		"Fatima", "Omar", "Layth", "Zara", "Nadia", "Pablo", "Diego", "Lucia",
+	}
+	familyNames = []string{
+		"Hanks", "Sinise", "Wright", "Bacon", "Zemeckis", "Howard", "Darabont",
+		"Spielberg", "Miller", "Smith", "Johnson", "Williams", "Brown", "Jones",
+		"Garcia", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+		"Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+		"Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+		"Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+		"King", "Scott", "Green", "Baker", "Adams", "Nelson", "Hill", "Rivera",
+		"Campbell", "Mitchell", "Carter", "Roberts", "Nakamura", "Tanaka",
+		"Kowalski", "Novak", "Ivanov", "Petrov", "Larsson", "Berg", "Haugen",
+	}
+	titleAdjectives = []string{
+		"Silent", "Golden", "Hidden", "Broken", "Burning", "Frozen", "Distant",
+		"Crimson", "Eternal", "Forgotten", "Savage", "Gentle", "Midnight",
+		"Scarlet", "Velvet", "Shattered", "Wandering", "Luminous", "Restless",
+		"Hollow", "Electric", "Quiet", "Wild", "Lost", "Final", "Rising",
+	}
+	titleNouns = []string{
+		"Horizon", "River", "Empire", "Garden", "Journey", "Shadow", "Symphony",
+		"Voyage", "Harvest", "Kingdom", "Promise", "Letter", "Winter", "Summer",
+		"Mirror", "Bridge", "Station", "Harbor", "Canyon", "Meadow", "Tempest",
+		"Lantern", "Compass", "Orchard", "Fortress", "Cathedral", "Labyrinth",
+	}
+	cityRoots = []string{
+		"Green", "River", "Spring", "Oak", "Maple", "Stone", "Clear", "Fair",
+		"North", "South", "East", "West", "Bright", "Silver", "Iron", "Golden",
+		"Lake", "Hill", "Wood", "Mill",
+	}
+	citySuffixes = []string{
+		"field", "ton", "ville", "burg", "port", "haven", "dale", "wood",
+		"bridge", "ford", "mouth", "stead",
+	}
+	countryNames = []string{
+		"United_States", "United_Kingdom", "France", "Germany", "Italy",
+		"Spain", "Japan", "China", "India", "Brazil", "Canada", "Australia",
+		"Mexico", "Sweden", "Norway", "Denmark", "Poland", "Netherlands",
+		"South_Korea", "Argentina", "Ireland", "New_Zealand", "Austria",
+		"Belgium", "Portugal", "Greece", "Finland", "Czech_Republic",
+		"Hungary", "Switzerland",
+	}
+	// countryAdjectives must stay aligned with countryNames: they name the
+	// "<Adjective> films" categories (e.g. American_films).
+	countryAdjectives = []string{
+		"American", "British", "French", "German", "Italian",
+		"Spanish", "Japanese", "Chinese", "Indian", "Brazilian", "Canadian",
+		"Australian", "Mexican", "Swedish", "Norwegian", "Danish", "Polish",
+		"Dutch", "South_Korean", "Argentine", "Irish", "New_Zealand",
+		"Austrian", "Belgian", "Portuguese", "Greek", "Finnish", "Czech",
+		"Hungarian", "Swiss",
+	}
+	genreNames = []string{
+		"Drama", "Comedy", "Thriller", "Romance", "Science_fiction", "Horror",
+		"Documentary", "Animation", "Adventure", "Crime", "Fantasy", "Mystery",
+		"Western", "War", "Musical", "Biography", "Sport", "Film_noir",
+		"Family", "History",
+	}
+	awardNames = []string{
+		"Academy_Award_for_Best_Picture", "Academy_Award_for_Best_Actor",
+		"Academy_Award_for_Best_Director", "Golden_Globe_Award",
+		"BAFTA_Award", "Palme_d_Or", "Golden_Lion", "Golden_Bear",
+		"Screen_Actors_Guild_Award", "Critics_Choice_Award",
+		"Saturn_Award", "Independent_Spirit_Award", "Cesar_Award",
+		"Goya_Award", "European_Film_Award",
+	}
+	studioSuffixes = []string{
+		"Pictures", "Studios", "Films", "Entertainment", "Productions",
+		"Media", "Bros", "Features",
+	}
+	universityPatterns = []string{
+		"University_of_%s", "%s_State_University", "%s_Institute_of_Technology",
+		"%s_College",
+	}
+)
+
+// nameMinter mints unique local names (IRI fragments). A collision gets a
+// deterministic "_II", "_III", ... suffix, mirroring Wikipedia-style
+// disambiguated titles.
+type nameMinter struct {
+	used map[string]int
+}
+
+func newNameMinter() *nameMinter { return &nameMinter{used: map[string]int{}} }
+
+func (m *nameMinter) mint(base string) string {
+	n := m.used[base]
+	m.used[base] = n + 1
+	if n == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s_%s", base, roman(n+1))
+}
+
+// reserve claims the exact names for later use, so random minting cannot
+// take them (it will receive "_II" variants instead). Reserved names must
+// then be used directly, not re-minted.
+func (m *nameMinter) reserve(names ...string) {
+	for _, n := range names {
+		if m.used[n] == 0 {
+			m.used[n] = 1
+		}
+	}
+}
+
+func roman(n int) string {
+	// Supports the small suffix counts the minter needs.
+	vals := []struct {
+		v int
+		s string
+	}{{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"}, {100, "C"}, {90, "XC"},
+		{50, "L"}, {40, "XL"}, {10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	var b strings.Builder
+	for _, p := range vals {
+		for n >= p.v {
+			b.WriteString(p.s)
+			n -= p.v
+		}
+	}
+	return b.String()
+}
+
+func personName(r *rand.Rand, m *nameMinter) string {
+	return m.mint(givenNames[r.Intn(len(givenNames))] + "_" + familyNames[r.Intn(len(familyNames))])
+}
+
+func filmTitle(r *rand.Rand, m *nameMinter) string {
+	switch r.Intn(4) {
+	case 0:
+		return m.mint("The_" + titleAdjectives[r.Intn(len(titleAdjectives))] + "_" + titleNouns[r.Intn(len(titleNouns))])
+	case 1:
+		return m.mint(titleAdjectives[r.Intn(len(titleAdjectives))] + "_" + titleNouns[r.Intn(len(titleNouns))])
+	case 2:
+		return m.mint(titleNouns[r.Intn(len(titleNouns))] + "_of_" + titleNouns[r.Intn(len(titleNouns))])
+	default:
+		return m.mint("The_" + titleNouns[r.Intn(len(titleNouns))])
+	}
+}
+
+func cityName(r *rand.Rand, m *nameMinter) string {
+	return m.mint(cityRoots[r.Intn(len(cityRoots))] + citySuffixes[r.Intn(len(citySuffixes))])
+}
+
+func studioName(r *rand.Rand, m *nameMinter) string {
+	return m.mint(familyNames[r.Intn(len(familyNames))] + "_" + studioSuffixes[r.Intn(len(studioSuffixes))])
+}
+
+func universityName(r *rand.Rand, m *nameMinter, city string) string {
+	pat := universityPatterns[r.Intn(len(universityPatterns))]
+	return m.mint(fmt.Sprintf(pat, city))
+}
+
+// display converts a local name to its human-readable label.
+func display(local string) string { return strings.ReplaceAll(local, "_", " ") }
+
+// aliasLabel derives a redirect-style alias that shares no tokens with the
+// original label, the way DBpedia redirects are misspellings or alternate
+// renderings ("Geenbow" → Forrest_Gump): every token keeps its first rune
+// and loses its remaining vowels.
+func aliasLabel(label string) string {
+	words := strings.Fields(label)
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		runes := []rune(w)
+		var b strings.Builder
+		for i, r := range runes {
+			if i == 0 || !isVowel(r) {
+				b.WriteRune(r)
+			}
+		}
+		out = append(out, b.String())
+	}
+	return strings.Join(out, " ")
+}
+
+func isVowel(r rune) bool {
+	switch r {
+	case 'a', 'e', 'i', 'o', 'u', 'A', 'E', 'I', 'O', 'U':
+		return true
+	}
+	return false
+}

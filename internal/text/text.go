@@ -1,0 +1,72 @@
+// Package text provides the lexical analysis used by PivotE's entity
+// search engine: Unicode-aware tokenization, lowercasing and a small
+// English stopword list. Analysis is deliberately simple (no stemming):
+// the paper's retrieval model is a term-based mixture of language models
+// and entity names in KGs are near-verbatim, so aggressive normalization
+// would hurt precision.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase tokens at non-letter/digit boundaries.
+// Underscores separate tokens too, so IRI local names such as
+// "Forrest_Gump" analyze identically to their labels.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// stopwords is a minimal English function-word list; it is intentionally
+// short because entity labels are title-like and rarely contain them.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
+	"at": true, "by": true, "for": true, "to": true, "and": true, "or": true,
+	"is": true, "was": true, "are": true, "be": true, "with": true, "as": true,
+	"it": true, "its": true, "that": true, "this": true, "from": true,
+}
+
+// IsStopword reports whether the lowercase token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Analyze tokenizes s and removes stopwords. If every token is a
+// stopword the tokens are kept, so queries like "The Who" stay matchable.
+func Analyze(s string) []string {
+	toks := Tokenize(s)
+	kept := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !stopwords[t] {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		return toks
+	}
+	return kept
+}
+
+// AnalyzeAll analyzes each string and concatenates the token streams.
+func AnalyzeAll(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, Analyze(s)...)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package text
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Forrest Gump", []string{"forrest", "gump"}},
+		{"Forrest_Gump", []string{"forrest", "gump"}},
+		{"Tom-Hanks (actor)", []string{"tom", "hanks", "actor"}},
+		{"142 minutes", []string{"142", "minutes"}},
+		{"", nil},
+		{"...", nil},
+		{"Café Müller", []string{"café", "müller"}},
+		{"AC/DC's 1980s", []string{"ac", "dc", "s", "1980s"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeRemovesStopwords(t *testing.T) {
+	got := Analyze("The Green Mile is a film")
+	want := []string{"green", "mile", "film"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeKeepsAllStopwordQueries(t *testing.T) {
+	got := Analyze("The Who")
+	// "the" is a stopword but "who" is not, so only "who" survives...
+	if !reflect.DeepEqual(got, []string{"who"}) {
+		t.Fatalf("Analyze(The Who) = %v", got)
+	}
+	// ...but an all-stopword string keeps its tokens rather than
+	// vanishing.
+	got = Analyze("The Of And")
+	if len(got) != 3 {
+		t.Fatalf("all-stopword input dropped: %v", got)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	got := AnalyzeAll([]string{"Tom Hanks", "the actor"})
+	want := []string{"tom", "hanks", "actor"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AnalyzeAll = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("gump") {
+		t.Fatal("IsStopword misclassifies")
+	}
+}
+
+func TestTokenizePropertyLowercaseAlnum(t *testing.T) {
+	// Every emitted token is non-empty, fixed under lowercasing (some
+	// letters, e.g. mathematical capitals, have no lowercase mapping —
+	// "fixed point of ToLower" is the real invariant), and contains only
+	// letters/digits.
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				if unicode.ToLower(r) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizeIdempotentOnJoin(t *testing.T) {
+	// Tokenizing the space-join of tokens reproduces the tokens.
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		joined := ""
+		for i, tok := range toks {
+			if i > 0 {
+				joined += " "
+			}
+			joined += tok
+		}
+		return reflect.DeepEqual(Tokenize(joined), toks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package viz provides the small drawing toolkit the PivotE artifacts are
+// rendered with: an SVG document builder and ASCII chart helpers. Keeping
+// it stdlib-only means every figure of the paper can be regenerated
+// headlessly in tests and benches.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG accumulates elements of a fixed-size SVG document.
+type SVG struct {
+	width, height int
+	elems         []string
+}
+
+// NewSVG returns an empty document of the given pixel size.
+func NewSVG(width, height int) *SVG {
+	return &SVG{width: width, height: height}
+}
+
+// Rect appends a rectangle. Empty stroke omits the outline.
+func (s *SVG) Rect(x, y, w, h float64, fill, stroke string) {
+	attr := fmt.Sprintf(`x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"`, x, y, w, h, fill)
+	if stroke != "" {
+		attr += fmt.Sprintf(` stroke="%s"`, stroke)
+	}
+	s.elems = append(s.elems, "<rect "+attr+"/>")
+}
+
+// Text appends a text element. anchor is one of "start", "middle", "end".
+func (s *SVG) Text(x, y, size float64, anchor, content string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="%.1f" font-family="monospace" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escapeXML(content)))
+}
+
+// TextRotated appends text rotated by deg degrees around its own origin.
+func (s *SVG) TextRotated(x, y, size float64, deg float64, content string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="%.1f" font-family="monospace" transform="rotate(%.0f %.1f %.1f)">%s</text>`,
+		x, y, size, deg, x, y, escapeXML(content)))
+}
+
+// Line appends a straight line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, stroke, width))
+}
+
+// String renders the document.
+func (s *SVG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, s.width, s.height)
+	b.WriteByte('\n')
+	for _, e := range s.elems {
+		b.WriteString("  ")
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Bar renders one ASCII histogram bar of at most width cells, scaled so
+// that maxValue fills the width.
+func Bar(value, maxValue, width int) string {
+	if maxValue <= 0 || width <= 0 {
+		return ""
+	}
+	n := value * width / maxValue
+	if n == 0 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// Truncate shortens s to at most n runes, appending "…" when cut.
+func Truncate(s string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	runes := []rune(s)
+	if len(runes) <= n {
+		return s
+	}
+	if n == 1 {
+		return "…"
+	}
+	return string(runes[:n-1]) + "…"
+}

@@ -1,0 +1,67 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGDocument(t *testing.T) {
+	s := NewSVG(200, 100)
+	s.Rect(0, 0, 10, 10, "#ff0000", "#000000")
+	s.Text(5, 5, 10, "middle", "hello")
+	s.TextRotated(5, 5, 10, -60, "tilted")
+	s.Line(0, 0, 10, 10, "#333333", 1)
+	out := s.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="200" height="100">`,
+		"<rect", "<text", "rotate(-60", "<line", "</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSVGEscapesXML(t *testing.T) {
+	s := NewSVG(10, 10)
+	s.Text(0, 0, 8, "start", `a<b&"c"`)
+	out := s.String()
+	if strings.Contains(out, "a<b") || !strings.Contains(out, "a&lt;b&amp;&quot;c&quot;") {
+		t.Fatalf("XML not escaped:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); len([]rune(got)) != 5 {
+		t.Fatalf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(1, 1000, 10); len([]rune(got)) != 1 {
+		t.Fatalf("nonzero value must render at least one cell, got %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Fatalf("Bar(0) = %q, want empty", got)
+	}
+	if got := Bar(5, 0, 10); got != "" {
+		t.Fatalf("Bar with zero max = %q, want empty", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"hello", 10, "hello"},
+		{"hello", 5, "hello"},
+		{"hello world", 5, "hell…"},
+		{"héllo wörld", 6, "héllo…"},
+		{"x", 0, ""},
+		{"xy", 1, "…"},
+	}
+	for _, c := range cases {
+		if got := Truncate(c.in, c.n); got != c.want {
+			t.Errorf("Truncate(%q,%d) = %q, want %q", c.in, c.n, got, c.want)
+		}
+	}
+}

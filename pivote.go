@@ -1,0 +1,213 @@
+// Package pivote is a Go implementation of PivotE, the entity-oriented
+// exploratory search system for knowledge graphs presented in:
+//
+//	Xueran Han, Jun Chen, Jiaheng Lu, Yueguo Chen, Xiaoyong Du.
+//	PivotE: Revealing and Visualizing the Underlying Entity Structures
+//	for Exploration. PVLDB 12(12): 1966–1969, 2019.
+//
+// PivotE lets users explore a knowledge graph without writing SPARQL:
+// starting from a keyword query, the system recommends entities (the
+// x-axis of its matrix interface) and semantic features — anchor entity +
+// directional predicate pairs such as Tom_Hanks:starring — (the y-axis),
+// explains their correlation with a seven-level heat map, and supports
+// two core operations: investigation (expanding entities of the same
+// type from examples) and pivoting (jumping to a different entity domain
+// through a feature's anchor).
+//
+// # Quick start
+//
+//	g := pivote.GenerateDemo(1000, 42)         // synthetic DBpedia-like KG
+//	eng := pivote.New(g, pivote.Options{})
+//	res := eng.Submit("forrest gump")          // keyword search
+//	res = eng.AddSeed(res.Entities[0].Entity)  // investigate: similar films
+//	fmt.Println(res.RenderASCII())             // all five UI areas
+//	res = eng.Pivot(g.EntityByName("Tom_Hanks")) // browse: Actor domain
+//
+// Real data loads from N-Triples via LoadNTriples; the vocabulary
+// (rdf:type, rdfs:label, dct:subject, dbo:wikiPageRedirects, ...) matches
+// DBpedia dumps.
+//
+// The exported names are aliases of the implementation packages under
+// internal/, re-exported here as the supported surface.
+package pivote
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pivote/internal/bgp"
+	"pivote/internal/core"
+	"pivote/internal/expand"
+	"pivote/internal/heatmap"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+	"pivote/internal/session"
+	"pivote/internal/synth"
+)
+
+// Core engine surface.
+type (
+	// Engine is the PivotE system: search + recommendation + session.
+	Engine = core.Engine
+	// Options configure an Engine.
+	Options = core.Options
+	// Result is the assembled interface state (the five areas of the
+	// paper's Fig. 3).
+	Result = core.Result
+
+	// Graph is the knowledge-graph view used by every component.
+	Graph = kg.Graph
+	// Profile is an entity's presentation-area content.
+	Profile = kg.Profile
+
+	// EntityID identifies an entity (a dictionary-encoded term).
+	EntityID = rdf.TermID
+
+	// Feature is a semantic feature π = (anchor, predicate, direction).
+	Feature = semfeat.Feature
+	// FeatureScore is a feature with its relevance r(π,Q).
+	FeatureScore = semfeat.Score
+
+	// RankedEntity is one recommended entity.
+	RankedEntity = expand.Ranked
+
+	// HeatMap is the seven-level correlation matrix of the explanation
+	// area.
+	HeatMap = heatmap.Matrix
+
+	// Query is the reformulable query state; Action one timeline step.
+	Query  = session.Query
+	Action = session.Action
+
+	// SearchModel selects the keyword-retrieval model.
+	SearchModel = search.Model
+	// SearchParams are the retrieval hyperparameters.
+	SearchParams = search.Params
+
+	// BGPQuery is a SPARQL-style basic graph pattern — the structured
+	// access path the paper contrasts exploration against.
+	BGPQuery = bgp.Query
+	// BGPBinding is one result row of a BGP query.
+	BGPBinding = bgp.Binding
+)
+
+// Feature directions.
+const (
+	// Backward anchors the feature at the triple object
+	// (Tom_Hanks:starring = films starring Tom Hanks).
+	Backward = semfeat.Backward
+	// Forward anchors it at the subject (Forrest_Gump:~starring = the
+	// cast of Forrest Gump).
+	Forward = semfeat.Forward
+)
+
+// Retrieval models.
+const (
+	// ModelMLM is the paper's five-field mixture of language models.
+	ModelMLM = search.ModelMLM
+	// ModelBM25F, ModelLMNames and ModelBoolean are baselines.
+	ModelBM25F   = search.ModelBM25F
+	ModelLMNames = search.ModelLMNames
+	ModelBoolean = search.ModelBoolean
+)
+
+// NoEntity is the zero EntityID, returned by failed lookups.
+const NoEntity = rdf.NoTerm
+
+// New builds a PivotE engine over a graph. The engine is stateful (it
+// owns a session) and not safe for concurrent use; create one per user.
+func New(g *Graph, opts Options) *Engine { return core.New(g, opts) }
+
+// GenerateDemo builds the deterministic synthetic DBpedia-like graph used
+// by the examples and experiments: scale is the film count (total
+// entities ≈ 2.2×scale) and seed drives all randomness. The paper's
+// running examples (Forrest_Gump, Tom_Hanks, ...) are embedded at every
+// scale.
+func GenerateDemo(scale int, seed int64) *Graph {
+	cfg := synth.Scaled(scale)
+	cfg.Seed = seed
+	return synth.Generate(cfg).Graph
+}
+
+// LoadNTriples reads an N-Triples stream into a new Graph.
+func LoadNTriples(r io.Reader) (*Graph, error) {
+	st := rdf.NewStore(nil)
+	if _, err := rdf.ReadNTriples(st, r); err != nil {
+		return nil, fmt.Errorf("pivote: %w", err)
+	}
+	st.Freeze()
+	return kg.NewGraph(st), nil
+}
+
+// LoadNTriplesFile reads an N-Triples file into a new Graph.
+func LoadNTriplesFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pivote: %w", err)
+	}
+	defer f.Close()
+	return LoadNTriples(f)
+}
+
+// SaveNTriples writes the graph's triples as N-Triples.
+func SaveNTriples(g *Graph, w io.Writer) error {
+	return rdf.WriteNTriples(g.Store(), w)
+}
+
+// SaveSnapshot writes the graph in the binary snapshot format — the fast
+// path for repeatedly serving the same graph (no parsing or re-interning
+// on load).
+func SaveSnapshot(g *Graph, w io.Writer) error {
+	return rdf.WriteSnapshot(g.Store(), w)
+}
+
+// LoadSnapshot reads a binary snapshot written by SaveSnapshot.
+func LoadSnapshot(r io.Reader) (*Graph, error) {
+	st, err := rdf.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("pivote: %w", err)
+	}
+	return kg.NewGraph(st), nil
+}
+
+// LoadGraphFile loads either format by extension: ".snap" snapshots, and
+// anything else as N-Triples.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pivote: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".snap") {
+		return LoadSnapshot(f)
+	}
+	return LoadNTriples(f)
+}
+
+// FeatureLabel renders a feature in the paper's anchor:predicate
+// notation.
+func FeatureLabel(g *Graph, f Feature) string { return semfeat.Label(g, f) }
+
+// ParseFeature resolves "Anchor:predicate" / "Anchor:~predicate" notation
+// against the graph (local names or full IRIs), the inverse of
+// FeatureLabel.
+func ParseFeature(g *Graph, s string) (Feature, error) {
+	return semfeat.Parse(g, s)
+}
+
+// ParseBGP parses a SPARQL-like basic-graph-pattern query, e.g.
+//
+//	SELECT ?film WHERE { ?film starring Tom_Hanks . ?film director Robert_Zemeckis }
+func ParseBGP(g *Graph, query string) (BGPQuery, error) {
+	return bgp.Parse(g, query)
+}
+
+// ExecuteBGP evaluates a basic graph pattern and returns the variable
+// bindings, deterministically ordered.
+func ExecuteBGP(g *Graph, q BGPQuery) ([]BGPBinding, error) {
+	return bgp.Execute(g.Store(), q)
+}
