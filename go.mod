@@ -1,0 +1,3 @@
+module pivote
+
+go 1.24

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kg"
+	"pivote/internal/synth"
+)
+
+var (
+	submitOnce  sync.Once
+	submitGraph *kg.Graph
+)
+
+func submitSetup() *kg.Graph {
+	submitOnce.Do(func() {
+		submitGraph = synth.Generate(synth.Scaled(300)).Graph
+	})
+	return submitGraph
+}
+
+// BenchmarkSubmit measures one full interactive turn: keyword retrieval,
+// pseudo-seed feature ranking and the heat map, i.e. what one POST
+// /api/query costs once the engine is warm.
+func BenchmarkSubmit(b *testing.B) {
+	g := submitSetup()
+	eng := core.New(g, core.Options{})
+	eng.Submit("forrest gump") // warm caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Submit("forrest gump")
+		if len(res.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
+// BenchmarkPivot measures the pivot operation (switch domain, re-expand)
+// on a warm engine.
+func BenchmarkPivot(b *testing.B) {
+	g := submitSetup()
+	eng := core.New(g, core.Options{})
+	ent := g.EntityByName("Forrest_Gump")
+	eng.Pivot(ent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Pivot(ent)
+		if len(res.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}

@@ -74,20 +74,21 @@ type Result struct {
 	Timeline []session.Action
 }
 
-// Engine is a single-user PivotE instance. It is not safe for concurrent
-// use (the session is stateful); the HTTP server creates one per session.
-type Engine struct {
+// Shared is the session-independent read core over one graph: the
+// keyword search index and the semantic-feature cache. Both are safe for
+// concurrent use, so one Shared serves every session of a process —
+// per-session engines carry only the (cheap, mutable) session state.
+// Building the search index and warming feature extents happen once per
+// graph instead of once per user.
+type Shared struct {
 	g        *kg.Graph
 	searcher *search.Engine
-	feats    *semfeat.Engine
-	expander *expand.Expander
-	sess     *session.Session
-	opts     Options
+	features *semfeat.FeatureCache
 }
 
-// New builds an engine over the graph, constructing the search index and
-// recommendation machinery.
-func New(g *kg.Graph, opts Options) *Engine {
+// NewShared builds the shared read core: the search index over the
+// graph's entity universe plus an empty feature cache.
+func NewShared(g *kg.Graph, opts Options) *Shared {
 	opts = opts.withDefaults()
 	var searcher *search.Engine
 	if opts.SearchParams != nil {
@@ -95,16 +96,59 @@ func New(g *kg.Graph, opts Options) *Engine {
 	} else {
 		searcher = search.NewEngine(g)
 	}
-	fe := semfeat.NewEngineWithOptions(g, opts.Features)
+	return &Shared{g: g, searcher: searcher, features: semfeat.NewFeatureCache(g)}
+}
+
+// Graph exposes the knowledge graph.
+func (sh *Shared) Graph() *kg.Graph { return sh.g }
+
+// Searcher exposes the shared keyword search engine.
+func (sh *Shared) Searcher() *search.Engine { return sh.searcher }
+
+// FeatureCache exposes the shared semantic-feature cache.
+func (sh *Shared) FeatureCache() *semfeat.FeatureCache { return sh.features }
+
+// Engine is a single-user PivotE instance: per-session query state over
+// the shared read core. Methods that mutate the session are not safe for
+// concurrent use; the HTTP server serializes them per session and lets
+// read-only evaluation run concurrently.
+type Engine struct {
+	g        *kg.Graph
+	shared   *Shared
+	searcher *search.Engine
+	feats    *semfeat.Engine
+	expander *expand.Expander
+	sess     *session.Session
+	opts     Options
+}
+
+// New builds an engine over the graph, constructing a private shared
+// core (search index and feature cache). Multi-session servers build one
+// Shared with NewShared and attach sessions with NewWithShared instead.
+func New(g *kg.Graph, opts Options) *Engine {
+	return NewWithShared(NewShared(g, opts), opts)
+}
+
+// NewWithShared attaches a fresh session engine to an existing shared
+// core. The construction cost is a few small allocations — suitable for
+// per-request session creation. The search hyperparameters are fixed by
+// the shared core; opts.SearchParams is ignored here.
+func NewWithShared(sh *Shared, opts Options) *Engine {
+	opts = opts.withDefaults()
+	fe := semfeat.NewEngineWithCache(sh.features, opts.Features)
 	return &Engine{
-		g:        g,
-		searcher: searcher,
+		g:        sh.g,
+		shared:   sh,
+		searcher: sh.searcher,
 		feats:    fe,
 		expander: expand.New(fe, *opts.Expand),
 		sess:     session.New(),
 		opts:     opts,
 	}
 }
+
+// Shared exposes the shared read core this engine runs on.
+func (e *Engine) Shared() *Shared { return e.shared }
 
 // Graph exposes the knowledge graph.
 func (e *Engine) Graph() *kg.Graph { return e.g }
@@ -262,13 +306,13 @@ func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) 
 		phi = phi[:e.opts.TopFeatures]
 	}
 
-	var cands []rdf.TermID
+	var entities []expand.Ranked
 	if len(q.Features) > 0 {
-		cands = e.conditionCandidates(q)
+		entities = e.expander.ScoreCandidates(e.conditionCandidates(q), phi, e.opts.TopEntities)
 	} else {
-		cands = e.expander.CandidatesOf(q.Seeds, phi)
+		// Seeds only: candidate generation and scoring share one scatter.
+		entities = e.expander.ExpandWithFeatures(q.Seeds, phi, e.opts.TopEntities)
 	}
-	entities := e.expander.ScoreCandidates(cands, phi, e.opts.TopEntities)
 	if len(entities) == 0 && len(q.Seeds) > 0 && len(q.Features) == 0 {
 		// The SF extents found no same-type candidates — typical when
 		// pivoting into a domain whose entities connect only via longer

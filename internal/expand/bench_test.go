@@ -1,0 +1,63 @@
+package expand_test
+
+import (
+	"sync"
+	"testing"
+
+	"pivote/internal/expand"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/synth"
+)
+
+// benchEnv is built once: the graph is immutable and shared, exactly as a
+// serving process would hold it.
+var (
+	benchOnce  sync.Once
+	benchRes   *synth.Result
+	benchSeeds []rdf.TermID
+)
+
+func benchSetup() (*synth.Result, []rdf.TermID) {
+	benchOnce.Do(func() {
+		benchRes = synth.Generate(synth.Scaled(300))
+		benchSeeds = benchRes.Manifest.Films[:3]
+	})
+	return benchRes, benchSeeds
+}
+
+// BenchmarkExpand measures the paper's hot path: rank Φ(Q), union the
+// extents, score every candidate with r(e,Q) = Σ p(π|e)·r(π,Q), select
+// the top 20. The feature cache is warmed by one run before the loop, as
+// in steady-state serving.
+func BenchmarkExpand(b *testing.B) {
+	res, seeds := benchSetup()
+	en := semfeat.NewEngine(res.Graph)
+	x := expand.New(en, expand.Options{SameTypeOnly: true})
+	x.Expand(seeds, 20) // warm the extent/category caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked, _ := x.Expand(seeds, 20)
+		if len(ranked) == 0 {
+			b.Fatal("empty expansion")
+		}
+	}
+}
+
+// BenchmarkExpandStrict is the same pass with the category back-off
+// disabled: pure extent scatter, no per-candidate probing.
+func BenchmarkExpandStrict(b *testing.B) {
+	res, seeds := benchSetup()
+	en := semfeat.NewEngineWithOptions(res.Graph, semfeat.Options{Strict: true})
+	x := expand.New(en, expand.Options{SameTypeOnly: true})
+	x.Expand(seeds, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked, _ := x.Expand(seeds, 20)
+		if len(ranked) == 0 {
+			b.Fatal("empty expansion")
+		}
+	}
+}

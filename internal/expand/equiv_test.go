@@ -1,0 +1,221 @@
+package expand_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pivote/internal/expand"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/synth"
+)
+
+// The extent-driven scorer must reproduce the naive per-candidate probe
+// loop exactly: same candidates, same scores, same order. The reference
+// implementations below are the pre-refactor algorithms, kept verbatim
+// (maps, per-pair Prob probes, full sort) as an executable spec.
+
+func naiveTop(ranked []expand.Ranked, k int) []expand.Ranked {
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Entity < ranked[j].Entity
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+func naiveCandidates(g *kg.Graph, en *semfeat.Engine, opts expand.Options, seeds []rdf.TermID, feats []semfeat.Score) []rdf.TermID {
+	seedSet := map[rdf.TermID]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	var seedTypes map[rdf.TermID]bool
+	if opts.SameTypeOnly {
+		seedTypes = map[rdf.TermID]bool{}
+		for _, s := range seeds {
+			if t := g.PrimaryType(s); t != rdf.NoTerm {
+				seedTypes[t] = true
+			}
+		}
+	}
+	seen := map[rdf.TermID]bool{}
+	var out []rdf.TermID
+	for _, fs := range feats {
+		for _, e := range en.Extent(fs.Feature) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			if !opts.IncludeSeeds && seedSet[e] {
+				continue
+			}
+			if seedTypes != nil && !seedTypes[g.PrimaryType(e)] {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func naivePivotE(g *kg.Graph, en *semfeat.Engine, opts expand.Options, seeds []rdf.TermID, k, topFeatures int) []expand.Ranked {
+	feats := en.Rank(seeds, topFeatures)
+	cands := naiveCandidates(g, en, opts, seeds, feats)
+	ranked := make([]expand.Ranked, 0, len(cands))
+	for _, e := range cands {
+		score := 0.0
+		for _, fs := range feats {
+			p := en.Prob(fs.Feature, e)
+			if p > 0 {
+				score += p * fs.R
+			}
+		}
+		if score > 0 {
+			ranked = append(ranked, expand.Ranked{Entity: e, Name: g.Name(e), Score: score})
+		}
+	}
+	return naiveTop(ranked, k)
+}
+
+func naiveFeatureCount(g *kg.Graph, en *semfeat.Engine, opts expand.Options, seeds []rdf.TermID, k, topFeatures int) []expand.Ranked {
+	feats := en.Rank(seeds, topFeatures)
+	cands := naiveCandidates(g, en, opts, seeds, feats)
+	ranked := make([]expand.Ranked, 0, len(cands))
+	for _, e := range cands {
+		n := 0
+		for _, fs := range feats {
+			if en.Holds(e, fs.Feature) {
+				n++
+			}
+		}
+		if n > 0 {
+			ranked = append(ranked, expand.Ranked{Entity: e, Name: g.Name(e), Score: float64(n)})
+		}
+	}
+	return naiveTop(ranked, k)
+}
+
+func sameRanking(t *testing.T, label string, got, want []expand.Ranked) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Entity != w.Entity || g.Name != w.Name {
+			t.Fatalf("%s: rank %d entity mismatch: got %d(%s), want %d(%s)", label, i, g.Entity, g.Name, w.Entity, w.Name)
+		}
+		diff := g.Score - w.Score
+		if diff < 0 {
+			diff = -diff
+		}
+		// Scores are sums of identical terms; the scatter adds them in a
+		// different order, so allow only float round-off.
+		tol := 1e-12 * (1 + w.Score)
+		if diff > tol {
+			t.Fatalf("%s: rank %d score mismatch: got %.17g, want %.17g", label, i, g.Score, w.Score)
+		}
+	}
+}
+
+func TestScoringEquivalenceAllMethods(t *testing.T) {
+	res := synth.Generate(synth.Scaled(80))
+	g := res.Graph
+	m := res.Manifest
+	seedSets := [][]rdf.TermID{
+		m.Films[:3],
+		m.Films[5:7],
+		{m.Actors[0]},
+		{m.Directors[0], m.Directors[1]},
+	}
+	optVariants := []expand.Options{
+		{SameTypeOnly: true},
+		{},
+		{SameTypeOnly: true, IncludeSeeds: true},
+	}
+	featVariants := []semfeat.Options{{}, {Strict: true}}
+
+	for oi, opts := range optVariants {
+		for fi, fopts := range featVariants {
+			en := semfeat.NewEngineWithOptions(g, fopts)
+			x := expand.New(en, opts)
+			topF := x.Options().TopFeatures
+			for si, seeds := range seedSets {
+				for _, k := range []int{10, 0} {
+					label := fmt.Sprintf("opts=%d feats=%d seeds=%d k=%d", oi, fi, si, k)
+					got, _ := x.Expand(seeds, k)
+					want := naivePivotE(g, en, x.Options(), seeds, k, topF)
+					sameRanking(t, label+" PivotE", got, want)
+
+					gotFC := x.ExpandWith(expand.MethodFeatureCount, seeds, k)
+					wantFC := naiveFeatureCount(g, en, x.Options(), seeds, k, topF)
+					sameRanking(t, label+" FeatureCount", gotFC, wantFC)
+				}
+			}
+		}
+	}
+}
+
+// The three baselines did not change algorithmically, but they now share
+// the bounded-heap top-k selection; pin their rankings as deterministic
+// and consistent across repeated runs and engines.
+func TestBaselineMethodsDeterministic(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	g := res.Graph
+	seeds := res.Manifest.Films[:2]
+	for _, method := range []expand.Method{expand.MethodCommonNeighbors, expand.MethodJaccard, expand.MethodPPR} {
+		x1 := expand.New(semfeat.NewEngine(g), expand.Options{SameTypeOnly: true})
+		x2 := expand.New(semfeat.NewEngine(g), expand.Options{SameTypeOnly: true})
+		a := x1.ExpandWith(method, seeds, 15)
+		b := x2.ExpandWith(method, seeds, 15)
+		if len(a) == 0 {
+			t.Fatalf("%v returned no results", method)
+		}
+		sameRanking(t, method.String(), a, b)
+	}
+}
+
+// ExpandWithFeatures (one scatter) must equal the two-pass
+// CandidatesOf + ScoreCandidates composition.
+func TestExpandWithFeaturesEquivalence(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	g := res.Graph
+	seeds := res.Manifest.Films[:3]
+	for _, opts := range []expand.Options{{SameTypeOnly: true}, {}} {
+		en := semfeat.NewEngine(g)
+		x := expand.New(en, opts)
+		feats := en.Rank(seeds, x.Options().TopFeatures)
+		got := x.ExpandWithFeatures(seeds, feats, 12)
+		want := x.ScoreCandidates(x.CandidatesOf(seeds, feats), feats, 12)
+		sameRanking(t, fmt.Sprintf("opts=%+v", opts), got, want)
+	}
+}
+
+// CandidatesOf must agree with the naive union-filter-sort reference.
+func TestCandidatesEquivalence(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	g := res.Graph
+	seeds := res.Manifest.Films[:3]
+	for _, opts := range []expand.Options{{SameTypeOnly: true}, {}, {IncludeSeeds: true}} {
+		en := semfeat.NewEngine(g)
+		x := expand.New(en, opts)
+		feats := en.Rank(seeds, x.Options().TopFeatures)
+		got := x.CandidatesOf(seeds, feats)
+		want := naiveCandidates(g, en, x.Options(), seeds, feats)
+		if len(got) != len(want) {
+			t.Fatalf("opts=%+v: got %d candidates, want %d", opts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("opts=%+v: candidate %d: got %d, want %d", opts, i, got[i], want[i])
+			}
+		}
+	}
+}

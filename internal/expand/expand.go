@@ -12,11 +12,13 @@ package expand
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"pivote/internal/kg"
 	"pivote/internal/rdf"
 	"pivote/internal/semfeat"
+	"pivote/internal/topk"
 )
 
 // Method selects the expansion model.
@@ -101,7 +103,9 @@ type Ranked struct {
 	Score  float64
 }
 
-// Expander runs entity set expansion over one graph.
+// Expander runs entity set expansion over one graph. All methods are
+// safe for concurrent use: working state lives in pooled scratch
+// structures, and the feature engine is concurrency-safe.
 type Expander struct {
 	en   *semfeat.Engine
 	g    *kg.Graph
@@ -117,26 +121,27 @@ func New(en *semfeat.Engine, opts Options) *Expander {
 // Options returns the effective options.
 func (x *Expander) Options() Options { return x.opts }
 
+// denseSize is the dense-array bound for per-TermID scratch.
+func (x *Expander) denseSize() int { return int(x.g.Store().MaxTermID()) + 2 }
+
 // Expand ranks candidates for the seed set with the paper's model and
 // returns the top-k entities along with the ranked feature set Φ(Q) that
 // produced them (for the y-axis and the heat map). k <= 0 returns all.
+//
+// Scoring is extent-driven: one scatter pass over the ranked features'
+// extents produces both the candidate union and every exact-match score,
+// and only the (candidate, feature) misses fall back to the per-pair
+// probability probe. See score.go.
 func (x *Expander) Expand(seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score) {
 	feats := x.en.Rank(seeds, x.opts.TopFeatures)
-	cands := x.candidates(seeds, feats)
-	ranked := make([]Ranked, 0, len(cands))
-	for _, e := range cands {
-		score := 0.0
-		for _, fs := range feats {
-			p := x.en.Prob(fs.Feature, e)
-			if p > 0 {
-				score += p * fs.R
-			}
-		}
-		if score > 0 {
-			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: score})
-		}
-	}
-	return x.top(ranked, k), feats
+	sc := scratchPool.Get().(*scratch)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	x.scatter(sc, feats)
+	cands := x.collectCandidates(sc, seeds)
+	x.finalize(sc, cands, feats)
+	out := x.rankTop(sc, cands, k)
+	scratchPool.Put(sc)
+	return out, feats
 }
 
 // ExpandWith ranks candidates using the selected method. For
@@ -167,84 +172,71 @@ func (x *Expander) CandidatesOf(seeds []rdf.TermID, feats []semfeat.Score) []rdf
 	return x.candidates(seeds, feats)
 }
 
+// ExpandWithFeatures ranks candidates for an explicit feature set Φ in
+// one pass: the scatter yields the candidate union (same-type filtered,
+// seeds removed per the options) and the exact-match scores together.
+// This is Expand without the feature ranking — the core engine uses it
+// when Φ mixes user-pinned conditions with seed-derived features.
+func (x *Expander) ExpandWithFeatures(seeds []rdf.TermID, feats []semfeat.Score, k int) []Ranked {
+	sc := scratchPool.Get().(*scratch)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	x.scatter(sc, feats)
+	cands := x.collectCandidates(sc, seeds)
+	x.finalize(sc, cands, feats)
+	out := x.rankTop(sc, cands, k)
+	scratchPool.Put(sc)
+	return out
+}
+
 // ScoreCandidates ranks an explicit candidate set against an explicit
 // feature set with the paper's r(e,Q) = Σ p(π|e)·r(π,Q) and returns the
 // top-k.
 func (x *Expander) ScoreCandidates(cands []rdf.TermID, feats []semfeat.Score, k int) []Ranked {
-	ranked := make([]Ranked, 0, len(cands))
-	for _, e := range cands {
-		score := 0.0
-		for _, fs := range feats {
-			p := x.en.Prob(fs.Feature, e)
-			if p > 0 {
-				score += p * fs.R
-			}
-		}
-		if score > 0 {
-			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: score})
-		}
-	}
-	return x.top(ranked, k)
+	sc := scratchPool.Get().(*scratch)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	x.scatter(sc, feats)
+	x.finalize(sc, cands, feats)
+	out := x.rankTop(sc, cands, k)
+	scratchPool.Put(sc)
+	return out
 }
 
 // candidates unions the extents of the ranked features, applies the
-// same-type filter and removes seeds.
+// same-type filter and removes seeds. The result is a fresh sorted slice.
 func (x *Expander) candidates(seeds []rdf.TermID, feats []semfeat.Score) []rdf.TermID {
-	seedSet := map[rdf.TermID]bool{}
-	for _, s := range seeds {
-		seedSet[s] = true
-	}
-	var seedTypes map[rdf.TermID]bool
-	if x.opts.SameTypeOnly {
-		seedTypes = map[rdf.TermID]bool{}
-		for _, s := range seeds {
-			if t := x.g.PrimaryType(s); t != rdf.NoTerm {
-				seedTypes[t] = true
-			}
-		}
-	}
-	seen := map[rdf.TermID]bool{}
-	var out []rdf.TermID
-	admit := func(e rdf.TermID) {
-		if seen[e] {
-			return
-		}
-		seen[e] = true
-		if !x.opts.IncludeSeeds && seedSet[e] {
-			return
-		}
-		if seedTypes != nil && !seedTypes[x.g.PrimaryType(e)] {
-			return
-		}
-		out = append(out, e)
-	}
-	for _, fs := range feats {
-		for _, e := range x.en.Extent(fs.Feature) {
-			admit(e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sc := scratchPool.Get().(*scratch)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	x.scatter(sc, feats)
+	out := append([]rdf.TermID(nil), x.collectCandidates(sc, seeds)...)
+	scratchPool.Put(sc)
 	return out
 }
 
 // expandFeatureCount scores candidates by the number of top features they
-// hold, unweighted and strict.
+// hold, unweighted and strict: the popcount of the scatter bitmask.
 func (x *Expander) expandFeatureCount(seeds []rdf.TermID, k int) []Ranked {
 	feats := x.en.Rank(seeds, x.opts.TopFeatures)
-	cands := x.candidates(seeds, feats)
-	ranked := make([]Ranked, 0, len(cands))
-	for _, e := range cands {
+	sc := scratchPool.Get().(*scratch)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	x.scatter(sc, feats)
+	cands := x.collectCandidates(sc, seeds)
+	if cap(sc.scores) < len(cands) {
+		sc.scores = make([]float64, len(cands))
+	}
+	sc.scores = sc.scores[:len(cands)]
+	w := sc.words
+	for i, e := range cands {
 		n := 0
-		for _, fs := range feats {
-			if x.en.Holds(e, fs.Feature) {
-				n++
+		if sc.stamp[e] == sc.epoch {
+			for _, word := range sc.mask[int(e)*w : int(e)*w+w] {
+				n += bits.OnesCount64(word)
 			}
 		}
-		if n > 0 {
-			ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: float64(n)})
-		}
+		sc.scores[i] = float64(n)
 	}
-	return x.top(ranked, k)
+	out := x.rankTop(sc, cands, k)
+	scratchPool.Put(sc)
+	return out
 }
 
 // neighborSet returns the semantic entity neighbourhood of e.
@@ -432,16 +424,8 @@ func (x *Expander) expandPPR(seeds []rdf.TermID, k int) []Ranked {
 	return x.top(ranked, k)
 }
 
-// top sorts descending by score (ties by entity ID) and truncates to k.
+// top selects the k best (descending score, ties by entity ID) via the
+// shared bounded-heap helper.
 func (x *Expander) top(ranked []Ranked, k int) []Ranked {
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Score != ranked[j].Score {
-			return ranked[i].Score > ranked[j].Score
-		}
-		return ranked[i].Entity < ranked[j].Entity
-	})
-	if k > 0 && len(ranked) > k {
-		ranked = ranked[:k]
-	}
-	return ranked
+	return topk.Select(ranked, k, lessRanked)
 }

@@ -1,0 +1,300 @@
+package expand
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+
+	"pivote/internal/par"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/topk"
+)
+
+// The scorer inverts the candidate×feature probe loop of the paper's
+// r(e,Q) = Σ p(π|e)·r(π,Q). Instead of asking every candidate about
+// every feature (K hash/binary probes per candidate), it scatters each
+// feature's extent — a contiguous sorted run of the CSR arrays — into a
+// dense per-TermID accumulator: one pass of Σ‖E(π)‖ additions total.
+// Alongside the score each touched entity records *which* features it
+// matched in a bitmask, so the error-tolerant category back-off is then
+// computed only for the (candidate, feature) pairs that actually missed,
+// and the exact-match part of the score never probes anything.
+//
+// All working state lives in a pooled scratch struct with epoch-stamped
+// dense arrays: reusing it across calls costs zero allocations and zero
+// clearing (a stale entry is detected by its stamp, not by sentinel
+// values), and the pool makes concurrent calls on one Expander safe.
+
+// scratch is the reusable dense working state of one scoring pass.
+type scratch struct {
+	epoch   uint32
+	stamp   []uint32     // stamp[e] == epoch ⇔ e touched this pass
+	acc     []float64    // Σ r(π,Q) over features whose extent contains e
+	mask    []uint64     // per-entity bitset of matched features (stride words)
+	words   int          // current mask stride
+	touched []rdf.TermID // entities touched this pass, extent order
+	cands   []rdf.TermID // candidate buffer
+	scores  []float64    // per-candidate final scores
+	ranked  []Ranked     // pre-selection result buffer
+	seeds   []rdf.TermID // sorted seed buffer
+	types   []rdf.TermID // seed primary-type buffer
+
+	// Back-off table for one pass: the distinct categories of the
+	// candidate set are assigned dense indexes, and catProb[j*C+ci] holds
+	// p(π_j|c_ci), so the per-candidate back-off walk reads arrays only.
+	catStamp []uint32
+	catIdx   []uint32
+	catList  []rdf.TermID
+	catProb  []float64
+}
+
+// begin sizes the dense arrays for n term IDs and w mask words per entity
+// and opens a new epoch.
+func (sc *scratch) begin(n, w int) {
+	if len(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+		sc.acc = make([]float64, n)
+		sc.catStamp = make([]uint32, n)
+		sc.catIdx = make([]uint32, n)
+	}
+	if sc.words != w || len(sc.mask) < n*w {
+		sc.mask = make([]uint64, n*w)
+		sc.words = w
+		// The stride changed: stale bits from the previous layout would
+		// be misattributed, so force every stamp stale.
+		sc.clearStamps()
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: all stamps ambiguous, clear them
+		sc.clearStamps()
+		sc.epoch = 1
+	}
+	sc.touched = sc.touched[:0]
+	sc.cands = sc.cands[:0]
+	sc.ranked = sc.ranked[:0]
+}
+
+func (sc *scratch) clearStamps() {
+	for i := range sc.stamp {
+		sc.stamp[i] = 0
+	}
+	for i := range sc.catStamp {
+		sc.catStamp[i] = 0
+	}
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+// scatter adds r(π,Q) of every feature into the accumulator over the
+// feature's extent and records the match bit. Feature index j must fit
+// the mask stride chosen by the caller.
+func (x *Expander) scatter(sc *scratch, feats []semfeat.Score) {
+	w := sc.words
+	for j, fs := range feats {
+		bit := uint64(1) << (j % 64)
+		word := j / 64
+		for _, e := range x.en.Extent(fs.Feature) {
+			if sc.stamp[e] != sc.epoch {
+				sc.stamp[e] = sc.epoch
+				sc.acc[e] = 0
+				row := sc.mask[int(e)*w : int(e)*w+w]
+				for i := range row {
+					row[i] = 0
+				}
+				sc.touched = append(sc.touched, e)
+			}
+			sc.acc[e] += fs.R
+			sc.mask[int(e)*w+word] |= bit
+		}
+	}
+}
+
+// prepareBackoffTable registers the distinct categories of every
+// candidate that missed at least one feature under a dense index and
+// fills catProb[j*C+ci] = p(π_j|c_ci) for the feature×category cross
+// product, pulling each probability from the shared cache exactly once
+// per pass. Returns C. Candidates that matched every feature never walk
+// the back-off, so their categories are skipped — when exact matches
+// dominate, C stays near zero. The K×C fill is far smaller than the
+// per-(candidate, feature) probe count it replaces, and the fill itself
+// is parallel over features.
+func (x *Expander) prepareBackoffTable(sc *scratch, cands []rdf.TermID, feats []semfeat.Score) int {
+	sc.catList = sc.catList[:0]
+	w := sc.words
+	for _, e := range cands {
+		var row []uint64
+		if sc.stamp[e] == sc.epoch {
+			row = sc.mask[int(e)*w : int(e)*w+w]
+		}
+		if !missedAny(row, len(feats)) || !x.g.IsEntity(e) {
+			continue
+		}
+		for _, cat := range x.en.CategoriesBySize(e) {
+			if sc.catStamp[cat] != sc.epoch {
+				sc.catStamp[cat] = sc.epoch
+				sc.catIdx[cat] = uint32(len(sc.catList))
+				sc.catList = append(sc.catList, cat)
+			}
+		}
+	}
+	c := len(sc.catList)
+	if need := len(feats) * c; cap(sc.catProb) < need {
+		sc.catProb = make([]float64, need)
+	}
+	sc.catProb = sc.catProb[:len(feats)*c]
+	cache := x.en.Cache()
+	par.For(len(feats), 4, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := sc.catProb[j*c : (j+1)*c]
+			for ci, cat := range sc.catList {
+				row[ci] = cache.ProbGivenCategory(feats[j].Feature, cat)
+			}
+		}
+	})
+	return c
+}
+
+// finalize computes the exact score of each candidate: the scattered
+// exact-match sum plus, for every feature the candidate missed, the same
+// p(π|e) term the naive loop would have used (Holds short-circuit for
+// non-entities, category back-off otherwise, zero under Strict). The
+// back-off walk reads the dense table built by prepareBackoffTable —
+// no locks, no hashing. Large candidate sets fan out over a worker pool;
+// each worker writes disjoint indexes of sc.scores, so the result is
+// deterministic.
+func (x *Expander) finalize(sc *scratch, cands []rdf.TermID, feats []semfeat.Score) {
+	if cap(sc.scores) < len(cands) {
+		sc.scores = make([]float64, len(cands))
+	}
+	sc.scores = sc.scores[:len(cands)]
+	w := sc.words
+	strict := x.en.Options().Strict
+	c := 0
+	if !strict && len(feats) > 0 {
+		c = x.prepareBackoffTable(sc, cands, feats)
+	}
+	grain := 256
+	if len(feats) >= 16 {
+		grain = 32
+	}
+	par.For(len(cands), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := cands[i]
+			var score float64
+			var row []uint64
+			if sc.stamp[e] == sc.epoch {
+				score = sc.acc[e]
+				row = sc.mask[int(e)*w : int(e)*w+w]
+			}
+			if missedAny(row, len(feats)) {
+				isEnt := x.g.IsEntity(e)
+				var cats []rdf.TermID
+				if isEnt && !strict {
+					cats = x.en.CategoriesBySize(e)
+				}
+				for j, fs := range feats {
+					if row != nil && row[j/64]&(1<<(j%64)) != 0 {
+						continue // exact match, already in score
+					}
+					// e ∉ E(π). For entities that implies ¬Holds, so only
+					// the back-off can contribute; non-entity IDs are not
+					// extent members even when the triple exists, so fall
+					// back to the full p(π|e).
+					if !isEnt {
+						score += x.en.Prob(fs.Feature, e) * fs.R
+						continue
+					}
+					if strict {
+						continue
+					}
+					// Most specific category with p > 0, via the table.
+					for _, cat := range cats {
+						if p := sc.catProb[j*c+int(sc.catIdx[cat])]; p > 0 {
+							score += p * fs.R
+							break
+						}
+					}
+				}
+			}
+			sc.scores[i] = score
+		}
+	})
+}
+
+// missedAny reports whether any of the k feature bits is unset in row
+// (row == nil means all missed).
+func missedAny(row []uint64, k int) bool {
+	if row == nil {
+		return k > 0
+	}
+	n := 0
+	for _, w := range row {
+		n += bits.OnesCount64(w)
+	}
+	return n < k
+}
+
+// rankTop converts the scored candidates into the final top-k Ranked
+// page, resolving display names only for the survivors.
+func (x *Expander) rankTop(sc *scratch, cands []rdf.TermID, k int) []Ranked {
+	for i, e := range cands {
+		if sc.scores[i] > 0 {
+			sc.ranked = append(sc.ranked, Ranked{Entity: e, Score: sc.scores[i]})
+		}
+	}
+	n := len(sc.ranked)
+	out := topk.Select(sc.ranked, k, lessRanked)
+	if k <= 0 || k >= n {
+		// Select sorted in place and returned the scratch buffer: copy
+		// out so the result survives scratch reuse.
+		out = append([]Ranked(nil), out...)
+	}
+	for i := range out {
+		out[i].Name = x.g.Name(out[i].Entity)
+	}
+	return out
+}
+
+// lessRanked orders descending by score, ties by entity ID.
+func lessRanked(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Entity < b.Entity
+}
+
+// collectCandidates filters the touched set (the union of the extents)
+// into sc.cands: seeds removed, same-type applied, ascending order.
+func (x *Expander) collectCandidates(sc *scratch, seeds []rdf.TermID) []rdf.TermID {
+	sc.seeds = append(sc.seeds[:0], seeds...)
+	slices.Sort(sc.seeds)
+	sc.types = sc.types[:0]
+	if x.opts.SameTypeOnly {
+		for _, s := range seeds {
+			if t := x.g.PrimaryType(s); t != rdf.NoTerm && !slices.Contains(sc.types, t) {
+				sc.types = append(sc.types, t)
+			}
+		}
+	}
+	for _, e := range sc.touched {
+		if !x.opts.IncludeSeeds && rdf.ContainsSorted(sc.seeds, e) {
+			continue
+		}
+		if x.opts.SameTypeOnly && !slices.Contains(sc.types, x.g.PrimaryType(e)) {
+			continue
+		}
+		sc.cands = append(sc.cands, e)
+	}
+	slices.Sort(sc.cands)
+	return sc.cands
+}
+
+// maskWords returns the bitset stride for k features.
+func maskWords(k int) int {
+	if k <= 64 {
+		return 1
+	}
+	return (k + 63) / 64
+}

@@ -16,6 +16,15 @@ type Graph struct {
 	entities   []rdf.TermID // sorted: IRIs that have at least one rdf:type
 	types      []rdf.TermID // sorted: objects of rdf:type
 	categories []rdf.TermID // sorted: objects of dct:subject
+
+	// Dense per-TermID tables, sized MaxTermID+1. isEntity makes the
+	// membership probe in the scoring scatter loops a single load;
+	// primaryType precomputes the most specific type of every entity
+	// (NoTerm for non-entities), so the same-type candidate filter costs
+	// one load per candidate instead of a types scan with per-type
+	// member counts.
+	isEntity    []bool
+	primaryType []rdf.TermID
 }
 
 // NewGraph builds the graph view. The store must already be frozen.
@@ -41,6 +50,28 @@ func NewGraph(st *rdf.Store) *Graph {
 	g.entities = sortedIDs(entSet)
 	g.types = sortedIDs(typeSet)
 	g.categories = sortedIDs(catSet)
+
+	n := int(st.MaxTermID()) + 1
+	g.isEntity = make([]bool, n)
+	for _, e := range g.entities {
+		g.isEntity[e] = true
+	}
+	// Type sizes are shared across entities; count each type once.
+	typeSize := make(map[rdf.TermID]int, len(g.types))
+	for _, t := range g.types {
+		typeSize[t] = st.CountSubjects(g.voc.Type, t)
+	}
+	g.primaryType = make([]rdf.TermID, n)
+	for _, e := range g.entities {
+		best := rdf.NoTerm
+		bestN := int(^uint(0) >> 1)
+		for _, t := range st.Objects(e, g.voc.Type) {
+			if n := typeSize[t]; n < bestN || (n == bestN && t < best) {
+				best, bestN = t, n
+			}
+		}
+		g.primaryType[e] = best
+	}
 	return g
 }
 
@@ -74,7 +105,7 @@ func (g *Graph) Categories() []rdf.TermID { return g.categories }
 
 // IsEntity reports whether id is in the entity universe.
 func (g *Graph) IsEntity(id rdf.TermID) bool {
-	return rdf.ContainsSorted(g.entities, id)
+	return int(id) < len(g.isEntity) && g.isEntity[id]
 }
 
 // EntityByName resolves an entity by the local name of its IRI under the
@@ -128,17 +159,13 @@ func (g *Graph) TypesOf(e rdf.TermID) []rdf.TermID {
 }
 
 // PrimaryType returns the most specific type of e: the one with the
-// fewest members (ties broken by ID for determinism), or NoTerm.
+// fewest members (ties broken by ID for determinism), or NoTerm. The
+// answer is precomputed at graph construction; this is a single load.
 func (g *Graph) PrimaryType(e rdf.TermID) rdf.TermID {
-	best := rdf.NoTerm
-	bestN := int(^uint(0) >> 1)
-	for _, t := range g.TypesOf(e) {
-		n := g.store.CountSubjects(g.voc.Type, t)
-		if n < bestN || (n == bestN && t < best) {
-			best, bestN = t, n
-		}
+	if int(e) >= len(g.primaryType) {
+		return rdf.NoTerm
 	}
-	return best
+	return g.primaryType[e]
 }
 
 // CategoriesOf returns the sorted category IDs of the entity.

@@ -1,0 +1,44 @@
+// Package par is a minimal fork-join helper for the scoring hot paths:
+// data-parallel loops over index ranges with no channels, no allocation
+// per item, and a grain-size guard so small inputs stay on the calling
+// goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0, n) into contiguous chunks and runs fn(lo, hi) on up to
+// GOMAXPROCS goroutines. When n < grain the loop runs inline — the
+// fork-join overhead (~µs) would dominate. fn must only touch state
+// belonging to its own index range; results are then deterministic
+// regardless of scheduling.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < grain || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	step := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

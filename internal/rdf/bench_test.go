@@ -1,0 +1,67 @@
+package rdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTriples builds a deterministic random edge set shaped like a KG
+// slice: 200k triples over 20k nodes and 40 predicates.
+func benchTriples() []Triple {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		nodes   = 20000
+		preds   = 40
+		triples = 200000
+	)
+	out := make([]Triple, triples)
+	for i := range out {
+		out[i] = Triple{
+			S: TermID(1 + rng.Intn(nodes)),
+			P: TermID(1 + rng.Intn(preds)),
+			O: TermID(1 + rng.Intn(nodes)),
+		}
+	}
+	return out
+}
+
+// BenchmarkFreezeCSR measures Freeze — sort, dedup and (post-refactor)
+// CSR compaction — excluding the Add loop.
+func BenchmarkFreezeCSR(b *testing.B) {
+	ts := benchTriples()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := NewStore(nil)
+		for _, t := range ts {
+			st.Add(t.S, t.P, t.O)
+		}
+		b.StartTimer()
+		st.Freeze()
+	}
+}
+
+// BenchmarkStoreReads measures the frozen read path: Out scans plus Has
+// point lookups, the two accesses the expand hot loop leans on.
+func BenchmarkStoreReads(b *testing.B) {
+	ts := benchTriples()
+	st := NewStore(nil)
+	for _, t := range ts {
+		st.Add(t.S, t.P, t.O)
+	}
+	st.Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		acc += len(st.Out(t.S))
+		if st.Has(t.S, t.P, t.O) {
+			acc++
+		}
+	}
+	if acc < 0 {
+		b.Fatal("impossible")
+	}
+}

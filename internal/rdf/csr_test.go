@@ -1,0 +1,144 @@
+package rdf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCSRMatchesNaive inserts random triples (with duplicates) and
+// verifies every read accessor against a naive triple-set model.
+func TestCSRMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	st := NewStore(nil)
+	type key = Triple
+	truth := map[key]bool{}
+	const nodes, preds = 40, 5
+	for i := 0; i < 600; i++ {
+		tr := Triple{
+			S: TermID(1 + rng.Intn(nodes)),
+			P: TermID(1 + rng.Intn(preds)),
+			O: TermID(1 + rng.Intn(nodes)),
+		}
+		st.Add(tr.S, tr.P, tr.O)
+		truth[tr] = true
+	}
+	st.Freeze()
+
+	if st.Len() != len(truth) {
+		t.Fatalf("Len=%d after dedup, want %d", st.Len(), len(truth))
+	}
+	var walked int
+	prev := Triple{}
+	first := true
+	st.ForEachTriple(func(tr Triple) {
+		if !truth[tr] {
+			t.Fatalf("ForEachTriple produced alien triple %+v", tr)
+		}
+		if !first {
+			if tr.S < prev.S || (tr.S == prev.S && (tr.P < prev.P || (tr.P == prev.P && tr.O <= prev.O))) {
+				t.Fatalf("ForEachTriple out of order: %+v after %+v", tr, prev)
+			}
+		}
+		prev, first = tr, false
+		walked++
+	})
+	if walked != len(truth) {
+		t.Fatalf("ForEachTriple visited %d, want %d", walked, len(truth))
+	}
+
+	for s := TermID(1); s <= nodes; s++ {
+		for p := TermID(1); p <= preds; p++ {
+			for o := TermID(1); o <= nodes; o++ {
+				if st.Has(s, p, o) != truth[Triple{S: s, P: p, O: o}] {
+					t.Fatalf("Has(%d,%d,%d) = %v, want %v", s, p, o, st.Has(s, p, o), truth[Triple{s, p, o}])
+				}
+			}
+			objs := st.Objects(s, p)
+			for i, o := range objs {
+				if i > 0 && objs[i-1] >= o {
+					t.Fatalf("Objects(%d,%d) not strictly ascending: %v", s, p, objs)
+				}
+				if !truth[Triple{S: s, P: p, O: o}] {
+					t.Fatalf("Objects(%d,%d) contains alien %d", s, p, o)
+				}
+			}
+			if len(objs) != st.CountObjects(s, p) {
+				t.Fatalf("CountObjects(%d,%d) = %d, want %d", s, p, st.CountObjects(s, p), len(objs))
+			}
+			subs := st.Subjects(p, s)
+			if len(subs) != st.CountSubjects(p, s) {
+				t.Fatalf("CountSubjects mismatch at (%d,%d)", p, s)
+			}
+		}
+	}
+}
+
+// TestCSROutOfRangeIDs checks that IDs beyond the frozen arrays (e.g.
+// terms interned after Freeze) read as empty rather than panicking.
+func TestCSROutOfRangeIDs(t *testing.T) {
+	st := NewStore(nil)
+	a := st.dict.Intern(NewIRI("a"))
+	b := st.dict.Intern(NewIRI("b"))
+	p := st.dict.Intern(NewIRI("p"))
+	st.Add(a, p, b)
+	st.Freeze()
+	late := st.dict.Intern(NewIRI("late-interned"))
+	if got := st.Out(late); len(got) != 0 {
+		t.Fatalf("Out(late) = %v, want empty", got)
+	}
+	if got := st.In(late + 100); len(got) != 0 {
+		t.Fatalf("In(far) = %v, want empty", got)
+	}
+	if st.Has(late, p, b) {
+		t.Fatal("Has(late,...) = true")
+	}
+	if st.OutDegree(late) != 0 || st.InDegree(late) != 0 {
+		t.Fatal("degrees of late-interned ID should be 0")
+	}
+}
+
+func TestCSRMaxTermIDAndSubjects(t *testing.T) {
+	st := NewStore(nil)
+	a := st.dict.Intern(NewIRI("a"))
+	b := st.dict.Intern(NewIRI("b"))
+	p := st.dict.Intern(NewIRI("p"))
+	st.Add(a, p, b)
+	st.Add(b, p, a)
+	st.Freeze()
+	if max := st.MaxTermID(); max < b {
+		t.Fatalf("MaxTermID = %d, want >= %d", max, b)
+	}
+	subs := st.NodesWithOut()
+	if len(subs) != 2 || subs[0] != a || subs[1] != b {
+		t.Fatalf("NodesWithOut = %v, want [%d %d]", subs, a, b)
+	}
+}
+
+// TestCSRConcurrentReads hammers frozen-store reads from many goroutines;
+// meaningful under -race.
+func TestCSRConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := NewStore(nil)
+	for i := 0; i < 2000; i++ {
+		st.Add(TermID(1+rng.Intn(100)), TermID(1+rng.Intn(8)), TermID(1+rng.Intn(100)))
+	}
+	st.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				s := TermID(1 + r.Intn(100))
+				p := TermID(1 + r.Intn(8))
+				_ = st.Out(s)
+				_ = st.In(s)
+				_ = st.CountObjects(s, p)
+				_ = st.Has(s, p, TermID(1+r.Intn(100)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -33,11 +33,12 @@ func ComputeStats(st *Store) Stats {
 	var s Stats
 	s.Triples = st.Len()
 	s.Terms = st.dict.Len()
-	s.Subjects = len(st.out)
-	s.Objects = len(st.in)
+	s.Subjects = len(st.subjects)
+	s.Objects = st.objects
 	predCount := make(map[TermID]int)
 	totalOut := 0
-	for _, edges := range st.out {
+	for _, sub := range st.subjects {
+		edges := st.Out(sub)
 		if len(edges) > s.MaxOutDegree {
 			s.MaxOutDegree = len(edges)
 		}
@@ -46,9 +47,9 @@ func ComputeStats(st *Store) Stats {
 			predCount[e.P]++
 		}
 	}
-	for _, edges := range st.in {
-		if len(edges) > s.MaxInDegree {
-			s.MaxInDegree = len(edges)
+	for id := 1; id < len(st.inOff); id++ {
+		if deg := int(st.inOff[id] - st.inOff[id-1]); deg > s.MaxInDegree {
+			s.MaxInDegree = deg
 		}
 	}
 	if s.Subjects > 0 {

@@ -1,15 +1,14 @@
 package search
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"pivote/internal/index"
 	"pivote/internal/kg"
 	"pivote/internal/rdf"
 	"pivote/internal/text"
+	"pivote/internal/topk"
 )
 
 // Model selects the retrieval model.
@@ -294,57 +293,12 @@ func (e *Engine) hit(doc int, score float64) Hit {
 	return Hit{Entity: ent, Name: e.g.Name(ent), Score: score}
 }
 
-// topK selects the k best hits. A max-heap over all hits would also work;
-// for the typical k≪n a partial selection via a min-heap of size k is
-// cheaper.
+// topK selects the k best hits via the shared bounded-heap helper.
 func topK(hits []Hit, k int) []Hit {
-	less := func(a, b Hit) bool {
+	return topk.Select(hits, k, func(a, b Hit) bool {
 		if a.Score != b.Score {
 			return a.Score > b.Score
 		}
 		return a.Entity < b.Entity
-	}
-	if k <= 0 || k >= len(hits) {
-		sort.Slice(hits, func(i, j int) bool { return less(hits[i], hits[j]) })
-		return hits
-	}
-	h := hitHeap{hits: make([]Hit, 0, k)}
-	for _, x := range hits {
-		if len(h.hits) < k {
-			h.hits = append(h.hits, x)
-			if len(h.hits) == k {
-				heap.Init(&h)
-			}
-			continue
-		}
-		if less(x, h.hits[0]) {
-			h.hits[0] = x
-			heap.Fix(&h, 0)
-		}
-	}
-	out := h.hits
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
-	return out
-}
-
-// hitHeap is a min-heap by (score, then entity desc) so the root is the
-// weakest of the current top-k.
-type hitHeap struct{ hits []Hit }
-
-func (h *hitHeap) Len() int { return len(h.hits) }
-func (h *hitHeap) Less(i, j int) bool {
-	a, b := h.hits[i], h.hits[j]
-	if a.Score != b.Score {
-		return a.Score < b.Score
-	}
-	return a.Entity > b.Entity
-}
-func (h *hitHeap) Swap(i, j int)      { h.hits[i], h.hits[j] = h.hits[j], h.hits[i] }
-func (h *hitHeap) Push(x interface{}) { h.hits = append(h.hits, x.(Hit)) }
-func (h *hitHeap) Pop() interface{} {
-	old := h.hits
-	n := len(old)
-	x := old[n-1]
-	h.hits = old[:n-1]
-	return x
+	})
 }

@@ -1,0 +1,187 @@
+package semfeat
+
+import (
+	"sync"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// FeatureCache memoizes the graph-derived quantities that dominate
+// feature evaluation — extents E(π), the per-entity category lists
+// ordered most-specific-first, and the back-off probabilities p(π|c) —
+// independent of any model options, so one cache serves every session and
+// every Engine over the same graph concurrently.
+//
+// The cache is sharded: each shard guards its three maps with one
+// RWMutex, and entries are immutable once published, so steady-state
+// reads are an RLock and a map probe. Writes (first computation of an
+// entry) take the shard's write lock; losers of a compute race discard
+// their duplicate, which is cheaper than holding the lock across the
+// graph scan.
+type FeatureCache struct {
+	g      *kg.Graph
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu         sync.RWMutex
+	extents    map[Feature][]rdf.TermID
+	catProb    map[catKey]float64
+	catsBySize map[rdf.TermID][]rdf.TermID
+}
+
+type catKey struct {
+	f   Feature
+	cat rdf.TermID
+}
+
+// NewFeatureCache returns an empty cache over the graph.
+func NewFeatureCache(g *kg.Graph) *FeatureCache {
+	c := &FeatureCache{g: g}
+	c.reset()
+	return c
+}
+
+// Graph exposes the underlying graph.
+func (c *FeatureCache) Graph() *kg.Graph { return c.g }
+
+// Reset drops every memoized entry. It is safe to call concurrently with
+// readers, which will simply recompute.
+func (c *FeatureCache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.extents = map[Feature][]rdf.TermID{}
+		sh.catProb = map[catKey]float64{}
+		sh.catsBySize = map[rdf.TermID][]rdf.TermID{}
+		sh.mu.Unlock()
+	}
+}
+
+func (c *FeatureCache) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.extents = map[Feature][]rdf.TermID{}
+		sh.catProb = map[catKey]float64{}
+		sh.catsBySize = map[rdf.TermID][]rdf.TermID{}
+	}
+}
+
+// featureShard spreads features across shards by mixing the anchor,
+// predicate and direction.
+func (c *FeatureCache) featureShard(f Feature) *cacheShard {
+	h := uint32(f.Anchor)*0x9e3779b1 ^ uint32(f.Pred)*0x85ebca6b ^ uint32(f.Dir)
+	return &c.shards[(h>>16)%cacheShards]
+}
+
+func (c *FeatureCache) entityShard(e rdf.TermID) *cacheShard {
+	h := uint32(e) * 0x9e3779b1
+	return &c.shards[(h>>16)%cacheShards]
+}
+
+// Extent returns E(π) as a sorted slice of entity IDs (shared with the
+// cache; do not modify). Non-entity nodes (literals, categories, redirect
+// stubs) are excluded.
+func (c *FeatureCache) Extent(f Feature) []rdf.TermID {
+	sh := c.featureShard(f)
+	sh.mu.RLock()
+	ext, ok := sh.extents[f]
+	sh.mu.RUnlock()
+	if ok {
+		return ext
+	}
+	ext = c.computeExtent(f)
+	sh.mu.Lock()
+	if prev, ok := sh.extents[f]; ok {
+		ext = prev // another goroutine won the race; keep one canonical slice
+	} else {
+		sh.extents[f] = ext
+	}
+	sh.mu.Unlock()
+	return ext
+}
+
+func (c *FeatureCache) computeExtent(f Feature) []rdf.TermID {
+	var raw []rdf.TermID
+	if f.Dir == Backward {
+		raw = c.g.Store().Subjects(f.Pred, f.Anchor)
+	} else {
+		raw = c.g.Store().Objects(f.Anchor, f.Pred)
+	}
+	ext := raw[:0]
+	for _, id := range raw {
+		if c.g.IsEntity(id) {
+			ext = append(ext, id)
+		}
+	}
+	return ext
+}
+
+// ExtentSize returns ‖E(π)‖.
+func (c *FeatureCache) ExtentSize(f Feature) int { return len(c.Extent(f)) }
+
+// CategoriesBySize returns e's categories ordered most-specific (fewest
+// members) first. The slice is shared with the cache; do not modify.
+func (c *FeatureCache) CategoriesBySize(e rdf.TermID) []rdf.TermID {
+	sh := c.entityShard(e)
+	sh.mu.RLock()
+	cats, ok := sh.catsBySize[e]
+	sh.mu.RUnlock()
+	if ok {
+		return cats
+	}
+	cats = c.computeCategoriesBySize(e)
+	sh.mu.Lock()
+	if prev, ok := sh.catsBySize[e]; ok {
+		cats = prev
+	} else {
+		sh.catsBySize[e] = cats
+	}
+	sh.mu.Unlock()
+	return cats
+}
+
+func (c *FeatureCache) computeCategoriesBySize(e rdf.TermID) []rdf.TermID {
+	cats := append([]rdf.TermID(nil), c.g.CategoriesOf(e)...)
+	sizes := make(map[rdf.TermID]int, len(cats))
+	for _, cat := range cats {
+		sizes[cat] = len(c.g.CategoryMembers(cat))
+	}
+	// Insertion sort: category lists are short (a handful per entity).
+	for i := 1; i < len(cats); i++ {
+		for j := i; j > 0; j-- {
+			ni, nj := sizes[cats[j]], sizes[cats[j-1]]
+			if ni < nj || (ni == nj && cats[j] < cats[j-1]) {
+				cats[j], cats[j-1] = cats[j-1], cats[j]
+				continue
+			}
+			break
+		}
+	}
+	return cats
+}
+
+// ProbGivenCategory returns p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖, memoized.
+func (c *FeatureCache) ProbGivenCategory(f Feature, cat rdf.TermID) float64 {
+	key := catKey{f, cat}
+	sh := c.featureShard(f)
+	sh.mu.RLock()
+	p, ok := sh.catProb[key]
+	sh.mu.RUnlock()
+	if ok {
+		return p
+	}
+	members := c.g.CategoryMembers(cat)
+	p = 0.0
+	if len(members) > 0 {
+		inter := rdf.IntersectSorted(c.Extent(f), members)
+		p = float64(inter) / float64(len(members))
+	}
+	sh.mu.Lock()
+	sh.catProb[key] = p
+	sh.mu.Unlock()
+	return p
+}

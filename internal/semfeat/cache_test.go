@@ -1,0 +1,110 @@
+package semfeat_test
+
+import (
+	"sync"
+	"testing"
+
+	"pivote/internal/expand"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/synth"
+)
+
+// TestFeatureCacheConcurrent hammers one shared cache from many
+// goroutines mixing engines with different options, ranking, probing and
+// extent reads, plus a concurrent Reset. Run under -race this is the
+// proof the shared core needs no external lock.
+func TestFeatureCacheConcurrent(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	g := res.Graph
+	cache := semfeat.NewFeatureCache(g)
+	seeds := res.Manifest.Films[:3]
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := semfeat.Options{Strict: w%2 == 0}
+			en := semfeat.NewEngineWithCache(cache, opts)
+			x := expand.New(en, expand.Options{SameTypeOnly: true})
+			for i := 0; i < 20; i++ {
+				feats := en.Rank(seeds, 20)
+				if len(feats) == 0 {
+					t.Error("no features ranked")
+					return
+				}
+				probe := feats
+				if len(probe) > 5 {
+					probe = probe[:5]
+				}
+				for _, fs := range probe {
+					_ = en.Extent(fs.Feature)
+					_ = en.ExtentSize(fs.Feature)
+					_ = en.Prob(fs.Feature, seeds[i%len(seeds)])
+				}
+				ranked, _ := x.Expand(seeds, 10)
+				if len(ranked) == 0 {
+					t.Error("no entities ranked")
+					return
+				}
+				if w == 0 && i%7 == 0 {
+					cache.Reset()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSharedCacheDeterministic checks that engines sharing a cache return
+// the same ranking as engines with private caches — the cache is a pure
+// memo, never semantics.
+func TestSharedCacheDeterministic(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	g := res.Graph
+	seeds := res.Manifest.Films[:3]
+
+	private := semfeat.NewEngine(g)
+	shared := semfeat.NewEngineWithCache(semfeat.NewFeatureCache(g), semfeat.Options{})
+	a := private.Rank(seeds, 15)
+	b := shared.Rank(seeds, 15)
+	if len(a) != len(b) {
+		t.Fatalf("rank sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Feature != b[i].Feature || a[i].R != b[i].R || a[i].Label != b[i].Label {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineProbMatchesExtentMembership(t *testing.T) {
+	res := synth.Generate(synth.Scaled(40))
+	g := res.Graph
+	en := semfeat.NewEngine(g)
+	seeds := res.Manifest.Films[:2]
+	feats := en.Rank(seeds, 10)
+	for _, fs := range feats {
+		ext := en.Extent(fs.Feature)
+		for _, e := range ext {
+			if p := en.Prob(fs.Feature, e); p != 1 {
+				t.Fatalf("extent member %d of %s has p=%v, want 1", e, fs.Label, p)
+			}
+			if !en.Holds(e, fs.Feature) {
+				t.Fatalf("extent member %d of %s does not Hold", e, fs.Label)
+			}
+		}
+		var notInExtent rdf.TermID
+		for _, cand := range g.Entities() {
+			if !rdf.ContainsSorted(ext, cand) {
+				notInExtent = cand
+				break
+			}
+		}
+		if notInExtent != rdf.NoTerm && en.Holds(notInExtent, fs.Feature) {
+			t.Fatalf("non-member %d Holds %s", notInExtent, fs.Label)
+		}
+	}
+}

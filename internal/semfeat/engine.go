@@ -1,10 +1,13 @@
 package semfeat
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"pivote/internal/kg"
+	"pivote/internal/par"
 	"pivote/internal/rdf"
+	"pivote/internal/topk"
 )
 
 // Options tune the ranking model; the zero value is the paper's model.
@@ -17,54 +20,45 @@ type Options struct {
 	UniformDiscriminability bool
 }
 
-// Engine evaluates semantic features over one graph. It memoizes feature
-// extents and category back-off probabilities, which dominate the cost of
-// ranking. An Engine is not safe for concurrent use; create one per
-// goroutine (they share the read-only graph).
+// Engine evaluates semantic features over one graph: model options plus a
+// FeatureCache holding the memoized extents and category probabilities.
+// Engines are cheap; any number of them (with different options) may
+// share one cache, and all methods are safe for concurrent use.
 type Engine struct {
-	g    *kg.Graph
-	opts Options
-
-	extents map[Feature][]rdf.TermID
-	// catProb memoizes p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖.
-	catProb map[catKey]float64
-	// catsBySize memoizes each entity's categories ordered most-specific
-	// first; Prob walks this list on every back-off.
-	catsBySize map[rdf.TermID][]rdf.TermID
-}
-
-type catKey struct {
-	f   Feature
-	cat rdf.TermID
+	g     *kg.Graph
+	opts  Options
+	cache *FeatureCache
 }
 
 // NewEngine returns an engine with the paper's model (error-tolerant,
-// IDF-like discriminability).
+// IDF-like discriminability) over a fresh private cache.
 func NewEngine(g *kg.Graph) *Engine { return NewEngineWithOptions(g, Options{}) }
 
-// NewEngineWithOptions returns an engine with explicit model options.
+// NewEngineWithOptions returns an engine with explicit model options over
+// a fresh private cache.
 func NewEngineWithOptions(g *kg.Graph, opts Options) *Engine {
-	return &Engine{
-		g:          g,
-		opts:       opts,
-		extents:    map[Feature][]rdf.TermID{},
-		catProb:    map[catKey]float64{},
-		catsBySize: map[rdf.TermID][]rdf.TermID{},
-	}
+	return &Engine{g: g, opts: opts, cache: NewFeatureCache(g)}
+}
+
+// NewEngineWithCache returns an engine sharing an existing cache — the
+// multi-session serving configuration, where every session's engine reads
+// and extends one cache over the shared graph.
+func NewEngineWithCache(cache *FeatureCache, opts Options) *Engine {
+	return &Engine{g: cache.Graph(), opts: opts, cache: cache}
 }
 
 // Graph exposes the underlying graph.
 func (en *Engine) Graph() *kg.Graph { return en.g }
 
+// Cache exposes the feature cache (shared or private).
+func (en *Engine) Cache() *FeatureCache { return en.cache }
+
 // Options returns the model options in effect.
 func (en *Engine) Options() Options { return en.opts }
 
-// Reset drops the memoized extents and probabilities.
-func (en *Engine) Reset() {
-	en.extents = map[Feature][]rdf.TermID{}
-	en.catProb = map[catKey]float64{}
-	en.catsBySize = map[rdf.TermID][]rdf.TermID{}
-}
+// Reset drops the memoized extents and probabilities. On a shared cache
+// this affects every engine using it.
+func (en *Engine) Reset() { en.cache.Reset() }
 
 // Label renders the feature in anchor:predicate notation.
 func (en *Engine) Label(f Feature) string { return Label(en.g, f) }
@@ -72,28 +66,10 @@ func (en *Engine) Label(f Feature) string { return Label(en.g, f) }
 // Extent returns E(π) as a sorted slice of entity IDs (shared with the
 // cache; do not modify). Non-entity nodes (literals, categories, redirect
 // stubs) are excluded.
-func (en *Engine) Extent(f Feature) []rdf.TermID {
-	if ext, ok := en.extents[f]; ok {
-		return ext
-	}
-	var raw []rdf.TermID
-	if f.Dir == Backward {
-		raw = en.g.Store().Subjects(f.Pred, f.Anchor)
-	} else {
-		raw = en.g.Store().Objects(f.Anchor, f.Pred)
-	}
-	ext := make([]rdf.TermID, 0, len(raw))
-	for _, id := range raw {
-		if en.g.IsEntity(id) {
-			ext = append(ext, id)
-		}
-	}
-	en.extents[f] = ext
-	return ext
-}
+func (en *Engine) Extent(f Feature) []rdf.TermID { return en.cache.Extent(f) }
 
 // ExtentSize returns ‖E(π)‖.
-func (en *Engine) ExtentSize(f Feature) int { return len(en.Extent(f)) }
+func (en *Engine) ExtentSize(f Feature) int { return en.cache.ExtentSize(f) }
 
 // Holds reports e ⊨ π: the entity matches the feature's triple pattern.
 func (en *Engine) Holds(e rdf.TermID, f Feature) bool {
@@ -128,48 +104,28 @@ func (en *Engine) Prob(f Feature, e rdf.TermID) float64 {
 	if en.opts.Strict {
 		return 0
 	}
+	return en.ProbBackoff(f, e)
+}
+
+// CategoriesBySize returns e's categories ordered most-specific first
+// (shared slice; do not modify).
+func (en *Engine) CategoriesBySize(e rdf.TermID) []rdf.TermID {
+	return en.cache.CategoriesBySize(e)
+}
+
+// ProbBackoff returns the category back-off term of p(π|e) alone: the
+// probability through e's most specific overlapping category, 0 when no
+// category overlaps. Callers that already know e does not hold π (the
+// expand scorer's scatter pass) skip the Holds probe this way.
+func (en *Engine) ProbBackoff(f Feature, e rdf.TermID) float64 {
 	// Scan categories from most to least specific; the first overlapping
 	// one is c*.
-	for _, cat := range en.categoriesBySize(e) {
-		if p := en.probGivenCategory(f, cat); p > 0 {
+	for _, cat := range en.cache.CategoriesBySize(e) {
+		if p := en.cache.ProbGivenCategory(f, cat); p > 0 {
 			return p
 		}
 	}
 	return 0
-}
-
-// categoriesBySize returns e's categories ordered most-specific (fewest
-// members) first, memoized: Prob walks it once per (feature, entity)
-// back-off and candidates are scored against dozens of features.
-func (en *Engine) categoriesBySize(e rdf.TermID) []rdf.TermID {
-	if cats, ok := en.catsBySize[e]; ok {
-		return cats
-	}
-	cats := append([]rdf.TermID(nil), en.g.CategoriesOf(e)...)
-	sort.Slice(cats, func(i, j int) bool {
-		ni, nj := len(en.g.CategoryMembers(cats[i])), len(en.g.CategoryMembers(cats[j]))
-		if ni != nj {
-			return ni < nj
-		}
-		return cats[i] < cats[j]
-	})
-	en.catsBySize[e] = cats
-	return cats
-}
-
-func (en *Engine) probGivenCategory(f Feature, cat rdf.TermID) float64 {
-	key := catKey{f, cat}
-	if p, ok := en.catProb[key]; ok {
-		return p
-	}
-	members := en.g.CategoryMembers(cat)
-	p := 0.0
-	if len(members) > 0 {
-		inter := rdf.IntersectSorted(en.Extent(f), members)
-		p = float64(inter) / float64(len(members))
-	}
-	en.catProb[key] = p
-	return p
 }
 
 // Commonality returns c(π,Q) = Π_{e∈Q} p(π|e).
@@ -198,68 +154,121 @@ func (en *Engine) Relevance(f Feature, seeds []rdf.TermID) float64 {
 // and one Forward feature per incoming semantic edge (anchored at the
 // subject). Metadata predicates and non-entity anchors are skipped.
 func (en *Engine) FeaturesOf(e rdf.TermID) []Feature {
+	return en.appendFeaturesOf(nil, e)
+}
+
+// CandidateFeatures unions the features held by the seeds, deduplicated,
+// in deterministic (sorted) order.
+func (en *Engine) CandidateFeatures(seeds []rdf.TermID) []Feature {
 	var out []Feature
+	for _, e := range seeds {
+		out = en.appendFeaturesOf(out, e)
+	}
+	return sortDedupFeatures(out)
+}
+
+// appendFeaturesOf is FeaturesOf into a caller-owned buffer.
+func (en *Engine) appendFeaturesOf(dst []Feature, e rdf.TermID) []Feature {
 	voc := en.g.Voc()
 	for _, edge := range en.g.Store().Out(e) {
 		if voc.IsMeta(edge.P) || !en.g.IsEntity(edge.Node) {
 			continue
 		}
-		out = append(out, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Backward})
+		dst = append(dst, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Backward})
 	}
 	for _, edge := range en.g.Store().In(e) {
 		if voc.IsMeta(edge.P) || !en.g.IsEntity(edge.Node) {
 			continue
 		}
-		out = append(out, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Forward})
+		dst = append(dst, Feature{Anchor: edge.Node, Pred: edge.P, Dir: Forward})
 	}
-	return out
+	return dst
 }
 
-// CandidateFeatures unions the features held by the seeds, deduplicated,
-// in deterministic order.
-func (en *Engine) CandidateFeatures(seeds []rdf.TermID) []Feature {
-	seen := map[Feature]bool{}
-	var out []Feature
-	for _, e := range seeds {
-		for _, f := range en.FeaturesOf(e) {
-			if !seen[f] {
-				seen[f] = true
-				out = append(out, f)
-			}
+func sortDedupFeatures(fs []Feature) []Feature {
+	slices.SortFunc(fs, func(a, b Feature) int {
+		if a.Anchor != b.Anchor {
+			return int(a.Anchor) - int(b.Anchor)
 		}
-	}
-	return out
+		if a.Pred != b.Pred {
+			return int(a.Pred) - int(b.Pred)
+		}
+		return int(a.Dir) - int(b.Dir)
+	})
+	return slices.Compact(fs)
 }
+
+// rankScratch pools the working slices of Rank across calls and
+// goroutines (the engine is shared).
+type rankScratch struct {
+	cands  []Feature
+	rs     []float64
+	scores []Score
+}
+
+var rankPool = sync.Pool{New: func() interface{} { return &rankScratch{} }}
 
 // Rank scores every candidate feature of the seed set and returns the
 // topK (all when topK <= 0) in descending relevance, ties broken by
-// extent size (smaller first — more discriminative) then label.
+// extent size (smaller first — more discriminative), then the feature's
+// identity so the order is total and reproducible. Relevance of the
+// candidates is computed in parallel for large candidate sets; the
+// result is deterministic. Labels are rendered only for the surviving
+// topK features.
 func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
-	cands := en.CandidateFeatures(seeds)
-	scores := make([]Score, 0, len(cands))
-	for _, f := range cands {
-		r := en.Relevance(f, seeds)
-		if r <= 0 {
+	sc := rankPool.Get().(*rankScratch)
+	sc.cands = sc.cands[:0]
+	for _, e := range seeds {
+		sc.cands = en.appendFeaturesOf(sc.cands, e)
+	}
+	cands := sortDedupFeatures(sc.cands)
+	if cap(sc.rs) < len(cands) {
+		sc.rs = make([]float64, len(cands))
+	}
+	rs := sc.rs[:len(cands)]
+	par.For(len(cands), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rs[i] = en.Relevance(cands[i], seeds)
+		}
+	})
+	sc.scores = sc.scores[:0]
+	for i, f := range cands {
+		if rs[i] <= 0 {
 			continue
 		}
-		scores = append(scores, Score{
+		sc.scores = append(sc.scores, Score{
 			Feature:    f,
-			Label:      en.Label(f),
-			R:          r,
+			R:          rs[i],
 			ExtentSize: en.ExtentSize(f),
 		})
 	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].R != scores[j].R {
-			return scores[i].R > scores[j].R
-		}
-		if scores[i].ExtentSize != scores[j].ExtentSize {
-			return scores[i].ExtentSize < scores[j].ExtentSize
-		}
-		return scores[i].Label < scores[j].Label
-	})
-	if topK > 0 && len(scores) > topK {
-		scores = scores[:topK]
+	n := len(sc.scores)
+	out := topk.Select(sc.scores, topK, lessScore)
+	if topK <= 0 || topK >= n {
+		// Select sorted the scratch buffer in place: copy out so the
+		// result survives scratch reuse.
+		out = append([]Score(nil), out...)
 	}
-	return scores
+	for i := range out {
+		out[i].Label = en.Label(out[i].Feature)
+	}
+	rankPool.Put(sc)
+	return out
+}
+
+// lessScore is the total order features are ranked by.
+func lessScore(a, b Score) bool {
+	if a.R != b.R {
+		return a.R > b.R
+	}
+	if a.ExtentSize != b.ExtentSize {
+		return a.ExtentSize < b.ExtentSize
+	}
+	if a.Feature.Anchor != b.Feature.Anchor {
+		return a.Feature.Anchor < b.Feature.Anchor
+	}
+	if a.Feature.Pred != b.Feature.Pred {
+		return a.Feature.Pred < b.Feature.Pred
+	}
+	return a.Feature.Dir < b.Feature.Dir
 }

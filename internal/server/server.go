@@ -16,8 +16,15 @@ import (
 )
 
 // Server serves one PivotE session over HTTP.
+//
+// Concurrency model: the graph, search index and feature cache are
+// immutable or internally synchronized, so read-only handlers (state,
+// heat map, path renderings, suggest, explain, session save) evaluate
+// concurrently under a read lock. Only handlers that mutate the session
+// timeline (query, entity/feature ops, pivot, revisit, profile lookup,
+// session load) serialize behind the write lock.
 type Server struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	eng *core.Engine
 	g   *kg.Graph
 }
@@ -25,6 +32,13 @@ type Server struct {
 // New wraps a fresh engine over the graph.
 func New(g *kg.Graph, opts core.Options) *Server {
 	return &Server{eng: core.New(g, opts), g: g}
+}
+
+// NewWithShared wraps a fresh session engine over a shared read core —
+// the multi-session configuration, where building the search index per
+// session would be prohibitive.
+func NewWithShared(sh *core.Shared, opts core.Options) *Server {
+	return &Server{eng: core.NewWithShared(sh, opts), g: sh.Graph()}
 }
 
 // Handler returns the HTTP handler: the JSON API under /api/ and the
@@ -71,8 +85,8 @@ func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.writeState(w, s.eng.Evaluate())
 }
 
@@ -197,9 +211,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHeatmapSVG(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	res := s.eng.Evaluate()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "image/svg+xml")
 	if res.Heat != nil {
 		_, _ = w.Write([]byte(res.Heat.SVG()))
@@ -207,17 +221,17 @@ func (s *Server) handleHeatmapSVG(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePathSVG(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	svg := s.eng.Session().PathSVG()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write([]byte(svg))
 }
 
 func (s *Server) handlePathDOT(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	dot := s.eng.Session().PathDOT()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(dot))
 }
@@ -243,11 +257,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	fe := s.eng.Features()
 	prob := fe.Prob(f, id)
 	holds := fe.Holds(id, f)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	explanation := ""
 	switch {
 	case holds:
@@ -267,9 +281,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionSave(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	raw, err := s.eng.SaveSession()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -301,9 +315,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, []entityDTO{})
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	hits := s.eng.Searcher().Search(q, 10, search.ModelMLM)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	out := make([]entityDTO, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, entityDTO{ID: uint32(h.Entity), Name: h.Name, Score: h.Score})

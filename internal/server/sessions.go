@@ -11,11 +11,14 @@ import (
 )
 
 // Multi serves independent PivotE sessions to multiple users over one
-// shared (read-only) graph. Each browser gets a cookie-keyed engine; an
-// LRU bound caps memory.
+// shared read core (graph, search index, feature cache — built once).
+// Each browser gets a cookie-keyed session engine, a few allocations to
+// create; an LRU bound caps memory. Requests from different sessions
+// never contend: the shared core is internally synchronized and each
+// session carries its own lock.
 type Multi struct {
 	mu       sync.Mutex
-	g        *kg.Graph
+	shared   *core.Shared
 	opts     core.Options
 	max      int
 	sessions map[string]*sessionEntry
@@ -36,12 +39,15 @@ func NewMulti(g *kg.Graph, opts core.Options, maxSessions int) *Multi {
 		maxSessions = 64
 	}
 	return &Multi{
-		g:        g,
+		shared:   core.NewShared(g, opts),
 		opts:     opts,
 		max:      maxSessions,
 		sessions: map[string]*sessionEntry{},
 	}
 }
+
+// Shared exposes the shared read core (for pre-warming and diagnostics).
+func (m *Multi) Shared() *core.Shared { return m.shared }
 
 // SessionCount reports the number of live sessions.
 func (m *Multi) SessionCount() int {
@@ -77,10 +83,10 @@ func (m *Multi) getOrCreate(token string) (*sessionEntry, string) {
 		m.touch(token)
 		return e, token
 	}
-	if token == "" || m.sessions[token] == nil {
-		token = newToken()
-	}
-	srv := New(m.g, m.opts)
+	// The early return above means token is unknown (or empty): always
+	// mint a fresh one rather than adopting a client-supplied value.
+	token = newToken()
+	srv := NewWithShared(m.shared, m.opts)
 	e := &sessionEntry{srv: srv, handler: srv.Handler()}
 	m.sessions[token] = e
 	m.order = append(m.order, token)

@@ -1,0 +1,77 @@
+// Package topk provides bounded partial selection: the k best elements
+// of a slice under a caller-supplied ordering, in sorted order. For the
+// typical k ≪ n serving case a size-k min-heap beats sorting the whole
+// slice — O(n log k) comparisons and no allocation beyond the k-element
+// result — which is why both keyword retrieval and entity expansion
+// select their result pages through it.
+package topk
+
+import (
+	"slices"
+)
+
+// Select returns the k smallest elements under less (i.e. the k "best"
+// when less orders best-first), sorted best-first. k <= 0 or k >= len
+// sorts items in place and returns it; otherwise items is left in
+// unspecified order and a fresh k-element slice is returned.
+func Select[T any](items []T, k int, less func(a, b T) bool) []T {
+	if k <= 0 || k >= len(items) {
+		slices.SortFunc(items, func(a, b T) int {
+			switch {
+			case less(a, b):
+				return -1
+			case less(b, a):
+				return 1
+			default:
+				return 0
+			}
+		})
+		return items
+	}
+	// Max-heap of the current k best: the root is the worst kept element,
+	// evicted whenever a better one arrives.
+	worse := func(a, b T) bool { return less(b, a) }
+	h := make([]T, k)
+	copy(h, items[:k])
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(h, i, worse)
+	}
+	for _, x := range items[k:] {
+		if less(x, h[0]) {
+			h[0] = x
+			siftDown(h, 0, worse)
+		}
+	}
+	slices.SortFunc(h, func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return h
+}
+
+// siftDown restores the heap property at root i, where best(a, b) means a
+// should be nearer the root.
+func siftDown[T any](h []T, i int, best func(a, b T) bool) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && best(h[l], h[m]) {
+			m = l
+		}
+		if r < n && best(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

@@ -1,0 +1,47 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSelectMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	less := func(a, b int) bool { return a < b }
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(20) // plenty of ties
+		}
+		k := rng.Intn(n + 10)
+		ref := append([]int(nil), items...)
+		sort.Ints(ref)
+		if k > 0 && k < len(ref) {
+			ref = ref[:k]
+		}
+		got := Select(append([]int(nil), items...), k, less)
+		if len(got) != len(ref) {
+			t.Fatalf("n=%d k=%d: got %d items, want %d", n, k, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, ref)
+			}
+		}
+	}
+}
+
+func TestSelectZeroAndOversizedK(t *testing.T) {
+	items := []int{3, 1, 2}
+	if got := Select(append([]int(nil), items...), 0, func(a, b int) bool { return a < b }); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("k=0 should full-sort, got %v", got)
+	}
+	if got := Select(append([]int(nil), items...), 10, func(a, b int) bool { return a < b }); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("k>len should full-sort, got %v", got)
+	}
+	if got := Select(nil, 5, func(a, b int) bool { return a < b }); len(got) != 0 {
+		t.Fatalf("empty input, got %v", got)
+	}
+}

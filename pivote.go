@@ -118,9 +118,23 @@ const (
 // NoEntity is the zero EntityID, returned by failed lookups.
 const NoEntity = rdf.NoTerm
 
+// SharedCore is the session-independent read core (graph, search index,
+// feature cache), safe for concurrent use and shared by all sessions of
+// a process.
+type SharedCore = core.Shared
+
 // New builds a PivotE engine over a graph. The engine is stateful (it
-// owns a session) and not safe for concurrent use; create one per user.
+// owns a session); mutating operations are serialized per session by the
+// HTTP server, while the underlying read core is concurrency-safe.
 func New(g *Graph, opts Options) *Engine { return core.New(g, opts) }
+
+// NewShared builds the shared read core once; attach per-user sessions
+// with NewWithShared.
+func NewShared(g *Graph, opts Options) *SharedCore { return core.NewShared(g, opts) }
+
+// NewWithShared attaches a fresh session engine to a shared core —
+// cheap enough to call per request.
+func NewWithShared(sh *SharedCore, opts Options) *Engine { return core.NewWithShared(sh, opts) }
 
 // GenerateDemo builds the deterministic synthetic DBpedia-like graph used
 // by the examples and experiments: scale is the film count (total
