@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,13 +17,21 @@ import (
 func main() {
 	g := pivote.GenerateDemo(1000, 42)
 	eng := pivote.New(g, pivote.Options{TopEntities: 8, TopFeatures: 6})
+	ctx := context.Background()
+	apply := func(op pivote.Op) *pivote.Result {
+		res, err := eng.Apply(ctx, op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	// Step 1: start a session in the Film domain.
-	res := eng.Submit("forrest gump")
+	res := apply(pivote.OpSubmit("forrest gump"))
 	fmt.Printf("step 1 — keyword query, top hit: %s\n", res.Entities[0].Name)
 
 	// Step 2: investigate similar films.
-	res = eng.AddSeed(g.EntityByName("Forrest_Gump"))
+	res = apply(pivote.OpAddSeed(g.EntityByName("Forrest_Gump")))
 	fmt.Println("step 2 — similar films:")
 	for i, e := range res.Entities {
 		if i >= 4 {
@@ -33,7 +42,7 @@ func main() {
 
 	// Step 3: pivot into the Actor domain through Tom Hanks. The x-axis
 	// now holds actors similar to him (co-occurrence in films).
-	res = eng.Pivot(g.EntityByName("Tom_Hanks"))
+	res = apply(pivote.OpPivot(g.EntityByName("Tom_Hanks")))
 	fmt.Println("step 3 — pivot to Actor domain, actors similar to Tom Hanks:")
 	for i, e := range res.Entities {
 		if i >= 4 {
@@ -43,7 +52,7 @@ func main() {
 	}
 
 	// Step 4: pivot again, into the Director domain.
-	res = eng.Pivot(g.EntityByName("Robert_Zemeckis"))
+	res = apply(pivote.OpPivot(g.EntityByName("Robert_Zemeckis")))
 	fmt.Println("step 4 — pivot to Director domain, directors similar to Robert Zemeckis:")
 	for i, e := range res.Entities {
 		if i >= 4 {
@@ -53,10 +62,18 @@ func main() {
 	}
 
 	// Step 5: revisit the original query from the timeline.
-	if _, err := eng.Revisit(1); err != nil {
+	apply(pivote.OpRevisit(1))
+	fmt.Println("step 5 — revisited the original query")
+
+	// The session IS its op log: replaying it on a fresh engine under a
+	// single batch reproduces the state (this is what POST /api/v1/ops
+	// does over HTTP).
+	replay := pivote.New(g, pivote.Options{TopEntities: 8, TopFeatures: 6})
+	if _, _, err := replay.ApplyOps(ctx, eng.Ops(), pivote.FieldsAll); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("step 5 — revisited the original query")
+	fmt.Printf("replayed %d ops onto a fresh engine: %q\n",
+		len(eng.Ops()), replay.Session().Current().Keywords)
 
 	// The exploratory path of Fig. 4.
 	fmt.Println()

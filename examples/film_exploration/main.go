@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,13 +18,21 @@ import (
 func main() {
 	g := pivote.GenerateDemo(1000, 42)
 	eng := pivote.New(g, pivote.Options{TopEntities: 10, TopFeatures: 8})
+	ctx := context.Background()
+	apply := func(op pivote.Op) *pivote.Result {
+		res, err := eng.Apply(ctx, op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	// "Find films starring Tom Hanks" — a semantic-feature condition.
 	th, err := pivote.ParseFeature(g, "Tom_Hanks:starring")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := eng.AddFeature(th)
+	res := apply(pivote.OpAddFeature(th))
 	fmt.Println("films starring Tom Hanks:")
 	for _, e := range res.Entities {
 		fmt.Printf("  %-28s %.5f\n", e.Name, e.Score)
@@ -34,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res = eng.AddFeature(rz)
+	res = apply(pivote.OpAddFeature(rz))
 	fmt.Println("\n... and directed by Robert Zemeckis:")
 	for _, e := range res.Entities {
 		fmt.Printf("  %-28s %.5f\n", e.Name, e.Score)
@@ -42,9 +51,9 @@ func main() {
 
 	// Switch to investigation: drop the conditions, use Forrest Gump as
 	// an example ("find films similar to Forrest Gump", §3.1).
-	eng.RemoveFeature(rz)
-	eng.RemoveFeature(th)
-	res = eng.AddSeed(g.EntityByName("Forrest_Gump"))
+	apply(pivote.OpRemoveFeature(rz))
+	apply(pivote.OpRemoveFeature(th))
+	res = apply(pivote.OpAddSeed(g.EntityByName("Forrest_Gump")))
 	fmt.Println("\nfilms similar to Forrest Gump, with explanation heat map:")
 	fmt.Print(res.Heat.ASCII())
 

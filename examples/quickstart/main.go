@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"pivote"
 )
@@ -19,14 +21,22 @@ func main() {
 		len(g.Entities()), g.Store().Len())
 
 	eng := pivote.New(g, pivote.Options{TopEntities: 10, TopFeatures: 8})
+	ctx := context.Background()
 
-	// 1. Keyword search (the query area, Fig. 3-a).
-	res := eng.Submit("forrest gump")
+	// 1. Keyword search (the query area, Fig. 3-a). Every interaction is
+	// an op applied through the engine's single protocol entry point.
+	res, err := eng.Apply(ctx, pivote.OpSubmit("forrest gump"))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("top hit for %q: %s\n", "forrest gump", res.Entities[0].Name)
 
 	// 2. Investigation: use the top hit as an example entity — "find
 	// films similar to Forrest Gump".
-	res = eng.AddSeed(res.Entities[0].Entity)
+	res, err = eng.Apply(ctx, pivote.OpAddSeed(res.Entities[0].Entity))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nfilms similar to Forrest Gump:")
 	for i, e := range res.Entities {
 		if i >= 5 {

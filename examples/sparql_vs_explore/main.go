@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,8 +60,15 @@ func main() {
 	// fly; clicking replaces query writing.
 	fmt.Println("\nPivotE exploration (schema discovered on the fly):")
 	eng := pivote.New(g, pivote.Options{TopEntities: 8, TopFeatures: 6})
-	res := eng.Submit("forrest gump")
-	res = eng.AddSeed(res.Entities[0].Entity)
+	ctx := context.Background()
+	res, err := eng.Apply(ctx, pivote.OpSubmit("forrest gump"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = eng.Apply(ctx, pivote.OpAddSeed(res.Entities[0].Entity))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("  after one keyword + one click, the system reveals these directions:")
 	for _, f := range res.Features {
 		fmt.Printf("    %-34s (reaches %d entities)\n", f.Label, f.ExtentSize)
@@ -72,7 +80,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res = eng.AddFeature(thFeature)
+	res, err = eng.Apply(ctx, pivote.OpAddFeature(thFeature))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\n  pinning Tom_Hanks:starring gives the films:")
 	for _, e := range res.Entities {
 		fmt.Printf("    %s\n", e.Name)

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pivote/internal/expand"
@@ -18,6 +19,7 @@ import (
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
 	"pivote/internal/session"
+	"pivote/internal/topk"
 )
 
 // Options configure an Engine; zero values select the documented
@@ -119,6 +121,7 @@ type Engine struct {
 	feats    *semfeat.Engine
 	expander *expand.Expander
 	sess     *session.Session
+	log      []Op // every successfully applied op, in order
 	opts     Options
 }
 
@@ -162,57 +165,147 @@ func (e *Engine) Searcher() *search.Engine { return e.searcher }
 // Session exposes the session (read-mostly; use Engine methods to act).
 func (e *Engine) Session() *session.Session { return e.sess }
 
-// Submit starts a new keyword query (Fig. 3-a) and evaluates it.
-func (e *Engine) Submit(keywords string) *Result {
-	e.sess.Submit(keywords)
-	return e.evaluate()
+// Apply is the single mutation entry point of the protocol: it
+// validates the op, applies it to the session, evaluates the resulting
+// query and returns the full interface state. Errors are typed
+// (*Error); a canceled context aborts evaluation mid-loop and leaves the
+// session exactly as it was.
+func (e *Engine) Apply(ctx context.Context, op Op) (*Result, error) {
+	return e.ApplyFields(ctx, op, FieldsAll)
 }
+
+// ApplyFields is Apply with an explicit field selection: only the
+// requested interface areas are assembled, so e.g. FieldEntities skips
+// heat-map construction entirely.
+func (e *Engine) ApplyFields(ctx context.Context, op Op, fields Fields) (*Result, error) {
+	res, _, err := e.ApplyOps(ctx, []Op{op}, fields)
+	return res, err
+}
+
+// ApplyOps applies a batch of ops atomically: session mutations happen
+// op by op, the query is evaluated once after the last op, and any
+// failure (validation or cancellation) rewinds the session and the op
+// log to their pre-batch state. On error the returned index identifies
+// the offending op (len(ops) when evaluation itself failed). This is
+// what makes op-log replay and the /api/v1/ops batch endpoint cheap: a
+// k-op batch costs k session updates plus one evaluation, not k.
+func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result, int, error) {
+	mark := e.sess.Mark()
+	logLen := len(e.log)
+	rewind := func() {
+		e.sess.Rewind(mark)
+		e.log = e.log[:logLen]
+	}
+	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			rewind()
+			return nil, i, asTyped(err)
+		}
+		if err := e.applyOp(op); err != nil {
+			rewind()
+			return nil, i, err
+		}
+		e.log = append(e.log, op)
+	}
+	res, err := e.evaluateCtx(ctx, fields)
+	if err != nil {
+		rewind()
+		return nil, len(ops), err
+	}
+	return res, len(ops), nil
+}
+
+// Ops returns a copy of the op log: every op successfully applied to
+// this session, in order. Replaying it through ApplyOps on a fresh
+// engine reproduces the session (timeline included) exactly — the op
+// log IS the session file.
+func (e *Engine) Ops() []Op { return append([]Op(nil), e.log...) }
+
+// applyOp validates one op against the graph/session and applies its
+// session mutation. No evaluation happens here.
+func (e *Engine) applyOp(op Op) error {
+	switch op.Kind {
+	case OpKindSubmit:
+		e.sess.Submit(op.Keywords)
+	case OpKindAddSeed, OpKindRemoveSeed, OpKindLookup, OpKindPivot:
+		if !e.g.IsEntity(op.Entity) {
+			return Errf(KindNotFound, "op %s: term %d is not an entity", op.Kind, op.Entity)
+		}
+		name := e.g.Name(op.Entity)
+		switch op.Kind {
+		case OpKindAddSeed:
+			e.sess.AddSeed(op.Entity, name)
+		case OpKindRemoveSeed:
+			e.sess.RemoveSeed(op.Entity, name)
+		case OpKindLookup:
+			e.sess.Lookup(op.Entity, name)
+		case OpKindPivot:
+			domain := "unknown"
+			if t := e.g.PrimaryType(op.Entity); t != rdf.NoTerm {
+				domain = e.g.Name(t)
+			}
+			e.sess.Pivot(op.Entity, name, domain)
+		}
+	case OpKindAddFeature, OpKindRemoveFeature:
+		if op.Feature.Pred == rdf.NoTerm || !e.g.IsEntity(op.Feature.Anchor) {
+			return Errf(KindInvalid, "op %s: feature has no valid anchor/predicate", op.Kind)
+		}
+		if op.Kind == OpKindAddFeature {
+			e.sess.AddFeature(op.Feature, e.feats.Label(op.Feature))
+		} else {
+			e.sess.RemoveFeature(op.Feature, e.feats.Label(op.Feature))
+		}
+	case OpKindRevisit:
+		if _, err := e.sess.Revisit(op.Step); err != nil {
+			return &Error{Kind: KindInvalid, Msg: err.Error(), Err: err}
+		}
+	default:
+		return Errf(KindInvalid, "unknown op kind %q", op.Kind)
+	}
+	return nil
+}
+
+// Submit starts a new keyword query (Fig. 3-a) and evaluates it. Like
+// every method below, it is a convenience wrapper over Apply.
+func (e *Engine) Submit(keywords string) *Result { return e.applyLegacy(OpSubmit(keywords)) }
 
 // AddSeed adds an example entity to the query ("find entities similar to
 // X") and re-evaluates.
-func (e *Engine) AddSeed(ent rdf.TermID) *Result {
-	e.sess.AddSeed(ent, e.g.Name(ent))
-	return e.evaluate()
-}
+func (e *Engine) AddSeed(ent rdf.TermID) *Result { return e.applyLegacy(OpAddSeed(ent)) }
 
 // RemoveSeed removes an example entity and re-evaluates.
-func (e *Engine) RemoveSeed(ent rdf.TermID) *Result {
-	e.sess.RemoveSeed(ent, e.g.Name(ent))
-	return e.evaluate()
-}
+func (e *Engine) RemoveSeed(ent rdf.TermID) *Result { return e.applyLegacy(OpRemoveSeed(ent)) }
 
 // AddFeature pins a semantic-feature condition ("find films starring Tom
 // Hanks") and re-evaluates.
-func (e *Engine) AddFeature(f semfeat.Feature) *Result {
-	e.sess.AddFeature(f, e.feats.Label(f))
-	return e.evaluate()
-}
+func (e *Engine) AddFeature(f semfeat.Feature) *Result { return e.applyLegacy(OpAddFeature(f)) }
 
 // RemoveFeature unpins a condition and re-evaluates.
-func (e *Engine) RemoveFeature(f semfeat.Feature) *Result {
-	e.sess.RemoveFeature(f, e.feats.Label(f))
-	return e.evaluate()
-}
+func (e *Engine) RemoveFeature(f semfeat.Feature) *Result { return e.applyLegacy(OpRemoveFeature(f)) }
 
 // Lookup records a profile view (Fig. 3-d) and returns the profile; the
-// query and results are unchanged.
+// query and results are unchanged. A non-entity yields the zero Profile
+// (use LookupCtx for the typed error).
 func (e *Engine) Lookup(ent rdf.TermID) kg.Profile {
-	e.sess.Lookup(ent, e.g.Name(ent))
-	return e.g.ProfileOf(ent, 25)
+	p, _ := e.LookupCtx(context.Background(), ent)
+	return p
+}
+
+// LookupCtx records a profile view through the op protocol and returns
+// the profile; the query and results are unchanged (FieldNone skips
+// evaluation). A failed lookup records nothing and returns KindNotFound.
+func (e *Engine) LookupCtx(ctx context.Context, ent rdf.TermID) (kg.Profile, error) {
+	if _, err := e.ApplyFields(ctx, OpLookup(ent), FieldNone); err != nil {
+		return kg.Profile{}, err
+	}
+	return e.g.ProfileOf(ent, 25), nil
 }
 
 // Pivot switches the search domain to the entity's domain (§3.2): the
 // query becomes {entity} and the x-axis fills with entities of its type.
 // Double-clicking an entity image (Fig. 3-c) or a feature's anchor name
 // (Fig. 3-e) both land here.
-func (e *Engine) Pivot(ent rdf.TermID) *Result {
-	domain := "unknown"
-	if t := e.g.PrimaryType(ent); t != rdf.NoTerm {
-		domain = e.g.Name(t)
-	}
-	e.sess.Pivot(ent, e.g.Name(ent), domain)
-	return e.evaluate()
-}
+func (e *Engine) Pivot(ent rdf.TermID) *Result { return e.applyLegacy(OpPivot(ent)) }
 
 // PivotOnFeature pivots into the anchor entity of a recommended feature.
 func (e *Engine) PivotOnFeature(f semfeat.Feature) *Result {
@@ -222,36 +315,78 @@ func (e *Engine) PivotOnFeature(f semfeat.Feature) *Result {
 // Revisit restores a historical query from the timeline (Fig. 3-g) and
 // re-evaluates it.
 func (e *Engine) Revisit(step int) (*Result, error) {
-	if _, err := e.sess.Revisit(step); err != nil {
-		return nil, err
+	return e.Apply(context.Background(), OpRevisit(step))
+}
+
+// applyLegacy adapts Apply to the error-free pre-protocol signatures: an
+// op rejected by validation leaves the session untouched and the current
+// state is returned instead.
+func (e *Engine) applyLegacy(op Op) *Result {
+	res, err := e.Apply(context.Background(), op)
+	if err != nil {
+		res, _ = e.evaluateCtx(context.Background(), FieldsAll)
 	}
-	return e.evaluate(), nil
+	return res
 }
 
 // Evaluate re-runs the current query without recording a new action.
-func (e *Engine) Evaluate() *Result { return e.evaluate() }
+func (e *Engine) Evaluate() *Result {
+	res, _ := e.evaluateCtx(context.Background(), FieldsAll)
+	return res
+}
 
-func (e *Engine) evaluate() *Result {
-	q := e.sess.Current()
-	res := &Result{
-		Query:       q,
-		Description: e.DescribeQuery(q),
-		Timeline:    e.sess.Timeline(),
+// EvaluateCtx re-runs the current query with cancellation and field
+// selection, without recording a new action.
+func (e *Engine) EvaluateCtx(ctx context.Context, fields Fields) (*Result, error) {
+	return e.evaluateCtx(ctx, fields)
+}
+
+func (e *Engine) evaluateCtx(ctx context.Context, fields Fields) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, asTyped(err)
 	}
+	q := e.sess.Current()
+	res := &Result{Query: q, Description: e.DescribeQuery(q)}
+	if fields&FieldTimeline != 0 {
+		res.Timeline = e.sess.Timeline()
+	}
+	if fields&(FieldEntities|FieldFeatures|FieldHeatmap) == 0 {
+		return res, nil
+	}
+	var entities []expand.Ranked
+	var feats []semfeat.Score
+	var err error
 	switch {
 	case len(q.Seeds) > 0 || len(q.Features) > 0:
-		res.Entities, res.Features = e.structured(q)
+		entities, feats, err = e.structured(ctx, q)
 	case q.Keywords != "":
-		res.Entities, res.Features = e.keyword(q.Keywords)
+		entities, feats, err = e.keyword(ctx, q.Keywords)
 	}
-	res.Heat = heatmap.Build(e.feats, res.Entities, res.Features)
-	return res
+	if err != nil {
+		return nil, asTyped(err)
+	}
+	if fields&FieldEntities != 0 {
+		res.Entities = entities
+	}
+	if fields&FieldFeatures != 0 {
+		res.Features = feats
+	}
+	if fields&FieldHeatmap != 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, asTyped(err)
+		}
+		res.Heat = heatmap.Build(e.feats, entities, feats)
+	}
+	return res, nil
 }
 
 // keyword answers a plain keyword query: entities from the search engine,
 // features recommended from the top hits as pseudo-seeds.
-func (e *Engine) keyword(kw string) ([]expand.Ranked, []semfeat.Score) {
-	hits := e.searcher.Search(kw, e.opts.TopEntities, e.opts.SearchModel)
+func (e *Engine) keyword(ctx context.Context, kw string) ([]expand.Ranked, []semfeat.Score, error) {
+	hits, err := e.searcher.SearchCtx(ctx, kw, e.opts.TopEntities, e.opts.SearchModel)
+	if err != nil {
+		return nil, nil, err
+	}
 	entities := make([]expand.Ranked, len(hits))
 	var pseudo []rdf.TermID
 	for i, h := range hits {
@@ -266,7 +401,11 @@ func (e *Engine) keyword(kw string) ([]expand.Ranked, []semfeat.Score) {
 		// one odd hit cannot zero out the commonality product.
 		seen := map[semfeat.Feature]bool{}
 		for _, p := range pseudo {
-			for _, fs := range e.feats.Rank([]rdf.TermID{p}, e.opts.TopFeatures) {
+			ranked, err := e.feats.RankCtx(ctx, []rdf.TermID{p}, e.opts.TopFeatures)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, fs := range ranked {
 				if !seen[fs.Feature] {
 					seen[fs.Feature] = true
 					feats = append(feats, fs)
@@ -275,14 +414,14 @@ func (e *Engine) keyword(kw string) ([]expand.Ranked, []semfeat.Score) {
 		}
 		feats = topFeatures(feats, e.opts.TopFeatures)
 	}
-	return entities, feats
+	return entities, feats, nil
 }
 
 // structured answers a query with example entities and/or pinned feature
 // conditions: Φ(Q) = pinned conditions ∪ top seed features; candidates
 // come from the conditions' extents when conditions exist (they are
 // mandatory), otherwise from expansion.
-func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) {
+func (e *Engine) structured(ctx context.Context, q session.Query) ([]expand.Ranked, []semfeat.Score, error) {
 	var phi []semfeat.Score
 	pinned := map[semfeat.Feature]bool{}
 	for _, f := range q.Features {
@@ -296,7 +435,11 @@ func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) 
 		pinned[f] = true
 	}
 	if len(q.Seeds) > 0 {
-		for _, fs := range e.feats.Rank(q.Seeds, e.opts.TopFeatures) {
+		ranked, err := e.feats.RankCtx(ctx, q.Seeds, e.opts.TopFeatures)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, fs := range ranked {
 			if !pinned[fs.Feature] {
 				phi = append(phi, fs)
 			}
@@ -307,11 +450,15 @@ func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) 
 	}
 
 	var entities []expand.Ranked
+	var err error
 	if len(q.Features) > 0 {
-		entities = e.expander.ScoreCandidates(e.conditionCandidates(q), phi, e.opts.TopEntities)
+		entities, err = e.expander.ScoreCandidatesCtx(ctx, e.conditionCandidates(q), phi, e.opts.TopEntities)
 	} else {
 		// Seeds only: candidate generation and scoring share one scatter.
-		entities = e.expander.ExpandWithFeatures(q.Seeds, phi, e.opts.TopEntities)
+		entities, err = e.expander.ExpandWithFeaturesCtx(ctx, q.Seeds, phi, e.opts.TopEntities)
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(entities) == 0 && len(q.Seeds) > 0 && len(q.Features) == 0 {
 		// The SF extents found no same-type candidates — typical when
@@ -319,9 +466,12 @@ func (e *Engine) structured(q session.Query) ([]expand.Ranked, []semfeat.Score) 
 		// paths (two directors share no neighbour, but do share
 		// film→actor→film chains). Fall back to a random walk with
 		// restart so a pivot never dead-ends.
-		entities = e.expander.ExpandWith(expand.MethodPPR, q.Seeds, e.opts.TopEntities)
+		entities, err = e.expander.ExpandWithCtx(ctx, expand.MethodPPR, q.Seeds, e.opts.TopEntities)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	return entities, phi
+	return entities, phi, nil
 }
 
 // conditionCandidates intersects the extents of all pinned features and
@@ -390,21 +540,18 @@ func (e *Engine) DescribeQuery(q session.Query) string {
 	return desc
 }
 
+// topFeatures selects the k best of the per-pseudo-seed feature pools
+// under the global order (descending relevance, ties by extent size then
+// label) via the shared bounded-heap helper — O(n log k) instead of the
+// insertion sort it replaced.
 func topFeatures(feats []semfeat.Score, k int) []semfeat.Score {
-	// feats arrive grouped per pseudo-seed; re-sort globally.
-	for i := 1; i < len(feats); i++ {
-		for j := i; j > 0; j-- {
-			a, b := feats[j], feats[j-1]
-			if a.R > b.R || (a.R == b.R && (a.ExtentSize < b.ExtentSize ||
-				(a.ExtentSize == b.ExtentSize && a.Label < b.Label))) {
-				feats[j], feats[j-1] = feats[j-1], feats[j]
-				continue
-			}
-			break
+	return topk.Select(feats, k, func(a, b semfeat.Score) bool {
+		if a.R != b.R {
+			return a.R > b.R
 		}
-	}
-	if len(feats) > k {
-		feats = feats[:k]
-	}
-	return feats
+		if a.ExtentSize != b.ExtentSize {
+			return a.ExtentSize < b.ExtentSize
+		}
+		return a.Label < b.Label
+	})
 }

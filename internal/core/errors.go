@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrKind classifies engine errors so transports can map them uniformly
+// (the HTTP server translates kinds to status codes, the wire envelope
+// carries the kind string verbatim).
+type ErrKind string
+
+const (
+	// KindNotFound: the operation references an entity, feature anchor
+	// or step that does not exist in the graph or session.
+	KindNotFound ErrKind = "not_found"
+	// KindInvalid: the operation itself is malformed — unknown op kind,
+	// unparsable feature, bad field selector, out-of-range revisit.
+	KindInvalid ErrKind = "invalid"
+	// KindCanceled: the caller's context was canceled (or its deadline
+	// exceeded) while the operation was in flight. The session state is
+	// unchanged.
+	KindCanceled ErrKind = "canceled"
+	// KindInternal: everything else.
+	KindInternal ErrKind = "internal"
+)
+
+// Error is the engine's typed error: a kind plus a human-readable
+// message, optionally wrapping a cause.
+type Error struct {
+	Kind ErrKind
+	Msg  string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	return string(e.Kind)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errf builds a typed error with a formatted message.
+func Errf(kind ErrKind, format string, args ...interface{}) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// KindOf extracts the kind of an error: the Error's own kind when it is
+// (or wraps) one, KindCanceled for context cancellation/deadline errors,
+// KindInternal for anything else, and "" for nil.
+func KindOf(err error) ErrKind {
+	if err == nil {
+		return ""
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Kind
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return KindCanceled
+	}
+	return KindInternal
+}
+
+// asTyped normalizes an arbitrary error into a typed one, so every error
+// leaving the engine carries a kind. Context errors become KindCanceled.
+func asTyped(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Kind: KindCanceled, Msg: "operation canceled: " + err.Error(), Err: err}
+	}
+	return &Error{Kind: KindInternal, Msg: err.Error(), Err: err}
+}

@@ -1,53 +1,138 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
-	"pivote/internal/kg"
-	"pivote/internal/rdf"
-	"pivote/internal/semfeat"
 	"pivote/internal/session"
 )
 
-// graphResolver implements session.Resolver over the knowledge graph:
-// entities persist as IRIs, features as anchor:predicate labels.
-type graphResolver struct {
-	g *kg.Graph
+// wrapf retags an error with context while preserving its kind.
+func wrapf(err error, format string, args ...interface{}) *Error {
+	return &Error{Kind: KindOf(err), Msg: fmt.Sprintf(format, args...) + ": " + err.Error(), Err: err}
 }
 
-func (r graphResolver) EntityIRI(e rdf.TermID) string {
-	return r.g.Dict().Term(e).Value
+// A session file is a replayable op log: the versioned JSON form of
+// Engine.Ops() with symbolic references (IRIs, anchor:predicate labels)
+// that survive graph rebuilds. Loading replays the ops through ApplyOps,
+// which reconstructs the timeline — there is no separate timeline
+// serialization.
+//
+// Version history:
+//
+//	v2 (current): {"version":2,"ops":[{"op":"submit",...},...]}
+//	v1 (legacy):  per-action query snapshots; accepted on load by
+//	              synthesizing ops for the final query (the historical
+//	              timeline of a v1 file is not reconstructed).
+type sessionFile struct {
+	Version int     `json:"version"`
+	Ops     []OpDTO `json:"ops"`
 }
 
-func (r graphResolver) ResolveEntity(iri string) (rdf.TermID, error) {
-	if id := r.g.EntityByName(iri); id != rdf.NoTerm {
-		return id, nil
-	}
-	return rdf.NoTerm, fmt.Errorf("unknown entity %q", iri)
+// legacySessionFile is the shape of the retired v1 format, parsed only
+// deeply enough to recover the final query.
+type legacySessionFile struct {
+	Version int `json:"version"`
+	Actions []struct {
+		Query struct {
+			Keywords string   `json:"keywords"`
+			Seeds    []string `json:"seeds"`
+			Features []string `json:"features"`
+		} `json:"query"`
+	} `json:"actions"`
 }
 
-func (r graphResolver) FeatureLabel(f semfeat.Feature) string {
-	return semfeat.Label(r.g, f)
-}
-
-func (r graphResolver) ResolveFeature(label string) (semfeat.Feature, error) {
-	return semfeat.Parse(r.g, label)
-}
-
-// SaveSession serializes the whole timeline (and therefore the live
-// query) as portable JSON.
+// SaveSession serializes the op log — and therefore the timeline and the
+// live query — as portable JSON.
 func (e *Engine) SaveSession() ([]byte, error) {
-	return e.sess.Save(graphResolver{e.g})
+	f := sessionFile{Version: 2, Ops: make([]OpDTO, 0, len(e.log))}
+	for _, op := range e.log {
+		f.Ops = append(f.Ops, EncodeOp(e.g, op))
+	}
+	return json.MarshalIndent(f, "", "  ")
 }
 
-// LoadSession replaces the session with a previously saved one and
-// evaluates its live query. The graph must contain every entity and
-// predicate the saved session references.
+// LoadSession replaces the session with a previously saved one by
+// replaying its op log. The graph must contain every entity and
+// predicate the ops reference.
 func (e *Engine) LoadSession(data []byte) (*Result, error) {
-	s, err := session.Load(data, graphResolver{e.g})
+	return e.LoadSessionCtx(context.Background(), data)
+}
+
+// LoadSessionCtx is LoadSession with cancellation; a failed or canceled
+// load leaves the current session untouched.
+func (e *Engine) LoadSessionCtx(ctx context.Context, data []byte) (*Result, error) {
+	ops, err := decodeSessionOps(e, data)
 	if err != nil {
 		return nil, err
 	}
-	e.sess = s
-	return e.evaluate(), nil
+	oldSess, oldLog := e.sess, e.log
+	e.sess, e.log = session.New(), nil
+	res, i, err := e.ApplyOps(ctx, ops, FieldsAll)
+	if err != nil {
+		e.sess, e.log = oldSess, oldLog
+		if i < len(ops) {
+			return nil, wrapf(err, "session: op %d", i)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, &Error{Kind: KindInvalid, Msg: "session: " + err.Error(), Err: err}
+	}
+	switch probe.Version {
+	case 2:
+		var f sessionFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, &Error{Kind: KindInvalid, Msg: "session: " + err.Error(), Err: err}
+		}
+		ops := make([]Op, 0, len(f.Ops))
+		for i, d := range f.Ops {
+			op, err := DecodeOp(e.g, d)
+			if err != nil {
+				return nil, wrapf(err, "session: op %d", i)
+			}
+			ops = append(ops, op)
+		}
+		return ops, nil
+	case 1:
+		var f legacySessionFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, &Error{Kind: KindInvalid, Msg: "session: " + err.Error(), Err: err}
+		}
+		if len(f.Actions) == 0 {
+			return nil, nil
+		}
+		// Only the final query is recoverable from a v1 file; synthesize
+		// the ops that rebuild it.
+		q := f.Actions[len(f.Actions)-1].Query
+		var dtos []OpDTO
+		if q.Keywords != "" {
+			dtos = append(dtos, OpDTO{Op: string(OpKindSubmit), Keywords: q.Keywords})
+		}
+		for _, iri := range q.Seeds {
+			dtos = append(dtos, OpDTO{Op: string(OpKindAddSeed), Entity: iri})
+		}
+		for _, label := range q.Features {
+			dtos = append(dtos, OpDTO{Op: string(OpKindAddFeature), Feature: label})
+		}
+		ops := make([]Op, 0, len(dtos))
+		for i, d := range dtos {
+			op, err := DecodeOp(e.g, d)
+			if err != nil {
+				return nil, wrapf(err, "session: v1 op %d", i)
+			}
+			ops = append(ops, op)
+		}
+		return ops, nil
+	default:
+		return nil, Errf(KindInvalid, "session: unsupported version %d", probe.Version)
+	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -106,8 +107,13 @@ func RunF2() Artifact {
 // five areas, with the heat map additionally rendered as SVG and JSON.
 func RunF3(env *Env) Artifact {
 	eng := core.New(env.Graph, core.Options{TopEntities: 12, TopFeatures: 10})
-	eng.Submit("forrest gump")
-	res := eng.AddSeed(env.anchor("Forrest_Gump"))
+	res, _, err := eng.ApplyOps(context.Background(), []core.Op{
+		core.OpSubmit("forrest gump"),
+		core.OpAddSeed(env.anchor("Forrest_Gump")),
+	}, core.FieldsAll)
+	if err != nil {
+		panic("eval: F3 ops failed: " + err.Error())
+	}
 	files := map[string]string{}
 	if res.Heat != nil {
 		files["heatmap.svg"] = res.Heat.SVG()
@@ -131,13 +137,17 @@ func RunF3(env *Env) Artifact {
 // Director-domain film → revisit).
 func RunF4(env *Env) Artifact {
 	eng := core.New(env.Graph, core.Options{TopEntities: 10, TopFeatures: 8})
-	eng.Submit("forrest gump")
-	eng.Lookup(env.anchor("Forrest_Gump"))
-	eng.AddSeed(env.anchor("Forrest_Gump"))
-	eng.Pivot(env.anchor("Tom_Hanks"))
-	eng.Pivot(env.anchor("Robert_Zemeckis"))
-	if _, err := eng.Revisit(1); err != nil {
-		panic("eval: F4 revisit failed: " + err.Error())
+	// The §3 demo scenario as one replayable op log (FieldNone: only the
+	// exploratory path is needed, so no query is ever evaluated).
+	if _, _, err := eng.ApplyOps(context.Background(), []core.Op{
+		core.OpSubmit("forrest gump"),
+		core.OpLookup(env.anchor("Forrest_Gump")),
+		core.OpAddSeed(env.anchor("Forrest_Gump")),
+		core.OpPivot(env.anchor("Tom_Hanks")),
+		core.OpPivot(env.anchor("Robert_Zemeckis")),
+		core.OpRevisit(1),
+	}, core.FieldNone); err != nil {
+		panic("eval: F4 ops failed: " + err.Error())
 	}
 	s := eng.Session()
 	return Artifact{

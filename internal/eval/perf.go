@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -41,6 +42,7 @@ func RunE8(cfg Config, scales []int, opsPerScale int) Table {
 		Title:  "Interactive latency by scale (milliseconds)",
 		Header: []string{"scale(films)", "entities", "operation", "p50", "p95", "p99"},
 	}
+	ctx := context.Background()
 	for _, scale := range scales {
 		env := NewEnv(scale, cfg.Seed)
 		eng := core.New(env.Graph, core.Options{})
@@ -49,24 +51,31 @@ func RunE8(cfg Config, scales []int, opsPerScale int) Table {
 		actors := env.Result.Manifest.Actors
 		nEnts := len(env.Graph.Entities())
 
+		// The harness drives the engine through the same op protocol the
+		// servers use; a batch via ApplyOps evaluates once at the end,
+		// exactly like POST /api/v1/ops.
+		apply := func(ops ...core.Op) {
+			if _, _, err := eng.ApplyOps(ctx, ops, core.FieldsAll); err != nil {
+				panic("eval: " + err.Error())
+			}
+		}
 		ops := []struct {
 			name string
 			run  func()
 		}{
 			{"keyword search", func() {
-				eng.Submit(env.Graph.Name(films[rng.Intn(len(films))]))
+				apply(core.OpSubmit(env.Graph.Name(films[rng.Intn(len(films))])))
 			}},
 			{"investigate (expand)", func() {
-				eng.Submit("")
-				eng.AddSeed(films[rng.Intn(len(films))])
+				apply(core.OpSubmit(""), core.OpAddSeed(films[rng.Intn(len(films))]))
 			}},
 			{"pivot", func() {
-				eng.Pivot(actors[rng.Intn(len(actors))])
+				apply(core.OpPivot(actors[rng.Intn(len(actors))]))
 			}},
 			{"full state + heat map", func() {
-				eng.Submit("")
-				eng.AddSeed(films[rng.Intn(len(films))])
-				eng.AddSeed(films[rng.Intn(len(films))])
+				apply(core.OpSubmit(""),
+					core.OpAddSeed(films[rng.Intn(len(films))]),
+					core.OpAddSeed(films[rng.Intn(len(films))]))
 			}},
 		}
 		for _, op := range ops {

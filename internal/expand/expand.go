@@ -11,6 +11,7 @@
 package expand
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -133,32 +134,53 @@ func (x *Expander) denseSize() int { return int(x.g.Store().MaxTermID()) + 2 }
 // and only the (candidate, feature) misses fall back to the per-pair
 // probability probe. See score.go.
 func (x *Expander) Expand(seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score) {
-	feats := x.en.Rank(seeds, x.opts.TopFeatures)
-	sc := scratchPool.Get().(*scratch)
-	sc.begin(x.denseSize(), maskWords(len(feats)))
-	x.scatter(sc, feats)
-	cands := x.collectCandidates(sc, seeds)
-	x.finalize(sc, cands, feats)
-	out := x.rankTop(sc, cands, k)
-	scratchPool.Put(sc)
+	out, feats, _ := x.ExpandCtx(context.Background(), seeds, k)
 	return out, feats
+}
+
+// ExpandCtx is Expand with cancellation: the scatter and finalize passes
+// check the context between features/chunks and the call returns the
+// context's error instead of a partial ranking when it fires.
+func (x *Expander) ExpandCtx(ctx context.Context, seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score, error) {
+	feats, err := x.en.RankCtx(ctx, seeds, x.opts.TopFeatures)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	if err := x.scatter(ctx, sc, feats); err != nil {
+		return nil, nil, err
+	}
+	cands := x.collectCandidates(sc, seeds)
+	if err := x.finalize(ctx, sc, cands, feats); err != nil {
+		return nil, nil, err
+	}
+	return x.rankTop(sc, cands, k), feats, nil
 }
 
 // ExpandWith ranks candidates using the selected method. For
 // MethodPivotE it is equivalent to Expand (features discarded).
 func (x *Expander) ExpandWith(method Method, seeds []rdf.TermID, k int) []Ranked {
+	out, _ := x.ExpandWithCtx(context.Background(), method, seeds, k)
+	return out
+}
+
+// ExpandWithCtx is ExpandWith with cancellation, checked inside each
+// method's long loop (scatter pass, neighbourhood walk, PPR iteration).
+func (x *Expander) ExpandWithCtx(ctx context.Context, method Method, seeds []rdf.TermID, k int) ([]Ranked, error) {
 	switch method {
 	case MethodPivotE:
-		r, _ := x.Expand(seeds, k)
-		return r
+		r, _, err := x.ExpandCtx(ctx, seeds, k)
+		return r, err
 	case MethodCommonNeighbors:
-		return x.expandNeighbors(seeds, k, false)
+		return x.expandNeighbors(ctx, seeds, k, false)
 	case MethodJaccard:
-		return x.expandNeighbors(seeds, k, true)
+		return x.expandNeighbors(ctx, seeds, k, true)
 	case MethodFeatureCount:
-		return x.expandFeatureCount(seeds, k)
+		return x.expandFeatureCount(ctx, seeds, k)
 	case MethodPPR:
-		return x.expandPPR(seeds, k)
+		return x.expandPPR(ctx, seeds, k)
 	default:
 		panic(fmt.Sprintf("expand: unknown method %d", int(method)))
 	}
@@ -172,19 +194,42 @@ func (x *Expander) CandidatesOf(seeds []rdf.TermID, feats []semfeat.Score) []rdf
 	return x.candidates(seeds, feats)
 }
 
+// ExpandWithFeaturesCtx is ExpandWithFeatures with cancellation.
+func (x *Expander) ExpandWithFeaturesCtx(ctx context.Context, seeds []rdf.TermID, feats []semfeat.Score, k int) ([]Ranked, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	if err := x.scatter(ctx, sc, feats); err != nil {
+		return nil, err
+	}
+	cands := x.collectCandidates(sc, seeds)
+	if err := x.finalize(ctx, sc, cands, feats); err != nil {
+		return nil, err
+	}
+	return x.rankTop(sc, cands, k), nil
+}
+
+// ScoreCandidatesCtx is ScoreCandidates with cancellation.
+func (x *Expander) ScoreCandidatesCtx(ctx context.Context, cands []rdf.TermID, feats []semfeat.Score, k int) ([]Ranked, error) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.begin(x.denseSize(), maskWords(len(feats)))
+	if err := x.scatter(ctx, sc, feats); err != nil {
+		return nil, err
+	}
+	if err := x.finalize(ctx, sc, cands, feats); err != nil {
+		return nil, err
+	}
+	return x.rankTop(sc, cands, k), nil
+}
+
 // ExpandWithFeatures ranks candidates for an explicit feature set Φ in
 // one pass: the scatter yields the candidate union (same-type filtered,
 // seeds removed per the options) and the exact-match scores together.
 // This is Expand without the feature ranking — the core engine uses it
 // when Φ mixes user-pinned conditions with seed-derived features.
 func (x *Expander) ExpandWithFeatures(seeds []rdf.TermID, feats []semfeat.Score, k int) []Ranked {
-	sc := scratchPool.Get().(*scratch)
-	sc.begin(x.denseSize(), maskWords(len(feats)))
-	x.scatter(sc, feats)
-	cands := x.collectCandidates(sc, seeds)
-	x.finalize(sc, cands, feats)
-	out := x.rankTop(sc, cands, k)
-	scratchPool.Put(sc)
+	out, _ := x.ExpandWithFeaturesCtx(context.Background(), seeds, feats, k)
 	return out
 }
 
@@ -192,12 +237,7 @@ func (x *Expander) ExpandWithFeatures(seeds []rdf.TermID, feats []semfeat.Score,
 // feature set with the paper's r(e,Q) = Σ p(π|e)·r(π,Q) and returns the
 // top-k.
 func (x *Expander) ScoreCandidates(cands []rdf.TermID, feats []semfeat.Score, k int) []Ranked {
-	sc := scratchPool.Get().(*scratch)
-	sc.begin(x.denseSize(), maskWords(len(feats)))
-	x.scatter(sc, feats)
-	x.finalize(sc, cands, feats)
-	out := x.rankTop(sc, cands, k)
-	scratchPool.Put(sc)
+	out, _ := x.ScoreCandidatesCtx(context.Background(), cands, feats, k)
 	return out
 }
 
@@ -206,7 +246,7 @@ func (x *Expander) ScoreCandidates(cands []rdf.TermID, feats []semfeat.Score, k 
 func (x *Expander) candidates(seeds []rdf.TermID, feats []semfeat.Score) []rdf.TermID {
 	sc := scratchPool.Get().(*scratch)
 	sc.begin(x.denseSize(), maskWords(len(feats)))
-	x.scatter(sc, feats)
+	_ = x.scatter(context.Background(), sc, feats)
 	out := append([]rdf.TermID(nil), x.collectCandidates(sc, seeds)...)
 	scratchPool.Put(sc)
 	return out
@@ -214,11 +254,17 @@ func (x *Expander) candidates(seeds []rdf.TermID, feats []semfeat.Score) []rdf.T
 
 // expandFeatureCount scores candidates by the number of top features they
 // hold, unweighted and strict: the popcount of the scatter bitmask.
-func (x *Expander) expandFeatureCount(seeds []rdf.TermID, k int) []Ranked {
-	feats := x.en.Rank(seeds, x.opts.TopFeatures)
+func (x *Expander) expandFeatureCount(ctx context.Context, seeds []rdf.TermID, k int) ([]Ranked, error) {
+	feats, err := x.en.RankCtx(ctx, seeds, x.opts.TopFeatures)
+	if err != nil {
+		return nil, err
+	}
 	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	sc.begin(x.denseSize(), maskWords(len(feats)))
-	x.scatter(sc, feats)
+	if err := x.scatter(ctx, sc, feats); err != nil {
+		return nil, err
+	}
 	cands := x.collectCandidates(sc, seeds)
 	if cap(sc.scores) < len(cands) {
 		sc.scores = make([]float64, len(cands))
@@ -234,9 +280,7 @@ func (x *Expander) expandFeatureCount(seeds []rdf.TermID, k int) []Ranked {
 		}
 		sc.scores[i] = float64(n)
 	}
-	out := x.rankTop(sc, cands, k)
-	scratchPool.Put(sc)
-	return out
+	return x.rankTop(sc, cands, k), nil
 }
 
 // neighborSet returns the semantic entity neighbourhood of e.
@@ -259,7 +303,7 @@ func (x *Expander) neighborSet(e rdf.TermID) map[rdf.TermID]bool {
 // expandNeighbors implements the common-neighbour and Jaccard baselines.
 // Candidates are entities at distance 2 from a seed (sharing at least one
 // neighbour).
-func (x *Expander) expandNeighbors(seeds []rdf.TermID, k int, jaccard bool) []Ranked {
+func (x *Expander) expandNeighbors(ctx context.Context, seeds []rdf.TermID, k int, jaccard bool) ([]Ranked, error) {
 	seedSet := map[rdf.TermID]bool{}
 	for _, s := range seeds {
 		seedSet[s] = true
@@ -267,6 +311,9 @@ func (x *Expander) expandNeighbors(seeds []rdf.TermID, k int, jaccard bool) []Ra
 	seedNbrs := make([]map[rdf.TermID]bool, len(seeds))
 	candSet := map[rdf.TermID]bool{}
 	for i, s := range seeds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seedNbrs[i] = x.neighborSet(s)
 		for n := range seedNbrs[i] {
 			for c := range x.neighborSet(n) {
@@ -298,7 +345,12 @@ func (x *Expander) expandNeighbors(seeds []rdf.TermID, k int, jaccard bool) []Ra
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 
 	ranked := make([]Ranked, 0, len(cands))
-	for _, c := range cands {
+	for i, c := range cands {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cn := x.neighborSet(c)
 		score := 0.0
 		for i := range seeds {
@@ -321,15 +373,15 @@ func (x *Expander) expandNeighbors(seeds []rdf.TermID, k int, jaccard bool) []Ra
 			ranked = append(ranked, Ranked{Entity: c, Name: x.g.Name(c), Score: score})
 		}
 	}
-	return x.top(ranked, k)
+	return x.top(ranked, k), nil
 }
 
 // expandPPR runs a power-iteration personalized PageRank from the seeds
 // over the semantic entity graph (edges treated as bidirectional, uniform
 // transition probabilities).
-func (x *Expander) expandPPR(seeds []rdf.TermID, k int) []Ranked {
+func (x *Expander) expandPPR(ctx context.Context, seeds []rdf.TermID, k int) ([]Ranked, error) {
 	if len(seeds) == 0 {
-		return nil
+		return nil, nil
 	}
 	alpha := x.opts.PPRAlpha
 	restart := map[rdf.TermID]float64{}
@@ -369,6 +421,9 @@ func (x *Expander) expandPPR(seeds []rdf.TermID, k int) []Ranked {
 	restartNodes := sortedNodes(restart)
 	const prune = 1e-9
 	for it := 0; it < x.opts.PPRIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := map[rdf.TermID]float64{}
 		for _, s := range restartNodes {
 			next[s] += alpha * restart[s]
@@ -421,7 +476,7 @@ func (x *Expander) expandPPR(seeds []rdf.TermID, k int) []Ranked {
 		}
 		ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: v})
 	}
-	return x.top(ranked, k)
+	return x.top(ranked, k), nil
 }
 
 // top selects the k best (descending score, ties by entity ID) via the

@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"context"
 	"math/bits"
 	"slices"
 	"sync"
@@ -89,10 +90,14 @@ var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
 
 // scatter adds r(π,Q) of every feature into the accumulator over the
 // feature's extent and records the match bit. Feature index j must fit
-// the mask stride chosen by the caller.
-func (x *Expander) scatter(sc *scratch, feats []semfeat.Score) {
+// the mask stride chosen by the caller. The context is checked once per
+// feature — the unit of the long scatter loop.
+func (x *Expander) scatter(ctx context.Context, sc *scratch, feats []semfeat.Score) error {
 	w := sc.words
 	for j, fs := range feats {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		bit := uint64(1) << (j % 64)
 		word := j / 64
 		for _, e := range x.en.Extent(fs.Feature) {
@@ -109,6 +114,7 @@ func (x *Expander) scatter(sc *scratch, feats []semfeat.Score) {
 			sc.mask[int(e)*w+word] |= bit
 		}
 	}
+	return nil
 }
 
 // prepareBackoffTable registers the distinct categories of every
@@ -164,7 +170,7 @@ func (x *Expander) prepareBackoffTable(sc *scratch, cands []rdf.TermID, feats []
 // no locks, no hashing. Large candidate sets fan out over a worker pool;
 // each worker writes disjoint indexes of sc.scores, so the result is
 // deterministic.
-func (x *Expander) finalize(sc *scratch, cands []rdf.TermID, feats []semfeat.Score) {
+func (x *Expander) finalize(ctx context.Context, sc *scratch, cands []rdf.TermID, feats []semfeat.Score) error {
 	if cap(sc.scores) < len(cands) {
 		sc.scores = make([]float64, len(cands))
 	}
@@ -173,6 +179,9 @@ func (x *Expander) finalize(sc *scratch, cands []rdf.TermID, feats []semfeat.Sco
 	strict := x.en.Options().Strict
 	c := 0
 	if !strict && len(feats) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c = x.prepareBackoffTable(sc, cands, feats)
 	}
 	grain := 256
@@ -180,6 +189,9 @@ func (x *Expander) finalize(sc *scratch, cands []rdf.TermID, feats []semfeat.Sco
 		grain = 32
 	}
 	par.For(len(cands), grain, func(lo, hi int) {
+		if ctx.Err() != nil {
+			return // canceled: skip the chunk, caller reports the error
+		}
 		for i := lo; i < hi; i++ {
 			e := cands[i]
 			var score float64
@@ -221,6 +233,7 @@ func (x *Expander) finalize(sc *scratch, cands []rdf.TermID, feats []semfeat.Sco
 			sc.scores[i] = score
 		}
 	})
+	return ctx.Err()
 }
 
 // missedAny reports whether any of the k feature bits is unset in row

@@ -7,6 +7,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -42,9 +43,12 @@ const helpText = `commands:
   help                   this text
   quit                   exit`
 
-// Run drives the engine with commands from in, writing renderings to out.
-// It returns when in is exhausted or the quit command arrives.
+// Run drives the engine with commands from in, writing renderings to
+// out. Every mutating command goes through the op protocol
+// (Engine.Apply); the repl is just a line-oriented op encoder. It
+// returns when in is exhausted or the quit command arrives.
 func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
+	ctx := context.Background()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 4096), 1024*1024)
 	fmt.Fprintln(out, "PivotE explorer — type 'help' for commands")
@@ -52,6 +56,14 @@ func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
 	render := func(res *core.Result) {
 		last = res
 		fmt.Fprint(out, res.RenderASCII())
+	}
+	apply := func(op core.Op) {
+		res, err := eng.Apply(ctx, op)
+		if err != nil {
+			fmt.Fprintf(out, "%v\n", err)
+			return
+		}
+		render(res)
 	}
 	for {
 		fmt.Fprint(out, "pivote> ")
@@ -74,7 +86,7 @@ func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
 		case "help":
 			fmt.Fprintln(out, helpText)
 		case "search":
-			render(eng.Submit(arg))
+			apply(core.OpSubmit(arg))
 		case "seed", "unseed", "pivot", "profile":
 			id := g.EntityByName(arg)
 			if id == rdf.NoTerm {
@@ -83,11 +95,11 @@ func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
 			}
 			switch cmd {
 			case "seed":
-				render(eng.AddSeed(id))
+				apply(core.OpAddSeed(id))
 			case "unseed":
-				render(eng.RemoveSeed(id))
+				apply(core.OpRemoveSeed(id))
 			case "pivot":
-				render(eng.Pivot(id))
+				apply(core.OpPivot(id))
 			case "profile":
 				fmt.Fprint(out, eng.Lookup(id).Render())
 			}
@@ -98,9 +110,9 @@ func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
 				continue
 			}
 			if cmd == "feature" {
-				render(eng.AddFeature(f))
+				apply(core.OpAddFeature(f))
 			} else {
-				render(eng.RemoveFeature(f))
+				apply(core.OpRemoveFeature(f))
 			}
 		case "show":
 			render(eng.Evaluate())
@@ -122,12 +134,7 @@ func Run(g *kg.Graph, eng *core.Engine, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(out, "revisit needs a step number, got %q\n", arg)
 				continue
 			}
-			res, err := eng.Revisit(step)
-			if err != nil {
-				fmt.Fprintf(out, "%v\n", err)
-				continue
-			}
-			render(res)
+			apply(core.OpRevisit(step))
 		case "typeview":
 			t := g.Dict().LookupIRI("http://pivote.dev/ontology/class/" + arg)
 			if t == rdf.NoTerm {

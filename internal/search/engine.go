@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -106,25 +107,41 @@ func (e *Engine) SetParams(p Params) { e.params = p }
 // in descending score order (ties broken by entity ID for determinism).
 // k <= 0 returns all matching entities.
 func (e *Engine) Search(query string, k int, model Model) []Hit {
+	hits, _ := e.SearchCtx(context.Background(), query, k, model)
+	return hits
+}
+
+// SearchCtx is Search with cancellation: the candidate-document scoring
+// loops check the context periodically and return its error instead of
+// partial hits when it fires.
+func (e *Engine) SearchCtx(ctx context.Context, query string, k int, model Model) ([]Hit, error) {
 	terms := text.Analyze(query)
 	if len(terms) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	var scored []Hit
+	var err error
 	switch model {
 	case ModelMLM:
-		scored = e.scoreMLM(terms)
+		scored, err = e.scoreMLM(ctx, terms)
 	case ModelBM25F:
-		scored = e.scoreBM25F(terms)
+		scored, err = e.scoreBM25F(ctx, terms)
 	case ModelLMNames:
-		scored = e.scoreLMNames(terms)
+		scored, err = e.scoreLMNames(ctx, terms)
 	case ModelBoolean:
-		scored = e.scoreBoolean(terms)
+		scored, err = e.scoreBoolean(ctx, terms)
 	default:
 		panic(fmt.Sprintf("search: unknown model %d", int(model)))
 	}
-	return topK(scored, k)
+	if err != nil {
+		return nil, err
+	}
+	return topK(scored, k), nil
 }
+
+// checkEvery is how many candidate documents a scoring loop processes
+// between context checks.
+const checkEvery = 1024
 
 // normWeights returns the field weights normalized to sum to 1.
 func (e *Engine) normWeights() [index.NumFields]float64 {
@@ -147,7 +164,7 @@ func (e *Engine) normWeights() [index.NumFields]float64 {
 // Dirichlet-smoothed document models. Terms that are out of vocabulary in
 // every field contribute nothing (instead of -∞), which keeps multi-term
 // queries robust — the "error-tolerant" behaviour keyword search needs.
-func (e *Engine) scoreMLM(terms []string) []Hit {
+func (e *Engine) scoreMLM(ctx context.Context, terms []string) ([]Hit, error) {
 	w := e.normWeights()
 	mu := e.params.Mu
 	var collProb [index.NumFields]map[string]float64
@@ -159,7 +176,12 @@ func (e *Engine) scoreMLM(terms []string) []Hit {
 	}
 	docs := e.idx.CandidateDocs(terms)
 	hits := make([]Hit, 0, len(docs))
-	for _, d := range docs {
+	for i, d := range docs {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		score := 0.0
 		matched := false
 		for _, t := range terms {
@@ -182,14 +204,14 @@ func (e *Engine) scoreMLM(terms []string) []Hit {
 			hits = append(hits, e.hit(d, score))
 		}
 	}
-	return hits
+	return hits, nil
 }
 
 // scoreBM25F implements the weighted-field BM25 variant: per-field term
 // frequencies are length-normalized, weighted and summed into a pseudo
 // frequency that feeds the usual BM25 saturation, with document frequency
 // computed over any-field occurrence.
-func (e *Engine) scoreBM25F(terms []string) []Hit {
+func (e *Engine) scoreBM25F(ctx context.Context, terms []string) ([]Hit, error) {
 	w := e.normWeights()
 	k1, b := e.params.K1, e.params.B
 	n := float64(e.idx.DocCount())
@@ -205,7 +227,12 @@ func (e *Engine) scoreBM25F(terms []string) []Hit {
 	}
 	docs := e.idx.CandidateDocs(terms)
 	hits := make([]Hit, 0, len(docs))
-	for _, d := range docs {
+	for i, d := range docs {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		score := 0.0
 		for _, t := range terms {
 			if df[t] == 0 {
@@ -234,15 +261,20 @@ func (e *Engine) scoreBM25F(terms []string) []Hit {
 			hits = append(hits, e.hit(d, score))
 		}
 	}
-	return hits
+	return hits, nil
 }
 
 // scoreLMNames is the single-field query-likelihood baseline over names.
-func (e *Engine) scoreLMNames(terms []string) []Hit {
+func (e *Engine) scoreLMNames(ctx context.Context, terms []string) ([]Hit, error) {
 	mu := e.params.Mu
 	docs := e.idx.CandidateDocs(terms)
 	hits := make([]Hit, 0, len(docs))
-	for _, d := range docs {
+	for i, d := range docs {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		score := 0.0
 		matched := false
 		for _, t := range terms {
@@ -259,15 +291,20 @@ func (e *Engine) scoreLMNames(terms []string) []Hit {
 			hits = append(hits, e.hit(d, score))
 		}
 	}
-	return hits
+	return hits, nil
 }
 
 // scoreBoolean keeps documents containing every term (in any field) and
 // ranks them by summed term frequency.
-func (e *Engine) scoreBoolean(terms []string) []Hit {
+func (e *Engine) scoreBoolean(ctx context.Context, terms []string) ([]Hit, error) {
 	docs := e.idx.CandidateDocs(terms)
 	hits := make([]Hit, 0, len(docs))
-	for _, d := range docs {
+	for i, d := range docs {
+		if i%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		total := int32(0)
 		all := true
 		for _, t := range terms {
@@ -285,7 +322,7 @@ func (e *Engine) scoreBoolean(terms []string) []Hit {
 			hits = append(hits, e.hit(d, float64(total)))
 		}
 	}
-	return hits
+	return hits, nil
 }
 
 func (e *Engine) hit(doc int, score float64) Hit {

@@ -1,6 +1,7 @@
 package semfeat
 
 import (
+	"context"
 	"slices"
 	"sync"
 
@@ -216,6 +217,17 @@ var rankPool = sync.Pool{New: func() interface{} { return &rankScratch{} }}
 // result is deterministic. Labels are rendered only for the surviving
 // topK features.
 func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
+	out, _ := en.RankCtx(context.Background(), seeds, topK)
+	return out
+}
+
+// RankCtx is Rank with cancellation: the parallel relevance pass checks
+// the context per work chunk and the call returns ctx.Err() instead of a
+// partial ranking when canceled.
+func (en *Engine) RankCtx(ctx context.Context, seeds []rdf.TermID, topK int) ([]Score, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sc := rankPool.Get().(*rankScratch)
 	sc.cands = sc.cands[:0]
 	for _, e := range seeds {
@@ -227,10 +239,17 @@ func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
 	}
 	rs := sc.rs[:len(cands)]
 	par.For(len(cands), 64, func(lo, hi int) {
+		if ctx.Err() != nil {
+			return // canceled: skip the chunk, caller reports the error
+		}
 		for i := lo; i < hi; i++ {
 			rs[i] = en.Relevance(cands[i], seeds)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		rankPool.Put(sc)
+		return nil, err
+	}
 	sc.scores = sc.scores[:0]
 	for i, f := range cands {
 		if rs[i] <= 0 {
@@ -253,7 +272,7 @@ func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
 		out[i].Label = en.Label(out[i].Feature)
 	}
 	rankPool.Put(sc)
-	return out
+	return out, nil
 }
 
 // lessScore is the total order features are ranked by.

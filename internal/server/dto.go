@@ -64,6 +64,29 @@ type errorDTO struct {
 	Error string `json:"error"`
 }
 
+// stateV1DTO is the /api/v1 state shape: identical to stateDTO except
+// that unrequested areas are omitted entirely (the engine leaves them
+// nil under field selection), so a ?include=entities response carries no
+// feature, heat-map or timeline payload at all.
+type stateV1DTO struct {
+	Description string          `json:"description"`
+	Entities    []entityDTO     `json:"entities,omitempty"`
+	Features    []featureDTO    `json:"features,omitempty"`
+	Heat        *heatmap.Matrix `json:"heat,omitempty"`
+	Timeline    []timelineDTO   `json:"timeline,omitempty"`
+}
+
+func toStateV1DTO(g *kg.Graph, res *core.Result) stateV1DTO {
+	full := toStateDTO(g, res)
+	return stateV1DTO{
+		Description: full.Description,
+		Entities:    full.Entities,
+		Features:    full.Features,
+		Heat:        full.Heat,
+		Timeline:    full.Timeline,
+	}
+}
+
 func toStateDTO(g *kg.Graph, res *core.Result) stateDTO {
 	dto := stateDTO{Description: res.Description, Heat: res.Heat}
 	for _, e := range res.Entities {

@@ -41,18 +41,24 @@ func NewWithShared(sh *core.Shared, opts core.Options) *Server {
 	return &Server{eng: core.NewWithShared(sh, opts), g: sh.Graph()}
 }
 
-// Handler returns the HTTP handler: the JSON API under /api/ and the
-// embedded UI at /.
+// Handler returns the HTTP handler: the versioned operation protocol
+// under /api/v1/, the legacy single-op JSON API under /api/, and the
+// embedded UI at /. Both API generations drive the same Engine.Apply
+// entry point; the legacy routes survive as one-op conveniences.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleUI)
+	mux.HandleFunc("POST /api/v1/ops", s.handleV1Ops)
+	mux.HandleFunc("GET /api/v1/state", s.handleV1State)
+	mux.HandleFunc("GET /api/v1/session", s.handleV1SessionSave)
+	mux.HandleFunc("POST /api/v1/session", s.handleV1SessionLoad)
 	mux.HandleFunc("GET /api/state", s.handleState)
 	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/entity/add", s.entityOp((*core.Engine).AddSeed))
-	mux.HandleFunc("POST /api/entity/remove", s.entityOp((*core.Engine).RemoveSeed))
-	mux.HandleFunc("POST /api/pivot", s.entityOp((*core.Engine).Pivot))
-	mux.HandleFunc("POST /api/feature/add", s.featureOp((*core.Engine).AddFeature))
-	mux.HandleFunc("POST /api/feature/remove", s.featureOp((*core.Engine).RemoveFeature))
+	mux.HandleFunc("POST /api/entity/add", s.entityOp(core.OpAddSeed))
+	mux.HandleFunc("POST /api/entity/remove", s.entityOp(core.OpRemoveSeed))
+	mux.HandleFunc("POST /api/pivot", s.entityOp(core.OpPivot))
+	mux.HandleFunc("POST /api/feature/add", s.featureOp(core.OpAddFeature))
+	mux.HandleFunc("POST /api/feature/remove", s.featureOp(core.OpRemoveFeature))
 	mux.HandleFunc("POST /api/revisit", s.handleRevisit)
 	mux.HandleFunc("GET /api/profile", s.handleProfile)
 	mux.HandleFunc("GET /api/heatmap.svg", s.handleHeatmapSVG)
@@ -75,6 +81,12 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...interfac
 	writeJSON(w, status, errorDTO{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeEngineErr renders a typed engine error in the legacy envelope,
+// with the status derived from its kind.
+func writeEngineErr(w http.ResponseWriter, err error) {
+	writeErr(w, statusOf(core.KindOf(err)), "%v", err)
+}
+
 func (s *Server) writeState(w http.ResponseWriter, res *core.Result) {
 	writeJSON(w, http.StatusOK, toStateDTO(s.g, res))
 }
@@ -86,8 +98,13 @@ func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.writeState(w, s.eng.Evaluate())
+	res, err := s.eng.EvaluateCtx(r.Context(), core.FieldsAll)
+	s.mu.RUnlock()
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	s.writeState(w, res)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -99,8 +116,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.writeState(w, s.eng.Submit(body.Keywords))
+	res, err := s.eng.Apply(r.Context(), core.OpSubmit(body.Keywords))
+	s.mu.Unlock()
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	s.writeState(w, res)
 }
 
 // resolveEntity accepts {"id": N} or {"name": "Forrest_Gump"}.
@@ -128,7 +150,7 @@ func (s *Server) resolveEntity(r *http.Request) (rdf.TermID, error) {
 	return rdf.NoTerm, fmt.Errorf("need id or name")
 }
 
-func (s *Server) entityOp(op func(*core.Engine, rdf.TermID) *core.Result) http.HandlerFunc {
+func (s *Server) entityOp(mk func(rdf.TermID) core.Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id, err := s.resolveEntity(r)
 		if err != nil {
@@ -136,12 +158,17 @@ func (s *Server) entityOp(op func(*core.Engine, rdf.TermID) *core.Result) http.H
 			return
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.writeState(w, op(s.eng, id))
+		res, err := s.eng.Apply(r.Context(), mk(id))
+		s.mu.Unlock()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		s.writeState(w, res)
 	}
 }
 
-func (s *Server) featureOp(op func(*core.Engine, semfeat.Feature) *core.Result) http.HandlerFunc {
+func (s *Server) featureOp(mk func(semfeat.Feature) core.Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
 			Label string `json:"label"`
@@ -156,8 +183,13 @@ func (s *Server) featureOp(op func(*core.Engine, semfeat.Feature) *core.Result) 
 			return
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.writeState(w, op(s.eng, f))
+		res, err := s.eng.Apply(r.Context(), mk(f))
+		s.mu.Unlock()
+		if err != nil {
+			writeEngineErr(w, err)
+			return
+		}
+		s.writeState(w, res)
 	}
 }
 
@@ -170,10 +202,10 @@ func (s *Server) handleRevisit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.eng.Revisit(body.Step)
+	res, err := s.eng.Apply(r.Context(), core.OpRevisit(body.Step))
+	s.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeEngineErr(w, err)
 		return
 	}
 	s.writeState(w, res)
@@ -210,14 +242,27 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toProfileDTO(s.eng.Lookup(id)))
 }
 
+// emptySVG is the minimal valid document served when no heat map
+// exists yet: an empty body is not well-formed SVG and breaks strict
+// <img> consumers.
+const emptySVG = `<svg xmlns="http://www.w3.org/2000/svg" width="1" height="1"/>` + "\n"
+
 func (s *Server) handleHeatmapSVG(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	res := s.eng.Evaluate()
+	// Field selection: only the heat map is needed, so entities and
+	// features are computed but never copied and the timeline is skipped.
+	res, err := s.eng.EvaluateCtx(r.Context(), core.FieldHeatmap)
 	s.mu.RUnlock()
-	w.Header().Set("Content-Type", "image/svg+xml")
-	if res.Heat != nil {
-		_, _ = w.Write([]byte(res.Heat.SVG()))
+	if err != nil {
+		writeEngineErr(w, err)
+		return
 	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if res.Heat == nil || len(res.Heat.Features) == 0 {
+		_, _ = w.Write([]byte(emptySVG))
+		return
+	}
+	_, _ = w.Write([]byte(res.Heat.SVG()))
 }
 
 func (s *Server) handlePathSVG(w http.ResponseWriter, r *http.Request) {
@@ -300,10 +345,10 @@ func (s *Server) handleSessionLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.eng.LoadSession(raw)
+	res, err := s.eng.LoadSessionCtx(r.Context(), raw)
+	s.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeEngineErr(w, err)
 		return
 	}
 	s.writeState(w, res)
@@ -316,8 +361,12 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	hits := s.eng.Searcher().Search(q, 10, search.ModelMLM)
+	hits, err := s.eng.Searcher().SearchCtx(r.Context(), q, 10, search.ModelMLM)
 	s.mu.RUnlock()
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
 	out := make([]entityDTO, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, entityDTO{ID: uint32(h.Entity), Name: h.Name, Score: h.Score})

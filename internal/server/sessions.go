@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
@@ -22,12 +23,17 @@ type Multi struct {
 	opts     core.Options
 	max      int
 	sessions map[string]*sessionEntry
-	order    []string // least recently used first
+	// lru orders tokens most-recently-used first; each entry keeps its
+	// own element so a touch is an O(1) MoveToFront instead of the O(n)
+	// slice scan it replaced — per-request cost must not grow with the
+	// session count.
+	lru *list.List // of string tokens
 }
 
 type sessionEntry struct {
 	srv     *Server
 	handler http.Handler
+	elem    *list.Element
 }
 
 const sessionCookie = "pivote_session"
@@ -43,6 +49,7 @@ func NewMulti(g *kg.Graph, opts core.Options, maxSessions int) *Multi {
 		opts:     opts,
 		max:      maxSessions,
 		sessions: map[string]*sessionEntry{},
+		lru:      list.New(),
 	}
 }
 
@@ -80,7 +87,7 @@ func (m *Multi) getOrCreate(token string) (*sessionEntry, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if e, ok := m.sessions[token]; ok {
-		m.touch(token)
+		m.lru.MoveToFront(e.elem)
 		return e, token
 	}
 	// The early return above means token is unknown (or empty): always
@@ -88,24 +95,14 @@ func (m *Multi) getOrCreate(token string) (*sessionEntry, string) {
 	token = newToken()
 	srv := NewWithShared(m.shared, m.opts)
 	e := &sessionEntry{srv: srv, handler: srv.Handler()}
+	e.elem = m.lru.PushFront(token)
 	m.sessions[token] = e
-	m.order = append(m.order, token)
 	for len(m.sessions) > m.max {
-		oldest := m.order[0]
-		m.order = m.order[1:]
-		delete(m.sessions, oldest)
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.sessions, oldest.Value.(string))
 	}
 	return e, token
-}
-
-func (m *Multi) touch(token string) {
-	for i, t := range m.order {
-		if t == token {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			m.order = append(m.order, token)
-			return
-		}
-	}
 }
 
 func newToken() string {

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"pivote/internal/core"
+)
+
+// The /api/v1 surface is the versioned form of the operation protocol:
+//
+//	POST /api/v1/ops      apply a batch of ops atomically under one lock
+//	GET  /api/v1/state    evaluate the current query (?include= selects areas)
+//	GET  /api/v1/session  download the op log (the session file)
+//	POST /api/v1/session  replace the session by replaying an op log
+//
+// Every error is a typed envelope {"error":{"kind","message","opIndex"}}
+// whose kind maps 1:1 onto the HTTP status (not_found→404, invalid→400,
+// canceled→499, internal→500). Ops travel as core.OpDTO — the same
+// symbolic wire form the session file uses, so replaying a saved session
+// is literally POSTing its "ops" array back.
+
+// statusClientClosedRequest is the nginx convention for "the client went
+// away while we were working" — there is no standard code for a canceled
+// context.
+const statusClientClosedRequest = 499
+
+// v1Error is the typed error envelope body.
+type v1Error struct {
+	Kind    core.ErrKind `json:"kind"`
+	Message string       `json:"message"`
+	// OpIndex locates the failing op of a batch (0-based), absent
+	// otherwise.
+	OpIndex *int `json:"opIndex,omitempty"`
+}
+
+type v1ErrorEnvelope struct {
+	Error v1Error `json:"error"`
+}
+
+// opsRequest is the POST /api/v1/ops body.
+type opsRequest struct {
+	Ops []core.OpDTO `json:"ops"`
+	// Include selects result areas ("entities,features,heatmap,timeline");
+	// empty means all. The ?include= query parameter takes precedence.
+	Include string `json:"include,omitempty"`
+}
+
+// opsResponse is the success body: how many ops were applied plus the
+// final state, pruned to the requested fields.
+type opsResponse struct {
+	Applied int        `json:"applied"`
+	State   stateV1DTO `json:"state"`
+}
+
+func statusOf(kind core.ErrKind) int {
+	switch kind {
+	case core.KindNotFound:
+		return http.StatusNotFound
+	case core.KindInvalid:
+		return http.StatusBadRequest
+	case core.KindCanceled:
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeV1Err(w http.ResponseWriter, err error, opIndex *int) {
+	kind := core.KindOf(err)
+	writeJSON(w, statusOf(kind), v1ErrorEnvelope{Error: v1Error{
+		Kind:    kind,
+		Message: err.Error(),
+		OpIndex: opIndex,
+	}})
+}
+
+// includeOf resolves the field selection of a request: the ?include=
+// query parameter wins over the body value; empty selects everything.
+func includeOf(r *http.Request, body string) (core.Fields, error) {
+	sel := r.URL.Query().Get("include")
+	if sel == "" {
+		sel = body
+	}
+	return core.ParseFields(sel)
+}
+
+// handleV1Ops applies a batch of ops under a single lock acquisition.
+// The batch is atomic: on any failure nothing is applied and the
+// envelope names the offending op. Ops are resolved against the graph
+// before the lock is taken, so malformed batches never serialize behind
+// the session.
+func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
+	var req opsRequest
+	// Same 4 MB cap as the session-load endpoints: a session replay is
+	// "POST the ops array back", so the two paths must accept the same
+	// sizes — and neither may buffer an unbounded body.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeV1Err(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
+		return
+	}
+	fields, err := includeOf(r, req.Include)
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
+	ops := make([]core.Op, 0, len(req.Ops))
+	for i, d := range req.Ops {
+		op, err := core.DecodeOp(s.g, d)
+		if err != nil {
+			i := i
+			writeV1Err(w, err, &i)
+			return
+		}
+		ops = append(ops, op)
+	}
+	s.mu.Lock()
+	res, applied, err := s.eng.ApplyOps(r.Context(), ops, fields)
+	s.mu.Unlock()
+	if err != nil {
+		if applied < len(ops) {
+			writeV1Err(w, err, &applied)
+		} else {
+			writeV1Err(w, err, nil) // evaluation failed, not an op
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, opsResponse{Applied: applied, State: toStateV1DTO(s.g, res)})
+}
+
+// handleV1State evaluates the current query, assembling only the
+// requested areas — ?include=entities skips heat-map construction
+// entirely.
+func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
+	fields, err := includeOf(r, "")
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
+	s.mu.RLock()
+	res, err := s.eng.EvaluateCtx(r.Context(), fields)
+	s.mu.RUnlock()
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, toStateV1DTO(s.g, res))
+}
+
+// handleV1SessionSave downloads the op log. The body is exactly what
+// POST /api/v1/session (and the repl's load command) accepts.
+func (s *Server) handleV1SessionSave(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	raw, err := s.eng.SaveSession()
+	s.mu.RUnlock()
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="pivote-session.json"`)
+	_, _ = w.Write(raw)
+}
+
+// handleV1SessionLoad replaces the session by replaying an op log; a
+// failed replay leaves the previous session untouched.
+func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeV1Err(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.eng.LoadSessionCtx(r.Context(), raw)
+	s.mu.Unlock()
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, toStateV1DTO(s.g, res))
+}

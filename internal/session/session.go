@@ -131,6 +131,29 @@ func (s *Session) record(kind ActionKind, label string, changes bool, revisitOf 
 	return a
 }
 
+// Mark is a restore point for Rewind: the timeline length and live
+// query at the moment it was taken.
+type Mark struct {
+	n       int
+	current Query
+}
+
+// Mark snapshots the session so a failed (or canceled) operation can be
+// rolled back without copying the whole timeline.
+func (s *Session) Mark() Mark {
+	return Mark{n: len(s.actions), current: s.current.Clone()}
+}
+
+// Rewind truncates the timeline back to the mark and restores the live
+// query — the engine's guarantee that an operation whose evaluation
+// failed never corrupts session state.
+func (s *Session) Rewind(m Mark) {
+	if m.n <= len(s.actions) {
+		s.actions = s.actions[:m.n]
+	}
+	s.current = m.current.Clone()
+}
+
 // Submit replaces the query with a fresh keyword query.
 func (s *Session) Submit(keywords string) Action {
 	s.current = Query{Keywords: keywords}

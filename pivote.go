@@ -16,12 +16,22 @@
 //
 // # Quick start
 //
+// Every interaction is one of eight serializable operations applied
+// through the engine's single entry point:
+//
 //	g := pivote.GenerateDemo(1000, 42)         // synthetic DBpedia-like KG
 //	eng := pivote.New(g, pivote.Options{})
-//	res := eng.Submit("forrest gump")          // keyword search
-//	res = eng.AddSeed(res.Entities[0].Entity)  // investigate: similar films
+//	ctx := context.Background()
+//	res, _ := eng.Apply(ctx, pivote.OpSubmit("forrest gump")) // keyword search
+//	res, _ = eng.Apply(ctx, pivote.OpAddSeed(res.Entities[0].Entity)) // investigate
 //	fmt.Println(res.RenderASCII())             // all five UI areas
-//	res = eng.Pivot(g.EntityByName("Tom_Hanks")) // browse: Actor domain
+//	res, _ = eng.Apply(ctx, pivote.OpPivot(g.EntityByName("Tom_Hanks"))) // browse
+//
+// Apply validates the op (typed errors: NotFound/Invalid/Canceled/
+// Internal), honors context cancellation inside the expensive ranking
+// loops, and records the op in a replayable log — a saved session is
+// nothing but that []Op. The legacy method spellings (eng.Submit,
+// eng.AddSeed, ...) remain as one-line conveniences over Apply.
 //
 // Real data loads from N-Triples via LoadNTriples; the vocabulary
 // (rdf:type, rdfs:label, dct:subject, dbo:wikiPageRedirects, ...) matches
@@ -83,6 +93,20 @@ type (
 	Query  = session.Query
 	Action = session.Action
 
+	// Op is one serializable operation of the protocol; OpKind its
+	// discriminator and OpDTO its symbolic wire form.
+	Op     = core.Op
+	OpKind = core.OpKind
+	OpDTO  = core.OpDTO
+
+	// Fields selects which interface areas Apply/Evaluate assemble.
+	Fields = core.Fields
+
+	// EngineError is the typed error every Apply failure carries;
+	// ErrKind is its taxonomy.
+	EngineError = core.Error
+	ErrKind     = core.ErrKind
+
 	// SearchModel selects the keyword-retrieval model.
 	SearchModel = search.Model
 	// SearchParams are the retrieval hyperparameters.
@@ -117,6 +141,63 @@ const (
 
 // NoEntity is the zero EntityID, returned by failed lookups.
 const NoEntity = rdf.NoTerm
+
+// Operation kinds (the wire values of the protocol).
+const (
+	OpKindSubmit        = core.OpKindSubmit
+	OpKindAddSeed       = core.OpKindAddSeed
+	OpKindRemoveSeed    = core.OpKindRemoveSeed
+	OpKindAddFeature    = core.OpKindAddFeature
+	OpKindRemoveFeature = core.OpKindRemoveFeature
+	OpKindLookup        = core.OpKindLookup
+	OpKindPivot         = core.OpKindPivot
+	OpKindRevisit       = core.OpKindRevisit
+)
+
+// Error kinds of the typed taxonomy.
+const (
+	KindNotFound = core.KindNotFound
+	KindInvalid  = core.KindInvalid
+	KindCanceled = core.KindCanceled
+	KindInternal = core.KindInternal
+)
+
+// Result field selectors for Engine.ApplyFields / EvaluateCtx.
+const (
+	FieldEntities = core.FieldEntities
+	FieldFeatures = core.FieldFeatures
+	FieldHeatmap  = core.FieldHeatmap
+	FieldTimeline = core.FieldTimeline
+	FieldNone     = core.FieldNone
+	FieldsAll     = core.FieldsAll
+)
+
+// Op constructors — one per operation of the protocol.
+var (
+	OpSubmit        = core.OpSubmit
+	OpAddSeed       = core.OpAddSeed
+	OpRemoveSeed    = core.OpRemoveSeed
+	OpAddFeature    = core.OpAddFeature
+	OpRemoveFeature = core.OpRemoveFeature
+	OpLookup        = core.OpLookup
+	OpPivot         = core.OpPivot
+	OpRevisit       = core.OpRevisit
+)
+
+// ParseFields parses a comma-separated field selection, e.g.
+// "entities,heatmap"; the empty string selects everything.
+func ParseFields(s string) (Fields, error) { return core.ParseFields(s) }
+
+// ErrKindOf classifies any error returned by the engine.
+func ErrKindOf(err error) ErrKind { return core.KindOf(err) }
+
+// EncodeOp converts an op to its symbolic wire form (IRIs and feature
+// labels), the inverse of DecodeOp. An op log encoded this way is the
+// session-file format and the /api/v1/ops request body.
+func EncodeOp(g *Graph, op Op) OpDTO { return core.EncodeOp(g, op) }
+
+// DecodeOp resolves a wire op against the graph.
+func DecodeOp(g *Graph, d OpDTO) (Op, error) { return core.DecodeOp(g, d) }
 
 // SharedCore is the session-independent read core (graph, search index,
 // feature cache), safe for concurrent use and shared by all sessions of
