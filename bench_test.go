@@ -160,6 +160,14 @@ func BenchmarkE9SFScalability(b *testing.B) {
 	printOnce("E9", t.Render())
 }
 
+func BenchmarkE10RetrievalLatency(b *testing.B) {
+	var t eval.Table
+	for i := 0; i < b.N; i++ {
+		t = eval.RunE10(benchConfig(), []int{300, 1000}, 30)
+	}
+	printOnce("E10", t.Render())
+}
+
 func BenchmarkA1ErrorTolerantAblation(b *testing.B) {
 	env := getBenchEnv()
 	var t eval.Table

@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, so CI can publish benchmark results as a
+// machine-readable artifact (BENCH_search.json) and the performance
+// trajectory of the hot paths is recorded run over run.
+//
+//	go test -run xxx -bench 'BenchmarkSearch' -benchmem ./internal/search/ | benchjson
+//
+// Each benchmark line becomes one object:
+//
+//	{"name":"SearchMLM","iterations":20488,"ns_per_op":57008,
+//	 "bytes_per_op":448,"allocs_per_op":3}
+//
+// bytes_per_op/allocs_per_op are present only when -benchmem was set;
+// extra custom metrics (name "unit/op") are carried through under
+// "metrics". Non-benchmark lines (headers, PASS, ok) are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	r := Result{Name: strings.TrimPrefix(fields[0], "Benchmark")}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+			r.Name = r.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The remainder alternates value, unit.
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b := int64(v)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, seenNs
+}
+
+func main() {
+	var results []Result
+	scan := bufio.NewScanner(os.Stdin)
+	scan.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scan.Scan() {
+		if r, ok := parseLine(scan.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

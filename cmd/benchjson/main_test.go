@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSearchMLM-8   \t 20488\t     57008 ns/op\t     448 B/op\t       3 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "SearchMLM" || r.Procs != 8 || r.Iterations != 20488 {
+		t.Fatalf("header fields: %+v", r)
+	}
+	if r.NsPerOp != 57008 || r.BytesPerOp == nil || *r.BytesPerOp != 448 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Fatalf("measurements: %+v", r)
+	}
+}
+
+func TestParseLineCustomMetricAndNoBenchmem(t *testing.T) {
+	r, ok := parseLine("BenchmarkE7RetrievalQuality-4 10 123456 ns/op 0.812 MLM-MRR")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatalf("unexpected benchmem fields: %+v", r)
+	}
+	if r.Metrics["MLM-MRR"] != 0.812 {
+		t.Fatalf("custom metric: %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tpivote/internal/search\t8.563s",
+		"",
+		"Benchmark", // no fields
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parsed noise line %q", line)
+		}
+	}
+}

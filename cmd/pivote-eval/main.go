@@ -22,13 +22,13 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated experiment IDs (T1,F1a,F1b,F2,F3,F4,E5,E6,E7,E8,E9,A1,A2,A3,A4) or 'all'")
+	exps := flag.String("exp", "all", "comma-separated experiment IDs (T1,F1a,F1b,F2,F3,F4,E5,E6,E7,E8,E9,E10,A1,A2,A3,A4) or 'all'")
 	scale := flag.Int("scale", 1000, "synthetic KG size (films) for quality experiments")
 	seed := flag.Int64("seed", 42, "generator/workload seed")
 	queries := flag.Int("queries", 100, "queries per quality experiment")
 	seedsPer := flag.Int("seeds", 3, "example entities per expansion query")
 	outDir := flag.String("out", "artifacts", "artifact output directory")
-	latencyScales := flag.String("latency-scales", "500,2000,8000", "comma-separated scales for E8/E9")
+	latencyScales := flag.String("latency-scales", "500,2000,8000", "comma-separated scales for E8/E9/E10")
 	flag.Parse()
 
 	cfg := eval.Config{Scale: *scale, Seed: *seed, Queries: *queries, SeedsPerQuery: *seedsPer}
@@ -114,6 +114,9 @@ func main() {
 	}
 	if want("E9") {
 		emitTable(eval.RunE9(cfg, scales))
+	}
+	if want("E10") {
+		emitTable(eval.RunE10(cfg, scales, 50))
 	}
 	if want("A1") {
 		emitTable(eval.RunA1(env, cfg))

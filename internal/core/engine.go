@@ -77,11 +77,14 @@ type Result struct {
 }
 
 // Shared is the session-independent read core over one graph: the
-// keyword search index and the semantic-feature cache. Both are safe for
-// concurrent use, so one Shared serves every session of a process —
-// per-session engines carry only the (cheap, mutable) session state.
-// Building the search index and warming feature extents happen once per
-// graph instead of once per user.
+// frozen keyword search index (term dictionary + CSR postings +
+// precomputed collection statistics, built once at construction) and the
+// semantic-feature cache. Both are safe for concurrent use — retrieval
+// scores term-at-a-time into pooled scratch, so one Shared serves every
+// session of a process and per-session engines carry only the (cheap,
+// mutable) session state. Building and freezing the search index and
+// warming feature extents happen once per graph instead of once per
+// user.
 type Shared struct {
 	g        *kg.Graph
 	searcher *search.Engine

@@ -1,63 +1,76 @@
-package core
+// Package errs holds the engine's typed error — a kind plus a message —
+// as a dependency-free leaf so that low-level packages (search, index)
+// can return typed errors without importing the core engine. Package core
+// re-exports the type and kinds under its own name (core.Error is a type
+// alias), so transports keep matching on core.Error and see errors from
+// every layer uniformly.
+package errs
 
 import (
 	"context"
 	"errors"
-
-	"pivote/internal/errs"
+	"fmt"
 )
 
-// The typed error lives in the leaf package errs so that lower layers
-// (search, index) can produce typed errors without importing core; the
-// aliases below keep core.Error the canonical name transports match on.
-
-// ErrKind classifies engine errors so transports can map them uniformly
+// Kind classifies engine errors so transports can map them uniformly
 // (the HTTP server translates kinds to status codes, the wire envelope
 // carries the kind string verbatim).
-type ErrKind = errs.Kind
+type Kind string
 
 const (
 	// KindNotFound: the operation references an entity, feature anchor
 	// or step that does not exist in the graph or session.
-	KindNotFound = errs.KindNotFound
+	KindNotFound Kind = "not_found"
 	// KindInvalid: the operation itself is malformed — unknown op kind,
 	// unparsable feature, bad field selector, out-of-range revisit,
 	// invalid retrieval parameters.
-	KindInvalid = errs.KindInvalid
+	KindInvalid Kind = "invalid"
 	// KindCanceled: the caller's context was canceled (or its deadline
 	// exceeded) while the operation was in flight. The session state is
 	// unchanged.
-	KindCanceled = errs.KindCanceled
+	KindCanceled Kind = "canceled"
 	// KindInternal: everything else.
-	KindInternal = errs.KindInternal
+	KindInternal Kind = "internal"
 )
 
 // Error is the engine's typed error: a kind plus a human-readable
 // message, optionally wrapping a cause.
-type Error = errs.Error
+type Error struct {
+	Kind Kind
+	Msg  string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	return string(e.Kind)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
 
 // Errf builds a typed error with a formatted message.
-func Errf(kind ErrKind, format string, args ...interface{}) *Error {
-	return errs.Errf(kind, format, args...)
+func Errf(kind Kind, format string, args ...interface{}) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
 }
 
 // KindOf extracts the kind of an error: the Error's own kind when it is
 // (or wraps) one, KindCanceled for context cancellation/deadline errors,
 // KindInternal for anything else, and "" for nil.
-func KindOf(err error) ErrKind { return errs.KindOf(err) }
-
-// asTyped normalizes an arbitrary error into a typed one, so every error
-// leaving the engine carries a kind. Context errors become KindCanceled.
-func asTyped(err error) error {
+func KindOf(err error) Kind {
 	if err == nil {
-		return nil
+		return ""
 	}
 	var ce *Error
 	if errors.As(err, &ce) {
-		return err
+		return ce.Kind
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return &Error{Kind: KindCanceled, Msg: "operation canceled: " + err.Error(), Err: err}
+		return KindCanceled
 	}
-	return &Error{Kind: KindInternal, Msg: err.Error(), Err: err}
+	return KindInternal
 }

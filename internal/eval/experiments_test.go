@@ -253,6 +253,21 @@ func TestRunE9Shape(t *testing.T) {
 	}
 }
 
+func TestRunE10Shape(t *testing.T) {
+	tab := RunE10(tinyConfig(), []int{60}, 5)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E10 rows = %d, want 4 models", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 7 {
+			t.Fatalf("E10 row cells = %d", len(row))
+		}
+		if v := parseF(t, row[6]); v <= 0 {
+			t.Fatalf("E10 qps = %v", row[6])
+		}
+	}
+}
+
 func parseF(t *testing.T, s string) float64 {
 	t.Helper()
 	var v float64

@@ -94,6 +94,51 @@ func RunE8(cfg Config, scales []int, opsPerScale int) Table {
 	return t
 }
 
+// RunE10 measures raw retrieval latency of the four search models over
+// one shared frozen index per scale — the term-at-a-time scatter path
+// the keyword entry point runs on. Queries come from the same workload
+// generator the quality experiments use, so the latency numbers describe
+// realistic query shapes, not synthetic best cases.
+func RunE10(cfg Config, scales []int, queriesPerScale int) Table {
+	cfg = cfg.withDefaults()
+	if queriesPerScale <= 0 {
+		queriesPerScale = 50
+	}
+	t := Table{
+		ID:     "E10",
+		Title:  "Retrieval latency by model and scale (milliseconds)",
+		Header: []string{"scale(films)", "entities", "model", "p50", "p95", "p99", "qps"},
+	}
+	for _, scale := range scales {
+		env := NewEnv(scale, cfg.Seed)
+		eng := search.NewEngine(env.Graph)
+		rng := rand.New(rand.NewSource(cfg.Seed + 10))
+		queries := RetrievalWorkload(env.Graph, rng, queriesPerScale)
+		nEnts := len(env.Graph.Entities())
+		for _, model := range []search.Model{search.ModelMLM, search.ModelBM25F, search.ModelLMNames, search.ModelBoolean} {
+			var lat latencies
+			total := time.Duration(0)
+			for _, q := range queries {
+				start := time.Now()
+				_ = eng.Search(q.Text, 10, model)
+				d := time.Since(start)
+				lat.observe(d)
+				total += d
+			}
+			p50, p95, p99 := lat.percentiles()
+			qps := 0.0
+			if total > 0 {
+				qps = float64(len(queries)) / total.Seconds()
+			}
+			t.AddRow(fmt.Sprintf("%d", scale), fmt.Sprintf("%d", nEnts), model.String(),
+				fmt.Sprintf("%.3f", p50), fmt.Sprintf("%.3f", p95), fmt.Sprintf("%.3f", p99),
+				fmt.Sprintf("%.0f", qps))
+		}
+	}
+	t.Notes = "single-threaded; top-10 pages over the shared frozen index (term-at-a-time scatter scoring)"
+	return t
+}
+
 // RunE9 measures the scalability of the semantic-feature machinery and
 // index construction: build times and SF-operation throughput per scale.
 func RunE9(cfg Config, scales []int) Table {

@@ -289,10 +289,13 @@ func RunA3(env *Env, cfg Config) Table {
 		Title:  "Ablation: MLM field weights",
 		Header: []string{"weights", "MRR", "S@1"},
 	}
+	// One frozen index serves every weight variant: weights are query-time
+	// parameters, so the sweep shares the build via WithParams.
+	base := search.NewEngine(env.Graph)
 	for _, v := range variants {
 		p := search.DefaultParams()
 		p.FieldWeights = v.weights
-		eng := search.NewEngineWithParams(env.Graph, p)
+		eng := base.WithParams(p)
 		var m Metrics
 		s1 := 0.0
 		for _, q := range queries {

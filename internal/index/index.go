@@ -5,11 +5,22 @@
 // frequencies, per-field document lengths, and per-field collection
 // language models — exactly the statistics the mixture-of-language-models
 // retrieval model consumes.
+//
+// The index is built in two phases. A Builder accumulates documents into
+// per-field hash maps; Build then compacts everything into a frozen
+// representation: one sorted term dictionary shared by all fields
+// (string → dense TermID), flat CSR posting arrays per field (offsets
+// indexed by TermID into a contiguous doc/TF pair array), precomputed
+// per-(field, term) collection probabilities, and a per-term any-field
+// document-frequency table for BM25F. After Build no map is ever touched
+// on a read path: term lookup is one binary search over the dictionary,
+// and every statistic is an array load.
 package index
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pivote/internal/rdf"
 )
@@ -44,8 +55,22 @@ type Posting struct {
 	TF  int32
 }
 
-// fieldIndex holds the statistics of one field across the collection.
+// NoTerm is the TermID returned for out-of-vocabulary terms.
+const NoTerm int32 = -1
+
+// fieldIndex holds the frozen statistics of one field across the
+// collection: CSR postings over the shared term dictionary plus dense
+// per-document and per-term arrays.
 type fieldIndex struct {
+	offsets  []int32   // TermID → start in posts; len = NumTerms()+1
+	posts    []Posting // all posting runs, concatenated in TermID order
+	docLen   []int32   // doc ordinal → token length of this field
+	totalLen int64     // Σ docLen
+	collProb []float64 // TermID → collTF/totalLen (0 when term absent)
+}
+
+// builderField is the mutable accumulation state of one field.
+type builderField struct {
 	postings map[string][]Posting
 	docLen   []int32
 	totalLen int64
@@ -54,38 +79,41 @@ type fieldIndex struct {
 
 // Index is an immutable fielded inverted index. Build one with a Builder.
 type Index struct {
+	terms    []string // sorted term dictionary, shared by all fields
 	fields   [NumFields]fieldIndex
+	anyDF    []int32            // TermID → #docs containing the term in ≥1 field
 	entities []rdf.TermID       // doc ordinal → entity
-	docOf    map[rdf.TermID]int // entity → doc ordinal
+	docOf    map[rdf.TermID]int // entity → doc ordinal (not on the query path)
 }
 
 // Builder accumulates documents and produces an Index.
 type Builder struct {
-	idx *Index
+	fields   [NumFields]builderField
+	entities []rdf.TermID
+	docOf    map[rdf.TermID]int
 }
 
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
-	idx := &Index{docOf: map[rdf.TermID]int{}}
-	for f := range idx.fields {
-		idx.fields[f].postings = map[string][]Posting{}
-		idx.fields[f].collTF = map[string]int64{}
+	b := &Builder{docOf: map[rdf.TermID]int{}}
+	for f := range b.fields {
+		b.fields[f].postings = map[string][]Posting{}
+		b.fields[f].collTF = map[string]int64{}
 	}
-	return &Builder{idx: idx}
+	return b
 }
 
 // Add indexes one entity document given its per-field token streams.
 // Adding the same entity twice is a bug and panics.
 func (b *Builder) Add(entity rdf.TermID, tokens [NumFields][]string) {
-	idx := b.idx
-	if _, dup := idx.docOf[entity]; dup {
+	if _, dup := b.docOf[entity]; dup {
 		panic(fmt.Sprintf("index: entity %d added twice", entity))
 	}
-	doc := len(idx.entities)
-	idx.entities = append(idx.entities, entity)
-	idx.docOf[entity] = doc
+	doc := len(b.entities)
+	b.entities = append(b.entities, entity)
+	b.docOf[entity] = doc
 	for f := Field(0); f < NumFields; f++ {
-		fi := &idx.fields[f]
+		fi := &b.fields[f]
 		toks := tokens[f]
 		fi.docLen = append(fi.docLen, int32(len(toks)))
 		fi.totalLen += int64(len(toks))
@@ -109,16 +137,98 @@ func (b *Builder) Add(entity rdf.TermID, tokens [NumFields][]string) {
 	}
 }
 
-// Build finalizes and returns the index. The builder must not be used
-// afterwards.
+// Build freezes the accumulated documents into an Index and releases the
+// builder's maps. The builder must not be used afterwards.
 func (b *Builder) Build() *Index {
-	idx := b.idx
-	b.idx = nil
+	// One shared dictionary: the sorted union of every field's vocabulary.
+	seen := map[string]struct{}{}
+	for f := range b.fields {
+		for t := range b.fields[f].postings {
+			seen[t] = struct{}{}
+		}
+	}
+	terms := make([]string, 0, len(seen))
+	for t := range seen {
+		// Tokens are substrings of whole lowered source strings; clone so
+		// the frozen dictionary pins only its own bytes, not every source
+		// literal a rare term happened to occur in.
+		terms = append(terms, strings.Clone(t))
+	}
+	sort.Strings(terms)
+
+	idx := &Index{
+		terms:    terms,
+		anyDF:    make([]int32, len(terms)),
+		entities: b.entities,
+		docOf:    b.docOf,
+	}
+	for f := range b.fields {
+		bf := &b.fields[f]
+		fi := &idx.fields[f]
+		fi.docLen = bf.docLen
+		fi.totalLen = bf.totalLen
+		fi.offsets = make([]int32, len(terms)+1)
+		fi.collProb = make([]float64, len(terms))
+		total := 0
+		for tid, t := range terms {
+			fi.offsets[tid] = int32(total)
+			total += len(bf.postings[t])
+			if fi.totalLen > 0 {
+				if ctf, ok := bf.collTF[t]; ok {
+					fi.collProb[tid] = float64(ctf) / float64(fi.totalLen)
+				}
+			}
+		}
+		fi.offsets[len(terms)] = int32(total)
+		fi.posts = make([]Posting, 0, total)
+		for _, t := range terms {
+			fi.posts = append(fi.posts, bf.postings[t]...)
+		}
+		bf.postings = nil
+		bf.collTF = nil
+	}
+	// Any-field document frequency: the size of the union of the (sorted)
+	// per-field runs of each term — BM25F's df, computed once at build
+	// instead of via a per-query map.
+	runs := make([][]Posting, NumFields)
+	for tid := range terms {
+		n := 0
+		for f := range idx.fields {
+			runs[f] = idx.fields[f].postingsByID(int32(tid))
+		}
+		mergeRuns(runs, func(int) { n++ })
+		idx.anyDF[tid] = int32(n)
+	}
+	b.entities = nil
+	b.docOf = nil
 	return idx
+}
+
+func (fi *fieldIndex) postingsByID(tid int32) []Posting {
+	if tid < 0 {
+		return nil
+	}
+	return fi.posts[fi.offsets[tid]:fi.offsets[tid+1]]
 }
 
 // DocCount reports the number of indexed documents.
 func (x *Index) DocCount() int { return len(x.entities) }
+
+// NumTerms reports the size of the term dictionary.
+func (x *Index) NumTerms() int { return len(x.terms) }
+
+// Term returns the dictionary string of a TermID.
+func (x *Index) Term(tid int32) string { return x.terms[tid] }
+
+// LookupTerm resolves a term string to its dense TermID via binary search
+// over the frozen dictionary; NoTerm when out of vocabulary.
+func (x *Index) LookupTerm(term string) int32 {
+	i := sort.SearchStrings(x.terms, term)
+	if i < len(x.terms) && x.terms[i] == term {
+		return int32(i)
+	}
+	return NoTerm
+}
 
 // Entity maps a document ordinal back to its entity ID.
 func (x *Index) Entity(doc int) rdf.TermID { return x.entities[doc] }
@@ -132,11 +242,25 @@ func (x *Index) DocOf(e rdf.TermID) (int, bool) {
 // Postings returns the posting list of term in field f (ascending doc
 // order; shared slice, do not modify).
 func (x *Index) Postings(f Field, term string) []Posting {
-	return x.fields[f].postings[term]
+	ps := x.fields[f].postingsByID(x.LookupTerm(term))
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps
+}
+
+// PostingsByID is Postings keyed by the dense TermID — the scoring hot
+// path resolves each query term once and then reads only arrays.
+func (x *Index) PostingsByID(f Field, tid int32) []Posting {
+	return x.fields[f].postingsByID(tid)
 }
 
 // DocLen reports the token length of field f in document doc.
 func (x *Index) DocLen(f Field, doc int) int { return int(x.fields[f].docLen[doc]) }
+
+// DocLens exposes the dense per-document length array of field f
+// (shared slice, do not modify).
+func (x *Index) DocLens(f Field) []int32 { return x.fields[f].docLen }
 
 // AvgDocLen reports the mean token length of field f across documents.
 func (x *Index) AvgDocLen(f Field) float64 {
@@ -150,16 +274,29 @@ func (x *Index) AvgDocLen(f Field) float64 {
 // p(term | C_f): collection term frequency over total field length. It is
 // 0 for out-of-vocabulary terms.
 func (x *Index) CollectionProb(f Field, term string) float64 {
-	fi := &x.fields[f]
-	if fi.totalLen == 0 {
+	return x.CollProbByID(f, x.LookupTerm(term))
+}
+
+// CollProbByID is CollectionProb keyed by the dense TermID.
+func (x *Index) CollProbByID(f Field, tid int32) float64 {
+	if tid < 0 {
 		return 0
 	}
-	return float64(fi.collTF[term]) / float64(fi.totalLen)
+	return x.fields[f].collProb[tid]
 }
 
 // DocFreq reports the number of documents containing term in field f.
 func (x *Index) DocFreq(f Field, term string) int {
-	return len(x.fields[f].postings[term])
+	return len(x.fields[f].postingsByID(x.LookupTerm(term)))
+}
+
+// AnyFieldDocFreq reports the number of documents containing the term in
+// at least one field — BM25F's document frequency, precomputed at Build.
+func (x *Index) AnyFieldDocFreq(tid int32) int32 {
+	if tid < 0 {
+		return 0
+	}
+	return x.anyDF[tid]
 }
 
 // TotalLen reports the summed token length of field f.
@@ -167,27 +304,63 @@ func (x *Index) TotalLen(f Field) int64 { return x.fields[f].totalLen }
 
 // CandidateDocs returns the ascending, deduplicated set of documents that
 // contain at least one of the terms in at least one field — the candidate
-// pool every retrieval model scores.
+// pool every retrieval model scores. It is a k-way merge over the already
+// sorted CSR posting runs: no per-query map, no sort.
 func (x *Index) CandidateDocs(terms []string) []int {
-	seen := map[int]bool{}
+	runs := make([][]Posting, 0, len(terms)*int(NumFields))
 	for _, t := range terms {
+		tid := x.LookupTerm(t)
+		if tid < 0 {
+			continue
+		}
 		for f := Field(0); f < NumFields; f++ {
-			for _, p := range x.fields[f].postings[t] {
-				seen[p.Doc] = true
+			if ps := x.fields[f].postingsByID(tid); len(ps) > 0 {
+				runs = append(runs, ps)
 			}
 		}
 	}
-	out := make([]int, 0, len(seen))
-	for d := range seen {
-		out = append(out, d)
+	if len(runs) == 0 {
+		return nil
 	}
-	sort.Ints(out)
+	out := make([]int, 0, len(runs[0]))
+	mergeRuns(runs, func(doc int) { out = append(out, doc) })
 	return out
+}
+
+// mergeRuns walks the union of the sorted posting runs in ascending
+// document order, calling visit once per distinct document. It consumes
+// the run slices in place.
+func mergeRuns(runs [][]Posting, visit func(doc int)) {
+	for {
+		minDoc := -1
+		for _, r := range runs {
+			if len(r) > 0 && (minDoc < 0 || r[0].Doc < minDoc) {
+				minDoc = r[0].Doc
+			}
+		}
+		if minDoc < 0 {
+			return
+		}
+		visit(minDoc)
+		for i, r := range runs {
+			for len(r) > 0 && r[0].Doc == minDoc {
+				r = r[1:]
+			}
+			runs[i] = r
+		}
+	}
 }
 
 // TF returns the term frequency of term in (field, doc), 0 if absent.
 func (x *Index) TF(f Field, term string, doc int) int32 {
-	ps := x.fields[f].postings[term]
+	return x.TFByID(f, x.LookupTerm(term), doc)
+}
+
+// TFByID is TF keyed by the dense TermID: one binary search inside the
+// term's CSR run. The scatter scorer never calls this — it is the probe
+// primitive of the retained naive scorers.
+func (x *Index) TFByID(f Field, tid int32, doc int) int32 {
+	ps := x.fields[f].postingsByID(tid)
 	i := sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= doc })
 	if i < len(ps) && ps[i].Doc == doc {
 		return ps[i].TF

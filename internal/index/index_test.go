@@ -131,6 +131,129 @@ func TestCandidateDocs(t *testing.T) {
 	}
 }
 
+func TestTermDictionary(t *testing.T) {
+	x := buildTestIndex()
+	// The dictionary is the sorted union of every field's vocabulary.
+	for tid := 1; tid < x.NumTerms(); tid++ {
+		if x.Term(int32(tid-1)) >= x.Term(int32(tid)) {
+			t.Fatalf("dictionary not strictly sorted at %d: %q >= %q",
+				tid, x.Term(int32(tid-1)), x.Term(int32(tid)))
+		}
+	}
+	for _, term := range []string{"forrest", "american", "minutes", "geenbow", "howard"} {
+		tid := x.LookupTerm(term)
+		if tid < 0 {
+			t.Fatalf("LookupTerm(%q) = NoTerm", term)
+		}
+		if got := x.Term(tid); got != term {
+			t.Fatalf("Term(LookupTerm(%q)) = %q", term, got)
+		}
+	}
+	if x.LookupTerm("zzz") != NoTerm {
+		t.Fatal("LookupTerm of absent term should be NoTerm")
+	}
+}
+
+func TestPostingsByIDMatchesPostings(t *testing.T) {
+	x := buildTestIndex()
+	for f := Field(0); f < NumFields; f++ {
+		for tid := int32(0); tid < int32(x.NumTerms()); tid++ {
+			byID := x.PostingsByID(f, tid)
+			byTerm := x.Postings(f, x.Term(tid))
+			if len(byID) != len(byTerm) {
+				t.Fatalf("field %v term %q: %d vs %d postings", f, x.Term(tid), len(byID), len(byTerm))
+			}
+			for i := range byID {
+				if byID[i] != byTerm[i] {
+					t.Fatalf("field %v term %q posting %d differs", f, x.Term(tid), i)
+				}
+			}
+		}
+	}
+	if x.PostingsByID(FieldNames, NoTerm) != nil {
+		t.Fatal("PostingsByID(NoTerm) should be nil")
+	}
+}
+
+func TestAnyFieldDocFreq(t *testing.T) {
+	x := buildTestIndex()
+	// "tom" occurs in doc2 names and docs 0,1 related → 3 distinct docs.
+	if got := x.AnyFieldDocFreq(x.LookupTerm("tom")); got != 3 {
+		t.Fatalf("anyDF(tom) = %d, want 3", got)
+	}
+	// "forrest": doc0 names + doc2 related → 2.
+	if got := x.AnyFieldDocFreq(x.LookupTerm("forrest")); got != 2 {
+		t.Fatalf("anyDF(forrest) = %d, want 2", got)
+	}
+	// "minutes": attributes of docs 0 and 1 only → 2.
+	if got := x.AnyFieldDocFreq(x.LookupTerm("minutes")); got != 2 {
+		t.Fatalf("anyDF(minutes) = %d, want 2", got)
+	}
+	if got := x.AnyFieldDocFreq(NoTerm); got != 0 {
+		t.Fatalf("anyDF(NoTerm) = %d, want 0", got)
+	}
+}
+
+// The k-way-merge CandidateDocs and the build-time any-field df must
+// agree with the naive map-based reference on random corpora.
+func TestCandidateDocsAndAnyDFProperty(t *testing.T) {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g"}
+	f := func(docTokens [][]byte, queryRaw []byte) bool {
+		b := NewBuilder()
+		for i, raw := range docTokens {
+			var fields [NumFields][]string
+			for j, c := range raw {
+				fields[Field(j)%NumFields] = append(fields[Field(j)%NumFields], vocab[int(c)%len(vocab)])
+			}
+			b.Add(rdf.TermID(i+1), fields)
+		}
+		x := b.Build()
+		terms := make([]string, 0, len(queryRaw))
+		for _, c := range queryRaw {
+			terms = append(terms, vocab[int(c)%len(vocab)])
+		}
+		// Reference candidate set: the map-and-sort the merge replaced.
+		seen := map[int]bool{}
+		for _, t := range terms {
+			for fl := Field(0); fl < NumFields; fl++ {
+				for _, p := range x.Postings(fl, t) {
+					seen[p.Doc] = true
+				}
+			}
+		}
+		want := make([]int, 0, len(seen))
+		for d := range seen {
+			want = append(want, d)
+		}
+		sort.Ints(want)
+		got := x.CandidateDocs(terms)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Reference any-field df per term.
+		for _, term := range vocab {
+			docs := map[int]bool{}
+			for fl := Field(0); fl < NumFields; fl++ {
+				for _, p := range x.Postings(fl, term) {
+					docs[p.Doc] = true
+				}
+			}
+			if int(x.AnyFieldDocFreq(x.LookupTerm(term))) != len(docs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAddDuplicatePanics(t *testing.T) {
 	b := NewBuilder()
 	b.Add(1, [NumFields][]string{})

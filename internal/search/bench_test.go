@@ -1,0 +1,87 @@
+package search
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pivote/internal/kg"
+	"pivote/internal/synth"
+	"pivote/internal/text"
+)
+
+// The retrieval benchmarks run on a DBpedia-like synthetic corpus (~1.1k
+// entities at scale 500) rather than the hand-written fixture, so posting
+// lists are long enough for the scatter-vs-probe difference to show. The
+// *Naive benchmarks drive the retained pre-scatter scorers on the same
+// index — the before/after pair the README table quotes.
+
+var (
+	benchOnce   sync.Once
+	benchGraph  *kg.Graph
+	benchEngine *Engine
+)
+
+func getBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	benchOnce.Do(func() {
+		res := synth.Generate(synth.Scaled(500))
+		benchGraph = res.Graph
+		benchEngine = NewEngine(benchGraph)
+	})
+	return benchEngine
+}
+
+// benchQuery mixes a high-df term (american: most films), a person name
+// that matches names and related fields, and a mid-frequency term.
+const benchQuery = "tom hanks american films"
+
+func benchSearch(b *testing.B, model Model) {
+	e := getBenchEngine(b)
+	// Warm the scratch pool so steady-state allocations are measured.
+	if hits := e.Search(benchQuery, 10, model); len(hits) == 0 {
+		b.Fatal("no hits")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := e.Search(benchQuery, 10, model); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func benchSearchNaive(b *testing.B, model Model) {
+	e := getBenchEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Analyze inside the loop: the naive numbers measure the same
+		// full query path the scatter benchmarks do.
+		hits, err := e.searchNaive(ctx, text.Analyze(benchQuery), 10, model)
+		if err != nil || len(hits) == 0 {
+			b.Fatalf("hits=%d err=%v", len(hits), err)
+		}
+	}
+}
+
+func BenchmarkSearchMLM(b *testing.B)        { benchSearch(b, ModelMLM) }
+func BenchmarkSearchMLMNaive(b *testing.B)   { benchSearchNaive(b, ModelMLM) }
+func BenchmarkSearchBM25F(b *testing.B)      { benchSearch(b, ModelBM25F) }
+func BenchmarkSearchBM25FNaive(b *testing.B) { benchSearchNaive(b, ModelBM25F) }
+func BenchmarkSearchLMNames(b *testing.B)    { benchSearch(b, ModelLMNames) }
+func BenchmarkSearchBoolean(b *testing.B)    { benchSearch(b, ModelBoolean) }
+
+func BenchmarkIndexBuild(b *testing.B) {
+	e := getBenchEngine(b) // forces graph generation outside the timer
+	_ = e
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := BuildIndex(benchGraph)
+		if idx.DocCount() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}

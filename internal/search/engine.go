@@ -3,8 +3,8 @@ package search
 import (
 	"context"
 	"fmt"
-	"math"
 
+	"pivote/internal/errs"
 	"pivote/internal/index"
 	"pivote/internal/kg"
 	"pivote/internal/rdf"
@@ -97,6 +97,12 @@ func NewEngineWithParams(g *kg.Graph, p Params) *Engine {
 	return e
 }
 
+// WithParams returns an engine sharing this engine's frozen index with
+// different hyperparameters — parameter sweeps reuse one index build.
+func (e *Engine) WithParams(p Params) *Engine {
+	return &Engine{g: e.g, idx: e.idx, params: p}
+}
+
 // Index exposes the underlying index (read-only) for diagnostics.
 func (e *Engine) Index() *index.Index { return e.idx }
 
@@ -105,224 +111,50 @@ func (e *Engine) SetParams(p Params) { e.params = p }
 
 // Search runs the query under the given model and returns the top-k hits
 // in descending score order (ties broken by entity ID for determinism).
-// k <= 0 returns all matching entities.
+// k <= 0 returns all matching entities. Errors (invalid params, unknown
+// model) yield no hits.
 func (e *Engine) Search(query string, k int, model Model) []Hit {
 	hits, _ := e.SearchCtx(context.Background(), query, k, model)
 	return hits
 }
 
-// SearchCtx is Search with cancellation: the candidate-document scoring
-// loops check the context periodically and return its error instead of
-// partial hits when it fires.
+// SearchCtx is Search with cancellation: the scoring loops check the
+// context at posting-block granularity and return its error instead of
+// partial hits when it fires. Invalid parameters and unknown models
+// return a typed error of kind "invalid" — a bad Params can never take
+// down the server.
 func (e *Engine) SearchCtx(ctx context.Context, query string, k int, model Model) ([]Hit, error) {
 	terms := text.Analyze(query)
 	if len(terms) == 0 {
 		return nil, ctx.Err()
 	}
-	var scored []Hit
-	var err error
 	switch model {
-	case ModelMLM:
-		scored, err = e.scoreMLM(ctx, terms)
-	case ModelBM25F:
-		scored, err = e.scoreBM25F(ctx, terms)
-	case ModelLMNames:
-		scored, err = e.scoreLMNames(ctx, terms)
-	case ModelBoolean:
-		scored, err = e.scoreBoolean(ctx, terms)
+	case ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean:
 	default:
-		panic(fmt.Sprintf("search: unknown model %d", int(model)))
+		return nil, errs.Errf(errs.KindInvalid, "search: unknown model %d", int(model))
 	}
-	if err != nil {
-		return nil, err
-	}
-	return topK(scored, k), nil
+	return e.searchScatter(ctx, terms, k, model)
 }
 
-// checkEvery is how many candidate documents a scoring loop processes
-// between context checks.
+// checkEvery is how many candidate documents the retained naive scoring
+// loops process between context checks.
 const checkEvery = 1024
 
-// normWeights returns the field weights normalized to sum to 1.
-func (e *Engine) normWeights() [index.NumFields]float64 {
+// normWeights returns the field weights normalized to sum to 1, or a
+// typed "invalid" error when they are all zero (or sum non-positive).
+func (e *Engine) normWeights() ([index.NumFields]float64, error) {
 	var w [index.NumFields]float64
 	sum := 0.0
 	for _, v := range e.params.FieldWeights {
 		sum += v
 	}
 	if sum <= 0 {
-		panic("search: all-zero field weights")
+		return w, errs.Errf(errs.KindInvalid, "search: all-zero field weights")
 	}
 	for f, v := range e.params.FieldWeights {
 		w[f] = v / sum
 	}
-	return w
-}
-
-// scoreMLM implements the paper's mixture of language models: the score
-// of a document is Σ_t log Σ_f w_f · p(t|θ_{d,f}) with per-field
-// Dirichlet-smoothed document models. Terms that are out of vocabulary in
-// every field contribute nothing (instead of -∞), which keeps multi-term
-// queries robust — the "error-tolerant" behaviour keyword search needs.
-func (e *Engine) scoreMLM(ctx context.Context, terms []string) ([]Hit, error) {
-	w := e.normWeights()
-	mu := e.params.Mu
-	var collProb [index.NumFields]map[string]float64
-	for f := index.Field(0); f < index.NumFields; f++ {
-		collProb[f] = map[string]float64{}
-		for _, t := range terms {
-			collProb[f][t] = e.idx.CollectionProb(f, t)
-		}
-	}
-	docs := e.idx.CandidateDocs(terms)
-	hits := make([]Hit, 0, len(docs))
-	for i, d := range docs {
-		if i%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		score := 0.0
-		matched := false
-		for _, t := range terms {
-			mix := 0.0
-			for f := index.Field(0); f < index.NumFields; f++ {
-				cp := collProb[f][t]
-				if cp == 0 && e.idx.TF(f, t, d) == 0 {
-					continue
-				}
-				dl := float64(e.idx.DocLen(f, d))
-				p := (float64(e.idx.TF(f, t, d)) + mu*cp) / (dl + mu)
-				mix += w[f] * p
-			}
-			if mix > 0 {
-				score += math.Log(mix)
-				matched = true
-			}
-		}
-		if matched {
-			hits = append(hits, e.hit(d, score))
-		}
-	}
-	return hits, nil
-}
-
-// scoreBM25F implements the weighted-field BM25 variant: per-field term
-// frequencies are length-normalized, weighted and summed into a pseudo
-// frequency that feeds the usual BM25 saturation, with document frequency
-// computed over any-field occurrence.
-func (e *Engine) scoreBM25F(ctx context.Context, terms []string) ([]Hit, error) {
-	w := e.normWeights()
-	k1, b := e.params.K1, e.params.B
-	n := float64(e.idx.DocCount())
-	df := map[string]float64{}
-	for _, t := range terms {
-		seen := map[int]bool{}
-		for f := index.Field(0); f < index.NumFields; f++ {
-			for _, p := range e.idx.Postings(f, t) {
-				seen[p.Doc] = true
-			}
-		}
-		df[t] = float64(len(seen))
-	}
-	docs := e.idx.CandidateDocs(terms)
-	hits := make([]Hit, 0, len(docs))
-	for i, d := range docs {
-		if i%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		score := 0.0
-		for _, t := range terms {
-			if df[t] == 0 {
-				continue
-			}
-			pseudoTF := 0.0
-			for f := index.Field(0); f < index.NumFields; f++ {
-				tf := float64(e.idx.TF(f, t, d))
-				if tf == 0 {
-					continue
-				}
-				avg := e.idx.AvgDocLen(f)
-				norm := 1.0
-				if avg > 0 {
-					norm = 1 - b + b*float64(e.idx.DocLen(f, d))/avg
-				}
-				pseudoTF += w[f] * tf / norm
-			}
-			if pseudoTF == 0 {
-				continue
-			}
-			idf := math.Log((n-df[t]+0.5)/(df[t]+0.5) + 1)
-			score += idf * pseudoTF / (k1 + pseudoTF)
-		}
-		if score > 0 {
-			hits = append(hits, e.hit(d, score))
-		}
-	}
-	return hits, nil
-}
-
-// scoreLMNames is the single-field query-likelihood baseline over names.
-func (e *Engine) scoreLMNames(ctx context.Context, terms []string) ([]Hit, error) {
-	mu := e.params.Mu
-	docs := e.idx.CandidateDocs(terms)
-	hits := make([]Hit, 0, len(docs))
-	for i, d := range docs {
-		if i%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		score := 0.0
-		matched := false
-		for _, t := range terms {
-			cp := e.idx.CollectionProb(index.FieldNames, t)
-			tf := float64(e.idx.TF(index.FieldNames, t, d))
-			if cp == 0 && tf == 0 {
-				continue
-			}
-			dl := float64(e.idx.DocLen(index.FieldNames, d))
-			score += math.Log((tf + mu*cp) / (dl + mu))
-			matched = true
-		}
-		if matched && score != 0 {
-			hits = append(hits, e.hit(d, score))
-		}
-	}
-	return hits, nil
-}
-
-// scoreBoolean keeps documents containing every term (in any field) and
-// ranks them by summed term frequency.
-func (e *Engine) scoreBoolean(ctx context.Context, terms []string) ([]Hit, error) {
-	docs := e.idx.CandidateDocs(terms)
-	hits := make([]Hit, 0, len(docs))
-	for i, d := range docs {
-		if i%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		total := int32(0)
-		all := true
-		for _, t := range terms {
-			tf := int32(0)
-			for f := index.Field(0); f < index.NumFields; f++ {
-				tf += e.idx.TF(f, t, d)
-			}
-			if tf == 0 {
-				all = false
-				break
-			}
-			total += tf
-		}
-		if all {
-			hits = append(hits, e.hit(d, float64(total)))
-		}
-	}
-	return hits, nil
+	return w, nil
 }
 
 func (e *Engine) hit(doc int, score float64) Hit {
@@ -330,12 +162,15 @@ func (e *Engine) hit(doc int, score float64) Hit {
 	return Hit{Entity: ent, Name: e.g.Name(ent), Score: score}
 }
 
+// lessHit orders hits descending by score, ties by entity ID.
+func lessHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Entity < b.Entity
+}
+
 // topK selects the k best hits via the shared bounded-heap helper.
 func topK(hits []Hit, k int) []Hit {
-	return topk.Select(hits, k, func(a, b Hit) bool {
-		if a.Score != b.Score {
-			return a.Score > b.Score
-		}
-		return a.Entity < b.Entity
-	})
+	return topk.Select(hits, k, lessHit)
 }

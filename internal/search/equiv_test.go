@@ -1,0 +1,243 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pivote/internal/synth"
+	"pivote/internal/text"
+)
+
+// The scatter scorers must reproduce the retained naive document-at-a-
+// time scorers exactly — same hits, same order, and byte-identical score
+// floats, which the scatter path guarantees by replicating the naive
+// inner loop's field-by-field arithmetic per (document, term). Unlike
+// the expansion equivalence suite (which tolerates round-off because its
+// scatter reorders additions), this one compares with ==.
+
+// equivQueries mixes the shapes keyword search must survive: exact
+// names, partial names, cross-field matches, duplicated terms, OOV terms
+// mixed with known ones, single terms with huge posting lists.
+var equivQueries = []string{
+	"forrest gump",
+	"tom hanks",
+	"tom hanks american",
+	"american films",
+	"films",
+	"gump gump",
+	"zzzyqx forrest",
+	"geenbow",
+	"university city drama",
+	"the of",
+}
+
+func buildEquivEngine(tb testing.TB, films int) *Engine {
+	tb.Helper()
+	res := synth.Generate(synth.Scaled(films))
+	return NewEngine(res.Graph)
+}
+
+func sameHits(t *testing.T, label string, got, want []Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d hits, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d mismatch:\ngot:  %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestScatterEquivalenceAllModels(t *testing.T) {
+	e := buildEquivEngine(t, 150)
+	ctx := context.Background()
+	for _, model := range []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean} {
+		for _, q := range equivQueries {
+			for _, k := range []int{10, 3, 0} {
+				label := fmt.Sprintf("%v %q k=%d", model, q, k)
+				got, err := e.SearchCtx(ctx, q, k, model)
+				if err != nil {
+					t.Fatalf("%s: scatter error %v", label, err)
+				}
+				terms := text.Analyze(q)
+				if len(terms) == 0 {
+					continue
+				}
+				want, err := e.searchNaive(ctx, terms, k, model)
+				if err != nil {
+					t.Fatalf("%s: naive error %v", label, err)
+				}
+				sameHits(t, label, got, want)
+			}
+		}
+	}
+}
+
+// Equivalence must also hold under non-default hyperparameters — skewed
+// weights zero out fields, μ=0 removes the background mass entirely.
+func TestScatterEquivalenceParamVariants(t *testing.T) {
+	base := buildEquivEngine(t, 80)
+	variants := []func(*Params){
+		func(p *Params) { p.Mu = 0 },
+		func(p *Params) { p.Mu = 5000 },
+		func(p *Params) {
+			p.FieldWeights = [5]float64{}
+			p.FieldWeights[0] = 1 // names only
+		},
+		func(p *Params) {
+			p.FieldWeights = [5]float64{}
+			p.FieldWeights[4] = 1 // related only
+		},
+		func(p *Params) { p.K1 = 0.1; p.B = 0 },
+	}
+	ctx := context.Background()
+	for vi, mod := range variants {
+		p := DefaultParams()
+		mod(&p)
+		e := base.WithParams(p)
+		for _, model := range []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean} {
+			for _, q := range []string{"tom hanks american", "forrest gump", "films"} {
+				label := fmt.Sprintf("variant=%d %v %q", vi, model, q)
+				got, err := e.SearchCtx(ctx, q, 10, model)
+				if err != nil {
+					t.Fatalf("%s: scatter error %v", label, err)
+				}
+				want, err := e.searchNaive(ctx, text.Analyze(q), 10, model)
+				if err != nil {
+					t.Fatalf("%s: naive error %v", label, err)
+				}
+				sameHits(t, label, got, want)
+			}
+		}
+	}
+}
+
+// One shared frozen index must serve concurrent SearchCtx calls: the
+// scratch pool hands every goroutine its own epochs. Run with -race.
+func TestConcurrentSearchSharedIndex(t *testing.T) {
+	e := buildEquivEngine(t, 60)
+	ctx := context.Background()
+	// Reference rankings computed single-threaded.
+	type key struct {
+		q string
+		m Model
+	}
+	want := map[key][]Hit{}
+	for _, q := range equivQueries {
+		for _, m := range []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean} {
+			hits, err := e.SearchCtx(ctx, q, 10, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{q, m}] = hits
+		}
+	}
+	workers := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := equivQueries[(w+i)%len(equivQueries)]
+				m := []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean}[(w+i)%4]
+				hits, err := e.SearchCtx(ctx, q, 10, m)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				ref := want[key{q, m}]
+				if len(hits) != len(ref) {
+					errCh <- fmt.Errorf("%v %q: %d hits, want %d", m, q, len(hits), len(ref))
+					return
+				}
+				for j := range ref {
+					if hits[j] != ref[j] {
+						errCh <- fmt.Errorf("%v %q: rank %d = %+v, want %+v", m, q, j, hits[j], ref[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// errAfter is a context whose Err fires from the nth poll onward —
+// deterministic in-flight cancellation, independent of timing.
+type errAfter struct {
+	context.Context
+	n     int64
+	calls atomic.Int64
+}
+
+func (c *errAfter) Err() error {
+	if c.calls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSearchCancellation(t *testing.T) {
+	e := buildEquivEngine(t, 60)
+
+	// Pre-canceled: no hits, the context's error.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean} {
+		hits, err := e.SearchCtx(canceled, "american films", 10, m)
+		if err != context.Canceled || hits != nil {
+			t.Fatalf("%v: pre-canceled returned (%v, %v)", m, hits, err)
+		}
+	}
+
+	// In-flight: cancel at every possible poll count until the query
+	// survives, covering cancellation points from candidate collection
+	// through every scatter and fold pass. After each canceled run the
+	// same engine must still answer the query identically to an
+	// untouched engine — an abandoned pass may not corrupt the pooled
+	// scratch.
+	fresh := buildEquivEngine(t, 60)
+	const q = "tom hanks american films"
+	for _, m := range []Model{ModelMLM, ModelBM25F, ModelLMNames, ModelBoolean} {
+		want, err := fresh.SearchCtx(context.Background(), q, 10, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		completedAt := int64(-1)
+		for n := int64(0); n < 200; n++ {
+			ctx := &errAfter{Context: context.Background(), n: n}
+			hits, err := e.SearchCtx(ctx, q, 10, m)
+			if err == nil {
+				completedAt = n
+				sameHits(t, fmt.Sprintf("%v complete n=%d", m, n), hits, want)
+				break
+			}
+			if err != context.Canceled {
+				t.Fatalf("%v n=%d: err = %v", m, n, err)
+			}
+			if hits != nil {
+				t.Fatalf("%v n=%d: partial hits returned alongside error", m, n)
+			}
+			// Scratch state intact: a clean run right after the abort.
+			got, err := e.SearchCtx(context.Background(), q, 10, m)
+			if err != nil {
+				t.Fatalf("%v n=%d: post-cancel query failed: %v", m, n, err)
+			}
+			sameHits(t, fmt.Sprintf("%v post-cancel n=%d", m, n), got, want)
+		}
+		if completedAt < 1 {
+			t.Fatalf("%v: query never completed within poll budget (completedAt=%d)", m, completedAt)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"strings"
 	"testing"
 
+	"pivote/internal/errs"
 	"pivote/internal/index"
 	"pivote/internal/kgtest"
 )
@@ -202,17 +205,29 @@ func TestFieldWeightsChangeRanking(t *testing.T) {
 	}
 }
 
-func TestAllZeroWeightsPanics(t *testing.T) {
+func TestAllZeroWeightsTypedError(t *testing.T) {
 	f := kgtest.Build()
 	p := DefaultParams()
 	p.FieldWeights = [index.NumFields]float64{}
 	e := NewEngineWithParams(f.Graph, p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("all-zero weights did not panic")
+	for _, model := range []Model{ModelMLM, ModelBM25F} {
+		hits, err := e.SearchCtx(context.Background(), "gump", 1, model)
+		if hits != nil {
+			t.Fatalf("%v: got hits %v with invalid params", model, hits)
 		}
-	}()
-	e.Search("gump", 1, ModelMLM)
+		var te *errs.Error
+		if !errors.As(err, &te) || te.Kind != errs.KindInvalid {
+			t.Fatalf("%v: err = %v, want typed %q error", model, err, errs.KindInvalid)
+		}
+	}
+	// The panic-free contract also holds on the plain Search wrapper.
+	if hits := e.Search("gump", 1, ModelMLM); hits != nil {
+		t.Fatalf("Search with invalid params returned %v", hits)
+	}
+	// Models that do not consume field weights still work.
+	if hits := e.Search("forrest gump", 1, ModelBoolean); len(hits) == 0 {
+		t.Fatal("boolean model should ignore field weights")
+	}
 }
 
 func TestMLMScoresAreFiniteNegative(t *testing.T) {
@@ -238,25 +253,15 @@ func TestModelString(t *testing.T) {
 	}
 }
 
-func TestUnknownModelPanics(t *testing.T) {
+func TestUnknownModelTypedError(t *testing.T) {
 	f := kgtest.Build()
 	e := NewEngine(f.Graph)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown model did not panic")
-		}
-	}()
-	e.Search("gump", 1, Model(42))
-}
-
-func BenchmarkSearchMLM(b *testing.B) {
-	f := kgtest.Build()
-	e := NewEngine(f.Graph)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if hits := e.Search("tom hanks american", 10, ModelMLM); len(hits) == 0 {
-			b.Fatal("no hits")
-		}
+	hits, err := e.SearchCtx(context.Background(), "gump", 1, Model(42))
+	if hits != nil {
+		t.Fatalf("unknown model returned hits %v", hits)
+	}
+	var te *errs.Error
+	if !errors.As(err, &te) || te.Kind != errs.KindInvalid {
+		t.Fatalf("err = %v, want typed %q error", err, errs.KindInvalid)
 	}
 }

@@ -13,38 +13,60 @@ import (
 
 // Tokenize splits s into lowercase tokens at non-letter/digit boundaries.
 // Underscores separate tokens too, so IRI local names such as
-// "Forrest_Gump" analyze identically to their labels.
+// "Forrest_Gump" analyze identically to their labels. Tokens are
+// substrings of one shared lowercased copy: two passes (count, slice)
+// instead of a string build per token keeps the query hot path at two
+// allocations.
 func Tokenize(s string) []string {
-	var out []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			out = append(out, b.String())
-			b.Reset()
-		}
-	}
-	for _, r := range s {
+	lower := strings.ToLower(s)
+	n := 0
+	inTok := false
+	for _, r := range lower {
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-			continue
+			if !inTok {
+				n++
+				inTok = true
+			}
+		} else {
+			inTok = false
 		}
-		flush()
 	}
-	flush()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	start := -1
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			out = append(out, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, lower[start:])
+	}
 	return out
 }
 
-// stopwords is a minimal English function-word list; it is intentionally
-// short because entity labels are title-like and rarely contain them.
-var stopwords = map[string]bool{
-	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
-	"at": true, "by": true, "for": true, "to": true, "and": true, "or": true,
-	"is": true, "was": true, "are": true, "be": true, "with": true, "as": true,
-	"it": true, "its": true, "that": true, "this": true, "from": true,
+// IsStopword reports whether the lowercase token is one of a minimal
+// English function-word list; the list is intentionally short because
+// entity labels are title-like and rarely contain them. A string switch
+// (compare tree) rather than a map keeps the query path free of hash
+// probes.
+func IsStopword(tok string) bool {
+	switch tok {
+	case "a", "an", "the", "of", "in", "on",
+		"at", "by", "for", "to", "and", "or",
+		"is", "was", "are", "be", "with", "as",
+		"it", "its", "that", "this", "from":
+		return true
+	}
+	return false
 }
-
-// IsStopword reports whether the lowercase token is a stopword.
-func IsStopword(tok string) bool { return stopwords[tok] }
 
 // Analyze tokenizes s and removes stopwords. If every token is a
 // stopword the tokens are kept, so queries like "The Who" stay matchable.
@@ -52,7 +74,7 @@ func Analyze(s string) []string {
 	toks := Tokenize(s)
 	kept := make([]string, 0, len(toks))
 	for _, t := range toks {
-		if !stopwords[t] {
+		if !IsStopword(t) {
 			kept = append(kept, t)
 		}
 	}

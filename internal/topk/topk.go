@@ -55,6 +55,65 @@ func Select[T any](items []T, k int, less func(a, b T) bool) []T {
 	return h
 }
 
+// Heap is the streaming counterpart of Select: push candidates one at a
+// time and read the k best at the end, without ever materializing the
+// full candidate list. A zero Heap is unusable — call Reset first. The
+// backing array is retained across Resets, so a pooled Heap adds zero
+// allocations per query once warm.
+type Heap[T any] struct {
+	k     int
+	less  func(a, b T) bool
+	items []T
+}
+
+// Reset prepares the heap for a new selection of the k best under less
+// (k <= 0 keeps everything), reusing the backing array.
+func (h *Heap[T]) Reset(k int, less func(a, b T) bool) {
+	h.k = k
+	h.less = less
+	h.items = h.items[:0]
+}
+
+// Push offers one candidate.
+func (h *Heap[T]) Push(x T) {
+	if h.k <= 0 || len(h.items) < h.k {
+		h.items = append(h.items, x)
+		if h.k > 0 && len(h.items) == h.k {
+			// Full: heapify into a max-heap whose root is the worst kept
+			// element (same shape Select builds in one shot).
+			worse := func(a, b T) bool { return h.less(b, a) }
+			for i := h.k/2 - 1; i >= 0; i-- {
+				siftDown(h.items, i, worse)
+			}
+		}
+		return
+	}
+	if h.less(x, h.items[0]) {
+		h.items[0] = x
+		siftDown(h.items, 0, func(a, b T) bool { return h.less(b, a) })
+	}
+}
+
+// Len reports how many elements are currently kept.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Sorted sorts the kept elements best-first and returns them. The slice
+// aliases the heap's backing array: copy it out if it must survive the
+// next Reset.
+func (h *Heap[T]) Sorted() []T {
+	slices.SortFunc(h.items, func(a, b T) int {
+		switch {
+		case h.less(a, b):
+			return -1
+		case h.less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	return h.items
+}
+
 // siftDown restores the heap property at root i, where best(a, b) means a
 // should be nearer the root.
 func siftDown[T any](h []T, i int, best func(a, b T) bool) {

@@ -33,6 +33,53 @@ func TestSelectMatchesFullSort(t *testing.T) {
 	}
 }
 
+func TestHeapMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	less := func(a, b int) bool { return a < b }
+	var h Heap[int]
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(25)
+		}
+		k := rng.Intn(n + 10)
+		want := Select(append([]int(nil), items...), k, less)
+		h.Reset(k, less)
+		for _, x := range items {
+			h.Push(x)
+		}
+		got := h.Sorted()
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d: got %d items, want %d", n, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestHeapReuseAcrossResets(t *testing.T) {
+	var h Heap[int]
+	less := func(a, b int) bool { return a < b }
+	h.Reset(2, less)
+	for _, x := range []int{5, 1, 4, 2, 3} {
+		h.Push(x)
+	}
+	if got := h.Sorted(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("first use: %v", got)
+	}
+	h.Reset(0, less)
+	for _, x := range []int{9, 7, 8} {
+		h.Push(x)
+	}
+	if got := h.Sorted(); len(got) != 3 || got[0] != 7 {
+		t.Fatalf("k=0 reuse: %v", got)
+	}
+}
+
 func TestSelectZeroAndOversizedK(t *testing.T) {
 	items := []int{3, 1, 2}
 	if got := Select(append([]int(nil), items...), 0, func(a, b int) bool { return a < b }); len(got) != 3 || got[0] != 1 {
