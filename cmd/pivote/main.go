@@ -5,14 +5,26 @@
 //
 //	pivote [-addr :8080] [-scale 2000] [-seed 42]          # synthetic KG
 //	pivote [-addr :8080] -load graph.nt                    # real N-Triples
+//	pivote [-addr :8080] -live                             # enable live ingest
+//
+// With -live the graph accepts writes at runtime (POST /api/v1/ingest);
+// a background compactor folds them into fresh generations without ever
+// blocking readers. The server always shuts down gracefully: SIGINT or
+// SIGTERM stops accepting connections, drains in-flight operations for
+// up to -drain, then stops the compactor.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pivote"
 	"pivote/internal/core"
@@ -27,6 +39,8 @@ func main() {
 	topEntities := flag.Int("entities", 20, "x-axis size")
 	topFeatures := flag.Int("features", 15, "y-axis size")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent user sessions kept in memory")
+	live := flag.Bool("live", false, "enable the live ingest write path (POST /api/v1/ingest)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	var g *pivote.Graph
@@ -44,7 +58,43 @@ func main() {
 	fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
 		len(g.Entities()), g.Store().Len())
 
-	m := server.NewMulti(g, core.Options{TopEntities: *topEntities, TopFeatures: *topFeatures}, *maxSessions)
-	fmt.Fprintf(os.Stderr, "PivotE listening on http://localhost%s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, m.Handler()))
+	opts := core.Options{TopEntities: *topEntities, TopFeatures: *topFeatures}
+	var sh *core.Shared
+	if *live {
+		sh = core.NewLiveShared(g, opts)
+		fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+	} else {
+		sh = core.NewShared(g, opts)
+	}
+	m := server.NewMultiShared(sh, opts, *maxSessions)
+
+	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "PivotE listening on http://localhost%s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure; the compactor is still
+		// running, so shut it down before exiting.
+		_ = sh.Close()
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	if err := sh.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "bye")
 }

@@ -15,6 +15,7 @@ import (
 	"pivote/internal/expand"
 	"pivote/internal/heatmap"
 	"pivote/internal/kg"
+	"pivote/internal/live"
 	"pivote/internal/rdf"
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
@@ -74,58 +75,118 @@ type Result struct {
 	Heat *heatmap.Matrix
 	// Timeline is the query history (g).
 	Timeline []session.Action
+
+	// g is the generation's graph this result was computed on, so
+	// rendering (names, types) agrees with the ranking even if a
+	// compaction swap lands before the transport serializes it.
+	g *kg.Graph
 }
 
-// Shared is the session-independent read core over one graph: the
-// frozen keyword search index (term dictionary + CSR postings +
-// precomputed collection statistics, built once at construction) and the
-// semantic-feature cache. Both are safe for concurrent use — retrieval
-// scores term-at-a-time into pooled scratch, so one Shared serves every
-// session of a process and per-session engines carry only the (cheap,
-// mutable) session state. Building and freezing the search index and
-// warming feature extents happen once per graph instead of once per
-// user.
+// Graph returns the graph the result was evaluated against — the
+// engine's pinned generation at evaluation time.
+func (r *Result) Graph() *kg.Graph { return r.g }
+
+// Shared is the session-independent read core over one graph,
+// generation-aware since the live-ingest subsystem: it is backed by a
+// live.Store whose current generation bundles the frozen keyword search
+// index, the KG tables and the semantic-feature cache. In the static
+// configuration (NewShared) there is exactly one generation and nothing
+// else ever runs; in the live configuration (NewLiveShared) ingest
+// batches accumulate in the store's delta log and a background compactor
+// publishes fresh generations with an RCU swap. Every accessor reads the
+// current generation; engines pin one generation per operation so a
+// request never observes a half-switched graph.
 type Shared struct {
-	g        *kg.Graph
-	searcher *search.Engine
-	features *semfeat.FeatureCache
+	ls     *live.Store
+	ingest bool
 }
 
 // NewShared builds the shared read core: the search index over the
-// graph's entity universe plus an empty feature cache.
+// graph's entity universe plus an empty feature cache, wrapped as the
+// sole generation of a (write-disabled) live store. No goroutines are
+// spawned.
 func NewShared(g *kg.Graph, opts Options) *Shared {
 	opts = opts.withDefaults()
-	var searcher *search.Engine
-	if opts.SearchParams != nil {
-		searcher = search.NewEngineWithParams(g, *opts.SearchParams)
-	} else {
-		searcher = search.NewEngine(g)
+	return &Shared{
+		ls: live.NewStore(g, live.Config{SearchParams: opts.SearchParams}),
 	}
-	return &Shared{g: g, searcher: searcher, features: semfeat.NewFeatureCache(g)}
 }
 
-// Graph exposes the knowledge graph.
-func (sh *Shared) Graph() *kg.Graph { return sh.g }
+// NewLiveShared is NewShared with the write path enabled: ingest batches
+// are accepted and a background compactor folds them into fresh
+// generations. Call Close on shutdown to stop the compactor.
+func NewLiveShared(g *kg.Graph, opts Options) *Shared {
+	sh := NewShared(g, opts)
+	sh.ingest = true
+	sh.ls.StartCompactor()
+	return sh
+}
 
-// Searcher exposes the shared keyword search engine.
-func (sh *Shared) Searcher() *search.Engine { return sh.searcher }
+// Live exposes the generational store backing this core.
+func (sh *Shared) Live() *live.Store { return sh.ls }
 
-// FeatureCache exposes the shared semantic-feature cache.
-func (sh *Shared) FeatureCache() *semfeat.FeatureCache { return sh.features }
+// IngestEnabled reports whether this core accepts live ingest.
+func (sh *Shared) IngestEnabled() bool { return sh.ingest }
+
+// Close stops the background compactor (if any) and rejects further
+// ingest. Reads remain valid forever.
+func (sh *Shared) Close() error { return sh.ls.Close() }
+
+// Generation returns the current generation.
+func (sh *Shared) Generation() *live.Generation { return sh.ls.Generation() }
+
+// Graph exposes the current generation's knowledge graph.
+func (sh *Shared) Graph() *kg.Graph { return sh.Generation().Graph }
+
+// Searcher exposes the current generation's keyword search engine.
+func (sh *Shared) Searcher() *search.Engine { return sh.Generation().Searcher }
+
+// FeatureCache exposes the current generation's semantic-feature cache.
+func (sh *Shared) FeatureCache() *semfeat.FeatureCache { return sh.Generation().Features }
 
 // Engine is a single-user PivotE instance: per-session query state over
 // the shared read core. Methods that mutate the session are not safe for
 // concurrent use; the HTTP server serializes them per session and lets
 // read-only evaluation run concurrently.
+//
+// Every operation pins the generation that is current when it starts and
+// uses it end to end — validation, ranking and rendering all see one
+// immutable graph even if the compactor swaps mid-request. The pin is a
+// local value, never stored on the engine, so an idle session retains no
+// old generation: the RCU reclaim ("GC frees a generation once the last
+// pinned reader drops it") is bounded by in-flight operations, not by
+// session lifetime. Building a pin is three small allocations — the
+// per-generation wrappers (feature engine, expander) are plain structs
+// over the generation's shared cache.
 type Engine struct {
+	shared *Shared
+	sess   *session.Session
+	log    []Op // every successfully applied op, in order
+	opts   Options
+}
+
+// pin is one generation plus the session-options wrappers over it.
+type pin struct {
+	gen      *live.Generation
 	g        *kg.Graph
-	shared   *Shared
 	searcher *search.Engine
 	feats    *semfeat.Engine
 	expander *expand.Expander
-	sess     *session.Session
-	log      []Op // every successfully applied op, in order
-	opts     Options
+}
+
+// pinGen captures the current generation for one operation. Safe for
+// concurrent use; callers hold the returned pin for the duration of the
+// operation and then drop it.
+func (e *Engine) pinGen() *pin {
+	gen := e.shared.Generation()
+	fe := semfeat.NewEngineWithCache(gen.Features, e.opts.Features)
+	return &pin{
+		gen:      gen,
+		g:        gen.Graph,
+		searcher: gen.Searcher,
+		feats:    fe,
+		expander: expand.New(fe, *e.opts.Expand),
+	}
 }
 
 // New builds an engine over the graph, constructing a private shared
@@ -141,29 +202,24 @@ func New(g *kg.Graph, opts Options) *Engine {
 // the shared core; opts.SearchParams is ignored here.
 func NewWithShared(sh *Shared, opts Options) *Engine {
 	opts = opts.withDefaults()
-	fe := semfeat.NewEngineWithCache(sh.features, opts.Features)
 	return &Engine{
-		g:        sh.g,
-		shared:   sh,
-		searcher: sh.searcher,
-		feats:    fe,
-		expander: expand.New(fe, *opts.Expand),
-		sess:     session.New(),
-		opts:     opts,
+		shared: sh,
+		sess:   session.New(),
+		opts:   opts,
 	}
 }
 
 // Shared exposes the shared read core this engine runs on.
 func (e *Engine) Shared() *Shared { return e.shared }
 
-// Graph exposes the knowledge graph.
-func (e *Engine) Graph() *kg.Graph { return e.g }
+// Graph exposes the knowledge graph (of the current generation).
+func (e *Engine) Graph() *kg.Graph { return e.pinGen().g }
 
 // Features exposes the semantic-feature engine (for explanations).
-func (e *Engine) Features() *semfeat.Engine { return e.feats }
+func (e *Engine) Features() *semfeat.Engine { return e.pinGen().feats }
 
 // Searcher exposes the keyword search engine.
-func (e *Engine) Searcher() *search.Engine { return e.searcher }
+func (e *Engine) Searcher() *search.Engine { return e.pinGen().searcher }
 
 // Session exposes the session (read-mostly; use Engine methods to act).
 func (e *Engine) Session() *session.Session { return e.sess }
@@ -193,6 +249,9 @@ func (e *Engine) ApplyFields(ctx context.Context, op Op, fields Fields) (*Result
 // what makes op-log replay and the /api/v1/ops batch endpoint cheap: a
 // k-op batch costs k session updates plus one evaluation, not k.
 func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result, int, error) {
+	// One pin for the whole batch: validation and evaluation see the same
+	// generation even if a compaction swap lands mid-batch.
+	p := e.pinGen()
 	mark := e.sess.Mark()
 	logLen := len(e.log)
 	rewind := func() {
@@ -204,13 +263,13 @@ func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result
 			rewind()
 			return nil, i, asTyped(err)
 		}
-		if err := e.applyOp(op); err != nil {
+		if err := e.applyOp(p, op); err != nil {
 			rewind()
 			return nil, i, err
 		}
 		e.log = append(e.log, op)
 	}
-	res, err := e.evaluateCtx(ctx, fields)
+	res, err := e.evaluate(ctx, p, fields)
 	if err != nil {
 		rewind()
 		return nil, len(ops), err
@@ -224,17 +283,17 @@ func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result
 // log IS the session file.
 func (e *Engine) Ops() []Op { return append([]Op(nil), e.log...) }
 
-// applyOp validates one op against the graph/session and applies its
-// session mutation. No evaluation happens here.
-func (e *Engine) applyOp(op Op) error {
+// applyOp validates one op against the pinned graph/session and applies
+// its session mutation. No evaluation happens here.
+func (e *Engine) applyOp(p *pin, op Op) error {
 	switch op.Kind {
 	case OpKindSubmit:
 		e.sess.Submit(op.Keywords)
 	case OpKindAddSeed, OpKindRemoveSeed, OpKindLookup, OpKindPivot:
-		if !e.g.IsEntity(op.Entity) {
+		if !p.g.IsEntity(op.Entity) {
 			return Errf(KindNotFound, "op %s: term %d is not an entity", op.Kind, op.Entity)
 		}
-		name := e.g.Name(op.Entity)
+		name := p.g.Name(op.Entity)
 		switch op.Kind {
 		case OpKindAddSeed:
 			e.sess.AddSeed(op.Entity, name)
@@ -244,19 +303,19 @@ func (e *Engine) applyOp(op Op) error {
 			e.sess.Lookup(op.Entity, name)
 		case OpKindPivot:
 			domain := "unknown"
-			if t := e.g.PrimaryType(op.Entity); t != rdf.NoTerm {
-				domain = e.g.Name(t)
+			if t := p.g.PrimaryType(op.Entity); t != rdf.NoTerm {
+				domain = p.g.Name(t)
 			}
 			e.sess.Pivot(op.Entity, name, domain)
 		}
 	case OpKindAddFeature, OpKindRemoveFeature:
-		if op.Feature.Pred == rdf.NoTerm || !e.g.IsEntity(op.Feature.Anchor) {
+		if op.Feature.Pred == rdf.NoTerm || !p.g.IsEntity(op.Feature.Anchor) {
 			return Errf(KindInvalid, "op %s: feature has no valid anchor/predicate", op.Kind)
 		}
 		if op.Kind == OpKindAddFeature {
-			e.sess.AddFeature(op.Feature, e.feats.Label(op.Feature))
+			e.sess.AddFeature(op.Feature, p.feats.Label(op.Feature))
 		} else {
-			e.sess.RemoveFeature(op.Feature, e.feats.Label(op.Feature))
+			e.sess.RemoveFeature(op.Feature, p.feats.Label(op.Feature))
 		}
 	case OpKindRevisit:
 		if _, err := e.sess.Revisit(op.Step); err != nil {
@@ -301,7 +360,7 @@ func (e *Engine) LookupCtx(ctx context.Context, ent rdf.TermID) (kg.Profile, err
 	if _, err := e.ApplyFields(ctx, OpLookup(ent), FieldNone); err != nil {
 		return kg.Profile{}, err
 	}
-	return e.g.ProfileOf(ent, 25), nil
+	return e.pinGen().g.ProfileOf(ent, 25), nil
 }
 
 // Pivot switches the search domain to the entity's domain (§3.2): the
@@ -327,29 +386,30 @@ func (e *Engine) Revisit(step int) (*Result, error) {
 func (e *Engine) applyLegacy(op Op) *Result {
 	res, err := e.Apply(context.Background(), op)
 	if err != nil {
-		res, _ = e.evaluateCtx(context.Background(), FieldsAll)
+		res, _ = e.evaluate(context.Background(), e.pinGen(), FieldsAll)
 	}
 	return res
 }
 
 // Evaluate re-runs the current query without recording a new action.
 func (e *Engine) Evaluate() *Result {
-	res, _ := e.evaluateCtx(context.Background(), FieldsAll)
+	res, _ := e.evaluate(context.Background(), e.pinGen(), FieldsAll)
 	return res
 }
 
 // EvaluateCtx re-runs the current query with cancellation and field
-// selection, without recording a new action.
+// selection, without recording a new action. The generation current at
+// entry serves the whole evaluation.
 func (e *Engine) EvaluateCtx(ctx context.Context, fields Fields) (*Result, error) {
-	return e.evaluateCtx(ctx, fields)
+	return e.evaluate(ctx, e.pinGen(), fields)
 }
 
-func (e *Engine) evaluateCtx(ctx context.Context, fields Fields) (*Result, error) {
+func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, asTyped(err)
 	}
 	q := e.sess.Current()
-	res := &Result{Query: q, Description: e.DescribeQuery(q)}
+	res := &Result{Query: q, Description: describeQuery(p, q), g: p.g}
 	if fields&FieldTimeline != 0 {
 		res.Timeline = e.sess.Timeline()
 	}
@@ -361,9 +421,9 @@ func (e *Engine) evaluateCtx(ctx context.Context, fields Fields) (*Result, error
 	var err error
 	switch {
 	case len(q.Seeds) > 0 || len(q.Features) > 0:
-		entities, feats, err = e.structured(ctx, q)
+		entities, feats, err = e.structured(ctx, p, q)
 	case q.Keywords != "":
-		entities, feats, err = e.keyword(ctx, q.Keywords)
+		entities, feats, err = e.keyword(ctx, p, q.Keywords)
 	}
 	if err != nil {
 		return nil, asTyped(err)
@@ -378,15 +438,15 @@ func (e *Engine) evaluateCtx(ctx context.Context, fields Fields) (*Result, error
 		if err := ctx.Err(); err != nil {
 			return nil, asTyped(err)
 		}
-		res.Heat = heatmap.Build(e.feats, entities, feats)
+		res.Heat = heatmap.Build(p.feats, entities, feats)
 	}
 	return res, nil
 }
 
 // keyword answers a plain keyword query: entities from the search engine,
 // features recommended from the top hits as pseudo-seeds.
-func (e *Engine) keyword(ctx context.Context, kw string) ([]expand.Ranked, []semfeat.Score, error) {
-	hits, err := e.searcher.SearchCtx(ctx, kw, e.opts.TopEntities, e.opts.SearchModel)
+func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranked, []semfeat.Score, error) {
+	hits, err := p.searcher.SearchCtx(ctx, kw, e.opts.TopEntities, e.opts.SearchModel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -403,8 +463,8 @@ func (e *Engine) keyword(ctx context.Context, kw string) ([]expand.Ranked, []sem
 		// Each pseudo-seed contributes its own features; rank per seed so
 		// one odd hit cannot zero out the commonality product.
 		seen := map[semfeat.Feature]bool{}
-		for _, p := range pseudo {
-			ranked, err := e.feats.RankCtx(ctx, []rdf.TermID{p}, e.opts.TopFeatures)
+		for _, ps := range pseudo {
+			ranked, err := p.feats.RankCtx(ctx, []rdf.TermID{ps}, e.opts.TopFeatures)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -424,21 +484,21 @@ func (e *Engine) keyword(ctx context.Context, kw string) ([]expand.Ranked, []sem
 // conditions: Φ(Q) = pinned conditions ∪ top seed features; candidates
 // come from the conditions' extents when conditions exist (they are
 // mandatory), otherwise from expansion.
-func (e *Engine) structured(ctx context.Context, q session.Query) ([]expand.Ranked, []semfeat.Score, error) {
+func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]expand.Ranked, []semfeat.Score, error) {
 	var phi []semfeat.Score
 	pinned := map[semfeat.Feature]bool{}
 	for _, f := range q.Features {
-		r := e.feats.Relevance(f, q.Seeds) // seeds empty → c=1 → r=d(π)
+		r := p.feats.Relevance(f, q.Seeds) // seeds empty → c=1 → r=d(π)
 		phi = append(phi, semfeat.Score{
 			Feature:    f,
-			Label:      e.feats.Label(f),
+			Label:      p.feats.Label(f),
 			R:          r,
-			ExtentSize: e.feats.ExtentSize(f),
+			ExtentSize: p.feats.ExtentSize(f),
 		})
 		pinned[f] = true
 	}
 	if len(q.Seeds) > 0 {
-		ranked, err := e.feats.RankCtx(ctx, q.Seeds, e.opts.TopFeatures)
+		ranked, err := p.feats.RankCtx(ctx, q.Seeds, e.opts.TopFeatures)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -455,10 +515,10 @@ func (e *Engine) structured(ctx context.Context, q session.Query) ([]expand.Rank
 	var entities []expand.Ranked
 	var err error
 	if len(q.Features) > 0 {
-		entities, err = e.expander.ScoreCandidatesCtx(ctx, e.conditionCandidates(q), phi, e.opts.TopEntities)
+		entities, err = p.expander.ScoreCandidatesCtx(ctx, e.conditionCandidates(p, q), phi, e.opts.TopEntities)
 	} else {
 		// Seeds only: candidate generation and scoring share one scatter.
-		entities, err = e.expander.ExpandWithFeaturesCtx(ctx, q.Seeds, phi, e.opts.TopEntities)
+		entities, err = p.expander.ExpandWithFeaturesCtx(ctx, q.Seeds, phi, e.opts.TopEntities)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -469,7 +529,7 @@ func (e *Engine) structured(ctx context.Context, q session.Query) ([]expand.Rank
 		// paths (two directors share no neighbour, but do share
 		// film→actor→film chains). Fall back to a random walk with
 		// restart so a pivot never dead-ends.
-		entities, err = e.expander.ExpandWithCtx(ctx, expand.MethodPPR, q.Seeds, e.opts.TopEntities)
+		entities, err = p.expander.ExpandWithCtx(ctx, expand.MethodPPR, q.Seeds, e.opts.TopEntities)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -479,10 +539,10 @@ func (e *Engine) structured(ctx context.Context, q session.Query) ([]expand.Rank
 
 // conditionCandidates intersects the extents of all pinned features and
 // removes the seeds.
-func (e *Engine) conditionCandidates(q session.Query) []rdf.TermID {
+func (e *Engine) conditionCandidates(p *pin, q session.Query) []rdf.TermID {
 	var inter []rdf.TermID
 	for i, f := range q.Features {
-		ext := e.feats.Extent(f)
+		ext := p.feats.Extent(f)
 		if i == 0 {
 			inter = append([]rdf.TermID(nil), ext...)
 			continue
@@ -507,6 +567,10 @@ func (e *Engine) conditionCandidates(q session.Query) []rdf.TermID {
 
 // DescribeQuery renders the query-condition area (Fig. 3-b).
 func (e *Engine) DescribeQuery(q session.Query) string {
+	return describeQuery(e.pinGen(), q)
+}
+
+func describeQuery(p *pin, q session.Query) string {
 	desc := ""
 	if q.Keywords != "" {
 		desc += fmt.Sprintf("keywords=%q", q.Keywords)
@@ -520,7 +584,7 @@ func (e *Engine) DescribeQuery(q session.Query) string {
 			if i > 0 {
 				desc += ", "
 			}
-			desc += e.g.Name(s)
+			desc += p.g.Name(s)
 		}
 		desc += "]"
 	}
@@ -533,7 +597,7 @@ func (e *Engine) DescribeQuery(q session.Query) string {
 			if i > 0 {
 				desc += ", "
 			}
-			desc += e.feats.Label(f)
+			desc += p.feats.Label(f)
 		}
 		desc += "]"
 	}

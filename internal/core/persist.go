@@ -48,7 +48,7 @@ type legacySessionFile struct {
 func (e *Engine) SaveSession() ([]byte, error) {
 	f := sessionFile{Version: 2, Ops: make([]OpDTO, 0, len(e.log))}
 	for _, op := range e.log {
-		f.Ops = append(f.Ops, EncodeOp(e.g, op))
+		f.Ops = append(f.Ops, EncodeOp(e.Graph(), op))
 	}
 	return json.MarshalIndent(f, "", "  ")
 }
@@ -95,7 +95,7 @@ func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
 		}
 		ops := make([]Op, 0, len(f.Ops))
 		for i, d := range f.Ops {
-			op, err := DecodeOp(e.g, d)
+			op, err := DecodeOp(e.Graph(), d)
 			if err != nil {
 				return nil, wrapf(err, "session: op %d", i)
 			}
@@ -125,7 +125,7 @@ func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
 		}
 		ops := make([]Op, 0, len(dtos))
 		for i, d := range dtos {
-			op, err := DecodeOp(e.g, d)
+			op, err := DecodeOp(e.Graph(), d)
 			if err != nil {
 				return nil, wrapf(err, "session: v1 op %d", i)
 			}

@@ -1,0 +1,77 @@
+// Package live is the write path of the PivotE stack: a generational
+// graph layer that serves every read from an immutable generation while
+// absorbing writes into an in-memory delta log.
+//
+// A Generation bundles the frozen read structures the rest of the system
+// was built around — the CSR triple store, the entity-centric kg.Graph
+// tables, the frozen term-dictionary search index, and the semantic-
+// feature cache. Nothing inside a generation ever mutates, so one
+// generation can serve any number of concurrent readers with the exact
+// performance of the frozen-only stack.
+//
+// Writes (adds and tombstones) append to a log guarded by a writer mutex
+// and are published as an immutable Delta — per-node sorted edge runs
+// that mirror the CSR layout. A View pairs one generation with one delta
+// and resolves reads by merging the base CSR run with the delta run,
+// k-way style, exactly like the PR 3 posting merge. A background
+// compactor materializes the view into a fresh store (reusing Freeze,
+// index build and kg table construction), carries the feature cache
+// forward entry-by-entry, and publishes the new generation with an
+// atomic.Pointer swap — the RCU pattern: in-flight requests keep the
+// *Generation they loaded, no read ever blocks on a write, and the old
+// generation is reclaimed by the garbage collector once the last pinned
+// reader drops it (Go's GC is the grace period).
+//
+// All generations of one Store share a single append-only rdf.Dictionary,
+// so TermIDs are stable across swaps: session state (seeds, pinned
+// features) minted against any generation remains valid in every later
+// one.
+package live
+
+import (
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+)
+
+// Generation is one immutable graph generation: the frozen store plus
+// every derived read structure, tagged with a monotonically increasing
+// ID. Readers pin a generation by holding the pointer; everything
+// reachable from it is safe for concurrent use and never changes.
+type Generation struct {
+	// ID is the generation number, starting at 0 for the seed graph and
+	// incremented by every compaction swap.
+	ID uint64
+	// Graph is the entity-centric view (dense IsEntity/PrimaryType
+	// tables) over this generation's frozen store.
+	Graph *kg.Graph
+	// Searcher is the keyword search engine over this generation's
+	// entity universe (frozen term-dictionary index).
+	Searcher *search.Engine
+	// Features is this generation's semantic-feature cache, seeded from
+	// the previous generation's surviving entries.
+	Features *semfeat.FeatureCache
+}
+
+// newGeneration builds a generation from a frozen graph. prev supplies
+// the feature-cache entries to carry forward; touched is the delta's
+// write set (nil means nothing to carry — a fresh cache).
+func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.FeatureCache, touched func(rdf.TermID) bool) *Generation {
+	var searcher *search.Engine
+	if params != nil {
+		searcher = search.NewEngineWithParams(g, *params)
+	} else {
+		searcher = search.NewEngine(g)
+	}
+	var features *semfeat.FeatureCache
+	if prev == nil {
+		features = semfeat.NewFeatureCacheFrom(g, nil, id, nil)
+	} else {
+		features = semfeat.NewFeatureCacheFrom(g, prev, id, touched)
+	}
+	return &Generation{ID: id, Graph: g, Searcher: searcher, Features: features}
+}
+
+// Store returns the generation's frozen triple store.
+func (gen *Generation) Store() *rdf.Store { return gen.Graph.Store() }

@@ -1,0 +1,316 @@
+package live
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"pivote/internal/errs"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+)
+
+// Config tunes a live Store.
+type Config struct {
+	// SearchParams override the retrieval hyperparameters of every
+	// generation's search index when non-nil.
+	SearchParams *search.Params
+	// CompactThreshold is the pending-triple count at which an ingest
+	// kicks the background compactor (when started). <= 0 selects the
+	// default of 2048.
+	CompactThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 2048
+	}
+	return c
+}
+
+// Store is the generational graph: an atomic current View (generation +
+// delta) plus the pending write log. Reads are wait-free — View is one
+// atomic load, and everything reachable from a View is immutable.
+// Writes serialize behind a mutex and publish a fresh View; they never
+// touch anything a reader holds. The compactor (a background goroutine
+// when started, or CompactNow for synchronous control) folds the delta
+// into the next generation and publishes it with an RCU pointer swap.
+type Store struct {
+	cfg  Config
+	view atomic.Pointer[View]
+
+	mu     sync.Mutex // guards log, final, closed, and view publication
+	log    []logEntry
+	// final is the incrementally maintained fold of log (last writer
+	// wins per triple); kept alongside it so a batch costs O(batch) to
+	// fold plus O(pending) to index, instead of re-folding the whole log.
+	final  map[rdf.Triple]bool
+	closed bool
+
+	compactMu sync.Mutex // serializes compactions (background or forced)
+	started   atomic.Bool
+	kick      chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	swaps atomic.Uint64
+}
+
+// NewStore builds a live store over a frozen seed graph as generation 0.
+// No goroutine is spawned until StartCompactor; a Store that never
+// ingests behaves exactly like the frozen-only stack.
+func NewStore(g *kg.Graph, cfg Config) *Store {
+	s := &Store{
+		cfg:   cfg.withDefaults(),
+		final: map[rdf.Triple]bool{},
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	gen := newGeneration(0, g, s.cfg.SearchParams, nil, nil)
+	s.view.Store(&View{Gen: gen, delta: emptyDelta})
+	return s
+}
+
+// View returns the current consistent read snapshot. The returned view
+// (and its generation) remains valid and immutable forever; holding it
+// is what "pinning a generation" means.
+func (s *Store) View() *View { return s.view.Load() }
+
+// Generation returns the current generation.
+func (s *Store) Generation() *Generation { return s.View().Gen }
+
+// Swaps reports how many compaction swaps have been published.
+func (s *Store) Swaps() uint64 { return s.swaps.Load() }
+
+// Pending reports the number of distinct pending delta triples.
+func (s *Store) Pending() int { return s.View().Pending() }
+
+// IngestResult reports what one ingest batch did.
+type IngestResult struct {
+	// Added and Removed count the triples of the batch (pre-dedup).
+	Added, Removed int
+	// Pending is the distinct pending triple count after the batch.
+	Pending int
+	// Generation is the generation the batch is layered on; the batch
+	// becomes part of generation Generation+1 at the next swap.
+	Generation uint64
+}
+
+// Ingest appends a batch of adds and tombstones to the delta log and
+// publishes a new View containing them. The batch is atomic: it is
+// validated in full before anything is published, and a typed invalid
+// error leaves the store unchanged. Readers never block — they keep the
+// view they loaded; the new view is visible to every subsequent View
+// call.
+func (s *Store) Ingest(adds, dels []rdf.Triple) (IngestResult, error) {
+	dictLen := s.View().Dict().Len()
+	check := func(ts []rdf.Triple) error {
+		for _, t := range ts {
+			if t.S == rdf.NoTerm || t.P == rdf.NoTerm || t.O == rdf.NoTerm {
+				return errs.Errf(errs.KindInvalid, "live: triple references the NoTerm sentinel")
+			}
+			if int(t.S) > dictLen || int(t.P) > dictLen || int(t.O) > dictLen {
+				return errs.Errf(errs.KindInvalid, "live: triple references unknown term id")
+			}
+		}
+		return nil
+	}
+	if err := check(adds); err != nil {
+		return IngestResult{}, err
+	}
+	if err := check(dels); err != nil {
+		return IngestResult{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return IngestResult{}, errs.Errf(errs.KindInvalid, "live: store is closed")
+	}
+	for _, t := range adds {
+		s.log = append(s.log, logEntry{t: t})
+		s.final[t] = true
+	}
+	for _, t := range dels {
+		s.log = append(s.log, logEntry{t: t, del: true})
+		s.final[t] = false
+	}
+	delta := indexDelta(s.final)
+	gen := s.view.Load().Gen
+	s.view.Store(&View{Gen: gen, delta: delta})
+	pending := delta.Pending()
+	s.mu.Unlock()
+
+	if s.started.Load() && pending >= s.cfg.CompactThreshold {
+		select {
+		case s.kick <- struct{}{}:
+		default: // a kick is already queued
+		}
+	}
+	return IngestResult{Added: len(adds), Removed: len(dels), Pending: pending, Generation: gen.ID}, nil
+}
+
+// IngestNTriples decodes N-Triples batches (either reader may be nil)
+// against the shared dictionary and ingests them. Both batches are
+// parsed in full before any term is interned, so a parse error in
+// either one is typed invalid and leaves both the dictionary and the
+// store untouched.
+func (s *Store) IngestNTriples(adds, dels io.Reader) (IngestResult, error) {
+	var addP, delP []rdf.TermTriple
+	var err error
+	if adds != nil {
+		if addP, err = rdf.ParseNTriples(adds); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	if dels != nil {
+		if delP, err = rdf.ParseNTriples(dels); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	// Refuse before interning: a closed store must not grow the shared
+	// dictionary (a close racing this check can still intern a batch's
+	// terms, which is harmless — the batch itself is rejected).
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return IngestResult{}, errs.Errf(errs.KindInvalid, "live: store is closed")
+	}
+	dict := s.View().Dict()
+	return s.Ingest(rdf.InternTriples(dict, addP), rdf.InternTriples(dict, delP))
+}
+
+// StartCompactor launches the background compactor: every kick (an
+// ingest crossing the threshold, or TriggerCompact) folds the pending
+// delta into a fresh generation off-thread. Idempotent.
+func (s *Store) StartCompactor() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-s.kick:
+				_, _, _ = s.CompactNow()
+			}
+		}
+	}()
+}
+
+// TriggerCompact kicks the background compactor without blocking. It is
+// a no-op when the compactor is not running.
+func (s *Store) TriggerCompact() {
+	if !s.started.Load() {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// CompactNow synchronously folds the pending delta (as of call time)
+// into a new generation and publishes it with an RCU swap. It returns
+// the generation that is current afterwards and whether a swap happened
+// (false when the delta was empty). Ingest continues concurrently:
+// writes that arrive during the rebuild stay pending on top of the new
+// generation.
+func (s *Store) CompactNow() (*Generation, bool, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Snapshot the view and the log prefix it covers. Views are published
+	// under mu, so the pair is consistent.
+	s.mu.Lock()
+	v := s.view.Load()
+	n := len(s.log)
+	prefix := s.log[:n:n]
+	s.mu.Unlock()
+	if v.Pending() == 0 {
+		return v.Gen, false, nil
+	}
+
+	// Rebuild off-thread: materialize the overlay through the merged
+	// iteration into a fresh store sharing the append-only dictionary,
+	// then rebuild every derived structure. Readers keep serving from the
+	// current view throughout.
+	next := rdf.NewStore(v.Dict())
+	var addErr error
+	v.ForEachTriple(func(t rdf.Triple) {
+		if addErr == nil {
+			addErr = next.TryAdd(t.S, t.P, t.O)
+		}
+	})
+	if addErr != nil {
+		return v.Gen, false, addErr
+	}
+	next.Freeze()
+	g2 := kg.NewGraph(next)
+	touched := touchedSet(prefix, next, g2.Voc().Type)
+	gen2 := newGeneration(v.Gen.ID+1, g2, s.cfg.SearchParams, v.Gen.Features, touched)
+
+	// Publish: the compacted prefix leaves the log; whatever arrived
+	// since stays pending as the new generation's delta.
+	s.mu.Lock()
+	s.log = append([]logEntry(nil), s.log[n:]...)
+	s.final = foldLog(s.log)
+	delta := indexDelta(s.final)
+	s.view.Store(&View{Gen: gen2, delta: delta})
+	s.mu.Unlock()
+	s.swaps.Add(1)
+	return gen2, true, nil
+}
+
+// Close stops accepting ingest and shuts the compactor down. Pending
+// delta triples remain readable through the final view.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.started.Load() {
+		close(s.stop)
+		s.wg.Wait()
+	}
+	return nil
+}
+
+// touchedSet builds the delta's write set for cache invalidation: every
+// S, P and O of the compacted prefix, expanded with the new-store
+// neighbours of any node whose rdf:type set changed — gaining or losing
+// entity status changes extents whose anchors are exactly those
+// neighbours, so folding them in makes the anchor-only invalidation rule
+// in semfeat.NewFeatureCacheFrom sound.
+func touchedSet(prefix []logEntry, next *rdf.Store, typePred rdf.TermID) func(rdf.TermID) bool {
+	set := make(map[rdf.TermID]struct{}, 3*len(prefix))
+	mark := func(id rdf.TermID) { set[id] = struct{}{} }
+	for _, e := range prefix {
+		mark(e.t.S)
+		mark(e.t.P)
+		mark(e.t.O)
+	}
+	for _, e := range prefix {
+		if e.t.P != typePred || typePred == rdf.NoTerm {
+			continue
+		}
+		for _, edge := range next.Out(e.t.S) {
+			mark(edge.Node)
+		}
+		for _, edge := range next.In(e.t.S) {
+			mark(edge.Node)
+		}
+	}
+	return func(id rdf.TermID) bool {
+		_, ok := set[id]
+		return ok
+	}
+}

@@ -5,16 +5,17 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"pivote/internal/errs"
 )
 
-// ReadNTriples parses a stream of N-Triples lines into the store. Blank
-// lines and comment lines (starting with '#') are skipped. The reader is
-// line-oriented, which matches the N-Triples grammar. Parsing stops at the
-// first malformed line with an error that names the line number.
-func ReadNTriples(st *Store, r io.Reader) (int, error) {
+// scanNTriples drives the shared line loop: blank lines and comment
+// lines (starting with '#') are skipped, each remaining line is parsed
+// as one triple and handed to fn, and the first malformed line stops
+// the scan with an error naming the line number.
+func scanNTriples(r io.Reader, fn func(s, p, o Term)) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	n := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -24,15 +25,72 @@ func ReadNTriples(st *Store, r io.Reader) (int, error) {
 		}
 		s, p, o, err := parseNTriple(text)
 		if err != nil {
-			return n, fmt.Errorf("rdf: line %d: %w", line, err)
+			return fmt.Errorf("rdf: line %d: %w", line, err)
 		}
-		st.AddTerms(s, p, o)
-		n++
+		fn(s, p, o)
 	}
 	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("rdf: read: %w", err)
+		return fmt.Errorf("rdf: read: %w", err)
 	}
-	return n, nil
+	return nil
+}
+
+// ReadNTriples parses a stream of N-Triples lines into the store. The
+// reader is line-oriented, which matches the N-Triples grammar. Parsing
+// stops at the first malformed line with an error that names the line
+// number; triples before the bad line remain added (callers that need
+// all-or-nothing use DecodeNTriples).
+func ReadNTriples(st *Store, r io.Reader) (int, error) {
+	n := 0
+	err := scanNTriples(r, func(s, p, o Term) {
+		st.AddTerms(s, p, o)
+		n++
+	})
+	return n, err
+}
+
+// TermTriple is one parsed but not-yet-interned triple.
+type TermTriple struct {
+	S, P, O Term
+}
+
+// ParseNTriples parses a stream of N-Triples lines into term triples
+// without touching any dictionary. A malformed line is a typed invalid
+// error naming the line number, and nothing is returned.
+func ParseNTriples(r io.Reader) ([]TermTriple, error) {
+	var parsed []TermTriple
+	if err := scanNTriples(r, func(s, p, o Term) {
+		parsed = append(parsed, TermTriple{S: s, P: p, O: o})
+	}); err != nil {
+		return nil, errs.Errf(errs.KindInvalid, "%v", err)
+	}
+	return parsed, nil
+}
+
+// InternTriples interns every term of the parsed triples, returning the
+// dictionary-encoded form.
+func InternTriples(dict *Dictionary, ts []TermTriple) []Triple {
+	out := make([]Triple, len(ts))
+	for i, t := range ts {
+		out[i] = Triple{dict.Intern(t.S), dict.Intern(t.P), dict.Intern(t.O)}
+	}
+	return out
+}
+
+// DecodeNTriples parses a stream of N-Triples lines and interns them
+// against the dictionary, returning the dictionary-encoded triples. The
+// decode is two-phase: every line is parsed before any term is interned,
+// so a malformed batch (error names the line number, typed invalid)
+// leaves the dictionary completely untouched — the live ingest path
+// depends on that to reject bad batches without side effects. Callers
+// decoding several batches that must succeed or fail together parse
+// each with ParseNTriples first and intern afterwards.
+func DecodeNTriples(dict *Dictionary, r io.Reader) ([]Triple, error) {
+	parsed, err := ParseNTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return InternTriples(dict, parsed), nil
 }
 
 // WriteNTriples serializes every triple in the store in subject order.

@@ -24,9 +24,13 @@ const (
 	snapshotVersion = 1
 )
 
-// WriteSnapshot serializes the frozen store.
+// WriteSnapshot serializes the frozen store. An unfrozen store is a
+// typed error rather than a panic: snapshotting is an I/O operation
+// servers call on live-path stores.
 func WriteSnapshot(st *Store, w io.Writer) error {
-	st.mustFrozen()
+	if err := st.CheckFrozen(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -48,11 +52,17 @@ func WriteSnapshot(st *Store, w io.Writer) error {
 		return err
 	}
 
+	// Capture the dictionary length once: the dictionary is shared and
+	// append-only, so a concurrent ingest may intern terms while we
+	// write. The frozen store's triples only reference terms interned
+	// before its Freeze, all ≤ this capture, so prefix and loop agree
+	// and the snapshot stays self-consistent.
 	d := st.dict
-	if err := writeUvarint(uint64(d.Len())); err != nil {
+	nTerms := d.Len()
+	if err := writeUvarint(uint64(nTerms)); err != nil {
 		return err
 	}
-	for id := TermID(1); int(id) <= d.Len(); id++ {
+	for id := TermID(1); int(id) <= nTerms; id++ {
 		t := d.Term(id)
 		if err := bw.WriteByte(byte(t.Kind)); err != nil {
 			return err
@@ -118,9 +128,22 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		if n > 1<<30 {
 			return "", fmt.Errorf("rdf: implausible string length %d", n)
 		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+		// Read in bounded chunks so a corrupt length prefix cannot force a
+		// large allocation: memory grows only as actual input arrives, and
+		// a truncated stream fails after at most one chunk of slack.
+		const chunk = 64 * 1024
+		var b []byte
+		for remaining := int(n); remaining > 0; {
+			step := remaining
+			if step > chunk {
+				step = chunk
+			}
+			start := len(b)
+			b = append(b, make([]byte, step)...)
+			if _, err := io.ReadFull(br, b[start:]); err != nil {
+				return "", err
+			}
+			remaining -= step
 		}
 		return string(b), nil
 	}

@@ -1,0 +1,64 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSnapshot feeds arbitrary (and mutated-valid) bytes to the
+// snapshot decoder. The contract under fuzz: ReadSnapshot either
+// succeeds or returns an error — it must never panic, and a corrupt
+// length prefix must not force a large allocation (string reads are
+// chunked, so memory grows only as real input arrives; the fuzz
+// engine's memory limit enforces the rest).
+func FuzzReadSnapshot(f *testing.F) {
+	// Seed corpus: a genuine snapshot of a small store, plus truncations
+	// and header mutations of it, plus degenerate inputs.
+	st := NewStore(nil)
+	s := st.Dict().Intern(NewIRI("http://x/s"))
+	p := st.Dict().Intern(NewIRI("http://x/p"))
+	o := st.Dict().Intern(NewLiteral("object value"))
+	lang := st.Dict().Intern(NewLangLiteral("hallo", "de"))
+	typed := st.Dict().Intern(NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"))
+	st.Add(s, p, o)
+	st.Add(s, p, lang)
+	st.Add(o, p, typed) // literal as subject is fine at this layer
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(st, &buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, 4, 5, 9, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	for _, mut := range []int{0, 4, 5, 6, len(valid) - 1} {
+		b := append([]byte(nil), valid...)
+		b[mut] ^= 0xff
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PVTE"))
+	f.Add([]byte("PVTE\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // huge term count
+	f.Add([]byte("PVTE\x01\x01\x00\xff\xff\xff\xff\x7f"))             // huge string length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded store must be frozen and internally
+		// consistent enough to re-serialize.
+		if !st.Frozen() {
+			t.Fatal("decoded store not frozen")
+		}
+		var out strings.Builder
+		if err := WriteNTriples(st, &out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+	})
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"pivote/internal/errs"
 )
 
 // quickCheck runs the property with the package's standard settings.
@@ -105,14 +107,15 @@ func TestSnapshotTruncated(t *testing.T) {
 	}
 }
 
-func TestSnapshotUnfrozenPanics(t *testing.T) {
+func TestSnapshotUnfrozenError(t *testing.T) {
+	// Snapshotting an unfrozen store is a typed error, not a panic: the
+	// live path may try to snapshot and must not crash the server.
 	st := NewStore(nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("WriteSnapshot on unfrozen store did not panic")
-		}
-	}()
-	_ = WriteSnapshot(st, io.Discard)
+	if err := WriteSnapshot(st, io.Discard); err == nil {
+		t.Fatal("WriteSnapshot on unfrozen store did not error")
+	} else if errs.KindOf(err) != errs.KindInternal {
+		t.Fatalf("unexpected error kind %q for %v", errs.KindOf(err), err)
+	}
 }
 
 func TestSnapshotSmallerThanNTriples(t *testing.T) {

@@ -12,6 +12,8 @@ package rdf
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // TermID is a dense identifier assigned by a Dictionary. The zero value is
@@ -155,51 +157,102 @@ func escapeLiteral(s string) string {
 	return b.String()
 }
 
+// Term storage is chunked so that decoding never races interning: a
+// published chunk is immutable forever (chunks are never reallocated or
+// moved), the spine slice is copy-on-grow behind an atomic pointer, and a
+// slot becomes readable only once the atomic count covers it. Readers
+// therefore take no lock at all — Term is two loads plus an atomic — which
+// keeps name rendering wait-free while live ingest interns new terms.
+const (
+	termChunkBits = 12 // 4096 terms per chunk
+	termChunkSize = 1 << termChunkBits
+	termChunkMask = termChunkSize - 1
+)
+
+type termChunk [termChunkSize]Term
+
 // Dictionary interns terms to dense TermIDs and decodes them back. The
 // zero value is not usable; call NewDictionary.
+//
+// A Dictionary is append-only and safe for concurrent use: Intern (and
+// the key lookups, which share its map) serialize behind a mutex, while
+// decoding an already-published ID is lock-free. IDs are never reassigned
+// or reordered, which is what lets live generations share one dictionary —
+// a TermID minted at any generation stays valid in every later one.
 type Dictionary struct {
-	byKey map[string]TermID
-	terms []Term // index 0 is a placeholder for NoTerm
+	mu    sync.RWMutex      // guards byKey and spine growth
+	byKey map[string]TermID // term key → ID
+	spine atomic.Pointer[[]*termChunk]
+	n     atomic.Uint32 // slots published, including the NoTerm placeholder
 }
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
-	return &Dictionary{
-		byKey: make(map[string]TermID),
-		terms: make([]Term, 1), // reserve index 0 = NoTerm
-	}
+	d := &Dictionary{byKey: make(map[string]TermID)}
+	spine := []*termChunk{new(termChunk)}
+	d.spine.Store(&spine)
+	d.n.Store(1) // reserve index 0 = NoTerm
+	return d
 }
 
 // Intern returns the ID for t, assigning a fresh one on first sight.
 func (d *Dictionary) Intern(t Term) TermID {
 	k := t.key()
+	d.mu.RLock()
+	id, ok := d.byKey[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byKey[k]; ok {
 		return id
 	}
-	id := TermID(len(d.terms))
-	d.terms = append(d.terms, t)
+	n := d.n.Load()
+	spine := *d.spine.Load()
+	if int(n)>>termChunkBits == len(spine) {
+		// Copy-on-grow: readers holding the old spine still see every
+		// published chunk pointer.
+		grown := make([]*termChunk, len(spine), len(spine)+1)
+		copy(grown, spine)
+		grown = append(grown, new(termChunk))
+		d.spine.Store(&grown)
+		spine = grown
+	}
+	spine[n>>termChunkBits][n&termChunkMask] = t
+	id = TermID(n)
 	d.byKey[k] = id
+	// Publish last: a reader that observes n > id is guaranteed to see the
+	// chunk write above.
+	d.n.Store(n + 1)
 	return id
 }
 
 // Lookup returns the ID previously assigned to t, or NoTerm.
 func (d *Dictionary) Lookup(t Term) TermID {
-	return d.byKey[t.key()]
+	d.mu.RLock()
+	id := d.byKey[t.key()]
+	d.mu.RUnlock()
+	return id
 }
 
 // LookupIRI returns the ID of the IRI, or NoTerm if it was never interned.
 func (d *Dictionary) LookupIRI(iri string) TermID {
-	return d.byKey["i\x00"+iri]
+	d.mu.RLock()
+	id := d.byKey["i\x00"+iri]
+	d.mu.RUnlock()
+	return id
 }
 
 // Term decodes an ID. It panics on NoTerm or out-of-range IDs, which
 // always indicate a programming error rather than bad data.
 func (d *Dictionary) Term(id TermID) Term {
-	if id == NoTerm || int(id) >= len(d.terms) {
-		panic(fmt.Sprintf("rdf: invalid TermID %d (dictionary size %d)", id, len(d.terms)-1))
+	if id == NoTerm || id >= TermID(d.n.Load()) {
+		panic(fmt.Sprintf("rdf: invalid TermID %d (dictionary size %d)", id, d.Len()))
 	}
-	return d.terms[id]
+	return (*d.spine.Load())[id>>termChunkBits][id&termChunkMask]
 }
 
 // Len reports the number of interned terms.
-func (d *Dictionary) Len() int { return len(d.terms) - 1 }
+func (d *Dictionary) Len() int { return int(d.n.Load()) - 1 }

@@ -1,0 +1,66 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDictionaryConcurrent hammers the dictionary with a writer
+// interning fresh terms (forcing chunk and spine growth) while readers
+// decode every published ID and run key lookups. Run with -race this
+// proves the lock-free read path: a reader that observes Len() >= id is
+// guaranteed a consistent Term(id).
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	const terms = 9000 // spans several 4096-term chunks
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := d.Len()
+				for id := TermID(1); int(id) <= n; id++ {
+					tm := d.Term(id)
+					if tm.Value == "" {
+						t.Errorf("term %d published empty", id)
+						return
+					}
+				}
+				_ = d.LookupIRI("http://x/t5")
+				_ = d.Lookup(NewLiteral("lit-7"))
+			}
+		}()
+	}
+
+	for i := 0; i < terms; i++ {
+		if i%3 == 0 {
+			d.Intern(NewLiteral(fmt.Sprintf("lit-%d", i)))
+		} else {
+			d.Intern(NewIRI(fmt.Sprintf("http://x/t%d", i)))
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Interning is idempotent and IDs are dense.
+	if got := d.Intern(NewIRI("http://x/t1")); got != d.LookupIRI("http://x/t1") {
+		t.Fatal("re-intern changed the ID")
+	}
+	if d.Len() != terms {
+		t.Fatalf("len %d, want %d", d.Len(), terms)
+	}
+	for id := TermID(1); int(id) <= d.Len(); id++ {
+		if d.Term(id).Value == "" {
+			t.Fatalf("term %d empty after quiesce", id)
+		}
+	}
+}

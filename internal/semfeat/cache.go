@@ -21,7 +21,21 @@ import (
 // graph scan.
 type FeatureCache struct {
 	g      *kg.Graph
+	gen    uint64 // generation tag (0 for caches outside the live path)
 	shards [cacheShards]cacheShard
+	carry  CarryStats
+}
+
+// CarryStats reports how a generation-carried cache was seeded: how many
+// memoized entries survived the delta's invalidation rules and how many
+// were dropped for recomputation on demand.
+type CarryStats struct {
+	// Gen is the generation tag of this cache.
+	Gen uint64
+	// Carried counts entries copied forward from the previous generation.
+	Carried int
+	// Dropped counts entries invalidated by the delta.
+	Dropped int
 }
 
 const cacheShards = 16
@@ -44,6 +58,83 @@ func NewFeatureCache(g *kg.Graph) *FeatureCache {
 	c.reset()
 	return c
 }
+
+// NewFeatureCacheFrom builds the next generation's cache over g, seeded
+// with every entry of the previous generation's cache that the delta
+// provably did not touch. touched reports whether a term was written by
+// the delta (any S, P or O of an added or tombstoned triple, expanded
+// with the neighbours of nodes whose rdf:type set changed — see
+// live.touchedSet). Entries are invalidated by generation tag rather
+// than flushed wholesale:
+//
+//   - Extent(π) depends only on the triples around the anchor plus the
+//     entity status of its members, so it survives unless the anchor is
+//     touched (the neighbour expansion folds entity-status changes into
+//     the anchors they can reach).
+//   - p(π|c) additionally depends on E(c), so it survives unless the
+//     anchor or the category is touched.
+//   - CategoriesBySize(e) depends on e's category list and those
+//     categories' member counts, so it survives unless e or any cached
+//     category is touched.
+//
+// The old cache is left intact: readers pinned to the previous
+// generation keep their fully-warm cache, which is what makes the RCU
+// swap safe without any locking between generations.
+func NewFeatureCacheFrom(g *kg.Graph, old *FeatureCache, gen uint64, touched func(rdf.TermID) bool) *FeatureCache {
+	c := NewFeatureCache(g)
+	c.gen = gen
+	c.carry.Gen = gen
+	if old == nil {
+		return c
+	}
+	for i := range old.shards {
+		sh := &old.shards[i]
+		sh.mu.RLock()
+		for f, ext := range sh.extents {
+			if touched(f.Anchor) {
+				c.carry.Dropped++
+				continue
+			}
+			dst := c.featureShard(f)
+			dst.extents[f] = ext
+			c.carry.Carried++
+		}
+		for key, p := range sh.catProb {
+			if touched(key.f.Anchor) || touched(key.cat) {
+				c.carry.Dropped++
+				continue
+			}
+			dst := c.featureShard(key.f)
+			dst.catProb[key] = p
+			c.carry.Carried++
+		}
+		for e, cats := range sh.catsBySize {
+			drop := touched(e)
+			for _, cat := range cats {
+				if drop {
+					break
+				}
+				drop = touched(cat)
+			}
+			if drop {
+				c.carry.Dropped++
+				continue
+			}
+			dst := c.entityShard(e)
+			dst.catsBySize[e] = cats
+			c.carry.Carried++
+		}
+		sh.mu.RUnlock()
+	}
+	return c
+}
+
+// Carry reports how this cache was seeded from its predecessor (zero for
+// caches built from scratch).
+func (c *FeatureCache) Carry() CarryStats { return c.carry }
+
+// Generation returns the cache's generation tag.
+func (c *FeatureCache) Generation() uint64 { return c.gen }
 
 // Graph exposes the underlying graph.
 func (c *FeatureCache) Graph() *kg.Graph { return c.g }

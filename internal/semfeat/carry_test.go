@@ -1,0 +1,145 @@
+package semfeat
+
+import (
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+)
+
+// TestFeatureCacheCarryRules exercises the three invalidation rules of
+// NewFeatureCacheFrom directly: extents keyed on a touched anchor drop,
+// category probabilities drop when either the anchor or the category is
+// touched, and category-by-size lists drop when the entity or any cached
+// category is touched. Everything else is carried by reference.
+func TestFeatureCacheCarryRules(t *testing.T) {
+	fx := kgtest.Build()
+	old := NewFeatureCache(fx.Graph)
+	d := fx.Store.Dict()
+	starring := d.LookupIRI("http://pivote.dev/ontology/starring")
+	if starring == rdf.NoTerm {
+		t.Fatal("no starring predicate in fixture")
+	}
+	hanks := fx.E("Tom_Hanks")
+	dicaprio := fx.E("Leonardo_DiCaprio")
+	gump := fx.E("Forrest_Gump")
+	inception := fx.E("Inception")
+
+	fHanks := Feature{Anchor: hanks, Pred: starring, Dir: Backward}
+	fDiCaprio := Feature{Anchor: dicaprio, Pred: starring, Dir: Backward}
+
+	// Warm: two extents, one catProb, two catsBySize lists.
+	extHanks := old.Extent(fHanks)
+	extDiCaprio := old.Extent(fDiCaprio)
+	catsGump := old.CategoriesBySize(gump)
+	if len(extHanks) == 0 || len(extDiCaprio) == 0 || len(catsGump) == 0 {
+		t.Fatal("fixture warm-up produced empty entries")
+	}
+	var cat rdf.TermID
+	if len(catsGump) > 0 {
+		cat = catsGump[0]
+	}
+	_ = old.ProbGivenCategory(fHanks, cat)
+	_ = old.ProbGivenCategory(fDiCaprio, cat)
+	_ = old.CategoriesBySize(inception)
+
+	// Delta touches Tom_Hanks and Forrest_Gump's first category; the new
+	// graph is the same graph (the rules, not the data, are under test).
+	touched := map[rdf.TermID]bool{hanks: true, cat: true, gump: true}
+	fresh := NewFeatureCacheFrom(fx.Graph, old, 3, func(id rdf.TermID) bool { return touched[id] })
+
+	if fresh.Generation() != 3 {
+		t.Fatalf("generation tag %d, want 3", fresh.Generation())
+	}
+	stats := fresh.Carry()
+	if stats.Carried == 0 || stats.Dropped == 0 {
+		t.Fatalf("expected both carried and dropped entries, got %+v", stats)
+	}
+
+	// Untouched anchor: extent carried by reference (same backing array).
+	got := fresh.Extent(fDiCaprio)
+	if len(got) != len(extDiCaprio) || (len(got) > 0 && &got[0] != &extDiCaprio[0]) {
+		t.Fatal("untouched extent was not carried by reference")
+	}
+	// Touched anchor: not present until recomputed; recompute matches.
+	if sh := fresh.featureShard(fHanks); func() bool {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		_, ok := sh.extents[fHanks]
+		return ok
+	}() {
+		t.Fatal("touched extent should have been dropped")
+	}
+	if re := fresh.Extent(fHanks); !equalTermIDs(re, extHanks) {
+		t.Fatalf("recomputed extent differs on identical graph: %v vs %v", re, extHanks)
+	}
+
+	// catProb on (touched cat) dropped for both features.
+	for _, f := range []Feature{fHanks, fDiCaprio} {
+		sh := fresh.featureShard(f)
+		sh.mu.RLock()
+		_, ok := sh.catProb[catKey{f, cat}]
+		sh.mu.RUnlock()
+		if ok {
+			t.Fatalf("catProb with touched category carried for %v", f)
+		}
+	}
+
+	// catsBySize: a touched entity, or any entity whose cached category
+	// list includes the touched category, must drop.
+	for _, e := range []rdf.TermID{gump, inception} {
+		sh := fresh.entityShard(e)
+		sh.mu.RLock()
+		_, ok := sh.catsBySize[e]
+		sh.mu.RUnlock()
+		if ok && (e == gump || containsID(fresh.CategoriesBySize(e), cat)) {
+			t.Fatalf("catsBySize carried for %d despite touched dependency", e)
+		}
+	}
+
+	// Old cache is untouched: pinned readers keep their entries.
+	oldSh := old.featureShard(fHanks)
+	oldSh.mu.RLock()
+	_, stillThere := oldSh.extents[fHanks]
+	oldSh.mu.RUnlock()
+	if !stillThere {
+		t.Fatal("carry mutated the previous generation's cache")
+	}
+}
+
+// TestFeatureCacheFromNil: a nil predecessor yields a plain cold cache
+// with the generation tag set.
+func TestFeatureCacheFromNil(t *testing.T) {
+	fx := kgtest.Build()
+	c := NewFeatureCacheFrom(fx.Graph, nil, 7, nil)
+	if c.Generation() != 7 {
+		t.Fatalf("generation %d, want 7", c.Generation())
+	}
+	if s := c.Carry(); s.Carried != 0 || s.Dropped != 0 {
+		t.Fatalf("cold cache reports carry stats %+v", s)
+	}
+	if c.Graph() != fx.Graph {
+		t.Fatal("graph not wired")
+	}
+}
+
+func equalTermIDs(a, b []rdf.TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(ids []rdf.TermID, x rdf.TermID) bool {
+	for _, id := range ids {
+		if id == x {
+			return true
+		}
+	}
+	return false
+}

@@ -17,28 +17,34 @@ import (
 
 // Server serves one PivotE session over HTTP.
 //
-// Concurrency model: the graph, search index and feature cache are
-// immutable or internally synchronized, so read-only handlers (state,
-// heat map, path renderings, suggest, explain, session save) evaluate
-// concurrently under a read lock. Only handlers that mutate the session
-// timeline (query, entity/feature ops, pivot, revisit, profile lookup,
-// session load) serialize behind the write lock.
+// Concurrency model: each generation's graph, search index and feature
+// cache are immutable or internally synchronized, so read-only handlers
+// (state, heat map, path renderings, suggest, explain, session save)
+// evaluate concurrently under a read lock. Only handlers that mutate the
+// session timeline (query, entity/feature ops, pivot, revisit, profile
+// lookup, session load) serialize behind the write lock. Live ingest
+// never takes the session lock at all — it goes straight to the shared
+// generational store, which synchronizes writers itself.
 type Server struct {
 	mu  sync.RWMutex
 	eng *core.Engine
-	g   *kg.Graph
 }
+
+// graph resolves the current generation's graph. It is re-read per use
+// rather than cached at construction so that entities ingested after a
+// compaction swap resolve immediately.
+func (s *Server) graph() *kg.Graph { return s.eng.Graph() }
 
 // New wraps a fresh engine over the graph.
 func New(g *kg.Graph, opts core.Options) *Server {
-	return &Server{eng: core.New(g, opts), g: g}
+	return &Server{eng: core.New(g, opts)}
 }
 
 // NewWithShared wraps a fresh session engine over a shared read core —
 // the multi-session configuration, where building the search index per
 // session would be prohibitive.
 func NewWithShared(sh *core.Shared, opts core.Options) *Server {
-	return &Server{eng: core.NewWithShared(sh, opts), g: sh.Graph()}
+	return &Server{eng: core.NewWithShared(sh, opts)}
 }
 
 // Handler returns the HTTP handler: the versioned operation protocol
@@ -50,6 +56,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /{$}", s.handleUI)
 	mux.HandleFunc("POST /api/v1/ops", s.handleV1Ops)
 	mux.HandleFunc("GET /api/v1/state", s.handleV1State)
+	mux.HandleFunc("POST /api/v1/ingest", s.handleV1Ingest)
+	mux.HandleFunc("POST /api/v1/compact", s.handleV1Compact)
+	mux.HandleFunc("GET /api/v1/live", s.handleV1LiveStats)
 	mux.HandleFunc("GET /api/v1/session", s.handleV1SessionSave)
 	mux.HandleFunc("POST /api/v1/session", s.handleV1SessionLoad)
 	mux.HandleFunc("GET /api/state", s.handleState)
@@ -88,7 +97,19 @@ func writeEngineErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) writeState(w http.ResponseWriter, res *core.Result) {
-	writeJSON(w, http.StatusOK, toStateDTO(s.g, res))
+	// Render against the generation the result was computed on, not the
+	// one current at write time — a swap between evaluation and
+	// serialization must not mix generations in one response.
+	writeJSON(w, http.StatusOK, toStateDTO(resultGraph(s, res), res))
+}
+
+// resultGraph picks the graph to render a result with: the result's own
+// pinned generation when it has one, the current generation otherwise.
+func resultGraph(s *Server, res *core.Result) *kg.Graph {
+	if g := res.Graph(); g != nil {
+		return g
+	}
+	return s.graph()
 }
 
 func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
@@ -125,8 +146,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeState(w, res)
 }
 
-// resolveEntity accepts {"id": N} or {"name": "Forrest_Gump"}.
+// resolveEntity accepts {"id": N} or {"name": "Forrest_Gump"}. The
+// graph is captured once so validation and resolution agree on one
+// generation even if a compaction swap lands mid-request.
 func (s *Server) resolveEntity(r *http.Request) (rdf.TermID, error) {
+	g := s.graph()
 	var body struct {
 		ID   uint32 `json:"id"`
 		Name string `json:"name"`
@@ -136,13 +160,13 @@ func (s *Server) resolveEntity(r *http.Request) (rdf.TermID, error) {
 	}
 	if body.ID != 0 {
 		id := rdf.TermID(body.ID)
-		if !s.g.IsEntity(id) {
+		if !g.IsEntity(id) {
 			return rdf.NoTerm, fmt.Errorf("id %d is not an entity", body.ID)
 		}
 		return id, nil
 	}
 	if body.Name != "" {
-		if id := s.g.EntityByName(body.Name); id != rdf.NoTerm {
+		if id := g.EntityByName(body.Name); id != rdf.NoTerm {
 			return id, nil
 		}
 		return rdf.NoTerm, fmt.Errorf("unknown entity %q", body.Name)
@@ -177,7 +201,7 @@ func (s *Server) featureOp(mk func(semfeat.Feature) core.Op) http.HandlerFunc {
 			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		f, err := semfeat.Parse(s.g, body.Label)
+		f, err := semfeat.Parse(s.graph(), body.Label)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -212,6 +236,7 @@ func (s *Server) handleRevisit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	g := s.graph()
 	idStr := r.URL.Query().Get("id")
 	name := r.URL.Query().Get("name")
 	var id rdf.TermID
@@ -223,12 +248,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		id = rdf.TermID(n)
-		if !s.g.IsEntity(id) {
+		if !g.IsEntity(id) {
 			writeErr(w, http.StatusNotFound, "id %d is not an entity", n)
 			return
 		}
 	case name != "":
-		id = s.g.EntityByName(name)
+		id = g.EntityByName(name)
 		if id == rdf.NoTerm {
 			writeErr(w, http.StatusNotFound, "unknown entity %q", name)
 			return
@@ -285,6 +310,9 @@ func (s *Server) handlePathDOT(w http.ResponseWriter, r *http.Request) {
 // feature?" — the §3.2 explanation ("both performed by Tom Hanks and
 // Gary Sinise"). Query params: entity id, feature label.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	// One graph capture for the whole request: validation, probability
+	// and name rendering must agree on a single generation.
+	g := s.graph()
 	idStr := r.URL.Query().Get("entity")
 	label := r.URL.Query().Get("feature")
 	n, err := strconv.ParseUint(idStr, 10, 32)
@@ -293,11 +321,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := rdf.TermID(n)
-	if !s.g.IsEntity(id) {
+	if !g.IsEntity(id) {
 		writeErr(w, http.StatusNotFound, "id %d is not an entity", n)
 		return
 	}
-	f, err := semfeat.Parse(s.g, label)
+	f, err := semfeat.Parse(g, label)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -310,14 +338,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	explanation := ""
 	switch {
 	case holds:
-		explanation = s.g.Name(id) + " matches " + label
+		explanation = g.Name(id) + " matches " + label
 	case prob > 0:
-		explanation = s.g.Name(id) + " is related to " + label + " through its category"
+		explanation = g.Name(id) + " is related to " + label + " through its category"
 	default:
-		explanation = s.g.Name(id) + " has no correlation with " + label
+		explanation = g.Name(id) + " has no correlation with " + label
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"entity":      s.g.Name(id),
+		"entity":      g.Name(id),
 		"feature":     label,
 		"holds":       holds,
 		"probability": prob,

@@ -41,11 +41,19 @@ const sessionCookie = "pivote_session"
 // NewMulti creates a multi-session front end. maxSessions <= 0 defaults
 // to 64.
 func NewMulti(g *kg.Graph, opts core.Options, maxSessions int) *Multi {
+	return NewMultiShared(core.NewShared(g, opts), opts, maxSessions)
+}
+
+// NewMultiShared creates a multi-session front end over an existing
+// shared core — the live configuration builds the core with
+// core.NewLiveShared first so that every session shares one generational
+// store (and therefore sees every ingested triple after the next swap).
+func NewMultiShared(sh *core.Shared, opts core.Options, maxSessions int) *Multi {
 	if maxSessions <= 0 {
 		maxSessions = 64
 	}
 	return &Multi{
-		shared:   core.NewShared(g, opts),
+		shared:   sh,
 		opts:     opts,
 		max:      maxSessions,
 		sessions: map[string]*sessionEntry{},

@@ -105,9 +105,12 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
+	// One graph capture for the whole batch: every op resolves against
+	// the same generation.
+	g := s.graph()
 	ops := make([]core.Op, 0, len(req.Ops))
 	for i, d := range req.Ops {
-		op, err := core.DecodeOp(s.g, d)
+		op, err := core.DecodeOp(g, d)
 		if err != nil {
 			i := i
 			writeV1Err(w, err, &i)
@@ -126,7 +129,7 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, opsResponse{Applied: applied, State: toStateV1DTO(s.g, res)})
+	writeJSON(w, http.StatusOK, opsResponse{Applied: applied, State: toStateV1DTO(resultGraph(s, res), res)})
 }
 
 // handleV1State evaluates the current query, assembling only the
@@ -145,7 +148,7 @@ func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, toStateV1DTO(s.g, res))
+	writeJSON(w, http.StatusOK, toStateV1DTO(resultGraph(s, res), res))
 }
 
 // handleV1SessionSave downloads the op log. The body is exactly what
@@ -178,5 +181,5 @@ func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, toStateV1DTO(s.g, res))
+	writeJSON(w, http.StatusOK, toStateV1DTO(resultGraph(s, res), res))
 }

@@ -52,6 +52,7 @@ import (
 	"pivote/internal/expand"
 	"pivote/internal/heatmap"
 	"pivote/internal/kg"
+	"pivote/internal/live"
 	"pivote/internal/rdf"
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
@@ -201,8 +202,31 @@ func DecodeOp(g *Graph, d OpDTO) (Op, error) { return core.DecodeOp(g, d) }
 
 // SharedCore is the session-independent read core (graph, search index,
 // feature cache), safe for concurrent use and shared by all sessions of
-// a process.
+// a process. It is generation-aware: see NewLiveShared for the write
+// path.
 type SharedCore = core.Shared
+
+// Live-ingest surface: the generational write path of internal/live.
+type (
+	// LiveStore is the generational graph store: an immutable current
+	// generation plus a delta log of pending writes, compacted into fresh
+	// generations with an RCU swap.
+	LiveStore = live.Store
+	// LiveGeneration is one immutable graph generation (store, KG
+	// tables, search index, feature cache).
+	LiveGeneration = live.Generation
+	// LiveView is a consistent read snapshot: one generation plus the
+	// pending delta, resolved through a merged overlay.
+	LiveView = live.View
+	// IngestResult reports what one ingest batch did.
+	IngestResult = live.IngestResult
+)
+
+// NewLiveShared is NewShared with the write path enabled: the returned
+// core accepts ingest batches (sh.Live().Ingest / IngestNTriples) and
+// runs a background compactor that folds them into fresh generations
+// without ever blocking readers. Call Close on shutdown.
+func NewLiveShared(g *Graph, opts Options) *SharedCore { return core.NewLiveShared(g, opts) }
 
 // New builds a PivotE engine over a graph. The engine is stateful (it
 // owns a session); mutating operations are serialized per session by the
