@@ -1,0 +1,102 @@
+// Command benchguard compares a benchjson result file against a
+// committed baseline and exits non-zero when a benchmark regressed
+// beyond the allowed ratio — CI's guard rail against silently losing a
+// hot-path optimization.
+//
+//	benchguard -baseline BENCH_semfeat_baseline.json -current BENCH_semfeat.json -bench Rank -max-ratio 2
+//
+// The comparison is deliberately loose (a 2× default) so machine-to-
+// machine variance between the baseline recorder and the CI runner
+// doesn't flap the build; it exists to catch order-of-magnitude
+// regressions like an accidental fallback from the frozen catalog to
+// the naive scorer.
+//
+// -baseline-bench compares against a *different benchmark* instead of
+// the same one — pointing -baseline at the current run's own file then
+// yields a machine-independent in-run ratio gate:
+//
+//	benchguard -baseline BENCH_semfeat.json -baseline-bench RankNaive -current BENCH_semfeat.json -bench Rank -max-ratio 0.5
+//
+// ("Rank must stay at most half of RankNaive's ns/op on this machine",
+// immune to how fast the runner itself is.)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors the fields of cmd/benchjson's output this tool reads.
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// check compares the current run's benchmark curName against the
+// baseline file's baseName, returning a human-readable verdict and
+// whether the ratio is acceptable.
+func check(baseline, current map[string]result, baseName, curName string, maxRatio float64) (string, bool) {
+	b, okB := baseline[baseName]
+	c, okC := current[curName]
+	switch {
+	case !okB:
+		return fmt.Sprintf("benchguard: %q missing from baseline", baseName), false
+	case !okC:
+		return fmt.Sprintf("benchguard: %q missing from current run", curName), false
+	case b.NsPerOp <= 0:
+		return fmt.Sprintf("benchguard: baseline %q has non-positive ns/op", baseName), false
+	}
+	ratio := c.NsPerOp / b.NsPerOp
+	verdict := fmt.Sprintf("benchguard: %s %.0f ns/op vs baseline %s %.0f ns/op (%.2fx, limit %.2fx)",
+		curName, c.NsPerOp, baseName, b.NsPerOp, ratio, maxRatio)
+	return verdict, ratio <= maxRatio
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "benchjson file with the committed baseline")
+	currentPath := flag.String("current", "", "benchjson file from this run")
+	bench := flag.String("bench", "", "benchmark name to compare (without the Benchmark prefix)")
+	baselineBench := flag.String("baseline-bench", "", "baseline benchmark name when it differs from -bench (in-run ratio gates)")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when current ns/op exceeds baseline by this factor")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" || *bench == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -current and -bench are required")
+		os.Exit(2)
+	}
+	if *baselineBench == "" {
+		*baselineBench = *bench
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	verdict, ok := check(baseline, current, *baselineBench, *bench, *maxRatio)
+	fmt.Println(verdict)
+	if !ok {
+		os.Exit(1)
+	}
+}

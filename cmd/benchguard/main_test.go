@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckWithinLimit(t *testing.T) {
+	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
+	current := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1900}}
+	verdict, ok := check(baseline, current, "Rank", "Rank", 2)
+	if !ok {
+		t.Fatalf("1.9x should pass a 2x limit: %s", verdict)
+	}
+	if !strings.Contains(verdict, "1.90x") {
+		t.Fatalf("verdict missing ratio: %s", verdict)
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
+	current := map[string]result{"Rank": {Name: "Rank", NsPerOp: 2100}}
+	if verdict, ok := check(baseline, current, "Rank", "Rank", 2); ok {
+		t.Fatalf("2.1x must fail a 2x limit: %s", verdict)
+	}
+}
+
+func TestCheckInRunRatio(t *testing.T) {
+	// Machine-independent gate: Rank vs RankNaive out of one run.
+	run := map[string]result{
+		"Rank":      {Name: "Rank", NsPerOp: 1000},
+		"RankNaive": {Name: "RankNaive", NsPerOp: 5400},
+	}
+	verdict, ok := check(run, run, "RankNaive", "Rank", 0.5)
+	if !ok {
+		t.Fatalf("5.4x speedup must pass a 0.5x in-run limit: %s", verdict)
+	}
+	slow := map[string]result{
+		"Rank":      {Name: "Rank", NsPerOp: 3000},
+		"RankNaive": {Name: "RankNaive", NsPerOp: 5400},
+	}
+	if verdict, ok := check(slow, slow, "RankNaive", "Rank", 0.5); ok {
+		t.Fatalf("0.56x must fail a 0.5x in-run limit: %s", verdict)
+	}
+}
+
+func TestCheckMissingEntries(t *testing.T) {
+	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
+	if _, ok := check(baseline, map[string]result{}, "Rank", "Rank", 2); ok {
+		t.Fatal("missing current entry must fail")
+	}
+	if _, ok := check(map[string]result{}, baseline, "Rank", "Rank", 2); ok {
+		t.Fatal("missing baseline entry must fail")
+	}
+	zero := map[string]result{"Rank": {Name: "Rank", NsPerOp: 0}}
+	if _, ok := check(zero, baseline, "Rank", "Rank", 2); ok {
+		t.Fatal("non-positive baseline must fail")
+	}
+}
+
+func TestLoadParsesBenchjsonOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJSON(t, dir, "bench.json", `[
+	  {"name":"Rank","iterations":100,"ns_per_op":913.7,"bytes_per_op":448,"allocs_per_op":1},
+	  {"name":"RankNaive","iterations":50,"ns_per_op":5308}
+	]`)
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["Rank"].NsPerOp != 913.7 || got["RankNaive"].NsPerOp != 5308 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := writeJSON(t, t.TempDir(), "bad.json", "{not json")
+	if _, err := load(bad); err == nil {
+		t.Fatal("malformed file must error")
+	}
+}

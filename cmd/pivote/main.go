@@ -6,6 +6,7 @@
 //	pivote [-addr :8080] [-scale 2000] [-seed 42]          # synthetic KG
 //	pivote [-addr :8080] -load graph.nt                    # real N-Triples
 //	pivote [-addr :8080] -live                             # enable live ingest
+//	pivote [-addr :8080] -pprof localhost:6060             # profiling side listener
 //
 // With -live the graph accepts writes at runtime (POST /api/v1/ingest);
 // a background compactor folds them into fresh generations without ever
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +43,27 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "concurrent user sessions kept in memory")
 	live := flag.Bool("live", false, "enable the live ingest write path (POST /api/v1/ingest)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "address for a net/http/pprof side listener (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling runs on its own listener and mux so the diagnostic
+		// surface never shares a port (or a handler namespace) with user
+		// traffic; hot-path regressions are then diagnosable in production
+		// with the standard go tool pprof endpoints.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	var g *pivote.Graph
 	var err error

@@ -144,6 +144,10 @@ func (sh *Shared) Searcher() *search.Engine { return sh.Generation().Searcher }
 // FeatureCache exposes the current generation's semantic-feature cache.
 func (sh *Shared) FeatureCache() *semfeat.FeatureCache { return sh.Generation().Features }
 
+// Catalog exposes the current generation's frozen feature catalog — the
+// dense FeatureID space semantic-feature ranking scatters over.
+func (sh *Shared) Catalog() *semfeat.Catalog { return sh.Generation().Catalog }
+
 // Engine is a single-user PivotE instance: per-session query state over
 // the shared read core. Methods that mutate the session are not safe for
 // concurrent use; the HTTP server serializes them per session and lets

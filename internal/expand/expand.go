@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
+	"sync"
 
 	"pivote/internal/kg"
 	"pivote/internal/rdf"
@@ -283,66 +285,116 @@ func (x *Expander) expandFeatureCount(ctx context.Context, seeds []rdf.TermID, k
 	return x.rankTop(sc, cands, k), nil
 }
 
-// neighborSet returns the semantic entity neighbourhood of e.
-func (x *Expander) neighborSet(e rdf.TermID) map[rdf.TermID]bool {
-	set := map[rdf.TermID]bool{}
+// nbrScratch pools the dense working state of the neighbourhood
+// baselines: an epoch-stamped visited array for per-set deduplication
+// (same pattern as the scorer's scratch), a second stamp for candidate
+// collection, and reusable ID buffers. Replacing the per-call
+// map[rdf.TermID]bool removed the last per-pivot map allocation in the
+// package.
+type nbrScratch struct {
+	epoch     uint32
+	stamp     []uint32 // per-call neighbour dedup
+	candEpoch uint32
+	candStamp []uint32 // candidate-set dedup
+	buf       []rdf.TermID
+	seeds     []rdf.TermID
+	types     []rdf.TermID
+}
+
+var nbrPool = sync.Pool{New: func() interface{} { return &nbrScratch{} }}
+
+// begin sizes the stamp arrays for n term IDs and opens a fresh
+// candidate epoch.
+func (ns *nbrScratch) begin(n int) {
+	if len(ns.stamp) < n {
+		ns.stamp = make([]uint32, n)
+		ns.candStamp = make([]uint32, n)
+	}
+	ns.candEpoch++
+	if ns.candEpoch == 0 {
+		for i := range ns.candStamp {
+			ns.candStamp[i] = 0
+		}
+		ns.candEpoch = 1
+	}
+}
+
+// neighborAppend appends the distinct semantic entity neighbours of e to
+// dst and returns it sorted ascending. dst must be empty (or nil); the
+// pooled stamp array deduplicates without allocating.
+func (x *Expander) neighborAppend(ns *nbrScratch, dst []rdf.TermID, e rdf.TermID) []rdf.TermID {
+	ns.epoch++
+	if ns.epoch == 0 {
+		for i := range ns.stamp {
+			ns.stamp[i] = 0
+		}
+		ns.epoch = 1
+	}
 	voc := x.g.Voc()
 	for _, edge := range x.g.Store().Out(e) {
-		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) {
-			set[edge.Node] = true
+		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) && ns.stamp[edge.Node] != ns.epoch {
+			ns.stamp[edge.Node] = ns.epoch
+			dst = append(dst, edge.Node)
 		}
 	}
 	for _, edge := range x.g.Store().In(e) {
-		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) {
-			set[edge.Node] = true
+		if !voc.IsMeta(edge.P) && x.g.IsEntity(edge.Node) && ns.stamp[edge.Node] != ns.epoch {
+			ns.stamp[edge.Node] = ns.epoch
+			dst = append(dst, edge.Node)
 		}
 	}
-	return set
+	slices.Sort(dst)
+	return dst
 }
 
 // expandNeighbors implements the common-neighbour and Jaccard baselines.
 // Candidates are entities at distance 2 from a seed (sharing at least one
-// neighbour).
+// neighbour). Neighbour sets are sorted ID runs deduplicated through the
+// pooled stamps; intersections are linear merges.
 func (x *Expander) expandNeighbors(ctx context.Context, seeds []rdf.TermID, k int, jaccard bool) ([]Ranked, error) {
-	seedSet := map[rdf.TermID]bool{}
-	for _, s := range seeds {
-		seedSet[s] = true
-	}
-	seedNbrs := make([]map[rdf.TermID]bool, len(seeds))
-	candSet := map[rdf.TermID]bool{}
+	ns := nbrPool.Get().(*nbrScratch)
+	defer nbrPool.Put(ns)
+	ns.begin(x.denseSize())
+
+	sortedSeeds := append(ns.seeds[:0], seeds...)
+	slices.Sort(sortedSeeds)
+	ns.seeds = sortedSeeds
+	seedNbrs := make([][]rdf.TermID, len(seeds))
+	var cands []rdf.TermID
 	for i, s := range seeds {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		seedNbrs[i] = x.neighborSet(s)
-		for n := range seedNbrs[i] {
-			for c := range x.neighborSet(n) {
-				if !seedSet[c] || x.opts.IncludeSeeds {
-					candSet[c] = true
+		seedNbrs[i] = x.neighborAppend(ns, nil, s)
+		for _, n := range seedNbrs[i] {
+			ns.buf = x.neighborAppend(ns, ns.buf[:0], n)
+			for _, c := range ns.buf {
+				if !x.opts.IncludeSeeds && rdf.ContainsSorted(sortedSeeds, c) {
+					continue
+				}
+				if ns.candStamp[c] != ns.candEpoch {
+					ns.candStamp[c] = ns.candEpoch
+					cands = append(cands, c)
 				}
 			}
 		}
 	}
-	var seedTypes map[rdf.TermID]bool
+	ns.types = ns.types[:0]
 	if x.opts.SameTypeOnly {
-		seedTypes = map[rdf.TermID]bool{}
 		for _, s := range seeds {
-			if t := x.g.PrimaryType(s); t != rdf.NoTerm {
-				seedTypes[t] = true
+			if t := x.g.PrimaryType(s); t != rdf.NoTerm && !slices.Contains(ns.types, t) {
+				ns.types = append(ns.types, t)
 			}
 		}
-	}
-	cands := make([]rdf.TermID, 0, len(candSet))
-	for c := range candSet {
-		if !x.opts.IncludeSeeds && seedSet[c] {
-			continue
+		kept := cands[:0]
+		for _, c := range cands {
+			if slices.Contains(ns.types, x.g.PrimaryType(c)) {
+				kept = append(kept, c)
+			}
 		}
-		if seedTypes != nil && !seedTypes[x.g.PrimaryType(c)] {
-			continue
-		}
-		cands = append(cands, c)
+		cands = kept
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	slices.Sort(cands)
 
 	ranked := make([]Ranked, 0, len(cands))
 	for i, c := range cands {
@@ -351,17 +403,12 @@ func (x *Expander) expandNeighbors(ctx context.Context, seeds []rdf.TermID, k in
 				return nil, err
 			}
 		}
-		cn := x.neighborSet(c)
+		ns.buf = x.neighborAppend(ns, ns.buf[:0], c)
 		score := 0.0
 		for i := range seeds {
-			inter := 0
-			for n := range cn {
-				if seedNbrs[i][n] {
-					inter++
-				}
-			}
+			inter := rdf.IntersectSorted(ns.buf, seedNbrs[i])
 			if jaccard {
-				union := len(cn) + len(seedNbrs[i]) - inter
+				union := len(ns.buf) + len(seedNbrs[i]) - inter
 				if union > 0 {
 					score += float64(inter) / float64(union)
 				}
@@ -393,18 +440,17 @@ func (x *Expander) expandPPR(ctx context.Context, seeds []rdf.TermID, k int) ([]
 		p[s] = v
 	}
 	// Neighbour lists are recomputed per iteration frontier but memoized
-	// across iterations: the frontier stabilizes quickly.
+	// across iterations: the frontier stabilizes quickly. Each list is
+	// built through the pooled stamp dedup, not a per-node set map.
+	sc := nbrPool.Get().(*nbrScratch)
+	defer nbrPool.Put(sc)
+	sc.begin(x.denseSize())
 	nbrCache := map[rdf.TermID][]rdf.TermID{}
 	neighbors := func(e rdf.TermID) []rdf.TermID {
 		if ns, ok := nbrCache[e]; ok {
 			return ns
 		}
-		set := x.neighborSet(e)
-		ns := make([]rdf.TermID, 0, len(set))
-		for n := range set {
-			ns = append(ns, n)
-		}
-		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		ns := x.neighborAppend(sc, nil, e)
 		nbrCache[e] = ns
 		return ns
 	}

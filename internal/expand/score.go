@@ -41,6 +41,13 @@ type scratch struct {
 	seeds   []rdf.TermID // sorted seed buffer
 	types   []rdf.TermID // seed primary-type buffer
 
+	// fids holds the dense catalog FeatureIDs of this pass's features,
+	// resolved once in scatter (NoFeature for off-catalog features or
+	// when the graph has no catalog), so the back-off table fill reads
+	// the frozen per-category rows instead of re-resolving Feature
+	// structs through the cache.
+	fids []semfeat.FeatureID
+
 	// Back-off table for one pass: the distinct categories of the
 	// candidate set are assigned dense indexes, and catProb[j*C+ci] holds
 	// p(π_j|c_ci), so the per-candidate back-off walk reads arrays only.
@@ -91,16 +98,31 @@ var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
 // scatter adds r(π,Q) of every feature into the accumulator over the
 // feature's extent and records the match bit. Feature index j must fit
 // the mask stride chosen by the caller. The context is checked once per
-// feature — the unit of the long scatter loop.
+// feature — the unit of the long scatter loop. Features are resolved to
+// dense catalog FeatureIDs once here; the extent read and the later
+// back-off fill then work on the frozen flat arrays directly.
 func (x *Expander) scatter(ctx context.Context, sc *scratch, feats []semfeat.Score) error {
+	cat := x.en.Catalog()
+	sc.fids = sc.fids[:0]
 	w := sc.words
 	for j, fs := range feats {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		fid := semfeat.NoFeature
+		if cat != nil {
+			fid = cat.Lookup(fs.Feature)
+		}
+		sc.fids = append(sc.fids, fid)
+		var ext []rdf.TermID
+		if fid != semfeat.NoFeature {
+			ext = cat.Extent(fid)
+		} else {
+			ext = x.en.Extent(fs.Feature)
+		}
 		bit := uint64(1) << (j % 64)
 		word := j / 64
-		for _, e := range x.en.Extent(fs.Feature) {
+		for _, e := range ext {
 			if sc.stamp[e] != sc.epoch {
 				sc.stamp[e] = sc.epoch
 				sc.acc[e] = 0
@@ -151,9 +173,18 @@ func (x *Expander) prepareBackoffTable(sc *scratch, cands []rdf.TermID, feats []
 	}
 	sc.catProb = sc.catProb[:len(feats)*c]
 	cache := x.en.Cache()
+	catalog := x.en.Catalog()
 	par.For(len(feats), 4, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			row := sc.catProb[j*c : (j+1)*c]
+			if fid := sc.fids[j]; catalog != nil && fid != semfeat.NoFeature {
+				// Dense path: read the frozen per-category back-off rows
+				// keyed by FeatureID — no locks, no map probes.
+				for ci, cat := range sc.catList {
+					row[ci] = catalog.ProbGivenCategory(fid, cat)
+				}
+				continue
+			}
 			for ci, cat := range sc.catList {
 				row[ci] = cache.ProbGivenCategory(feats[j].Feature, cat)
 			}

@@ -22,9 +22,13 @@ type Graph struct {
 	// primaryType precomputes the most specific type of every entity
 	// (NoTerm for non-entities), so the same-type candidate filter costs
 	// one load per candidate instead of a types scan with per-type
-	// member counts.
+	// member counts; catSize holds ‖E(c)‖ per category (0 for
+	// non-categories), the denominator of every back-off probability and
+	// the sort key of the most-specific-first category order, so neither
+	// the feature-catalog build nor the lazy cache recounts members.
 	isEntity    []bool
 	primaryType []rdf.TermID
+	catSize     []int32
 }
 
 // NewGraph builds the graph view. The store must already be frozen.
@@ -60,6 +64,10 @@ func NewGraph(st *rdf.Store) *Graph {
 	typeSize := make(map[rdf.TermID]int, len(g.types))
 	for _, t := range g.types {
 		typeSize[t] = st.CountSubjects(g.voc.Type, t)
+	}
+	g.catSize = make([]int32, n)
+	for _, c := range g.categories {
+		g.catSize[c] = int32(st.CountSubjects(g.voc.Subject, c))
 	}
 	g.primaryType = make([]rdf.TermID, n)
 	for _, e := range g.entities {
@@ -181,6 +189,15 @@ func (g *Graph) TypeMembers(t rdf.TermID) []rdf.TermID {
 // CategoryMembers returns the sorted entities in category c.
 func (g *Graph) CategoryMembers(c rdf.TermID) []rdf.TermID {
 	return g.store.Subjects(g.voc.Subject, c)
+}
+
+// CategorySize returns ‖E(c)‖ — the member count of category c, 0 for
+// non-categories. Precomputed at graph construction; a single load.
+func (g *Graph) CategorySize(c rdf.TermID) int {
+	if int(c) >= len(g.catSize) {
+		return 0
+	}
+	return int(g.catSize[c])
 }
 
 // Attributes returns the literal values attached to e via non-metadata

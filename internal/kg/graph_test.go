@@ -91,6 +91,18 @@ func TestCategories(t *testing.T) {
 	if len(zem) != 2 {
 		t.Fatalf("Zemeckis category has %d members, want 2", len(zem))
 	}
+	// The dense size table agrees with the materialized member lists.
+	for _, c := range g.Categories() {
+		if g.CategorySize(c) != len(g.CategoryMembers(c)) {
+			t.Fatalf("CategorySize(%d) = %d, want %d", c, g.CategorySize(c), len(g.CategoryMembers(c)))
+		}
+	}
+	if g.CategorySize(f.E("Tom_Hanks")) != 0 {
+		t.Fatal("non-category must have size 0")
+	}
+	if g.CategorySize(rdf.TermID(1<<25)) != 0 {
+		t.Fatal("out-of-range id must have size 0")
+	}
 }
 
 func TestTable1FiveFieldSources(t *testing.T) {

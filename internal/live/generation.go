@@ -49,8 +49,14 @@ type Generation struct {
 	// Searcher is the keyword search engine over this generation's
 	// entity universe (frozen term-dictionary index).
 	Searcher *search.Engine
-	// Features is this generation's semantic-feature cache, seeded from
-	// the previous generation's surviving entries.
+	// Catalog is this generation's frozen feature catalog: the dense
+	// FeatureID space with flat extent/adjacency/back-off arrays that the
+	// semantic-feature ranker scatters over. Built at the same point as
+	// the search index (graph freeze / compaction).
+	Catalog *semfeat.Catalog
+	// Features is this generation's semantic-feature cache: a thin
+	// serving wrapper over Catalog plus the lazy fallback maps, seeded
+	// from the previous generation's surviving off-catalog entries.
 	Features *semfeat.FeatureCache
 }
 
@@ -64,13 +70,14 @@ func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.
 	} else {
 		searcher = search.NewEngine(g)
 	}
+	catalog := semfeat.NewCatalog(g)
 	var features *semfeat.FeatureCache
 	if prev == nil {
-		features = semfeat.NewFeatureCacheFrom(g, nil, id, nil)
+		features = semfeat.NewFeatureCacheFrom(g, catalog, nil, id, nil)
 	} else {
-		features = semfeat.NewFeatureCacheFrom(g, prev, id, touched)
+		features = semfeat.NewFeatureCacheFrom(g, catalog, prev, id, touched)
 	}
-	return &Generation{ID: id, Graph: g, Searcher: searcher, Features: features}
+	return &Generation{ID: id, Graph: g, Searcher: searcher, Catalog: catalog, Features: features}
 }
 
 // Store returns the generation's frozen triple store.

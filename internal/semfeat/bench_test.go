@@ -1,0 +1,75 @@
+package semfeat_test
+
+import (
+	"sync"
+	"testing"
+
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/synth"
+)
+
+// The benchmarks share the standard synthetic fixture the expand benches
+// use (Scaled(300), three film seeds), so BENCH_semfeat.json numbers are
+// comparable across the serving hot paths.
+var (
+	benchOnce  sync.Once
+	benchRes   *synth.Result
+	benchSeeds []rdf.TermID
+)
+
+func benchSetup() (*synth.Result, []rdf.TermID) {
+	benchOnce.Do(func() {
+		benchRes = synth.Generate(synth.Scaled(300))
+		benchSeeds = benchRes.Manifest.Films[:3]
+	})
+	return benchRes, benchSeeds
+}
+
+// BenchmarkRank is the catalog scatter ranker: candidate union from the
+// dense adjacency runs, per-seed holds/back-off scatter into
+// epoch-stamped FeatureID accumulators, streaming top-k selection.
+func BenchmarkRank(b *testing.B) {
+	res, seeds := benchSetup()
+	en := semfeat.NewEngineWithCache(semfeat.NewCatalogCache(res.Graph), semfeat.Options{})
+	if len(en.Rank(seeds, 15)) == 0 {
+		b.Fatal("no features")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := en.Rank(seeds, 15); len(s) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}
+
+// BenchmarkRankNaive is the executable-spec model on the lazy map-backed
+// cache (warmed), for the before/after record.
+func BenchmarkRankNaive(b *testing.B) {
+	res, seeds := benchSetup()
+	en := semfeat.NewEngine(res.Graph)
+	if len(en.Rank(seeds, 15)) == 0 {
+		b.Fatal("no features")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := en.Rank(seeds, 15); len(s) == 0 {
+			b.Fatal("no features")
+		}
+	}
+}
+
+// BenchmarkCatalogBuild measures the freeze/compaction-time cost the
+// frozen representation adds per generation.
+func BenchmarkCatalogBuild(b *testing.B) {
+	res, _ := benchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := semfeat.NewCatalog(res.Graph); c.NumFeatures() == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}

@@ -20,7 +20,12 @@ import (
 // their duplicate, which is cheaper than holding the lock across the
 // graph scan.
 type FeatureCache struct {
-	g      *kg.Graph
+	g *kg.Graph
+	// cat is the generation's frozen feature catalog when one was built
+	// (Freeze/compaction time); accessors serve catalog-covered features
+	// from its flat arrays and fall back to the lazy maps only for
+	// features outside the dense FeatureID space.
+	cat    *Catalog
 	gen    uint64 // generation tag (0 for caches outside the live path)
 	shards [cacheShards]cacheShard
 	carry  CarryStats
@@ -61,7 +66,14 @@ func NewFeatureCache(g *kg.Graph) *FeatureCache {
 
 // NewFeatureCacheFrom builds the next generation's cache over g, seeded
 // with every entry of the previous generation's cache that the delta
-// provably did not touch. touched reports whether a term was written by
+// provably did not touch. cat, when non-nil, is the generation's frozen
+// catalog and moves carry accounting to FeatureID granularity: every
+// feature of the new catalog is classified by the same anchor-touch rule
+// — untouched anchors count as Carried (the rebuild provably reproduced
+// the old values), touched anchors as Dropped (the delta rewrote them) —
+// and lazily-memoized entries the catalog covers are never copied (the
+// flat arrays serve them). Only off-catalog entries go through the
+// per-entry rules below. touched reports whether a term was written by
 // the delta (any S, P or O of an added or tombstoned triple, expanded
 // with the neighbours of nodes whose rdf:type set changed — see
 // live.touchedSet). Entries are invalidated by generation tag rather
@@ -80,17 +92,33 @@ func NewFeatureCache(g *kg.Graph) *FeatureCache {
 // The old cache is left intact: readers pinned to the previous
 // generation keep their fully-warm cache, which is what makes the RCU
 // swap safe without any locking between generations.
-func NewFeatureCacheFrom(g *kg.Graph, old *FeatureCache, gen uint64, touched func(rdf.TermID) bool) *FeatureCache {
+func NewFeatureCacheFrom(g *kg.Graph, cat *Catalog, old *FeatureCache, gen uint64, touched func(rdf.TermID) bool) *FeatureCache {
 	c := NewFeatureCache(g)
+	c.cat = cat
 	c.gen = gen
 	c.carry.Gen = gen
 	if old == nil {
 		return c
 	}
+	if cat != nil && touched != nil {
+		// FeatureID-granularity accounting over the frozen catalog: the
+		// anchor-touch rule decides, per dense feature, whether the swap
+		// preserved its extent (Carried) or the delta rewrote it (Dropped).
+		for i := range cat.features {
+			if touched(cat.features[i].Anchor) {
+				c.carry.Dropped++
+			} else {
+				c.carry.Carried++
+			}
+		}
+	}
 	for i := range old.shards {
 		sh := &old.shards[i]
 		sh.mu.RLock()
 		for f, ext := range sh.extents {
+			if cat != nil && cat.Lookup(f) != NoFeature {
+				continue // served frozen; already accounted above
+			}
 			if touched(f.Anchor) {
 				c.carry.Dropped++
 				continue
@@ -100,6 +128,9 @@ func NewFeatureCacheFrom(g *kg.Graph, old *FeatureCache, gen uint64, touched fun
 			c.carry.Carried++
 		}
 		for key, p := range sh.catProb {
+			if cat != nil && cat.Lookup(key.f) != NoFeature {
+				continue // served frozen; already accounted above
+			}
 			if touched(key.f.Anchor) || touched(key.cat) {
 				c.carry.Dropped++
 				continue
@@ -109,12 +140,15 @@ func NewFeatureCacheFrom(g *kg.Graph, old *FeatureCache, gen uint64, touched fun
 			c.carry.Carried++
 		}
 		for e, cats := range sh.catsBySize {
+			if cat != nil {
+				continue // the catalog covers every node's category run
+			}
 			drop := touched(e)
-			for _, cat := range cats {
+			for _, cc := range cats {
 				if drop {
 					break
 				}
-				drop = touched(cat)
+				drop = touched(cc)
 			}
 			if drop {
 				c.carry.Dropped++
@@ -128,6 +162,17 @@ func NewFeatureCacheFrom(g *kg.Graph, old *FeatureCache, gen uint64, touched fun
 	}
 	return c
 }
+
+// NewCatalogCache builds the frozen catalog for g and wraps it in a
+// cache — the standard serving configuration over a static graph. The
+// lazy maps remain as the fallback for off-catalog features.
+func NewCatalogCache(g *kg.Graph) *FeatureCache {
+	return NewFeatureCacheFrom(g, NewCatalog(g), nil, 0, nil)
+}
+
+// Catalog returns the generation's frozen feature catalog, or nil when
+// this cache serves a graph without one (the lazy fallback path).
+func (c *FeatureCache) Catalog() *Catalog { return c.cat }
 
 // Carry reports how this cache was seeded from its predecessor (zero for
 // caches built from scratch).
@@ -175,8 +220,14 @@ func (c *FeatureCache) entityShard(e rdf.TermID) *cacheShard {
 
 // Extent returns E(π) as a sorted slice of entity IDs (shared with the
 // cache; do not modify). Non-entity nodes (literals, categories, redirect
-// stubs) are excluded.
+// stubs) are excluded. Catalog-covered features are served from the flat
+// extent arrays without touching the lazy maps.
 func (c *FeatureCache) Extent(f Feature) []rdf.TermID {
+	if c.cat != nil {
+		if id := c.cat.Lookup(f); id != NoFeature {
+			return c.cat.Extent(id)
+		}
+	}
 	sh := c.featureShard(f)
 	sh.mu.RLock()
 	ext, ok := sh.extents[f]
@@ -211,12 +262,24 @@ func (c *FeatureCache) computeExtent(f Feature) []rdf.TermID {
 	return ext
 }
 
-// ExtentSize returns ‖E(π)‖.
-func (c *FeatureCache) ExtentSize(f Feature) int { return len(c.Extent(f)) }
+// ExtentSize returns ‖E(π)‖ — an offset subtraction for catalog-covered
+// features.
+func (c *FeatureCache) ExtentSize(f Feature) int {
+	if c.cat != nil {
+		if id := c.cat.Lookup(f); id != NoFeature {
+			return c.cat.ExtentSize(id)
+		}
+	}
+	return len(c.Extent(f))
+}
 
 // CategoriesBySize returns e's categories ordered most-specific (fewest
 // members) first. The slice is shared with the cache; do not modify.
+// With a catalog this is a slice of the frozen category run — no locks.
 func (c *FeatureCache) CategoriesBySize(e rdf.TermID) []rdf.TermID {
+	if c.cat != nil {
+		return c.cat.CategoriesBySize(e)
+	}
 	sh := c.entityShard(e)
 	sh.mu.RLock()
 	cats, ok := sh.catsBySize[e]
@@ -237,14 +300,20 @@ func (c *FeatureCache) CategoriesBySize(e rdf.TermID) []rdf.TermID {
 
 func (c *FeatureCache) computeCategoriesBySize(e rdf.TermID) []rdf.TermID {
 	cats := append([]rdf.TermID(nil), c.g.CategoriesOf(e)...)
-	sizes := make(map[rdf.TermID]int, len(cats))
-	for _, cat := range cats {
-		sizes[cat] = len(c.g.CategoryMembers(cat))
-	}
-	// Insertion sort: category lists are short (a handful per entity).
+	sortCategoriesBySize(c.g, cats)
+	return cats
+}
+
+// sortCategoriesBySize orders a category list most-specific-first:
+// ascending member count, ties by ID. Both the lazy cache and the frozen
+// catalog build sort through here — the back-off walk order (and with it
+// the byte-identical score guarantee) is defined exactly once. Insertion
+// sort: category lists are short (a handful per entity), and sizes come
+// from the graph's dense per-category table.
+func sortCategoriesBySize(g *kg.Graph, cats []rdf.TermID) {
 	for i := 1; i < len(cats); i++ {
 		for j := i; j > 0; j-- {
-			ni, nj := sizes[cats[j]], sizes[cats[j-1]]
+			ni, nj := g.CategorySize(cats[j]), g.CategorySize(cats[j-1])
 			if ni < nj || (ni == nj && cats[j] < cats[j-1]) {
 				cats[j], cats[j-1] = cats[j-1], cats[j]
 				continue
@@ -252,11 +321,17 @@ func (c *FeatureCache) computeCategoriesBySize(e rdf.TermID) []rdf.TermID {
 			break
 		}
 	}
-	return cats
 }
 
 // ProbGivenCategory returns p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖, memoized.
+// Catalog-covered features read the precomputed per-category back-off
+// rows instead.
 func (c *FeatureCache) ProbGivenCategory(f Feature, cat rdf.TermID) float64 {
+	if c.cat != nil {
+		if id := c.cat.Lookup(f); id != NoFeature {
+			return c.cat.ProbGivenCategory(id, cat)
+		}
+	}
 	key := catKey{f, cat}
 	sh := c.featureShard(f)
 	sh.mu.RLock()

@@ -46,7 +46,7 @@ func TestFeatureCacheCarryRules(t *testing.T) {
 	// Delta touches Tom_Hanks and Forrest_Gump's first category; the new
 	// graph is the same graph (the rules, not the data, are under test).
 	touched := map[rdf.TermID]bool{hanks: true, cat: true, gump: true}
-	fresh := NewFeatureCacheFrom(fx.Graph, old, 3, func(id rdf.TermID) bool { return touched[id] })
+	fresh := NewFeatureCacheFrom(fx.Graph, nil, old, 3, func(id rdf.TermID) bool { return touched[id] })
 
 	if fresh.Generation() != 3 {
 		t.Fatalf("generation tag %d, want 3", fresh.Generation())
@@ -111,7 +111,7 @@ func TestFeatureCacheCarryRules(t *testing.T) {
 // with the generation tag set.
 func TestFeatureCacheFromNil(t *testing.T) {
 	fx := kgtest.Build()
-	c := NewFeatureCacheFrom(fx.Graph, nil, 7, nil)
+	c := NewFeatureCacheFrom(fx.Graph, nil, nil, 7, nil)
 	if c.Generation() != 7 {
 		t.Fatalf("generation %d, want 7", c.Generation())
 	}

@@ -1,0 +1,358 @@
+package semfeat
+
+import (
+	"sort"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+)
+
+// FeatureID is the dense identifier of a semantic feature inside one
+// generation's Catalog. IDs are assigned in ascending (Anchor, Pred, Dir)
+// order at build time, so they index flat arrays directly and the scatter
+// ranker can use epoch-stamped dense accumulators instead of hash maps.
+// FeatureIDs are only meaningful relative to the Catalog that minted
+// them; they are not stable across generations (use Feature for that).
+type FeatureID uint32
+
+// NoFeature is the sentinel returned by Lookup for features outside the
+// catalog (non-entity anchors, metadata predicates, no matching edges).
+const NoFeature FeatureID = ^FeatureID(0)
+
+// noCat marks TermIDs that are not categories in the dense category index.
+const noCat = ^uint32(0)
+
+// Catalog is the frozen serving representation of a graph's semantic
+// features: every (anchor, pred, dir) with an entity anchor, a
+// non-metadata predicate and at least one edge is interned into a dense
+// FeatureID space at build time, and all graph-derived quantities of the
+// ranking model are materialized as flat CSR arrays:
+//
+//   - features / anchorOff: the dense feature table, grouped by anchor so
+//     Lookup is a binary search inside one anchor's run;
+//   - extents / extOff: per-feature extent E(π), non-entity members
+//     pre-filtered, sorted — ‖E(π)‖ is an offset subtraction;
+//   - adj / adjOff: entity→features adjacency (both directions folded),
+//     i.e. exactly the candidate features appendFeaturesOf enumerates and
+//     the holds-set of the p(π|e) probe;
+//   - cats / catOff: per-node category run ordered most-specific (fewest
+//     members) first — the back-off walk order;
+//   - cpFeat / cpProb / cpOff: per-category back-off rows, each the
+//     sorted (FeatureID, p(π|c)) pairs with p > 0, so one seed's back-off
+//     is a scatter of its categories' rows with first-write-wins.
+//
+// A Catalog is immutable after NewCatalog and safe for unbounded
+// concurrent use; one catalog serves every session and engine of its
+// generation. The lazily-memoized FeatureCache remains the fallback for
+// features outside the catalog and for graphs without one.
+type Catalog struct {
+	g *kg.Graph
+
+	features  []Feature
+	labels    []string // anchor:pred rendering, precomputed at build
+	anchorOff []uint32
+
+	extOff  []uint32
+	extents []rdf.TermID
+
+	adjOff []uint32
+	adj    []FeatureID
+
+	catOff []uint32
+	cats   []rdf.TermID
+
+	catIdx []uint32      // TermID → dense category index (noCat otherwise)
+	cpOff  []uint32      // dense category index → row bounds
+	cpFeat []FeatureID   // row: features with p(π|c) > 0, ascending
+	cpProb []float64     // row: the matching p(π|c) values
+}
+
+// NewCatalog builds the frozen feature catalog for the graph. The store
+// must be frozen (any kg.Graph satisfies this). Construction is a small
+// constant number of near-linear passes over the CSR adjacency.
+func NewCatalog(g *kg.Graph) *Catalog {
+	st := g.Store()
+	nodes := int(st.MaxTermID()) + 1
+	c := &Catalog{g: g}
+
+	// Pass 1: count features per anchor, total extent entries, and the
+	// per-node feature-adjacency degrees.
+	anchorCount := make([]uint32, nodes+1)
+	adjCount := make([]uint32, nodes+1)
+	nFeat, nExt := 0, 0
+	forEachAnchorRun(g, func(a, p rdf.TermID, dir Dir, run []rdf.Edge) {
+		anchorCount[a]++
+		nFeat++
+		for _, e := range run {
+			adjCount[e.Node]++
+			if g.IsEntity(e.Node) {
+				nExt++
+			}
+		}
+	})
+
+	c.anchorOff = prefixSum(anchorCount)
+	c.adjOff = prefixSum(adjCount)
+	c.features = make([]Feature, 0, nFeat)
+	c.labels = make([]string, 0, nFeat)
+	c.extOff = make([]uint32, 1, nFeat+1)
+	c.extents = make([]rdf.TermID, 0, nExt)
+	c.adj = make([]FeatureID, c.adjOff[len(c.adjOff)-1])
+
+	// Pass 2: emit the feature table, labels, extents and adjacency. The
+	// enumeration order is identical to pass 1, so FeatureIDs ascend in
+	// (Anchor, Pred, Dir) order and every adjacency run ends up sorted.
+	adjCur := append([]uint32(nil), c.adjOff[:len(c.adjOff)-1]...)
+	dict := g.Dict()
+	forEachAnchorRun(g, func(a, p rdf.TermID, dir Dir, run []rdf.Edge) {
+		fid := FeatureID(len(c.features))
+		c.features = append(c.features, Feature{Anchor: a, Pred: p, Dir: dir})
+		anchor := dict.Term(a).LocalName()
+		pred := dict.Term(p).LocalName()
+		if dir == Forward {
+			c.labels = append(c.labels, anchor+":~"+pred)
+		} else {
+			c.labels = append(c.labels, anchor+":"+pred)
+		}
+		for _, e := range run {
+			c.adj[adjCur[e.Node]] = fid
+			adjCur[e.Node]++
+			if g.IsEntity(e.Node) {
+				c.extents = append(c.extents, e.Node)
+			}
+		}
+		c.extOff = append(c.extOff, uint32(len(c.extents)))
+	})
+
+	c.buildCategoryTables(nodes)
+	return c
+}
+
+// buildCategoryTables materializes the dense category index, the
+// per-node most-specific-first category runs, and the per-category
+// back-off probability rows.
+func (c *Catalog) buildCategoryTables(nodes int) {
+	g, st, voc := c.g, c.g.Store(), c.g.Voc()
+	catList := g.Categories()
+	c.catIdx = make([]uint32, nodes+1)
+	for i := range c.catIdx {
+		c.catIdx[i] = noCat
+	}
+	for ci, cat := range catList {
+		c.catIdx[cat] = uint32(ci)
+	}
+
+	// Per-node category runs, through the same most-specific-first sort
+	// as the lazy computeCategoriesBySize.
+	catCount := make([]uint32, nodes+1)
+	for _, s := range st.NodesWithOut() {
+		catCount[s] = uint32(st.CountObjects(s, voc.Subject))
+	}
+	c.catOff = prefixSum(catCount)
+	c.cats = make([]rdf.TermID, c.catOff[len(c.catOff)-1])
+	for _, s := range st.NodesWithOut() {
+		run := c.cats[c.catOff[s]:c.catOff[s+1]]
+		st.ObjectsAppend(run[:0], s, voc.Subject)
+		sortCategoriesBySize(g, run)
+	}
+
+	// Per-category back-off rows: p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖ for every
+	// feature with a non-empty intersection. An entity member m of c lies
+	// in E(π) exactly when π ∈ adj[m], so one pass over the members'
+	// adjacency runs counts every intersection at once.
+	c.cpOff = make([]uint32, len(catList)+1)
+	cnt := make([]uint32, len(c.features))
+	stamp := make([]uint32, len(c.features))
+	var touched []FeatureID
+	var members []rdf.TermID
+	for ci, cat := range catList {
+		pass := uint32(ci) + 1
+		touched = touched[:0]
+		members = st.SubjectsAppend(members[:0], voc.Subject, cat)
+		for _, m := range members {
+			if !g.IsEntity(m) {
+				continue
+			}
+			for _, fid := range c.FeaturesHeldBy(m) {
+				if stamp[fid] != pass {
+					stamp[fid] = pass
+					cnt[fid] = 0
+					touched = append(touched, fid)
+				}
+				cnt[fid]++
+			}
+		}
+		sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+		denom := float64(len(members))
+		for _, fid := range touched {
+			c.cpFeat = append(c.cpFeat, fid)
+			c.cpProb = append(c.cpProb, float64(cnt[fid])/denom)
+		}
+		c.cpOff[ci+1] = uint32(len(c.cpFeat))
+	}
+}
+
+// forEachAnchorRun enumerates every catalog feature in ascending
+// (Anchor, Pred, Dir) order along with its raw (unfiltered) edge run:
+// for each entity anchor, the In runs yield Backward features (extent =
+// subjects) and the Out runs yield Forward features (extent = objects),
+// metadata predicates skipped. Both CSR runs are sorted by (P, Node), so
+// one merge walk visits the predicate groups in order, Backward before
+// Forward on a shared predicate.
+func forEachAnchorRun(g *kg.Graph, fn func(anchor, pred rdf.TermID, dir Dir, run []rdf.Edge)) {
+	st := g.Store()
+	voc := g.Voc()
+	for _, a := range g.Entities() {
+		in, out := st.In(a), st.Out(a)
+		i, j := 0, 0
+		for i < len(in) || j < len(out) {
+			var p rdf.TermID
+			switch {
+			case i >= len(in):
+				p = out[j].P
+			case j >= len(out):
+				p = in[i].P
+			case in[i].P <= out[j].P:
+				p = in[i].P
+			default:
+				p = out[j].P
+			}
+			var inRun, outRun []rdf.Edge
+			if i < len(in) && in[i].P == p {
+				k := i
+				for k < len(in) && in[k].P == p {
+					k++
+				}
+				inRun, i = in[i:k], k
+			}
+			if j < len(out) && out[j].P == p {
+				k := j
+				for k < len(out) && out[k].P == p {
+					k++
+				}
+				outRun, j = out[j:k], k
+			}
+			if voc.IsMeta(p) {
+				continue
+			}
+			if inRun != nil {
+				fn(a, p, Backward, inRun)
+			}
+			if outRun != nil {
+				fn(a, p, Forward, outRun)
+			}
+		}
+	}
+}
+
+func prefixSum(counts []uint32) []uint32 {
+	off := make([]uint32, len(counts)+1)
+	for i, n := range counts {
+		off[i+1] = off[i] + n
+	}
+	return off
+}
+
+// Graph exposes the catalog's graph.
+func (c *Catalog) Graph() *kg.Graph { return c.g }
+
+// NumFeatures reports the size of the dense FeatureID space.
+func (c *Catalog) NumFeatures() int { return len(c.features) }
+
+// FeatureAt returns the feature with the given dense ID.
+func (c *Catalog) FeatureAt(id FeatureID) Feature { return c.features[id] }
+
+// LabelOf returns the precomputed anchor:predicate rendering of id.
+func (c *Catalog) LabelOf(id FeatureID) string { return c.labels[id] }
+
+// Lookup resolves a feature to its dense ID, or NoFeature when the
+// feature is outside the catalog (non-entity anchor, metadata predicate,
+// or no matching edge). Cost: one binary search inside the anchor's run.
+func (c *Catalog) Lookup(f Feature) FeatureID {
+	a := int(f.Anchor)
+	if a+1 >= len(c.anchorOff) {
+		return NoFeature
+	}
+	lo, hi := c.anchorOff[a], c.anchorOff[a+1]
+	run := c.features[lo:hi]
+	i := sort.Search(len(run), func(i int) bool {
+		if run[i].Pred != f.Pred {
+			return run[i].Pred >= f.Pred
+		}
+		return run[i].Dir >= f.Dir
+	})
+	if i < len(run) && run[i].Pred == f.Pred && run[i].Dir == f.Dir {
+		return FeatureID(lo) + FeatureID(i)
+	}
+	return NoFeature
+}
+
+// Extent returns E(π) of the feature: its entity members, ascending. The
+// slice aliases the catalog's arrays; do not modify.
+func (c *Catalog) Extent(id FeatureID) []rdf.TermID {
+	return c.extents[c.extOff[id]:c.extOff[id+1]]
+}
+
+// ExtentSize returns ‖E(π)‖ — two loads and a subtraction.
+func (c *Catalog) ExtentSize(id FeatureID) int {
+	return int(c.extOff[id+1] - c.extOff[id])
+}
+
+// FeaturesHeldBy returns the dense IDs of every catalog feature the node
+// holds (matches its triple pattern), ascending — the union of
+// appendFeaturesOf's Backward and Forward enumerations. The slice aliases
+// the catalog's arrays; do not modify.
+func (c *Catalog) FeaturesHeldBy(e rdf.TermID) []FeatureID {
+	if int(e)+1 >= len(c.adjOff) {
+		return nil
+	}
+	return c.adj[c.adjOff[e]:c.adjOff[e+1]]
+}
+
+// CategoriesBySize returns the node's categories ordered most-specific
+// (fewest members) first — the back-off walk order. The slice aliases the
+// catalog's arrays; do not modify.
+func (c *Catalog) CategoriesBySize(e rdf.TermID) []rdf.TermID {
+	if int(e)+1 >= len(c.catOff) {
+		return nil
+	}
+	return c.cats[c.catOff[e]:c.catOff[e+1]]
+}
+
+// ProbGivenCategory returns p(π|c) = ‖E(π)∩E(c)‖/‖E(c)‖ for a catalog
+// feature, 0 when cat is not a category or the intersection is empty.
+func (c *Catalog) ProbGivenCategory(id FeatureID, cat rdf.TermID) float64 {
+	if int(cat) >= len(c.catIdx) {
+		return 0
+	}
+	ci := c.catIdx[cat]
+	if ci == noCat {
+		return 0
+	}
+	fids, probs := c.catRow(ci)
+	i := sort.Search(len(fids), func(i int) bool { return fids[i] >= id })
+	if i < len(fids) && fids[i] == id {
+		return probs[i]
+	}
+	return 0
+}
+
+// catRow returns the back-off row of one dense category index: the
+// ascending FeatureIDs with p(π|c) > 0 and their probabilities.
+func (c *Catalog) catRow(ci uint32) ([]FeatureID, []float64) {
+	lo, hi := c.cpOff[ci], c.cpOff[ci+1]
+	return c.cpFeat[lo:hi], c.cpProb[lo:hi]
+}
+
+// catRowOf is catRow keyed by category TermID (empty row when cat is not
+// a category).
+func (c *Catalog) catRowOf(cat rdf.TermID) ([]FeatureID, []float64) {
+	if int(cat) >= len(c.catIdx) {
+		return nil, nil
+	}
+	ci := c.catIdx[cat]
+	if ci == noCat {
+		return nil, nil
+	}
+	return c.catRow(ci)
+}

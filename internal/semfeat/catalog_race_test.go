@@ -1,0 +1,125 @@
+package semfeat_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/live"
+	"pivote/internal/rdf"
+	"pivote/internal/semfeat"
+	"pivote/internal/synth"
+)
+
+// TestCatalogSharedRace hammers one frozen catalog from many engines
+// with different model options concurrently — the multi-session serving
+// shape. Run with -race; every goroutine also asserts its rankings stay
+// identical run over run, so pooled-scratch leaks surface as test
+// failures even without the race detector.
+func TestCatalogSharedRace(t *testing.T) {
+	res := synth.Generate(synth.Scaled(60))
+	cache := semfeat.NewCatalogCache(res.Graph)
+	films := res.Manifest.Films
+
+	optSet := []semfeat.Options{
+		{},
+		{Strict: true},
+		{UniformDiscriminability: true},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			en := semfeat.NewEngineWithCache(cache, optSet[w%len(optSet)])
+			seeds := []rdf.TermID{films[w%len(films)], films[(w+3)%len(films)]}
+			want := en.Rank(seeds, 10)
+			for i := 0; i < 200; i++ {
+				if got := en.Rank(seeds, 10); !reflect.DeepEqual(got, want) {
+					t.Errorf("worker %d: ranking drifted on iteration %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCatalogAcrossCompactionSwap hammers feature ranking while live
+// ingest batches land and compaction swaps publish fresh generations,
+// each with its own catalog. Readers pin one generation per rank — a pin
+// must keep serving its own frozen catalog bit-for-bit even after the
+// store has moved on several generations.
+func TestCatalogAcrossCompactionSwap(t *testing.T) {
+	fx := kgtest.Build()
+	s := live.NewStore(fx.Graph, live.Config{})
+	dict := fx.Store.Dict()
+	voc := fx.Graph.Voc()
+	starring := dict.LookupIRI("http://pivote.dev/ontology/starring")
+	filmType := fx.Store.Objects(fx.E("Forrest_Gump"), voc.Type)[0]
+	seeds := []rdf.TermID{fx.E("Forrest_Gump"), fx.E("Apollo_13")}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pinnedGen uint64
+			var pinnedWant []semfeat.Score
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen := s.Generation()
+				en := semfeat.NewEngineWithCache(gen.Features, semfeat.Options{})
+				got := en.Rank(seeds, 8)
+				if gen.ID == pinnedGen && pinnedWant != nil {
+					if !reflect.DeepEqual(got, pinnedWant) {
+						t.Errorf("generation %d ranking changed under ingest", gen.ID)
+						return
+					}
+				} else {
+					pinnedGen, pinnedWant = gen.ID, got
+				}
+				if gen.Catalog == nil {
+					t.Error("generation published without a catalog")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		film := dict.Intern(rdf.NewIRI(kgtestFilmIRI(i)))
+		batch := []rdf.Triple{
+			{S: film, P: voc.Type, O: filmType},
+			{S: film, P: starring, O: fx.E("Tom_Hanks")},
+		}
+		if _, err := s.Ingest(batch, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.CompactNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final generation's catalog must include the ingested films in
+	// the Tom_Hanks:starring extent.
+	gen := s.Generation()
+	fid := gen.Catalog.Lookup(semfeat.Feature{Anchor: fx.E("Tom_Hanks"), Pred: starring, Dir: semfeat.Backward})
+	if fid == semfeat.NoFeature {
+		t.Fatal("Tom_Hanks:starring missing from the final catalog")
+	}
+	if n := gen.Catalog.ExtentSize(fid); n != 6+12 {
+		t.Fatalf("final extent size %d, want 18", n)
+	}
+}
+
+func kgtestFilmIRI(i int) string {
+	return "http://pivote.dev/resource/Hammer_Film_" + string(rune('A'+i))
+}

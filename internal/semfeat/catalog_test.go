@@ -1,0 +1,178 @@
+package semfeat
+
+import (
+	"testing"
+
+	"pivote/internal/kg"
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+	"pivote/internal/synth"
+)
+
+// catalogTestGraphs returns the graphs the property tests sweep: the
+// handcrafted fixture and a synthetic graph big enough to have multi-run
+// anchors, shared predicates in both directions and non-trivial category
+// overlap.
+func catalogTestGraphs(t *testing.T) []*kg.Graph {
+	t.Helper()
+	return []*kg.Graph{kgtest.Build().Graph, synth.Generate(synth.Scaled(80)).Graph}
+}
+
+// TestCatalogFeatureTable: the dense feature table is sorted by
+// (Anchor, Pred, Dir), Lookup round-trips every ID, off-catalog probes
+// miss, and labels match the reference renderer.
+func TestCatalogFeatureTable(t *testing.T) {
+	for _, g := range catalogTestGraphs(t) {
+		c := NewCatalog(g)
+		if c.NumFeatures() == 0 {
+			t.Fatal("catalog is empty")
+		}
+		prev := Feature{}
+		for id := 0; id < c.NumFeatures(); id++ {
+			f := c.FeatureAt(FeatureID(id))
+			if id > 0 && !featureLess(prev, f) {
+				t.Fatalf("feature table not strictly ascending at %d: %+v !< %+v", id, prev, f)
+			}
+			prev = f
+			if got := c.Lookup(f); got != FeatureID(id) {
+				t.Fatalf("Lookup(FeatureAt(%d)) = %d", id, got)
+			}
+			if !g.IsEntity(f.Anchor) {
+				t.Fatalf("feature %d has non-entity anchor %d", id, f.Anchor)
+			}
+			if g.Voc().IsMeta(f.Pred) {
+				t.Fatalf("feature %d has metadata predicate %d", id, f.Pred)
+			}
+			if want := Label(g, f); c.LabelOf(FeatureID(id)) != want {
+				t.Fatalf("label of %d = %q, want %q", id, c.LabelOf(FeatureID(id)), want)
+			}
+		}
+		// Misses: unknown anchor/pred, out-of-range anchor.
+		if got := c.Lookup(Feature{Anchor: prev.Anchor, Pred: g.Voc().Type, Dir: Backward}); got != NoFeature {
+			t.Fatalf("meta-predicate lookup hit %d", got)
+		}
+		if got := c.Lookup(Feature{Anchor: rdf.TermID(1 << 25), Pred: prev.Pred}); got != NoFeature {
+			t.Fatalf("out-of-range lookup hit %d", got)
+		}
+	}
+}
+
+func featureLess(a, b Feature) bool {
+	if a.Anchor != b.Anchor {
+		return a.Anchor < b.Anchor
+	}
+	if a.Pred != b.Pred {
+		return a.Pred < b.Pred
+	}
+	return a.Dir < b.Dir
+}
+
+// TestCatalogExtentsMatchReference: every feature's frozen extent equals
+// the lazily-computed reference, and ExtentSize agrees.
+func TestCatalogExtentsMatchReference(t *testing.T) {
+	for _, g := range catalogTestGraphs(t) {
+		c := NewCatalog(g)
+		ref := NewFeatureCache(g) // map-backed reference, no catalog
+		for id := 0; id < c.NumFeatures(); id++ {
+			f := c.FeatureAt(FeatureID(id))
+			got := c.Extent(FeatureID(id))
+			want := ref.Extent(f)
+			if !equalTermIDs(got, want) {
+				t.Fatalf("extent of %+v = %v, want %v", f, got, want)
+			}
+			if c.ExtentSize(FeatureID(id)) != len(want) {
+				t.Fatalf("extent size of %+v = %d, want %d", f, c.ExtentSize(FeatureID(id)), len(want))
+			}
+		}
+	}
+}
+
+// TestCatalogAdjacencyMatchesReference: FeaturesHeldBy(e) is exactly the
+// deduplicated feature enumeration of the naive candidate generator, for
+// every node of the graph (entities and non-entities alike).
+func TestCatalogAdjacencyMatchesReference(t *testing.T) {
+	for _, g := range catalogTestGraphs(t) {
+		c := NewCatalog(g)
+		en := NewEngine(g) // naive enumeration
+		maxID := int(g.Store().MaxTermID())
+		for e := 0; e <= maxID; e++ {
+			want := sortDedupFeatures(en.FeaturesOf(rdf.TermID(e)))
+			got := c.FeaturesHeldBy(rdf.TermID(e))
+			if len(got) != len(want) {
+				t.Fatalf("node %d holds %d catalog features, want %d", e, len(got), len(want))
+			}
+			for i, fid := range got {
+				if c.FeatureAt(fid) != want[i] {
+					t.Fatalf("node %d feature %d = %+v, want %+v", e, i, c.FeatureAt(fid), want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCatalogCategoriesMatchReference: the frozen most-specific-first
+// category runs and the per-(feature, category) back-off probabilities
+// equal the map-backed reference over the full cross product.
+func TestCatalogCategoriesMatchReference(t *testing.T) {
+	for _, g := range catalogTestGraphs(t) {
+		c := NewCatalog(g)
+		ref := NewFeatureCache(g)
+		maxID := int(g.Store().MaxTermID())
+		for e := 0; e <= maxID; e++ {
+			got := c.CategoriesBySize(rdf.TermID(e))
+			want := ref.CategoriesBySize(rdf.TermID(e))
+			if !equalTermIDs(got, want) {
+				t.Fatalf("categories of %d = %v, want %v", e, got, want)
+			}
+		}
+		// Cross product, feature-sampled on big graphs to bound runtime.
+		cats := append([]rdf.TermID{rdf.TermID(1 << 25)}, g.Categories()...)
+		stride := 1
+		if c.NumFeatures() > 300 {
+			stride = c.NumFeatures() / 300
+		}
+		for id := 0; id < c.NumFeatures(); id += stride {
+			f := c.FeatureAt(FeatureID(id))
+			for _, cat := range cats {
+				got := c.ProbGivenCategory(FeatureID(id), cat)
+				want := ref.ProbGivenCategory(f, cat)
+				if got != want {
+					t.Fatalf("p(%+v|%d) = %v, want %v", f, cat, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCatalogCacheServesCatalog: a catalog-backed cache serves extents,
+// sizes, category runs and probabilities from the flat arrays with the
+// same values as the lazy reference, and leaves the lazy maps empty for
+// covered features.
+func TestCatalogCacheServesCatalog(t *testing.T) {
+	fx := kgtest.Build()
+	cache := NewCatalogCache(fx.Graph)
+	ref := NewFeatureCache(fx.Graph)
+	c := cache.Catalog()
+	if c == nil {
+		t.Fatal("no catalog attached")
+	}
+	for id := 0; id < c.NumFeatures(); id++ {
+		f := c.FeatureAt(FeatureID(id))
+		if !equalTermIDs(cache.Extent(f), ref.Extent(f)) {
+			t.Fatalf("cache extent of %+v diverges", f)
+		}
+		if cache.ExtentSize(f) != ref.ExtentSize(f) {
+			t.Fatalf("cache extent size of %+v diverges", f)
+		}
+	}
+	for i := range cache.shards {
+		if n := len(cache.shards[i].extents); n != 0 {
+			t.Fatalf("lazy extent map populated (%d entries) despite catalog coverage", n)
+		}
+	}
+	// Off-catalog feature (metadata predicate) falls back to the lazy path.
+	meta := Feature{Anchor: fx.E("American_films"), Pred: fx.Graph.Voc().Subject, Dir: Backward}
+	if !equalTermIDs(cache.Extent(meta), ref.Extent(meta)) {
+		t.Fatal("fallback extent diverges from reference")
+	}
+}

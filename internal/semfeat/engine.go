@@ -54,6 +54,10 @@ func (en *Engine) Graph() *kg.Graph { return en.g }
 // Cache exposes the feature cache (shared or private).
 func (en *Engine) Cache() *FeatureCache { return en.cache }
 
+// Catalog exposes the frozen feature catalog behind the cache, or nil
+// when the engine runs on the lazy fallback path.
+func (en *Engine) Catalog() *Catalog { return en.cache.cat }
+
 // Options returns the model options in effect.
 func (en *Engine) Options() Options { return en.opts }
 
@@ -221,10 +225,17 @@ func (en *Engine) Rank(seeds []rdf.TermID, topK int) []Score {
 	return out
 }
 
-// RankCtx is Rank with cancellation: the parallel relevance pass checks
-// the context per work chunk and the call returns ctx.Err() instead of a
-// partial ranking when canceled.
+// RankCtx is Rank with cancellation: the scoring passes check the
+// context between units of work and the call returns ctx.Err() instead
+// of a partial ranking when canceled. Engines whose cache carries a
+// frozen catalog rank term-at-a-time over the dense FeatureID space
+// (see rank_scatter.go) with byte-identical scores; the body below is
+// the naive model, kept as the executable spec and the fallback for
+// graphs without a catalog.
 func (en *Engine) RankCtx(ctx context.Context, seeds []rdf.TermID, topK int) ([]Score, error) {
+	if cat := en.cache.cat; cat != nil {
+		return en.rankCatalog(ctx, cat, seeds, topK)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,131 @@
+package semfeat
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+	"pivote/internal/synth"
+)
+
+// TestRankCatalogEquivalence: the catalog scatter ranker must be
+// byte-identical to the naive model — same features, same float64 score
+// bits, same labels, same order — across every option combination, seed
+// shape and page size, on both the handcrafted fixture and a synthetic
+// graph.
+func TestRankCatalogEquivalence(t *testing.T) {
+	fx := kgtest.Build()
+	res := synth.Generate(synth.Scaled(60))
+
+	graphs := []struct {
+		name  string
+		build func() (seedsSets map[string][]rdf.TermID, naive func(Options) *Engine, catalog func(Options) *Engine)
+	}{
+		{"fixture", func() (map[string][]rdf.TermID, func(Options) *Engine, func(Options) *Engine) {
+			seeds := map[string][]rdf.TermID{
+				"empty":      nil,
+				"single":     {fx.E("Forrest_Gump")},
+				"pair":       {fx.E("Forrest_Gump"), fx.E("Apollo_13")},
+				"triple":     {fx.E("Forrest_Gump"), fx.E("Apollo_13"), fx.E("Cast_Away")},
+				"person":     {fx.E("Tom_Hanks")},
+				"mixedKind":  {fx.E("Forrest_Gump"), fx.E("Tom_Hanks")},
+				"duplicate":  {fx.E("Apollo_13"), fx.E("Apollo_13")},
+				"nonEntity":  {fx.E("American_films")}, // category node, not an entity
+				"mixedNonE":  {fx.E("Forrest_Gump"), fx.E("American_films")},
+				"outOfRange": {rdf.TermID(1 << 20)},
+				"disjoint":   {fx.E("Forrest_Gump"), fx.E("Inception")},
+			}
+			cache := NewCatalogCache(fx.Graph)
+			return seeds,
+				func(o Options) *Engine { return NewEngineWithOptions(fx.Graph, o) },
+				func(o Options) *Engine { return NewEngineWithCache(cache, o) }
+		}},
+		{"synth", func() (map[string][]rdf.TermID, func(Options) *Engine, func(Options) *Engine) {
+			films := res.Manifest.Films
+			actors := res.Manifest.Actors
+			seeds := map[string][]rdf.TermID{
+				"single": {films[0]},
+				"pair":   {films[1], films[2]},
+				"five":   {films[0], films[3], films[5], films[7], films[9]},
+				"actors": {actors[0], actors[1]},
+				"mixed":  {films[0], actors[0]},
+			}
+			cache := NewCatalogCache(res.Graph)
+			return seeds,
+				func(o Options) *Engine { return NewEngineWithOptions(res.Graph, o) },
+				func(o Options) *Engine { return NewEngineWithCache(cache, o) }
+		}},
+	}
+
+	opts := []Options{
+		{},
+		{Strict: true},
+		{UniformDiscriminability: true},
+		{Strict: true, UniformDiscriminability: true},
+	}
+	topKs := []int{0, 1, 3, 7, 1000}
+
+	for _, gspec := range graphs {
+		seedSets, naiveOf, catalogOf := gspec.build()
+		for _, o := range opts {
+			naive := naiveOf(o)
+			catalog := catalogOf(o)
+			if catalog.Catalog() == nil {
+				t.Fatal("catalog engine has no catalog")
+			}
+			if naive.Catalog() != nil {
+				t.Fatal("naive engine unexpectedly has a catalog")
+			}
+			for name, seeds := range seedSets {
+				for _, k := range topKs {
+					label := fmt.Sprintf("%s/strict=%v,uniform=%v/%s/k=%d",
+						gspec.name, o.Strict, o.UniformDiscriminability, name, k)
+					want := naive.Rank(seeds, k)
+					got := catalog.Rank(seeds, k)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: rankings diverge\ncatalog: %+v\nnaive:   %+v", label, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRankCatalogRepeatable: the pooled scratch must not leak state
+// between calls — interleaving different seed sets and option engines
+// over one shared catalog cache reproduces the first-run results.
+func TestRankCatalogRepeatable(t *testing.T) {
+	fx := kgtest.Build()
+	cache := NewCatalogCache(fx.Graph)
+	tolerant := NewEngineWithCache(cache, Options{})
+	strict := NewEngineWithCache(cache, Options{Strict: true})
+	seedsA := []rdf.TermID{fx.E("Forrest_Gump"), fx.E("Apollo_13")}
+	seedsB := []rdf.TermID{fx.E("Tom_Hanks")}
+
+	wantA := tolerant.Rank(seedsA, 0)
+	wantB := strict.Rank(seedsB, 5)
+	for i := 0; i < 50; i++ {
+		if got := tolerant.Rank(seedsA, 0); !reflect.DeepEqual(got, wantA) {
+			t.Fatalf("iteration %d: tolerant ranking drifted", i)
+		}
+		if got := strict.Rank(seedsB, 5); !reflect.DeepEqual(got, wantB) {
+			t.Fatalf("iteration %d: strict ranking drifted", i)
+		}
+	}
+}
+
+// TestRankCatalogCancellation: a pre-canceled context returns the
+// context error and no ranking, exactly like the naive path.
+func TestRankCatalogCancellation(t *testing.T) {
+	fx := kgtest.Build()
+	en := NewEngineWithCache(NewCatalogCache(fx.Graph), Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := en.RankCtx(ctx, []rdf.TermID{fx.E("Forrest_Gump")}, 5)
+	if err == nil || out != nil {
+		t.Fatalf("canceled rank returned (%v, %v), want (nil, ctx error)", out, err)
+	}
+}

@@ -1,0 +1,213 @@
+package semfeat
+
+import (
+	"context"
+	"slices"
+	"sync"
+
+	"pivote/internal/rdf"
+	"pivote/internal/topk"
+)
+
+// The catalog ranker inverts Rank's candidate×seed probe loop into
+// term-at-a-time scatter over the dense FeatureID space, mirroring the
+// search scorer (PR 3) and the expand scorer (PR 1):
+//
+//  1. the candidate set Φ is the union of the seeds' adjacency runs,
+//     deduplicated by epoch stamp — no sort, no map, no allocation;
+//  2. per seed, p(π|e) lands on every candidate at once: the seed's
+//     adjacency run sets the holds bit (p = 1), then — unless Strict —
+//     the seed's categories are walked most-specific-first and each
+//     category's back-off row is scattered with first-write-wins, which
+//     is exactly "the most specific category with p(π|c) > 0";
+//  3. the commonality products fold in seed order into a dense
+//     accumulator, so every float multiplication happens in the same
+//     order, on the same values, as the naive model — scores are
+//     byte-identical, which the equivalence suite asserts;
+//  4. d(π) folds from the extent-offset array and survivors stream into
+//     the shared bounded top-k heap, labels attached post-selection.
+//
+// All working state lives in a pooled scratch with epoch-stamped arrays
+// sized by the catalog's FeatureID space: steady-state ranking performs
+// zero allocations beyond the result page.
+
+// catScratch is the reusable dense working state of one catalog rank.
+type catScratch struct {
+	tick  uint32
+	stamp []uint32  // stamp[f] == candidate epoch ⇔ f ∈ Φ this pass
+	acc   []float64 // running Π p(π|e) per candidate
+	hold  []uint32  // hold[f] == seed pass ⇔ current seed holds f
+	boSt  []uint32  // boSt[f] == seed pass ⇔ back-off written for f
+	bo    []float64 // back-off p(π|c*) of the current seed
+	cands []FeatureID
+	heap  topk.Heap[catHit]
+}
+
+// catHit is the compact selection record of one scoring survivor. The
+// dense FeatureID was assigned in ascending (Anchor, Pred, Dir) order,
+// so comparing IDs is exactly the lessScore identity tiebreak — the
+// shared bounded heap selects over 16-byte records instead of 48-byte
+// Scores, which are materialized (with labels) only post-selection.
+type catHit struct {
+	r   float64
+	ext int32
+	fid FeatureID
+}
+
+// catHitLess is lessScore over the compact record.
+func catHitLess(a, b catHit) bool {
+	if a.r != b.r {
+		return a.r > b.r
+	}
+	if a.ext != b.ext {
+		return a.ext < b.ext
+	}
+	return a.fid < b.fid
+}
+
+var catScratchPool = sync.Pool{New: func() interface{} { return &catScratch{} }}
+
+// begin sizes the dense arrays for n features and reserves ticks for one
+// candidate epoch plus one pass per seed, clearing stamps on wrap.
+func (sc *catScratch) begin(n, ticks int) uint32 {
+	if len(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+		sc.acc = make([]float64, n)
+		sc.hold = make([]uint32, n)
+		sc.boSt = make([]uint32, n)
+		sc.bo = make([]float64, n)
+	}
+	if sc.tick > ^uint32(0)-uint32(ticks) {
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+			sc.hold[i] = 0
+			sc.boSt[i] = 0
+		}
+		sc.tick = 0
+	}
+	sc.cands = sc.cands[:0]
+	sc.tick++
+	return sc.tick
+}
+
+// rankCatalog is RankCtx over the frozen catalog.
+func (en *Engine) rankCatalog(ctx context.Context, cat *Catalog, seeds []rdf.TermID, topK int) ([]Score, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := catScratchPool.Get().(*catScratch)
+	epoch := sc.begin(cat.NumFeatures(), len(seeds)+1)
+
+	// Candidate union: every feature some seed holds.
+	for _, e := range seeds {
+		for _, fid := range cat.FeaturesHeldBy(e) {
+			if sc.stamp[fid] != epoch {
+				sc.stamp[fid] = epoch
+				sc.acc[fid] = 1
+				sc.cands = append(sc.cands, fid)
+			}
+		}
+	}
+
+	// Per-seed scatter + fold: p(π|e) for every candidate at once.
+	// Candidates whose product hits zero are compacted out — the naive
+	// model short-circuits the same way, and every later seed then pays
+	// only for candidates that can still score.
+	strict := en.opts.Strict
+	for _, e := range seeds {
+		if err := ctx.Err(); err != nil {
+			catScratchPool.Put(sc)
+			return nil, err
+		}
+		sc.tick++
+		pass := sc.tick
+		for _, fid := range cat.FeaturesHeldBy(e) {
+			sc.hold[fid] = pass
+		}
+		if !strict {
+			for _, ct := range cat.CategoriesBySize(e) {
+				fids, probs := cat.catRowOf(ct)
+				if len(fids) <= 8*len(sc.cands) {
+					// Scatter the row: first write wins, so an earlier
+					// (more specific) category keeps its p(π|c*).
+					for i, fid := range fids {
+						if sc.stamp[fid] == epoch && sc.boSt[fid] != pass {
+							sc.boSt[fid] = pass
+							sc.bo[fid] = probs[i]
+						}
+					}
+					continue
+				}
+				// The row dwarfs the candidate set (a huge category):
+				// gather instead — binary-probe only the candidates still
+				// missing a back-off value for this seed.
+				for _, fid := range sc.cands {
+					if sc.hold[fid] == pass || sc.boSt[fid] == pass || sc.acc[fid] == 0 {
+						continue
+					}
+					if i, ok := slices.BinarySearch(fids, fid); ok {
+						sc.boSt[fid] = pass
+						sc.bo[fid] = probs[i]
+					}
+				}
+			}
+		}
+		live := sc.cands[:0]
+		for _, fid := range sc.cands {
+			if sc.hold[fid] == pass {
+				live = append(live, fid) // p = 1: multiplying by one is the identity
+				continue
+			}
+			if sc.acc[fid] == 0 {
+				continue // the naive product short-circuited here too
+			}
+			if !strict && sc.boSt[fid] == pass {
+				sc.acc[fid] *= sc.bo[fid]
+				if sc.acc[fid] != 0 {
+					live = append(live, fid)
+				}
+			} else {
+				sc.acc[fid] = 0
+			}
+		}
+		sc.cands = live
+	}
+	if err := ctx.Err(); err != nil {
+		catScratchPool.Put(sc)
+		return nil, err
+	}
+
+	// Fold d(π) and stream survivors into the bounded heap.
+	uniform := en.opts.UniformDiscriminability
+	sc.heap.Reset(topK, catHitLess)
+	for _, fid := range sc.cands {
+		n := cat.ExtentSize(fid)
+		if n == 0 {
+			continue // zero discriminability identifies nothing
+		}
+		d := 1 / float64(n)
+		if uniform {
+			d = 1
+		}
+		r := d * sc.acc[fid]
+		if r <= 0 {
+			continue
+		}
+		sc.heap.Push(catHit{r: r, ext: int32(n), fid: fid})
+	}
+	hits := sc.heap.Sorted()
+	var out []Score
+	if len(hits) > 0 {
+		out = make([]Score, len(hits))
+		for i, h := range hits {
+			out[i] = Score{
+				Feature:    cat.FeatureAt(h.fid),
+				Label:      cat.LabelOf(h.fid),
+				R:          h.r,
+				ExtentSize: int(h.ext),
+			}
+		}
+	}
+	catScratchPool.Put(sc)
+	return out, nil
+}

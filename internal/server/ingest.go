@@ -52,8 +52,12 @@ type liveStatsResponse struct {
 	Swaps      uint64 `json:"swaps"`
 	Triples    int    `json:"triples"`
 	Entities   int    `json:"entities"`
+	// CatalogFeatures is the size of the current generation's dense
+	// FeatureID space — the frozen semantic-feature catalog.
+	CatalogFeatures int `json:"catalogFeatures"`
 	// CacheCarried / CacheDropped report how the current generation's
-	// feature cache was seeded from its predecessor.
+	// feature state was seeded from its predecessor (FeatureID-granular
+	// when a catalog is present).
 	CacheCarried int `json:"cacheCarried"`
 	CacheDropped int `json:"cacheDropped"`
 }
@@ -145,14 +149,19 @@ func (s *Server) handleV1LiveStats(w http.ResponseWriter, r *http.Request) {
 	sh := s.eng.Shared()
 	v := sh.Live().View()
 	carry := v.Gen.Features.Carry()
+	nFeatures := 0
+	if v.Gen.Catalog != nil {
+		nFeatures = v.Gen.Catalog.NumFeatures()
+	}
 	writeJSON(w, http.StatusOK, liveStatsResponse{
-		Enabled:      sh.IngestEnabled(),
-		Generation:   v.Gen.ID,
-		Pending:      v.Pending(),
-		Swaps:        sh.Live().Swaps(),
-		Triples:      v.Len(),
-		Entities:     len(v.Gen.Graph.Entities()),
-		CacheCarried: carry.Carried,
-		CacheDropped: carry.Dropped,
+		Enabled:         sh.IngestEnabled(),
+		Generation:      v.Gen.ID,
+		Pending:         v.Pending(),
+		Swaps:           sh.Live().Swaps(),
+		Triples:         v.Len(),
+		Entities:        len(v.Gen.Graph.Entities()),
+		CatalogFeatures: nFeatures,
+		CacheCarried:    carry.Carried,
+		CacheDropped:    carry.Dropped,
 	})
 }

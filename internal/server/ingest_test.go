@@ -193,4 +193,7 @@ func TestLiveStats(t *testing.T) {
 	if stats.Triples == 0 || stats.Entities == 0 {
 		t.Fatalf("stats missing graph sizes: %+v", stats)
 	}
+	if stats.CatalogFeatures == 0 {
+		t.Fatalf("stats missing the catalog feature count: %+v", stats)
+	}
 }

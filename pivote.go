@@ -82,6 +82,12 @@ type (
 	Feature = semfeat.Feature
 	// FeatureScore is a feature with its relevance r(π,Q).
 	FeatureScore = semfeat.Score
+	// FeatureCatalog is the frozen per-generation feature catalog: the
+	// dense FeatureID space with flat extent/adjacency/back-off arrays
+	// that semantic-feature ranking scatters over.
+	FeatureCatalog = semfeat.Catalog
+	// FeatureID is a dense catalog-local feature identifier.
+	FeatureID = semfeat.FeatureID
 
 	// RankedEntity is one recommended entity.
 	RankedEntity = expand.Ranked
