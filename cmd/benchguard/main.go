@@ -19,6 +19,16 @@
 //
 // ("Rank must stay at most half of RankNaive's ns/op on this machine",
 // immune to how fast the runner itself is.)
+//
+// -gates runs a whole table of such comparisons from one JSON file, so
+// CI adds a guard by editing data instead of stacking invocations:
+//
+//	benchguard -gates benchgates.json
+//
+// Each gate entry mirrors the flags ({"baseline", "baseline_bench",
+// "current", "bench", "max_ratio"}); every gate is evaluated (no
+// short-circuit on the first failure) and the exit status is non-zero
+// when any failed.
 package main
 
 import (
@@ -70,13 +80,89 @@ func check(baseline, current map[string]result, baseName, curName string, maxRat
 	return verdict, ratio <= maxRatio
 }
 
+// gate is one row of a -gates table; the JSON field names mirror the
+// equivalent command-line flags.
+type gate struct {
+	Baseline      string  `json:"baseline"`
+	BaselineBench string  `json:"baseline_bench,omitempty"`
+	Current       string  `json:"current"`
+	Bench         string  `json:"bench"`
+	MaxRatio      float64 `json:"max_ratio"`
+}
+
+// runGates evaluates every gate in the table, printing each verdict,
+// and reports whether all passed. Result files are loaded once each no
+// matter how many gates reference them.
+func runGates(gates []gate, print func(string)) bool {
+	files := make(map[string]map[string]result)
+	loadCached := func(path string) (map[string]result, error) {
+		if rs, ok := files[path]; ok {
+			return rs, nil
+		}
+		rs, err := load(path)
+		if err == nil {
+			files[path] = rs
+		}
+		return rs, err
+	}
+	allOK := true
+	for i, gt := range gates {
+		if gt.Baseline == "" || gt.Current == "" || gt.Bench == "" || gt.MaxRatio <= 0 {
+			print(fmt.Sprintf("benchguard: gate %d: baseline, current, bench and a positive max_ratio are required", i))
+			allOK = false
+			continue
+		}
+		baseName := gt.BaselineBench
+		if baseName == "" {
+			baseName = gt.Bench
+		}
+		baseline, err := loadCached(gt.Baseline)
+		if err != nil {
+			print(fmt.Sprintf("benchguard: gate %d: %v", i, err))
+			allOK = false
+			continue
+		}
+		current, err := loadCached(gt.Current)
+		if err != nil {
+			print(fmt.Sprintf("benchguard: gate %d: %v", i, err))
+			allOK = false
+			continue
+		}
+		verdict, ok := check(baseline, current, baseName, gt.Bench, gt.MaxRatio)
+		print(verdict)
+		allOK = allOK && ok
+	}
+	return allOK
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "benchjson file with the committed baseline")
 	currentPath := flag.String("current", "", "benchjson file from this run")
 	bench := flag.String("bench", "", "benchmark name to compare (without the Benchmark prefix)")
 	baselineBench := flag.String("baseline-bench", "", "baseline benchmark name when it differs from -bench (in-run ratio gates)")
 	maxRatio := flag.Float64("max-ratio", 2, "fail when current ns/op exceeds baseline by this factor")
+	gatesPath := flag.String("gates", "", "JSON file with a table of gates to run instead of the single-flag mode")
 	flag.Parse()
+	if *gatesPath != "" {
+		raw, err := os.ReadFile(*gatesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		var gates []gate
+		if err := json.Unmarshal(raw, &gates); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *gatesPath, err)
+			os.Exit(2)
+		}
+		if len(gates) == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: empty gates table\n", *gatesPath)
+			os.Exit(2)
+		}
+		if !runGates(gates, func(s string) { fmt.Println(s) }) {
+			os.Exit(1)
+		}
+		return
+	}
 	if *baselinePath == "" || *currentPath == "" || *bench == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline, -current and -bench are required")
 		os.Exit(2)

@@ -84,6 +84,59 @@ func TestLoadParsesBenchjsonOutput(t *testing.T) {
 	}
 }
 
+func TestRunGatesAllPass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"ColdStartMmap","ns_per_op":1000}]`)
+	cur := writeJSON(t, dir, "cur.json", `[
+	  {"name":"ColdStartMmap","ns_per_op":1500},
+	  {"name":"ColdStartRebuild","ns_per_op":100000}
+	]`)
+	gates := []gate{
+		{Baseline: base, Current: cur, Bench: "ColdStartMmap", MaxRatio: 2},
+		{Baseline: cur, BaselineBench: "ColdStartRebuild", Current: cur, Bench: "ColdStartMmap", MaxRatio: 0.1},
+	}
+	var verdicts []string
+	if !runGates(gates, func(s string) { verdicts = append(verdicts, s) }) {
+		t.Fatalf("both gates should pass: %v", verdicts)
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("want one verdict per gate, got %v", verdicts)
+	}
+}
+
+func TestRunGatesEvaluatesEveryGate(t *testing.T) {
+	// A failing gate must not short-circuit the rest: all verdicts print
+	// so one CI run reports every regression at once.
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"A","ns_per_op":1000},{"name":"B","ns_per_op":1000}]`)
+	cur := writeJSON(t, dir, "cur.json", `[{"name":"A","ns_per_op":9000},{"name":"B","ns_per_op":1100}]`)
+	gates := []gate{
+		{Baseline: base, Current: cur, Bench: "A", MaxRatio: 2},
+		{Baseline: base, Current: cur, Bench: "B", MaxRatio: 2},
+	}
+	var verdicts []string
+	if runGates(gates, func(s string) { verdicts = append(verdicts, s) }) {
+		t.Fatal("gate A regressed 9x; table must fail")
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("failing gate short-circuited the table: %v", verdicts)
+	}
+}
+
+func TestRunGatesRejectsBadRows(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeJSON(t, dir, "cur.json", `[{"name":"A","ns_per_op":1000}]`)
+	for _, bad := range []gate{
+		{Current: cur, Bench: "A", MaxRatio: 2},                                            // no baseline
+		{Baseline: cur, Current: cur, Bench: "A"},                                          // no ratio
+		{Baseline: filepath.Join(dir, "nope.json"), Current: cur, Bench: "A", MaxRatio: 2}, // unreadable
+	} {
+		if runGates([]gate{bad}, func(string) {}) {
+			t.Fatalf("gate %+v must fail", bad)
+		}
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file must error")

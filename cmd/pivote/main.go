@@ -7,12 +7,20 @@
 //	pivote [-addr :8080] -load graph.nt                    # real N-Triples
 //	pivote [-addr :8080] -live                             # enable live ingest
 //	pivote [-addr :8080] -pprof localhost:6060             # profiling side listener
+//	pivote -snapshot-dir snaps -write-snapshot             # persist a generation and exit
+//	pivote [-addr :8080] -snapshot-dir snaps -restore      # mmap the newest snapshot
 //
 // With -live the graph accepts writes at runtime (POST /api/v1/ingest);
 // a background compactor folds them into fresh generations without ever
 // blocking readers. The server always shuts down gracefully: SIGINT or
 // SIGTERM stops accepting connections, drains in-flight operations for
 // up to -drain, then stops the compactor.
+//
+// With -snapshot-dir, every compaction swap under -live also persists
+// the new generation as an atomic gen-<id>.pvgen file; -restore boots
+// from the newest such snapshot via mmap — no graph build, no index
+// build — and logs the startup time either way so the cold-start win is
+// visible in ops logs.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 )
 
 func main() {
+	start := time.Now()
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.Int("scale", 2000, "synthetic KG size (films)")
 	seed := flag.Int64("seed", 42, "synthetic KG seed")
@@ -44,6 +53,9 @@ func main() {
 	live := flag.Bool("live", false, "enable the live ingest write path (POST /api/v1/ingest)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "address for a net/http/pprof side listener (e.g. localhost:6060; empty = disabled)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for generation snapshots (with -live: persist every compaction swap)")
+	restore := flag.Bool("restore", false, "boot from the newest snapshot in -snapshot-dir instead of building a graph")
+	writeSnapshot := flag.Bool("write-snapshot", false, "write a generation snapshot to -snapshot-dir and exit")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -65,30 +77,85 @@ func main() {
 		}()
 	}
 
-	var g *pivote.Graph
-	var err error
-	if *load != "" {
-		fmt.Fprintf(os.Stderr, "loading %s ...\n", *load)
-		g, err = pivote.LoadGraphFile(*load)
-		if err != nil {
-			log.Fatalf("load: %v", err)
-		}
-	} else {
-		fmt.Fprintf(os.Stderr, "generating synthetic KG (scale %d, seed %d) ...\n", *scale, *seed)
-		g = pivote.GenerateDemo(*scale, *seed)
+	if (*restore || *writeSnapshot) && *snapshotDir == "" {
+		log.Fatal("-restore and -write-snapshot require -snapshot-dir")
 	}
-	fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
-		len(g.Entities()), g.Store().Len())
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			log.Fatalf("snapshot-dir: %v", err)
+		}
+	}
 
 	opts := core.Options{TopEntities: *topEntities, TopFeatures: *topFeatures}
 	var sh *core.Shared
-	if *live {
-		sh = core.NewLiveShared(g, opts)
-		fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+	source := "synthetic"
+	if *restore {
+		path, err := pivote.FindNewestSnapshot(*snapshotDir)
+		if err != nil {
+			log.Fatalf("restore: %v", err)
+		}
+		if path == "" {
+			log.Fatalf("restore: no snapshot in %s", *snapshotDir)
+		}
+		fmt.Fprintf(os.Stderr, "restoring %s ...\n", path)
+		gen, err := pivote.OpenGeneration(path)
+		if err != nil {
+			log.Fatalf("restore: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "generation %d ready: %d entities, %d triples\n",
+			gen.ID, len(gen.Graph.Entities()), gen.Graph.Store().Len())
+		if *live {
+			sh = core.NewLiveSharedFromGeneration(gen, opts, *snapshotDir)
+			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+		} else {
+			sh = core.NewSharedFromGeneration(gen, opts)
+		}
+		source = "snapshot"
 	} else {
-		sh = core.NewShared(g, opts)
+		var g *pivote.Graph
+		var err error
+		if *load != "" {
+			fmt.Fprintf(os.Stderr, "loading %s ...\n", *load)
+			g, err = pivote.LoadGraphFile(*load)
+			if err != nil {
+				log.Fatalf("load: %v", err)
+			}
+			source = "ntriples"
+		} else {
+			fmt.Fprintf(os.Stderr, "generating synthetic KG (scale %d, seed %d) ...\n", *scale, *seed)
+			g = pivote.GenerateDemo(*scale, *seed)
+		}
+		fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
+			len(g.Entities()), g.Store().Len())
+		switch {
+		case *live && *snapshotDir != "":
+			sh = core.NewLiveSharedWithSnapshots(g, opts, *snapshotDir)
+			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+		case *live:
+			sh = core.NewLiveShared(g, opts)
+			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+		default:
+			sh = core.NewShared(g, opts)
+		}
 	}
+
+	if *writeSnapshot {
+		gen := sh.Generation()
+		path := pivote.SnapshotPath(*snapshotDir, gen.ID)
+		if err := pivote.SaveGeneration(gen, path); err != nil {
+			_ = sh.Close()
+			log.Fatalf("write-snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		if err := sh.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+		return
+	}
+
 	m := server.NewMultiShared(sh, opts, *maxSessions)
+	fmt.Fprintf(os.Stderr, "startup: %s core ready in %d ms\n",
+		source, time.Since(start).Milliseconds())
 
 	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
 	errc := make(chan error, 1)

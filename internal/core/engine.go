@@ -122,6 +122,48 @@ func NewLiveShared(g *kg.Graph, opts Options) *Shared {
 	return sh
 }
 
+// NewSharedFromGeneration builds the shared read core directly from a
+// snapshot-opened generation — no index build, no catalog build; the
+// generation serves as-is off its mapping.
+func NewSharedFromGeneration(gen *live.Generation, opts Options) *Shared {
+	opts = opts.withDefaults()
+	return &Shared{
+		ls: live.NewStoreFromGeneration(gen, live.Config{SearchParams: opts.SearchParams}),
+	}
+}
+
+// NewLiveSharedFromGeneration is NewSharedFromGeneration with the write
+// path enabled. snapshotDir, when non-empty, makes every compaction
+// swap persist the new generation there (the restore loop: boot from
+// the newest snapshot, keep publishing newer ones).
+func NewLiveSharedFromGeneration(gen *live.Generation, opts Options, snapshotDir string) *Shared {
+	opts = opts.withDefaults()
+	sh := &Shared{
+		ls: live.NewStoreFromGeneration(gen, live.Config{
+			SearchParams: opts.SearchParams,
+			SnapshotDir:  snapshotDir,
+		}),
+		ingest: true,
+	}
+	sh.ls.StartCompactor()
+	return sh
+}
+
+// NewLiveSharedWithSnapshots is NewLiveShared with compaction snapshots
+// published to snapshotDir.
+func NewLiveSharedWithSnapshots(g *kg.Graph, opts Options, snapshotDir string) *Shared {
+	opts = opts.withDefaults()
+	sh := &Shared{
+		ls: live.NewStore(g, live.Config{
+			SearchParams: opts.SearchParams,
+			SnapshotDir:  snapshotDir,
+		}),
+		ingest: true,
+	}
+	sh.ls.StartCompactor()
+	return sh
+}
+
 // Live exposes the generational store backing this core.
 func (sh *Shared) Live() *live.Store { return sh.ls }
 

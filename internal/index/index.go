@@ -20,9 +20,10 @@ package index
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 
 	"pivote/internal/rdf"
+	"pivote/internal/snap"
 )
 
 // Field enumerates the five fields of the entity representation.
@@ -77,13 +78,31 @@ type builderField struct {
 	collTF   map[string]int64
 }
 
-// Index is an immutable fielded inverted index. Build one with a Builder.
+// Index is an immutable fielded inverted index. Build one with a Builder
+// or open one from a generation snapshot.
+//
+// The term dictionary is stored flat — one concatenated byte blob plus
+// an offset array, with term tid occupying termBlob[termOff[tid]:
+// termOff[tid+1]] — rather than as []string. Lookup is the same binary
+// search either way, but the flat form has no per-term header to
+// materialize, so an index opened from a snapshot aliases the mapping
+// and is ready before a single term is touched.
 type Index struct {
-	terms    []string // sorted term dictionary, shared by all fields
+	termOff  []uint32 // sorted term dictionary, shared by all fields
+	termBlob []byte
 	fields   [NumFields]fieldIndex
-	anyDF    []int32            // TermID → #docs containing the term in ≥1 field
-	entities []rdf.TermID       // doc ordinal → entity
-	docOf    map[rdf.TermID]int // entity → doc ordinal (not on the query path)
+	anyDF    []int32      // TermID → #docs containing the term in ≥1 field
+	entities []rdf.TermID // doc ordinal → entity
+
+	// entity → doc ordinal; off the query path, so built lazily — a
+	// snapshot-opened index pays for the map only if DocOf is called.
+	docOnce sync.Once
+	docOf   map[rdf.TermID]int
+}
+
+// termAt views term tid as a string without copying.
+func (x *Index) termAt(tid int32) string {
+	return snap.UnsafeString(x.termBlob[x.termOff[tid]:x.termOff[tid+1]])
 }
 
 // Builder accumulates documents and produces an Index.
@@ -149,19 +168,33 @@ func (b *Builder) Build() *Index {
 	}
 	terms := make([]string, 0, len(seen))
 	for t := range seen {
-		// Tokens are substrings of whole lowered source strings; clone so
-		// the frozen dictionary pins only its own bytes, not every source
-		// literal a rare term happened to occur in.
-		terms = append(terms, strings.Clone(t))
+		terms = append(terms, t)
 	}
 	sort.Strings(terms)
 
+	// Compact the dictionary into the flat blob form. The blob copies
+	// the term bytes, so the frozen index pins only its own dictionary,
+	// not every source literal a rare term happened to occur in.
+	blobLen := 0
+	for _, t := range terms {
+		blobLen += len(t)
+	}
+	termOff := make([]uint32, len(terms)+1)
+	termBlob := make([]byte, 0, blobLen)
+	for i, t := range terms {
+		termOff[i] = uint32(len(termBlob))
+		termBlob = append(termBlob, t...)
+	}
+	termOff[len(terms)] = uint32(len(termBlob))
+
 	idx := &Index{
-		terms:    terms,
+		termOff:  termOff,
+		termBlob: termBlob,
 		anyDF:    make([]int32, len(terms)),
 		entities: b.entities,
 		docOf:    b.docOf,
 	}
+	idx.docOnce.Do(func() {}) // docOf is live from the start
 	for f := range b.fields {
 		bf := &b.fields[f]
 		fi := &idx.fields[f]
@@ -215,16 +248,18 @@ func (fi *fieldIndex) postingsByID(tid int32) []Posting {
 func (x *Index) DocCount() int { return len(x.entities) }
 
 // NumTerms reports the size of the term dictionary.
-func (x *Index) NumTerms() int { return len(x.terms) }
+func (x *Index) NumTerms() int { return len(x.termOff) - 1 }
 
-// Term returns the dictionary string of a TermID.
-func (x *Index) Term(tid int32) string { return x.terms[tid] }
+// Term returns the dictionary string of a TermID. The string aliases
+// the index (or the snapshot mapping) and must not be retained past it.
+func (x *Index) Term(tid int32) string { return x.termAt(tid) }
 
 // LookupTerm resolves a term string to its dense TermID via binary search
 // over the frozen dictionary; NoTerm when out of vocabulary.
 func (x *Index) LookupTerm(term string) int32 {
-	i := sort.SearchStrings(x.terms, term)
-	if i < len(x.terms) && x.terms[i] == term {
+	n := x.NumTerms()
+	i := sort.Search(n, func(i int) bool { return x.termAt(int32(i)) >= term })
+	if i < n && x.termAt(int32(i)) == term {
 		return int32(i)
 	}
 	return NoTerm
@@ -235,6 +270,13 @@ func (x *Index) Entity(doc int) rdf.TermID { return x.entities[doc] }
 
 // DocOf maps an entity to its document ordinal.
 func (x *Index) DocOf(e rdf.TermID) (int, bool) {
+	x.docOnce.Do(func() {
+		m := make(map[rdf.TermID]int, len(x.entities))
+		for i, id := range x.entities {
+			m[id] = i
+		}
+		x.docOf = m
+	})
 	d, ok := x.docOf[e]
 	return d, ok
 }

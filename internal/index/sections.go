@@ -1,0 +1,145 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"pivote/internal/rdf"
+	"pivote/internal/snap"
+)
+
+// SectionIndex holds the complete frozen inverted index: the flat term
+// dictionary, the any-field document frequencies, the doc→entity map
+// and, per field, the CSR postings with their length and collection
+// statistics.
+const SectionIndex = "index.idx"
+
+// postingWire is the on-disk posting size: u64 doc, u32 tf, 4 bytes of
+// zero padding — identical to the in-memory layout of Posting on
+// 64-bit hosts, so reads alias the mapping there.
+const postingWire = 16
+
+// AppendSections writes the index section. Postings are encoded
+// explicitly (never aliased) so struct padding bytes are deterministic
+// and identical generations produce identical files.
+func (x *Index) AppendSections(w *snap.Writer) error {
+	w.Begin(SectionIndex)
+	w.U32s(x.termOff)
+	w.Bytes(x.termBlob)
+	w.I32s(x.anyDF)
+	snap.PutU32Slice(w, x.entities)
+	for f := range x.fields {
+		fi := &x.fields[f]
+		w.I32s(fi.offsets)
+		w.Records(len(fi.posts), postingWire, func(i int, dst []byte) {
+			binary.LittleEndian.PutUint64(dst, uint64(fi.posts[i].Doc))
+			binary.LittleEndian.PutUint32(dst[8:], uint32(fi.posts[i].TF))
+		})
+		w.I32s(fi.docLen)
+		w.U64(uint64(fi.totalLen))
+		w.F64s(fi.collProb)
+	}
+	return nil
+}
+
+// OpenIndexSections reconstructs the index from a mapping. bound is the
+// term-dictionary slot count of the accompanying store: every entity ID
+// must decode through it. All arrays alias the mapping on little-endian
+// 64-bit hosts; the doc→entity map is built lazily on first DocOf.
+func OpenIndexSections(m *snap.Mapping, bound rdf.TermID) (*Index, error) {
+	c, err := m.Section(SectionIndex)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{}
+	x.termOff = c.U32s()
+	x.termBlob = c.Bytes()
+	x.anyDF = c.I32s()
+	x.entities = snap.U32Slice[rdf.TermID](c)
+	for f := range x.fields {
+		fi := &x.fields[f]
+		fi.offsets = c.I32s()
+		fi.posts = readPostings(c)
+		fi.docLen = c.I32s()
+		fi.totalLen = int64(c.U64())
+		fi.collProb = c.F64s()
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	nTerms := len(x.termOff) - 1
+	if nTerms < 0 {
+		return nil, corruptIndex("empty term offset array")
+	}
+	prev := uint32(0)
+	for _, o := range x.termOff {
+		if o < prev {
+			return nil, corruptIndex("term offsets not monotone")
+		}
+		prev = o
+	}
+	if x.termOff[0] != 0 || x.termOff[nTerms] != uint32(len(x.termBlob)) {
+		return nil, corruptIndex("term offsets do not span the %d-byte blob", len(x.termBlob))
+	}
+	for tid := int32(1); tid < int32(nTerms); tid++ {
+		if x.termAt(tid-1) >= x.termAt(tid) {
+			return nil, corruptIndex("term dictionary not sorted at %d", tid)
+		}
+	}
+	if len(x.anyDF) != nTerms {
+		return nil, corruptIndex("anyDF sized %d, want %d", len(x.anyDF), nTerms)
+	}
+	for i, e := range x.entities {
+		if e == rdf.NoTerm || e >= bound {
+			return nil, corruptIndex("document %d maps to term %d outside dictionary", i, e)
+		}
+	}
+	docs := len(x.entities)
+	for f := range x.fields {
+		fi := &x.fields[f]
+		if len(fi.offsets) != nTerms+1 || len(fi.collProb) != nTerms || len(fi.docLen) != docs {
+			return nil, corruptIndex("field %d tables mis-sized", f)
+		}
+		prev := int32(0)
+		for _, o := range fi.offsets {
+			if o < prev {
+				return nil, corruptIndex("field %d offsets not monotone", f)
+			}
+			prev = o
+		}
+		if fi.offsets[0] != 0 || int(fi.offsets[nTerms]) != len(fi.posts) {
+			return nil, corruptIndex("field %d offsets do not span %d postings", f, len(fi.posts))
+		}
+		for i, p := range fi.posts {
+			if p.Doc < 0 || p.Doc >= docs {
+				return nil, corruptIndex("field %d posting %d names document %d of %d", f, i, p.Doc, docs)
+			}
+		}
+	}
+	return x, nil
+}
+
+func corruptIndex(format string, args ...any) error {
+	return errors.Join(snap.ErrCorrupt, fmt.Errorf("index: snapshot: "+format, args...))
+}
+
+// readPostings aliases the posting array when the in-memory layout
+// matches the wire layout (64-bit little-endian hosts) and decodes it
+// otherwise.
+func readPostings(c *snap.Cursor) []Posting {
+	b, n := c.RecordBytes(postingWire)
+	if n == 0 {
+		return nil
+	}
+	if snap.HostLittleEndian() && unsafe.Sizeof(Posting{}) == postingWire {
+		return unsafe.Slice((*Posting)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Posting, n)
+	for i := range out {
+		out[i].Doc = int(binary.LittleEndian.Uint64(b[postingWire*i:]))
+		out[i].TF = int32(binary.LittleEndian.Uint32(b[postingWire*i+8:]))
+	}
+	return out
+}

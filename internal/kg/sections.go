@@ -1,0 +1,93 @@
+package kg
+
+import (
+	"errors"
+	"fmt"
+
+	"pivote/internal/rdf"
+	"pivote/internal/snap"
+)
+
+// SectionGraph holds the entity-centric view: the interned vocabulary
+// IDs, the three sorted universes and the dense per-term tables. With
+// this section present, opening a graph never interns a term — the
+// construction scan of NewGraph is replaced by bounds validation.
+const SectionGraph = "kg.graph"
+
+// AppendSections writes the graph tables (the underlying store writes
+// its own sections separately).
+func (g *Graph) AppendSections(w *snap.Writer) error {
+	w.Begin(SectionGraph)
+	w.U64(uint64(g.voc.Type))
+	w.U64(uint64(g.voc.Label))
+	w.U64(uint64(g.voc.Subject))
+	w.U64(uint64(g.voc.Redirects))
+	w.U64(uint64(g.voc.Disambiguates))
+	w.U64(uint64(g.voc.Abstract))
+	snap.PutU32Slice(w, g.entities)
+	snap.PutU32Slice(w, g.types)
+	snap.PutU32Slice(w, g.categories)
+	snap.PutBoolSlice(w, g.isEntity)
+	snap.PutU32Slice(w, g.primaryType)
+	w.I32s(g.catSize)
+	return nil
+}
+
+// OpenGraphSections reconstructs the graph view over an already-opened
+// store. The dense tables alias the mapping; validation pins every ID
+// inside the store's term range so later loads cannot go out of bounds.
+func OpenGraphSections(m *snap.Mapping, st *rdf.Store) (*Graph, error) {
+	c, err := m.Section(SectionGraph)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{store: st}
+	g.voc.Type = rdf.TermID(c.U64())
+	g.voc.Label = rdf.TermID(c.U64())
+	g.voc.Subject = rdf.TermID(c.U64())
+	g.voc.Redirects = rdf.TermID(c.U64())
+	g.voc.Disambiguates = rdf.TermID(c.U64())
+	g.voc.Abstract = rdf.TermID(c.U64())
+	g.entities = snap.U32Slice[rdf.TermID](c)
+	g.types = snap.U32Slice[rdf.TermID](c)
+	g.categories = snap.U32Slice[rdf.TermID](c)
+	g.isEntity = snap.BoolSlice(c)
+	g.primaryType = snap.U32Slice[rdf.TermID](c)
+	g.catSize = c.I32s()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	n := int(st.MaxTermID()) + 1
+	bound := rdf.TermID(st.Dict().Len()) + 1
+	for _, v := range [...]rdf.TermID{g.voc.Type, g.voc.Label, g.voc.Subject,
+		g.voc.Redirects, g.voc.Disambiguates, g.voc.Abstract} {
+		if v == rdf.NoTerm || v >= bound {
+			return nil, corruptGraph("vocabulary ID %d outside dictionary", v)
+		}
+	}
+	for name, ids := range map[string][]rdf.TermID{
+		"entities": g.entities, "types": g.types, "categories": g.categories,
+	} {
+		prev := rdf.NoTerm
+		for i, id := range ids {
+			if id == rdf.NoTerm || id >= bound || (i > 0 && id <= prev) {
+				return nil, corruptGraph("%s list entry %d out of order or range", name, i)
+			}
+			prev = id
+		}
+	}
+	if len(g.isEntity) != n || len(g.primaryType) != n || len(g.catSize) != n {
+		return nil, corruptGraph("dense tables sized %d/%d/%d, want %d",
+			len(g.isEntity), len(g.primaryType), len(g.catSize), n)
+	}
+	for i, t := range g.primaryType {
+		if t >= bound {
+			return nil, corruptGraph("primaryType[%d] = %d outside dictionary", i, t)
+		}
+	}
+	return g, nil
+}
+
+func corruptGraph(format string, args ...any) error {
+	return errors.Join(snap.ErrCorrupt, fmt.Errorf("kg: snapshot graph: "+format, args...))
+}

@@ -3,6 +3,7 @@ package live_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"pivote/internal/kg"
 	"pivote/internal/live"
 	"pivote/internal/rdf"
+	"pivote/internal/search"
 	"pivote/internal/synth"
 )
 
@@ -159,6 +161,93 @@ func BenchmarkReadUnderIngest(b *testing.B) {
 	benchEvaluate(b, sh, g)
 	close(stop)
 	wg.Wait()
+}
+
+// coldStartFixture persists the scale-2000 bench graph both ways: the
+// v1 triple snapshot (everything derived must be rebuilt on load) and
+// the v2 sectioned generation snapshot (everything derived is mapped).
+// Both files land in a bench-scoped temp dir; the OS page cache is warm
+// for both, so the pair isolates CPU cost, not disk.
+func coldStartFixture(b *testing.B) (v1Path, v2Path string) {
+	b.Helper()
+	dir := b.TempDir()
+	g := benchGraph(2000)
+	sh := core.NewShared(g, core.Options{})
+
+	v1Path = dir + "/graph.snap"
+	f, err := os.Create(v1Path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rdf.WriteSnapshot(g.Store(), f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	v2Path = live.SnapshotPath(dir, 0)
+	if err := live.WriteGenerationFile(sh.Generation(), v2Path); err != nil {
+		b.Fatal(err)
+	}
+	return v1Path, v2Path
+}
+
+// coldStartQuery is the first query a just-booted server answers — the
+// finish line of both cold-start benches, so lazily-deferred work (term
+// lookup, posting traversal) counts toward the measured path.
+func coldStartQuery(b *testing.B, sh *core.Shared) {
+	b.Helper()
+	hits := sh.Searcher().Search("forrest gump", 10, search.ModelMLM)
+	if len(hits) == 0 {
+		b.Fatal("cold-start query returned no hits")
+	}
+}
+
+// BenchmarkColdStartRebuild is time-to-first-query from the v1 triple
+// snapshot: parse the triples, rebuild the KG tables, the five-field
+// search index and the feature catalog, then answer one query. This is
+// what every restart cost before the sectioned format.
+func BenchmarkColdStartRebuild(b *testing.B) {
+	v1Path, _ := coldStartFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(v1Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := rdf.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh := core.NewShared(kg.NewGraph(st), core.Options{})
+		coldStartQuery(b, sh)
+	}
+}
+
+// BenchmarkColdStartMmap is time-to-first-query from the v2 sectioned
+// generation snapshot: mmap, checksum + structural validation, answer
+// one query. No rebuild of any derived structure — the headline number
+// of the persistence layer.
+func BenchmarkColdStartMmap(b *testing.B) {
+	_, v2Path := coldStartFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, err := live.OpenGeneration(v2Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh := core.NewSharedFromGeneration(gen, core.Options{})
+		coldStartQuery(b, sh)
+		b.StopTimer()
+		if err := gen.Mapping().Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 }
 
 func benchEvaluate(b *testing.B, sh *core.Shared, g *kg.Graph) {

@@ -33,6 +33,7 @@ import (
 	"pivote/internal/rdf"
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
+	"pivote/internal/snap"
 )
 
 // Generation is one immutable graph generation: the frozen store plus
@@ -58,7 +59,17 @@ type Generation struct {
 	// serving wrapper over Catalog plus the lazy fallback maps, seeded
 	// from the previous generation's surviving off-catalog entries.
 	Features *semfeat.FeatureCache
+
+	// mapping backs a snapshot-opened generation: the frozen arrays
+	// alias it, so it must stay mapped for the generation's lifetime.
+	// Nil for generations built in memory.
+	mapping *snap.Mapping
 }
+
+// Mapping returns the snapshot mapping this generation was opened from,
+// or nil when it was built in memory. Diagnostics only — callers must
+// not Close it while the generation is reachable.
+func (gen *Generation) Mapping() *snap.Mapping { return gen.mapping }
 
 // newGeneration builds a generation from a frozen graph. prev supplies
 // the feature-cache entries to carry forward; touched is the delta's

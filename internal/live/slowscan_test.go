@@ -1,0 +1,57 @@
+package live_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+	"pivote/internal/live"
+)
+
+// TestOpenGenerationNoSlowInputs hammers the opener with random
+// mutations of a valid snapshot and fails on any input that takes
+// longer than a generous bound — a watchdog for accidental quadratic
+// (or unbounded) validation paths that coverage fuzzing would only
+// surface as a mysterious stall.
+func TestOpenGenerationNoSlowInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation sweep")
+	}
+	fx := kgtest.Build()
+	sh := core.NewShared(fx.Graph, core.Options{TopEntities: 5, TopFeatures: 5})
+	var buf bytes.Buffer
+	if err := live.WriteGeneration(sh.Generation(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	work := append([]byte(nil), valid...)
+	for i := 0; i < 20000; i++ {
+		copy(work, valid)
+		data := work
+		switch rng.Intn(3) {
+		case 0: // flip 1-8 bytes
+			for k := rng.Intn(8) + 1; k > 0; k-- {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			data = data[:rng.Intn(len(data))]
+		case 2: // flip bytes then truncate
+			for k := rng.Intn(4) + 1; k > 0; k-- {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+			data = data[:rng.Intn(len(data))]
+		}
+		start := time.Now()
+		gen, err := live.OpenGenerationBytes(data)
+		if d := time.Since(start); d > 250*time.Millisecond {
+			t.Fatalf("iteration %d: open took %v (err=%v)", i, d, err)
+		}
+		if err == nil {
+			gen.Mapping().Close()
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pivote/internal/index"
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/semfeat"
+	"pivote/internal/snap"
+)
+
+// SectionGen holds the generation metadata: the generation ID and the
+// search hyperparameters the generation was built with, so a restored
+// process serves identically without any out-of-band configuration.
+const SectionGen = "live.gen"
+
+// SnapshotExt is the file extension of sectioned generation snapshots.
+// The v1 varint format keeps ".snap"; the sectioned serving format uses
+// its own extension so the two are never confused.
+const SnapshotExt = ".pvgen"
+
+// WriteGenerationFile atomically persists a generation: the snapshot is
+// written to a temp file in the target directory and renamed into
+// place, so a crash mid-write never leaves a half-written file where a
+// restore would look.
+func WriteGenerationFile(gen *Generation, path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pvgen-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WriteGeneration(gen, tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp opens 0600; published snapshots are ordinary data files.
+	if err = os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteGeneration writes the complete sectioned snapshot of a frozen
+// generation: metadata, dictionary, CSR store, kg tables, search index
+// and feature catalog. The write is deterministic — the same generation
+// always produces byte-identical output.
+func WriteGeneration(gen *Generation, dst io.Writer) error {
+	w := snap.NewWriter(dst)
+	w.Begin(SectionGen)
+	w.U64(gen.ID)
+	p := gen.Searcher.Params()
+	vals := make([]float64, 0, len(p.FieldWeights)+3)
+	vals = append(vals, p.FieldWeights[:]...)
+	vals = append(vals, p.Mu, p.K1, p.B)
+	w.F64s(vals)
+	if err := gen.Store().AppendSections(w); err != nil {
+		return err
+	}
+	if err := gen.Graph.AppendSections(w); err != nil {
+		return err
+	}
+	if err := gen.Searcher.Index().AppendSections(w); err != nil {
+		return err
+	}
+	if err := gen.Catalog.AppendSections(w); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// OpenGeneration opens a generation snapshot. Every flat array of the
+// returned generation aliases the file mapping (mmap where available),
+// so the open cost is the checksum pass plus O(nodes) structural
+// validation — no string materialization, no index or catalog rebuild.
+// The mapping stays open for the generation's lifetime.
+func OpenGeneration(path string) (*Generation, error) {
+	m, err := snap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := openGeneration(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return gen, nil
+}
+
+// OpenGenerationBytes is OpenGeneration over an in-memory snapshot —
+// the fuzz surface and the transport path.
+func OpenGenerationBytes(data []byte) (*Generation, error) {
+	m, err := snap.OpenBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := openGeneration(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return gen, nil
+}
+
+func openGeneration(m *snap.Mapping) (*Generation, error) {
+	c, err := m.Section(SectionGen)
+	if err != nil {
+		return nil, err
+	}
+	id := c.U64()
+	vals := c.F64s()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	var params search.Params
+	if len(vals) != len(params.FieldWeights)+3 {
+		return nil, errors.Join(snap.ErrCorrupt,
+			fmt.Errorf("live: snapshot: %d search params, want %d", len(vals), len(params.FieldWeights)+3))
+	}
+	copy(params.FieldWeights[:], vals)
+	n := len(params.FieldWeights)
+	params.Mu, params.K1, params.B = vals[n], vals[n+1], vals[n+2]
+
+	st, err := rdf.OpenStoreSections(m)
+	if err != nil {
+		return nil, err
+	}
+	g, err := kg.OpenGraphSections(m, st)
+	if err != nil {
+		return nil, err
+	}
+	bound := rdf.TermID(st.Dict().Len()) + 1
+	idx, err := index.OpenIndexSections(m, bound)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := semfeat.OpenCatalogSections(m, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Generation{
+		ID:       id,
+		Graph:    g,
+		Searcher: search.NewEngineFromIndex(g, idx, params),
+		Catalog:  cat,
+		Features: semfeat.NewFeatureCacheFrom(g, cat, nil, id, nil),
+		mapping:  m,
+	}, nil
+}
+
+// SnapshotPath names generation gen inside dir.
+func SnapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("gen-%016d%s", gen, SnapshotExt))
+}
+
+// FindNewestSnapshot returns the snapshot with the highest generation
+// ID in dir, or "" when the directory holds none (or does not exist).
+func FindNewestSnapshot(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() &&
+			strings.HasPrefix(name, "gen-") && strings.HasSuffix(name, SnapshotExt) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil
+	}
+	// The zero-padded fixed-width generation number makes the
+	// lexicographic maximum the newest generation.
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}

@@ -1,0 +1,262 @@
+package live_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+	"pivote/internal/live"
+	"pivote/internal/rdf"
+	"pivote/internal/search"
+	"pivote/internal/synth"
+)
+
+// compareEvaluations runs the op sequences through both cores and
+// requires byte-identical interface state — entities, features, heat
+// map and description, float scores included.
+func compareEvaluations(t *testing.T, label string, got, want *core.Shared, opts core.Options, ops [][]core.Op) {
+	t.Helper()
+	for i, seq := range ops {
+		gotEng := core.NewWithShared(got, opts)
+		wantEng := core.NewWithShared(want, opts)
+		gotRes, _, gotErr := gotEng.ApplyOps(context.Background(), seq, core.FieldsAll)
+		wantRes, _, wantErr := wantEng.ApplyOps(context.Background(), seq, core.FieldsAll)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s seq %d: err %v vs %v", label, i, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(gotRes.Entities, wantRes.Entities) {
+			t.Fatalf("%s seq %d: entities diverge\nsnap: %+v\nmem:  %+v", label, i, gotRes.Entities, wantRes.Entities)
+		}
+		if !reflect.DeepEqual(gotRes.Features, wantRes.Features) {
+			t.Fatalf("%s seq %d: features diverge\nsnap: %+v\nmem:  %+v", label, i, gotRes.Features, wantRes.Features)
+		}
+		if !reflect.DeepEqual(gotRes.Heat, wantRes.Heat) {
+			t.Fatalf("%s seq %d: heat maps diverge", label, i)
+		}
+		if gotRes.Description != wantRes.Description {
+			t.Fatalf("%s seq %d: descriptions diverge %q vs %q", label, i, gotRes.Description, wantRes.Description)
+		}
+	}
+}
+
+// TestSnapshotEquivalence is the acceptance check of the sectioned
+// snapshot: a generation opened from its snapshot serves byte-identical
+// results — search, expand, semantic features, heat map — to the
+// in-memory generation it was written from, including after an ingest
+// and compaction swap produced that generation.
+func TestSnapshotEquivalence(t *testing.T) {
+	fx := kgtest.Build()
+	dict := fx.Store.Dict()
+	voc := fx.Graph.Voc()
+	opts := core.Options{TopEntities: 10, TopFeatures: 8}
+
+	sh := core.NewShared(fx.Graph, opts)
+	ls := sh.Live()
+
+	// Make the persisted generation a compacted one (ID 1), so the
+	// snapshot path covers post-ingest state, not just the seed build.
+	filmType := fx.Store.Objects(fx.E("Forrest_Gump"), voc.Type)[0]
+	starring := dict.LookupIRI("http://pivote.dev/ontology/starring")
+	var batch []rdf.Triple
+	for i := 0; i < 3; i++ {
+		f := dict.Intern(rdf.NewIRI(fmt.Sprintf("http://pivote.dev/resource/Snap_Film_%d", i)))
+		lbl := dict.Intern(rdf.NewLiteral(fmt.Sprintf("Snap Film %d", i)))
+		batch = append(batch,
+			rdf.Triple{S: f, P: voc.Type, O: filmType},
+			rdf.Triple{S: f, P: voc.Label, O: lbl},
+			rdf.Triple{S: f, P: starring, O: fx.E("Tom_Hanks")},
+		)
+	}
+	if _, err := ls.Ingest(batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	gen, swapped, err := ls.CompactNow()
+	if err != nil || !swapped {
+		t.Fatalf("compact: swapped=%v err=%v", swapped, err)
+	}
+
+	var buf bytes.Buffer
+	if err := live.WriteGeneration(gen, &buf); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := live.OpenGenerationBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.ID != gen.ID {
+		t.Fatalf("generation ID %d, want %d", opened.ID, gen.ID)
+	}
+	snapShared := core.NewSharedFromGeneration(opened, opts)
+
+	ops := [][]core.Op{
+		{core.OpSubmit("forrest gump")},
+		{core.OpSubmit("snap film"), core.OpAddSeed(fx.E("Forrest_Gump"))},
+		{core.OpPivot(fx.E("Tom_Hanks"))},
+		{core.OpLookup(fx.E("Apollo_13"))},
+	}
+	compareEvaluations(t, "fixture", snapShared, sh, opts, ops)
+
+	// The opened generation accepts new ingest: its dictionary grows
+	// past the mapped base region and the next compaction works.
+	snapLS := snapShared.Live()
+	d2 := opened.Graph.Dict()
+	nf := d2.Intern(rdf.NewIRI("http://pivote.dev/resource/Post_Restore_Film"))
+	post := []rdf.Triple{
+		{S: nf, P: voc.Type, O: filmType},
+		{S: nf, P: starring, O: fx.E("Tom_Hanks")},
+	}
+	if _, err := snapLS.Ingest(post, nil); err != nil {
+		t.Fatal(err)
+	}
+	gen2, swapped, err := snapLS.CompactNow()
+	if err != nil || !swapped {
+		t.Fatalf("post-restore compact: swapped=%v err=%v", swapped, err)
+	}
+	if gen2.ID != opened.ID+1 {
+		t.Fatalf("post-restore generation ID %d, want %d", gen2.ID, opened.ID+1)
+	}
+	if !gen2.Graph.Store().Has(nf, starring, fx.E("Tom_Hanks")) {
+		t.Fatal("post-restore ingest lost")
+	}
+}
+
+// TestSnapshotEquivalenceSweep covers the option/seed matrix: different
+// synthetic graphs and search hyperparameters must all round-trip to
+// byte-identical rankings.
+func TestSnapshotEquivalenceSweep(t *testing.T) {
+	custom := search.DefaultParams()
+	custom.Mu = 250
+	custom.FieldWeights[0] = 0.6
+	sweeps := []struct {
+		name   string
+		scale  int
+		seed   int64
+		params *search.Params
+	}{
+		{"scale40-seed1", 40, 1, nil},
+		{"scale60-seed7", 60, 7, nil},
+		{"scale40-custom-params", 40, 3, &custom},
+	}
+	for _, sw := range sweeps {
+		t.Run(sw.name, func(t *testing.T) {
+			cfg := synth.Scaled(sw.scale)
+			cfg.Seed = sw.seed
+			g := synth.Generate(cfg).Graph
+			opts := core.Options{TopEntities: 12, TopFeatures: 10, SearchParams: sw.params}
+			mem := core.NewShared(g, opts)
+
+			var buf bytes.Buffer
+			if err := live.WriteGeneration(mem.Generation(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			opened, err := live.OpenGenerationBytes(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deliberately leave opts.SearchParams unset on the restore
+			// side for the custom sweep: the snapshot itself carries the
+			// hyperparameters, so the restored engine must match anyway.
+			snap := core.NewSharedFromGeneration(opened, core.Options{TopEntities: 12, TopFeatures: 10})
+
+			hanks := g.EntityByName("Tom_Hanks")
+			ops := [][]core.Op{
+				{core.OpSubmit("forrest gump")},
+				{core.OpSubmit("tom hanks"), core.OpAddSeed(g.EntityByName("Forrest_Gump"))},
+				{core.OpPivot(hanks)},
+			}
+			compareEvaluations(t, sw.name, snap, mem, opts, ops)
+		})
+	}
+}
+
+// TestSnapshotDeterministic: the same generation serializes to the same
+// bytes, and a write→open→write cycle is a fixed point — the foundation
+// of the byte-identical equivalence claims.
+func TestSnapshotDeterministic(t *testing.T) {
+	fx := kgtest.Build()
+	opts := core.Options{TopEntities: 8, TopFeatures: 6}
+	sh := core.NewShared(fx.Graph, opts)
+	gen := sh.Generation()
+
+	var a, b bytes.Buffer
+	if err := live.WriteGeneration(gen, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.WriteGeneration(gen, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of one generation differ")
+	}
+	opened, err := live.OpenGenerationBytes(a.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := live.WriteGeneration(opened, &c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("write→open→write is not a fixed point")
+	}
+}
+
+// TestSnapshotDirPublication: a store configured with SnapshotDir
+// persists every compaction swap, FindNewestSnapshot locates the
+// latest, and OpenGeneration serves it from an mmapped file.
+func TestSnapshotDirPublication(t *testing.T) {
+	dir := t.TempDir()
+	fx := kgtest.Build()
+	dict := fx.Store.Dict()
+	voc := fx.Graph.Voc()
+	ls := live.NewStore(fx.Graph, live.Config{SnapshotDir: dir})
+
+	filmType := fx.Store.Objects(fx.E("Forrest_Gump"), voc.Type)[0]
+	for round := 0; round < 2; round++ {
+		f := dict.Intern(rdf.NewIRI(fmt.Sprintf("http://pivote.dev/resource/Dir_Film_%d", round)))
+		if _, err := ls.Ingest([]rdf.Triple{{S: f, P: voc.Type, O: filmType}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ls.CompactNow(); err != nil {
+			t.Fatal(err)
+		}
+		path, err := ls.LastSnapshot()
+		if err != nil {
+			t.Fatalf("round %d: snapshot publication failed: %v", round, err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("round %d: published snapshot missing: %v", round, err)
+		}
+	}
+
+	newest, err := live.FindNewestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := live.SnapshotPath(dir, 2); newest != want {
+		t.Fatalf("newest = %q, want %q", newest, want)
+	}
+	opened, err := live.OpenGeneration(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.ID != 2 {
+		t.Fatalf("restored generation ID %d, want 2", opened.ID)
+	}
+	if m := opened.Mapping(); m == nil {
+		t.Fatal("file-opened generation has no mapping")
+	}
+	// Empty and absent directories are "no snapshot", not an error.
+	if p, err := live.FindNewestSnapshot(filepath.Join(dir, "missing")); err != nil || p != "" {
+		t.Fatalf("missing dir: %q, %v", p, err)
+	}
+}

@@ -20,6 +20,12 @@ type Config struct {
 	// kicks the background compactor (when started). <= 0 selects the
 	// default of 2048.
 	CompactThreshold int
+	// SnapshotDir, when non-empty, makes every compaction swap persist
+	// the new generation as a sectioned snapshot (gen-<id>.pvgen) in
+	// this directory, written atomically. A later process restores it
+	// with OpenGeneration + NewStoreFromGeneration. Snapshot write
+	// failures never fail the compaction; LastSnapshot reports them.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -40,8 +46,8 @@ type Store struct {
 	cfg  Config
 	view atomic.Pointer[View]
 
-	mu     sync.Mutex // guards log, final, closed, and view publication
-	log    []logEntry
+	mu  sync.Mutex // guards log, final, closed, and view publication
+	log []logEntry
 	// final is the incrementally maintained fold of log (last writer
 	// wins per triple); kept alongside it so a batch costs O(batch) to
 	// fold plus O(pending) to index, instead of re-folding the whole log.
@@ -55,6 +61,10 @@ type Store struct {
 	wg        sync.WaitGroup
 
 	swaps atomic.Uint64
+
+	snapMu   sync.Mutex // guards the last-snapshot record
+	snapPath string
+	snapErr  error
 }
 
 // NewStore builds a live store over a frozen seed graph as generation 0.
@@ -68,6 +78,23 @@ func NewStore(g *kg.Graph, cfg Config) *Store {
 		stop:  make(chan struct{}),
 	}
 	gen := newGeneration(0, g, s.cfg.SearchParams, nil, nil)
+	s.view.Store(&View{Gen: gen, delta: emptyDelta})
+	return s
+}
+
+// NewStoreFromGeneration builds a live store serving an already-opened
+// generation — the snapshot restore path. The generation keeps its
+// snapshot ID, so the next compaction publishes ID+1 and snapshot
+// filenames stay monotone across restarts. Ingest and compaction work
+// exactly as after NewStore; the shared dictionary grows past the
+// mapped base region as new terms arrive.
+func NewStoreFromGeneration(gen *Generation, cfg Config) *Store {
+	s := &Store{
+		cfg:   cfg.withDefaults(),
+		final: map[rdf.Triple]bool{},
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
 	s.view.Store(&View{Gen: gen, delta: emptyDelta})
 	return s
 }
@@ -264,7 +291,27 @@ func (s *Store) CompactNow() (*Generation, bool, error) {
 	s.view.Store(&View{Gen: gen2, delta: delta})
 	s.mu.Unlock()
 	s.swaps.Add(1)
+
+	// Persist the published generation while still holding compactMu, so
+	// snapshots appear in ID order. Readers are already on gen2; a write
+	// failure is recorded, never propagated — serving beats durability.
+	if s.cfg.SnapshotDir != "" {
+		path := SnapshotPath(s.cfg.SnapshotDir, gen2.ID)
+		err := WriteGenerationFile(gen2, path)
+		s.snapMu.Lock()
+		s.snapPath, s.snapErr = path, err
+		s.snapMu.Unlock()
+	}
 	return gen2, true, nil
+}
+
+// LastSnapshot reports the most recent snapshot publication attempt:
+// the target path and its error (nil on success). Both are zero until
+// the first compaction swap with SnapshotDir configured.
+func (s *Store) LastSnapshot() (string, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapPath, s.snapErr
 }
 
 // Close stops accepting ingest and shuts the compactor down. Pending

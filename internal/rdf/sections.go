@@ -1,0 +1,270 @@
+package rdf
+
+import (
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"pivote/internal/snap"
+)
+
+// Generation-snapshot sections for the RDF layer. AppendSections writes
+// the dictionary and the frozen CSR store as two checksummed sections;
+// OpenStoreSections rebuilds both from an opened mapping with zero
+// copies of the bulk arrays on little-endian hosts. This is the v2
+// sectioned format — the varint stream in snapshot.go (version 1) stays
+// as the portable interchange format; sections are the serving format.
+const (
+	// SectionDict holds the term dictionary as a flat base region:
+	// slot count, per-slot kind bytes, 3n+1 string offsets and one
+	// string blob (value/datatype/lang runs back to back).
+	SectionDict = "rdf.dict"
+	// SectionStore holds the frozen CSR adjacency: both offset arrays,
+	// both edge arrays, the subject list and the scalar stats.
+	SectionStore = "rdf.store"
+)
+
+// AppendSections writes the dictionary and store sections. The store
+// must be frozen: sections serialize the CSR arrays, not the build log.
+func (st *Store) AppendSections(w *snap.Writer) error {
+	if err := st.CheckFrozen(); err != nil {
+		return err
+	}
+	if err := st.dict.appendSection(w); err != nil {
+		return err
+	}
+	w.Begin(SectionStore)
+	w.U32s(st.outOff)
+	putEdges(w, st.outEdges)
+	w.U32s(st.inOff)
+	putEdges(w, st.inEdges)
+	snap.PutU32Slice(w, st.subjects)
+	w.U64(uint64(st.objects))
+	w.U64(uint64(st.triples))
+	return nil
+}
+
+// OpenStoreSections reconstructs a frozen store (and its dictionary)
+// from a mapping. Every array aliases the mapping on little-endian
+// hosts; the store is immediately queryable. Structural invariants the
+// hot paths rely on — offset monotonicity, edge IDs inside the
+// dictionary — are validated here so that even a checksum-valid but
+// malformed file yields a typed error instead of a panic later.
+func OpenStoreSections(m *snap.Mapping) (*Store, error) {
+	dict, err := openDictSection(m)
+	if err != nil {
+		return nil, err
+	}
+	c, err := m.Section(SectionStore)
+	if err != nil {
+		return nil, err
+	}
+	outOff := c.U32s()
+	outEdges := readEdges(c)
+	inOff := c.U32s()
+	inEdges := readEdges(c)
+	subjects := snap.U32Slice[TermID](c)
+	objects := c.U64()
+	triples := c.U64()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if len(outOff) < 2 || len(inOff) != len(outOff) {
+		return nil, corruptStore("offset arrays have lengths %d/%d", len(outOff), len(inOff))
+	}
+	if err := checkOffsets(outOff, len(outEdges), "out"); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets(inOff, len(inEdges), "in"); err != nil {
+		return nil, err
+	}
+	// Edge endpoints must decode through the dictionary and index into
+	// the offset arrays; cap at whichever bound is tighter.
+	bound := TermID(len(outOff) - 1)
+	if slots := TermID(dict.n.Load()); slots < bound {
+		bound = slots
+	}
+	if err := checkEdges(outEdges, bound, "out"); err != nil {
+		return nil, err
+	}
+	if err := checkEdges(inEdges, bound, "in"); err != nil {
+		return nil, err
+	}
+	prev := TermID(0)
+	for i, s := range subjects {
+		if s >= bound || (i > 0 && s <= prev) {
+			return nil, corruptStore("subject list entry %d out of order or range", i)
+		}
+		prev = s
+	}
+	if triples != uint64(len(outEdges)) {
+		return nil, corruptStore("triple count %d != %d edges", triples, len(outEdges))
+	}
+	return &Store{
+		dict:     dict,
+		outOff:   outOff,
+		inOff:    inOff,
+		outEdges: outEdges,
+		inEdges:  inEdges,
+		subjects: subjects,
+		objects:  int(objects),
+		triples:  int(triples),
+		frozen:   true,
+	}, nil
+}
+
+func corruptStore(format string, args ...any) error {
+	return errors.Join(snap.ErrCorrupt, fmt.Errorf("rdf: snapshot store: "+format, args...))
+}
+
+func checkOffsets(off []uint32, edges int, dir string) error {
+	if off[0] != 0 || off[len(off)-1] != uint32(edges) {
+		return corruptStore("%s offsets do not span %d edges", dir, edges)
+	}
+	prev := uint32(0)
+	for _, o := range off {
+		if o < prev {
+			return corruptStore("%s offsets not monotone", dir)
+		}
+		prev = o
+	}
+	return nil
+}
+
+func checkEdges(edges []Edge, bound TermID, dir string) error {
+	for i, e := range edges {
+		if e.P == NoTerm || e.P >= bound || e.Node == NoTerm || e.Node >= bound {
+			return corruptStore("%s edge %d references term outside dictionary", dir, i)
+		}
+	}
+	return nil
+}
+
+// appendSection writes the dictionary as a flat base region. Slot 0 is
+// the NoTerm placeholder (empty strings, kind 0); string data for slot
+// i occupies blob[off[3i+j]:off[3i+j+1]] for j = value, datatype, lang.
+func (d *Dictionary) appendSection(w *snap.Writer) error {
+	w.Begin(SectionDict)
+	n := int(d.n.Load())
+	w.U64(uint64(n))
+	w.Records(n, 1, func(i int, dst []byte) {
+		if i > 0 {
+			dst[0] = byte(d.Term(TermID(i)).Kind)
+		}
+	})
+	off := make([]uint32, 3*n+1)
+	var pos uint64
+	for i := 1; i < n; i++ {
+		t := d.Term(TermID(i))
+		off[3*i] = uint32(pos)
+		pos += uint64(len(t.Value))
+		off[3*i+1] = uint32(pos)
+		pos += uint64(len(t.Datatype))
+		off[3*i+2] = uint32(pos)
+		pos += uint64(len(t.Lang))
+	}
+	if pos > 0xffffffff {
+		return fmt.Errorf("rdf: dictionary string blob exceeds 4 GiB (%d bytes)", pos)
+	}
+	off[3*n] = uint32(pos)
+	w.U32s(off)
+	w.StreamBytes(pos, func(emit func([]byte)) {
+		for i := 1; i < n; i++ {
+			t := d.Term(TermID(i))
+			emit(strBytes(t.Value))
+			emit(strBytes(t.Datatype))
+			emit(strBytes(t.Lang))
+		}
+	})
+	return nil
+}
+
+// openDictSection rebuilds a dictionary whose base region aliases the
+// mapping. Open cost is O(n) integer validation only — no strings, no
+// map; the key map materializes lazily on first Intern/Lookup.
+func openDictSection(m *snap.Mapping) (*Dictionary, error) {
+	c, err := m.Section(SectionDict)
+	if err != nil {
+		return nil, err
+	}
+	n := c.U64()
+	kinds := c.Bytes()
+	off := c.U32s()
+	blob := c.Bytes()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 || uint64(len(kinds)) != n || uint64(len(off)) != 3*n+1 {
+		return nil, corruptDict("slot count %d vs %d kinds, %d offsets", n, len(kinds), len(off))
+	}
+	if off[0] != 0 || off[len(off)-1] != uint32(len(blob)) {
+		return nil, corruptDict("string offsets do not span the %d-byte blob", len(blob))
+	}
+	prev := uint32(0)
+	for _, o := range off {
+		if o < prev {
+			return nil, corruptDict("string offsets not monotone")
+		}
+		prev = o
+	}
+	for i, k := range kinds {
+		if k > byte(Blank) {
+			return nil, corruptDict("slot %d has unknown term kind %d", i, k)
+		}
+	}
+	return newDictionaryFromBase(kinds, off, blob), nil
+}
+
+func corruptDict(format string, args ...any) error {
+	return errors.Join(snap.ErrCorrupt, fmt.Errorf("rdf: snapshot dictionary: "+format, args...))
+}
+
+// putEdges writes a length-prefixed edge array. Edge is two uint32s —
+// 8 bytes with no padding — so on little-endian hosts the in-memory
+// bytes are the wire bytes and the array is written in one shot.
+func putEdges(w *snap.Writer, edges []Edge) {
+	if snap.HostLittleEndian() && len(edges) > 0 {
+		w.RawRecords(len(edges), unsafe.Slice((*byte)(unsafe.Pointer(&edges[0])), 8*len(edges)))
+		return
+	}
+	w.Records(len(edges), 8, func(i int, dst []byte) {
+		putU32LE(dst, uint32(edges[i].P))
+		putU32LE(dst[4:], uint32(edges[i].Node))
+	})
+}
+
+// readEdges aliases (little-endian) or decodes a length-prefixed edge
+// array out of the section cursor.
+func readEdges(c *snap.Cursor) []Edge {
+	b, n := c.RecordBytes(8)
+	if n == 0 {
+		return nil
+	}
+	if snap.HostLittleEndian() {
+		return unsafe.Slice((*Edge)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Edge, n)
+	for i := range out {
+		out[i].P = TermID(u32LE(b[8*i:]))
+		out[i].Node = TermID(u32LE(b[8*i+4:]))
+	}
+	return out
+}
+
+func strBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+func putU32LE(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func u32LE(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -73,6 +73,100 @@ func TestSnapshotWithLiterals(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripEdges pins the boundary shapes a growing format
+// tends to lose: the empty graph, stores whose *final* dictionary entry
+// carries the optional lang/datatype fields (a writer that trims
+// trailing empties would pass every other test), and the single-subject
+// store whose delta-coded subject stream never advances.
+func TestSnapshotRoundTripEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(st *Store)
+	}{
+		{"empty graph", func(st *Store) {}},
+		{"terms but no triples", func(st *Store) {
+			st.Dict().Intern(NewIRI("http://x/orphan"))
+			st.Dict().Intern(NewLangLiteral("loose", "en"))
+		}},
+		{"lang literal as final term", func(st *Store) {
+			d := st.Dict()
+			s := d.Intern(NewIRI("http://x/s"))
+			p := d.Intern(NewIRI("http://x/p"))
+			st.Add(s, p, d.Intern(NewLangLiteral("hallo", "de")))
+		}},
+		{"datatype literal as final term", func(st *Store) {
+			d := st.Dict()
+			s := d.Intern(NewIRI("http://x/s"))
+			p := d.Intern(NewIRI("http://x/p"))
+			st.Add(s, p, d.Intern(NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")))
+		}},
+		{"lang and datatype on one final term", func(st *Store) {
+			d := st.Dict()
+			s := d.Intern(NewIRI("http://x/s"))
+			p := d.Intern(NewIRI("http://x/p"))
+			st.Add(s, p, d.Intern(Term{Kind: Literal, Value: "v", Datatype: "http://x/dt", Lang: "en-GB"}))
+		}},
+		{"single subject", func(st *Store) {
+			d := st.Dict()
+			s := d.Intern(NewIRI("http://x/only"))
+			for i := 0; i < 4; i++ {
+				p := d.Intern(NewIRI("http://x/p" + string(rune('0'+i))))
+				st.Add(s, p, d.Intern(NewLiteral("o"+string(rune('0'+i)))))
+			}
+		}},
+		{"single triple", func(st *Store) {
+			d := st.Dict()
+			st.Add(d.Intern(NewIRI("http://x/s")), d.Intern(NewIRI("http://x/p")), d.Intern(NewIRI("http://x/o")))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewStore(nil)
+			tc.build(st)
+			st.Freeze()
+			var buf bytes.Buffer
+			if err := WriteSnapshot(st, &buf); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			st2, err := ReadSnapshot(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !st2.Frozen() {
+				t.Fatal("decoded store not frozen")
+			}
+			if st2.Len() != st.Len() {
+				t.Fatalf("triples: %d vs %d", st2.Len(), st.Len())
+			}
+			if st2.Dict().Len() != st.Dict().Len() {
+				t.Fatalf("terms: %d vs %d", st2.Dict().Len(), st.Dict().Len())
+			}
+			for id := TermID(1); int(id) <= st.Dict().Len(); id++ {
+				if a, b := st.Dict().Term(id), st2.Dict().Term(id); a != b {
+					t.Fatalf("term %d: %+v vs %+v", id, a, b)
+				}
+			}
+			st.ForEachTriple(func(tr Triple) {
+				if !st2.Has(tr.S, tr.P, tr.O) {
+					t.Fatalf("triple %v lost", tr)
+				}
+			})
+			// And the decoded store must itself re-snapshot identically —
+			// catches decoders that "repair" the data on the way in.
+			var buf2 bytes.Buffer
+			if err := WriteSnapshot(st2, &buf2); err != nil {
+				t.Fatalf("re-write: %v", err)
+			}
+			if err := WriteSnapshot(st, &buf); err != nil {
+				t.Fatalf("write again: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("round-tripped store re-serializes differently")
+			}
+		})
+	}
+}
+
 func TestSnapshotRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"bad magic":   "NOPE\x01",

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"pivote/internal/snap"
 )
 
 // TermID is a dense identifier assigned by a Dictionary. The zero value is
@@ -179,24 +181,78 @@ type termChunk [termChunkSize]Term
 // decoding an already-published ID is lock-free. IDs are never reassigned
 // or reordered, which is what lets live generations share one dictionary —
 // a TermID minted at any generation stays valid in every later one.
+//
+// A dictionary opened from a generation snapshot additionally carries a
+// frozen base region: IDs below baseN decode straight out of flat
+// kind/offset/blob arrays that alias the snapshot mapping — zero
+// materialization at open. The byKey map those IDs would occupy is
+// built lazily on the first Intern or Lookup (the decode-only serving
+// paths — name rendering, scoring — never pay for it).
 type Dictionary struct {
 	mu    sync.RWMutex      // guards byKey and spine growth
-	byKey map[string]TermID // term key → ID
+	byKey map[string]TermID // term key → ID; nil until keyOnce fires
 	spine atomic.Pointer[[]*termChunk]
 	n     atomic.Uint32 // slots published, including the NoTerm placeholder
+
+	// Frozen base region (snapshot-opened dictionaries only; baseN is 0
+	// otherwise). Term id < baseN has kind baseKinds[id] and strings
+	// baseBlob[baseOff[3id+j]:baseOff[3id+j+1]] for j = value, datatype,
+	// lang. The arrays alias the snapshot mapping and never change.
+	baseN     uint32
+	baseKinds []byte
+	baseOff   []uint32
+	baseBlob  []byte
+
+	keyOnce sync.Once
 }
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
 	d := &Dictionary{byKey: make(map[string]TermID)}
+	d.keyOnce.Do(func() {}) // byKey is live from the start
 	spine := []*termChunk{new(termChunk)}
 	d.spine.Store(&spine)
 	d.n.Store(1) // reserve index 0 = NoTerm
 	return d
 }
 
+// newDictionaryFromBase wraps snapshot arrays as a dictionary whose
+// first nSlots IDs (slot 0 = NoTerm placeholder included) decode from
+// the flat base region. Construction is O(1): only the spine chunk that
+// future Interns will write into is allocated.
+func newDictionaryFromBase(kinds []byte, off []uint32, blob []byte) *Dictionary {
+	d := &Dictionary{
+		baseN:     uint32(len(kinds)),
+		baseKinds: kinds,
+		baseOff:   off,
+		baseBlob:  blob,
+	}
+	nChunks := (len(kinds) >> termChunkBits) + 1
+	spine := make([]*termChunk, nChunks)
+	spine[nChunks-1] = new(termChunk)
+	d.spine.Store(&spine)
+	d.n.Store(uint32(len(kinds)))
+	return d
+}
+
+// ensureByKey materializes the key map on first use. Safe for
+// concurrent callers; Intern and the lookups all route through it.
+func (d *Dictionary) ensureByKey() {
+	d.keyOnce.Do(func() {
+		n := TermID(d.n.Load())
+		m := make(map[string]TermID, int(n))
+		for id := TermID(1); id < n; id++ {
+			m[d.Term(id).key()] = id
+		}
+		d.mu.Lock()
+		d.byKey = m
+		d.mu.Unlock()
+	})
+}
+
 // Intern returns the ID for t, assigning a fresh one on first sight.
 func (d *Dictionary) Intern(t Term) TermID {
+	d.ensureByKey()
 	k := t.key()
 	d.mu.RLock()
 	id, ok := d.byKey[k]
@@ -231,6 +287,7 @@ func (d *Dictionary) Intern(t Term) TermID {
 
 // Lookup returns the ID previously assigned to t, or NoTerm.
 func (d *Dictionary) Lookup(t Term) TermID {
+	d.ensureByKey()
 	d.mu.RLock()
 	id := d.byKey[t.key()]
 	d.mu.RUnlock()
@@ -239,6 +296,7 @@ func (d *Dictionary) Lookup(t Term) TermID {
 
 // LookupIRI returns the ID of the IRI, or NoTerm if it was never interned.
 func (d *Dictionary) LookupIRI(iri string) TermID {
+	d.ensureByKey()
 	d.mu.RLock()
 	id := d.byKey["i\x00"+iri]
 	d.mu.RUnlock()
@@ -250,6 +308,15 @@ func (d *Dictionary) LookupIRI(iri string) TermID {
 func (d *Dictionary) Term(id TermID) Term {
 	if id == NoTerm || id >= TermID(d.n.Load()) {
 		panic(fmt.Sprintf("rdf: invalid TermID %d (dictionary size %d)", id, d.Len()))
+	}
+	if id < TermID(d.baseN) {
+		j := 3 * int(id)
+		return Term{
+			Kind:     TermKind(d.baseKinds[id]),
+			Value:    snap.UnsafeString(d.baseBlob[d.baseOff[j]:d.baseOff[j+1]]),
+			Datatype: snap.UnsafeString(d.baseBlob[d.baseOff[j+1]:d.baseOff[j+2]]),
+			Lang:     snap.UnsafeString(d.baseBlob[d.baseOff[j+2]:d.baseOff[j+3]]),
+		}
 	}
 	return (*d.spine.Load())[id>>termChunkBits][id&termChunkMask]
 }

@@ -97,6 +97,13 @@ func NewEngineWithParams(g *kg.Graph, p Params) *Engine {
 	return e
 }
 
+// NewEngineFromIndex wraps an already-built index — the generation
+// snapshot open path, where the index comes off the mapping instead of
+// a fresh BuildIndex pass.
+func NewEngineFromIndex(g *kg.Graph, idx *index.Index, p Params) *Engine {
+	return &Engine{g: g, idx: idx, params: p}
+}
+
 // WithParams returns an engine sharing this engine's frozen index with
 // different hyperparameters — parameter sweeps reuse one index build.
 func (e *Engine) WithParams(p Params) *Engine {
@@ -105,6 +112,9 @@ func (e *Engine) WithParams(p Params) *Engine {
 
 // Index exposes the underlying index (read-only) for diagnostics.
 func (e *Engine) Index() *index.Index { return e.idx }
+
+// Params returns the engine's current hyperparameters.
+func (e *Engine) Params() Params { return e.params }
 
 // SetParams replaces the hyperparameters (used by the ablation benches).
 func (e *Engine) SetParams(p Params) { e.params = p }

@@ -5,6 +5,7 @@ import (
 
 	"pivote/internal/kg"
 	"pivote/internal/rdf"
+	"pivote/internal/snap"
 )
 
 // FeatureID is the dense identifier of a semantic feature inside one
@@ -48,8 +49,12 @@ const noCat = ^uint32(0)
 type Catalog struct {
 	g *kg.Graph
 
-	features  []Feature
-	labels    []string // anchor:pred rendering, precomputed at build
+	features []Feature
+	// anchor:pred label renderings, precomputed at build and stored
+	// flat (offsets + one blob) so a snapshot-opened catalog aliases
+	// them instead of materializing string headers.
+	labelOff  []uint32
+	labelBlob []byte
 	anchorOff []uint32
 
 	extOff  []uint32
@@ -61,10 +66,10 @@ type Catalog struct {
 	catOff []uint32
 	cats   []rdf.TermID
 
-	catIdx []uint32      // TermID → dense category index (noCat otherwise)
-	cpOff  []uint32      // dense category index → row bounds
-	cpFeat []FeatureID   // row: features with p(π|c) > 0, ascending
-	cpProb []float64     // row: the matching p(π|c) values
+	catIdx []uint32    // TermID → dense category index (noCat otherwise)
+	cpOff  []uint32    // dense category index → row bounds
+	cpFeat []FeatureID // row: features with p(π|c) > 0, ascending
+	cpProb []float64   // row: the matching p(π|c) values
 }
 
 // NewCatalog builds the frozen feature catalog for the graph. The store
@@ -94,7 +99,7 @@ func NewCatalog(g *kg.Graph) *Catalog {
 	c.anchorOff = prefixSum(anchorCount)
 	c.adjOff = prefixSum(adjCount)
 	c.features = make([]Feature, 0, nFeat)
-	c.labels = make([]string, 0, nFeat)
+	c.labelOff = make([]uint32, 1, nFeat+1)
 	c.extOff = make([]uint32, 1, nFeat+1)
 	c.extents = make([]rdf.TermID, 0, nExt)
 	c.adj = make([]FeatureID, c.adjOff[len(c.adjOff)-1])
@@ -109,11 +114,13 @@ func NewCatalog(g *kg.Graph) *Catalog {
 		c.features = append(c.features, Feature{Anchor: a, Pred: p, Dir: dir})
 		anchor := dict.Term(a).LocalName()
 		pred := dict.Term(p).LocalName()
+		c.labelBlob = append(c.labelBlob, anchor...)
+		c.labelBlob = append(c.labelBlob, ':')
 		if dir == Forward {
-			c.labels = append(c.labels, anchor+":~"+pred)
-		} else {
-			c.labels = append(c.labels, anchor+":"+pred)
+			c.labelBlob = append(c.labelBlob, '~')
 		}
+		c.labelBlob = append(c.labelBlob, pred...)
+		c.labelOff = append(c.labelOff, uint32(len(c.labelBlob)))
 		for _, e := range run {
 			c.adj[adjCur[e.Node]] = fid
 			adjCur[e.Node]++
@@ -262,8 +269,12 @@ func (c *Catalog) NumFeatures() int { return len(c.features) }
 // FeatureAt returns the feature with the given dense ID.
 func (c *Catalog) FeatureAt(id FeatureID) Feature { return c.features[id] }
 
-// LabelOf returns the precomputed anchor:predicate rendering of id.
-func (c *Catalog) LabelOf(id FeatureID) string { return c.labels[id] }
+// LabelOf returns the precomputed anchor:predicate rendering of id. The
+// string aliases the catalog (or the snapshot mapping); do not retain
+// it past the generation.
+func (c *Catalog) LabelOf(id FeatureID) string {
+	return snap.UnsafeString(c.labelBlob[c.labelOff[id]:c.labelOff[id+1]])
+}
 
 // Lookup resolves a feature to its dense ID, or NoFeature when the
 // feature is outside the catalog (non-entity anchor, metadata predicate,

@@ -1,0 +1,183 @@
+package semfeat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"pivote/internal/kg"
+	"pivote/internal/rdf"
+	"pivote/internal/snap"
+)
+
+// SectionCatalog holds the frozen feature catalog: the dense feature
+// table, the label blob, and every CSR table of the ranking model
+// (extents, adjacency, category runs, back-off rows).
+const SectionCatalog = "semfeat.catalog"
+
+// featureWire is the on-disk feature size: u32 anchor, u32 pred, u8
+// dir, 3 bytes of zero padding — identical to the in-memory layout of
+// Feature, so reads alias the mapping on little-endian hosts.
+const featureWire = 12
+
+// AppendSections writes the catalog section. Features are encoded
+// explicitly so struct padding is deterministic on disk.
+func (c *Catalog) AppendSections(w *snap.Writer) error {
+	w.Begin(SectionCatalog)
+	w.Records(len(c.features), featureWire, func(i int, dst []byte) {
+		binary.LittleEndian.PutUint32(dst, uint32(c.features[i].Anchor))
+		binary.LittleEndian.PutUint32(dst[4:], uint32(c.features[i].Pred))
+		dst[8] = byte(c.features[i].Dir)
+	})
+	w.U32s(c.labelOff)
+	w.Bytes(c.labelBlob)
+	w.U32s(c.anchorOff)
+	w.U32s(c.extOff)
+	snap.PutU32Slice(w, c.extents)
+	w.U32s(c.adjOff)
+	snap.PutU32Slice(w, c.adj)
+	w.U32s(c.catOff)
+	snap.PutU32Slice(w, c.cats)
+	w.U32s(c.catIdx)
+	w.U32s(c.cpOff)
+	snap.PutU32Slice(w, c.cpFeat)
+	w.F64s(c.cpProb)
+	return nil
+}
+
+// OpenCatalogSections reconstructs the catalog over an opened graph.
+// Every array aliases the mapping on little-endian hosts. Validation
+// pins the CSR invariants the ranking hot paths index by, so a
+// checksum-valid but malformed file fails here with a typed error.
+func OpenCatalogSections(m *snap.Mapping, g *kg.Graph) (*Catalog, error) {
+	cur, err := m.Section(SectionCatalog)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{g: g}
+	c.features = readFeatures(cur)
+	c.labelOff = cur.U32s()
+	c.labelBlob = cur.Bytes()
+	c.anchorOff = cur.U32s()
+	c.extOff = cur.U32s()
+	c.extents = snap.U32Slice[rdf.TermID](cur)
+	c.adjOff = cur.U32s()
+	c.adj = snap.U32Slice[FeatureID](cur)
+	c.catOff = cur.U32s()
+	c.cats = snap.U32Slice[rdf.TermID](cur)
+	c.catIdx = cur.U32s()
+	c.cpOff = cur.U32s()
+	c.cpFeat = snap.U32Slice[FeatureID](cur)
+	c.cpProb = cur.F64s()
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+
+	st := g.Store()
+	nodes := int(st.MaxTermID()) + 1
+	bound := rdf.TermID(st.Dict().Len()) + 1
+	nFeat := len(c.features)
+	for i, f := range c.features {
+		if f.Anchor == rdf.NoTerm || f.Anchor >= bound ||
+			f.Pred == rdf.NoTerm || f.Pred >= bound || f.Dir > Forward {
+			return nil, corruptCatalog("feature %d malformed", i)
+		}
+	}
+	if err := checkCSR("labels", c.labelOff, nFeat+1, len(c.labelBlob)); err != nil {
+		return nil, err
+	}
+	if err := checkCSR("anchorOff", c.anchorOff, nodes+2, nFeat); err != nil {
+		return nil, err
+	}
+	if err := checkCSR("extents", c.extOff, nFeat+1, len(c.extents)); err != nil {
+		return nil, err
+	}
+	if err := checkCSR("adjacency", c.adjOff, nodes+2, len(c.adj)); err != nil {
+		return nil, err
+	}
+	if err := checkCSR("categories", c.catOff, nodes+2, len(c.cats)); err != nil {
+		return nil, err
+	}
+	for i, e := range c.extents {
+		if e == rdf.NoTerm || e >= bound {
+			return nil, corruptCatalog("extent entry %d outside dictionary", i)
+		}
+	}
+	for i, fid := range c.adj {
+		if int(fid) >= nFeat {
+			return nil, corruptCatalog("adjacency entry %d names feature %d of %d", i, fid, nFeat)
+		}
+	}
+	for i, cat := range c.cats {
+		if cat == rdf.NoTerm || cat >= bound {
+			return nil, corruptCatalog("category run entry %d outside dictionary", i)
+		}
+	}
+	nCats := len(c.cpOff) - 1
+	if nCats < 0 {
+		return nil, corruptCatalog("empty back-off offset array")
+	}
+	if len(c.catIdx) != nodes+1 {
+		return nil, corruptCatalog("catIdx sized %d, want %d", len(c.catIdx), nodes+1)
+	}
+	for i, ci := range c.catIdx {
+		if ci != noCat && int(ci) >= nCats {
+			return nil, corruptCatalog("catIdx[%d] names category row %d of %d", i, ci, nCats)
+		}
+	}
+	if err := checkCSR("back-off rows", c.cpOff, nCats+1, len(c.cpFeat)); err != nil {
+		return nil, err
+	}
+	if len(c.cpProb) != len(c.cpFeat) {
+		return nil, corruptCatalog("%d back-off probs for %d features", len(c.cpProb), len(c.cpFeat))
+	}
+	for i, fid := range c.cpFeat {
+		if int(fid) >= nFeat {
+			return nil, corruptCatalog("back-off row entry %d names feature %d of %d", i, fid, nFeat)
+		}
+	}
+	return c, nil
+}
+
+func corruptCatalog(format string, args ...any) error {
+	return errors.Join(snap.ErrCorrupt, fmt.Errorf("semfeat: snapshot catalog: "+format, args...))
+}
+
+// checkCSR validates an offset array: expected length, monotone, first
+// element 0, last element spanning exactly the payload.
+func checkCSR(what string, off []uint32, wantLen, payload int) error {
+	if len(off) != wantLen {
+		return corruptCatalog("%s offsets sized %d, want %d", what, len(off), wantLen)
+	}
+	if off[0] != 0 || off[len(off)-1] != uint32(payload) {
+		return corruptCatalog("%s offsets do not span %d entries", what, payload)
+	}
+	prev := uint32(0)
+	for _, o := range off {
+		if o < prev {
+			return corruptCatalog("%s offsets not monotone", what)
+		}
+		prev = o
+	}
+	return nil
+}
+
+// readFeatures aliases the feature table when the in-memory layout
+// matches the wire layout and decodes it otherwise.
+func readFeatures(c *snap.Cursor) []Feature {
+	b, n := c.RecordBytes(featureWire)
+	if n == 0 {
+		return nil
+	}
+	if snap.HostLittleEndian() && unsafe.Sizeof(Feature{}) == featureWire {
+		return unsafe.Slice((*Feature)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Feature, n)
+	for i := range out {
+		out[i].Anchor = rdf.TermID(binary.LittleEndian.Uint32(b[featureWire*i:]))
+		out[i].Pred = rdf.TermID(binary.LittleEndian.Uint32(b[featureWire*i+4:]))
+		out[i].Dir = Dir(b[featureWire*i+8])
+	}
+	return out
+}

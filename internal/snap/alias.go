@@ -1,0 +1,112 @@
+package snap
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the running host stores integers
+// little-endian — the condition under which the on-disk arrays (defined
+// little-endian) can be aliased in place instead of copy-decoded.
+var hostLittleEndian = func() bool {
+	var x uint32 = layoutMarker
+	b := (*[4]byte)(unsafe.Pointer(&x))
+	return b[0] == 0x04 && b[3] == 0x01
+}()
+
+// The aliasBytes* helpers view a typed slice as its raw bytes for
+// writing. They return nil on big-endian hosts, where the caller falls
+// back to explicit little-endian encoding.
+
+func aliasBytesU32(v []uint32) []byte {
+	if !hostLittleEndian || len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func aliasBytesI32(v []int32) []byte {
+	if !hostLittleEndian || len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func aliasBytesF64(v []float64) []byte {
+	if !hostLittleEndian || len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// The alias* readers view a little-endian byte span as a typed slice.
+// On little-endian hosts the returned slice aliases b — zero copies,
+// zero allocations, and the mapping pages fault in lazily. On
+// big-endian hosts they decode into a fresh slice. b must be aligned
+// for the element type; the snap format guarantees 8-byte alignment of
+// every array payload, and both mmap mappings and Go heap blocks are at
+// least 8-byte aligned.
+
+func aliasU32s(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+func aliasI32s(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func aliasF64s(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// UnsafeString views b as a string without copying. The caller must
+// guarantee b is never modified and outlives the string — true for
+// snapshot mappings, which stay mapped for the life of the generation
+// opened from them.
+func UnsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// HostLittleEndian reports whether typed-record aliasing is available
+// on this host. Packages aliasing their own fixed-size record types
+// (edges, postings, features) gate on it and on their record layout.
+func HostLittleEndian() bool { return hostLittleEndian }

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package snap
+
+import "os"
+
+// mapFile on platforms without a usable mmap reads the whole file into
+// memory — the copy-on-read fallback. Same format, same zero-copy
+// aliasing above this layer; only the paging behaviour differs.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmap([]byte) error { return nil }

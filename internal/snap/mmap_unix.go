@@ -1,0 +1,42 @@
+//go:build unix
+
+package snap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. On any mmap failure it silently falls
+// back to reading the file into memory — the format and every reader
+// above this layer are identical either way; only the paging behaviour
+// differs. An empty file cannot be mapped and also falls back.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := fi.Size()
+	if size <= 0 || int64(int(size)) != size {
+		data, err := os.ReadFile(path)
+		return data, false, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, rerr := os.ReadFile(path)
+		return data, false, rerr
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,290 @@
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Mapping is an opened snapshot: the raw bytes (mmapped when the
+// platform supports it, read into memory otherwise) plus the verified
+// section table. A Mapping and every slice aliased out of it stay valid
+// until Close; structures opened from a snapshot hold the Mapping for
+// their lifetime, so in serving processes Close is typically never
+// called (the generation lives as long as the process).
+type Mapping struct {
+	data     []byte
+	sections map[string]span
+	mmapped  bool
+	closed   bool
+}
+
+type span struct {
+	off, len uint64
+}
+
+// Open maps the snapshot file at path and verifies its header, footer
+// and every section checksum — the one mandatory O(file) pass; CRC-32C
+// is hardware-accelerated, so the pass runs at memory speed and doubles
+// as the page-fault warmup of the sections it touches. When mmap is
+// unavailable (or fails), the file is read into memory instead —
+// copy-on-read, same format, same API.
+func Open(path string) (*Mapping, error) {
+	data, mmapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := openBytes(data, mmapped)
+	if err != nil {
+		if mmapped {
+			_ = unmap(data)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// OpenBytes opens a snapshot already held in memory — the fuzz surface
+// and the transport path (a replica adopting a generation streamed from
+// a compactor). The Mapping aliases data; the caller must not modify it.
+func OpenBytes(data []byte) (*Mapping, error) {
+	return openBytes(data, false)
+}
+
+func openBytes(data []byte, mmapped bool) (*Mapping, error) {
+	if len(data) < headerSize+trailerSize {
+		return nil, corruptf("snap: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, corruptf("snap: bad magic %q", data[:len(Magic)])
+	}
+	version := binary.LittleEndian.Uint32(data[len(Magic):])
+	if version != Version {
+		return nil, fmt.Errorf("snap: version %d (want %d): %w", version, Version, ErrVersion)
+	}
+	if binary.LittleEndian.Uint32(data[len(Magic)+4:]) != layoutMarker {
+		return nil, corruptf("snap: bad layout marker")
+	}
+
+	// Trailer: footer offset/length, footer checksum, end magic.
+	tr := data[len(data)-trailerSize:]
+	if string(tr[20:]) != endMagic {
+		return nil, corruptf("snap: bad end magic (truncated file?)")
+	}
+	footerOff := binary.LittleEndian.Uint64(tr)
+	footerLen := binary.LittleEndian.Uint64(tr[8:])
+	footerCRC := binary.LittleEndian.Uint32(tr[16:])
+	fileLen := uint64(len(data) - trailerSize)
+	if footerOff > fileLen || footerLen > fileLen-footerOff {
+		return nil, corruptf("snap: footer span [%d,+%d) outside file", footerOff, footerLen)
+	}
+	footer := data[footerOff : footerOff+footerLen]
+	if crc32.Checksum(footer, castagnoli) != footerCRC {
+		return nil, corruptf("snap: footer checksum mismatch")
+	}
+
+	// Section table. All lengths are validated against the file before
+	// anything is allocated or trusted.
+	fr := &byteCursor{b: footer}
+	count := fr.u64()
+	if count > uint64(len(footer))/29 { // minimal entry: 8+0+8+8+4 bytes + 1 name byte
+		return nil, corruptf("snap: implausible section count %d", count)
+	}
+	sections := make(map[string]span, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen := fr.u64()
+		if nameLen > 256 {
+			return nil, corruptf("snap: section %d: name length %d", i, nameLen)
+		}
+		name := string(fr.bytes(int(nameLen)))
+		off := fr.u64()
+		length := fr.u64()
+		crc := fr.u32()
+		if fr.err {
+			return nil, corruptf("snap: section table truncated at entry %d", i)
+		}
+		if off > footerOff || length > footerOff-off {
+			return nil, corruptf("snap: section %q span [%d,+%d) outside file", name, off, length)
+		}
+		if _, dup := sections[name]; dup {
+			return nil, corruptf("snap: duplicate section %q", name)
+		}
+		if crc32.Checksum(data[off:off+length], castagnoli) != crc {
+			return nil, corruptf("snap: section %q checksum mismatch", name)
+		}
+		sections[name] = span{off: off, len: length}
+	}
+	if fr.err || fr.pos != len(footer) {
+		return nil, corruptf("snap: section table length mismatch")
+	}
+	return &Mapping{data: data, sections: sections, mmapped: mmapped}, nil
+}
+
+// Close releases the mapping. Every slice aliased out of it becomes
+// invalid; only call it once all structures opened from the snapshot
+// are unreachable. Close is idempotent.
+func (m *Mapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.mmapped {
+		data := m.data
+		m.data = nil
+		return unmap(data)
+	}
+	m.data = nil
+	return nil
+}
+
+// Mmapped reports whether the snapshot is served from a memory mapping
+// (true) or a copy-on-read buffer (false).
+func (m *Mapping) Mmapped() bool { return m.mmapped }
+
+// Size reports the snapshot size in bytes.
+func (m *Mapping) Size() int { return len(m.data) }
+
+// Sections lists the section names present in the file.
+func (m *Mapping) Sections() []string {
+	out := make([]string, 0, len(m.sections))
+	for name := range m.sections {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Section returns a cursor over the named section's fields. The section
+// payload was checksum-verified at Open.
+func (m *Mapping) Section(name string) (*Cursor, error) {
+	s, ok := m.sections[name]
+	if !ok {
+		return nil, corruptf("snap: missing section %q", name)
+	}
+	return &Cursor{name: name, b: m.data[s.off : s.off+s.len]}, nil
+}
+
+// byteCursor is the minimal bounds-checked reader used for the footer.
+type byteCursor struct {
+	b   []byte
+	pos int
+	err bool
+}
+
+func (c *byteCursor) bytes(n int) []byte {
+	if c.err || n < 0 || len(c.b)-c.pos < n {
+		c.err = true
+		return nil
+	}
+	out := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return out
+}
+
+func (c *byteCursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *byteCursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Cursor reads a section's fields in the order the Writer appended
+// them. Errors are sticky: after the first malformed field every
+// subsequent read returns zero values, and Err reports the failure —
+// callers read a whole section and check once. Array reads alias the
+// mapping on little-endian hosts (no allocation, no copy).
+type Cursor struct {
+	name string
+	b    []byte
+	pos  int
+	err  error
+}
+
+// Err returns the first error the cursor hit, nil when every read so
+// far was in bounds.
+func (c *Cursor) Err() error { return c.err }
+
+func (c *Cursor) fail(what string) {
+	if c.err == nil {
+		c.err = corruptf("snap: section %q: truncated %s at offset %d", c.name, what, c.pos)
+	}
+}
+
+func (c *Cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.b)-c.pos < n {
+		c.fail("field")
+		return nil
+	}
+	out := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return out
+}
+
+func (c *Cursor) pad8() {
+	if rem := c.pos % 8; rem != 0 {
+		c.take(8 - rem)
+	}
+}
+
+// U64 reads one scalar.
+func (c *Cursor) U64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// arrayBody reads a count-prefixed array payload of elemSize-byte
+// elements and returns its raw bytes. The count is validated against
+// the remaining section bytes before anything is sliced, so a corrupt
+// length can never cause an over-read or an allocation.
+func (c *Cursor) arrayBody(elemSize int) []byte {
+	n := c.U64()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.b)-c.pos)/uint64(elemSize) {
+		c.fail("array")
+		return nil
+	}
+	b := c.take(int(n) * elemSize)
+	c.pad8()
+	return b
+}
+
+// Bytes reads a length-prefixed byte array, aliased from the mapping.
+func (c *Cursor) Bytes() []byte { return c.arrayBody(1) }
+
+// String reads a length-prefixed string, copying (section names and
+// small metadata only — bulk strings stay as aliased Bytes blobs).
+func (c *Cursor) String() string { return string(c.arrayBody(1)) }
+
+// U32s reads a length-prefixed []uint32.
+func (c *Cursor) U32s() []uint32 { return aliasU32s(c.arrayBody(4)) }
+
+// I32s reads a length-prefixed []int32.
+func (c *Cursor) I32s() []int32 { return aliasI32s(c.arrayBody(4)) }
+
+// F64s reads a length-prefixed []float64.
+func (c *Cursor) F64s() []float64 { return aliasF64s(c.arrayBody(8)) }
+
+// RecordBytes reads a length-prefixed array of elemSize-byte records
+// and returns the raw payload plus the record count. Callers alias it
+// as their own record type when the host layout matches, or decode
+// record by record otherwise.
+func (c *Cursor) RecordBytes(elemSize int) ([]byte, int) {
+	b := c.arrayBody(elemSize)
+	return b, len(b) / max(elemSize, 1)
+}

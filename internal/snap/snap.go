@@ -1,0 +1,66 @@
+// Package snap defines the versioned on-disk binary format for a
+// complete frozen generation — the serving fast path behind instant
+// restarts and fleet-wide generation shipping.
+//
+// A snapshot file is a sequence of named sections followed by a footer:
+//
+//	header   magic "PVTESNAP", format version (uint32), layout marker
+//	section* payload bytes, 8-byte aligned, individually CRC-32C checksummed
+//	footer   section table: name, offset, length, checksum per section
+//	trailer  fixed 28 bytes: footer offset/length, footer checksum, end magic
+//
+// Readers locate the footer by seeking to the trailer, verify every
+// section checksum once, and then serve each section zero-copy: all
+// integers are little-endian and every array field starts 8-byte
+// aligned, so a mapped []byte can be aliased directly as []uint32,
+// []float64 or fixed-size record slices on little-endian hosts (the
+// overwhelmingly common case; a copy-decode fallback covers the rest).
+// Combined with mmap (see Open), cold start is O(page faults) plus one
+// header/checksum pass instead of O(rebuild).
+//
+// Within a section, fields are sequential: scalars are raw uint64s and
+// arrays are a uint64 element count followed by the element bytes,
+// padded to the next 8-byte boundary. The Writer and Cursor types
+// implement the two directions; corruption of any kind — truncation,
+// bad magic, length or checksum mismatch — surfaces as a typed error
+// wrapping ErrCorrupt, never a panic and never an allocation sized by
+// untrusted input.
+package snap
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// Magic opens every snapshot file.
+	Magic = "PVTESNAP"
+	// endMagic closes the trailer so truncation is detectable from the tail.
+	endMagic = "PVTE_END"
+	// Version is the current format version. Version 1 is the varint
+	// N-Triples interchange snapshot (internal/rdf); the sectioned
+	// generation format continues the numbering at 2, in the
+	// {"version":2,...} op-log tradition.
+	Version = 2
+	// layoutMarker doubles as an endianness probe: it is written as a
+	// little-endian uint32 and must read back as itself.
+	layoutMarker = 0x01020304
+
+	headerSize  = len(Magic) + 4 + 4 // magic + version + layout marker
+	trailerSize = 8 + 8 + 4 + len(endMagic)
+)
+
+// ErrCorrupt is wrapped by every error caused by malformed snapshot
+// bytes: truncation, bad magic, implausible lengths, checksum or layout
+// mismatches, and out-of-bounds section reads. Callers distinguish
+// "this file is bad" (fall back to a rebuild) from I/O errors with
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// ErrVersion is wrapped by errors caused by a well-formed header whose
+// format version this build does not understand.
+var ErrVersion = errors.New("snap: unsupported snapshot version")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}

@@ -1,0 +1,156 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestFile builds a two-section snapshot exercising every field
+// type and returns its bytes.
+func writeTestFile(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin("alpha")
+	w.U64(42)
+	w.U32s([]uint32{1, 2, 3})
+	w.Bytes([]byte("hello world"))
+	w.Begin("beta")
+	w.I32s([]int32{-1, 0, 7})
+	w.F64s([]float64{3.14, -2.5})
+	w.String("meta")
+	w.Records(2, 12, func(i int, dst []byte) {
+		dst[0] = byte(i + 1)
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeTestFile(t)
+	m, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.U64(); got != 42 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := a.U32s(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("U32s = %v", got)
+	}
+	if got := a.Bytes(); string(got) != "hello world" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	b, err := m.Section("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.I32s(); len(got) != 3 || got[0] != -1 || got[2] != 7 {
+		t.Fatalf("I32s = %v", got)
+	}
+	if got := b.F64s(); len(got) != 2 || got[0] != 3.14 || got[1] != -2.5 {
+		t.Fatalf("F64s = %v", got)
+	}
+	if got := b.String(); got != "meta" {
+		t.Fatalf("String = %q", got)
+	}
+	raw, n := b.RecordBytes(12)
+	if n != 2 || raw[0] != 1 || raw[12] != 2 {
+		t.Fatalf("RecordBytes = %v n=%d", raw, n)
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if _, err := m.Section("gamma"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section: %v", err)
+	}
+}
+
+func TestOpenFileMmap(t *testing.T) {
+	data := writeTestFile(t)
+	path := filepath.Join(t.TempDir(), "x.pvgen")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c, err := m.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.U64(); got != 42 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if !m.Mmapped() {
+		t.Log("mmap unavailable; served via copy-on-read fallback")
+	}
+}
+
+// TestCorruptionRejected flips, truncates and zeroes bytes all over the
+// file; every mutation must yield a typed ErrCorrupt/ErrVersion error,
+// never a panic or a success.
+func TestCorruptionRejected(t *testing.T) {
+	valid := writeTestFile(t)
+	if _, err := OpenBytes(valid); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := OpenBytes(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	for i := 0; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		if _, err := OpenBytes(mut); err == nil {
+			t.Fatalf("flip at %d accepted", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("flip at %d: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestCursorSticky: a corrupt in-section length makes every subsequent
+// read return zeros and Err report the failure once.
+func TestCursorSticky(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin("s")
+	w.U32s([]uint32{9})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Section("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read more than the section holds.
+	_ = c.U32s()
+	if got := c.F64s(); got != nil {
+		t.Fatalf("read past end returned %v", got)
+	}
+	if !errors.Is(c.Err(), ErrCorrupt) {
+		t.Fatalf("cursor error: %v", c.Err())
+	}
+}

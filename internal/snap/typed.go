@@ -1,0 +1,103 @@
+package snap
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// Typed-slice helpers: the repository's flat arrays are mostly named
+// 4-byte integer types (rdf.TermID, semfeat.FeatureID, ...). These
+// generic wrappers write them as plain little-endian uint32 arrays and
+// alias them back without a copy on little-endian hosts, so packages
+// never convert slices element by element.
+
+// PutU32Slice appends a length-prefixed array of a ~uint32 type.
+func PutU32Slice[T ~uint32](w *Writer, v []T) {
+	w.U64(uint64(len(v)))
+	if hostLittleEndian && len(v) > 0 {
+		w.writeRaw(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+	} else {
+		w.encodeChunks(len(v), 4, func(i int, dst []byte) {
+			binary.LittleEndian.PutUint32(dst, uint32(v[i]))
+		})
+	}
+	w.pad8()
+}
+
+// U32Slice reads a length-prefixed array of a ~uint32 type, aliased
+// from the mapping on little-endian hosts.
+func U32Slice[T ~uint32](c *Cursor) []T {
+	b := c.arrayBody(4)
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// PutBoolSlice appends a []bool as 0/1 bytes.
+func PutBoolSlice(w *Writer, v []bool) {
+	w.U64(uint64(len(v)))
+	if len(v) > 0 {
+		// Go guarantees bool is one byte holding 0 or 1.
+		w.writeRaw(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)))
+	}
+	w.pad8()
+}
+
+// BoolSlice reads a []bool written by PutBoolSlice, aliased from the
+// mapping. Any byte outside {0, 1} is corruption: aliased Go bools must
+// be canonical, so the check is mandatory, not defensive.
+func BoolSlice(c *Cursor) []bool {
+	b := c.arrayBody(1)
+	if len(b) == 0 {
+		return nil
+	}
+	for i, v := range b {
+		if v > 1 {
+			c.err = corruptf("snap: section %q: non-canonical bool %d at %d", c.name, v, i)
+			return nil
+		}
+	}
+	return unsafe.Slice((*bool)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// RawRecords appends a length-prefixed array of n fixed-size records
+// whose in-memory bytes already match the wire layout (little-endian
+// fields, no padding). Callers pair it with HostLittleEndian and fall
+// back to Records otherwise.
+func (w *Writer) RawRecords(n int, b []byte) {
+	w.U64(uint64(n))
+	w.writeRaw(b)
+	w.pad8()
+}
+
+// StreamBytes appends a length-prefixed byte array whose content is
+// produced incrementally — bulk string blobs stream through it without
+// materializing one giant buffer. produce must emit exactly total
+// bytes; a mismatch poisons the writer.
+func (w *Writer) StreamBytes(total uint64, produce func(emit func(b []byte))) {
+	w.U64(total)
+	var emitted uint64
+	produce(func(b []byte) {
+		emitted += uint64(len(b))
+		if emitted > total {
+			if w.err == nil {
+				w.err = corruptf("snap: StreamBytes overflow (%d > %d)", emitted, total)
+			}
+			return
+		}
+		w.writeRaw(b)
+	})
+	if emitted != total && w.err == nil {
+		w.err = corruptf("snap: StreamBytes produced %d of %d bytes", emitted, total)
+	}
+	w.pad8()
+}

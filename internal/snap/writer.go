@@ -1,0 +1,255 @@
+package snap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64,
+// which keeps the mandatory whole-file checksum pass at memory speed.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type sectionMeta struct {
+	name string
+	off  uint64
+	len  uint64
+	crc  uint32
+}
+
+// Writer streams a snapshot file: call Begin to open a named section,
+// the field methods to append its payload, and Close to emit the footer
+// and trailer. Errors are sticky; Close reports the first one.
+//
+// Every field method keeps the file position 8-byte aligned, so a
+// reader can alias arrays straight out of the mapping. All encoding is
+// little-endian regardless of host order.
+type Writer struct {
+	bw  *bufio.Writer
+	off uint64 // absolute file offset written so far
+	err error
+
+	sections []sectionMeta
+	cur      int // index into sections, -1 when no section open
+	crc      uint32
+
+	scratch [8]byte
+	// chunk is the reused encode buffer for slice fields on hosts where
+	// a direct alias is impossible (big-endian) and for record encoding.
+	chunk []byte
+}
+
+// NewWriter wraps w. The caller owns w; Close flushes but does not
+// close it.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{bw: bufio.NewWriterSize(w, 1<<20), cur: -1}
+	sw.writeRaw([]byte(Magic))
+	sw.putU32(Version)
+	sw.putU32(layoutMarker)
+	sw.pad8()
+	return sw
+}
+
+// Begin opens a new section, closing the previous one. Section names
+// must be unique within a file; the footer table maps them to spans.
+// Alignment padding is written while the previous section is still
+// open, so every file byte between header and footer belongs to some
+// checksummed section span.
+func (w *Writer) Begin(name string) {
+	w.pad8()
+	w.endSection()
+	w.sections = append(w.sections, sectionMeta{name: name, off: w.off})
+	w.cur = len(w.sections) - 1
+	w.crc = 0
+}
+
+func (w *Writer) endSection() {
+	if w.cur < 0 {
+		return
+	}
+	s := &w.sections[w.cur]
+	s.len = w.off - s.off
+	s.crc = w.crc
+	w.cur = -1
+}
+
+// U64 appends one scalar.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.scratch[:], v)
+	w.writeRaw(w.scratch[:])
+}
+
+// Bytes appends a length-prefixed byte array.
+func (w *Writer) Bytes(v []byte) {
+	w.U64(uint64(len(v)))
+	w.writeRaw(v)
+	w.pad8()
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(v string) {
+	w.U64(uint64(len(v)))
+	w.writeRaw([]byte(v))
+	w.pad8()
+}
+
+// U32s appends a length-prefixed []uint32.
+func (w *Writer) U32s(v []uint32) {
+	w.U64(uint64(len(v)))
+	if b := aliasBytesU32(v); b != nil {
+		w.writeRaw(b)
+	} else {
+		w.encodeChunks(len(v), 4, func(i int, dst []byte) {
+			binary.LittleEndian.PutUint32(dst, v[i])
+		})
+	}
+	w.pad8()
+}
+
+// I32s appends a length-prefixed []int32.
+func (w *Writer) I32s(v []int32) {
+	w.U64(uint64(len(v)))
+	if b := aliasBytesI32(v); b != nil {
+		w.writeRaw(b)
+	} else {
+		w.encodeChunks(len(v), 4, func(i int, dst []byte) {
+			binary.LittleEndian.PutUint32(dst, uint32(v[i]))
+		})
+	}
+	w.pad8()
+}
+
+// F64s appends a length-prefixed []float64.
+func (w *Writer) F64s(v []float64) {
+	w.U64(uint64(len(v)))
+	if b := aliasBytesF64(v); b != nil {
+		w.writeRaw(b)
+	} else {
+		w.encodeChunks(len(v), 8, func(i int, dst []byte) {
+			binary.LittleEndian.PutUint64(dst, mathFloat64bits(v[i]))
+		})
+	}
+	w.pad8()
+}
+
+// Records appends a length-prefixed array of n fixed-size records. emit
+// must fill dst (elemSize bytes, pre-zeroed) with the little-endian
+// encoding of record i — the explicit encode keeps padding bytes
+// deterministic, so identical generations produce identical files.
+func (w *Writer) Records(n, elemSize int, emit func(i int, dst []byte)) {
+	w.U64(uint64(n))
+	w.encodeChunks(n, elemSize, emit)
+	w.pad8()
+}
+
+// encodeChunks encodes n records of elemSize bytes through a bounded
+// reusable buffer, so huge arrays never force a matching allocation.
+func (w *Writer) encodeChunks(n, elemSize int, emit func(i int, dst []byte)) {
+	const target = 64 * 1024
+	per := target / elemSize
+	if per < 1 {
+		per = 1
+	}
+	if cap(w.chunk) < per*elemSize {
+		w.chunk = make([]byte, per*elemSize)
+	}
+	for i := 0; i < n; {
+		m := per
+		if n-i < m {
+			m = n - i
+		}
+		buf := w.chunk[:m*elemSize]
+		clear(buf)
+		for j := 0; j < m; j++ {
+			emit(i+j, buf[j*elemSize:(j+1)*elemSize])
+		}
+		w.writeRaw(buf)
+		i += m
+	}
+}
+
+func (w *Writer) putU32(v uint32) {
+	binary.LittleEndian.PutUint32(w.scratch[:4], v)
+	w.writeRaw(w.scratch[:4])
+}
+
+func (w *Writer) pad8() {
+	var zero [8]byte
+	if rem := w.off % 8; rem != 0 {
+		w.writeRaw(zero[:8-rem])
+	}
+}
+
+func (w *Writer) writeRaw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	if w.cur >= 0 {
+		w.crc = crc32.Update(w.crc, castagnoli, b)
+	}
+	w.off += uint64(len(b))
+}
+
+// Close ends the last section, writes the footer section table and the
+// trailer, flushes, and returns the first error encountered.
+func (w *Writer) Close() error {
+	w.pad8()
+	w.endSection()
+	footerOff := w.off
+
+	// Footer: count, then per section name/off/len/crc. The footer has
+	// its own checksum in the trailer so a corrupt table is caught before
+	// any span it describes is trusted; every footer byte goes through
+	// writeFooter so reader and writer agree on the checksummed span.
+	w.crc = 0
+	start := len(w.sections)
+	binary.LittleEndian.PutUint64(w.scratch[:], uint64(start))
+	w.writeFooter(w.scratch[:])
+	for _, s := range w.sections[:start] {
+		binary.LittleEndian.PutUint64(w.scratch[:], uint64(len(s.name)))
+		w.writeFooter(w.scratch[:])
+		w.writeFooter([]byte(s.name))
+		binary.LittleEndian.PutUint64(w.scratch[:], s.off)
+		w.writeFooter(w.scratch[:])
+		binary.LittleEndian.PutUint64(w.scratch[:], s.len)
+		w.writeFooter(w.scratch[:])
+		binary.LittleEndian.PutUint32(w.scratch[:4], s.crc)
+		w.writeFooter(w.scratch[:4])
+	}
+	footerLen := w.off - footerOff
+
+	// Trailer (fixed size, unchecksummed beyond the footer CRC + magic).
+	binary.LittleEndian.PutUint64(w.scratch[:], footerOff)
+	w.writeRaw(w.scratch[:])
+	binary.LittleEndian.PutUint64(w.scratch[:], footerLen)
+	w.writeRaw(w.scratch[:])
+	binary.LittleEndian.PutUint32(w.scratch[:4], w.crc)
+	w.writeRaw(w.scratch[:4])
+	w.writeRaw([]byte(endMagic))
+
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// writeFooter is writeRaw that also folds the bytes into the footer
+// checksum. The footer is written after endSection, so w.cur is the -2
+// sentinel and writeRaw's section-checksum branch is inert; the footer
+// CRC accumulates in w.crc directly.
+func (w *Writer) writeFooter(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, b)
+	w.off += uint64(len(b))
+}

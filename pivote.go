@@ -313,6 +313,61 @@ func LoadGraphFile(path string) (*Graph, error) {
 	return LoadNTriples(f)
 }
 
+// Generation-snapshot surface: the sectioned serving format (v2). Where
+// SaveSnapshot persists only the triples (and LoadSnapshot re-derives
+// every index), SaveGeneration persists a complete frozen generation —
+// dictionary, CSR store, KG tables, search index and feature catalog —
+// and OpenGeneration maps it back with zero-copy array aliasing, so a
+// process restart skips every build pass.
+
+// SaveGeneration atomically writes a complete generation snapshot to
+// path (conventionally with the ".pvgen" extension).
+func SaveGeneration(gen *LiveGeneration, path string) error {
+	return live.WriteGenerationFile(gen, path)
+}
+
+// OpenGeneration memory-maps a generation snapshot written by
+// SaveGeneration (or by a live store's SnapshotDir publication). The
+// returned generation serves immediately; wrap it with
+// NewSharedFromGeneration (or NewLiveSharedFromGeneration) to attach
+// sessions. The underlying mapping stays open for the generation's
+// lifetime.
+func OpenGeneration(path string) (*LiveGeneration, error) {
+	return live.OpenGeneration(path)
+}
+
+// FindNewestSnapshot returns the highest-generation snapshot in dir, or
+// "" when there is none.
+func FindNewestSnapshot(dir string) (string, error) {
+	return live.FindNewestSnapshot(dir)
+}
+
+// SnapshotPath returns the canonical snapshot file name for a
+// generation number inside dir (zero-padded so lexicographic order is
+// generation order).
+func SnapshotPath(dir string, gen uint64) string {
+	return live.SnapshotPath(dir, gen)
+}
+
+// NewSharedFromGeneration builds the shared read core from an opened
+// generation snapshot — no rebuild of any derived structure.
+func NewSharedFromGeneration(gen *LiveGeneration, opts Options) *SharedCore {
+	return core.NewSharedFromGeneration(gen, opts)
+}
+
+// NewLiveSharedFromGeneration is NewSharedFromGeneration with the write
+// path enabled; compaction swaps publish fresh snapshots to snapshotDir
+// when it is non-empty.
+func NewLiveSharedFromGeneration(gen *LiveGeneration, opts Options, snapshotDir string) *SharedCore {
+	return core.NewLiveSharedFromGeneration(gen, opts, snapshotDir)
+}
+
+// NewLiveSharedWithSnapshots is NewLiveShared with compaction snapshots
+// published to snapshotDir.
+func NewLiveSharedWithSnapshots(g *Graph, opts Options, snapshotDir string) *SharedCore {
+	return core.NewLiveSharedWithSnapshots(g, opts, snapshotDir)
+}
+
 // FeatureLabel renders a feature in the paper's anchor:predicate
 // notation.
 func FeatureLabel(g *Graph, f Feature) string { return semfeat.Label(g, f) }
