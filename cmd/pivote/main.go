@@ -9,6 +9,9 @@
 //	pivote [-addr :8080] -pprof localhost:6060             # profiling side listener
 //	pivote -snapshot-dir snaps -write-snapshot             # persist a generation and exit
 //	pivote [-addr :8080] -snapshot-dir snaps -restore      # mmap the newest snapshot
+//	pivote [-addr :8080] -shards 4                         # in-process sharded cluster
+//	pivote [-addr :8081] -shard-of 0/4                     # one shard node of a cluster
+//	pivote [-addr :8080] -router http://h1:8081,http://h2:8082   # scatter-gather router
 //
 // With -live the graph accepts writes at runtime (POST /api/v1/ingest);
 // a background compactor folds them into fresh generations without ever
@@ -21,6 +24,14 @@
 // from the newest such snapshot via mmap — no graph build, no index
 // build — and logs the startup time either way so the cold-start win is
 // visible in ops logs.
+//
+// Sharded serving comes in three shapes. -shards N runs an in-process
+// cluster (N partitioned nodes plus the router) behind one listener —
+// results are byte-identical to the single-process server. -shard-of
+// k/N runs one standalone shard node (hash partitioning by default,
+// -partition overrides the spec); its snapshots are per-shard
+// gen-<id>-s<k>.pvgen files and -restore finds those. -router fronts
+// already-running shard nodes and serves the merged /api/v1 surface.
 package main
 
 import (
@@ -33,12 +44,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"pivote"
 	"pivote/internal/core"
 	"pivote/internal/server"
+	"pivote/internal/shard"
 )
 
 func main() {
@@ -56,6 +70,10 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "directory for generation snapshots (with -live: persist every compaction swap)")
 	restore := flag.Bool("restore", false, "boot from the newest snapshot in -snapshot-dir instead of building a graph")
 	writeSnapshot := flag.Bool("write-snapshot", false, "write a generation snapshot to -snapshot-dir and exit")
+	shards := flag.Int("shards", 0, "run an in-process sharded cluster with N partitions (0 = single process)")
+	shardOf := flag.String("shard-of", "", "run one shard node: k/N (e.g. 0/4)")
+	routerOf := flag.String("router", "", "run a scatter-gather router over comma-separated shard base URLs")
+	partition := flag.String("partition", "", "partitioner spec for -shard-of (e.g. range/4:1000,2000,3000; default hash/N)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -87,10 +105,89 @@ func main() {
 	}
 
 	opts := core.Options{TopEntities: *topEntities, TopFeatures: *topFeatures}
+
+	// Router-only process: no graph at all, just scatter-gather over the
+	// listed shard nodes.
+	if *routerOf != "" {
+		if *shards > 0 || *shardOf != "" {
+			log.Fatal("-router excludes -shards and -shard-of")
+		}
+		urls := strings.Split(*routerOf, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		ro := shard.NewRouter(urls, shard.Options{
+			TopEntities: *topEntities,
+			MaxSessions: *maxSessions,
+		})
+		fmt.Fprintf(os.Stderr, "startup: router over %d shards ready in %d ms\n",
+			len(urls), time.Since(start).Milliseconds())
+		runServer(*addr, ro.Handler(), *drain, func() error { return nil },
+			fmt.Sprintf("PivotE router (%d shards)", len(urls)))
+		return
+	}
+
+	// In-process cluster: N partitioned nodes plus the router behind one
+	// listener. Persistence flags belong to standalone shard nodes.
+	if *shards > 0 {
+		if *shardOf != "" {
+			log.Fatal("-shards excludes -shard-of")
+		}
+		if *restore || *writeSnapshot || *snapshotDir != "" {
+			log.Fatal("-shards is in-process only; use -shard-of nodes for per-shard snapshots")
+		}
+		g := buildGraph(*load, *scale, *seed)
+		cl := shard.NewCluster(g, shard.ClusterConfig{
+			Shards:      *shards,
+			Opts:        opts,
+			Live:        *live,
+			MaxSessions: *maxSessions,
+		})
+		if *live {
+			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
+		}
+		fmt.Fprintf(os.Stderr, "startup: %d-shard cluster (%s) ready in %d ms\n",
+			cl.Partitioner.N(), cl.Partitioner.Spec(), time.Since(start).Milliseconds())
+		runServer(*addr, cl.Handler(), *drain, cl.Close,
+			fmt.Sprintf("PivotE %d-shard cluster", cl.Partitioner.N()))
+		return
+	}
+
+	// Standalone shard node: partition result emission and switch the
+	// snapshot format to per-shard files.
+	var part shard.Partitioner
+	shardIdx := -1
+	if *shardOf != "" {
+		k, n, err := parseShardOf(*shardOf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *partition != "" {
+			part, err = shard.ParseSpec(*partition)
+			if err != nil {
+				log.Fatalf("-partition: %v", err)
+			}
+			if part.N() != n {
+				log.Fatalf("-partition %s disagrees with -shard-of %s", part.Spec(), *shardOf)
+			}
+		} else {
+			part = shard.NewHashPartitioner(n)
+		}
+		shardIdx = k
+		opts.Partition = shard.OwnerOf(part, k)
+		opts.SnapshotWrite = shard.SnapshotWriter(part, k)
+		fmt.Fprintf(os.Stderr, "shard node %d of %s\n", k, part.Spec())
+	}
 	var sh *core.Shared
 	source := "synthetic"
 	if *restore {
-		path, err := pivote.FindNewestSnapshot(*snapshotDir)
+		var path string
+		var err error
+		if shardIdx >= 0 {
+			path, err = shard.FindNewestSnapshot(*snapshotDir, shardIdx)
+		} else {
+			path, err = pivote.FindNewestSnapshot(*snapshotDir)
+		}
 		if err != nil {
 			log.Fatalf("restore: %v", err)
 		}
@@ -98,7 +195,18 @@ func main() {
 			log.Fatalf("restore: no snapshot in %s", *snapshotDir)
 		}
 		fmt.Fprintf(os.Stderr, "restoring %s ...\n", path)
-		gen, err := pivote.OpenGeneration(path)
+		var gen *pivote.LiveGeneration
+		if shardIdx >= 0 {
+			var p shard.Partitioner
+			var idx int
+			gen, p, idx, err = shard.OpenFile(path)
+			if err == nil && (idx != shardIdx || p.Spec() != part.Spec()) {
+				log.Fatalf("restore: %s was written for shard %d of %s, node is shard %d of %s",
+					path, idx, p.Spec(), shardIdx, part.Spec())
+			}
+		} else {
+			gen, err = pivote.OpenGeneration(path)
+		}
 		if err != nil {
 			log.Fatalf("restore: %v", err)
 		}
@@ -112,21 +220,10 @@ func main() {
 		}
 		source = "snapshot"
 	} else {
-		var g *pivote.Graph
-		var err error
+		g := buildGraph(*load, *scale, *seed)
 		if *load != "" {
-			fmt.Fprintf(os.Stderr, "loading %s ...\n", *load)
-			g, err = pivote.LoadGraphFile(*load)
-			if err != nil {
-				log.Fatalf("load: %v", err)
-			}
 			source = "ntriples"
-		} else {
-			fmt.Fprintf(os.Stderr, "generating synthetic KG (scale %d, seed %d) ...\n", *scale, *seed)
-			g = pivote.GenerateDemo(*scale, *seed)
 		}
-		fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
-			len(g.Entities()), g.Store().Len())
 		switch {
 		case *live && *snapshotDir != "":
 			sh = core.NewLiveSharedWithSnapshots(g, opts, *snapshotDir)
@@ -141,8 +238,16 @@ func main() {
 
 	if *writeSnapshot {
 		gen := sh.Generation()
-		path := pivote.SnapshotPath(*snapshotDir, gen.ID)
-		if err := pivote.SaveGeneration(gen, path); err != nil {
+		var path string
+		var err error
+		if shardIdx >= 0 {
+			path = shard.SnapshotPath(*snapshotDir, gen.ID, shardIdx)
+			err = shard.WriteFile(gen, part, shardIdx, path)
+		} else {
+			path = pivote.SnapshotPath(*snapshotDir, gen.ID)
+			err = pivote.SaveGeneration(gen, path)
+		}
+		if err != nil {
 			_ = sh.Close()
 			log.Fatalf("write-snapshot: %v", err)
 		}
@@ -156,11 +261,53 @@ func main() {
 	m := server.NewMultiShared(sh, opts, *maxSessions)
 	fmt.Fprintf(os.Stderr, "startup: %s core ready in %d ms\n",
 		source, time.Since(start).Milliseconds())
+	runServer(*addr, m.Handler(), *drain, sh.Close, "PivotE")
+}
 
-	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+// buildGraph loads an N-Triples file or generates the synthetic demo KG.
+func buildGraph(load string, scale int, seed int64) *pivote.Graph {
+	var g *pivote.Graph
+	var err error
+	if load != "" {
+		fmt.Fprintf(os.Stderr, "loading %s ...\n", load)
+		g, err = pivote.LoadGraphFile(load)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "generating synthetic KG (scale %d, seed %d) ...\n", scale, seed)
+		g = pivote.GenerateDemo(scale, seed)
+	}
+	fmt.Fprintf(os.Stderr, "graph ready: %d entities, %d triples\n",
+		len(g.Entities()), g.Store().Len())
+	return g
+}
+
+// parseShardOf parses a -shard-of value of the form k/N.
+func parseShardOf(s string) (k, n int, err error) {
+	ks, ns, ok := strings.Cut(s, "/")
+	if ok {
+		k, err = strconv.Atoi(ks)
+		if err == nil {
+			n, err = strconv.Atoi(ns)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard-of: want k/N, got %q", s)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("-shard-of: index %d out of range for %d shards", k, n)
+	}
+	return k, n, nil
+}
+
+// runServer serves h on addr until SIGINT/SIGTERM, drains in-flight
+// requests, then runs cleanup (compactor shutdown etc.).
+func runServer(addr string, h http.Handler, drain time.Duration, cleanup func() error, banner string) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "PivotE listening on http://localhost%s\n", *addr)
+		fmt.Fprintf(os.Stderr, "%s listening on http://localhost%s\n", banner, addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -168,21 +315,21 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		// ListenAndServe only returns on failure; the compactor is still
-		// running, so shut it down before exiting.
-		_ = sh.Close()
+		// ListenAndServe only returns on failure; background work (the
+		// compactor, if any) is still running, so shut it down first.
+		_ = cleanup()
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
 	stop()
 
 	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests ...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
 	}
-	if err := sh.Close(); err != nil {
+	if err := cleanup(); err != nil {
 		fmt.Fprintf(os.Stderr, "close: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "bye")

@@ -43,6 +43,16 @@ type Options struct {
 	Expand *expand.Options
 	// Features configures the semantic-feature model (ablations).
 	Features semfeat.Options
+	// Partition, when non-nil, makes this core a shard node: every
+	// result page emits only the entities it accepts, while scoring
+	// still runs against the full graph so the surviving scores are
+	// bit-identical to an unpartitioned core's. The scatter-gather
+	// router merges such pages back into the single-process result.
+	Partition func(rdf.TermID) bool
+	// SnapshotWrite overrides how compaction swaps are persisted when a
+	// snapshot directory is configured — shard nodes write per-shard
+	// snapshot files through it. Nil selects the plain generation file.
+	SnapshotWrite func(gen *live.Generation, dir string) (string, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +85,20 @@ type Result struct {
 	Heat *heatmap.Matrix
 	// Timeline is the query history (g).
 	Timeline []session.Action
+	// Fallback reports that the entity page came from the PPR fallback
+	// because the SF extents produced no candidates. The scatter-gather
+	// router needs this to merge correctly: a shard whose partition page
+	// is empty falls back locally even when another shard's SF page is
+	// not, and its fallback page must then be discarded — the global
+	// engine would not have fallen back.
+	Fallback bool
+
+	// GenID is the generation this result was evaluated on. The
+	// scatter-gather router compares it across shards: pages merged from
+	// different generations would not equal ANY single-process output, so
+	// a mixed fan-out (one shard answered just before a compaction swap,
+	// another just after) must be re-read, not merged.
+	GenID uint64
 
 	// g is the generation's graph this result was computed on, so
 	// rendering (names, types) agrees with the ranking even if a
@@ -108,7 +132,10 @@ type Shared struct {
 func NewShared(g *kg.Graph, opts Options) *Shared {
 	opts = opts.withDefaults()
 	return &Shared{
-		ls: live.NewStore(g, live.Config{SearchParams: opts.SearchParams}),
+		ls: live.NewStore(g, live.Config{
+			SearchParams: opts.SearchParams,
+			Partition:    opts.Partition,
+		}),
 	}
 }
 
@@ -128,7 +155,10 @@ func NewLiveShared(g *kg.Graph, opts Options) *Shared {
 func NewSharedFromGeneration(gen *live.Generation, opts Options) *Shared {
 	opts = opts.withDefaults()
 	return &Shared{
-		ls: live.NewStoreFromGeneration(gen, live.Config{SearchParams: opts.SearchParams}),
+		ls: live.NewStoreFromGeneration(gen, live.Config{
+			SearchParams: opts.SearchParams,
+			Partition:    opts.Partition,
+		}),
 	}
 }
 
@@ -140,8 +170,10 @@ func NewLiveSharedFromGeneration(gen *live.Generation, opts Options, snapshotDir
 	opts = opts.withDefaults()
 	sh := &Shared{
 		ls: live.NewStoreFromGeneration(gen, live.Config{
-			SearchParams: opts.SearchParams,
-			SnapshotDir:  snapshotDir,
+			SearchParams:  opts.SearchParams,
+			SnapshotDir:   snapshotDir,
+			SnapshotWrite: opts.SnapshotWrite,
+			Partition:     opts.Partition,
 		}),
 		ingest: true,
 	}
@@ -155,8 +187,10 @@ func NewLiveSharedWithSnapshots(g *kg.Graph, opts Options, snapshotDir string) *
 	opts = opts.withDefaults()
 	sh := &Shared{
 		ls: live.NewStore(g, live.Config{
-			SearchParams: opts.SearchParams,
-			SnapshotDir:  snapshotDir,
+			SearchParams:  opts.SearchParams,
+			SnapshotDir:   snapshotDir,
+			SnapshotWrite: opts.SnapshotWrite,
+			Partition:     opts.Partition,
 		}),
 		ingest: true,
 	}
@@ -226,12 +260,17 @@ type pin struct {
 func (e *Engine) pinGen() *pin {
 	gen := e.shared.Generation()
 	fe := semfeat.NewEngineWithCache(gen.Features, e.opts.Features)
+	xo := *e.opts.Expand
+	if gen.Own != nil {
+		// Shard node: every expansion method emits only the partition.
+		xo.Owned = gen.Own
+	}
 	return &pin{
 		gen:      gen,
 		g:        gen.Graph,
 		searcher: gen.Searcher,
 		feats:    fe,
-		expander: expand.New(fe, *e.opts.Expand),
+		expander: expand.New(fe, xo),
 	}
 }
 
@@ -455,7 +494,7 @@ func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, 
 		return nil, asTyped(err)
 	}
 	q := e.sess.Current()
-	res := &Result{Query: q, Description: describeQuery(p, q), g: p.g}
+	res := &Result{Query: q, Description: describeQuery(p, q), g: p.g, GenID: p.gen.ID}
 	if fields&FieldTimeline != 0 {
 		res.Timeline = e.sess.Timeline()
 	}
@@ -467,7 +506,7 @@ func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, 
 	var err error
 	switch {
 	case len(q.Seeds) > 0 || len(q.Features) > 0:
-		entities, feats, err = e.structured(ctx, p, q)
+		entities, feats, res.Fallback, err = e.structured(ctx, p, q)
 	case q.Keywords != "":
 		entities, feats, err = e.keyword(ctx, p, q.Keywords)
 	}
@@ -504,6 +543,29 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 			pseudo = append(pseudo, h.Entity)
 		}
 	}
+	if p.gen.Own != nil {
+		// Shard node: the page above is partition-filtered, but the
+		// pseudo-seeds must be the GLOBAL top hits — the single-process
+		// engine derives features from the best hits of the whole graph,
+		// and every shard must derive the identical feature list for the
+		// router's y-axis merge to be byte-identical. A second bounded
+		// search through the unfiltered twin engine recovers them. The
+		// bound is min(PseudoSeeds, TopEntities): the single-process
+		// engine takes its pseudo-seeds from the top-k page, so a page
+		// smaller than PseudoSeeds caps the seed count.
+		limit := e.opts.PseudoSeeds
+		if limit > e.opts.TopEntities {
+			limit = e.opts.TopEntities
+		}
+		global, err := p.searcher.WithOwner(nil).SearchCtx(ctx, kw, limit, e.opts.SearchModel)
+		if err != nil {
+			return nil, nil, err
+		}
+		pseudo = pseudo[:0]
+		for _, h := range global {
+			pseudo = append(pseudo, h.Entity)
+		}
+	}
 	var feats []semfeat.Score
 	if len(pseudo) > 0 {
 		// Each pseudo-seed contributes its own features; rank per seed so
@@ -530,7 +592,7 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 // conditions: Φ(Q) = pinned conditions ∪ top seed features; candidates
 // come from the conditions' extents when conditions exist (they are
 // mandatory), otherwise from expansion.
-func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]expand.Ranked, []semfeat.Score, error) {
+func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]expand.Ranked, []semfeat.Score, bool, error) {
 	var phi []semfeat.Score
 	pinned := map[semfeat.Feature]bool{}
 	for _, f := range q.Features {
@@ -546,7 +608,7 @@ func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]exp
 	if len(q.Seeds) > 0 {
 		ranked, err := p.feats.RankCtx(ctx, q.Seeds, e.opts.TopFeatures)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		for _, fs := range ranked {
 			if !pinned[fs.Feature] {
@@ -567,20 +629,22 @@ func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]exp
 		entities, err = p.expander.ExpandWithFeaturesCtx(ctx, q.Seeds, phi, e.opts.TopEntities)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
+	fellBack := false
 	if len(entities) == 0 && len(q.Seeds) > 0 && len(q.Features) == 0 {
 		// The SF extents found no same-type candidates — typical when
 		// pivoting into a domain whose entities connect only via longer
 		// paths (two directors share no neighbour, but do share
 		// film→actor→film chains). Fall back to a random walk with
 		// restart so a pivot never dead-ends.
+		fellBack = true
 		entities, err = p.expander.ExpandWithCtx(ctx, expand.MethodPPR, q.Seeds, e.opts.TopEntities)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 	}
-	return entities, phi, nil
+	return entities, phi, fellBack, nil
 }
 
 // conditionCandidates intersects the extents of all pinned features and

@@ -30,6 +30,9 @@ const (
 	KindCanceled = errs.KindCanceled
 	// KindInternal: everything else.
 	KindInternal = errs.KindInternal
+	// KindUnavailable: a backend the operation depends on (a shard behind
+	// the scatter-gather router) could not be reached after retry.
+	KindUnavailable = errs.KindUnavailable
 )
 
 // Error is the engine's typed error: a kind plus a human-readable

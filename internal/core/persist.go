@@ -63,24 +63,40 @@ func (e *Engine) LoadSession(data []byte) (*Result, error) {
 // LoadSessionCtx is LoadSession with cancellation; a failed or canceled
 // load leaves the current session untouched.
 func (e *Engine) LoadSessionCtx(ctx context.Context, data []byte) (*Result, error) {
-	ops, err := decodeSessionOps(e, data)
+	res, _, err := e.ReplaySessionCtx(ctx, data, FieldsAll)
+	return res, err
+}
+
+// ReplaySessionCtx is LoadSessionCtx with field selection and an op
+// index: on an op-scoped failure (decode or replay) the returned index
+// identifies the offending op of the file, mirroring ApplyOps, so the
+// HTTP session endpoint can serve the same error envelope as the ops
+// endpoint. The index is -1 when the failure is not op-scoped (bad
+// JSON, unsupported version, canceled evaluation).
+func (e *Engine) ReplaySessionCtx(ctx context.Context, data []byte, fields Fields) (*Result, int, error) {
+	ops, idx, err := decodeSessionOps(e, data)
 	if err != nil {
-		return nil, err
+		return nil, idx, err
 	}
 	oldSess, oldLog := e.sess, e.log
 	e.sess, e.log = session.New(), nil
-	res, i, err := e.ApplyOps(ctx, ops, FieldsAll)
+	res, i, err := e.ApplyOps(ctx, ops, fields)
 	if err != nil {
 		e.sess, e.log = oldSess, oldLog
 		if i < len(ops) {
-			return nil, wrapf(err, "session: op %d", i)
+			return nil, i, wrapf(err, "session: op %d", i)
 		}
-		return nil, err
+		return nil, -1, err
 	}
-	return res, nil
+	return res, -1, nil
 }
 
-func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
+// DecodeSessionDTOs extracts the replayable op DTOs from a session file
+// without touching any graph: v2 files carry them verbatim, v1 files
+// have them synthesized from the final query. Graph-free so a
+// scatter-gather router can canonicalize an uploaded session into its
+// own op log before fanning the replay out to the shards.
+func DecodeSessionDTOs(data []byte) ([]OpDTO, error) {
 	var probe struct {
 		Version int `json:"version"`
 	}
@@ -93,15 +109,7 @@ func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
 		if err := json.Unmarshal(data, &f); err != nil {
 			return nil, &Error{Kind: KindInvalid, Msg: "session: " + err.Error(), Err: err}
 		}
-		ops := make([]Op, 0, len(f.Ops))
-		for i, d := range f.Ops {
-			op, err := DecodeOp(e.Graph(), d)
-			if err != nil {
-				return nil, wrapf(err, "session: op %d", i)
-			}
-			ops = append(ops, op)
-		}
-		return ops, nil
+		return f.Ops, nil
 	case 1:
 		var f legacySessionFile
 		if err := json.Unmarshal(data, &f); err != nil {
@@ -123,16 +131,24 @@ func decodeSessionOps(e *Engine, data []byte) ([]Op, error) {
 		for _, label := range q.Features {
 			dtos = append(dtos, OpDTO{Op: string(OpKindAddFeature), Feature: label})
 		}
-		ops := make([]Op, 0, len(dtos))
-		for i, d := range dtos {
-			op, err := DecodeOp(e.Graph(), d)
-			if err != nil {
-				return nil, wrapf(err, "session: v1 op %d", i)
-			}
-			ops = append(ops, op)
-		}
-		return ops, nil
+		return dtos, nil
 	default:
 		return nil, Errf(KindInvalid, "session: unsupported version %d", probe.Version)
 	}
+}
+
+func decodeSessionOps(e *Engine, data []byte) ([]Op, int, error) {
+	dtos, err := DecodeSessionDTOs(data)
+	if err != nil {
+		return nil, -1, err
+	}
+	ops := make([]Op, 0, len(dtos))
+	for i, d := range dtos {
+		op, err := DecodeOp(e.Graph(), d)
+		if err != nil {
+			return nil, i, wrapf(err, "session: op %d", i)
+		}
+		ops = append(ops, op)
+	}
+	return ops, -1, nil
 }

@@ -31,6 +31,10 @@ const (
 	KindCanceled Kind = "canceled"
 	// KindInternal: everything else.
 	KindInternal Kind = "internal"
+	// KindUnavailable: a backend the operation depends on (a shard behind
+	// the scatter-gather router) could not be reached after retry. The
+	// request did not complete; the caller may retry later.
+	KindUnavailable Kind = "unavailable"
 )
 
 // Error is the engine's typed error: a kind plus a human-readable

@@ -84,6 +84,12 @@ type Options struct {
 	// MethodPPR.
 	PPRAlpha      float64
 	PPRIterations int
+	// Owned restricts emission to a shard's partition: when non-nil,
+	// candidates it rejects are dropped before scoring. Scores of the
+	// surviving candidates are bit-identical to an unpartitioned
+	// expander's — every method scores against the full graph (extents,
+	// neighbourhoods, PPR walk) and only the candidate set narrows.
+	Owned func(rdf.TermID) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +219,15 @@ func (x *Expander) ExpandWithFeaturesCtx(ctx context.Context, seeds []rdf.TermID
 
 // ScoreCandidatesCtx is ScoreCandidates with cancellation.
 func (x *Expander) ScoreCandidatesCtx(ctx context.Context, cands []rdf.TermID, feats []semfeat.Score, k int) ([]Ranked, error) {
+	if x.opts.Owned != nil {
+		kept := make([]rdf.TermID, 0, len(cands))
+		for _, c := range cands {
+			if x.opts.Owned(c) {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	sc.begin(x.denseSize(), maskWords(len(feats)))
@@ -372,6 +387,9 @@ func (x *Expander) expandNeighbors(ctx context.Context, seeds []rdf.TermID, k in
 				if !x.opts.IncludeSeeds && rdf.ContainsSorted(sortedSeeds, c) {
 					continue
 				}
+				if x.opts.Owned != nil && !x.opts.Owned(c) {
+					continue
+				}
 				if ns.candStamp[c] != ns.candEpoch {
 					ns.candStamp[c] = ns.candEpoch
 					cands = append(cands, c)
@@ -518,6 +536,9 @@ func (x *Expander) expandPPR(ctx context.Context, seeds []rdf.TermID, k int) ([]
 			continue
 		}
 		if seedTypes != nil && !seedTypes[x.g.PrimaryType(e)] {
+			continue
+		}
+		if x.opts.Owned != nil && !x.opts.Owned(e) {
 			continue
 		}
 		ranked = append(ranked, Ranked{Entity: e, Name: x.g.Name(e), Score: v})

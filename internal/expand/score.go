@@ -329,6 +329,9 @@ func (x *Expander) collectCandidates(sc *scratch, seeds []rdf.TermID) []rdf.Term
 		if x.opts.SameTypeOnly && !slices.Contains(sc.types, x.g.PrimaryType(e)) {
 			continue
 		}
+		if x.opts.Owned != nil && !x.opts.Owned(e) {
+			continue
+		}
 		sc.cands = append(sc.cands, e)
 	}
 	slices.Sort(sc.cands)

@@ -88,6 +88,26 @@ func BuildWith(en *semfeat.Engine, entities []expand.Ranked, features []semfeat.
 	return m
 }
 
+// Requantize recomputes the Level grid from the Values grid with the
+// default quantile quantization. The scatter-gather router needs this:
+// per-shard matrices are quantized over each shard's own page, but the
+// merged matrix's thresholds are quantiles over ALL merged cells, so the
+// router reassembles Values from the owning shards and re-levels the
+// result — the outcome is byte-identical to a single-process Build over
+// the same entities and features, because quantile thresholds depend
+// only on the multiset of non-zero values.
+func (m *Matrix) Requantize() {
+	var nonzero []float64
+	for _, row := range m.Values {
+		for _, v := range row {
+			if v > 0 {
+				nonzero = append(nonzero, v)
+			}
+		}
+	}
+	m.quantize(nonzero, QuantileLevels)
+}
+
 // quantize assigns levels 1..6 to the non-zero cells and level 0 to zero
 // cells.
 func (m *Matrix) quantize(nonzero []float64, q Quantization) {

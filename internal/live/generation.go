@@ -59,6 +59,15 @@ type Generation struct {
 	// serving wrapper over Catalog plus the lazy fallback maps, seeded
 	// from the previous generation's surviving off-catalog entries.
 	Features *semfeat.FeatureCache
+	// Own restricts result emission to a shard's partition when non-nil:
+	// search, expand and candidate conditioning drop entities it rejects
+	// before they enter any top-k page. All frozen structures (store,
+	// graph, index, catalog) still cover the full entity universe, so
+	// every per-entity score is bit-identical to an unpartitioned
+	// generation's and a scatter-gather merge of the per-shard pages
+	// reproduces the single-process result byte for byte. Nil means the
+	// generation serves everything — the single-shard degenerate case.
+	Own func(rdf.TermID) bool
 
 	// mapping backs a snapshot-opened generation: the frozen arrays
 	// alias it, so it must stay mapped for the generation's lifetime.
@@ -73,8 +82,9 @@ func (gen *Generation) Mapping() *snap.Mapping { return gen.mapping }
 
 // newGeneration builds a generation from a frozen graph. prev supplies
 // the feature-cache entries to carry forward; touched is the delta's
-// write set (nil means nothing to carry — a fresh cache).
-func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.FeatureCache, touched func(rdf.TermID) bool) *Generation {
+// write set (nil means nothing to carry — a fresh cache). own, when
+// non-nil, partitions the generation's serving paths (see Own).
+func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.FeatureCache, touched, own func(rdf.TermID) bool) *Generation {
 	var searcher *search.Engine
 	if params != nil {
 		searcher = search.NewEngineWithParams(g, *params)
@@ -88,7 +98,20 @@ func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.
 	} else {
 		features = semfeat.NewFeatureCacheFrom(g, catalog, prev, id, touched)
 	}
-	return &Generation{ID: id, Graph: g, Searcher: searcher, Catalog: catalog, Features: features}
+	gen := &Generation{ID: id, Graph: g, Searcher: searcher, Catalog: catalog, Features: features}
+	if own != nil {
+		gen.ApplyPartition(own)
+	}
+	return gen
+}
+
+// ApplyPartition installs the emission restriction on a generation that
+// was built (or opened) unpartitioned. It must run before the generation
+// is published to readers — it swaps the searcher for an owner-filtered
+// twin sharing the same frozen index.
+func (gen *Generation) ApplyPartition(own func(rdf.TermID) bool) {
+	gen.Own = own
+	gen.Searcher = gen.Searcher.WithOwner(own)
 }
 
 // Store returns the generation's frozen triple store.

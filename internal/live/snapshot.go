@@ -65,6 +65,16 @@ func WriteGenerationFile(gen *Generation, path string) (err error) {
 // always produces byte-identical output.
 func WriteGeneration(gen *Generation, dst io.Writer) error {
 	w := snap.NewWriter(dst)
+	if err := AppendGenerationSections(gen, w); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// AppendGenerationSections appends the generation's sections to an open
+// writer without closing it, so callers (per-shard snapshots) can append
+// their own trailing sections to the same file.
+func AppendGenerationSections(gen *Generation, w *snap.Writer) error {
 	w.Begin(SectionGen)
 	w.U64(gen.ID)
 	p := gen.Searcher.Params()
@@ -81,10 +91,7 @@ func WriteGeneration(gen *Generation, dst io.Writer) error {
 	if err := gen.Searcher.Index().AppendSections(w); err != nil {
 		return err
 	}
-	if err := gen.Catalog.AppendSections(w); err != nil {
-		return err
-	}
-	return w.Close()
+	return gen.Catalog.AppendSections(w)
 }
 
 // OpenGeneration opens a generation snapshot. Every flat array of the
@@ -118,6 +125,15 @@ func OpenGenerationBytes(data []byte) (*Generation, error) {
 		return nil, err
 	}
 	return gen, nil
+}
+
+// OpenGenerationSections builds a generation from the sections of an
+// already-open mapping. The caller owns the mapping's lifetime (the
+// shard open path reads its own trailing sections from the same file
+// before handing the mapping over); on success the generation aliases
+// it and it must stay mapped.
+func OpenGenerationSections(m *snap.Mapping) (*Generation, error) {
+	return openGeneration(m)
 }
 
 func openGeneration(m *snap.Mapping) (*Generation, error) {
@@ -183,10 +199,18 @@ func FindNewestSnapshot(dir string) (string, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if name := e.Name(); !e.IsDir() &&
-			strings.HasPrefix(name, "gen-") && strings.HasSuffix(name, SnapshotExt) {
-			names = append(names, name)
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, SnapshotExt) {
+			continue
 		}
+		// Per-shard snapshots (gen-<id>-s<k>.pvgen) carry an ownership
+		// section this opener would silently ignore; restoring one as an
+		// unpartitioned generation would serve a partial result page as if
+		// it were the whole graph's. Only plain gen-<id>.pvgen qualifies.
+		if strings.ContainsRune(strings.TrimSuffix(name[len("gen-"):], SnapshotExt), '-') {
+			continue
+		}
+		names = append(names, name)
 	}
 	if len(names) == 0 {
 		return "", nil

@@ -26,6 +26,19 @@ type Config struct {
 	// with OpenGeneration + NewStoreFromGeneration. Snapshot write
 	// failures never fail the compaction; LastSnapshot reports them.
 	SnapshotDir string
+	// SnapshotWrite, when non-nil, overrides how a compaction swap is
+	// persisted into SnapshotDir: it returns the target path it wrote
+	// (or tried to write). Shard nodes hook per-shard snapshot files
+	// (gen-<id>-s<k>.pvgen, with the trailing ownership section) in
+	// here; nil selects the plain WriteGenerationFile path.
+	SnapshotWrite func(gen *Generation, dir string) (string, error)
+	// Partition, when non-nil, restricts result emission of every
+	// generation this store publishes to the entities it accepts — the
+	// shard-node configuration. TermIDs are stable across compaction
+	// swaps (all generations share one append-only dictionary), so a
+	// deterministic predicate over TermIDs partitions identically in
+	// every generation and sessions survive swaps under sharding.
+	Partition func(rdf.TermID) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +90,7 @@ func NewStore(g *kg.Graph, cfg Config) *Store {
 		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 	}
-	gen := newGeneration(0, g, s.cfg.SearchParams, nil, nil)
+	gen := newGeneration(0, g, s.cfg.SearchParams, nil, nil, s.cfg.Partition)
 	s.view.Store(&View{Gen: gen, delta: emptyDelta})
 	return s
 }
@@ -94,6 +107,9 @@ func NewStoreFromGeneration(gen *Generation, cfg Config) *Store {
 		final: map[rdf.Triple]bool{},
 		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
+	}
+	if cfg.Partition != nil && gen.Own == nil {
+		gen.ApplyPartition(cfg.Partition)
 	}
 	s.view.Store(&View{Gen: gen, delta: emptyDelta})
 	return s
@@ -280,7 +296,7 @@ func (s *Store) CompactNow() (*Generation, bool, error) {
 	next.Freeze()
 	g2 := kg.NewGraph(next)
 	touched := touchedSet(prefix, next, g2.Voc().Type)
-	gen2 := newGeneration(v.Gen.ID+1, g2, s.cfg.SearchParams, v.Gen.Features, touched)
+	gen2 := newGeneration(v.Gen.ID+1, g2, s.cfg.SearchParams, v.Gen.Features, touched, s.cfg.Partition)
 
 	// Publish: the compacted prefix leaves the log; whatever arrived
 	// since stays pending as the new generation's delta.
@@ -296,8 +312,14 @@ func (s *Store) CompactNow() (*Generation, bool, error) {
 	// snapshots appear in ID order. Readers are already on gen2; a write
 	// failure is recorded, never propagated — serving beats durability.
 	if s.cfg.SnapshotDir != "" {
-		path := SnapshotPath(s.cfg.SnapshotDir, gen2.ID)
-		err := WriteGenerationFile(gen2, path)
+		var path string
+		var err error
+		if s.cfg.SnapshotWrite != nil {
+			path, err = s.cfg.SnapshotWrite(gen2, s.cfg.SnapshotDir)
+		} else {
+			path = SnapshotPath(s.cfg.SnapshotDir, gen2.ID)
+			err = WriteGenerationFile(gen2, path)
+		}
 		s.snapMu.Lock()
 		s.snapPath, s.snapErr = path, err
 		s.snapMu.Unlock()

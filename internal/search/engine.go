@@ -83,6 +83,12 @@ type Engine struct {
 	g      *kg.Graph
 	idx    *index.Index
 	params Params
+	// own restricts emission to a shard's partition: when non-nil, hits
+	// whose entity it rejects never enter the top-k heap. Scoring itself
+	// is untouched — every document is still scored against the global
+	// collection statistics, so the scores of owned hits are bit-identical
+	// to an unpartitioned engine's.
+	own func(rdf.TermID) bool
 }
 
 // NewEngine builds the five-field index over the graph's entity universe.
@@ -107,8 +113,18 @@ func NewEngineFromIndex(g *kg.Graph, idx *index.Index, p Params) *Engine {
 // WithParams returns an engine sharing this engine's frozen index with
 // different hyperparameters — parameter sweeps reuse one index build.
 func (e *Engine) WithParams(p Params) *Engine {
-	return &Engine{g: e.g, idx: e.idx, params: p}
+	return &Engine{g: e.g, idx: e.idx, params: p, own: e.own}
 }
+
+// WithOwner returns an engine sharing this engine's frozen index that
+// emits only hits own accepts (nil lifts the restriction). Shard nodes
+// serve through an owned engine; the router merges the per-shard pages.
+func (e *Engine) WithOwner(own func(rdf.TermID) bool) *Engine {
+	return &Engine{g: e.g, idx: e.idx, params: e.params, own: own}
+}
+
+// Owner reports the emission restriction, nil when unpartitioned.
+func (e *Engine) Owner() func(rdf.TermID) bool { return e.own }
 
 // Index exposes the underlying index (read-only) for diagnostics.
 func (e *Engine) Index() *index.Index { return e.idx }

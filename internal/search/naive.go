@@ -35,6 +35,17 @@ func (e *Engine) searchNaive(ctx context.Context, terms []string, k int, model M
 	if err != nil {
 		return nil, err
 	}
+	if e.own != nil {
+		// Same contract as the scatter path: score globally, emit only the
+		// owned partition.
+		kept := scored[:0]
+		for _, h := range scored {
+			if e.own(h.Entity) {
+				kept = append(kept, h)
+			}
+		}
+		scored = kept
+	}
 	return topK(scored, k), nil
 }
 

@@ -450,7 +450,11 @@ func (e *Engine) selectHits(sc *scratch, cep uint32, k int, model Model) []Hit {
 			}
 			score = float64(sc.itot[d])
 		}
-		sc.heap.Push(Hit{Entity: e.idx.Entity(int(d)), Score: score})
+		ent := e.idx.Entity(int(d))
+		if e.own != nil && !e.own(ent) {
+			continue
+		}
+		sc.heap.Push(Hit{Entity: ent, Score: score})
 	}
 	if sc.heap.Len() == 0 {
 		return nil

@@ -15,27 +15,27 @@ import (
 // stateDTO is the JSON form of a core.Result.
 type stateDTO struct {
 	Description string          `json:"description"`
-	Entities    []entityDTO     `json:"entities"`
-	Features    []featureDTO    `json:"features"`
+	Entities    []EntityDTO     `json:"entities"`
+	Features    []FeatureDTO    `json:"features"`
 	Heat        *heatmap.Matrix `json:"heat,omitempty"`
-	Timeline    []timelineDTO   `json:"timeline"`
+	Timeline    []TimelineDTO   `json:"timeline"`
 }
 
-type entityDTO struct {
+type EntityDTO struct {
 	ID    uint32  `json:"id"`
 	Name  string  `json:"name"`
 	Score float64 `json:"score"`
 	Type  string  `json:"type,omitempty"`
 }
 
-type featureDTO struct {
+type FeatureDTO struct {
 	Label      string  `json:"label"`
 	AnchorID   uint32  `json:"anchorId"`
 	R          float64 `json:"r"`
 	ExtentSize int     `json:"extentSize"`
 }
 
-type timelineDTO struct {
+type TimelineDTO struct {
 	Step         int    `json:"step"`
 	Kind         string `json:"kind"`
 	Label        string `json:"label"`
@@ -64,26 +64,37 @@ type errorDTO struct {
 	Error string `json:"error"`
 }
 
-// stateV1DTO is the /api/v1 state shape: identical to stateDTO except
+// StateV1DTO is the /api/v1 state shape: identical to stateDTO except
 // that unrequested areas are omitted entirely (the engine leaves them
 // nil under field selection), so a ?include=entities response carries no
-// feature, heat-map or timeline payload at all.
-type stateV1DTO struct {
+// feature, heat-map or timeline payload at all. Exported (with the rest
+// of the v1 wire types) so the scatter-gather router can decode, merge
+// and re-encode shard responses without drifting from the shapes the
+// shard nodes serve.
+type StateV1DTO struct {
 	Description string          `json:"description"`
-	Entities    []entityDTO     `json:"entities,omitempty"`
-	Features    []featureDTO    `json:"features,omitempty"`
+	Entities    []EntityDTO     `json:"entities,omitempty"`
+	Features    []FeatureDTO    `json:"features,omitempty"`
 	Heat        *heatmap.Matrix `json:"heat,omitempty"`
-	Timeline    []timelineDTO   `json:"timeline,omitempty"`
+	Timeline    []TimelineDTO   `json:"timeline,omitempty"`
+	// Fallback marks an entity page produced by the PPR fallback (the SF
+	// extents yielded no candidates). The router's merge rule depends on
+	// it: fallback pages are dropped whenever any shard produced a real
+	// SF page, and merged only when every shard fell back.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
-func toStateV1DTO(g *kg.Graph, res *core.Result) stateV1DTO {
+// ToStateV1DTO renders a result in the v1 wire shape against the graph
+// it was evaluated on.
+func ToStateV1DTO(g *kg.Graph, res *core.Result) StateV1DTO {
 	full := toStateDTO(g, res)
-	return stateV1DTO{
+	return StateV1DTO{
 		Description: full.Description,
 		Entities:    full.Entities,
 		Features:    full.Features,
 		Heat:        full.Heat,
 		Timeline:    full.Timeline,
+		Fallback:    res.Fallback,
 	}
 }
 
@@ -94,12 +105,12 @@ func toStateDTO(g *kg.Graph, res *core.Result) stateDTO {
 		if t := g.PrimaryType(e.Entity); t != 0 {
 			typeName = g.Name(t)
 		}
-		dto.Entities = append(dto.Entities, entityDTO{
+		dto.Entities = append(dto.Entities, EntityDTO{
 			ID: uint32(e.Entity), Name: e.Name, Score: e.Score, Type: typeName,
 		})
 	}
 	for _, f := range res.Features {
-		dto.Features = append(dto.Features, featureDTO{
+		dto.Features = append(dto.Features, FeatureDTO{
 			Label:      f.Label,
 			AnchorID:   uint32(f.Feature.Anchor),
 			R:          f.R,
@@ -110,10 +121,10 @@ func toStateDTO(g *kg.Graph, res *core.Result) stateDTO {
 	return dto
 }
 
-func toTimelineDTO(actions []session.Action) []timelineDTO {
-	out := make([]timelineDTO, 0, len(actions))
+func toTimelineDTO(actions []session.Action) []TimelineDTO {
+	out := make([]TimelineDTO, 0, len(actions))
 	for _, a := range actions {
-		out = append(out, timelineDTO{
+		out = append(out, TimelineDTO{
 			Step:         a.Step,
 			Kind:         a.Kind.String(),
 			Label:        a.Label,

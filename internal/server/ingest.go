@@ -35,8 +35,8 @@ type ingestRequest struct {
 	Compact bool `json:"compact,omitempty"`
 }
 
-// ingestResponse reports the batch outcome.
-type ingestResponse struct {
+// IngestResponse reports the batch outcome.
+type IngestResponse struct {
 	Added      int    `json:"added"`
 	Removed    int    `json:"removed"`
 	Pending    int    `json:"pending"`
@@ -44,8 +44,8 @@ type ingestResponse struct {
 	Compacted  bool   `json:"compacted,omitempty"`
 }
 
-// liveStatsResponse is the GET /api/v1/live body.
-type liveStatsResponse struct {
+// LiveStats is the GET /api/v1/live body.
+type LiveStats struct {
 	Enabled    bool   `json:"enabled"`
 	Generation uint64 `json:"generation"`
 	Pending    int    `json:"pending"`
@@ -108,7 +108,7 @@ func (s *Server) handleV1Ingest(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
-	resp := ingestResponse{
+	resp := IngestResponse{
 		Added:      res.Added,
 		Removed:    res.Removed,
 		Pending:    res.Pending,
@@ -138,7 +138,7 @@ func (s *Server) handleV1Compact(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{
+	writeJSON(w, http.StatusOK, IngestResponse{
 		Generation: gen.ID,
 		Pending:    ls.Pending(),
 		Compacted:  swapped,
@@ -153,7 +153,7 @@ func (s *Server) handleV1LiveStats(w http.ResponseWriter, r *http.Request) {
 	if v.Gen.Catalog != nil {
 		nFeatures = v.Gen.Catalog.NumFeatures()
 	}
-	writeJSON(w, http.StatusOK, liveStatsResponse{
+	writeJSON(w, http.StatusOK, LiveStats{
 		Enabled:         sh.IngestEnabled(),
 		Generation:      v.Gen.ID,
 		Pending:         v.Pending(),

@@ -28,10 +28,10 @@ func newLiveServer(t *testing.T) (*httptest.Server, *core.Shared, *kgtest.Fixtur
 	return ts, sh, f
 }
 
-func decodeIngest(t *testing.T, resp *http.Response) ingestResponse {
+func decodeIngest(t *testing.T, resp *http.Response) IngestResponse {
 	t.Helper()
 	defer resp.Body.Close()
-	var out ingestResponse
+	var out IngestResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decode ingest response: %v", err)
 	}
@@ -68,7 +68,7 @@ func TestIngestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sresp.Body.Close()
-	var hits []entityDTO
+	var hits []EntityDTO
 	if err := json.NewDecoder(sresp.Body).Decode(&hits); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestIngestErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed batch status %d, want 400", resp.StatusCode)
 	}
-	var env v1ErrorEnvelope
+	var env V1ErrorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestIngestErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("disabled ingest status %d, want 400", resp.StatusCode)
 	}
-	var env2 v1ErrorEnvelope
+	var env2 V1ErrorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&env2); err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestLiveStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats liveStatsResponse
+	var stats LiveStats
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}

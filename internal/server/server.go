@@ -86,6 +86,21 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// WriteJSON writes a response exactly the way every handler in this
+// package does (same encoder, same Content-Type, same trailing newline).
+// The scatter-gather router serves merged responses through it so a
+// router response is byte-identical to a direct one.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	writeJSON(w, status, v)
+}
+
+// WriteV1Error writes the typed /api/v1 error envelope with the status
+// derived from the error's kind — the exported twin of the v1 handlers'
+// own error path, for the router.
+func WriteV1Error(w http.ResponseWriter, err error, opIndex *int) {
+	writeV1Err(w, err, opIndex)
+}
+
 func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
 	writeJSON(w, status, errorDTO{Error: fmt.Sprintf(format, args...)})
 }
@@ -93,7 +108,7 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...interfac
 // writeEngineErr renders a typed engine error in the legacy envelope,
 // with the status derived from its kind.
 func writeEngineErr(w http.ResponseWriter, err error) {
-	writeErr(w, statusOf(core.KindOf(err)), "%v", err)
+	writeErr(w, StatusOf(core.KindOf(err)), "%v", err)
 }
 
 func (s *Server) writeState(w http.ResponseWriter, res *core.Result) {
@@ -385,7 +400,7 @@ func (s *Server) handleSessionLoad(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusOK, []entityDTO{})
+		writeJSON(w, http.StatusOK, []EntityDTO{})
 		return
 	}
 	s.mu.RLock()
@@ -395,9 +410,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeEngineErr(w, err)
 		return
 	}
-	out := make([]entityDTO, 0, len(hits))
+	out := make([]EntityDTO, 0, len(hits))
 	for _, h := range hits {
-		out = append(out, entityDTO{ID: uint32(h.Entity), Name: h.Name, Score: h.Score})
+		out = append(out, EntityDTO{ID: uint32(h.Entity), Name: h.Name, Score: h.Score})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -230,7 +230,7 @@ func TestSuggestEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var hits []entityDTO
+	var hits []EntityDTO
 	if err := json.NewDecoder(resp.Body).Decode(&hits); err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestSuggestEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var empty []entityDTO
+	var empty []EntityDTO
 	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
 		t.Fatal(err)
 	}

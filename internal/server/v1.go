@@ -4,9 +4,21 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 
 	"pivote/internal/core"
 )
+
+// GenerationHeader carries the generation a state-bearing response was
+// evaluated on. The scatter-gather router refuses to merge pages from
+// different generations (no single-process server could have produced
+// that mix) and uses this header to detect it; the body stays untouched
+// so single-process responses remain byte-identical.
+const GenerationHeader = "X-Pivote-Generation"
+
+func setGenHeader(w http.ResponseWriter, res *core.Result) {
+	w.Header().Set(GenerationHeader, strconv.FormatUint(res.GenID, 10))
+}
 
 // The /api/v1 surface is the versioned form of the operation protocol:
 //
@@ -26,8 +38,8 @@ import (
 // context.
 const statusClientClosedRequest = 499
 
-// v1Error is the typed error envelope body.
-type v1Error struct {
+// V1Error is the typed error envelope body.
+type V1Error struct {
 	Kind    core.ErrKind `json:"kind"`
 	Message string       `json:"message"`
 	// OpIndex locates the failing op of a batch (0-based), absent
@@ -35,8 +47,8 @@ type v1Error struct {
 	OpIndex *int `json:"opIndex,omitempty"`
 }
 
-type v1ErrorEnvelope struct {
-	Error v1Error `json:"error"`
+type V1ErrorEnvelope struct {
+	Error V1Error `json:"error"`
 }
 
 // opsRequest is the POST /api/v1/ops body.
@@ -47,14 +59,17 @@ type opsRequest struct {
 	Include string `json:"include,omitempty"`
 }
 
-// opsResponse is the success body: how many ops were applied plus the
+// OpsResponse is the success body: how many ops were applied plus the
 // final state, pruned to the requested fields.
-type opsResponse struct {
+type OpsResponse struct {
 	Applied int        `json:"applied"`
-	State   stateV1DTO `json:"state"`
+	State   StateV1DTO `json:"state"`
 }
 
-func statusOf(kind core.ErrKind) int {
+// StatusOf maps a typed error kind onto its HTTP status. Exported so the
+// scatter-gather router reproduces the exact status a shard node (or the
+// single-process server) would have written.
+func StatusOf(kind core.ErrKind) int {
 	switch kind {
 	case core.KindNotFound:
 		return http.StatusNotFound
@@ -62,6 +77,8 @@ func statusOf(kind core.ErrKind) int {
 		return http.StatusBadRequest
 	case core.KindCanceled:
 		return statusClientClosedRequest
+	case core.KindUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -69,7 +86,7 @@ func statusOf(kind core.ErrKind) int {
 
 func writeV1Err(w http.ResponseWriter, err error, opIndex *int) {
 	kind := core.KindOf(err)
-	writeJSON(w, statusOf(kind), v1ErrorEnvelope{Error: v1Error{
+	writeJSON(w, StatusOf(kind), V1ErrorEnvelope{Error: V1Error{
 		Kind:    kind,
 		Message: err.Error(),
 		OpIndex: opIndex,
@@ -129,7 +146,8 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, opsResponse{Applied: applied, State: toStateV1DTO(resultGraph(s, res), res)})
+	setGenHeader(w, res)
+	writeJSON(w, http.StatusOK, OpsResponse{Applied: applied, State: ToStateV1DTO(resultGraph(s, res), res)})
 }
 
 // handleV1State evaluates the current query, assembling only the
@@ -148,7 +166,8 @@ func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, err, nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, toStateV1DTO(resultGraph(s, res), res))
+	setGenHeader(w, res)
+	writeJSON(w, http.StatusOK, ToStateV1DTO(resultGraph(s, res), res))
 }
 
 // handleV1SessionSave downloads the op log. The body is exactly what
@@ -167,19 +186,33 @@ func (s *Server) handleV1SessionSave(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleV1SessionLoad replaces the session by replaying an op log; a
-// failed replay leaves the previous session untouched.
+// failed replay leaves the previous session untouched. The endpoint
+// mirrors /api/v1/ops: ?include= prunes the response the same way, and
+// op-scoped failures carry the offending op's index in the envelope —
+// the router repairs stale shards through this endpoint, and a client
+// must not be able to tell a repaired response from a direct one.
 func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
+	fields, err := includeOf(r, "")
+	if err != nil {
+		writeV1Err(w, err, nil)
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
 		writeV1Err(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
 		return
 	}
 	s.mu.Lock()
-	res, err := s.eng.LoadSessionCtx(r.Context(), raw)
+	res, idx, err := s.eng.ReplaySessionCtx(r.Context(), raw, fields)
 	s.mu.Unlock()
 	if err != nil {
-		writeV1Err(w, err, nil)
+		if idx >= 0 {
+			writeV1Err(w, err, &idx)
+		} else {
+			writeV1Err(w, err, nil)
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, toStateV1DTO(resultGraph(s, res), res))
+	setGenHeader(w, res)
+	writeJSON(w, http.StatusOK, ToStateV1DTO(resultGraph(s, res), res))
 }

@@ -36,9 +36,9 @@ func doV1(t *testing.T, method, url, body string) (*http.Response, []byte) {
 	return resp, raw
 }
 
-func decodeV1Err(t *testing.T, raw []byte) v1Error {
+func decodeV1Err(t *testing.T, raw []byte) V1Error {
 	t.Helper()
-	var env v1ErrorEnvelope
+	var env V1ErrorEnvelope
 	if err := json.Unmarshal(raw, &env); err != nil {
 		t.Fatalf("error body is not a typed envelope: %v\n%s", err, raw)
 	}
@@ -78,8 +78,13 @@ func TestV1EndpointErrors(t *testing.T) {
 		{"state: bad include", "GET", "/api/v1/state?include=bogus", "", 400, core.KindInvalid, nil},
 		{"session: bad json", "POST", "/api/v1/session", `{bad`, 400, core.KindInvalid, nil},
 		{"session: bad version", "POST", "/api/v1/session", `{"version":9}`, 400, core.KindInvalid, nil},
+		// Session replay mirrors the ops endpoint: op-scoped failures
+		// carry the offending op's index, so a router repairing a shard
+		// through this endpoint serves indistinguishable envelopes.
 		{"session: unknown entity", "POST", "/api/v1/session",
-			`{"version":2,"ops":[{"op":"add-entity","entity":"Zzz_Nope"}]}`, 404, core.KindNotFound, nil},
+			`{"version":2,"ops":[{"op":"add-entity","entity":"Zzz_Nope"}]}`, 404, core.KindNotFound, intp(0)},
+		{"session: bad include", "POST", "/api/v1/session?include=bogus",
+			`{"version":2,"ops":[]}`, 400, core.KindInvalid, nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,7 +125,7 @@ func TestV1OpsSuccess(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
 	}
-	var out opsResponse
+	var out OpsResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +202,7 @@ func TestV1BatchAtomicRollback(t *testing.T) {
 	}
 	// Nothing applied: state is still the empty query.
 	_, raw = doV1(t, "GET", ts.URL+"/api/v1/state?include=timeline", "")
-	var st stateV1DTO
+	var st StateV1DTO
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +220,7 @@ func TestV1IncludeSkipsHeatmap(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
 	}
-	var out opsResponse
+	var out OpsResponse
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +261,7 @@ func TestV1SessionRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("session load = %d: %s", resp.StatusCode, raw)
 	}
-	var st stateV1DTO
+	var st StateV1DTO
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/synth"
+)
+
+// BenchmarkScatterGather measures the serving cost of the sharded read
+// path end to end — router fan-out over the in-process transport,
+// per-shard evaluation, k-way page merge, heat reassembly — against the
+// degenerate single-shard cluster on the same synthetic graph. The
+// in-run shards=4/shards=1 ratio is gated in benchgates.json: fanning
+// to 4 replicated partitions costs roughly 4 evaluations plus merge, so
+// a blowout means the router started serializing (retry storms, session
+// repairs, generation re-read loops) rather than scattering.
+func BenchmarkScatterGather(b *testing.B) {
+	cfg := synth.Scaled(300)
+	cfg.Seed = 42
+	g := synth.Generate(cfg).Graph
+
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cl := NewCluster(g, ClusterConfig{Shards: shards, Opts: core.Options{}})
+			defer cl.Close()
+			h := cl.Handler()
+
+			// One session, one submitted query; iterations re-read the
+			// evaluated state (the dominant serving path).
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/ops",
+				strings.NewReader(`{"ops":[{"op":"submit","keywords":"forrest gump"}]}`))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("setup submit: %d %s", rec.Code, rec.Body.String())
+			}
+			cookie := rec.Result().Cookies()[0]
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/api/v1/state", nil)
+				req.AddCookie(cookie)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("state: %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}

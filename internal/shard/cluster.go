@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+
+	"pivote/internal/core"
+	"pivote/internal/kg"
+	"pivote/internal/server"
+)
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Partitioner splits the TermID space; nil selects hash/N.
+	Partitioner Partitioner
+	// Shards is the shard count when Partitioner is nil (minimum 1).
+	Shards int
+	// Opts are the engine options every shard node runs with (the
+	// Partition field is overwritten per shard).
+	Opts core.Options
+	// Live enables the ingest path on every node.
+	Live bool
+	// MaxSessions bounds each node's session LRU (<= 0 → 64).
+	MaxSessions int
+	// Router tunes the router; Transport and TopEntities are wired by
+	// NewCluster.
+	Router Options
+}
+
+// Cluster is N shard nodes plus a router in one process, connected by
+// the in-process transport. All nodes share one *kg.Graph — and
+// therefore one append-only dictionary, so TermIDs (and the
+// partitioning) agree across shards by construction; multi-process
+// deployments get the same agreement from deterministic interning order
+// (identical seed data, ingest batches serialized by the router).
+type Cluster struct {
+	Partitioner Partitioner
+	Router      *Router
+	Nodes       []*server.Multi
+}
+
+// NewCluster builds the cluster. The caller serves c.Handler() and
+// calls c.Close() on shutdown.
+func NewCluster(g *kg.Graph, cfg ClusterConfig) *Cluster {
+	p := cfg.Partitioner
+	if p == nil {
+		n := cfg.Shards
+		if n < 1 {
+			n = 1
+		}
+		p = NewHashPartitioner(n)
+	}
+	tr := NewInprocTransport()
+	nodes := make([]*server.Multi, p.N())
+	urls := make([]string, p.N())
+	for k := 0; k < p.N(); k++ {
+		opts := cfg.Opts
+		opts.Partition = OwnerOf(p, k)
+		var sh *core.Shared
+		if cfg.Live {
+			sh = core.NewLiveShared(g, opts)
+		} else {
+			sh = core.NewShared(g, opts)
+		}
+		nodes[k] = server.NewMultiShared(sh, opts, cfg.MaxSessions)
+		urls[k] = tr.Register(fmt.Sprintf("shard%d.inproc", k), nodes[k].Handler())
+	}
+	ro := cfg.Router
+	ro.Transport = tr
+	if ro.TopEntities <= 0 {
+		ro.TopEntities = cfg.Opts.TopEntities // zero → both default to 20
+	}
+	return &Cluster{
+		Partitioner: p,
+		Router:      NewRouter(urls, ro),
+		Nodes:       nodes,
+	}
+}
+
+// Handler serves the router's API surface.
+func (c *Cluster) Handler() http.Handler { return c.Router.Handler() }
+
+// Close stops every node's background compactor (if any).
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.Nodes {
+		if err := n.Shared().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

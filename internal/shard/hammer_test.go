@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+)
+
+// TestHammerShardedCompaction is the sharded race hammer: a 4-shard
+// live cluster serves concurrent sessions (ops + state + session
+// download) while an ingest loop drives at least 10 compaction swaps
+// through the router. Run under -race (CI does) this pins down the
+// cross-shard coordination: fan-out goroutines against the per-session
+// op log, RCU generation swaps under reads, and the router's health
+// table under concurrent failure recording.
+func TestHammerShardedCompaction(t *testing.T) {
+	const (
+		readers   = 6
+		swapsWant = 10
+	)
+
+	f := kgtest.Build()
+	cl := NewCluster(f.Graph, ClusterConfig{
+		Shards: 4,
+		Opts:   core.Options{},
+		Live:   true,
+	})
+	defer cl.Close()
+	ts := httptest.NewServer(cl.Handler())
+	defer ts.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan string, readers+1)
+
+	post := func(c *http.Client, path, ctype, body string) (int, string, error) {
+		resp, err := c.Post(ts.URL+path, ctype, strings.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data), err
+	}
+
+	// Session workers: each owns one router session and keeps querying
+	// while generations swap underneath.
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			jar, err := cookiejar.New(nil)
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			c := &http.Client{Jar: jar}
+			seeds := []string{"tom hanks", "film", "gary sinise", "gump"}
+			for i := 0; !stop.Load(); i++ {
+				kw := seeds[(w+i)%len(seeds)]
+				body := fmt.Sprintf(`{"ops":[{"op":"submit","keywords":"%s"}]}`, kw)
+				if code, data, err := post(c, "/api/v1/ops", "application/json", body); err != nil {
+					fail <- fmt.Sprintf("worker %d ops: %v", w, err)
+					return
+				} else if code != http.StatusOK {
+					fail <- fmt.Sprintf("worker %d ops: status %d: %s", w, code, data)
+					return
+				}
+				resp, err := c.Get(ts.URL + "/api/v1/state?include=entities,heatmap")
+				if err != nil {
+					fail <- fmt.Sprintf("worker %d state: %v", w, err)
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail <- fmt.Sprintf("worker %d state: status %d: %s", w, resp.StatusCode, data)
+					return
+				}
+				if i%4 == 0 {
+					resp, err := c.Get(ts.URL + "/api/v1/session")
+					if err != nil {
+						fail <- fmt.Sprintf("worker %d session: %v", w, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+
+	// Writer: ingest a fresh film, then force a compaction swap, until
+	// every shard has swapped at least swapsWant times. The router
+	// serializes control-plane fan-out, so all shards stay on the same
+	// generation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		c := &http.Client{}
+		for round := 0; cl.Nodes[0].Shared().Live().Swaps() < swapsWant; round++ {
+			// The type triple puts the new film in the entity universe, so
+			// the post-hammer lookup can prove the swap is visible.
+			nt := fmt.Sprintf(
+				"<http://pivote.dev/resource/Hammer_Film_%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://pivote.dev/resource/Film> .\n"+
+					"<http://pivote.dev/resource/Hammer_Film_%d> <http://pivote.dev/ontology/starring> <http://pivote.dev/resource/Tom_Hanks> .\n",
+				round, round)
+			if code, data, err := post(c, "/api/v1/ingest", "application/n-triples", nt); err != nil {
+				fail <- fmt.Sprintf("ingest: %v", err)
+				return
+			} else if code != http.StatusOK {
+				fail <- fmt.Sprintf("ingest: status %d: %s", code, data)
+				return
+			}
+			if code, data, err := post(c, "/api/v1/compact", "", ""); err != nil {
+				fail <- fmt.Sprintf("compact: %v", err)
+				return
+			} else if code != http.StatusOK {
+				fail <- fmt.Sprintf("compact: status %d: %s", code, data)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		return
+	}
+	for k, n := range cl.Nodes {
+		if got := n.Shared().Live().Swaps(); got < swapsWant {
+			t.Errorf("shard %d saw %d swaps, want >= %d", k, got, swapsWant)
+		}
+	}
+	// The swapped-in data must be resolvable through the router: a lookup
+	// of an ingested IRI only succeeds if every shard adopted the new
+	// generation.
+	jar, _ := cookiejar.New(nil)
+	c := &http.Client{Jar: jar}
+	code, data, err := post(c, "/api/v1/ops", "application/json",
+		`{"ops":[{"op":"lookup","entity":"http://pivote.dev/resource/Hammer_Film_0"}]}`)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("post-hammer lookup of ingested entity: code=%d err=%v body=%s", code, err, data)
+	}
+}

@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"pivote/internal/errs"
+	"pivote/internal/heatmap"
+	"pivote/internal/rdf"
+	"pivote/internal/server"
+	"pivote/internal/topk"
+)
+
+// MergeStates merges per-shard state responses into the response a
+// single-process server would have produced, byte-for-byte once
+// re-encoded. The rules, each anchored in an engine invariant:
+//
+//   - Entities: every shard scores candidates globally and emits only
+//     its partition, so the per-shard pages are disjoint, sorted slices
+//     of the single-process page's candidate pool. A k-way merge under
+//     the engine's own total order (score descending, TermID ascending —
+//     see expand.lessRanked and search.lessHit) reproduces the global
+//     top-k exactly. k must equal the shard nodes' TopEntities: page
+//     lengths alone cannot reveal it (seven shards of five hits each
+//     might stand for a global page of twenty).
+//
+//   - Fallback: a shard whose SF extent page is empty falls back to PPR
+//     locally even when the global engine would not have. Global SF
+//     emptiness is the conjunction of per-shard emptiness, so fallback
+//     pages are dropped unless EVERY shard fell back — then the global
+//     engine fell back too and the per-shard PPR pages merge the same
+//     way.
+//
+//   - Description, features, timeline: derived from the query and the
+//     global statistics, identical on every shard; shard 0's copy is
+//     authoritative.
+//
+//   - Heat map: each cell p(π|e)·r(π,Q) is computable by the entity's
+//     owning shard, but the seven-level quantization thresholds are
+//     quantiles over ALL merged cells, so the merged matrix reassembles
+//     Values column-by-column from the owning shards and re-levels via
+//     heatmap.Requantize.
+func MergeStates(states []server.StateV1DTO, topEntities int) (server.StateV1DTO, error) {
+	if len(states) == 0 {
+		return server.StateV1DTO{}, errs.Errf(errs.KindInternal, "shard: merge of zero states")
+	}
+	merged := states[0]
+	allFallback := true
+	for _, st := range states {
+		if !st.Fallback {
+			allFallback = false
+		}
+	}
+	use := make([]bool, len(states))
+	for i := range states {
+		use[i] = allFallback || !states[i].Fallback
+	}
+	merged.Fallback = allFallback && states[0].Fallback
+
+	var pages [][]server.EntityDTO
+	for i := range states {
+		if use[i] {
+			pages = append(pages, states[i].Entities)
+		}
+	}
+	ents := topk.MergeSorted(pages, topEntities, func(a, b server.EntityDTO) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.ID < b.ID
+	})
+	if len(ents) == 0 {
+		// A direct server builds its page with append, so an empty page
+		// is nil and the omitempty field vanishes from the JSON; an empty
+		// non-nil slice would serialize as "entities":[] and break
+		// byte-identity.
+		ents = nil
+	}
+	merged.Entities = ents
+
+	if merged.Heat != nil {
+		heat, err := mergeHeat(states, use, topEntities)
+		if err != nil {
+			return server.StateV1DTO{}, err
+		}
+		merged.Heat = heat
+	}
+	return merged, nil
+}
+
+// mergeHeat reassembles the explanation matrix from the per-shard
+// matrices. Rows (features) are identical everywhere; columns belong to
+// exactly one shard each, so the merged column order comes from merging
+// the per-shard entity axes and every cell is copied from its owner.
+func mergeHeat(states []server.StateV1DTO, use []bool, topEntities int) (*heatmap.Matrix, error) {
+	base := states[0].Heat
+	var axisPages [][]heatmap.EntityAxis
+	type source struct{ shard, col int }
+	origin := make(map[rdf.TermID]source)
+	for i := range states {
+		h := states[i].Heat
+		if h == nil {
+			return nil, errs.Errf(errs.KindInternal, "shard: shard %d returned no heat map", i)
+		}
+		if len(h.Features) != len(base.Features) || len(h.Values) != len(h.Features) {
+			return nil, errs.Errf(errs.KindInternal, "shard: shard %d heat-map shape diverges", i)
+		}
+		if !use[i] {
+			continue
+		}
+		axisPages = append(axisPages, h.Entities)
+		for c, col := range h.Entities {
+			origin[col.ID] = source{shard: i, col: c}
+		}
+	}
+	axis := topk.MergeSorted(axisPages, topEntities, func(a, b heatmap.EntityAxis) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.ID < b.ID
+	})
+	if len(axis) == 0 {
+		axis = nil
+	}
+	m := &heatmap.Matrix{
+		Entities: axis,
+		Features: base.Features,
+		Values:   make([][]float64, len(base.Features)),
+	}
+	for ri := range m.Values {
+		row := make([]float64, len(axis))
+		for ci, col := range axis {
+			src := origin[col.ID]
+			vals := states[src.shard].Heat.Values[ri]
+			if src.col >= len(vals) {
+				return nil, errs.Errf(errs.KindInternal, "shard: shard %d heat-map row %d is short", src.shard, ri)
+			}
+			row[ci] = vals[src.col]
+		}
+		m.Values[ri] = row
+	}
+	m.Requantize()
+	return m, nil
+}

@@ -1,0 +1,149 @@
+// Package shard is the scatter-gather serving subsystem: one PivotE
+// graph served by N shard nodes behind a router, with merged responses
+// byte-identical to a single-process server.
+//
+// The design partitions at emission, not at storage. Every shard holds
+// the full generation (dictionary, CSR store, search index with global
+// statistics, feature catalog) and scores candidates globally; only the
+// final result page is filtered to the entities the shard owns. Scores
+// are therefore bit-identical to an unpartitioned engine's, and the
+// router recovers the single-process page exactly by k-way-merging the
+// per-shard pages under the engine's own total order (score descending,
+// TermID ascending). Partitioning what a shard *emits* rather than what
+// it *stores* trades disk for exactness: the global statistics that
+// every ranking formula in the paper depends on (inverse extent
+// frequency, collection language models, PPR over the full graph) never
+// have to be approximated or gathered cross-shard.
+//
+// TermIDs are dense and stable across compaction swaps — all
+// generations share one append-only dictionary — so a deterministic
+// predicate over TermIDs partitions identically in every generation and
+// sessions survive swaps under sharding.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pivote/internal/errs"
+	"pivote/internal/rdf"
+)
+
+// Partitioner assigns every TermID to exactly one of N shards. A
+// partitioner must be deterministic and depend only on the TermID, so
+// that every node of a cluster — and every generation within a node —
+// agrees on ownership without coordination.
+type Partitioner interface {
+	// N is the shard count; ShardOf returns a value in [0, N).
+	N() int
+	ShardOf(id rdf.TermID) int
+	// Spec serializes the partitioner so a shard snapshot can carry it
+	// and ParseSpec can reconstruct it.
+	Spec() string
+}
+
+// HashPartitioner is the default: multiplicative hashing over the
+// TermID. The Fibonacci constant spreads the dense, sequential IDs the
+// dictionary hands out across shards evenly regardless of N.
+type HashPartitioner struct{ n int }
+
+// NewHashPartitioner builds the default hash partitioner over n shards;
+// n < 1 is pinned to 1.
+func NewHashPartitioner(n int) HashPartitioner {
+	if n < 1 {
+		n = 1
+	}
+	return HashPartitioner{n: n}
+}
+
+func (p HashPartitioner) N() int { return p.n }
+
+func (p HashPartitioner) ShardOf(id rdf.TermID) int {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(p.n))
+}
+
+func (p HashPartitioner) Spec() string { return "hash/" + strconv.Itoa(p.n) }
+
+// RangePartitioner splits the TermID space at explicit bounds: shard k
+// owns IDs in [bounds[k-1], bounds[k]), with bounds[-1] = 0 and
+// bounds[N-1] = +inf. It exists for operators who want locality (IDs are
+// assigned in ingest order, so ranges are temporal) and as proof that
+// the partitioning strategy is pluggable.
+type RangePartitioner struct {
+	bounds []rdf.TermID // ascending, length N-1
+}
+
+// NewRangePartitioner builds a range partitioner from its upper bounds;
+// the shard count is len(bounds)+1. Bounds must be strictly ascending.
+func NewRangePartitioner(bounds []rdf.TermID) (RangePartitioner, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return RangePartitioner{}, errs.Errf(errs.KindInvalid, "shard: range bounds must be strictly ascending")
+		}
+	}
+	return RangePartitioner{bounds: append([]rdf.TermID(nil), bounds...)}, nil
+}
+
+func (p RangePartitioner) N() int { return len(p.bounds) + 1 }
+
+func (p RangePartitioner) ShardOf(id rdf.TermID) int {
+	return sort.Search(len(p.bounds), func(i int) bool { return id < p.bounds[i] })
+}
+
+func (p RangePartitioner) Spec() string {
+	parts := make([]string, len(p.bounds))
+	for i, b := range p.bounds {
+		parts[i] = strconv.FormatUint(uint64(b), 10)
+	}
+	return fmt.Sprintf("range/%d:%s", p.N(), strings.Join(parts, ","))
+}
+
+// ParseSpec reconstructs a partitioner from its Spec string:
+//
+//	hash/4            hash partitioner over 4 shards
+//	range/3:100,2000  range partitioner, bounds 100 and 2000
+func ParseSpec(spec string) (Partitioner, error) {
+	kind, rest, _ := strings.Cut(spec, "/")
+	switch kind {
+	case "hash":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return nil, errs.Errf(errs.KindInvalid, "shard: bad hash spec %q", spec)
+		}
+		return NewHashPartitioner(n), nil
+	case "range":
+		nStr, boundsStr, ok := strings.Cut(rest, ":")
+		n, err := strconv.Atoi(nStr)
+		if !ok || err != nil || n < 2 {
+			return nil, errs.Errf(errs.KindInvalid, "shard: bad range spec %q", spec)
+		}
+		fields := strings.Split(boundsStr, ",")
+		if len(fields) != n-1 {
+			return nil, errs.Errf(errs.KindInvalid, "shard: range spec %q needs %d bounds", spec, n-1)
+		}
+		bounds := make([]rdf.TermID, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, errs.Errf(errs.KindInvalid, "shard: bad range bound %q", f)
+			}
+			bounds[i] = rdf.TermID(v)
+		}
+		p, err := NewRangePartitioner(bounds)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, errs.Errf(errs.KindInvalid, "shard: unknown partitioner spec %q", spec)
+	}
+}
+
+// OwnerOf is the ownership predicate of one shard under a partitioner —
+// the value that plugs into core.Options.Partition.
+func OwnerOf(p Partitioner, shard int) func(rdf.TermID) bool {
+	return func(id rdf.TermID) bool { return p.ShardOf(id) == shard }
+}

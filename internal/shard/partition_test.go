@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+	"pivote/internal/rdf"
+)
+
+// TestPartitionCoversEveryTermExactlyOnce: for every partitioner and
+// every TermID, ShardOf lands in [0, N) and exactly one shard's
+// ownership predicate accepts the ID — no orphans, no double owners.
+func TestPartitionCoversEveryTermExactlyOnce(t *testing.T) {
+	rp, err := NewRangePartitioner([]rdf.TermID{10, 1000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []Partitioner{
+		NewHashPartitioner(1),
+		NewHashPartitioner(2),
+		NewHashPartitioner(4),
+		NewHashPartitioner(7),
+		rp,
+	}
+	for _, p := range parts {
+		t.Run(p.Spec(), func(t *testing.T) {
+			owners := make([]func(rdf.TermID) bool, p.N())
+			for k := range owners {
+				owners[k] = OwnerOf(p, k)
+			}
+			for id := rdf.TermID(0); id < 20000; id++ {
+				s := p.ShardOf(id)
+				if s < 0 || s >= p.N() {
+					t.Fatalf("ShardOf(%d) = %d out of [0,%d)", id, s, p.N())
+				}
+				count := 0
+				for k := range owners {
+					if owners[k](id) {
+						count++
+						if k != s {
+							t.Fatalf("owner %d accepts id %d but ShardOf says %d", k, id, s)
+						}
+					}
+				}
+				if count != 1 {
+					t.Fatalf("id %d has %d owners, want exactly 1", id, count)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionSpecRoundTrip: ParseSpec(p.Spec()) reproduces the exact
+// assignment, which is what lets a per-shard snapshot carry its
+// partitioner as a string.
+func TestPartitionSpecRoundTrip(t *testing.T) {
+	rp, err := NewRangePartitioner([]rdf.TermID{7, 77, 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Partitioner{NewHashPartitioner(5), rp} {
+		q, err := ParseSpec(p.Spec())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", p.Spec(), err)
+		}
+		if q.N() != p.N() || q.Spec() != p.Spec() {
+			t.Fatalf("round trip changed the partitioner: %q -> %q", p.Spec(), q.Spec())
+		}
+		for id := rdf.TermID(0); id < 5000; id++ {
+			if q.ShardOf(id) != p.ShardOf(id) {
+				t.Fatalf("%s: assignment of %d diverged after round trip", p.Spec(), id)
+			}
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"", "hash", "hash/", "hash/0", "hash/x", "modulo/4",
+		"range/2", "range/2:", "range/3:5", "range/2:a", "range/3:9,3",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", spec)
+		}
+	}
+}
+
+// TestPartitionStableAcrossCompaction: ownership of every pre-existing
+// term survives ingest and compaction swaps — the dictionary is
+// append-only and shared across generations, so TermIDs (and the pure
+// predicate over them) cannot move. This is what lets sessions span
+// swaps under sharding.
+func TestPartitionStableAcrossCompaction(t *testing.T) {
+	f := kgtest.Build()
+	p := NewHashPartitioner(4)
+	opts := core.Options{Partition: OwnerOf(p, 1)}
+	sh := core.NewLiveShared(f.Graph, opts)
+	defer sh.Close()
+
+	dict := f.Store.Dict()
+	before := map[rdf.TermID]int{}
+	for id := rdf.TermID(1); int(id) <= dict.Len(); id++ {
+		before[id] = p.ShardOf(id)
+	}
+
+	ls := sh.Live()
+	for round := 0; round < 3; round++ {
+		nt := fmt.Sprintf("<http://pivote.dev/resource/Swap_Film_%d> <http://pivote.dev/ontology/starring> <http://pivote.dev/resource/Tom_Hanks> .\n", round)
+		if _, err := ls.IngestNTriples(strings.NewReader(nt), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ls.CompactNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls.Swaps() < 3 {
+		t.Fatalf("expected 3 swaps, got %d", ls.Swaps())
+	}
+	for id, want := range before {
+		if got := p.ShardOf(id); got != want {
+			t.Fatalf("term %d moved from shard %d to %d across compaction", id, want, got)
+		}
+	}
+	// The new generation's ownership predicate is the same function: the
+	// published generation must still carry it.
+	if sh.Generation().Own == nil {
+		t.Fatal("compacted generation lost its ownership predicate")
+	}
+}
+
+// TestEmptyPartitionServesValidEmptyResults: a shard that owns nothing
+// must still answer every query correctly — empty pages, valid
+// envelopes — because the router merges it like any other shard.
+func TestEmptyPartitionServesValidEmptyResults(t *testing.T) {
+	f := kgtest.Build()
+	// Own nothing at all.
+	opts := core.Options{Partition: func(rdf.TermID) bool { return false }}
+	eng := core.New(f.Graph, opts)
+
+	res, err := eng.ApplyFields(t.Context(), core.OpSubmit("tom hanks"), core.FieldsAll)
+	if err != nil {
+		t.Fatalf("keyword query on empty partition: %v", err)
+	}
+	if len(res.Entities) != 0 {
+		t.Fatalf("empty partition emitted %d entities", len(res.Entities))
+	}
+	// Features still rank globally: the y-axis is shard-independent.
+	if len(res.Features) == 0 {
+		t.Fatal("empty partition lost the global feature ranking")
+	}
+	if res.Heat == nil {
+		t.Fatal("empty partition returned no heat matrix")
+	}
+	if len(res.Heat.Entities) != 0 {
+		t.Fatal("heat matrix has columns for unowned entities")
+	}
+
+	res, err = eng.ApplyFields(t.Context(), core.OpAddSeed(f.E("Forrest_Gump")), core.FieldsAll)
+	if err != nil {
+		t.Fatalf("seed query on empty partition: %v", err)
+	}
+	if len(res.Entities) != 0 {
+		t.Fatalf("empty partition emitted %d entities for a seed query", len(res.Entities))
+	}
+}

@@ -1,0 +1,797 @@
+package shard
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	mrand "math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"pivote/internal/core"
+	"pivote/internal/errs"
+	"pivote/internal/server"
+)
+
+// Options tune a Router; zero values select the documented defaults.
+type Options struct {
+	// TopEntities is the merged x-axis size and MUST match the shard
+	// nodes' core.Options.TopEntities (default 20): per-shard page
+	// lengths alone cannot reveal the global page size.
+	TopEntities int
+	// Timeout bounds each shard request attempt (default 10s).
+	Timeout time.Duration
+	// RetryJitter is the maximum random delay before the single retry of
+	// a failed shard request (default 100ms), decorrelating the retry
+	// storms of concurrent router sessions.
+	RetryJitter time.Duration
+	// MaxSessions bounds the router-side session LRU (default 64, like
+	// server.Multi).
+	MaxSessions int
+	// Transport issues the shard requests; nil selects
+	// http.DefaultTransport. The in-process cluster plugs its
+	// InprocTransport in here.
+	Transport http.RoundTripper
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopEntities <= 0 {
+		o.TopEntities = 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.RetryJitter <= 0 {
+		o.RetryJitter = 100 * time.Millisecond
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	return o
+}
+
+// Router is the scatter-gather front of a shard cluster: it serves the
+// /api/v1 surface, fans every request out to all shards, and merges the
+// per-shard pages back into the exact bytes a single-process server
+// would have produced (see MergeStates for the rules and why they are
+// sound).
+//
+// The router holds no graph. Its per-session state is the canonical op
+// log plus one cookie per shard; the log is what makes the cluster
+// self-healing — a shard that lost its session (restart, LRU eviction,
+// failed fan-out) is repaired by idempotently replaying the log through
+// POST /api/v1/session before the next request touches it.
+type Router struct {
+	shards []string
+	opts   Options
+	client *http.Client
+
+	mu       sync.Mutex
+	sessions map[string]*routerSession
+	lru      *list.List // of string tokens, most-recent first
+
+	// ctrl holds per-shard cookies for the session-independent surface
+	// (ingest, compact, live) so control traffic reuses one shard
+	// session instead of minting one per request.
+	ctrlMu sync.Mutex
+	ctrl   []string
+
+	// ingestMu serializes write fan-outs (ingest, compact): every shard
+	// must intern new terms in the same order so TermIDs — and therefore
+	// the partitioning — stay identical across the cluster.
+	ingestMu sync.Mutex
+
+	health []shardHealth
+}
+
+type shardHealth struct {
+	mu      sync.Mutex
+	seen    bool
+	healthy bool
+	lastErr string
+}
+
+// routerSession is the per-cookie state: the replayable op log, one
+// shard session cookie per shard, and per-shard staleness (the shard's
+// session is not known to equal the log and must be repaired before
+// use). mu serializes fan-outs for the session the same way server.mu
+// serializes a single-process session's requests.
+type routerSession struct {
+	mu      sync.Mutex
+	log     []core.OpDTO
+	cookies []string
+	stale   []bool
+	elem    *list.Element
+}
+
+// sessionFileJSON mirrors the engine's v2 session-file shape; the
+// router writes it when replaying its log into a shard.
+type sessionFileJSON struct {
+	Version int          `json:"version"`
+	Ops     []core.OpDTO `json:"ops"`
+}
+
+// NewRouter builds a router over the given shard base URLs (scheme +
+// host, no trailing slash).
+func NewRouter(shardURLs []string, opts Options) *Router {
+	opts = opts.withDefaults()
+	transport := opts.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	shards := make([]string, len(shardURLs))
+	for i, u := range shardURLs {
+		shards[i] = strings.TrimRight(u, "/")
+	}
+	return &Router{
+		shards:   shards,
+		opts:     opts,
+		client:   &http.Client{Transport: transport},
+		sessions: map[string]*routerSession{},
+		lru:      list.New(),
+		ctrl:     make([]string, len(shards)),
+		health:   make([]shardHealth, len(shards)),
+	}
+}
+
+// NumShards reports the cluster size.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Handler returns the router's HTTP handler: the full /api/v1 surface.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/ops", rt.withSession(rt.handleOps))
+	mux.HandleFunc("GET /api/v1/state", rt.withSession(rt.handleState))
+	mux.HandleFunc("GET /api/v1/session", rt.withSession(rt.handleSessionSave))
+	mux.HandleFunc("POST /api/v1/session", rt.withSession(rt.handleSessionLoad))
+	mux.HandleFunc("POST /api/v1/ingest", rt.handleIngest)
+	mux.HandleFunc("POST /api/v1/compact", rt.handleCompact)
+	mux.HandleFunc("GET /api/v1/live", rt.handleLive)
+	return mux
+}
+
+const sessionCookie = "pivote_session" // same name the shard nodes use
+
+// withSession resolves (or mints) the router-side session for the
+// request and pins its cookie on the response, mirroring server.Multi.
+func (rt *Router) withSession(h func(http.ResponseWriter, *http.Request, *routerSession)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := ""
+		if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
+			token = c.Value
+		}
+		rs, token := rt.getOrCreate(token)
+		http.SetCookie(w, &http.Cookie{
+			Name:     sessionCookie,
+			Value:    token,
+			Path:     "/",
+			HttpOnly: true,
+			SameSite: http.SameSiteLaxMode,
+		})
+		h(w, r, rs)
+	}
+}
+
+func (rt *Router) getOrCreate(token string) (*routerSession, string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rs, ok := rt.sessions[token]; ok {
+		rt.lru.MoveToFront(rs.elem)
+		return rs, token
+	}
+	// Unknown (or empty) token: mint a fresh one, never adopt a
+	// client-supplied value — same policy as server.Multi.
+	token = newToken()
+	rs := &routerSession{
+		cookies: make([]string, len(rt.shards)),
+		stale:   make([]bool, len(rt.shards)),
+	}
+	rs.elem = rt.lru.PushFront(token)
+	rt.sessions[token] = rs
+	for len(rt.sessions) > rt.opts.MaxSessions {
+		oldest := rt.lru.Back()
+		rt.lru.Remove(oldest)
+		delete(rt.sessions, oldest.Value.(string))
+	}
+	return rs, token
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("shard: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// shardResp is one shard's reply, body fully read.
+type shardResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func (sr *shardResp) sessionCookie() string {
+	for _, c := range (&http.Response{Header: sr.header}).Cookies() {
+		if c.Name == sessionCookie {
+			return c.Value
+		}
+	}
+	return ""
+}
+
+// send issues one shard request with a per-attempt timeout and, when
+// retries > 0, a single jittered retry on transport failure. HTTP
+// responses of any status are NOT retried — they are answers. A request
+// that cannot be delivered comes back as a typed unavailable error.
+func (rt *Router) send(ctx context.Context, i int, method, pathq string, body []byte, contentType, cookie string, retries int) (*shardResp, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(mrand.Int64N(int64(rt.opts.RetryJitter)))
+			select {
+			case <-time.After(jitter):
+			case <-ctx.Done():
+				return nil, errs.Errf(errs.KindCanceled, "shard %d: %v", i, ctx.Err())
+			}
+		}
+		resp, err := rt.sendOnce(ctx, i, method, pathq, body, contentType, cookie)
+		if err == nil {
+			rt.recordHealth(i, true, "")
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The client went away: report cancellation, not shard death.
+			return nil, errs.Errf(errs.KindCanceled, "shard %d: %v", i, ctx.Err())
+		}
+	}
+	rt.recordHealth(i, false, lastErr.Error())
+	return nil, errs.Errf(errs.KindUnavailable, "shard %d (%s) unreachable: %v", i, rt.shards[i], lastErr)
+}
+
+func (rt *Router) sendOnce(ctx context.Context, i int, method, pathq string, body []byte, contentType, cookie string) (*shardResp, error) {
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
+	defer cancel()
+	var rdr io.Reader
+	if body != nil {
+		rdr = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(cctx, method, rt.shards[i]+pathq, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" && body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if cookie != "" {
+		req.AddCookie(&http.Cookie{Name: sessionCookie, Value: cookie})
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &shardResp{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+func (rt *Router) recordHealth(i int, ok bool, msg string) {
+	h := &rt.health[i]
+	h.mu.Lock()
+	h.seen, h.healthy, h.lastErr = true, ok, msg
+	h.mu.Unlock()
+}
+
+// repair replays the session's op log into shard i, rebuilding the
+// shard-side session from scratch. Replay is idempotent (LoadSession
+// replaces the session wholesale), and ?include=timeline keeps it cheap:
+// the shard skips ranking and heat-map work entirely.
+func (rt *Router) repair(ctx context.Context, rs *routerSession, i int) error {
+	body, err := json.Marshal(sessionFileJSON{Version: 2, Ops: append([]core.OpDTO{}, rs.log...)})
+	if err != nil {
+		return errs.Errf(errs.KindInternal, "shard: encode repair log: %v", err)
+	}
+	resp, err := rt.send(ctx, i, http.MethodPost, "/api/v1/session?include=timeline", body, "application/json", rs.cookies[i], 1)
+	if err != nil {
+		return err
+	}
+	if c := resp.sessionCookie(); c != "" {
+		rs.cookies[i] = c
+	}
+	if resp.status != http.StatusOK {
+		return errs.Errf(errs.KindUnavailable, "shard %d: session repair failed: %s", i, strings.TrimSpace(string(resp.body)))
+	}
+	rs.stale[i] = false
+	return nil
+}
+
+// stateful issues a session-scoped request to shard i, transparently
+// repairing the shard's session first when it is stale, and redoing the
+// request once when the shard evicted the session mid-flight (detected
+// by a changed session cookie: shard nodes never adopt an unknown
+// token, so a different Set-Cookie value proves the response came from
+// a fresh, empty session instead of ours).
+func (rt *Router) stateful(ctx context.Context, rs *routerSession, i int, method, pathq string, body []byte, retries int) (*shardResp, error) {
+	if rs.stale[i] {
+		if err := rt.repair(ctx, rs, i); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := rt.send(ctx, i, method, pathq, body, "application/json", rs.cookies[i], retries)
+	if err != nil {
+		// Ambiguous outcome (a mutation may or may not have landed):
+		// force a repair before this shard serves this session again.
+		rs.stale[i] = true
+		return nil, err
+	}
+	c := resp.sessionCookie()
+	switch {
+	case rs.cookies[i] == "":
+		rs.cookies[i] = c
+	case c != "" && c != rs.cookies[i]:
+		rs.cookies[i] = c
+		if err := rt.repair(ctx, rs, i); err != nil {
+			rs.stale[i] = true
+			return nil, err
+		}
+		resp, err = rt.send(ctx, i, method, pathq, body, "application/json", rs.cookies[i], retries)
+		if err != nil {
+			rs.stale[i] = true
+			return nil, err
+		}
+		if c2 := resp.sessionCookie(); c2 != "" {
+			rs.cookies[i] = c2
+		}
+	}
+	return resp, nil
+}
+
+// fanStateful runs a session-scoped request against every shard
+// concurrently. The caller holds rs.mu; the goroutines touch disjoint
+// per-shard slots.
+func (rt *Router) fanStateful(ctx context.Context, rs *routerSession, method, pathq string, body []byte, retries int) ([]*shardResp, []error) {
+	resps := make([]*shardResp, len(rt.shards))
+	errors := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errors[i] = rt.stateful(ctx, rs, i, method, pathq, body, retries)
+		}(i)
+	}
+	wg.Wait()
+	return resps, errors
+}
+
+// firstFailure finds the lowest-indexed shard whose request failed
+// (transport error or non-200), or -1 when all succeeded. Picking the
+// lowest index keeps error responses deterministic.
+func firstFailure(resps []*shardResp, errors []error) int {
+	for i := range resps {
+		if errors[i] != nil || resps[i].status != http.StatusOK {
+			return i
+		}
+	}
+	return -1
+}
+
+// markApplied flags every shard that accepted a mutation the batch
+// ultimately failed on (some peer rejected it or went away): their
+// session state has diverged from the log and must be rebuilt by replay
+// before next use.
+func markApplied(rs *routerSession, resps []*shardResp, errors []error) {
+	for i := range resps {
+		if errors[i] == nil && resps[i].status == http.StatusOK {
+			rs.stale[i] = true
+		}
+	}
+}
+
+// relay writes a shard's response through unchanged — error envelopes
+// and downloads stay byte-identical to a direct server's.
+func relay(w http.ResponseWriter, resp *shardResp) {
+	for _, k := range []string{"Content-Type", "Content-Disposition"} {
+		if v := resp.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// failOut reports the fan-out's first failure: transport failures
+// become typed unavailable envelopes, shard HTTP errors are relayed
+// verbatim.
+func failOut(w http.ResponseWriter, resps []*shardResp, errors []error, i int) {
+	if errors[i] != nil {
+		server.WriteV1Error(w, errors[i], nil)
+		return
+	}
+	relay(w, resps[i])
+}
+
+func rawQuery(r *http.Request) string {
+	if r.URL.RawQuery != "" {
+		return "?" + r.URL.RawQuery
+	}
+	return ""
+}
+
+// sameGeneration reports whether every shard evaluated on the same
+// generation (by the X-Pivote-Generation response header). Pages from
+// mixed generations must never be merged: the result would match no
+// single-process output. Responses without the header don't vote.
+func sameGeneration(resps []*shardResp) bool {
+	seen := ""
+	for _, resp := range resps {
+		g := resp.header.Get(server.GenerationHeader)
+		if g == "" {
+			continue
+		}
+		if seen == "" {
+			seen = g
+		} else if g != seen {
+			return false
+		}
+	}
+	return true
+}
+
+// genRetries bounds the re-reads while shards adopt a new generation. A
+// compaction swap propagates through the (serialized) compact fan-out
+// in milliseconds, so a handful of short pauses is plenty; a cluster
+// that cannot converge in this many rounds is genuinely unhealthy.
+const genRetries = 25
+
+// genPause briefly decorrelates a re-read from the swap in progress.
+func (rt *Router) genPause(ctx context.Context) {
+	d := time.Duration(1+mrand.Int64N(5)) * time.Millisecond
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// fanMergeState fans a session-scoped GET /api/v1/state to every shard
+// and merges the pages, re-reading while a compaction swap leaves the
+// shards on different generations (reads are idempotent, so the loop is
+// safe). On failure it writes the error response and reports false.
+func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *routerSession, pathq string) (server.StateV1DTO, bool) {
+	for attempt := 0; ; attempt++ {
+		resps, errors := rt.fanStateful(ctx, rs, http.MethodGet, pathq, nil, 1)
+		if i := firstFailure(resps, errors); i >= 0 {
+			failOut(w, resps, errors, i)
+			return server.StateV1DTO{}, false
+		}
+		if !sameGeneration(resps) {
+			if attempt < genRetries {
+				rt.genPause(ctx)
+				continue
+			}
+			server.WriteV1Error(w, errs.Errf(errs.KindUnavailable,
+				"shard: cluster did not converge on one generation"), nil)
+			return server.StateV1DTO{}, false
+		}
+		states := make([]server.StateV1DTO, len(resps))
+		for i, resp := range resps {
+			if err := json.Unmarshal(resp.body, &states[i]); err != nil {
+				server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", i, err), nil)
+				return server.StateV1DTO{}, false
+			}
+		}
+		merged, err := MergeStates(states, rt.opts.TopEntities)
+		if err != nil {
+			server.WriteV1Error(w, err, nil)
+			return server.StateV1DTO{}, false
+		}
+		return merged, true
+	}
+}
+
+// statePathFor builds the GET /api/v1/state path that reproduces a
+// request's field selection (?include= wins over the body value, like
+// the shard nodes).
+func statePathFor(r *http.Request, bodyInclude string) string {
+	inc := r.URL.Query().Get("include")
+	if inc == "" {
+		inc = bodyInclude
+	}
+	if inc == "" {
+		return "/api/v1/state"
+	}
+	return "/api/v1/state?include=" + url.QueryEscape(inc)
+}
+
+// opsRequestJSON mirrors the shard nodes' opsRequest body.
+type opsRequestJSON struct {
+	Ops     []core.OpDTO `json:"ops"`
+	Include string       `json:"include,omitempty"`
+}
+
+// handleOps fans an op batch to every shard and merges the pages. On
+// unanimous success the batch joins the session log; on any failure the
+// shards that DID apply it are marked stale so the next request rolls
+// them back by replaying the log (which does not contain the batch).
+func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSession) {
+	var req opsRequestJSON
+	// Same decode, same 4 MB cap as a shard node, so a malformed body
+	// produces the identical envelope without any fan-out.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
+		return
+	}
+	fwd, err := json.Marshal(req)
+	if err != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInternal, "encode ops: %v", err), nil)
+		return
+	}
+	pathq := "/api/v1/ops" + rawQuery(r)
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	// No blind resend for ops: a retry after an ambiguous transport
+	// failure could double-apply the batch. The stale-repair machinery
+	// is the retry path instead.
+	resps, errors := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, fwd, 0)
+	if i := firstFailure(resps, errors); i >= 0 {
+		markApplied(rs, resps, errors)
+		failOut(w, resps, errors, i)
+		return
+	}
+	// Unanimous success: the batch is part of every shard's session, so
+	// it joins the log now — whatever happens below, a repair replay must
+	// reproduce the sessions as they are.
+	rs.log = append(rs.log, req.Ops...)
+	if !sameGeneration(resps) {
+		// A compaction swap landed mid-fan: the pages come from different
+		// generations and must not be merged. The ops ARE applied; re-read
+		// the (deterministic) session state until the shards agree on one
+		// generation, and answer with that — a valid single-process
+		// outcome, since the swap also could have landed just before the
+		// batch.
+		applied := len(req.Ops)
+		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, req.Include))
+		if !ok {
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, server.OpsResponse{Applied: applied, State: merged})
+		return
+	}
+	states := make([]server.StateV1DTO, len(resps))
+	applied := 0
+	for i, resp := range resps {
+		var or server.OpsResponse
+		if err := json.Unmarshal(resp.body, &or); err != nil {
+			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad ops response: %v", i, err), nil)
+			return
+		}
+		states[i] = or.State
+		if i == 0 {
+			applied = or.Applied
+		}
+	}
+	merged, err := MergeStates(states, rt.opts.TopEntities)
+	if err != nil {
+		server.WriteV1Error(w, err, nil)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, server.OpsResponse{Applied: applied, State: merged})
+}
+
+// handleState fans the read to every shard and merges, re-reading while
+// a compaction swap leaves the shards on mixed generations.
+func (rt *Router) handleState(w http.ResponseWriter, r *http.Request, rs *routerSession) {
+	pathq := "/api/v1/state" + rawQuery(r)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	merged, ok := rt.fanMergeState(r.Context(), w, rs, pathq)
+	if !ok {
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, merged)
+}
+
+// handleSessionSave proxies the download from shard 0: every shard's
+// canonical op log is identical (EncodeOp canonicalizes entity
+// references to IRIs regardless of how the client spelled them), so one
+// shard's file is THE file.
+func (rt *Router) handleSessionSave(w http.ResponseWriter, r *http.Request, rs *routerSession) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	resp, err := rt.stateful(r.Context(), rs, 0, http.MethodGet, "/api/v1/session", nil, 1)
+	if err != nil {
+		server.WriteV1Error(w, err, nil)
+		return
+	}
+	relay(w, resp)
+}
+
+// handleSessionLoad fans a session replay to every shard. On unanimous
+// success the uploaded file's ops become the router's log; on any
+// failure the shards that did replay are marked stale (they now hold
+// the NEW session while the log still describes the old one).
+func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *routerSession) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
+		return
+	}
+	pathq := "/api/v1/session" + rawQuery(r)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	// Replay is idempotent, so the transport-level retry is safe here.
+	resps, errors := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, raw, 1)
+	if i := firstFailure(resps, errors); i >= 0 {
+		markApplied(rs, resps, errors)
+		failOut(w, resps, errors, i)
+		return
+	}
+	// All shards accepted the replay, so the file decodes; its DTOs are
+	// the new log. (A v1-format upload synthesizes the same ops the
+	// shards synthesized.)
+	dtos, err := core.DecodeSessionDTOs(raw)
+	if err != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInternal, "session accepted by shards but not decodable: %v", err), nil)
+		return
+	}
+	rs.log = dtos
+	if !sameGeneration(resps) {
+		// Same rule as handleOps: the replay landed everywhere, but the
+		// pages straddle a compaction swap — re-read instead of merging.
+		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, ""))
+		if !ok {
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, merged)
+		return
+	}
+	states := make([]server.StateV1DTO, len(resps))
+	for i, resp := range resps {
+		if err := json.Unmarshal(resp.body, &states[i]); err != nil {
+			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", i, err), nil)
+			return
+		}
+	}
+	merged, err := MergeStates(states, rt.opts.TopEntities)
+	if err != nil {
+		server.WriteV1Error(w, err, nil)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, merged)
+}
+
+// fanControl runs a session-independent request against every shard
+// with the control cookie jar.
+func (rt *Router) fanControl(ctx context.Context, method, pathq string, body []byte, contentType string) ([]*shardResp, []error) {
+	resps := make([]*shardResp, len(rt.shards))
+	errors := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt.ctrlMu.Lock()
+			cookie := rt.ctrl[i]
+			rt.ctrlMu.Unlock()
+			resp, err := rt.send(ctx, i, method, pathq, body, contentType, cookie, 1)
+			if err == nil {
+				if c := resp.sessionCookie(); c != "" {
+					rt.ctrlMu.Lock()
+					rt.ctrl[i] = c
+					rt.ctrlMu.Unlock()
+				}
+			}
+			resps[i], errors[i] = resp, err
+		}(i)
+	}
+	wg.Wait()
+	return resps, errors
+}
+
+// handleIngest fans the batch to every shard, serialized so every shard
+// interns new terms in the same order (TermID agreement is what keeps
+// the partitioning consistent). Ingest is idempotent by content —
+// re-adding a triple or re-deleting a tombstone converges — so a client
+// that sees an unavailable error retries the same batch safely.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
+		return
+	}
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+	resps, errors := rt.fanControl(r.Context(), http.MethodPost, "/api/v1/ingest", body, r.Header.Get("Content-Type"))
+	if i := firstFailure(resps, errors); i >= 0 {
+		failOut(w, resps, errors, i)
+		return
+	}
+	// Every shard holds the same store content, so the reports agree;
+	// shard 0's is relayed verbatim.
+	relay(w, resps[0])
+}
+
+// handleCompact forces a compaction swap on every shard; idempotent and
+// serialized with ingest.
+func (rt *Router) handleCompact(w http.ResponseWriter, r *http.Request) {
+	rt.ingestMu.Lock()
+	defer rt.ingestMu.Unlock()
+	resps, errors := rt.fanControl(r.Context(), http.MethodPost, "/api/v1/compact", nil, "")
+	if i := firstFailure(resps, errors); i >= 0 {
+		failOut(w, resps, errors, i)
+		return
+	}
+	relay(w, resps[0])
+}
+
+// ShardHealthDTO is one shard's entry in the router's live report.
+type ShardHealthDTO struct {
+	Shard   int    `json:"shard"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Stats is the shard's own /api/v1/live body when it answered.
+	Stats *server.LiveStats `json:"stats,omitempty"`
+}
+
+// RouterInfoDTO summarizes the cluster.
+type RouterInfoDTO struct {
+	Shards  int `json:"shards"`
+	Healthy int `json:"healthy"`
+}
+
+// RouterLiveDTO is the router's GET /api/v1/live body: the first
+// healthy shard's stats flattened at the top level (so single-process
+// monitoring keeps working against a router), plus per-shard health.
+type RouterLiveDTO struct {
+	server.LiveStats
+	Router      RouterInfoDTO    `json:"router"`
+	ShardHealth []ShardHealthDTO `json:"shardHealth"`
+}
+
+// handleLive aggregates cluster health. Unlike every other endpoint it
+// never fails outright: a dead shard becomes an unhealthy row, because
+// the whole point of a health endpoint is answering while things burn.
+func (rt *Router) handleLive(w http.ResponseWriter, r *http.Request) {
+	resps, errors := rt.fanControl(r.Context(), http.MethodGet, "/api/v1/live", nil, "")
+	out := RouterLiveDTO{
+		Router:      RouterInfoDTO{Shards: len(rt.shards)},
+		ShardHealth: make([]ShardHealthDTO, len(rt.shards)),
+	}
+	statsSet := false
+	for i := range resps {
+		h := ShardHealthDTO{Shard: i, Addr: rt.shards[i]}
+		switch {
+		case errors[i] != nil:
+			h.Error = errors[i].Error()
+		case resps[i].status != http.StatusOK:
+			h.Error = strings.TrimSpace(string(resps[i].body))
+		default:
+			var stats server.LiveStats
+			if err := json.Unmarshal(resps[i].body, &stats); err != nil {
+				h.Error = "bad live response: " + err.Error()
+				break
+			}
+			h.Healthy = true
+			h.Stats = &stats
+			out.Router.Healthy++
+			if !statsSet {
+				out.LiveStats = stats
+				statsSet = true
+			}
+		}
+		out.ShardHealth[i] = h
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pivote/internal/live"
+	"pivote/internal/snap"
+)
+
+// SectionShard is the trailing section of a per-shard snapshot: the
+// shard index and the partitioner spec. Everything before it is the
+// ordinary generation snapshot (the full graph — partitioning happens
+// at emission, so a shard persists the same sections a single-process
+// generation does), which is why OpenGeneration would happily open a
+// shard file and silently serve it unpartitioned; the shard-aware
+// opener below exists so it never has to.
+const SectionShard = "shard.part"
+
+// SnapshotPath names the snapshot of one shard of a generation:
+// gen-<id>-s<shard>.pvgen.
+func SnapshotPath(dir string, gen uint64, shardIdx int) string {
+	return filepath.Join(dir, fmt.Sprintf("gen-%016d-s%d%s", gen, shardIdx, live.SnapshotExt))
+}
+
+// WriteFile atomically persists one shard's view of a generation: the
+// full generation sections plus the trailing shard section. The same
+// temp-and-rename discipline as live.WriteGenerationFile keeps a crash
+// from leaving a half-written file where a restore would look.
+func WriteFile(gen *live.Generation, p Partitioner, shardIdx int, path string) (err error) {
+	if shardIdx < 0 || shardIdx >= p.N() {
+		return fmt.Errorf("shard: index %d out of range for %s", shardIdx, p.Spec())
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pvgen-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := snap.NewWriter(tmp)
+	if err = live.AppendGenerationSections(gen, w); err != nil {
+		return err
+	}
+	w.Begin(SectionShard)
+	w.U64(uint64(shardIdx))
+	w.String(p.Spec())
+	if err = w.Close(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteSnapshots persists every shard of a generation into dir and
+// returns the written paths in shard order.
+func WriteSnapshots(gen *live.Generation, p Partitioner, dir string) ([]string, error) {
+	paths := make([]string, p.N())
+	for k := 0; k < p.N(); k++ {
+		path := SnapshotPath(dir, gen.ID, k)
+		if err := WriteFile(gen, p, k, path); err != nil {
+			return nil, err
+		}
+		paths[k] = path
+	}
+	return paths, nil
+}
+
+// OpenFile opens a per-shard snapshot: the generation comes back with
+// its ownership predicate already applied, plus the partitioner and
+// shard index the file was written with.
+func OpenFile(path string) (*live.Generation, Partitioner, int, error) {
+	m, err := snap.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	c, err := m.Section(SectionShard)
+	if err != nil {
+		m.Close()
+		return nil, nil, 0, fmt.Errorf("shard: %s is not a shard snapshot: %w", path, err)
+	}
+	idx := c.U64()
+	spec := c.String()
+	if err := c.Err(); err != nil {
+		m.Close()
+		return nil, nil, 0, err
+	}
+	p, err := ParseSpec(spec)
+	if err != nil {
+		m.Close()
+		return nil, nil, 0, err
+	}
+	if idx >= uint64(p.N()) {
+		m.Close()
+		return nil, nil, 0, errors.Join(snap.ErrCorrupt,
+			fmt.Errorf("shard: index %d out of range for %s", idx, spec))
+	}
+	gen, err := live.OpenGenerationSections(m)
+	if err != nil {
+		m.Close()
+		return nil, nil, 0, err
+	}
+	gen.ApplyPartition(OwnerOf(p, int(idx)))
+	return gen, p, int(idx), nil
+}
+
+// FindNewestSnapshot returns the newest snapshot of one shard in dir,
+// or "" when there is none. It only considers files written for exactly
+// this shard index (gen-*-s<shard>.pvgen).
+func FindNewestSnapshot(dir string, shardIdx int) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	suffix := fmt.Sprintf("-s%d%s", shardIdx, live.SnapshotExt)
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() &&
+			strings.HasPrefix(name, "gen-") && strings.HasSuffix(name, suffix) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil
+	}
+	// Zero-padded fixed-width generation numbers: the lexicographic
+	// maximum is the newest generation.
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// SnapshotWriter adapts per-shard persistence to the live store's
+// compaction hook: every swap writes this shard's gen-<id>-s<k>.pvgen
+// instead of the unpartitioned gen-<id>.pvgen.
+func SnapshotWriter(p Partitioner, shardIdx int) func(gen *live.Generation, dir string) (string, error) {
+	return func(gen *live.Generation, dir string) (string, error) {
+		path := SnapshotPath(dir, gen.ID, shardIdx)
+		return path, WriteFile(gen, p, shardIdx, path)
+	}
+}

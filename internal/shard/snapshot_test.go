@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+	"pivote/internal/live"
+)
+
+// TestSnapshotRoundTrip: a per-shard snapshot re-opened from disk must
+// come back partitioned — same spec, same shard index, ownership
+// predicate installed — and an engine over it must emit exactly what an
+// in-memory engine with the same partition emits.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := kgtest.Build()
+	p := NewHashPartitioner(4)
+	sh := core.NewShared(f.Graph, core.Options{})
+	defer sh.Close()
+	gen := sh.Generation()
+
+	dir := t.TempDir()
+	paths, err := WriteSnapshots(gen, p, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("wrote %d snapshots, want 4", len(paths))
+	}
+
+	for k, path := range paths {
+		got, q, idx, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		if idx != k {
+			t.Fatalf("shard %d: opened index %d", k, idx)
+		}
+		if q.Spec() != p.Spec() {
+			t.Fatalf("shard %d: spec %q, want %q", k, q.Spec(), p.Spec())
+		}
+		if got.Own == nil {
+			t.Fatalf("shard %d: opened generation has no ownership predicate", k)
+		}
+
+		// Scoring must match an in-memory shard node exactly.
+		want := core.Options{Partition: OwnerOf(p, k)}
+		wantEng := core.New(f.Graph, want)
+		gotEng := core.NewWithShared(core.NewSharedFromGeneration(got, core.Options{}), core.Options{})
+		wantRes, err := wantEng.ApplyFields(t.Context(), core.OpSubmit("tom hanks film"), core.FieldsAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, err := gotEng.ApplyFields(t.Context(), core.OpSubmit("tom hanks film"), core.FieldsAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotRes.Entities) != len(wantRes.Entities) {
+			t.Fatalf("shard %d: %d entities from snapshot, %d in memory",
+				k, len(gotRes.Entities), len(wantRes.Entities))
+		}
+		for i := range gotRes.Entities {
+			ge, we := gotRes.Entities[i], wantRes.Entities[i]
+			if ge.Entity != we.Entity || ge.Score != we.Score {
+				t.Fatalf("shard %d entity %d: snapshot (%d, %v) vs memory (%d, %v)",
+					k, i, ge.Entity, ge.Score, we.Entity, we.Score)
+			}
+		}
+	}
+}
+
+// TestOpenFileRejectsUnshardedSnapshot: the shard opener must refuse an
+// ordinary generation snapshot rather than serve the whole graph as one
+// shard.
+func TestOpenFileRejectsUnshardedSnapshot(t *testing.T) {
+	f := kgtest.Build()
+	sh := core.NewShared(f.Graph, core.Options{})
+	defer sh.Close()
+	dir := t.TempDir()
+	path := live.SnapshotPath(dir, 0)
+	if err := live.WriteGenerationFile(sh.Generation(), path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenFile(path); err == nil {
+		t.Fatal("OpenFile accepted an unpartitioned snapshot")
+	}
+}
+
+// TestFindNewestSnapshotPerShard: discovery is scoped to one shard
+// index and picks the highest generation; the live store's own
+// discovery must in turn skip shard files entirely, so an unpartitioned
+// restart can never mmap a partial view.
+func TestFindNewestSnapshotPerShard(t *testing.T) {
+	dir := t.TempDir()
+	touch := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touch("gen-0000000000000003-s0.pvgen")
+	touch("gen-0000000000000007-s0.pvgen")
+	touch("gen-0000000000000009-s1.pvgen")
+	touch("gen-0000000000000005.pvgen")
+	touch("notes.txt")
+
+	got, err := FindNewestSnapshot(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "gen-0000000000000007-s0.pvgen" {
+		t.Fatalf("shard 0 newest = %q", got)
+	}
+	got, err = FindNewestSnapshot(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "gen-0000000000000009-s1.pvgen" {
+		t.Fatalf("shard 1 newest = %q", got)
+	}
+	got, err = FindNewestSnapshot(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Fatalf("shard 2 has no snapshot but found %q", got)
+	}
+
+	got, err = live.FindNewestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "gen-0000000000000005.pvgen" {
+		t.Fatalf("live discovery must skip shard files, found %q", got)
+	}
+}
+
+// TestSnapshotWriterHook: wired into the live store, every compaction
+// writes this shard's file and restore round-trips through it.
+func TestSnapshotWriterHook(t *testing.T) {
+	f := kgtest.Build()
+	p := NewHashPartitioner(2)
+	dir := t.TempDir()
+	opts := core.Options{
+		Partition:     OwnerOf(p, 1),
+		SnapshotWrite: SnapshotWriter(p, 1),
+	}
+	sh := core.NewLiveSharedWithSnapshots(f.Graph, opts, dir)
+	defer sh.Close()
+
+	nt := "<http://pivote.dev/resource/Hook_Film> <http://pivote.dev/ontology/starring> <http://pivote.dev/resource/Tom_Hanks> .\n"
+	if _, err := sh.Live().IngestNTriples(strings.NewReader(nt), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, swapped, err := sh.Live().CompactNow(); err != nil || !swapped {
+		t.Fatalf("compaction: swapped=%v err=%v", swapped, err)
+	}
+	path, err := FindNewestSnapshot(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("compaction wrote no per-shard snapshot")
+	}
+	gen, q, idx, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || q.Spec() != p.Spec() || gen.Own == nil {
+		t.Fatalf("restored shard snapshot wrong: idx=%d spec=%q own=%v", idx, q.Spec(), gen.Own != nil)
+	}
+}

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// InprocTransport is an http.RoundTripper that maps synthetic hosts
+// onto in-process handlers — no sockets, no ports. The single-process
+// cluster mode (-shards N), the equivalence suite, the race hammer and
+// the scatter-gather benchmark all drive real HTTP semantics (cookies,
+// headers, status codes, bodies) through it while every shard lives in
+// the same address space and shares one append-only dictionary.
+type InprocTransport struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+}
+
+// NewInprocTransport returns an empty transport; Register adds hosts.
+func NewInprocTransport() *InprocTransport {
+	return &InprocTransport{handlers: map[string]http.Handler{}}
+}
+
+// Register binds a handler to a synthetic host and returns its base URL
+// (http://<host>).
+func (t *InprocTransport) Register(host string, h http.Handler) string {
+	t.mu.Lock()
+	t.handlers[host] = h
+	t.mu.Unlock()
+	return "http://" + host
+}
+
+// RoundTrip serves the request synchronously through the registered
+// handler. The caller's context still applies: handlers observe it via
+// req.Context() exactly as under net/http.
+func (t *InprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.RLock()
+	h := t.handlers[req.URL.Host]
+	t.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("shard: no in-process handler for host %q", req.URL.Host)
+	}
+	if req.Body == nil {
+		req.Body = http.NoBody
+	}
+	rec := &inprocRecorder{header: http.Header{}, code: http.StatusOK}
+	h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// inprocRecorder is the minimal ResponseWriter the transport needs; it
+// captures status, headers and body in memory.
+type inprocRecorder struct {
+	header    http.Header
+	body      bytes.Buffer
+	code      int
+	wroteHead bool
+}
+
+func (r *inprocRecorder) Header() http.Header { return r.header }
+
+func (r *inprocRecorder) WriteHeader(code int) {
+	if !r.wroteHead {
+		r.code = code
+		r.wroteHead = true
+	}
+}
+
+func (r *inprocRecorder) Write(b []byte) (int, error) {
+	r.wroteHead = true
+	return r.body.Write(b)
+}

@@ -114,6 +114,65 @@ func (h *Heap[T]) Sorted() []T {
 	return h.items
 }
 
+// MergeSorted merges pages that are each already sorted best-first under
+// less into one best-first slice of at most k elements (k <= 0 keeps
+// everything). This is the scatter-gather merge: N shards each return a
+// sorted top-k page, and only the page heads compete — O(k log N)
+// comparisons instead of re-heaping every element.
+//
+// Determinism: when two heads compare equal under less, the one from the
+// lower-indexed page wins, so the merged order never depends on
+// goroutine scheduling. Callers that need a total order across pages
+// (score, then TermID) encode it in less, which makes the page-index
+// tie-break unreachable — it is a backstop, not a semantic.
+func MergeSorted[T any](pages [][]T, k int, less func(a, b T) bool) []T {
+	total := 0
+	for _, p := range pages {
+		total += len(p)
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	out := make([]T, 0, k)
+	// Heap of page cursors ordered by their current head; ties break on
+	// page index so equal elements drain in page order.
+	type cursor struct {
+		page int
+		pos  int
+	}
+	head := func(c cursor) T { return pages[c.page][c.pos] }
+	best := func(a, b cursor) bool {
+		if less(head(a), head(b)) {
+			return true
+		}
+		if less(head(b), head(a)) {
+			return false
+		}
+		return a.page < b.page
+	}
+	h := make([]cursor, 0, len(pages))
+	for i, p := range pages {
+		if len(p) > 0 {
+			h = append(h, cursor{page: i})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, best)
+	}
+	for len(out) < k && len(h) > 0 {
+		c := h[0]
+		out = append(out, head(c))
+		if c.pos+1 < len(pages[c.page]) {
+			h[0].pos++
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0, best)
+	}
+	return out
+}
+
 // siftDown restores the heap property at root i, where best(a, b) means a
 // should be nearer the root.
 func siftDown[T any](h []T, i int, best func(a, b T) bool) {

@@ -92,3 +92,96 @@ func TestSelectZeroAndOversizedK(t *testing.T) {
 		t.Fatalf("empty input, got %v", got)
 	}
 }
+
+// hit mirrors the scatter-gather merge element: a score with a dense-ID
+// tie-break, so duplicate scores exercise the deterministic total order.
+type hit struct {
+	score float64
+	id    uint32
+}
+
+func lessHit(a, b hit) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+func TestMergeSortedMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		nPages := 1 + rng.Intn(8)
+		pages := make([][]hit, nPages)
+		var all []hit
+		id := uint32(0)
+		for p := range pages {
+			n := rng.Intn(12)
+			page := make([]hit, 0, n)
+			for i := 0; i < n; i++ {
+				// Few distinct scores so duplicate-score ties across pages
+				// are common; IDs are globally unique like disjoint shard
+				// partitions.
+				page = append(page, hit{score: float64(rng.Intn(5)), id: id})
+				id++
+			}
+			sort.Slice(page, func(i, j int) bool { return lessHit(page[i], page[j]) })
+			pages[p] = page
+			all = append(all, page...)
+		}
+		k := rng.Intn(len(all) + 5)
+		ref := append([]hit(nil), all...)
+		sort.Slice(ref, func(i, j int) bool { return lessHit(ref[i], ref[j]) })
+		if k > 0 && k < len(ref) {
+			ref = ref[:k]
+		}
+		got := MergeSorted(pages, k, lessHit)
+		if len(got) != len(ref) {
+			t.Fatalf("pages=%d k=%d: got %d items, want %d", nPages, k, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("pages=%d k=%d: item %d: got %+v, want %+v", nPages, k, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMergeSortedDuplicateTieBreak pins the backstop: elements that
+// compare equal under less drain in page order, independent of input
+// permutation of equal runs.
+func TestMergeSortedDuplicateTieBreak(t *testing.T) {
+	type tagged struct {
+		score float64
+		page  int
+	}
+	less := func(a, b tagged) bool { return a.score > b.score }
+	pages := [][]tagged{
+		{{2, 0}, {1, 0}, {1, 0}},
+		{{2, 1}, {1, 1}},
+		{{3, 2}, {1, 2}},
+	}
+	got := MergeSorted(pages, 0, less)
+	want := []tagged{{3, 2}, {2, 0}, {2, 1}, {1, 0}, {1, 0}, {1, 1}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeSortedEmptyPages(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	if got := MergeSorted[int](nil, 5, less); len(got) != 0 {
+		t.Fatalf("nil pages: got %v", got)
+	}
+	if got := MergeSorted([][]int{{}, {}, {}}, 5, less); len(got) != 0 {
+		t.Fatalf("empty pages: got %v", got)
+	}
+	got := MergeSorted([][]int{{}, {1, 3}, {}, {2}}, 2, less)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
