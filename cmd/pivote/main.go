@@ -10,8 +10,12 @@
 //	pivote -snapshot-dir snaps -write-snapshot             # persist a generation and exit
 //	pivote [-addr :8080] -snapshot-dir snaps -restore      # mmap the newest snapshot
 //	pivote [-addr :8080] -shards 4                         # in-process sharded cluster
+//	pivote [-addr :8080] -shards 4 -replicas 3 -live       # ... with 3 replicas per shard
 //	pivote [-addr :8081] -shard-of 0/4                     # one shard node of a cluster
+//	pivote [-addr :8081] -replica-of 0.1/4                 # replica 1 of shard 0 (of 4)
 //	pivote [-addr :8080] -router http://h1:8081,http://h2:8082   # scatter-gather router
+//	pivote [-addr :8080] -router 'http://h1:8081|http://h1b:9081,http://h2:8082|http://h2b:9082'
+//	                                                       # ... with '|'-separated replicas
 //
 // With -live the graph accepts writes at runtime (POST /api/v1/ingest);
 // a background compactor folds them into fresh generations without ever
@@ -27,11 +31,20 @@
 //
 // Sharded serving comes in three shapes. -shards N runs an in-process
 // cluster (N partitioned nodes plus the router) behind one listener —
-// results are byte-identical to the single-process server. -shard-of
-// k/N runs one standalone shard node (hash partitioning by default,
-// -partition overrides the spec); its snapshots are per-shard
-// gen-<id>-s<k>.pvgen files and -restore finds those. -router fronts
-// already-running shard nodes and serves the merged /api/v1 surface.
+// results are byte-identical to the single-process server; -replicas M
+// replicates every shard M ways (requires -live: write fan-out and
+// snapshot adoption are live-path operations). -shard-of k/N runs one
+// standalone shard node (hash partitioning by default, -partition
+// overrides the spec); its snapshots are per-shard gen-<id>-s<k>.pvgen
+// files and -restore finds those. -replica-of k.r/N is the same node
+// wearing its replica identity — replica r of shard k — which matters
+// for ops logs and the router's health report; give each replica its
+// own -snapshot-dir, since replicas of a shard share the per-shard
+// snapshot naming. -router fronts already-running shard nodes and
+// serves the merged /api/v1 surface; within the comma-separated shard
+// list, '|' separates the replicas of one shard, and the router
+// health-routes reads across them, fans writes to all of them, and
+// coordinates rolling swaps (see the README's Replication section).
 package main
 
 import (
@@ -71,8 +84,10 @@ func main() {
 	restore := flag.Bool("restore", false, "boot from the newest snapshot in -snapshot-dir instead of building a graph")
 	writeSnapshot := flag.Bool("write-snapshot", false, "write a generation snapshot to -snapshot-dir and exit")
 	shards := flag.Int("shards", 0, "run an in-process sharded cluster with N partitions (0 = single process)")
+	replicas := flag.Int("replicas", 1, "replicas per shard for -shards (requires -live when > 1)")
 	shardOf := flag.String("shard-of", "", "run one shard node: k/N (e.g. 0/4)")
-	routerOf := flag.String("router", "", "run a scatter-gather router over comma-separated shard base URLs")
+	replicaOf := flag.String("replica-of", "", "run one replica node: k.r/N (e.g. 0.1/4 = replica 1 of shard 0)")
+	routerOf := flag.String("router", "", "run a scatter-gather router over comma-separated shard base URLs ('|' separates replicas of one shard)")
 	partition := flag.String("partition", "", "partitioner spec for -shard-of (e.g. range/4:1000,2000,3000; default hash/N)")
 	flag.Parse()
 
@@ -107,38 +122,50 @@ func main() {
 	opts := core.Options{TopEntities: *topEntities, TopFeatures: *topFeatures}
 
 	// Router-only process: no graph at all, just scatter-gather over the
-	// listed shard nodes.
+	// listed shard nodes. Within the comma-separated shard list, '|'
+	// separates the replicas of one shard.
 	if *routerOf != "" {
-		if *shards > 0 || *shardOf != "" {
-			log.Fatal("-router excludes -shards and -shard-of")
+		if *shards > 0 || *shardOf != "" || *replicaOf != "" {
+			log.Fatal("-router excludes -shards, -shard-of and -replica-of")
 		}
-		urls := strings.Split(*routerOf, ",")
-		for i := range urls {
-			urls[i] = strings.TrimSpace(urls[i])
+		var urls [][]string
+		nReplicas := 0
+		for _, set := range strings.Split(*routerOf, ",") {
+			var reps []string
+			for _, u := range strings.Split(set, "|") {
+				reps = append(reps, strings.TrimSpace(u))
+			}
+			urls = append(urls, reps)
+			nReplicas += len(reps)
 		}
-		ro := shard.NewRouter(urls, shard.Options{
+		ro := shard.NewReplicatedRouter(urls, shard.Options{
 			TopEntities: *topEntities,
 			MaxSessions: *maxSessions,
 		})
-		fmt.Fprintf(os.Stderr, "startup: router over %d shards ready in %d ms\n",
-			len(urls), time.Since(start).Milliseconds())
+		fmt.Fprintf(os.Stderr, "startup: router over %d shards (%d replicas) ready in %d ms\n",
+			len(urls), nReplicas, time.Since(start).Milliseconds())
 		runServer(*addr, ro.Handler(), *drain, func() error { return nil },
-			fmt.Sprintf("PivotE router (%d shards)", len(urls)))
+			fmt.Sprintf("PivotE router (%d shards, %d replicas)", len(urls), nReplicas))
 		return
 	}
 
-	// In-process cluster: N partitioned nodes plus the router behind one
-	// listener. Persistence flags belong to standalone shard nodes.
+	// In-process cluster: N partitioned nodes (times M replicas) plus
+	// the router behind one listener. Persistence flags belong to
+	// standalone shard nodes.
 	if *shards > 0 {
-		if *shardOf != "" {
-			log.Fatal("-shards excludes -shard-of")
+		if *shardOf != "" || *replicaOf != "" {
+			log.Fatal("-shards excludes -shard-of and -replica-of")
 		}
 		if *restore || *writeSnapshot || *snapshotDir != "" {
 			log.Fatal("-shards is in-process only; use -shard-of nodes for per-shard snapshots")
 		}
+		if *replicas > 1 && !*live {
+			log.Fatal("-replicas > 1 requires -live: write fan-out and snapshot adoption are live-path operations")
+		}
 		g := buildGraph(*load, *scale, *seed)
 		cl := shard.NewCluster(g, shard.ClusterConfig{
 			Shards:      *shards,
+			Replicas:    *replicas,
 			Opts:        opts,
 			Live:        *live,
 			MaxSessions: *maxSessions,
@@ -146,19 +173,33 @@ func main() {
 		if *live {
 			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")
 		}
-		fmt.Fprintf(os.Stderr, "startup: %d-shard cluster (%s) ready in %d ms\n",
-			cl.Partitioner.N(), cl.Partitioner.Spec(), time.Since(start).Milliseconds())
-		runServer(*addr, cl.Handler(), *drain, cl.Close,
-			fmt.Sprintf("PivotE %d-shard cluster", cl.Partitioner.N()))
+		banner := fmt.Sprintf("PivotE %d-shard cluster", cl.Partitioner.N())
+		if *replicas > 1 {
+			banner = fmt.Sprintf("PivotE %d-shard cluster (%d replicas each)", cl.Partitioner.N(), *replicas)
+		}
+		fmt.Fprintf(os.Stderr, "startup: %d-shard cluster (%s, %d replicas per shard) ready in %d ms\n",
+			cl.Partitioner.N(), cl.Partitioner.Spec(), *replicas, time.Since(start).Milliseconds())
+		runServer(*addr, cl.Handler(), *drain, cl.Close, banner)
 		return
 	}
 
 	// Standalone shard node: partition result emission and switch the
-	// snapshot format to per-shard files.
+	// snapshot format to per-shard files. -replica-of is the same node
+	// wearing its replica identity; the partition (and so the results)
+	// depend only on the shard index.
 	var part shard.Partitioner
-	shardIdx := -1
-	if *shardOf != "" {
-		k, n, err := parseShardOf(*shardOf)
+	shardIdx, replicaIdx := -1, -1
+	if *shardOf != "" || *replicaOf != "" {
+		var k, n int
+		var err error
+		switch {
+		case *shardOf != "" && *replicaOf != "":
+			log.Fatal("-shard-of excludes -replica-of")
+		case *replicaOf != "":
+			k, replicaIdx, n, err = parseReplicaOf(*replicaOf)
+		default:
+			k, n, err = parseShardOf(*shardOf)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -168,7 +209,7 @@ func main() {
 				log.Fatalf("-partition: %v", err)
 			}
 			if part.N() != n {
-				log.Fatalf("-partition %s disagrees with -shard-of %s", part.Spec(), *shardOf)
+				log.Fatalf("-partition %s disagrees with the requested %d-shard node", part.Spec(), n)
 			}
 		} else {
 			part = shard.NewHashPartitioner(n)
@@ -176,7 +217,11 @@ func main() {
 		shardIdx = k
 		opts.Partition = shard.OwnerOf(part, k)
 		opts.SnapshotWrite = shard.SnapshotWriter(part, k)
-		fmt.Fprintf(os.Stderr, "shard node %d of %s\n", k, part.Spec())
+		if replicaIdx >= 0 {
+			fmt.Fprintf(os.Stderr, "replica %d of shard %d of %s\n", replicaIdx, k, part.Spec())
+		} else {
+			fmt.Fprintf(os.Stderr, "shard node %d of %s\n", k, part.Spec())
+		}
 	}
 	var sh *core.Shared
 	source := "synthetic"
@@ -261,7 +306,13 @@ func main() {
 	m := server.NewMultiShared(sh, opts, *maxSessions)
 	fmt.Fprintf(os.Stderr, "startup: %s core ready in %d ms\n",
 		source, time.Since(start).Milliseconds())
-	runServer(*addr, m.Handler(), *drain, sh.Close, "PivotE")
+	banner := "PivotE"
+	if replicaIdx >= 0 {
+		banner = fmt.Sprintf("PivotE shard %d replica %d", shardIdx, replicaIdx)
+	} else if shardIdx >= 0 {
+		banner = fmt.Sprintf("PivotE shard %d", shardIdx)
+	}
+	runServer(*addr, m.Handler(), *drain, sh.Close, banner)
 }
 
 // buildGraph loads an N-Triples file or generates the synthetic demo KG.
@@ -299,6 +350,30 @@ func parseShardOf(s string) (k, n int, err error) {
 		return 0, 0, fmt.Errorf("-shard-of: index %d out of range for %d shards", k, n)
 	}
 	return k, n, nil
+}
+
+// parseReplicaOf parses a -replica-of value of the form k.r/N: replica
+// r of shard k in an N-shard cluster.
+func parseReplicaOf(s string) (k, r, n int, err error) {
+	left, ns, ok := strings.Cut(s, "/")
+	if ok {
+		var ks, rs string
+		ks, rs, ok = strings.Cut(left, ".")
+		if ok {
+			if k, err = strconv.Atoi(ks); err == nil {
+				if r, err = strconv.Atoi(rs); err == nil {
+					n, err = strconv.Atoi(ns)
+				}
+			}
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, 0, fmt.Errorf("-replica-of: want k.r/N, got %q", s)
+	}
+	if n < 1 || k < 0 || k >= n || r < 0 {
+		return 0, 0, 0, fmt.Errorf("-replica-of: shard %d replica %d out of range for %d shards", k, r, n)
+	}
+	return k, r, n, nil
 }
 
 // runServer serves h on addr until SIGINT/SIGTERM, drains in-flight

@@ -208,6 +208,26 @@ func (sh *Shared) IngestEnabled() bool { return sh.ingest }
 // ingest. Reads remain valid forever.
 func (sh *Shared) Close() error { return sh.ls.Close() }
 
+// AdoptSnapshot opens generation snapshot bytes and publishes them as
+// the current generation — the replication swap-coordination hook: a
+// replica receives the snapshot its shard's compacting peer published
+// and adopts it through the same RCU swap a local compaction uses.
+// force replaces even a same-ID generation (the divergence repair
+// path). Reports the adopted generation and whether a swap happened;
+// sessions pick the new generation up on their next operation exactly
+// as they do across a local compaction swap.
+func (sh *Shared) AdoptSnapshot(data []byte, force bool) (*live.Generation, bool, error) {
+	gen, err := live.OpenGenerationBytes(data)
+	if err != nil {
+		return nil, false, err
+	}
+	adopted, err := sh.ls.AdoptGeneration(gen, force)
+	if err != nil {
+		return nil, false, err
+	}
+	return gen, adopted, nil
+}
+
 // Generation returns the current generation.
 func (sh *Shared) Generation() *live.Generation { return sh.ls.Generation() }
 

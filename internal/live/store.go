@@ -73,7 +73,8 @@ type Store struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 
-	swaps atomic.Uint64
+	swaps     atomic.Uint64
+	adoptions atomic.Uint64
 
 	snapMu   sync.Mutex // guards the last-snapshot record
 	snapPath string
@@ -325,6 +326,51 @@ func (s *Store) CompactNow() (*Generation, bool, error) {
 		s.snapMu.Unlock()
 	}
 	return gen2, true, nil
+}
+
+// Adoptions reports how many of the published swaps were adoptions of
+// externally compacted generations (snapshot replication) rather than
+// local compactions.
+func (s *Store) Adoptions() uint64 { return s.adoptions.Load() }
+
+// AdoptGeneration publishes an externally compacted generation — the
+// snapshot-replication path: one replica of a shard compacts and writes
+// the per-shard snapshot file, its peers open those bytes and adopt the
+// result here through the same RCU swap a local compaction uses.
+//
+// Adoption asserts the snapshot SUPERSEDES local state: the pending
+// delta log is discarded wholesale, because the coordinator (the
+// scatter-gather router) serializes ingest against swaps, so at adopt
+// time every pending triple this store holds is already folded into the
+// adopted generation. Calling this outside such a protocol loses writes.
+//
+// A generation older than the current one is refused as a no-op (never
+// an error — adoption is idempotent); an equal ID is also a no-op
+// unless force is set, which replaces the state wholesale — the repair
+// path for a replica that diverged (missed a write while unreachable)
+// and may hold a same-ID generation with different content. Reports
+// whether a swap was published.
+func (s *Store) AdoptGeneration(gen *Generation, force bool) (bool, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, errs.Errf(errs.KindInvalid, "live: store is closed")
+	}
+	cur := s.view.Load().Gen
+	if gen.ID < cur.ID || (gen.ID == cur.ID && !force) {
+		return false, nil
+	}
+	if s.cfg.Partition != nil && gen.Own == nil {
+		gen.ApplyPartition(s.cfg.Partition)
+	}
+	s.log = nil
+	s.final = map[rdf.Triple]bool{}
+	s.view.Store(&View{Gen: gen, delta: emptyDelta})
+	s.swaps.Add(1)
+	s.adoptions.Add(1)
+	return true, nil
 }
 
 // LastSnapshot reports the most recent snapshot publication attempt:

@@ -50,7 +50,10 @@ type LiveStats struct {
 	Generation uint64 `json:"generation"`
 	Pending    int    `json:"pending"`
 	Swaps      uint64 `json:"swaps"`
-	Triples    int    `json:"triples"`
+	// Adoptions counts the swaps that adopted a replicated snapshot
+	// instead of compacting locally (zero on unreplicated nodes).
+	Adoptions uint64 `json:"adoptions,omitempty"`
+	Triples   int    `json:"triples"`
 	Entities   int    `json:"entities"`
 	// CatalogFeatures is the size of the current generation's dense
 	// FeatureID space — the frozen semantic-feature catalog.
@@ -158,6 +161,7 @@ func (s *Server) handleV1LiveStats(w http.ResponseWriter, r *http.Request) {
 		Generation:      v.Gen.ID,
 		Pending:         v.Pending(),
 		Swaps:           sh.Live().Swaps(),
+		Adoptions:       sh.Live().Adoptions(),
 		Triples:         v.Len(),
 		Entities:        len(v.Gen.Graph.Entities()),
 		CatalogFeatures: nFeatures,

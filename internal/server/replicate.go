@@ -1,0 +1,77 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+
+	"pivote/internal/core"
+	"pivote/internal/live"
+)
+
+// The replication surface of /api/v1:
+//
+//	GET  /api/v1/snapshot  download the current generation as snapshot bytes
+//	POST /api/v1/adopt     publish uploaded snapshot bytes as the current generation
+//
+// Together they are the wire form of snapshot-file replication: after a
+// coordinated compaction the router fetches the compacting replica's
+// generation through /snapshot (the same bytes its gen-<id>-s<k>.pvgen
+// file holds, minus the trailing shard section — each peer re-applies
+// its own partition) and pushes them into every peer through /adopt.
+// Adoption swaps the generation in with the same RCU publication a
+// local compaction uses; readers never block and sessions survive, just
+// as they do across any other swap.
+
+// AdoptResponse reports the outcome of POST /api/v1/adopt.
+type AdoptResponse struct {
+	// Generation is the generation current after the call — the adopted
+	// ID on success, the (newer or equal) incumbent when the upload was
+	// refused as stale.
+	Generation uint64 `json:"generation"`
+	// Adopted reports whether a swap was published.
+	Adopted bool `json:"adopted"`
+}
+
+// handleV1Snapshot streams the current generation as sectioned snapshot
+// bytes. Pending delta triples are NOT included — the replication
+// protocol only calls this right after a coordinated compaction, when
+// the delta is empty; the generation header lets the caller verify it
+// fetched what it committed to.
+func (s *Server) handleV1Snapshot(w http.ResponseWriter, r *http.Request) {
+	gen := s.eng.Shared().Generation()
+	w.Header().Set(GenerationHeader, strconv.FormatUint(gen.ID, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := live.WriteGeneration(gen, w); err != nil {
+		// Headers are gone; all that remains is to stop writing. The
+		// truncated body fails the client's checksum pass, which is the
+		// detection path snapshot corruption already uses.
+		return
+	}
+}
+
+// handleV1Adopt opens the uploaded snapshot bytes and publishes them as
+// the current generation. ?force=1 replaces even a same-ID generation —
+// the repair path for a replica that diverged while unreachable. Like
+// ingest, adoption requires the live write path.
+func (s *Server) handleV1Adopt(w http.ResponseWriter, r *http.Request) {
+	sh := s.eng.Shared()
+	if !sh.IngestEnabled() {
+		writeV1Err(w, core.Errf(core.KindInvalid, "live ingest is disabled; start the server with -live"), nil)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		writeV1Err(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
+		return
+	}
+	_, adopted, err := sh.AdoptSnapshot(raw, r.URL.Query().Get("force") == "1")
+	if err != nil {
+		writeV1Err(w, core.Errf(core.KindInvalid, "adopt: %v", err), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdoptResponse{
+		Generation: sh.Generation().ID,
+		Adopted:    adopted,
+	})
+}

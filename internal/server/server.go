@@ -58,6 +58,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/state", s.handleV1State)
 	mux.HandleFunc("POST /api/v1/ingest", s.handleV1Ingest)
 	mux.HandleFunc("POST /api/v1/compact", s.handleV1Compact)
+	mux.HandleFunc("GET /api/v1/snapshot", s.handleV1Snapshot)
+	mux.HandleFunc("POST /api/v1/adopt", s.handleV1Adopt)
 	mux.HandleFunc("GET /api/v1/live", s.handleV1LiveStats)
 	mux.HandleFunc("GET /api/v1/session", s.handleV1SessionSave)
 	mux.HandleFunc("POST /api/v1/session", s.handleV1SessionLoad)

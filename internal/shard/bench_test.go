@@ -55,4 +55,45 @@ func BenchmarkScatterGather(b *testing.B) {
 			}
 		})
 	}
+
+	// Replicated read path: 4 shards times M replicas, parallel
+	// sessions. Each benchmark goroutine owns one router session (its
+	// preferred replicas differ round-robin), so with M>1 concurrent
+	// reads spread across the replica sets. In-process replicas share
+	// the machine's CPUs, so the in-run replicas=3/replicas=1 gate in
+	// benchgates.json asserts replication does not *serialize* the read
+	// path (health table contention, failover detours) rather than a
+	// linear throughput win — that needs real machines.
+	for _, replicas := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cl := NewCluster(g, ClusterConfig{Shards: 4, Replicas: replicas, Opts: core.Options{}, Live: true})
+			defer cl.Close()
+			h := cl.Handler()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/ops",
+					strings.NewReader(`{"ops":[{"op":"submit","keywords":"forrest gump"}]}`))
+				req.Header.Set("Content-Type", "application/json")
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Errorf("setup submit: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+				cookie := rec.Result().Cookies()[0]
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodGet, "/api/v1/state", nil)
+					req.AddCookie(cookie)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Errorf("state: %d %s", rec.Code, rec.Body.String())
+						return
+					}
+				}
+			})
+		})
+	}
 }

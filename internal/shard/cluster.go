@@ -15,28 +15,38 @@ type ClusterConfig struct {
 	Partitioner Partitioner
 	// Shards is the shard count when Partitioner is nil (minimum 1).
 	Shards int
+	// Replicas is the replica count per shard (minimum 1). Every
+	// replica of a shard runs the same partition; the router fans
+	// writes to all of them and routes reads across the healthy ones.
+	Replicas int
 	// Opts are the engine options every shard node runs with (the
 	// Partition field is overwritten per shard).
 	Opts core.Options
-	// Live enables the ingest path on every node.
+	// Live enables the ingest path on every node. Replicas > 1 requires
+	// it: write fan-out and snapshot adoption are live-path operations.
 	Live bool
 	// MaxSessions bounds each node's session LRU (<= 0 → 64).
 	MaxSessions int
 	// Router tunes the router; Transport and TopEntities are wired by
 	// NewCluster.
 	Router Options
+	// Fault, when set, interposes the fault-injection transport between
+	// the router and the nodes. The caller keeps the pointer and scripts
+	// failures against hosts named "shard<k>r<r>.inproc".
+	Fault *FaultTransport
 }
 
-// Cluster is N shard nodes plus a router in one process, connected by
-// the in-process transport. All nodes share one *kg.Graph — and
-// therefore one append-only dictionary, so TermIDs (and the
-// partitioning) agree across shards by construction; multi-process
+// Cluster is N shard nodes (times M replicas) plus a router in one
+// process, connected by the in-process transport. All nodes share one
+// *kg.Graph — and therefore one append-only dictionary, so TermIDs (and
+// the partitioning) agree across shards by construction; multi-process
 // deployments get the same agreement from deterministic interning order
 // (identical seed data, ingest batches serialized by the router).
 type Cluster struct {
 	Partitioner Partitioner
 	Router      *Router
-	Nodes       []*server.Multi
+	// Nodes is indexed [shard][replica].
+	Nodes [][]*server.Multi
 }
 
 // NewCluster builds the cluster. The caller serves c.Handler() and
@@ -50,29 +60,41 @@ func NewCluster(g *kg.Graph, cfg ClusterConfig) *Cluster {
 		}
 		p = NewHashPartitioner(n)
 	}
+	m := cfg.Replicas
+	if m < 1 {
+		m = 1
+	}
 	tr := NewInprocTransport()
-	nodes := make([]*server.Multi, p.N())
-	urls := make([]string, p.N())
+	nodes := make([][]*server.Multi, p.N())
+	urls := make([][]string, p.N())
 	for k := 0; k < p.N(); k++ {
-		opts := cfg.Opts
-		opts.Partition = OwnerOf(p, k)
-		var sh *core.Shared
-		if cfg.Live {
-			sh = core.NewLiveShared(g, opts)
-		} else {
-			sh = core.NewShared(g, opts)
+		nodes[k] = make([]*server.Multi, m)
+		urls[k] = make([]string, m)
+		for r := 0; r < m; r++ {
+			opts := cfg.Opts
+			opts.Partition = OwnerOf(p, k)
+			var sh *core.Shared
+			if cfg.Live {
+				sh = core.NewLiveShared(g, opts)
+			} else {
+				sh = core.NewShared(g, opts)
+			}
+			nodes[k][r] = server.NewMultiShared(sh, opts, cfg.MaxSessions)
+			urls[k][r] = tr.Register(fmt.Sprintf("shard%dr%d.inproc", k, r), nodes[k][r].Handler())
 		}
-		nodes[k] = server.NewMultiShared(sh, opts, cfg.MaxSessions)
-		urls[k] = tr.Register(fmt.Sprintf("shard%d.inproc", k), nodes[k].Handler())
 	}
 	ro := cfg.Router
 	ro.Transport = tr
+	if cfg.Fault != nil {
+		cfg.Fault.Wrap(tr)
+		ro.Transport = cfg.Fault
+	}
 	if ro.TopEntities <= 0 {
 		ro.TopEntities = cfg.Opts.TopEntities // zero → both default to 20
 	}
 	return &Cluster{
 		Partitioner: p,
-		Router:      NewRouter(urls, ro),
+		Router:      NewReplicatedRouter(urls, ro),
 		Nodes:       nodes,
 	}
 }
@@ -83,9 +105,11 @@ func (c *Cluster) Handler() http.Handler { return c.Router.Handler() }
 // Close stops every node's background compactor (if any).
 func (c *Cluster) Close() error {
 	var first error
-	for _, n := range c.Nodes {
-		if err := n.Shared().Close(); err != nil && first == nil {
-			first = err
+	for _, set := range c.Nodes {
+		for _, n := range set {
+			if err := n.Shared().Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

@@ -108,7 +108,7 @@ func TestHammerShardedCompaction(t *testing.T) {
 		defer wg.Done()
 		defer stop.Store(true)
 		c := &http.Client{}
-		for round := 0; cl.Nodes[0].Shared().Live().Swaps() < swapsWant; round++ {
+		for round := 0; cl.Nodes[0][0].Shared().Live().Swaps() < swapsWant; round++ {
 			// The type triple puts the new film in the entity universe, so
 			// the post-hammer lookup can prove the swap is visible.
 			nt := fmt.Sprintf(
@@ -140,8 +140,8 @@ func TestHammerShardedCompaction(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	for k, n := range cl.Nodes {
-		if got := n.Shared().Live().Swaps(); got < swapsWant {
+	for k, set := range cl.Nodes {
+		if got := set[0].Shared().Live().Swaps(); got < swapsWant {
 			t.Errorf("shard %d saw %d swaps, want >= %d", k, got, swapsWant)
 		}
 	}

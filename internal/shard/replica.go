@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"context"
+	mrand "math/rand/v2"
+	"sync"
+	"time"
+)
+
+// replicaHealth is the router's record of one replica: transport health
+// (feeding the circuit breaker), divergence (dirty — the replica missed
+// a write or a generation adoption while unreachable and must not serve
+// reads until resynced), and the newest generation it reported.
+type replicaHealth struct {
+	mu      sync.Mutex
+	seen    bool
+	healthy bool
+	lastErr string
+	// fails counts consecutive transport failures; reaching the breaker
+	// threshold opens the breaker until openUntil.
+	fails     int
+	openUntil time.Time
+	// dirty marks a replica whose store diverged from its peers (a
+	// failed write fan-out, a failed snapshot adoption, or a response
+	// from an older generation than the shard's committed one). Dirty
+	// replicas are excluded from reads and force-resynced by the next
+	// rolling swap.
+	dirty    bool
+	dirtyWhy string
+	// gen is the newest generation this replica reported.
+	gen uint64
+}
+
+func (h *replicaHealth) recordSuccess() {
+	h.mu.Lock()
+	h.seen, h.healthy, h.lastErr = true, true, ""
+	h.fails = 0
+	h.openUntil = time.Time{}
+	h.mu.Unlock()
+}
+
+func (h *replicaHealth) recordFailure(msg string, threshold int, cooldown time.Duration) {
+	h.mu.Lock()
+	h.seen, h.healthy, h.lastErr = true, false, msg
+	h.fails++
+	if h.fails >= threshold {
+		h.openUntil = time.Now().Add(cooldown)
+	}
+	h.mu.Unlock()
+}
+
+// available reports whether the breaker admits a request right now. An
+// open breaker admits nothing until its cooldown elapses; after that the
+// next request is the half-open probe (success closes the breaker,
+// failure re-opens it for another cooldown).
+func (h *replicaHealth) available() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.openUntil.IsZero() || time.Now().After(h.openUntil)
+}
+
+func (h *replicaHealth) markDirty(why string) {
+	h.mu.Lock()
+	h.dirty, h.dirtyWhy = true, why
+	h.mu.Unlock()
+}
+
+func (h *replicaHealth) clearDirty() {
+	h.mu.Lock()
+	h.dirty, h.dirtyWhy = false, ""
+	h.mu.Unlock()
+}
+
+func (h *replicaHealth) isDirty() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dirty
+}
+
+// observeGen records the newest generation seen from this replica.
+func (h *replicaHealth) observeGen(g uint64) {
+	h.mu.Lock()
+	if g > h.gen {
+		h.gen = g
+	}
+	h.mu.Unlock()
+}
+
+func (h *replicaHealth) lastGen() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
+}
+
+// view is a consistent copy for the live report.
+func (h *replicaHealth) view() (seen, healthy, dirty, cooling bool, lastErr, dirtyWhy string, gen uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cooling = !h.openUntil.IsZero() && time.Now().Before(h.openUntil)
+	return h.seen, h.healthy, h.dirty, cooling, h.lastErr, h.dirtyWhy, h.gen
+}
+
+// backoff sleeps the bounded-exponential, fully-jittered delay before
+// retry attempt n (n >= 1): a random duration in (0, min(cap,
+// base<<(n-1))]. Full jitter decorrelates the retry storms of concurrent
+// router sessions hitting the same dying replica. Reports false when the
+// context ended first.
+func (rt *Router) backoff(ctx context.Context, attempt int) bool {
+	d := rt.opts.RetryBase << (attempt - 1)
+	if d > rt.opts.RetryCap || d <= 0 {
+		d = rt.opts.RetryCap
+	}
+	d = time.Duration(1 + mrand.Int64N(int64(d)))
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// replicaOrder is the health-routed candidate order for one shard:
+// starting from the preferred replica (session affinity — the shard-side
+// session cache lives there), rotating through the set, with
+// breaker-open replicas demoted to the back so they are only probed when
+// every closed replica has failed. Dirty replicas are excluded entirely;
+// the second return value reports how many were.
+func (rt *Router) replicaOrder(k, pref int) (order []int, dirty int) {
+	m := len(rt.shards[k])
+	if pref < 0 || pref >= m {
+		pref = 0
+	}
+	var cooling []int
+	for i := 0; i < m; i++ {
+		r := (pref + i) % m
+		h := rt.health[k][r]
+		if h.isDirty() {
+			dirty++
+			continue
+		}
+		if !h.available() {
+			cooling = append(cooling, r)
+			continue
+		}
+		order = append(order, r)
+	}
+	return append(order, cooling...), dirty
+}

@@ -7,11 +7,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"io"
-	mrand "math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pivote/internal/core"
@@ -25,18 +26,34 @@ type Options struct {
 	// nodes' core.Options.TopEntities (default 20): per-shard page
 	// lengths alone cannot reveal the global page size.
 	TopEntities int
-	// Timeout bounds each shard request attempt (default 10s).
+	// Timeout bounds each individual request attempt (default 10s).
 	Timeout time.Duration
-	// RetryJitter is the maximum random delay before the single retry of
-	// a failed shard request (default 100ms), decorrelating the retry
-	// storms of concurrent router sessions.
-	RetryJitter time.Duration
+	// RequestTimeout bounds one whole logical shard request — every
+	// replica attempt, backoff pause and session repair included
+	// (default 15s). Without it a hung replica stalls the entire
+	// scatter until the client gives up; with it the request fails over
+	// (or fails typed) inside a bounded window.
+	RequestTimeout time.Duration
+	// RetryBase and RetryCap shape the bounded exponential backoff
+	// between attempts against one replica: retry n sleeps a random
+	// duration in (0, min(RetryCap, RetryBase<<(n-1))] — full jitter,
+	// so concurrent sessions hitting the same dying replica do not
+	// retry in lockstep. Defaults 25ms and 250ms.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold consecutive transport failures open a replica's
+	// circuit breaker (default 3): the router stops sending it traffic
+	// until BreakerCooldown (default 1s) elapses, then lets one probe
+	// through — so a dead replica costs its connection failures once
+	// per cooldown instead of once per request.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// MaxSessions bounds the router-side session LRU (default 64, like
 	// server.Multi).
 	MaxSessions int
 	// Transport issues the shard requests; nil selects
 	// http.DefaultTransport. The in-process cluster plugs its
-	// InprocTransport in here.
+	// InprocTransport (optionally wrapped in a FaultTransport) in here.
 	Transport http.RoundTripper
 }
 
@@ -47,8 +64,20 @@ func (o Options) withDefaults() Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
-	if o.RetryJitter <= 0 {
-		o.RetryJitter = 100 * time.Millisecond
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 15 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 250 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 64
@@ -56,19 +85,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Router is the scatter-gather front of a shard cluster: it serves the
-// /api/v1 surface, fans every request out to all shards, and merges the
-// per-shard pages back into the exact bytes a single-process server
-// would have produced (see MergeStates for the rules and why they are
-// sound).
+// Router is the scatter-gather front of a replicated shard cluster: it
+// serves the /api/v1 surface, fans every request out to all shards, and
+// merges the per-shard pages back into the exact bytes a single-process
+// server would have produced (see MergeStates for the rules and why
+// they are sound).
+//
+// Each shard is a replica SET. Reads are routed to one healthy replica
+// per shard (session affinity first, then health-ordered rotation) and
+// fail over on transport error; a replica that keeps failing trips a
+// per-replica circuit breaker and is routed around until its cooldown
+// expires. Writes (ingest) fan to every replica of every shard with
+// agreement checks; compaction is a coordinated rolling swap (see
+// swap.go). A replica that missed a write or a swap while unreachable
+// is marked dirty — excluded from reads, force-resynced by the next
+// rolling swap — so the router degrades per replica and only returns a
+// typed unavailable error when an entire replica set is gone.
 //
 // The router holds no graph. Its per-session state is the canonical op
-// log plus one cookie per shard; the log is what makes the cluster
-// self-healing — a shard that lost its session (restart, LRU eviction,
-// failed fan-out) is repaired by idempotently replaying the log through
-// POST /api/v1/session before the next request touches it.
+// log plus one cookie per replica; the log is what makes the cluster
+// self-healing — a replica that lost its session (restart, LRU
+// eviction, failed fan-out, failover target that never saw the session)
+// is repaired by idempotently replaying the log through
+// POST /api/v1/session before it serves the session.
 type Router struct {
-	shards []string
+	shards [][]string // [shard][replica] base URLs
 	opts   Options
 	client *http.Client
 
@@ -76,72 +117,124 @@ type Router struct {
 	sessions map[string]*routerSession
 	lru      *list.List // of string tokens, most-recent first
 
-	// ctrl holds per-shard cookies for the session-independent surface
-	// (ingest, compact, live) so control traffic reuses one shard
-	// session instead of minting one per request.
+	// ctrl holds per-replica cookies for the session-independent
+	// surface (ingest, compact, adopt, live) so control traffic reuses
+	// one shard session per replica instead of minting one per request.
 	ctrlMu sync.Mutex
-	ctrl   []string
+	ctrl   [][]string
 
-	// ingestMu serializes write fan-outs (ingest, compact): every shard
-	// must intern new terms in the same order so TermIDs — and therefore
-	// the partitioning — stay identical across the cluster.
+	// ingestMu serializes write fan-outs (ingest, compact/rolling
+	// swap): every replica must intern new terms in the same order so
+	// TermIDs — and therefore the partitioning — stay identical across
+	// the cluster, and no ingest may land between a shard's compaction
+	// and its peers' adoption of the result.
 	ingestMu sync.Mutex
 
-	health []shardHealth
-}
+	health [][]*replicaHealth
 
-type shardHealth struct {
-	mu      sync.Mutex
-	seen    bool
-	healthy bool
-	lastErr string
+	// committed is the newest generation the rolling-swap protocol
+	// committed cluster-wide (every clean replica of every shard adopted
+	// it — the stores hold the full graph and partition at emission, so
+	// one snapshot serves the whole cluster). A replica answering from
+	// an older generation is stale (it revived after missing a swap) and
+	// is marked dirty instead of served.
+	committed atomic.Uint64
+
+	// rr spreads fresh sessions across replicas.
+	rr atomic.Uint32
 }
 
 // routerSession is the per-cookie state: the replayable op log, one
-// shard session cookie per shard, and per-shard staleness (the shard's
-// session is not known to equal the log and must be repaired before
-// use). mu serializes fan-outs for the session the same way server.mu
-// serializes a single-process session's requests.
+// shard-session cookie per replica, the per-replica sync mark, and the
+// preferred replica per shard (session affinity — the shard-side
+// session cache lives there). mu serializes fan-outs for the session
+// the same way server.mu serializes a single-process session's
+// requests.
+//
+// synced[k][r] is the log length replica (k, r) is known to hold: a
+// mutation fan only lands on one replica per shard, so the others fall
+// behind the log the moment it grows — not just when a failure is
+// observed. Any replica whose mark differs from len(log) (-1 encodes
+// "unknown", the ambiguous-failure case) is repaired by replay before
+// it serves the session; that invariant is what lets a failover target
+// that hasn't seen the session for fifty batches — or ever — answer
+// with the exact bytes the dead replica would have produced.
 type routerSession struct {
 	mu      sync.Mutex
 	log     []core.OpDTO
-	cookies []string
-	stale   []bool
+	cookies [][]string
+	synced  [][]int
+	pref    []int
 	elem    *list.Element
 }
 
+// unsynced marks a replica session in an unknown or diverged state.
+const unsynced = -1
+
 // sessionFileJSON mirrors the engine's v2 session-file shape; the
-// router writes it when replaying its log into a shard.
+// router writes it when replaying its log into a shard replica.
 type sessionFileJSON struct {
 	Version int          `json:"version"`
 	Ops     []core.OpDTO `json:"ops"`
 }
 
-// NewRouter builds a router over the given shard base URLs (scheme +
-// host, no trailing slash).
+// NewRouter builds a router over unreplicated shards — one base URL
+// (scheme + host, no trailing slash) per shard.
 func NewRouter(shardURLs []string, opts Options) *Router {
+	sets := make([][]string, len(shardURLs))
+	for i, u := range shardURLs {
+		sets[i] = []string{u}
+	}
+	return NewReplicatedRouter(sets, opts)
+}
+
+// NewReplicatedRouter builds a router over replica sets: urls[k] lists
+// the base URLs of shard k's replicas. Every set must be non-empty.
+func NewReplicatedRouter(urls [][]string, opts Options) *Router {
 	opts = opts.withDefaults()
 	transport := opts.Transport
 	if transport == nil {
 		transport = http.DefaultTransport
 	}
-	shards := make([]string, len(shardURLs))
-	for i, u := range shardURLs {
-		shards[i] = strings.TrimRight(u, "/")
+	shards := make([][]string, len(urls))
+	ctrl := make([][]string, len(urls))
+	health := make([][]*replicaHealth, len(urls))
+	for k, set := range urls {
+		shards[k] = make([]string, len(set))
+		ctrl[k] = make([]string, len(set))
+		health[k] = make([]*replicaHealth, len(set))
+		for r, u := range set {
+			shards[k][r] = strings.TrimRight(u, "/")
+			health[k][r] = &replicaHealth{}
+		}
 	}
 	return &Router{
-		shards:   shards,
-		opts:     opts,
-		client:   &http.Client{Transport: transport},
-		sessions: map[string]*routerSession{},
-		lru:      list.New(),
-		ctrl:     make([]string, len(shards)),
-		health:   make([]shardHealth, len(shards)),
+		shards:    shards,
+		opts:      opts,
+		client:    &http.Client{Transport: transport},
+		sessions:  map[string]*routerSession{},
+		lru:       list.New(),
+		ctrl:     ctrl,
+		health:   health,
 	}
 }
 
 // NumShards reports the cluster size.
 func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// NumReplicas reports the replica count of shard k.
+func (rt *Router) NumReplicas(k int) int { return len(rt.shards[k]) }
+
+func (rt *Router) committedGen() uint64 { return rt.committed.Load() }
+
+func (rt *Router) commitGen(g uint64) {
+	for {
+		cur := rt.committed.Load()
+		if g <= cur || rt.committed.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
 
 // Handler returns the router's HTTP handler: the full /api/v1 surface.
 func (rt *Router) Handler() http.Handler {
@@ -166,7 +259,11 @@ func (rt *Router) withSession(h func(http.ResponseWriter, *http.Request, *router
 		if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
 			token = c.Value
 		}
-		rs, token := rt.getOrCreate(token)
+		rs, token, err := rt.getOrCreate(token)
+		if err != nil {
+			server.WriteV1Error(w, err, nil)
+			return
+		}
 		http.SetCookie(w, &http.Cookie{
 			Name:     sessionCookie,
 			Value:    token,
@@ -178,19 +275,29 @@ func (rt *Router) withSession(h func(http.ResponseWriter, *http.Request, *router
 	}
 }
 
-func (rt *Router) getOrCreate(token string) (*routerSession, string) {
+func (rt *Router) getOrCreate(token string) (*routerSession, string, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rs, ok := rt.sessions[token]; ok {
 		rt.lru.MoveToFront(rs.elem)
-		return rs, token
+		return rs, token, nil
 	}
 	// Unknown (or empty) token: mint a fresh one, never adopt a
 	// client-supplied value — same policy as server.Multi.
-	token = newToken()
+	token, err := newToken()
+	if err != nil {
+		return nil, "", err
+	}
 	rs := &routerSession{
-		cookies: make([]string, len(rt.shards)),
-		stale:   make([]bool, len(rt.shards)),
+		cookies: make([][]string, len(rt.shards)),
+		synced:  make([][]int, len(rt.shards)),
+		pref:    make([]int, len(rt.shards)),
+	}
+	seed := int(rt.rr.Add(1))
+	for k := range rt.shards {
+		rs.cookies[k] = make([]string, len(rt.shards[k]))
+		rs.synced[k] = make([]int, len(rt.shards[k]))
+		rs.pref[k] = seed % len(rt.shards[k])
 	}
 	rs.elem = rt.lru.PushFront(token)
 	rt.sessions[token] = rs
@@ -199,18 +306,21 @@ func (rt *Router) getOrCreate(token string) (*routerSession, string) {
 		rt.lru.Remove(oldest)
 		delete(rt.sessions, oldest.Value.(string))
 	}
-	return rs, token
+	return rs, token, nil
 }
 
-func newToken() string {
+// newToken mints a session ID. An entropy failure surfaces as a typed
+// internal error on the response path — a router must not crash the
+// process because /dev/urandom hiccuped under one request.
+func newToken() (string, error) {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic("shard: crypto/rand unavailable: " + err.Error())
+		return "", errs.Errf(errs.KindInternal, "shard: session id: crypto/rand unavailable: %v", err)
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b[:]), nil
 }
 
-// shardResp is one shard's reply, body fully read.
+// shardResp is one replica's reply, body fully read.
 type shardResp struct {
 	status int
 	header http.Header
@@ -226,44 +336,74 @@ func (sr *shardResp) sessionCookie() string {
 	return ""
 }
 
-// send issues one shard request with a per-attempt timeout and, when
-// retries > 0, a single jittered retry on transport failure. HTTP
-// responses of any status are NOT retried — they are answers. A request
-// that cannot be delivered comes back as a typed unavailable error.
-func (rt *Router) send(ctx context.Context, i int, method, pathq string, body []byte, contentType, cookie string, retries int) (*shardResp, error) {
+// generation parses the response's generation header; ok is false when
+// the response carries none (error envelopes, session downloads).
+func (sr *shardResp) generation() (uint64, bool) {
+	v := sr.header.Get(server.GenerationHeader)
+	if v == "" {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(v, 10, 64)
+	return g, err == nil
+}
+
+// shardOutcome is one shard's result of a fan-out: the reply (or typed
+// error) plus which replica produced it.
+type shardOutcome struct {
+	resp    *shardResp
+	err     error
+	replica int
+}
+
+// sendReplica issues one request to a specific replica with a
+// per-attempt timeout and, when retries > 0, bounded-exponential
+// jittered retries on transport failure. HTTP responses of any status
+// are NOT retried here — they are answers; replica selection above
+// decides whether to fail over on them. A request that cannot be
+// delivered comes back as a typed unavailable error. parent is the
+// client's context: its cancellation is reported as canceled, while an
+// expiry of the (router-imposed) deadline on ctx is reported as
+// unavailable — a hung replica is the cluster's problem, not the
+// client's.
+func (rt *Router) sendReplica(parent, ctx context.Context, k, r int, method, pathq string, body []byte, contentType, cookie string, retries int) (*shardResp, error) {
+	h := rt.health[k][r]
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			jitter := time.Duration(mrand.Int64N(int64(rt.opts.RetryJitter)))
-			select {
-			case <-time.After(jitter):
-			case <-ctx.Done():
-				return nil, errs.Errf(errs.KindCanceled, "shard %d: %v", i, ctx.Err())
-			}
+		if attempt > 0 && !rt.backoff(ctx, attempt) {
+			break // context ended during backoff; classified below
 		}
-		resp, err := rt.sendOnce(ctx, i, method, pathq, body, contentType, cookie)
+		resp, err := rt.sendOnce(ctx, k, r, method, pathq, body, contentType, cookie)
 		if err == nil {
-			rt.recordHealth(i, true, "")
+			h.recordSuccess()
+			if g, ok := resp.generation(); ok {
+				h.observeGen(g)
+			}
 			return resp, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			// The client went away: report cancellation, not shard death.
-			return nil, errs.Errf(errs.KindCanceled, "shard %d: %v", i, ctx.Err())
+			if parent.Err() != nil {
+				// The client went away: report cancellation, not shard death.
+				return nil, errs.Errf(errs.KindCanceled, "shard %d: %v", k, parent.Err())
+			}
+			h.recordFailure("timed out", rt.opts.BreakerThreshold, rt.opts.BreakerCooldown)
+			return nil, errs.Errf(errs.KindUnavailable, "shard %d replica %d (%s): request timed out: %v",
+				k, r, rt.shards[k][r], err)
 		}
+		h.recordFailure(err.Error(), rt.opts.BreakerThreshold, rt.opts.BreakerCooldown)
 	}
-	rt.recordHealth(i, false, lastErr.Error())
-	return nil, errs.Errf(errs.KindUnavailable, "shard %d (%s) unreachable: %v", i, rt.shards[i], lastErr)
+	return nil, errs.Errf(errs.KindUnavailable, "shard %d replica %d (%s) unreachable: %v",
+		k, r, rt.shards[k][r], lastErr)
 }
 
-func (rt *Router) sendOnce(ctx context.Context, i int, method, pathq string, body []byte, contentType, cookie string) (*shardResp, error) {
+func (rt *Router) sendOnce(ctx context.Context, k, r int, method, pathq string, body []byte, contentType, cookie string) (*shardResp, error) {
 	cctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
 	defer cancel()
 	var rdr io.Reader
 	if body != nil {
 		rdr = strings.NewReader(string(body))
 	}
-	req, err := http.NewRequestWithContext(cctx, method, rt.shards[i]+pathq, rdr)
+	req, err := http.NewRequestWithContext(cctx, method, rt.shards[k][r]+pathq, rdr)
 	if err != nil {
 		return nil, err
 	}
@@ -280,120 +420,194 @@ func (rt *Router) sendOnce(ctx context.Context, i int, method, pathq string, bod
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
+		// A truncated or torn body is a transport failure, not an
+		// answer: the status line arrived but the response did not.
 		return nil, err
 	}
 	return &shardResp{status: resp.StatusCode, header: resp.Header, body: data}, nil
 }
 
-func (rt *Router) recordHealth(i int, ok bool, msg string) {
-	h := &rt.health[i]
-	h.mu.Lock()
-	h.seen, h.healthy, h.lastErr = true, ok, msg
-	h.mu.Unlock()
-}
-
-// repair replays the session's op log into shard i, rebuilding the
-// shard-side session from scratch. Replay is idempotent (LoadSession
-// replaces the session wholesale), and ?include=timeline keeps it cheap:
-// the shard skips ranking and heat-map work entirely.
-func (rt *Router) repair(ctx context.Context, rs *routerSession, i int) error {
+// repair replays the session's op log into replica (k, r), rebuilding
+// the shard-side session from scratch. Replay is idempotent
+// (LoadSession replaces the session wholesale), and ?include=timeline
+// keeps it cheap: the shard skips ranking and heat-map work entirely.
+func (rt *Router) repair(parent, ctx context.Context, rs *routerSession, k, r int) error {
 	body, err := json.Marshal(sessionFileJSON{Version: 2, Ops: append([]core.OpDTO{}, rs.log...)})
 	if err != nil {
 		return errs.Errf(errs.KindInternal, "shard: encode repair log: %v", err)
 	}
-	resp, err := rt.send(ctx, i, http.MethodPost, "/api/v1/session?include=timeline", body, "application/json", rs.cookies[i], 1)
+	resp, err := rt.sendReplica(parent, ctx, k, r, http.MethodPost, "/api/v1/session?include=timeline",
+		body, "application/json", rs.cookies[k][r], 1)
 	if err != nil {
 		return err
 	}
 	if c := resp.sessionCookie(); c != "" {
-		rs.cookies[i] = c
+		rs.cookies[k][r] = c
 	}
 	if resp.status != http.StatusOK {
-		return errs.Errf(errs.KindUnavailable, "shard %d: session repair failed: %s", i, strings.TrimSpace(string(resp.body)))
+		return errs.Errf(errs.KindUnavailable, "shard %d replica %d: session repair failed: %s",
+			k, r, strings.TrimSpace(string(resp.body)))
 	}
-	rs.stale[i] = false
+	rs.synced[k][r] = len(rs.log)
 	return nil
 }
 
-// stateful issues a session-scoped request to shard i, transparently
-// repairing the shard's session first when it is stale, and redoing the
-// request once when the shard evicted the session mid-flight (detected
-// by a changed session cookie: shard nodes never adopt an unknown
-// token, so a different Set-Cookie value proves the response came from
-// a fresh, empty session instead of ours).
-func (rt *Router) stateful(ctx context.Context, rs *routerSession, i int, method, pathq string, body []byte, retries int) (*shardResp, error) {
-	if rs.stale[i] {
-		if err := rt.repair(ctx, rs, i); err != nil {
+// statefulReplica issues a session-scoped request to one replica,
+// transparently repairing the replica's session first when it is out of
+// sync with the log (it missed mutations routed elsewhere, holds an
+// ambiguous state, or has never seen the session at all), and redoing
+// the request once when the replica evicted the session mid-flight
+// (detected by a changed session cookie: shard nodes never adopt an
+// unknown token, so a different Set-Cookie value proves the response
+// came from a fresh, empty session instead of ours).
+func (rt *Router) statefulReplica(parent, ctx context.Context, rs *routerSession, k, r int, method, pathq string, body []byte, retries int) (*shardResp, error) {
+	if rs.synced[k][r] != len(rs.log) {
+		if err := rt.repair(parent, ctx, rs, k, r); err != nil {
 			return nil, err
 		}
 	}
-	resp, err := rt.send(ctx, i, method, pathq, body, "application/json", rs.cookies[i], retries)
+	resp, err := rt.sendReplica(parent, ctx, k, r, method, pathq, body, "application/json", rs.cookies[k][r], retries)
 	if err != nil {
 		// Ambiguous outcome (a mutation may or may not have landed):
-		// force a repair before this shard serves this session again.
-		rs.stale[i] = true
+		// force a repair before this replica serves this session again.
+		rs.synced[k][r] = unsynced
 		return nil, err
 	}
 	c := resp.sessionCookie()
 	switch {
-	case rs.cookies[i] == "":
-		rs.cookies[i] = c
-	case c != "" && c != rs.cookies[i]:
-		rs.cookies[i] = c
-		if err := rt.repair(ctx, rs, i); err != nil {
-			rs.stale[i] = true
+	case rs.cookies[k][r] == "":
+		rs.cookies[k][r] = c
+	case c != "" && c != rs.cookies[k][r]:
+		rs.cookies[k][r] = c
+		if err := rt.repair(parent, ctx, rs, k, r); err != nil {
+			rs.synced[k][r] = unsynced
 			return nil, err
 		}
-		resp, err = rt.send(ctx, i, method, pathq, body, "application/json", rs.cookies[i], retries)
+		resp, err = rt.sendReplica(parent, ctx, k, r, method, pathq, body, "application/json", rs.cookies[k][r], retries)
 		if err != nil {
-			rs.stale[i] = true
+			rs.synced[k][r] = unsynced
 			return nil, err
 		}
 		if c2 := resp.sessionCookie(); c2 != "" {
-			rs.cookies[i] = c2
+			rs.cookies[k][r] = c2
 		}
 	}
 	return resp, nil
 }
 
+// stateful issues a session-scoped request to shard k, failing over
+// across the shard's replicas: transport failures (and, for idempotent
+// requests, 5xx responses and answers from a generation older than the
+// shard's committed one) move on to the next healthy replica; the
+// replica that answers becomes the session's preferred replica. Only
+// when every replica is exhausted does the shard report a typed
+// unavailable error. retries > 0 marks the request idempotent (reads,
+// replays); mutations pass 0 and fail over on transport errors alone —
+// the stale-repair machinery is their retry path.
+func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method, pathq string, body []byte, retries int) (*shardResp, int, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
+	defer cancel()
+	order, dirty := rt.replicaOrder(k, rs.pref[k])
+	if len(order) == 0 {
+		return nil, -1, errs.Errf(errs.KindUnavailable,
+			"shard %d: all %d replicas diverged, awaiting resync", k, dirty)
+	}
+	idempotent := retries > 0
+	var firstServerErr *shardResp
+	firstServerReplica := -1
+	var lastErr error
+	for _, r := range order {
+		resp, err := rt.statefulReplica(ctx, reqCtx, rs, k, r, method, pathq, body, retries)
+		if err != nil {
+			if errs.KindOf(err) == errs.KindCanceled {
+				return nil, r, err
+			}
+			lastErr = err
+			continue
+		}
+		if g, ok := resp.generation(); ok && resp.status == http.StatusOK && g < rt.committedGen() {
+			// The replica answered from a generation the cluster moved
+			// past — it revived after missing a swap. Serving it would
+			// un-happen acknowledged writes; resync it instead. The
+			// request may have mutated the replica's session, so its sync
+			// mark is gone too.
+			rt.health[k][r].markDirty("behind committed generation")
+			rs.synced[k][r] = unsynced
+			lastErr = errs.Errf(errs.KindUnavailable,
+				"shard %d replica %d: generation %d behind committed %d", k, r, g, rt.committedGen())
+			continue
+		}
+		if idempotent && resp.status >= http.StatusInternalServerError {
+			// A 5xx on an idempotent request: remember the answer but
+			// give the other replicas a chance to serve.
+			if firstServerErr == nil {
+				firstServerErr, firstServerReplica = resp, r
+			}
+			continue
+		}
+		rs.pref[k] = r
+		return resp, r, nil
+	}
+	if firstServerErr != nil {
+		return firstServerErr, firstServerReplica, nil
+	}
+	if lastErr == nil {
+		lastErr = errs.Errf(errs.KindUnavailable, "shard %d: no replica available", k)
+	}
+	return nil, -1, lastErr
+}
+
 // fanStateful runs a session-scoped request against every shard
 // concurrently. The caller holds rs.mu; the goroutines touch disjoint
-// per-shard slots.
-func (rt *Router) fanStateful(ctx context.Context, rs *routerSession, method, pathq string, body []byte, retries int) ([]*shardResp, []error) {
-	resps := make([]*shardResp, len(rt.shards))
-	errors := make([]error, len(rt.shards))
+// per-shard slots (cookies, staleness, preference are per-shard
+// slices).
+func (rt *Router) fanStateful(ctx context.Context, rs *routerSession, method, pathq string, body []byte, retries int) []shardOutcome {
+	outs := make([]shardOutcome, len(rt.shards))
 	var wg sync.WaitGroup
-	for i := range rt.shards {
+	for k := range rt.shards {
 		wg.Add(1)
-		go func(i int) {
+		go func(k int) {
 			defer wg.Done()
-			resps[i], errors[i] = rt.stateful(ctx, rs, i, method, pathq, body, retries)
-		}(i)
+			resp, r, err := rt.stateful(ctx, rs, k, method, pathq, body, retries)
+			outs[k] = shardOutcome{resp: resp, err: err, replica: r}
+		}(k)
 	}
 	wg.Wait()
-	return resps, errors
+	return outs
 }
 
 // firstFailure finds the lowest-indexed shard whose request failed
 // (transport error or non-200), or -1 when all succeeded. Picking the
 // lowest index keeps error responses deterministic.
-func firstFailure(resps []*shardResp, errors []error) int {
-	for i := range resps {
-		if errors[i] != nil || resps[i].status != http.StatusOK {
-			return i
+func firstFailure(outs []shardOutcome) int {
+	for k := range outs {
+		if outs[k].err != nil || outs[k].resp.status != http.StatusOK {
+			return k
 		}
 	}
 	return -1
 }
 
-// markApplied flags every shard that accepted a mutation the batch
-// ultimately failed on (some peer rejected it or went away): their
-// session state has diverged from the log and must be rebuilt by replay
-// before next use.
-func markApplied(rs *routerSession, resps []*shardResp, errors []error) {
-	for i := range resps {
-		if errors[i] == nil && resps[i].status == http.StatusOK {
-			rs.stale[i] = true
+// markApplied voids the sync mark of every replica session that
+// accepted a mutation the batch ultimately failed on (some peer
+// rejected it or went away): their session state has diverged from the
+// log and must be rebuilt by replay before next use.
+func markApplied(rs *routerSession, outs []shardOutcome) {
+	for k := range outs {
+		if outs[k].err == nil && outs[k].resp.status == http.StatusOK && outs[k].replica >= 0 {
+			rs.synced[k][outs[k].replica] = unsynced
+		}
+	}
+}
+
+// markSynced records, after the log changed to length n, that the
+// replica which served each shard's part of the mutation now holds
+// exactly the new log. Every other replica's mark now differs from
+// len(log), which is precisely what schedules their repair.
+func markSynced(rs *routerSession, outs []shardOutcome, n int) {
+	for k := range outs {
+		if outs[k].replica >= 0 {
+			rs.synced[k][outs[k].replica] = n
 		}
 	}
 }
@@ -413,12 +627,12 @@ func relay(w http.ResponseWriter, resp *shardResp) {
 // failOut reports the fan-out's first failure: transport failures
 // become typed unavailable envelopes, shard HTTP errors are relayed
 // verbatim.
-func failOut(w http.ResponseWriter, resps []*shardResp, errors []error, i int) {
-	if errors[i] != nil {
-		server.WriteV1Error(w, errors[i], nil)
+func failOut(w http.ResponseWriter, outs []shardOutcome, k int) {
+	if outs[k].err != nil {
+		server.WriteV1Error(w, outs[k].err, nil)
 		return
 	}
-	relay(w, resps[i])
+	relay(w, outs[k].resp)
 }
 
 func rawQuery(r *http.Request) string {
@@ -432,15 +646,16 @@ func rawQuery(r *http.Request) string {
 // generation (by the X-Pivote-Generation response header). Pages from
 // mixed generations must never be merged: the result would match no
 // single-process output. Responses without the header don't vote.
-func sameGeneration(resps []*shardResp) bool {
-	seen := ""
-	for _, resp := range resps {
-		g := resp.header.Get(server.GenerationHeader)
-		if g == "" {
+func sameGeneration(outs []shardOutcome) bool {
+	seen := uint64(0)
+	have := false
+	for _, out := range outs {
+		g, ok := out.resp.generation()
+		if !ok {
 			continue
 		}
-		if seen == "" {
-			seen = g
+		if !have {
+			seen, have = g, true
 		} else if g != seen {
 			return false
 		}
@@ -448,17 +663,18 @@ func sameGeneration(resps []*shardResp) bool {
 	return true
 }
 
-// genRetries bounds the re-reads while shards adopt a new generation. A
-// compaction swap propagates through the (serialized) compact fan-out
-// in milliseconds, so a handful of short pauses is plenty; a cluster
-// that cannot converge in this many rounds is genuinely unhealthy.
+// genRetries bounds the re-reads while shards adopt a new generation.
+// Router-coordinated swaps converge deterministically (the rolling-swap
+// commit happens before the compact response returns), so this loop
+// only absorbs node-local background compactions; a handful of short
+// pauses is plenty, and a cluster that cannot converge in this many
+// rounds is genuinely unhealthy.
 const genRetries = 25
 
 // genPause briefly decorrelates a re-read from the swap in progress.
 func (rt *Router) genPause(ctx context.Context) {
-	d := time.Duration(1+mrand.Int64N(5)) * time.Millisecond
 	select {
-	case <-time.After(d):
+	case <-time.After(rt.opts.RetryBase/5 + time.Millisecond):
 	case <-ctx.Done():
 	}
 }
@@ -469,12 +685,12 @@ func (rt *Router) genPause(ctx context.Context) {
 // safe). On failure it writes the error response and reports false.
 func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *routerSession, pathq string) (server.StateV1DTO, bool) {
 	for attempt := 0; ; attempt++ {
-		resps, errors := rt.fanStateful(ctx, rs, http.MethodGet, pathq, nil, 1)
-		if i := firstFailure(resps, errors); i >= 0 {
-			failOut(w, resps, errors, i)
+		outs := rt.fanStateful(ctx, rs, http.MethodGet, pathq, nil, 1)
+		if k := firstFailure(outs); k >= 0 {
+			failOut(w, outs, k)
 			return server.StateV1DTO{}, false
 		}
-		if !sameGeneration(resps) {
+		if !sameGeneration(outs) {
 			if attempt < genRetries {
 				rt.genPause(ctx)
 				continue
@@ -483,10 +699,10 @@ func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *
 				"shard: cluster did not converge on one generation"), nil)
 			return server.StateV1DTO{}, false
 		}
-		states := make([]server.StateV1DTO, len(resps))
-		for i, resp := range resps {
-			if err := json.Unmarshal(resp.body, &states[i]); err != nil {
-				server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", i, err), nil)
+		states := make([]server.StateV1DTO, len(outs))
+		for k, out := range outs {
+			if err := json.Unmarshal(out.resp.body, &states[k]); err != nil {
+				server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", k, err), nil)
 				return server.StateV1DTO{}, false
 			}
 		}
@@ -519,10 +735,11 @@ type opsRequestJSON struct {
 	Include string       `json:"include,omitempty"`
 }
 
-// handleOps fans an op batch to every shard and merges the pages. On
-// unanimous success the batch joins the session log; on any failure the
-// shards that DID apply it are marked stale so the next request rolls
-// them back by replaying the log (which does not contain the batch).
+// handleOps fans an op batch to every shard (one replica each, with
+// transport failover) and merges the pages. On unanimous success the
+// batch joins the session log; on any failure the replicas that DID
+// apply it are marked stale so the next request rolls them back by
+// replaying the log (which does not contain the batch).
 func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSession) {
 	var req opsRequestJSON
 	// Same decode, same 4 MB cap as a shard node, so a malformed body
@@ -541,19 +758,21 @@ func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSe
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	// No blind resend for ops: a retry after an ambiguous transport
-	// failure could double-apply the batch. The stale-repair machinery
-	// is the retry path instead.
-	resps, errors := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, fwd, 0)
-	if i := firstFailure(resps, errors); i >= 0 {
-		markApplied(rs, resps, errors)
-		failOut(w, resps, errors, i)
+	// failure could double-apply the batch. Failover plus the
+	// stale-repair machinery is the retry path instead.
+	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, fwd, 0)
+	if k := firstFailure(outs); k >= 0 {
+		markApplied(rs, outs)
+		failOut(w, outs, k)
 		return
 	}
 	// Unanimous success: the batch is part of every shard's session, so
 	// it joins the log now — whatever happens below, a repair replay must
-	// reproduce the sessions as they are.
+	// reproduce the sessions as they are. The replicas that served the
+	// batch are the only ones holding the grown log.
 	rs.log = append(rs.log, req.Ops...)
-	if !sameGeneration(resps) {
+	markSynced(rs, outs, len(rs.log))
+	if !sameGeneration(outs) {
 		// A compaction swap landed mid-fan: the pages come from different
 		// generations and must not be merged. The ops ARE applied; re-read
 		// the (deterministic) session state until the shards agree on one
@@ -568,16 +787,16 @@ func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSe
 		server.WriteJSON(w, http.StatusOK, server.OpsResponse{Applied: applied, State: merged})
 		return
 	}
-	states := make([]server.StateV1DTO, len(resps))
+	states := make([]server.StateV1DTO, len(outs))
 	applied := 0
-	for i, resp := range resps {
+	for k, out := range outs {
 		var or server.OpsResponse
-		if err := json.Unmarshal(resp.body, &or); err != nil {
-			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad ops response: %v", i, err), nil)
+		if err := json.Unmarshal(out.resp.body, &or); err != nil {
+			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad ops response: %v", k, err), nil)
 			return
 		}
-		states[i] = or.State
-		if i == 0 {
+		states[k] = or.State
+		if k == 0 {
 			applied = or.Applied
 		}
 	}
@@ -602,14 +821,14 @@ func (rt *Router) handleState(w http.ResponseWriter, r *http.Request, rs *router
 	server.WriteJSON(w, http.StatusOK, merged)
 }
 
-// handleSessionSave proxies the download from shard 0: every shard's
-// canonical op log is identical (EncodeOp canonicalizes entity
-// references to IRIs regardless of how the client spelled them), so one
-// shard's file is THE file.
+// handleSessionSave proxies the download from shard 0 (any healthy
+// replica): every replica's canonical op log is identical (EncodeOp
+// canonicalizes entity references to IRIs regardless of how the client
+// spelled them), so one replica's file is THE file.
 func (rt *Router) handleSessionSave(w http.ResponseWriter, r *http.Request, rs *routerSession) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	resp, err := rt.stateful(r.Context(), rs, 0, http.MethodGet, "/api/v1/session", nil, 1)
+	resp, _, err := rt.stateful(r.Context(), rs, 0, http.MethodGet, "/api/v1/session", nil, 1)
 	if err != nil {
 		server.WriteV1Error(w, err, nil)
 		return
@@ -619,7 +838,7 @@ func (rt *Router) handleSessionSave(w http.ResponseWriter, r *http.Request, rs *
 
 // handleSessionLoad fans a session replay to every shard. On unanimous
 // success the uploaded file's ops become the router's log; on any
-// failure the shards that did replay are marked stale (they now hold
+// failure the replicas that did replay are marked stale (they now hold
 // the NEW session while the log still describes the old one).
 func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *routerSession) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
@@ -631,10 +850,10 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	// Replay is idempotent, so the transport-level retry is safe here.
-	resps, errors := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, raw, 1)
-	if i := firstFailure(resps, errors); i >= 0 {
-		markApplied(rs, resps, errors)
-		failOut(w, resps, errors, i)
+	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, raw, 1)
+	if k := firstFailure(outs); k >= 0 {
+		markApplied(rs, outs)
+		failOut(w, outs, k)
 		return
 	}
 	// All shards accepted the replay, so the file decodes; its DTOs are
@@ -646,7 +865,15 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 		return
 	}
 	rs.log = dtos
-	if !sameGeneration(resps) {
+	// The log was REPLACED, so no stale mark may survive by length
+	// coincidence: void everyone, then credit the repliers.
+	for k := range rs.synced {
+		for r := range rs.synced[k] {
+			rs.synced[k][r] = unsynced
+		}
+	}
+	markSynced(rs, outs, len(rs.log))
+	if !sameGeneration(outs) {
 		// Same rule as handleOps: the replay landed everywhere, but the
 		// pages straddle a compaction swap — re-read instead of merging.
 		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, ""))
@@ -656,10 +883,10 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 		server.WriteJSON(w, http.StatusOK, merged)
 		return
 	}
-	states := make([]server.StateV1DTO, len(resps))
-	for i, resp := range resps {
-		if err := json.Unmarshal(resp.body, &states[i]); err != nil {
-			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", i, err), nil)
+	states := make([]server.StateV1DTO, len(outs))
+	for k, out := range outs {
+		if err := json.Unmarshal(out.resp.body, &states[k]); err != nil {
+			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", k, err), nil)
 			return
 		}
 	}
@@ -671,127 +898,299 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 	server.WriteJSON(w, http.StatusOK, merged)
 }
 
-// fanControl runs a session-independent request against every shard
-// with the control cookie jar.
-func (rt *Router) fanControl(ctx context.Context, method, pathq string, body []byte, contentType string) ([]*shardResp, []error) {
-	resps := make([]*shardResp, len(rt.shards))
-	errors := make([]error, len(rt.shards))
-	var wg sync.WaitGroup
-	for i := range rt.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+// ctrlReplica runs a session-independent request against one specific
+// replica with the control cookie jar.
+func (rt *Router) ctrlReplica(parent, ctx context.Context, k, r int, method, pathq string, body []byte, contentType string, retries int) (*shardResp, error) {
+	rt.ctrlMu.Lock()
+	cookie := rt.ctrl[k][r]
+	rt.ctrlMu.Unlock()
+	resp, err := rt.sendReplica(parent, ctx, k, r, method, pathq, body, contentType, cookie, retries)
+	if err == nil {
+		if c := resp.sessionCookie(); c != "" {
 			rt.ctrlMu.Lock()
-			cookie := rt.ctrl[i]
+			rt.ctrl[k][r] = c
 			rt.ctrlMu.Unlock()
-			resp, err := rt.send(ctx, i, method, pathq, body, contentType, cookie, 1)
-			if err == nil {
-				if c := resp.sessionCookie(); c != "" {
-					rt.ctrlMu.Lock()
-					rt.ctrl[i] = c
-					rt.ctrlMu.Unlock()
-				}
-			}
-			resps[i], errors[i] = resp, err
-		}(i)
+		}
 	}
-	wg.Wait()
-	return resps, errors
+	return resp, err
 }
 
-// handleIngest fans the batch to every shard, serialized so every shard
-// interns new terms in the same order (TermID agreement is what keeps
-// the partitioning consistent). Ingest is idempotent by content —
-// re-adding a triple or re-deleting a tombstone converges — so a client
-// that sees an unavailable error retries the same batch safely.
+// ctrlShard runs a session-independent idempotent request against the
+// first replica of shard k that delivers an answer, in health order.
+// Returns the replica that answered.
+func (rt *Router) ctrlShard(ctx context.Context, k int, method, pathq string, body []byte, contentType string) (*shardResp, int, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
+	defer cancel()
+	order, dirty := rt.replicaOrder(k, 0)
+	if len(order) == 0 {
+		return nil, -1, errs.Errf(errs.KindUnavailable,
+			"shard %d: all %d replicas diverged, awaiting resync", k, dirty)
+	}
+	var lastErr error
+	for _, r := range order {
+		resp, err := rt.ctrlReplica(ctx, reqCtx, k, r, method, pathq, body, contentType, 1)
+		if err != nil {
+			if errs.KindOf(err) == errs.KindCanceled {
+				return nil, r, err
+			}
+			lastErr = err
+			continue
+		}
+		return resp, r, nil
+	}
+	return nil, -1, lastErr
+}
+
+// handleIngest fans the batch to EVERY replica of every shard,
+// serialized so all replicas intern new terms in the same order (TermID
+// agreement is what keeps the partitioning consistent). Ingest is
+// idempotent by content — re-adding a triple or re-deleting a tombstone
+// converges — so a client that sees an unavailable error retries the
+// same batch safely.
+//
+// Per shard the write is acknowledged by the first successful CLEAN
+// replica; once acked, every clean sibling that was unreachable or
+// whose report disagrees is marked dirty (its store now provably lacks
+// an acknowledged write) and is excluded from reads until the next
+// rolling swap force-resyncs it. A shard whose clean replicas all
+// failed rejects the batch WITHOUT dirtying anyone: an unacknowledged
+// write leaves no replica behind. Together with the swap protocol
+// (adoption failures dirty the peer, never the primary) this keeps the
+// invariant that every shard always has at least one clean replica —
+// the one holding every acknowledged write — so a shard can always be
+// resynced, and "all replicas diverged" is unreachable under any
+// sequence of single faults.
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
 		server.WriteV1Error(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
 		return
 	}
+	contentType := r.Header.Get("Content-Type")
 	rt.ingestMu.Lock()
 	defer rt.ingestMu.Unlock()
-	resps, errors := rt.fanControl(r.Context(), http.MethodPost, "/api/v1/ingest", body, r.Header.Get("Content-Type"))
-	if i := firstFailure(resps, errors); i >= 0 {
-		failOut(w, resps, errors, i)
+
+	type replicaOut struct {
+		resp *shardResp
+		err  error
+	}
+	results := make([][]replicaOut, len(rt.shards))
+	reqCtx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for k := range rt.shards {
+		results[k] = make([]replicaOut, len(rt.shards[k]))
+		for rep := range rt.shards[k] {
+			wg.Add(1)
+			go func(k, rep int) {
+				defer wg.Done()
+				resp, err := rt.ctrlReplica(r.Context(), reqCtx, k, rep, http.MethodPost, "/api/v1/ingest", body, contentType, 1)
+				results[k][rep] = replicaOut{resp: resp, err: err}
+			}(k, rep)
+		}
+	}
+	wg.Wait()
+
+	outs := make([]shardOutcome, len(rt.shards))
+	for k := range results {
+		ref, firstCleanErr := -1, error(nil)
+		allDirty := true
+		for rep, ro := range results[k] {
+			if rt.health[k][rep].isDirty() {
+				continue // a diverged store cannot acknowledge a write
+			}
+			allDirty = false
+			if ro.err == nil && ref == -1 {
+				ref = rep
+			}
+			if ro.err != nil && firstCleanErr == nil {
+				firstCleanErr = ro.err
+			}
+		}
+		if ref == -1 {
+			// Unacknowledged: the batch failed on this shard and dirties
+			// nobody — the clean replicas still agree with each other.
+			err := firstCleanErr
+			if allDirty {
+				err = errs.Errf(errs.KindUnavailable,
+					"shard %d: all %d replicas diverged, awaiting resync", k, len(results[k]))
+			}
+			outs[k] = shardOutcome{err: err, replica: -1}
+			continue
+		}
+		outs[k] = shardOutcome{resp: results[k][ref].resp, replica: ref}
+		// Agreement check: every other clean replica must have produced
+		// the byte-identical report (the stores are deterministic, so any
+		// disagreement means divergence). Failures and disagreements are
+		// dirtied — the acknowledged write lives on replica ref, not them.
+		for rep, ro := range results[k] {
+			h := rt.health[k][rep]
+			if rep == ref || h.isDirty() {
+				continue
+			}
+			switch {
+			case ro.err != nil:
+				h.markDirty("missed ingest batch: " + ro.err.Error())
+			case ro.resp.status != results[k][ref].resp.status || string(ro.resp.body) != string(results[k][ref].resp.body):
+				h.markDirty("ingest report diverged from replica " + strconv.Itoa(ref))
+			}
+		}
+	}
+	if k := firstFailure(outs); k >= 0 {
+		failOut(w, outs, k)
 		return
 	}
 	// Every shard holds the same store content, so the reports agree;
 	// shard 0's is relayed verbatim.
-	relay(w, resps[0])
+	relay(w, outs[0].resp)
 }
 
-// handleCompact forces a compaction swap on every shard; idempotent and
-// serialized with ingest.
-func (rt *Router) handleCompact(w http.ResponseWriter, r *http.Request) {
-	rt.ingestMu.Lock()
-	defer rt.ingestMu.Unlock()
-	resps, errors := rt.fanControl(r.Context(), http.MethodPost, "/api/v1/compact", nil, "")
-	if i := firstFailure(resps, errors); i >= 0 {
-		failOut(w, resps, errors, i)
-		return
-	}
-	relay(w, resps[0])
-}
-
-// ShardHealthDTO is one shard's entry in the router's live report.
-type ShardHealthDTO struct {
-	Shard   int    `json:"shard"`
+// ReplicaHealthDTO is one replica's entry in the router's live report.
+type ReplicaHealthDTO struct {
+	Replica int    `json:"replica"`
 	Addr    string `json:"addr"`
 	Healthy bool   `json:"healthy"`
-	Error   string `json:"error,omitempty"`
-	// Stats is the shard's own /api/v1/live body when it answered.
+	// State summarizes serving eligibility: "ok" (in rotation),
+	// "cooldown" (breaker open), "stale" (diverged, awaiting resync) or
+	// "unreachable".
+	State string `json:"state"`
+	// Generation is the newest generation this replica reported.
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+	// Stats is the replica's own /api/v1/live body when it answered.
 	Stats *server.LiveStats `json:"stats,omitempty"`
+}
+
+// ShardHealthDTO is one replica set's entry in the router's live
+// report. A shard is healthy while at least one replica serves;
+// Degraded reports replicas that are out of rotation (dead, cooling
+// down, or awaiting resync).
+type ShardHealthDTO struct {
+	Shard    int                `json:"shard"`
+	Addr     string             `json:"addr"` // first replica, for single-replica compatibility
+	Healthy  bool               `json:"healthy"`
+	Degraded int                `json:"degraded,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Stats    *server.LiveStats  `json:"stats,omitempty"`
+	Replicas []ReplicaHealthDTO `json:"replicas"`
 }
 
 // RouterInfoDTO summarizes the cluster.
 type RouterInfoDTO struct {
-	Shards  int `json:"shards"`
+	Shards int `json:"shards"`
+	// Replicas is the total replica count across all shards.
+	Replicas int `json:"replicas"`
+	// Healthy counts shards with at least one serving replica.
 	Healthy int `json:"healthy"`
+	// DegradedReplicas counts replicas out of rotation cluster-wide.
+	DegradedReplicas int `json:"degradedReplicas,omitempty"`
+	// Committed is the generation the rolling-swap protocol last
+	// committed cluster-wide (0 until the first coordinated swap).
+	Committed uint64 `json:"committed,omitempty"`
 }
 
 // RouterLiveDTO is the router's GET /api/v1/live body: the first
-// healthy shard's stats flattened at the top level (so single-process
-// monitoring keeps working against a router), plus per-shard health.
+// healthy replica's stats flattened at the top level (so single-process
+// monitoring keeps working against a router), plus per-shard,
+// per-replica health.
 type RouterLiveDTO struct {
 	server.LiveStats
 	Router      RouterInfoDTO    `json:"router"`
 	ShardHealth []ShardHealthDTO `json:"shardHealth"`
 }
 
-// handleLive aggregates cluster health. Unlike every other endpoint it
-// never fails outright: a dead shard becomes an unhealthy row, because
-// the whole point of a health endpoint is answering while things burn.
+// handleLive aggregates cluster health from every replica. Unlike every
+// other endpoint it never fails outright: a dead replica becomes an
+// unhealthy row, because the whole point of a health endpoint is
+// answering while things burn.
 func (rt *Router) handleLive(w http.ResponseWriter, r *http.Request) {
-	resps, errors := rt.fanControl(r.Context(), http.MethodGet, "/api/v1/live", nil, "")
 	out := RouterLiveDTO{
-		Router:      RouterInfoDTO{Shards: len(rt.shards)},
+		Router:      RouterInfoDTO{Shards: len(rt.shards), Committed: rt.committedGen()},
 		ShardHealth: make([]ShardHealthDTO, len(rt.shards)),
 	}
+	reqCtx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
+	defer cancel()
+	type probe struct {
+		resp *shardResp
+		err  error
+	}
+	probes := make([][]probe, len(rt.shards))
+	var wg sync.WaitGroup
+	for k := range rt.shards {
+		probes[k] = make([]probe, len(rt.shards[k]))
+		for rep := range rt.shards[k] {
+			wg.Add(1)
+			go func(k, rep int) {
+				defer wg.Done()
+				resp, err := rt.ctrlReplica(r.Context(), reqCtx, k, rep, http.MethodGet, "/api/v1/live", nil, "", 1)
+				probes[k][rep] = probe{resp: resp, err: err}
+			}(k, rep)
+		}
+	}
+	wg.Wait()
+
 	statsSet := false
-	for i := range resps {
-		h := ShardHealthDTO{Shard: i, Addr: rt.shards[i]}
-		switch {
-		case errors[i] != nil:
-			h.Error = errors[i].Error()
-		case resps[i].status != http.StatusOK:
-			h.Error = strings.TrimSpace(string(resps[i].body))
-		default:
-			var stats server.LiveStats
-			if err := json.Unmarshal(resps[i].body, &stats); err != nil {
-				h.Error = "bad live response: " + err.Error()
-				break
+	for k := range rt.shards {
+		sh := ShardHealthDTO{
+			Shard:    k,
+			Addr:     rt.shards[k][0],
+			Replicas: make([]ReplicaHealthDTO, len(rt.shards[k])),
+		}
+		out.Router.Replicas += len(rt.shards[k])
+		for rep := range rt.shards[k] {
+			h := rt.health[k][rep]
+			_, _, dirty, cooling, _, dirtyWhy, gen := h.view()
+			rd := ReplicaHealthDTO{Replica: rep, Addr: rt.shards[k][rep], Generation: gen}
+			p := probes[k][rep]
+			switch {
+			case p.err != nil:
+				rd.State = "unreachable"
+				rd.Error = p.err.Error()
+			case p.resp.status != http.StatusOK:
+				rd.State = "unreachable"
+				rd.Error = strings.TrimSpace(string(p.resp.body))
+			default:
+				var stats server.LiveStats
+				if err := json.Unmarshal(p.resp.body, &stats); err != nil {
+					rd.State = "unreachable"
+					rd.Error = "bad live response: " + err.Error()
+					break
+				}
+				rd.Healthy = true
+				rd.Stats = &stats
+				rd.Generation = stats.Generation
+				h.observeGen(stats.Generation)
+				switch {
+				case dirty:
+					rd.State = "stale"
+					rd.Error = dirtyWhy
+				case cooling:
+					rd.State = "cooldown"
+				default:
+					rd.State = "ok"
+				}
 			}
-			h.Healthy = true
-			h.Stats = &stats
+			if rd.Healthy && rd.State == "ok" {
+				if !sh.Healthy {
+					sh.Healthy = true
+					sh.Stats = rd.Stats
+				}
+			} else {
+				sh.Degraded++
+				out.Router.DegradedReplicas++
+			}
+			sh.Replicas[rep] = rd
+		}
+		if sh.Healthy {
 			out.Router.Healthy++
 			if !statsSet {
-				out.LiveStats = stats
+				out.LiveStats = *sh.Stats
 				statsSet = true
 			}
+		} else {
+			sh.Error = "no serving replica"
 		}
-		out.ShardHealth[i] = h
+		out.ShardHealth[k] = sh
 	}
 	server.WriteJSON(w, http.StatusOK, out)
 }
