@@ -7,6 +7,7 @@
 //	pivote [-addr :8080] -load graph.nt                    # real N-Triples
 //	pivote [-addr :8080] -live                             # enable live ingest
 //	pivote [-addr :8080] -pprof localhost:6060             # profiling side listener
+//	pivote [-addr :8080] -metrics localhost:9090           # metrics side listener
 //	pivote -snapshot-dir snaps -write-snapshot             # persist a generation and exit
 //	pivote [-addr :8080] -snapshot-dir snaps -restore      # mmap the newest snapshot
 //	pivote [-addr :8080] -shards 4                         # in-process sharded cluster
@@ -57,6 +58,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,6 +66,7 @@ import (
 
 	"pivote"
 	"pivote/internal/core"
+	"pivote/internal/obs"
 	"pivote/internal/server"
 	"pivote/internal/shard"
 )
@@ -80,6 +83,10 @@ func main() {
 	live := flag.Bool("live", false, "enable the live ingest write path (POST /api/v1/ingest)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "address for a net/http/pprof side listener (e.g. localhost:6060; empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "address for a metrics side listener serving /metrics, /api/v1/stats and /api/v1/debug/slow (empty = disabled; the main listener serves them too)")
+	slowQuery := flag.Duration("slow-query", obs.DefaultSlowThreshold, "capture requests slower than this in the slow-query log (negative = disabled)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction rate for the pprof mutex profile (0 = off)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate threshold in ns for the pprof block profile (0 = off)")
 	snapshotDir := flag.String("snapshot-dir", "", "directory for generation snapshots (with -live: persist every compaction swap)")
 	restore := flag.Bool("restore", false, "boot from the newest snapshot in -snapshot-dir instead of building a graph")
 	writeSnapshot := flag.Bool("write-snapshot", false, "write a generation snapshot to -snapshot-dir and exit")
@@ -90,6 +97,28 @@ func main() {
 	routerOf := flag.String("router", "", "run a scatter-gather router over comma-separated shard base URLs ('|' separates replicas of one shard)")
 	partition := flag.String("partition", "", "partitioner spec for -shard-of (e.g. range/4:1000,2000,3000; default hash/N)")
 	flag.Parse()
+
+	obs.SlowQueries.SetThreshold(*slowQuery)
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+
+	if *metricsAddr != "" {
+		// Like -pprof, the scrape surface can run on its own listener so
+		// monitoring stays reachable (and access-controllable) separately
+		// from user traffic. The main listener serves the same routes.
+		mux := http.NewServeMux()
+		obs.MetricsRoutes(mux, obs.Default, obs.SlowQueries)
+		go func() {
+			fmt.Fprintf(os.Stderr, "metrics listening on http://%s/metrics\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		// Profiling runs on its own listener and mux so the diagnostic

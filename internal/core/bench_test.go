@@ -6,6 +6,7 @@ import (
 
 	"pivote/internal/core"
 	"pivote/internal/kg"
+	"pivote/internal/obs"
 	"pivote/internal/synth"
 )
 
@@ -49,6 +50,26 @@ func BenchmarkPivot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := eng.Pivot(ent)
+		if len(res.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
+// BenchmarkSubmitUninstrumented is BenchmarkSubmit with the obs layer
+// switched off: the delta between the two is the true cost of stage
+// timing + op metrics on the hot path, gated at ≤1.10× in
+// benchgates.json via BENCH_obs.json.
+func BenchmarkSubmitUninstrumented(b *testing.B) {
+	g := submitSetup()
+	eng := core.New(g, core.Options{})
+	eng.Submit("forrest gump")
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Submit("forrest gump")
 		if len(res.Entities) == 0 {
 			b.Fatal("no entities")
 		}

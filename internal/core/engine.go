@@ -11,11 +11,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pivote/internal/expand"
 	"pivote/internal/heatmap"
 	"pivote/internal/kg"
 	"pivote/internal/live"
+	"pivote/internal/obs"
 	"pivote/internal/rdf"
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
@@ -357,6 +359,7 @@ func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result
 	// One pin for the whole batch: validation and evaluation see the same
 	// generation even if a compaction swap lands mid-batch.
 	p := e.pinGen()
+	t0 := stageStart()
 	mark := e.sess.Mark()
 	logLen := len(e.log)
 	rewind := func() {
@@ -366,18 +369,34 @@ func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result
 	for i, op := range ops {
 		if err := ctx.Err(); err != nil {
 			rewind()
+			opErrorsTotal.Inc()
 			return nil, i, asTyped(err)
 		}
 		if err := e.applyOp(p, op); err != nil {
 			rewind()
+			opErrorsTotal.Inc()
 			return nil, i, err
 		}
 		e.log = append(e.log, op)
+		if c := opsTotal[op.Kind]; c != nil {
+			c.Inc()
+		}
 	}
 	res, err := e.evaluate(ctx, p, fields)
 	if err != nil {
 		rewind()
+		opErrorsTotal.Inc()
 		return nil, len(ops), err
+	}
+	if !t0.IsZero() {
+		d := time.Since(t0)
+		if len(ops) == 1 {
+			if h := opSeconds[ops[0].Kind]; h != nil {
+				h.Observe(d)
+			}
+		} else {
+			opBatchSeconds.Observe(d)
+		}
 	}
 	return res, len(ops), nil
 }
@@ -524,11 +543,12 @@ func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, 
 	var entities []expand.Ranked
 	var feats []semfeat.Score
 	var err error
+	rec := obs.RecorderOf(ctx)
 	switch {
 	case len(q.Seeds) > 0 || len(q.Features) > 0:
-		entities, feats, res.Fallback, err = e.structured(ctx, p, q)
+		entities, feats, res.Fallback, err = e.structured(ctx, rec, p, q)
 	case q.Keywords != "":
-		entities, feats, err = e.keyword(ctx, p, q.Keywords)
+		entities, feats, err = e.keyword(ctx, rec, p, q.Keywords)
 	}
 	if err != nil {
 		return nil, asTyped(err)
@@ -543,15 +563,19 @@ func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, 
 		if err := ctx.Err(); err != nil {
 			return nil, asTyped(err)
 		}
+		t0 := stageStart()
 		res.Heat = heatmap.Build(p.feats, entities, feats)
+		stageEnd(rec, obs.StageHeatmap, t0)
 	}
 	return res, nil
 }
 
 // keyword answers a plain keyword query: entities from the search engine,
 // features recommended from the top hits as pseudo-seeds.
-func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranked, []semfeat.Score, error) {
+func (e *Engine) keyword(ctx context.Context, rec *obs.Recorder, p *pin, kw string) ([]expand.Ranked, []semfeat.Score, error) {
+	t0 := stageStart()
 	hits, err := p.searcher.SearchCtx(ctx, kw, e.opts.TopEntities, e.opts.SearchModel)
+	stageEnd(rec, obs.StageSearch, t0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -577,7 +601,9 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 		if limit > e.opts.TopEntities {
 			limit = e.opts.TopEntities
 		}
+		t0 := stageStart()
 		global, err := p.searcher.WithOwner(nil).SearchCtx(ctx, kw, limit, e.opts.SearchModel)
+		stageEnd(rec, obs.StageSearch, t0)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -590,6 +616,7 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 	if len(pseudo) > 0 {
 		// Each pseudo-seed contributes its own features; rank per seed so
 		// one odd hit cannot zero out the commonality product.
+		t0 := stageStart()
 		seen := map[semfeat.Feature]bool{}
 		for _, ps := range pseudo {
 			ranked, err := p.feats.RankCtx(ctx, []rdf.TermID{ps}, e.opts.TopFeatures)
@@ -604,6 +631,7 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 			}
 		}
 		feats = topFeatures(feats, e.opts.TopFeatures)
+		stageEnd(rec, obs.StageRank, t0)
 	}
 	return entities, feats, nil
 }
@@ -612,7 +640,7 @@ func (e *Engine) keyword(ctx context.Context, p *pin, kw string) ([]expand.Ranke
 // conditions: Φ(Q) = pinned conditions ∪ top seed features; candidates
 // come from the conditions' extents when conditions exist (they are
 // mandatory), otherwise from expansion.
-func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]expand.Ranked, []semfeat.Score, bool, error) {
+func (e *Engine) structured(ctx context.Context, rec *obs.Recorder, p *pin, q session.Query) ([]expand.Ranked, []semfeat.Score, bool, error) {
 	var phi []semfeat.Score
 	pinned := map[semfeat.Feature]bool{}
 	for _, f := range q.Features {
@@ -626,7 +654,9 @@ func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]exp
 		pinned[f] = true
 	}
 	if len(q.Seeds) > 0 {
+		t0 := stageStart()
 		ranked, err := p.feats.RankCtx(ctx, q.Seeds, e.opts.TopFeatures)
+		stageEnd(rec, obs.StageRank, t0)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -642,12 +672,14 @@ func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]exp
 
 	var entities []expand.Ranked
 	var err error
+	t0 := stageStart()
 	if len(q.Features) > 0 {
 		entities, err = p.expander.ScoreCandidatesCtx(ctx, e.conditionCandidates(p, q), phi, e.opts.TopEntities)
 	} else {
 		// Seeds only: candidate generation and scoring share one scatter.
 		entities, err = p.expander.ExpandWithFeaturesCtx(ctx, q.Seeds, phi, e.opts.TopEntities)
 	}
+	stageEnd(rec, obs.StageExpand, t0)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -659,7 +691,9 @@ func (e *Engine) structured(ctx context.Context, p *pin, q session.Query) ([]exp
 		// film→actor→film chains). Fall back to a random walk with
 		// restart so a pivot never dead-ends.
 		fellBack = true
+		t0 = stageStart()
 		entities, err = p.expander.ExpandWithCtx(ctx, expand.MethodPPR, q.Seeds, e.opts.TopEntities)
+		stageEnd(rec, obs.StageExpand, t0)
 		if err != nil {
 			return nil, nil, false, err
 		}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/obs"
+	"pivote/internal/synth"
+)
+
+// TestStageRecorder checks that a Recorder attached to the request
+// context accumulates the engine's per-stage timings.
+func TestStageRecorder(t *testing.T) {
+	g := submitSetup()
+	eng := core.New(g, core.Options{})
+
+	rec := new(obs.Recorder)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	res, err := eng.Apply(ctx, core.OpSubmit("forrest gump"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entities) == 0 {
+		t.Fatal("no entities")
+	}
+	if rec.Get(obs.StageSearch) <= 0 {
+		t.Fatalf("search stage not recorded: %v", rec.Get(obs.StageSearch))
+	}
+	if rec.Get(obs.StageRank) <= 0 {
+		t.Fatalf("rank stage not recorded: %v", rec.Get(obs.StageRank))
+	}
+	if rec.Get(obs.StageHeatmap) <= 0 {
+		t.Fatalf("heatmap stage not recorded: %v", rec.Get(obs.StageHeatmap))
+	}
+
+	// A pivot goes through the structured path: expand must show up.
+	rec.Reset()
+	ent := g.EntityByName("Forrest_Gump")
+	if _, err := eng.Apply(ctx, core.OpPivot(ent)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Get(obs.StageExpand) <= 0 {
+		t.Fatalf("expand stage not recorded: %v", rec.Get(obs.StageExpand))
+	}
+
+	// Disabled instrumentation records nothing.
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	rec.Reset()
+	if _, err := eng.Apply(ctx, core.OpSubmit("forrest gump")); err != nil {
+		t.Fatal(err)
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if rec.Get(s) != 0 {
+			t.Fatalf("stage %v recorded while disabled", s)
+		}
+	}
+}
+
+// TestStageRecorderSynthSmall guards the zero-value path: no recorder
+// on the context must not panic anywhere.
+func TestStageRecorderSynthSmall(t *testing.T) {
+	g := synth.Generate(synth.Scaled(50)).Graph
+	eng := core.New(g, core.Options{})
+	if _, err := eng.Apply(context.Background(), core.OpSubmit("forrest gump")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pivote/internal/expand"
+	"pivote/internal/obs"
 	"pivote/internal/rdf"
 	"pivote/internal/semfeat"
 	"pivote/internal/synth"
@@ -52,6 +53,26 @@ func BenchmarkExpandStrict(b *testing.B) {
 	en := semfeat.NewEngineWithOptions(res.Graph, semfeat.Options{Strict: true})
 	x := expand.New(en, expand.Options{SameTypeOnly: true})
 	x.Expand(seeds, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked, _ := x.Expand(seeds, 20)
+		if len(ranked) == 0 {
+			b.Fatal("empty expansion")
+		}
+	}
+}
+
+// BenchmarkExpandUninstrumented is BenchmarkExpand with the obs layer
+// switched off; the pair is published as BENCH_obs.json and gated at
+// ≤1.10× in benchgates.json.
+func BenchmarkExpandUninstrumented(b *testing.B) {
+	res, seeds := benchSetup()
+	en := semfeat.NewEngine(res.Graph)
+	x := expand.New(en, expand.Options{SameTypeOnly: true})
+	x.Expand(seeds, 20)
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

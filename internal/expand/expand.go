@@ -150,6 +150,7 @@ func (x *Expander) Expand(seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score)
 // check the context between features/chunks and the call returns the
 // context's error instead of a partial ranking when it fires.
 func (x *Expander) ExpandCtx(ctx context.Context, seeds []rdf.TermID, k int) ([]Ranked, []semfeat.Score, error) {
+	defer expandEnd(histPivotE, expandStart())
 	feats, err := x.en.RankCtx(ctx, seeds, x.opts.TopFeatures)
 	if err != nil {
 		return nil, nil, err
@@ -177,6 +178,7 @@ func (x *Expander) ExpandWith(method Method, seeds []rdf.TermID, k int) []Ranked
 // ExpandWithCtx is ExpandWith with cancellation, checked inside each
 // method's long loop (scatter pass, neighbourhood walk, PPR iteration).
 func (x *Expander) ExpandWithCtx(ctx context.Context, method Method, seeds []rdf.TermID, k int) ([]Ranked, error) {
+	defer expandEnd(histMethod[method], expandStart())
 	switch method {
 	case MethodPivotE:
 		r, _, err := x.ExpandCtx(ctx, seeds, k)
@@ -204,6 +206,7 @@ func (x *Expander) CandidatesOf(seeds []rdf.TermID, feats []semfeat.Score) []rdf
 
 // ExpandWithFeaturesCtx is ExpandWithFeatures with cancellation.
 func (x *Expander) ExpandWithFeaturesCtx(ctx context.Context, seeds []rdf.TermID, feats []semfeat.Score, k int) ([]Ranked, error) {
+	defer expandEnd(histFeatures, expandStart())
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 	sc.begin(x.denseSize(), maskWords(len(feats)))
@@ -219,6 +222,7 @@ func (x *Expander) ExpandWithFeaturesCtx(ctx context.Context, seeds []rdf.TermID
 
 // ScoreCandidatesCtx is ScoreCandidates with cancellation.
 func (x *Expander) ScoreCandidatesCtx(ctx context.Context, cands []rdf.TermID, feats []semfeat.Score, k int) ([]Ranked, error) {
+	defer expandEnd(histScore, expandStart())
 	if x.opts.Owned != nil {
 		kept := make([]rdf.TermID, 0, len(cands))
 		for _, c := range cands {

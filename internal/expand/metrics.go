@@ -1,0 +1,44 @@
+package expand
+
+import (
+	"time"
+
+	"pivote/internal/obs"
+)
+
+// Per-entry-point latency histograms. One observation per expander
+// call — never inside the scatter loops — so the overhead is two
+// time.Now calls per expansion.
+var (
+	histPivotE   = expandHist("pivote")
+	histFeatures = expandHist("features")
+	histScore    = expandHist("score")
+	histMethod   = map[Method]*obs.Histogram{
+		MethodCommonNeighbors: expandHist("common-neighbors"),
+		MethodJaccard:         expandHist("jaccard"),
+		MethodFeatureCount:    expandHist("feature-count"),
+		MethodPPR:             expandHist("ppr"),
+	}
+)
+
+func expandHist(method string) *obs.Histogram {
+	return obs.Default.Histogram("pivote_expand_seconds",
+		"Candidate expansion latency by entry point.", obs.L("method", method))
+}
+
+// expandStart returns the clock, or zero when instrumentation is off.
+func expandStart() time.Time {
+	if !obs.On() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// expandEnd records one expansion. Deferred with pre-evaluated
+// arguments, so it costs no closure allocation.
+func expandEnd(h *obs.Histogram, t0 time.Time) {
+	if t0.IsZero() || h == nil {
+		return
+	}
+	h.Observe(time.Since(t0))
+}

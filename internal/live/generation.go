@@ -102,6 +102,8 @@ func newGeneration(id uint64, g *kg.Graph, params *search.Params, prev *semfeat.
 	if own != nil {
 		gen.ApplyPartition(own)
 	}
+	trackGeneration(gen)
+	recordCarry(gen)
 	return gen
 }
 

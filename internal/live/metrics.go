@@ -1,0 +1,67 @@
+package live
+
+import (
+	"runtime"
+	"time"
+
+	"pivote/internal/obs"
+)
+
+// Process-wide live-store metrics: every Store in the process (one per
+// shard replica in an in-process cluster) records into the same
+// series, so a scrape reflects the node's total write activity.
+var (
+	mIngestBatches = obs.Default.Counter("pivote_live_ingest_batches_total",
+		"Ingest batches accepted.")
+	mIngestTriples = obs.Default.Counter("pivote_live_ingest_triples_total",
+		"Triples ingested (adds + tombstones).")
+	mIngestSeconds = obs.Default.Histogram("pivote_live_ingest_seconds",
+		"Ingest batch latency (validate + index + publish).")
+	mIngestBatchSize = obs.Default.ValueHistogram("pivote_live_ingest_batch_triples",
+		"Ingest batch size in triples.")
+	mCompactSeconds = obs.Default.Histogram("pivote_live_compaction_seconds",
+		"Compaction duration (rebuild + publish + snapshot write).")
+	mSwapsTotal = obs.Default.Counter("pivote_live_swaps_total",
+		"Generation swaps published (compactions + adoptions).")
+	mAdoptionsTotal = obs.Default.Counter("pivote_live_adoptions_total",
+		"Swaps that adopted an externally compacted generation.")
+	mGeneration = obs.Default.Gauge("pivote_live_generation",
+		"Most recently published generation ID.")
+	mGenerationsActive = obs.Default.Gauge("pivote_live_generations_active",
+		"Generations still reachable (current + pinned by readers).")
+	mCacheCarried = obs.Default.Counter("pivote_live_cache_carried_total",
+		"Feature-cache entries carried across swaps.")
+	mCacheDropped = obs.Default.Counter("pivote_live_cache_dropped_total",
+		"Feature-cache entries invalidated by swap deltas.")
+)
+
+// trackGeneration counts a generation as active until the GC proves no
+// reader pins it. The finalizer fires one GC cycle after the last
+// reference drops — a deliberate trade: the gauge lags collection
+// slightly but requires no reference counting on the read path.
+func trackGeneration(gen *Generation) {
+	mGenerationsActive.Inc()
+	runtime.SetFinalizer(gen, func(*Generation) { mGenerationsActive.Dec() })
+}
+
+// recordCarry publishes a new cache's carry statistics.
+func recordCarry(gen *Generation) {
+	if gen == nil || gen.Features == nil {
+		return
+	}
+	c := gen.Features.Carry()
+	if c.Carried > 0 {
+		mCacheCarried.Add(uint64(c.Carried))
+	}
+	if c.Dropped > 0 {
+		mCacheDropped.Add(uint64(c.Dropped))
+	}
+}
+
+// liveStart returns the clock, or zero when instrumentation is off.
+func liveStart() time.Time {
+	if !obs.On() {
+		return time.Time{}
+	}
+	return time.Now()
+}

@@ -172,14 +172,16 @@ func openGeneration(m *snap.Mapping) (*Generation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Generation{
+	gen := &Generation{
 		ID:       id,
 		Graph:    g,
 		Searcher: search.NewEngineFromIndex(g, idx, params),
 		Catalog:  cat,
 		Features: semfeat.NewFeatureCacheFrom(g, cat, nil, id, nil),
 		mapping:  m,
-	}, nil
+	}
+	trackGeneration(gen)
+	return gen, nil
 }
 
 // SnapshotPath names generation gen inside dir.

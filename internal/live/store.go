@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pivote/internal/errs"
 	"pivote/internal/kg"
@@ -148,6 +149,7 @@ type IngestResult struct {
 // view they loaded; the new view is visible to every subsequent View
 // call.
 func (s *Store) Ingest(adds, dels []rdf.Triple) (IngestResult, error) {
+	t0 := liveStart()
 	dictLen := s.View().Dict().Len()
 	check := func(ts []rdf.Triple) error {
 		for _, t := range ts {
@@ -191,6 +193,12 @@ func (s *Store) Ingest(adds, dels []rdf.Triple) (IngestResult, error) {
 		case s.kick <- struct{}{}:
 		default: // a kick is already queued
 		}
+	}
+	if !t0.IsZero() {
+		mIngestSeconds.Observe(time.Since(t0))
+		mIngestBatches.Inc()
+		mIngestTriples.Add(uint64(len(adds) + len(dels)))
+		mIngestBatchSize.ObserveVal(uint64(len(adds) + len(dels)))
 	}
 	return IngestResult{Added: len(adds), Removed: len(dels), Pending: pending, Generation: gen.ID}, nil
 }
@@ -266,6 +274,7 @@ func (s *Store) TriggerCompact() {
 // writes that arrive during the rebuild stay pending on top of the new
 // generation.
 func (s *Store) CompactNow() (*Generation, bool, error) {
+	t0 := liveStart()
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -325,6 +334,11 @@ func (s *Store) CompactNow() (*Generation, bool, error) {
 		s.snapPath, s.snapErr = path, err
 		s.snapMu.Unlock()
 	}
+	if !t0.IsZero() {
+		mCompactSeconds.Observe(time.Since(t0))
+	}
+	mSwapsTotal.Inc()
+	mGeneration.Set(int64(gen2.ID))
 	return gen2, true, nil
 }
 
@@ -370,6 +384,9 @@ func (s *Store) AdoptGeneration(gen *Generation, force bool) (bool, error) {
 	s.view.Store(&View{Gen: gen, delta: emptyDelta})
 	s.swaps.Add(1)
 	s.adoptions.Add(1)
+	mSwapsTotal.Inc()
+	mAdoptionsTotal.Inc()
+	mGeneration.Set(int64(gen.ID))
 	return true, nil
 }
 

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// recPool recycles Recorders across requests so the middleware stays
+// allocation-free on the recorder itself (the per-request
+// context.WithValue and status wrapper are the unavoidable cost).
+var recPool = sync.Pool{New: func() any { return new(Recorder) }}
+
+// statusWriter captures the response status for the metrics and the
+// slow log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+var classes = [...]string{"other", "2xx", "3xx", "4xx", "5xx"}
+
+func classIdx(status int) int {
+	if c := status / 100; c >= 2 && c <= 5 {
+		return c - 1
+	}
+	return 0
+}
+
+// routeInstruments is the pre-registered set for one route: one
+// latency histogram and one counter per status class, created at
+// registration time so the request path only records.
+type routeInstruments struct {
+	seconds  *Histogram
+	requests [len(classes)]*Counter
+}
+
+// Instrument wraps h with request metrics and stage tracing: a
+// pivote_http_request_seconds{route} observation, a
+// pivote_http_requests_total{route,class} increment, a pooled Recorder
+// attached to the request context for engine stage timings, and a
+// slow-log capture when the request exceeds slow's threshold. reg and
+// slow are typically Default and SlowQueries.
+func Instrument(reg *Registry, slow *SlowLog, route string, h http.Handler) http.Handler {
+	ri := &routeInstruments{
+		seconds: reg.Histogram("pivote_http_request_seconds",
+			"HTTP request latency by route.", L("route", route)),
+	}
+	for i, cl := range classes {
+		ri.requests[i] = reg.Counter("pivote_http_requests_total",
+			"HTTP requests by route and status class.",
+			L("route", route), L("class", cl))
+	}
+	inflight := reg.Gauge("pivote_http_inflight", "Requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !On() {
+			h.ServeHTTP(w, r)
+			return
+		}
+		inflight.Inc()
+		t0 := time.Now()
+		rec := recPool.Get().(*Recorder)
+		rec.Reset()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(WithRecorder(r.Context(), rec)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := time.Since(t0)
+		ri.seconds.Observe(d)
+		ri.requests[classIdx(sw.status)].Inc()
+		inflight.Dec()
+		if slow != nil {
+			slow.Record(route, rec.Op(), sw.status, d, rec)
+		}
+		recPool.Put(rec)
+	})
+}
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// statsDTO is the /api/v1/stats payload.
+type statsDTO struct {
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	GoVersion     string        `json:"goVersion,omitempty"`
+	Revision      string        `json:"revision,omitempty"`
+	Series        []SeriesStats `json:"series"`
+}
+
+// StatsHandler serves the JSON digest of reg plus process identity.
+func StatsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		goVer, rev := BuildInfo()
+		dto := statsDTO{
+			UptimeSeconds: Uptime().Seconds(),
+			GoVersion:     goVer,
+			Revision:      rev,
+			Series:        reg.Stats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(dto)
+	})
+}
+
+// slowDTO is the /api/v1/debug/slow payload.
+type slowDTO struct {
+	ThresholdMs float64     `json:"thresholdMs"`
+	Entries     []SlowEntry `json:"entries"`
+}
+
+// SlowHandler serves the slow-request ring, newest first. A
+// ?threshold=<duration> query (e.g. 100ms, 1s) retunes the capture
+// threshold on the fly.
+func SlowHandler(l *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.URL.Query().Get("threshold"); v != "" {
+			if d, err := time.ParseDuration(v); err == nil {
+				l.SetThreshold(d)
+			} else {
+				http.Error(w, "bad threshold: "+strconv.Quote(v), http.StatusBadRequest)
+				return
+			}
+		}
+		dto := slowDTO{
+			ThresholdMs: float64(l.Threshold()) / 1e6,
+			Entries:     l.Entries(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(dto)
+	})
+}
+
+// MetricsRoutes mounts the three observability endpoints on mux:
+// /metrics, /api/v1/stats, /api/v1/debug/slow. Every process shape
+// (single server, shard node, router) calls this so the scrape surface
+// is uniform.
+func MetricsRoutes(mux *http.ServeMux, reg *Registry, slow *SlowLog) {
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	mux.Handle("GET /api/v1/stats", StatsHandler(reg))
+	mux.Handle("GET /api/v1/debug/slow", SlowHandler(slow))
+}
+
+// IsMetricsPath reports whether path is one of the observability
+// endpoints. Session-minting front doors use this to serve scrapes
+// without creating sessions (a Prometheus scraper must not churn the
+// session LRU).
+func IsMetricsPath(path string) bool {
+	switch path {
+	case "/metrics", "/api/v1/stats", "/api/v1/debug/slow":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// nStripes is the number of atomic stripes per metric: the smallest
+// power of two ≥ GOMAXPROCS, clamped to [1, 64]. Go does not expose a
+// CPU index, so stripeIdx hashes a stack address instead — goroutines
+// running on different Ps live on different stacks, which spreads them
+// across stripes well enough to keep cache lines from ping-ponging in
+// the scatter loops.
+var (
+	nStripes   = stripeCount()
+	stripeMask = uint64(nStripes - 1)
+)
+
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeIdx picks a stripe from the address of a stack variable via a
+// Fibonacci multiply-shift. The variable never escapes (only its
+// uintptr is taken), so this is allocation-free.
+func stripeIdx() uint64 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b))) * 0x9E3779B97F4A7C15
+	return (h >> 32) & stripeMask
+}
+
+// pad64 separates adjacent stripes so two stripes never share a cache
+// line (64B lines; 128B on some parts — one line of slack is the usual
+// compromise).
+type pad64 [56]byte
+
+type counterStripe struct {
+	v atomic.Uint64
+	_ pad64
+}
+
+// Counter is a monotonically increasing uint64 spread over stripes.
+// Inc/Add never allocate and scale with concurrent writers.
+type Counter struct {
+	stripes []counterStripe
+}
+
+func newCounter() *Counter { return &Counter{stripes: make([]counterStripe, nStripes)} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.stripes[stripeIdx()].v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.stripes[stripeIdx()].v.Add(n) }
+
+// Value sums the stripes. The result is a consistent lower bound, not
+// a linearizable snapshot — fine for monitoring.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.stripes {
+		t += c.stripes[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value. Writes are rare (publish a
+// generation, enter/leave a request), so it is a single atomic rather
+// than stripes.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func newGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumBuckets is the number of histogram buckets. Bucket 0 holds value
+// 0; bucket b (1 ≤ b < NumBuckets-1) holds values v with
+// bits.Len64(v) == b, i.e. v ∈ [2^(b-1), 2^b − 1]; the last bucket is
+// the +Inf overflow. For duration histograms values are microseconds,
+// so the finite range spans 1µs … 2^30−1 µs ≈ 17.9 min — generous for
+// request latencies and compaction pauses alike.
+const NumBuckets = 32
+
+// bucketOf returns the bucket index for a raw value.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Unit tells the encoder how to scale a histogram's recorded values.
+type Unit uint8
+
+const (
+	// UnitSeconds histograms record time.Durations (stored as
+	// nanoseconds, bucketed by microsecond magnitude, exposed in
+	// seconds).
+	UnitSeconds Unit = iota
+	// UnitCount histograms record raw quantities (batch sizes,
+	// fan-out widths) with unit-less boundaries.
+	UnitCount
+)
+
+type histStripe struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64 // ns for UnitSeconds, raw units for UnitCount
+	_      pad64
+}
+
+// Histogram is a fixed-boundary log₂ latency/size histogram. Observe
+// is two atomic adds on one stripe: no locks, no allocation, no
+// boundary search.
+type Histogram struct {
+	unit    Unit
+	stripes []histStripe
+}
+
+func newHistogram(u Unit) *Histogram {
+	return &Histogram{unit: u, stripes: make([]histStripe, nStripes)}
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	s := &h.stripes[stripeIdx()]
+	s.counts[bucketOf(ns/1000)].Add(1)
+	s.sum.Add(ns)
+}
+
+// ObserveVal records one raw value into a UnitCount histogram.
+func (h *Histogram) ObserveVal(v uint64) {
+	s := &h.stripes[stripeIdx()]
+	s.counts[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// Count reports the total number of observations so far.
+func (h *Histogram) Count() uint64 {
+	_, _, total := h.snapshot()
+	return total
+}
+
+// snapshot sums the stripes. counts are per-bucket (not cumulative);
+// sum is scaled to the exposition unit (seconds or raw).
+func (h *Histogram) snapshot() (counts [NumBuckets]uint64, sum float64, total uint64) {
+	var rawSum uint64
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := 0; b < NumBuckets; b++ {
+			c := s.counts[b].Load()
+			counts[b] += c
+			total += c
+		}
+		rawSum += s.sum.Load()
+	}
+	if h.unit == UnitSeconds {
+		sum = float64(rawSum) / 1e9
+	} else {
+		sum = float64(rawSum)
+	}
+	return counts, sum, total
+}
+
+// upperBound returns the inclusive upper boundary of bucket b in the
+// exposition unit: (2^b − 1) µs for durations, (2^b − 1) raw units for
+// counts, +Inf for the last bucket.
+func (h *Histogram) upperBound(b int) float64 {
+	if b >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	u := float64(uint64(1)<<uint(b) - 1)
+	if h.unit == UnitSeconds {
+		return u / 1e6
+	}
+	return u
+}
+
+// Quantile estimates quantile q (0 < q ≤ 1) from a bucket snapshot by
+// linear interpolation inside the winning bucket. Used only by the
+// JSON stats surface; Prometheus consumers compute their own from the
+// cumulative buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for b := 0; b < NumBuckets; b++ {
+		c := float64(counts[b])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if b > 0 {
+				lo = float64(uint64(1) << uint(b-1))
+			}
+			hi := float64(uint64(1)<<uint(b)) - 1
+			if b == NumBuckets-1 {
+				hi = lo * 2 // open-ended: fake a width
+			}
+			frac := (rank - cum) / c
+			v := lo + (hi-lo)*frac
+			if h.unit == UnitSeconds {
+				return v / 1e6
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.upperBound(NumBuckets - 2)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// naiveBucketOf is the executable spec: scan the boundaries linearly
+// and return the first bucket whose inclusive upper bound holds v.
+// Bucket b's bound is 2^b − 1 raw units; the last bucket is +Inf.
+func naiveBucketOf(v uint64) int {
+	for b := 0; b < NumBuckets-1; b++ {
+		ub := uint64(1)<<uint(b) - 1
+		if v <= ub {
+			return b
+		}
+	}
+	return NumBuckets - 1
+}
+
+func TestBucketOfMatchesNaive(t *testing.T) {
+	// Exhaustive around every boundary, then random sweep.
+	for b := 0; b < 64; b++ {
+		edge := uint64(1) << uint(b)
+		for _, v := range []uint64{edge - 1, edge, edge + 1} {
+			if got, want := bucketOf(v), naiveBucketOf(v); got != want {
+				t.Fatalf("bucketOf(%d) = %d, naive = %d", v, got, want)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		if got, want := bucketOf(v), naiveBucketOf(v); got != want {
+			t.Fatalf("bucketOf(%d) = %d, naive = %d", v, got, want)
+		}
+	}
+	if bucketOf(0) != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", bucketOf(0))
+	}
+	if bucketOf(math.MaxUint64) != NumBuckets-1 {
+		t.Fatalf("bucketOf(max) = %d, want overflow bucket", bucketOf(math.MaxUint64))
+	}
+}
+
+// TestBucketBoundsCumulative checks the exposition invariant: a value
+// lands in bucket b exactly when upperBound(b-1) < v ≤ upperBound(b).
+func TestBucketBoundsCumulative(t *testing.T) {
+	h := newHistogram(UnitCount)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		b := bucketOf(v)
+		if fb := float64(v); fb > h.upperBound(b) {
+			t.Fatalf("v=%d in bucket %d but > upper bound %g", v, b, h.upperBound(b))
+		}
+		if b > 0 {
+			if fb := float64(v); fb <= h.upperBound(b-1) {
+				t.Fatalf("v=%d in bucket %d but ≤ previous bound %g", v, b, h.upperBound(b-1))
+			}
+		}
+	}
+	if !math.IsInf(h.upperBound(NumBuckets-1), 1) {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+}
+
+func TestHistogramObserveSeconds(t *testing.T) {
+	h := newHistogram(UnitSeconds)
+	h.Observe(1500 * time.Microsecond) // 1500µs → bits.Len(1500)=11
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to 0
+	counts, sum, total := h.snapshot()
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if counts[0] != 2 {
+		t.Fatalf("zero bucket = %d, want 2", counts[0])
+	}
+	if want := bits.Len64(1500); counts[want] != 1 {
+		t.Fatalf("bucket %d = %d, want 1", want, counts[want])
+	}
+	if got, want := sum, 0.0015; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestCounterStripes(t *testing.T) {
+	c := newCounter()
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestRecordPathZeroAlloc is the acceptance criterion: counter and
+// histogram record paths must not allocate.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	c := newCounter()
+	h := newHistogram(UnitSeconds)
+	vh := newHistogram(UnitCount)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { vh.ObserveVal(17) }); n != 0 {
+		t.Fatalf("Histogram.ObserveVal allocates %v/op", n)
+	}
+	g := newGauge()
+	if n := testing.AllocsPerRun(1000, func() { g.Set(42); g.Inc(); g.Dec() }); n != 0 {
+		t.Fatalf("Gauge ops allocate %v/op", n)
+	}
+	rec := new(Recorder)
+	if n := testing.AllocsPerRun(1000, func() { rec.Add(StageSearch, time.Millisecond) }); n != 0 {
+		t.Fatalf("Recorder.Add allocates %v/op", n)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram(UnitCount)
+	for v := uint64(1); v <= 1000; v++ {
+		h.ObserveVal(v)
+	}
+	// Log buckets are coarse: accept a factor-of-two band.
+	p50 := h.Quantile(0.50)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %g, want within [250,1000]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 512 || p99 > 1024 {
+		t.Fatalf("p99 = %g, want within [512,1024]", p99)
+	}
+	if q := newHistogram(UnitCount).Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("x_total", "help", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestRecorderContext(t *testing.T) {
+	rec := new(Recorder)
+	ctx := WithRecorder(testingContext(), rec)
+	got := RecorderOf(ctx)
+	if got != rec {
+		t.Fatal("RecorderOf must return the attached recorder")
+	}
+	got.Add(StageExpand, 5*time.Millisecond)
+	got.Add(StageExpand, 5*time.Millisecond)
+	if rec.Get(StageExpand) != 10*time.Millisecond {
+		t.Fatalf("stage accumulation = %v", rec.Get(StageExpand))
+	}
+	if RecorderOf(testingContext()) != nil {
+		t.Fatal("bare context must have no recorder")
+	}
+	var nilRec *Recorder
+	nilRec.Add(StageSearch, time.Second) // must not panic
+	nilRec.SetOp("x")
+	if nilRec.Get(StageSearch) != 0 || nilRec.Op() != "" {
+		t.Fatal("nil recorder must be inert")
+	}
+}

@@ -1,0 +1,73 @@
+// Package obs is PivotE's dependency-free observability layer: striped
+// atomic counters and gauges, fixed-boundary log-scale latency
+// histograms whose record path never allocates, a registry with a
+// Prometheus text-exposition encoder and a JSON snapshot, a per-request
+// stage Recorder threaded through context, and a lock-free slow-query
+// ring buffer.
+//
+// Everything here is safe for the scatter loops: a histogram
+// observation is two atomic adds on a cache-line-padded stripe chosen
+// from the goroutine's stack address, so concurrent recorders on
+// different Ps rarely contend on the same line. The package has no
+// dependencies outside the standard library and no background
+// goroutines; encoding walks the stripes at scrape time.
+//
+// Instrumentation call sites gate on On() before calling time.Now, so
+// flipping SetEnabled(false) removes essentially the whole cost — the
+// instrumented/uninstrumented benchmark pairs published as
+// BENCH_obs.json measure exactly that delta.
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-wide kill switch. It defaults to on; the
+// *Uninstrumented benchmark variants flip it off to measure the true
+// overhead of the record paths.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// On reports whether instrumentation is enabled. Hot paths check this
+// before calling time.Now — the disabled cost is one relaxed atomic
+// load.
+func On() bool { return enabled.Load() }
+
+// SetEnabled flips the process-wide instrumentation switch and returns
+// the previous value.
+func SetEnabled(v bool) bool { return enabled.Swap(v) }
+
+// start anchors Uptime. Set once at process init.
+var start = time.Now()
+
+// Uptime returns how long this process has been running.
+func Uptime() time.Duration { return time.Since(start) }
+
+var (
+	buildOnce sync.Once
+	goVersion string
+	revision  string
+)
+
+// BuildInfo returns the Go toolchain version and the VCS revision the
+// binary was built from (empty when the build carries no VCS stamp,
+// e.g. `go test` binaries).
+func BuildInfo() (goVer, rev string) {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		goVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	})
+	return goVersion, revision
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP/# TYPE pair per
+// family, series sorted by label key, histograms as cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				writeName(bw, f.name, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(s.c.Value(), 10))
+				bw.WriteByte('\n')
+			case s.g != nil:
+				writeName(bw, f.name, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(s.g.Value(), 10))
+				bw.WriteByte('\n')
+			case s.gf != nil:
+				writeName(bw, f.name, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(s.gf()))
+				bw.WriteByte('\n')
+			case s.h != nil:
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	counts, sum, total := s.h.snapshot()
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		cum += counts[b]
+		// Buckets are cumulative, so interior empty ones carry no
+		// information: emit a boundary only where the count steps
+		// (this bucket or its predecessor is non-empty) plus the
+		// final +Inf.
+		if b < NumBuckets-1 && counts[b] == 0 && (b == 0 || counts[b-1] == 0) {
+			continue
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.labels, leString(s.h, b))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(total, 10))
+	bw.WriteByte('\n')
+}
+
+func leString(h *Histogram, b int) string {
+	ub := h.upperBound(b)
+	if math.IsInf(ub, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+func writeName(bw *bufio.Writer, name string, labels []Label, le string) {
+	bw.WriteString(name)
+	writeLabels(bw, labels, le)
+}
+
+// writeLabels emits {k="v",...} with the optional le boundary
+// appended. Values are escaped per the exposition format.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	first := true
+	for _, l := range labels {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		escapeLabel(bw, l.Value)
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if !first {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func escapeLabel(bw *bufio.Writer, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '"':
+			bw.WriteString(`\"`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

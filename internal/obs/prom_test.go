@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func testingContext() context.Context { return context.Background() }
+
+// TestPrometheusGolden pins the exposition format byte-for-byte: HELP
+// and TYPE lines, label escaping and ordering, cumulative buckets with
+// le boundaries, _sum/_count, family sorting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pivote_test_ops_total", "Operations applied.", L("kind", "submit"))
+	c.Add(7)
+	r.Counter("pivote_test_ops_total", "Operations applied.", L("kind", "pivot")).Add(2)
+	g := r.Gauge("pivote_test_generation", "Current generation.")
+	g.Set(42)
+	r.GaugeFunc("pivote_test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	h := r.Histogram("pivote_test_latency_seconds", "Latency.", L("route", "/api/v1/ops"))
+	h.Observe(0)
+	h.Observe(1 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	vh := r.ValueHistogram("pivote_test_batch_triples", "Batch size.")
+	vh.ObserveVal(5)
+	vh.ObserveVal(1000)
+	esc := r.Counter("pivote_test_escapes_total", "Escaping.", L("path", "a\\b\"c\nd"))
+	esc.Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Add(3)
+	h := r.Histogram("b_seconds", "B.")
+	h.Observe(10 * time.Millisecond)
+	st := r.Stats()
+	if len(st) != 2 {
+		t.Fatalf("series = %d, want 2", len(st))
+	}
+	if st[0].Name != "a_total" || st[0].Value == nil || *st[0].Value != 3 {
+		t.Fatalf("counter stats wrong: %+v", st[0])
+	}
+	if st[1].Name != "b_seconds" || st[1].Count == nil || *st[1].Count != 1 || st[1].P99 == nil {
+		t.Fatalf("histogram stats wrong: %+v", st[1])
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "H.").Inc()
+	slow := NewSlowLog(0)
+	rec := new(Recorder)
+	rec.Add(StageSearch, 2*time.Millisecond)
+	slow.Record("/api/v1/ops", "submit", 200, 5*time.Millisecond, rec)
+
+	w := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 || !bytes.Contains(w.Body.Bytes(), []byte("h_total 1")) {
+		t.Fatalf("metrics: %d %q", w.Code, w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	StatsHandler(r).ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/stats", nil))
+	var dto statsDTO
+	if err := json.Unmarshal(w.Body.Bytes(), &dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.UptimeSeconds <= 0 || len(dto.Series) != 1 {
+		t.Fatalf("stats dto: %+v", dto)
+	}
+
+	w = httptest.NewRecorder()
+	SlowHandler(slow).ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/debug/slow", nil))
+	var sd slowDTO
+	if err := json.Unmarshal(w.Body.Bytes(), &sd); err != nil {
+		t.Fatal(err)
+	}
+	if len(sd.Entries) != 1 || sd.Entries[0].Op != "submit" || sd.Entries[0].Stages["search"] != 2 {
+		t.Fatalf("slow dto: %+v", sd)
+	}
+
+	// threshold retune via query param
+	w = httptest.NewRecorder()
+	SlowHandler(slow).ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/debug/slow?threshold=1s", nil))
+	if slow.Threshold() != time.Second {
+		t.Fatalf("threshold = %v, want 1s", slow.Threshold())
+	}
+	w = httptest.NewRecorder()
+	SlowHandler(slow).ServeHTTP(w, httptest.NewRequest("GET", "/api/v1/debug/slow?threshold=bogus", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad threshold must 400, got %d", w.Code)
+	}
+}
+
+func TestInstrumentMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	slow := NewSlowLog(0) // capture everything
+	h := Instrument(reg, slow, "/api/v1/test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`pivote_http_request_seconds_count{route="/api/v1/test"} 1`,
+		`pivote_http_requests_total{route="/api/v1/test",class="2xx"} 1`,
+		"pivote_http_inflight 0",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if n := len(slow.Entries()); n != 1 {
+		t.Fatalf("slow entries = %d, want 1", n)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value pair on a series.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// series is one (name, labels) instrument plus its kind-specific
+// payload. Exactly one of c/g/gf/h is set.
+type series struct {
+	labels   []Label
+	labelKey string // canonical "k1=v1,k2=v2" sort key
+	c        *Counter
+	g        *Gauge
+	gf       func() float64
+	h        *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	series []*series
+}
+
+// Registry holds families of metrics and renders them. Registration is
+// get-or-create: asking twice for the same (name, labels) returns the
+// same instrument, so test fixtures that build many Stores or Routers
+// per process share series instead of panicking. Asking for an
+// existing name with a different kind panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// Default is the process-wide registry that the instrumented packages
+// register into and that /metrics serves.
+var Default = NewRegistry()
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup finds or creates the series for (name, labels), verifying the
+// family kind. create is called with the registry lock held.
+func (r *Registry) lookup(name, help, kind string, labels []Label, create func(*series)) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	for _, s := range f.series {
+		if s.labelKey == key {
+			return s
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...), labelKey: key}
+	create(s)
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labelKey < f.series[j].labelKey })
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, "counter", labels, func(s *series) { s.c = newCounter() })
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: series %q{%s} is not a counter", name, labelKey(labels)))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, "gauge", labels, func(s *series) { s.g = newGauge() })
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: series %q{%s} is not a settable gauge", name, labelKey(labels)))
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering the same (name, labels) replaces the function — the
+// newest owner wins, which is what repeated fixture construction
+// wants.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, "gauge", labels, func(s *series) {})
+	r.mu.Lock()
+	s.gf = fn
+	s.g = nil
+	r.mu.Unlock()
+}
+
+// Histogram returns the duration histogram for (name, labels),
+// creating it on first use.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.histogram(name, help, UnitSeconds, labels)
+}
+
+// ValueHistogram returns a unit-less histogram (batch sizes, fan-out
+// widths) for (name, labels).
+func (r *Registry) ValueHistogram(name, help string, labels ...Label) *Histogram {
+	return r.histogram(name, help, UnitCount, labels)
+}
+
+func (r *Registry) histogram(name, help string, u Unit, labels []Label) *Histogram {
+	s := r.lookup(name, help, "histogram", labels, func(s *series) { s.h = newHistogram(u) })
+	if s.h == nil || s.h.unit != u {
+		panic(fmt.Sprintf("obs: series %q{%s} histogram unit mismatch", name, labelKey(labels)))
+	}
+	return s.h
+}
+
+// snapshotFamilies copies the family list under the lock so encoding
+// (which may call GaugeFuncs that take other locks) runs without it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		ff := &family{name: f.name, help: f.help, kind: f.kind,
+			series: append([]*series(nil), f.series...)}
+		fams = append(fams, ff)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// slowLogSize is the ring capacity. Power of two so the slot index is
+// a mask.
+const slowLogSize = 256
+
+// SlowEntry is one captured slow request, rendered for the
+// /api/v1/debug/slow surface. Stage times are milliseconds; stages the
+// request never entered are omitted.
+type SlowEntry struct {
+	UnixMs  int64              `json:"unixMs"`
+	Route   string             `json:"route"`
+	Op      string             `json:"op,omitempty"`
+	Status  int                `json:"status"`
+	TotalMs float64            `json:"totalMs"`
+	Stages  map[string]float64 `json:"stagesMs,omitempty"`
+}
+
+// slowRec is the immutable captured payload. Writers publish a fresh
+// one with an atomic pointer store; readers load and render. Stage
+// times stay as the raw nanosecond array — the JSON map is built only
+// at serve time.
+type slowRec struct {
+	when   int64 // unix nanos
+	status int
+	total  int64
+	route  string
+	op     string
+	stages [NumStages]int64
+}
+
+// SlowLog is a lock-free ring of the most recent requests that
+// exceeded the threshold. The request path takes no lock: a writer
+// claims a slot with one atomic add and publishes an immutable record
+// with one atomic store. The single allocation happens only for
+// requests that are already slow, never on the hot path.
+type SlowLog struct {
+	threshold atomic.Int64
+	next      atomic.Uint64
+	slots     [slowLogSize]atomic.Pointer[slowRec]
+}
+
+// NewSlowLog returns a ring that captures requests slower than
+// threshold. A zero threshold captures everything; a negative one
+// disables capture.
+func NewSlowLog(threshold time.Duration) *SlowLog {
+	l := &SlowLog{}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// DefaultSlowThreshold is the capture threshold processes start with;
+// cmd/pivote's -slow-query flag overrides it.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// SlowQueries is the process-wide slow-request ring served at
+// /api/v1/debug/slow.
+var SlowQueries = NewSlowLog(DefaultSlowThreshold)
+
+// Threshold returns the current capture threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// SetThreshold replaces the capture threshold.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.threshold.Store(int64(d)) }
+
+// Record captures one request if total exceeds the threshold. rec may
+// be nil (no stage breakdown). Safe for concurrent writers: each
+// claims a distinct slot.
+func (l *SlowLog) Record(route, op string, status int, total time.Duration, rec *Recorder) {
+	th := l.threshold.Load()
+	if th < 0 || total < time.Duration(th) {
+		return
+	}
+	r := &slowRec{
+		when:   time.Now().UnixNano(),
+		status: status,
+		total:  int64(total),
+		route:  route,
+		op:     op,
+	}
+	if rec != nil {
+		r.stages = rec.stages
+	}
+	i := (l.next.Add(1) - 1) & (slowLogSize - 1)
+	l.slots[i].Store(r)
+}
+
+// Entries returns the captured requests, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	head := l.next.Load()
+	n := head
+	if n > slowLogSize {
+		n = slowLogSize
+	}
+	out := make([]SlowEntry, 0, n)
+	for k := uint64(0); k < n; k++ {
+		i := (head - 1 - k) & (slowLogSize - 1)
+		r := l.slots[i].Load()
+		if r == nil {
+			continue
+		}
+		e := SlowEntry{
+			UnixMs:  r.when / int64(time.Millisecond),
+			Route:   r.route,
+			Op:      r.op,
+			Status:  r.status,
+			TotalMs: float64(r.total) / 1e6,
+		}
+		for st := Stage(0); st < NumStages; st++ {
+			if v := r.stages[st]; v > 0 {
+				if e.Stages == nil {
+					e.Stages = make(map[string]float64, int(NumStages))
+				}
+				e.Stages[st.String()] = float64(v) / 1e6
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(100 * time.Millisecond)
+	l.Record("/a", "", 200, 50*time.Millisecond, nil)
+	if len(l.Entries()) != 0 {
+		t.Fatal("fast request must not be captured")
+	}
+	l.Record("/a", "submit", 200, 150*time.Millisecond, nil)
+	es := l.Entries()
+	if len(es) != 1 || es[0].Route != "/a" || es[0].TotalMs != 150 {
+		t.Fatalf("entries = %+v", es)
+	}
+	l.SetThreshold(-1)
+	l.Record("/a", "", 200, time.Hour, nil)
+	if len(l.Entries()) != 1 {
+		t.Fatal("negative threshold must disable capture")
+	}
+}
+
+func TestSlowLogWrapAndOrder(t *testing.T) {
+	l := NewSlowLog(0)
+	for i := 0; i < slowLogSize+10; i++ {
+		l.Record(fmt.Sprintf("/r%d", i), "", 200, time.Duration(i+1)*time.Millisecond, nil)
+	}
+	es := l.Entries()
+	if len(es) != slowLogSize {
+		t.Fatalf("entries = %d, want %d", len(es), slowLogSize)
+	}
+	// Newest first: the last write was /r<size+9>.
+	if want := fmt.Sprintf("/r%d", slowLogSize+9); es[0].Route != want {
+		t.Fatalf("newest = %q, want %q", es[0].Route, want)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].TotalMs <= es[i].TotalMs {
+			t.Fatalf("order broken at %d: %g then %g", i, es[i-1].TotalMs, es[i].TotalMs)
+		}
+	}
+}
+
+// TestSlowLogConcurrent hammers writers against readers; run with
+// -race this doubles as the lock-freedom proof.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := new(Recorder)
+			rec.Add(StageSearch, time.Millisecond)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Record(fmt.Sprintf("/w%d", w), "submit", 200, time.Duration(i)*time.Microsecond, rec)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range l.Entries() {
+					if e.Route == "" {
+						t.Error("torn entry: empty route")
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,51 @@
+package obs
+
+// SeriesStats is one series in the JSON stats surface — the same data
+// /metrics exposes, pre-digested (quantiles instead of buckets) for
+// humans and dashboards that do not speak PromQL.
+type SeriesStats struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	Value  *float64          `json:"value,omitempty"` // counter / gauge
+	Count  *uint64           `json:"count,omitempty"` // histogram
+	Sum    *float64          `json:"sum,omitempty"`
+	P50    *float64          `json:"p50,omitempty"`
+	P90    *float64          `json:"p90,omitempty"`
+	P99    *float64          `json:"p99,omitempty"`
+}
+
+// Stats digests every registered series. Histogram quantiles are
+// bucket-interpolated estimates (log₂ boundaries), good to roughly a
+// factor of two — enough to spot a p99 cliff.
+func (r *Registry) Stats() []SeriesStats {
+	var out []SeriesStats
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
+			st := SeriesStats{Name: f.name, Type: f.kind}
+			if len(s.labels) > 0 {
+				st.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					st.Labels[l.Key] = l.Value
+				}
+			}
+			switch {
+			case s.c != nil:
+				v := float64(s.c.Value())
+				st.Value = &v
+			case s.g != nil:
+				v := float64(s.g.Value())
+				st.Value = &v
+			case s.gf != nil:
+				v := s.gf()
+				st.Value = &v
+			case s.h != nil:
+				_, sum, total := s.h.snapshot()
+				p50, p90, p99 := s.h.Quantile(0.50), s.h.Quantile(0.90), s.h.Quantile(0.99)
+				st.Count, st.Sum, st.P50, st.P90, st.P99 = &total, &sum, &p50, &p90, &p99
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}

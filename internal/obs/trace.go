@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Stage names one timed section of a request's life. The engine
+// records the four paper stages; the router adds its scatter/merge
+// span when a request fans out.
+type Stage uint8
+
+const (
+	// StageSearch is keyword search over the inverted index.
+	StageSearch Stage = iota
+	// StageExpand is candidate expansion: extent scatter + r(e,Q).
+	StageExpand
+	// StageRank is semantic-feature ranking (r(π,Q) over Φ(Q)).
+	StageRank
+	// StageHeatmap is heat-map matrix assembly.
+	StageHeatmap
+	// StageScatter is the router's shard/replica fan-out + merge.
+	StageScatter
+	// NumStages bounds the per-recorder stage array.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"search", "expand", "rank", "heatmap", "scatter"}
+
+// String returns the stage's metric label.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Recorder accumulates per-stage wall time for one request. It is a
+// fixed array of nanosecond accumulators — no map, no allocation after
+// construction — and is pooled by the HTTP middleware. A Recorder is
+// used by one request at a time; stages within a request may run
+// sequentially from different goroutines, but never concurrently, so
+// plain int64s suffice.
+type Recorder struct {
+	op     string
+	stages [NumStages]int64
+}
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.op = ""
+	for i := range r.stages {
+		r.stages[i] = 0
+	}
+}
+
+// SetOp tags the recorder with the op kind being applied ("submit",
+// "pivot", ...) for the slow-query log.
+func (r *Recorder) SetOp(op string) {
+	if r != nil {
+		r.op = op
+	}
+}
+
+// Op returns the tag set by SetOp.
+func (r *Recorder) Op() string {
+	if r == nil {
+		return ""
+	}
+	return r.op
+}
+
+// Add accumulates d into stage s. Nil recorders are inert, so call
+// sites need no guard.
+func (r *Recorder) Add(s Stage, d time.Duration) {
+	if r != nil && s < NumStages {
+		r.stages[s] += int64(d)
+	}
+}
+
+// Get returns the accumulated time for stage s.
+func (r *Recorder) Get(s Stage) time.Duration {
+	if r == nil || s >= NumStages {
+		return 0
+	}
+	return time.Duration(r.stages[s])
+}
+
+type recorderKey struct{}
+
+// WithRecorder attaches rec to ctx so engine internals can find it.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// RecorderOf returns the recorder attached to ctx, or nil.
+func RecorderOf(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return rec
+}

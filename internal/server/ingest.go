@@ -8,6 +8,7 @@ import (
 
 	"pivote/internal/core"
 	"pivote/internal/live"
+	"pivote/internal/obs"
 )
 
 // The live-ingest surface of /api/v1:
@@ -54,7 +55,7 @@ type LiveStats struct {
 	// instead of compacting locally (zero on unreplicated nodes).
 	Adoptions uint64 `json:"adoptions,omitempty"`
 	Triples   int    `json:"triples"`
-	Entities   int    `json:"entities"`
+	Entities  int    `json:"entities"`
 	// CatalogFeatures is the size of the current generation's dense
 	// FeatureID space — the frozen semantic-feature catalog.
 	CatalogFeatures int `json:"catalogFeatures"`
@@ -63,6 +64,13 @@ type LiveStats struct {
 	// when a catalog is present).
 	CacheCarried int `json:"cacheCarried"`
 	CacheDropped int `json:"cacheDropped"`
+	// UptimeSeconds, GoVersion and Revision identify the serving
+	// process: how long it has been up and exactly what it is running
+	// (toolchain + VCS revision from the build stamp, empty when the
+	// binary carries none).
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	GoVersion     string  `json:"goVersion,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
 }
 
 // liveStore returns the generational store when ingest is enabled, or a
@@ -156,6 +164,7 @@ func (s *Server) handleV1LiveStats(w http.ResponseWriter, r *http.Request) {
 	if v.Gen.Catalog != nil {
 		nFeatures = v.Gen.Catalog.NumFeatures()
 	}
+	goVer, rev := obs.BuildInfo()
 	writeJSON(w, http.StatusOK, LiveStats{
 		Enabled:         sh.IngestEnabled(),
 		Generation:      v.Gen.ID,
@@ -167,5 +176,8 @@ func (s *Server) handleV1LiveStats(w http.ResponseWriter, r *http.Request) {
 		CatalogFeatures: nFeatures,
 		CacheCarried:    carry.Carried,
 		CacheDropped:    carry.Dropped,
+		UptimeSeconds:   obs.Uptime().Seconds(),
+		GoVersion:       goVer,
+		Revision:        rev,
 	})
 }

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pivote/internal/obs"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestMetricsSurface: the three observability endpoints are served by
+// the Multi front door without minting sessions, and /metrics carries
+// engine-stage, live-store and HTTP route series after traffic.
+func TestMetricsSurface(t *testing.T) {
+	ts, _, _ := newLiveServer(t)
+
+	// Drive one query through the op protocol so stage histograms move.
+	resp := postJSON(t, ts.URL+"/api/v1/ops", map[string]interface{}{
+		"ops": []map[string]interface{}{{"op": "submit", "keywords": "forrest gump"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, series := range []string{
+		`pivote_engine_stage_seconds_count{stage="search"}`,
+		`pivote_engine_stage_seconds_count{stage="rank"}`,
+		`pivote_engine_stage_seconds_count{stage="heatmap"}`,
+		`pivote_ops_total{kind="submit"}`,
+		`pivote_http_request_seconds_count{route="POST /api/v1/ops"}`,
+		`pivote_http_requests_total{route="POST /api/v1/ops",class="2xx"}`,
+		"pivote_live_generation",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing series %q", series)
+		}
+	}
+
+	code, body = getBody(t, ts.URL+"/api/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/stats status %d", code)
+	}
+	var stats struct {
+		UptimeSeconds float64           `json:"uptimeSeconds"`
+		Series        []json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.UptimeSeconds <= 0 || len(stats.Series) == 0 {
+		t.Fatalf("stats dto: uptime=%v series=%d", stats.UptimeSeconds, len(stats.Series))
+	}
+
+	code, _ = getBody(t, ts.URL+"/api/v1/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/debug/slow status %d", code)
+	}
+}
+
+// TestMetricsNoSession: scraping must not mint session cookies — a
+// Prometheus scraper polling every few seconds would otherwise evict
+// interactive sessions from the LRU.
+func TestMetricsNoSession(t *testing.T) {
+	ts, _, _ := newLiveServer(t)
+	for _, path := range []string{"/metrics", "/api/v1/stats", "/api/v1/debug/slow"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, c := range resp.Cookies() {
+			if c.Name == sessionCookie {
+				t.Errorf("%s minted a session cookie", path)
+			}
+		}
+	}
+}
+
+// TestLiveStatsBuildInfo: the /api/v1/live satellite fields.
+func TestLiveStatsBuildInfo(t *testing.T) {
+	ts, _, _ := newLiveServer(t)
+	code, body := getBody(t, ts.URL+"/api/v1/live")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/live status %d", code)
+	}
+	var ls LiveStats
+	if err := json.Unmarshal([]byte(body), &ls); err != nil {
+		t.Fatal(err)
+	}
+	if ls.UptimeSeconds <= 0 {
+		t.Fatalf("uptimeSeconds = %v, want > 0", ls.UptimeSeconds)
+	}
+	if ls.GoVersion == "" {
+		t.Fatal("goVersion missing (ReadBuildInfo should always carry it)")
+	}
+}
+
+// TestSlowQueryCapture: with the threshold at zero every request is
+// captured with its stage breakdown and op tag.
+func TestSlowQueryCapture(t *testing.T) {
+	ts, _, _ := newLiveServer(t)
+	old := obs.SlowQueries.Threshold()
+	obs.SlowQueries.SetThreshold(0)
+	defer obs.SlowQueries.SetThreshold(old)
+
+	resp := postJSON(t, ts.URL+"/api/v1/ops", map[string]interface{}{
+		"ops": []map[string]interface{}{{"op": "submit", "keywords": "forrest gump"}},
+	})
+	resp.Body.Close()
+
+	code, body := getBody(t, ts.URL+"/api/v1/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("slow status %d", code)
+	}
+	var dto struct {
+		Entries []obs.SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &dto); err != nil {
+		t.Fatal(err)
+	}
+	var found *obs.SlowEntry
+	for i := range dto.Entries {
+		if dto.Entries[i].Route == "POST /api/v1/ops" && dto.Entries[i].Op == "submit" {
+			found = &dto.Entries[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no captured submit entry in %d slow entries", len(dto.Entries))
+	}
+	if found.Status != http.StatusOK || found.TotalMs <= 0 {
+		t.Fatalf("slow entry: %+v", *found)
+	}
+	if found.Stages["search"] <= 0 {
+		t.Fatalf("slow entry missing search stage: %+v", found.Stages)
+	}
+}
+
+// TestMetricsScrapeHammer races /metrics + /api/v1/stats +
+// /api/v1/debug/slow scrapes against concurrent ingest and forced
+// compaction swaps. Run with -race this is the acceptance hammer for
+// the scrape-vs-write paths.
+func TestMetricsScrapeHammer(t *testing.T) {
+	ts, _, _ := newLiveServer(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: ingest batches, forcing a compaction swap every few.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nt := fmt.Sprintf(`<http://pivote.dev/resource/Hammer_%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://pivote.dev/ontology/Film> .`, i)
+			resp := postJSON(t, ts.URL+"/api/v1/ingest", map[string]interface{}{
+				"add":     nt,
+				"compact": i%5 == 4,
+			})
+			resp.Body.Close()
+		}
+	}()
+
+	// Readers: queries keep the stage histograms hot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp := postJSON(t, ts.URL+"/api/v1/ops", map[string]interface{}{
+				"ops": []map[string]interface{}{{"op": "submit", "keywords": "forrest gump"}},
+			})
+			resp.Body.Close()
+		}
+	}()
+
+	// Scrapers.
+	for _, path := range []string{"/metrics", "/api/v1/stats", "/api/v1/debug/slow", "/api/v1/live"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The scrape after the dust settles must show swap activity.
+	_, body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "pivote_live_swaps_total") {
+		t.Fatal("no swap series after hammer")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"pivote/internal/core"
 	"pivote/internal/kg"
+	"pivote/internal/obs"
 	"pivote/internal/rdf"
 	"pivote/internal/search"
 	"pivote/internal/semfeat"
@@ -48,37 +49,45 @@ func NewWithShared(sh *core.Shared, opts core.Options) *Server {
 }
 
 // Handler returns the HTTP handler: the versioned operation protocol
-// under /api/v1/, the legacy single-op JSON API under /api/, and the
-// embedded UI at /. Both API generations drive the same Engine.Apply
-// entry point; the legacy routes survive as one-op conveniences.
+// under /api/v1/, the legacy single-op JSON API under /api/, the
+// observability surface (/metrics, /api/v1/stats, /api/v1/debug/slow),
+// and the embedded UI at /. Both API generations drive the same
+// Engine.Apply entry point; the legacy routes survive as one-op
+// conveniences. Every API route is wrapped in the obs middleware: a
+// per-route latency histogram + status-class counter, a pooled stage
+// Recorder on the request context, and slow-query capture.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(obs.Default, obs.SlowQueries, pattern, h))
+	}
 	mux.HandleFunc("GET /{$}", s.handleUI)
-	mux.HandleFunc("POST /api/v1/ops", s.handleV1Ops)
-	mux.HandleFunc("GET /api/v1/state", s.handleV1State)
-	mux.HandleFunc("POST /api/v1/ingest", s.handleV1Ingest)
-	mux.HandleFunc("POST /api/v1/compact", s.handleV1Compact)
-	mux.HandleFunc("GET /api/v1/snapshot", s.handleV1Snapshot)
-	mux.HandleFunc("POST /api/v1/adopt", s.handleV1Adopt)
-	mux.HandleFunc("GET /api/v1/live", s.handleV1LiveStats)
-	mux.HandleFunc("GET /api/v1/session", s.handleV1SessionSave)
-	mux.HandleFunc("POST /api/v1/session", s.handleV1SessionLoad)
-	mux.HandleFunc("GET /api/state", s.handleState)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/entity/add", s.entityOp(core.OpAddSeed))
-	mux.HandleFunc("POST /api/entity/remove", s.entityOp(core.OpRemoveSeed))
-	mux.HandleFunc("POST /api/pivot", s.entityOp(core.OpPivot))
-	mux.HandleFunc("POST /api/feature/add", s.featureOp(core.OpAddFeature))
-	mux.HandleFunc("POST /api/feature/remove", s.featureOp(core.OpRemoveFeature))
-	mux.HandleFunc("POST /api/revisit", s.handleRevisit)
-	mux.HandleFunc("GET /api/profile", s.handleProfile)
-	mux.HandleFunc("GET /api/heatmap.svg", s.handleHeatmapSVG)
-	mux.HandleFunc("GET /api/path.svg", s.handlePathSVG)
-	mux.HandleFunc("GET /api/path.dot", s.handlePathDOT)
-	mux.HandleFunc("GET /api/suggest", s.handleSuggest)
-	mux.HandleFunc("GET /api/explain", s.handleExplain)
-	mux.HandleFunc("GET /api/session/save", s.handleSessionSave)
-	mux.HandleFunc("POST /api/session/load", s.handleSessionLoad)
+	handle("POST /api/v1/ops", s.handleV1Ops)
+	handle("GET /api/v1/state", s.handleV1State)
+	handle("POST /api/v1/ingest", s.handleV1Ingest)
+	handle("POST /api/v1/compact", s.handleV1Compact)
+	handle("GET /api/v1/snapshot", s.handleV1Snapshot)
+	handle("POST /api/v1/adopt", s.handleV1Adopt)
+	handle("GET /api/v1/live", s.handleV1LiveStats)
+	handle("GET /api/v1/session", s.handleV1SessionSave)
+	handle("POST /api/v1/session", s.handleV1SessionLoad)
+	handle("GET /api/state", s.handleState)
+	handle("POST /api/query", s.handleQuery)
+	handle("POST /api/entity/add", s.entityOp(core.OpAddSeed))
+	handle("POST /api/entity/remove", s.entityOp(core.OpRemoveSeed))
+	handle("POST /api/pivot", s.entityOp(core.OpPivot))
+	handle("POST /api/feature/add", s.featureOp(core.OpAddFeature))
+	handle("POST /api/feature/remove", s.featureOp(core.OpRemoveFeature))
+	handle("POST /api/revisit", s.handleRevisit)
+	handle("GET /api/profile", s.handleProfile)
+	handle("GET /api/heatmap.svg", s.handleHeatmapSVG)
+	handle("GET /api/path.svg", s.handlePathSVG)
+	handle("GET /api/path.dot", s.handlePathDOT)
+	handle("GET /api/suggest", s.handleSuggest)
+	handle("GET /api/explain", s.handleExplain)
+	handle("GET /api/session/save", s.handleSessionSave)
+	handle("POST /api/session/load", s.handleSessionLoad)
+	obs.MetricsRoutes(mux, obs.Default, obs.SlowQueries)
 	return mux
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"pivote/internal/core"
 	"pivote/internal/kg"
+	"pivote/internal/obs"
 )
 
 // Multi serves independent PivotE sessions to multiple users over one
@@ -74,7 +75,24 @@ func (m *Multi) SessionCount() int {
 // Handler returns the dispatching handler: it assigns a session cookie on
 // first contact and routes every request to that session's engine.
 func (m *Multi) Handler() http.Handler {
+	metrics := obs.MetricsHandler(obs.Default)
+	stats := obs.StatsHandler(obs.Default)
+	slow := obs.SlowHandler(obs.SlowQueries)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The observability surface is session-free: a Prometheus
+		// scraper hitting /metrics every few seconds must not mint
+		// cookies and churn real sessions out of the LRU.
+		if r.Method == http.MethodGet && obs.IsMetricsPath(r.URL.Path) {
+			switch r.URL.Path {
+			case "/metrics":
+				metrics.ServeHTTP(w, r)
+			case "/api/v1/stats":
+				stats.ServeHTTP(w, r)
+			default:
+				slow.ServeHTTP(w, r)
+			}
+			return
+		}
 		token := ""
 		if c, err := r.Cookie(sessionCookie); err == nil && c.Value != "" {
 			token = c.Value

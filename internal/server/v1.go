@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"pivote/internal/core"
+	"pivote/internal/obs"
 )
 
 // GenerationHeader carries the generation a state-bearing response was
@@ -134,6 +135,17 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ops = append(ops, op)
+	}
+	// Tag the request's stage recorder with the op kind so slow-query
+	// entries say what kind of turn was slow, not just which route.
+	if rec := obs.RecorderOf(r.Context()); rec != nil {
+		switch len(ops) {
+		case 0:
+		case 1:
+			rec.SetOp(string(ops[0].Kind))
+		default:
+			rec.SetOp("batch")
+		}
 	}
 	s.mu.Lock()
 	res, applied, err := s.eng.ApplyOps(r.Context(), ops, fields)

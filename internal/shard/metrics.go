@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"pivote/internal/obs"
+)
+
+// Router-side observability: the scatter path (per-shard, per-replica
+// latency), the resilience machinery (retries, failovers, breaker
+// transitions, dirty marks, generation re-reads) and the rolling-swap
+// protocol phases. Everything registers into obs.Default so a router
+// process exposes one merged /metrics with whatever else it hosts
+// (in-process clusters share the registry with their shard nodes —
+// series are process-wide, and deltas are what tests assert on).
+var (
+	mRetries = obs.Default.Counter("pivote_router_retries_total",
+		"Same-replica retry attempts after a transport failure.")
+	mFailovers = obs.Default.Counter("pivote_router_failovers_total",
+		"Requests that moved on to another replica after one failed.")
+	mBreakerOpens = obs.Default.Counter("pivote_router_breaker_open_total",
+		"Circuit-breaker open transitions (replica taken out of rotation).")
+	mBreakerCloses = obs.Default.Counter("pivote_router_breaker_close_total",
+		"Circuit-breaker close transitions (replica back in rotation).")
+	mDirtyMarks = obs.Default.Counter("pivote_router_dirty_total",
+		"Replicas marked diverged (excluded from reads until resynced).")
+	mGenRereads = obs.Default.Counter("pivote_router_genreread_total",
+		"State re-reads because shards answered from mixed generations.")
+	mSwapPhase = map[string]*obs.Histogram{
+		"prepare": swapPhaseHist("prepare"),
+		"fetch":   swapPhaseHist("fetch"),
+		"adopt":   swapPhaseHist("adopt"),
+		"total":   swapPhaseHist("total"),
+	}
+)
+
+func swapPhaseHist(phase string) *obs.Histogram {
+	return obs.Default.Histogram("pivote_router_swap_seconds",
+		"Rolling-swap phase durations (prepare=primary compaction, fetch=snapshot download, adopt=parallel push, total=whole protocol).",
+		obs.L("phase", phase))
+}
+
+// scatterHist builds the per-(shard, replica) latency grid once at
+// router construction — the scatter hot path then indexes a slice
+// instead of taking the registry lock.
+func scatterHist(shards [][]string) [][]*obs.Histogram {
+	hs := make([][]*obs.Histogram, len(shards))
+	for k := range shards {
+		hs[k] = make([]*obs.Histogram, len(shards[k]))
+		for r := range shards[k] {
+			hs[k][r] = obs.Default.Histogram("pivote_router_scatter_seconds",
+				"Per-replica shard request latency (all attempts of one logical send).",
+				obs.L("shard", strconv.Itoa(k)), obs.L("replica", strconv.Itoa(r)))
+		}
+	}
+	return hs
+}
+
+// shardStart returns the clock, or zero when instrumentation is off.
+func shardStart() time.Time {
+	if !obs.On() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// shardEnd observes t0..now into h; a zero t0 (instrumentation off at
+// entry) or nil histogram records nothing.
+func shardEnd(h *obs.Histogram, t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0))
+}

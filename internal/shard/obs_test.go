@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pivote/internal/core"
+	"pivote/internal/kgtest"
+)
+
+// TestRouterMetricsSurface: the router process shape serves /metrics
+// (so one scrape config covers routers and shard nodes alike) and its
+// resilience counters move when faults are injected — breaker trips
+// from the chaos machinery must be visible to monitoring, not just to
+// the health endpoint.
+func TestRouterMetricsSurface(t *testing.T) {
+	f := kgtest.Build()
+	fault := NewFaultTransport(nil)
+	cl := NewCluster(f.Graph, ClusterConfig{
+		Shards:   2,
+		Replicas: 2,
+		Opts:     core.Options{},
+		Live:     true,
+		Router:   chaosOpts(),
+		Fault:    fault,
+	})
+	t.Cleanup(func() { _ = cl.Close() })
+	ts := httptest.NewServer(cl.Handler())
+	t.Cleanup(ts.Close)
+
+	opensBefore := mBreakerOpens.Value()
+	failoversBefore := mFailovers.Value()
+
+	// Kill one replica of shard 0 and drive enough reads through to
+	// trip its breaker (threshold 2 in chaosOpts).
+	fault.Kill(chaosHost(0, 0))
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL + "/api/v1/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("state with one replica dead: status %d", resp.StatusCode)
+		}
+	}
+
+	if d := mBreakerOpens.Value() - opensBefore; d == 0 {
+		t.Error("breaker open transitions not counted under injected faults")
+	}
+	if d := mFailovers.Value() - failoversBefore; d == 0 {
+		t.Error("failovers not counted under injected faults")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body := string(b)
+	for _, series := range []string{
+		"pivote_router_breaker_open_total",
+		"pivote_router_failovers_total",
+		"pivote_router_retries_total",
+		`pivote_router_scatter_seconds_count{shard="0",replica="1"}`,
+		"pivote_live_generation", // in-process nodes share the registry
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("router /metrics missing series %q", series)
+		}
+	}
+
+	// Revive and let the half-open probe close the breaker.
+	fault.Revive(chaosHost(0, 0))
+}
+
+// TestRouterSwapMetrics: a coordinated rolling swap records every
+// protocol phase.
+func TestRouterSwapMetrics(t *testing.T) {
+	f := kgtest.Build()
+	cl := NewCluster(f.Graph, ClusterConfig{
+		Shards:   2,
+		Replicas: 2,
+		Opts:     core.Options{},
+		Live:     true,
+		Router:   chaosOpts(),
+	})
+	t.Cleanup(func() { _ = cl.Close() })
+	ts := httptest.NewServer(cl.Handler())
+	t.Cleanup(ts.Close)
+
+	totalBefore := mSwapPhase["total"].Count()
+	nt := `<http://pivote.dev/resource/SwapMetric_1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://pivote.dev/ontology/Film> .`
+	resp, err := http.Post(ts.URL+"/api/v1/ingest", "text/plain", strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d", resp.StatusCode)
+	}
+
+	for _, phase := range []string{"prepare", "fetch", "adopt", "total"} {
+		if mSwapPhase[phase].Count() == 0 {
+			t.Errorf("swap phase %q never observed", phase)
+		}
+	}
+	if mSwapPhase["total"].Count() == totalBefore {
+		t.Error("rolling swap did not record a total-phase observation")
+	}
+}

@@ -33,20 +33,29 @@ type replicaHealth struct {
 
 func (h *replicaHealth) recordSuccess() {
 	h.mu.Lock()
+	closed := !h.openUntil.IsZero()
 	h.seen, h.healthy, h.lastErr = true, true, ""
 	h.fails = 0
 	h.openUntil = time.Time{}
 	h.mu.Unlock()
+	if closed {
+		mBreakerCloses.Inc()
+	}
 }
 
 func (h *replicaHealth) recordFailure(msg string, threshold int, cooldown time.Duration) {
 	h.mu.Lock()
 	h.seen, h.healthy, h.lastErr = true, false, msg
 	h.fails++
+	opened := false
 	if h.fails >= threshold {
+		opened = h.openUntil.IsZero()
 		h.openUntil = time.Now().Add(cooldown)
 	}
 	h.mu.Unlock()
+	if opened {
+		mBreakerOpens.Inc()
+	}
 }
 
 // available reports whether the breaker admits a request right now. An
@@ -61,8 +70,12 @@ func (h *replicaHealth) available() bool {
 
 func (h *replicaHealth) markDirty(why string) {
 	h.mu.Lock()
+	fresh := !h.dirty
 	h.dirty, h.dirtyWhy = true, why
 	h.mu.Unlock()
+	if fresh {
+		mDirtyMarks.Inc()
+	}
 }
 
 func (h *replicaHealth) clearDirty() {

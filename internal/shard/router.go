@@ -17,6 +17,7 @@ import (
 
 	"pivote/internal/core"
 	"pivote/internal/errs"
+	"pivote/internal/obs"
 	"pivote/internal/server"
 )
 
@@ -132,6 +133,11 @@ type Router struct {
 
 	health [][]*replicaHealth
 
+	// scatter is the per-(shard, replica) request-latency grid, built
+	// once at construction so the hot path indexes a slice instead of
+	// hitting the registry.
+	scatter [][]*obs.Histogram
+
 	// committed is the newest generation the rolling-swap protocol
 	// committed cluster-wide (every clean replica of every shard adopted
 	// it — the stores hold the full graph and partition at emission, so
@@ -209,13 +215,14 @@ func NewReplicatedRouter(urls [][]string, opts Options) *Router {
 		}
 	}
 	return &Router{
-		shards:    shards,
-		opts:      opts,
-		client:    &http.Client{Transport: transport},
-		sessions:  map[string]*routerSession{},
-		lru:       list.New(),
+		shards:   shards,
+		opts:     opts,
+		client:   &http.Client{Transport: transport},
+		sessions: map[string]*routerSession{},
+		lru:      list.New(),
 		ctrl:     ctrl,
 		health:   health,
+		scatter:  scatterHist(shards),
 	}
 }
 
@@ -246,6 +253,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/ingest", rt.handleIngest)
 	mux.HandleFunc("POST /api/v1/compact", rt.handleCompact)
 	mux.HandleFunc("GET /api/v1/live", rt.handleLive)
+	// The same observability surface a shard node serves, so one scrape
+	// config covers every process shape in the cluster.
+	obs.MetricsRoutes(mux, obs.Default, obs.SlowQueries)
 	return mux
 }
 
@@ -367,10 +377,14 @@ type shardOutcome struct {
 // client's.
 func (rt *Router) sendReplica(parent, ctx context.Context, k, r int, method, pathq string, body []byte, contentType, cookie string, retries int) (*shardResp, error) {
 	h := rt.health[k][r]
+	defer shardEnd(rt.scatter[k][r], shardStart())
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 && !rt.backoff(ctx, attempt) {
-			break // context ended during backoff; classified below
+		if attempt > 0 {
+			mRetries.Inc()
+			if !rt.backoff(ctx, attempt) {
+				break // context ended during backoff; classified below
+			}
 		}
 		resp, err := rt.sendOnce(ctx, k, r, method, pathq, body, contentType, cookie)
 		if err == nil {
@@ -516,13 +530,16 @@ func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method
 	var firstServerErr *shardResp
 	firstServerReplica := -1
 	var lastErr error
-	for _, r := range order {
+	for i, r := range order {
 		resp, err := rt.statefulReplica(ctx, reqCtx, rs, k, r, method, pathq, body, retries)
 		if err != nil {
 			if errs.KindOf(err) == errs.KindCanceled {
 				return nil, r, err
 			}
 			lastErr = err
+			if i < len(order)-1 {
+				mFailovers.Inc()
+			}
 			continue
 		}
 		if g, ok := resp.generation(); ok && resp.status == http.StatusOK && g < rt.committedGen() {
@@ -692,6 +709,7 @@ func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *
 		}
 		if !sameGeneration(outs) {
 			if attempt < genRetries {
+				mGenRereads.Inc()
 				rt.genPause(ctx)
 				continue
 			}

@@ -59,6 +59,7 @@ import (
 // compact response (relayed to the client, byte-identical to a
 // single-process compact since the report is deterministic).
 func (rt *Router) rollingSwap(ctx context.Context) (*shardResp, error) {
+	tTotal := shardStart()
 	reqCtx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
 	defer cancel()
 
@@ -70,6 +71,7 @@ func (rt *Router) rollingSwap(ctx context.Context) (*shardResp, error) {
 	pk, pr := -1, -1
 	var lastErr error
 	allDirty := true
+	tPrepare := shardStart()
 search:
 	for k := range rt.shards {
 		order, _ := rt.replicaOrder(k, 0)
@@ -100,6 +102,7 @@ search:
 	if resp.status != http.StatusOK {
 		return resp, nil
 	}
+	shardEnd(mSwapPhase["prepare"], tPrepare)
 	var report server.IngestResponse
 	if err := json.Unmarshal(resp.body, &report); err != nil {
 		return nil, errs.Errf(errs.KindInternal, "shard %d: bad compact response: %v", pk, err)
@@ -109,6 +112,7 @@ search:
 	// background-compacted past the forced generation between the two
 	// calls (threshold compaction is node-local); the snapshot's own
 	// generation header is authoritative for what the cluster adopts.
+	tFetch := shardStart()
 	snap, err := rt.ctrlReplica(ctx, reqCtx, pk, pr, http.MethodGet, "/api/v1/snapshot", nil, "", 1)
 	if err != nil || snap.status != http.StatusOK {
 		// The primary compacted but will not hand over the bytes, so the
@@ -122,6 +126,7 @@ search:
 		}
 		return nil, err
 	}
+	shardEnd(mSwapPhase["fetch"], tFetch)
 	adoptGen := report.Generation
 	if g, ok := snap.generation(); ok && g > adoptGen {
 		adoptGen = g
@@ -131,6 +136,7 @@ search:
 	// in parallel. Dirty replicas are forced (their local state is wrong
 	// by definition); clean replicas already at the generation — from a
 	// no-op compact, say — are skipped.
+	tAdopt := shardStart()
 	var wg sync.WaitGroup
 	for k := range rt.shards {
 		for r := range rt.shards[k] {
@@ -167,10 +173,12 @@ search:
 		}
 	}
 	wg.Wait()
+	shardEnd(mSwapPhase["adopt"], tAdopt)
 
 	// Commit: record the generation. Replicas later observed below it
 	// are known-stale and get routed around (see Router.stateful).
 	rt.commitGen(adoptGen)
+	shardEnd(mSwapPhase["total"], tTotal)
 	return resp, nil
 }
 

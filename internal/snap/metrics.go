@@ -1,0 +1,30 @@
+package snap
+
+import (
+	"time"
+
+	"pivote/internal/obs"
+)
+
+var (
+	mOpenFile = obs.Default.Histogram("pivote_snap_open_seconds",
+		"Snapshot open+verify latency by source.", obs.L("source", "file"))
+	mOpenBytes = obs.Default.Histogram("pivote_snap_open_seconds",
+		"Snapshot open+verify latency by source.", obs.L("source", "bytes"))
+	mWriteSeconds = obs.Default.Histogram("pivote_snap_write_seconds",
+		"Snapshot write latency (NewWriter through Close).")
+)
+
+func snapStart() time.Time {
+	if !obs.On() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func snapEnd(h *obs.Histogram, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0))
+}

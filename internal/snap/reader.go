@@ -30,6 +30,7 @@ type span struct {
 // unavailable (or fails), the file is read into memory instead —
 // copy-on-read, same format, same API.
 func Open(path string) (*Mapping, error) {
+	defer snapEnd(mOpenFile, snapStart())
 	data, mmapped, err := mapFile(path)
 	if err != nil {
 		return nil, err
@@ -48,6 +49,7 @@ func Open(path string) (*Mapping, error) {
 // and the transport path (a replica adopting a generation streamed from
 // a compactor). The Mapping aliases data; the caller must not modify it.
 func OpenBytes(data []byte) (*Mapping, error) {
+	defer snapEnd(mOpenBytes, snapStart())
 	return openBytes(data, false)
 }
 

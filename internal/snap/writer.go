@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64,
@@ -38,12 +39,16 @@ type Writer struct {
 	// chunk is the reused encode buffer for slice fields on hosts where
 	// a direct alias is impossible (big-endian) and for record encoding.
 	chunk []byte
+
+	// began anchors the write-latency observation; zero when the obs
+	// layer was off at construction.
+	began time.Time
 }
 
 // NewWriter wraps w. The caller owns w; Close flushes but does not
 // close it.
 func NewWriter(w io.Writer) *Writer {
-	sw := &Writer{bw: bufio.NewWriterSize(w, 1<<20), cur: -1}
+	sw := &Writer{bw: bufio.NewWriterSize(w, 1<<20), cur: -1, began: snapStart()}
 	sw.writeRaw([]byte(Magic))
 	sw.putU32(Version)
 	sw.putU32(layoutMarker)
@@ -235,7 +240,11 @@ func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.bw.Flush()
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	snapEnd(mWriteSeconds, w.began)
+	return nil
 }
 
 // writeFooter is writeRaw that also folds the bytes into the footer
