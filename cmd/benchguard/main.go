@@ -40,8 +40,33 @@ import (
 
 // result mirrors the fields of cmd/benchjson's output this tool reads.
 type result struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp *int64  `json:"allocs_per_op"`
+}
+
+// Gate metrics: ns/op is the default; allocs/op gates allocation-budget
+// wins (a codec that halves allocations must stay halved) and needs the
+// benchmark to have run with -benchmem.
+const (
+	metricNs     = "ns_per_op"
+	metricAllocs = "allocs_per_op"
+)
+
+// metricOf extracts the gated metric from a result; ok is false when the
+// result does not carry it (allocs/op without -benchmem).
+func metricOf(r result, metric string) (v float64, unit string, ok bool) {
+	switch metric {
+	case "", metricNs:
+		return r.NsPerOp, "ns/op", true
+	case metricAllocs:
+		if r.AllocsPerOp == nil {
+			return 0, "allocs/op", false
+		}
+		return float64(*r.AllocsPerOp), "allocs/op", true
+	default:
+		return 0, metric, false
+	}
 }
 
 func load(path string) (map[string]result, error) {
@@ -61,9 +86,10 @@ func load(path string) (map[string]result, error) {
 }
 
 // check compares the current run's benchmark curName against the
-// baseline file's baseName, returning a human-readable verdict and
-// whether the ratio is acceptable.
-func check(baseline, current map[string]result, baseName, curName string, maxRatio float64) (string, bool) {
+// baseline file's baseName on the given metric (ns_per_op when empty),
+// returning a human-readable verdict and whether the ratio is
+// acceptable.
+func check(baseline, current map[string]result, baseName, curName string, maxRatio float64, metric string) (string, bool) {
 	b, okB := baseline[baseName]
 	c, okC := current[curName]
 	switch {
@@ -71,12 +97,20 @@ func check(baseline, current map[string]result, baseName, curName string, maxRat
 		return fmt.Sprintf("benchguard: %q missing from baseline", baseName), false
 	case !okC:
 		return fmt.Sprintf("benchguard: %q missing from current run", curName), false
-	case b.NsPerOp <= 0:
-		return fmt.Sprintf("benchguard: baseline %q has non-positive ns/op", baseName), false
 	}
-	ratio := c.NsPerOp / b.NsPerOp
-	verdict := fmt.Sprintf("benchguard: %s %.0f ns/op vs baseline %s %.0f ns/op (%.2fx, limit %.2fx)",
-		curName, c.NsPerOp, baseName, b.NsPerOp, ratio, maxRatio)
+	bv, unit, okB := metricOf(b, metric)
+	cv, _, okC := metricOf(c, metric)
+	switch {
+	case !okB:
+		return fmt.Sprintf("benchguard: baseline %q has no %s", baseName, unit), false
+	case !okC:
+		return fmt.Sprintf("benchguard: current %q has no %s", curName, unit), false
+	case bv <= 0:
+		return fmt.Sprintf("benchguard: baseline %q has non-positive %s", baseName, unit), false
+	}
+	ratio := cv / bv
+	verdict := fmt.Sprintf("benchguard: %s %.0f %s vs baseline %s %.0f %s (%.2fx, limit %.2fx)",
+		curName, cv, unit, baseName, bv, unit, ratio, maxRatio)
 	return verdict, ratio <= maxRatio
 }
 
@@ -88,6 +122,9 @@ type gate struct {
 	Current       string  `json:"current"`
 	Bench         string  `json:"bench"`
 	MaxRatio      float64 `json:"max_ratio"`
+	// Metric selects what the ratio is computed over: "ns_per_op"
+	// (default) or "allocs_per_op".
+	Metric string `json:"metric,omitempty"`
 }
 
 // runGates evaluates every gate in the table, printing each verdict,
@@ -128,7 +165,7 @@ func runGates(gates []gate, print func(string)) bool {
 			allOK = false
 			continue
 		}
-		verdict, ok := check(baseline, current, baseName, gt.Bench, gt.MaxRatio)
+		verdict, ok := check(baseline, current, baseName, gt.Bench, gt.MaxRatio, gt.Metric)
 		print(verdict)
 		allOK = allOK && ok
 	}
@@ -140,7 +177,8 @@ func main() {
 	currentPath := flag.String("current", "", "benchjson file from this run")
 	bench := flag.String("bench", "", "benchmark name to compare (without the Benchmark prefix)")
 	baselineBench := flag.String("baseline-bench", "", "baseline benchmark name when it differs from -bench (in-run ratio gates)")
-	maxRatio := flag.Float64("max-ratio", 2, "fail when current ns/op exceeds baseline by this factor")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when the current metric exceeds baseline by this factor")
+	metric := flag.String("metric", metricNs, "metric the ratio is computed over: ns_per_op or allocs_per_op")
 	gatesPath := flag.String("gates", "", "JSON file with a table of gates to run instead of the single-flag mode")
 	flag.Parse()
 	if *gatesPath != "" {
@@ -180,7 +218,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	verdict, ok := check(baseline, current, *baselineBench, *bench, *maxRatio)
+	verdict, ok := check(baseline, current, *baselineBench, *bench, *maxRatio, *metric)
 	fmt.Println(verdict)
 	if !ok {
 		os.Exit(1)

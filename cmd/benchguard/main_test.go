@@ -19,7 +19,7 @@ func writeJSON(t *testing.T, dir, name, content string) string {
 func TestCheckWithinLimit(t *testing.T) {
 	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
 	current := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1900}}
-	verdict, ok := check(baseline, current, "Rank", "Rank", 2)
+	verdict, ok := check(baseline, current, "Rank", "Rank", 2, "")
 	if !ok {
 		t.Fatalf("1.9x should pass a 2x limit: %s", verdict)
 	}
@@ -31,7 +31,7 @@ func TestCheckWithinLimit(t *testing.T) {
 func TestCheckRegression(t *testing.T) {
 	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
 	current := map[string]result{"Rank": {Name: "Rank", NsPerOp: 2100}}
-	if verdict, ok := check(baseline, current, "Rank", "Rank", 2); ok {
+	if verdict, ok := check(baseline, current, "Rank", "Rank", 2, ""); ok {
 		t.Fatalf("2.1x must fail a 2x limit: %s", verdict)
 	}
 }
@@ -42,7 +42,7 @@ func TestCheckInRunRatio(t *testing.T) {
 		"Rank":      {Name: "Rank", NsPerOp: 1000},
 		"RankNaive": {Name: "RankNaive", NsPerOp: 5400},
 	}
-	verdict, ok := check(run, run, "RankNaive", "Rank", 0.5)
+	verdict, ok := check(run, run, "RankNaive", "Rank", 0.5, "")
 	if !ok {
 		t.Fatalf("5.4x speedup must pass a 0.5x in-run limit: %s", verdict)
 	}
@@ -50,21 +50,66 @@ func TestCheckInRunRatio(t *testing.T) {
 		"Rank":      {Name: "Rank", NsPerOp: 3000},
 		"RankNaive": {Name: "RankNaive", NsPerOp: 5400},
 	}
-	if verdict, ok := check(slow, slow, "RankNaive", "Rank", 0.5); ok {
+	if verdict, ok := check(slow, slow, "RankNaive", "Rank", 0.5, ""); ok {
 		t.Fatalf("0.56x must fail a 0.5x in-run limit: %s", verdict)
+	}
+}
+
+func TestCheckAllocsMetric(t *testing.T) {
+	allocs := func(n int64) *int64 { return &n }
+	run := map[string]result{
+		"ScatterGather/codec=json/shards=4": {Name: "ScatterGather/codec=json/shards=4", NsPerOp: 400000, AllocsPerOp: allocs(1000)},
+		"ScatterGather/codec=wire/shards=4": {Name: "ScatterGather/codec=wire/shards=4", NsPerOp: 150000, AllocsPerOp: allocs(400)},
+	}
+	verdict, ok := check(run, run, "ScatterGather/codec=json/shards=4", "ScatterGather/codec=wire/shards=4", 0.5, "allocs_per_op")
+	if !ok {
+		t.Fatalf("0.4x allocs must pass a 0.5x limit: %s", verdict)
+	}
+	if !strings.Contains(verdict, "allocs/op") || !strings.Contains(verdict, "0.40x") {
+		t.Fatalf("verdict should report the allocs metric and ratio: %s", verdict)
+	}
+	if verdict, ok := check(run, run, "ScatterGather/codec=json/shards=4", "ScatterGather/codec=wire/shards=4", 0.3, "allocs_per_op"); ok {
+		t.Fatalf("0.4x allocs must fail a 0.3x limit: %s", verdict)
+	}
+	// A result recorded without -benchmem has no allocs/op; gating on it
+	// must fail loudly, not silently pass.
+	bare := map[string]result{"A": {Name: "A", NsPerOp: 100}}
+	if verdict, ok := check(bare, bare, "A", "A", 2, "allocs_per_op"); ok {
+		t.Fatalf("missing allocs/op must fail the gate: %s", verdict)
+	}
+	if verdict, ok := check(run, run, "ScatterGather/codec=json/shards=4", "ScatterGather/codec=json/shards=4", 2, "bogus_metric"); ok {
+		t.Fatalf("unknown metric must fail: %s", verdict)
+	}
+}
+
+func TestRunGatesMetricRow(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeJSON(t, dir, "cur.json", `[
+	  {"name":"A","ns_per_op":1000,"allocs_per_op":1000},
+	  {"name":"B","ns_per_op":900,"allocs_per_op":400}
+	]`)
+	gates := []gate{
+		{Baseline: cur, BaselineBench: "A", Current: cur, Bench: "B", MaxRatio: 0.5, Metric: "allocs_per_op"},
+	}
+	var verdicts []string
+	if !runGates(gates, func(s string) { verdicts = append(verdicts, s) }) {
+		t.Fatalf("allocs gate should pass: %v", verdicts)
+	}
+	if !strings.Contains(verdicts[0], "allocs/op") {
+		t.Fatalf("verdict should be in allocs/op: %v", verdicts)
 	}
 }
 
 func TestCheckMissingEntries(t *testing.T) {
 	baseline := map[string]result{"Rank": {Name: "Rank", NsPerOp: 1000}}
-	if _, ok := check(baseline, map[string]result{}, "Rank", "Rank", 2); ok {
+	if _, ok := check(baseline, map[string]result{}, "Rank", "Rank", 2, ""); ok {
 		t.Fatal("missing current entry must fail")
 	}
-	if _, ok := check(map[string]result{}, baseline, "Rank", "Rank", 2); ok {
+	if _, ok := check(map[string]result{}, baseline, "Rank", "Rank", 2, ""); ok {
 		t.Fatal("missing baseline entry must fail")
 	}
 	zero := map[string]result{"Rank": {Name: "Rank", NsPerOp: 0}}
-	if _, ok := check(zero, baseline, "Rank", "Rank", 2); ok {
+	if _, ok := check(zero, baseline, "Rank", "Rank", 2, ""); ok {
 		t.Fatal("non-positive baseline must fail")
 	}
 }

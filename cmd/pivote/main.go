@@ -46,6 +46,11 @@
 // list, '|' separates the replicas of one shard, and the router
 // health-routes reads across them, fans writes to all of them, and
 // coordinates rolling swaps (see the README's Replication section).
+//
+// Router-shaped processes (-shards, -router) speak a compact binary
+// codec on the hops to their shard nodes by default, negotiated per hop
+// so pre-codec nodes transparently keep JSON; -codec json is the kill
+// switch (see the README's Inter-node wire protocol section).
 package main
 
 import (
@@ -96,7 +101,20 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run one replica node: k.r/N (e.g. 0.1/4 = replica 1 of shard 0)")
 	routerOf := flag.String("router", "", "run a scatter-gather router over comma-separated shard base URLs ('|' separates replicas of one shard)")
 	partition := flag.String("partition", "", "partitioner spec for -shard-of (e.g. range/4:1000,2000,3000; default hash/N)")
+	codecFlag := flag.String("codec", "auto", "inter-node codec for router→shard hops: auto (negotiate binary wire per hop, fall back to JSON), json (kill switch: force JSON), or wire (force binary; pre-codec shard nodes will error)")
 	flag.Parse()
+
+	var codec shard.Codec
+	switch *codecFlag {
+	case "auto":
+		codec = shard.CodecAuto
+	case "json":
+		codec = shard.CodecJSON
+	case "wire":
+		codec = shard.CodecWire
+	default:
+		log.Fatalf("-codec %q: want auto, json or wire", *codecFlag)
+	}
 
 	obs.SlowQueries.SetThreshold(*slowQuery)
 	if *mutexFraction > 0 {
@@ -170,6 +188,7 @@ func main() {
 		ro := shard.NewReplicatedRouter(urls, shard.Options{
 			TopEntities: *topEntities,
 			MaxSessions: *maxSessions,
+			Codec:       codec,
 		})
 		fmt.Fprintf(os.Stderr, "startup: router over %d shards (%d replicas) ready in %d ms\n",
 			len(urls), nReplicas, time.Since(start).Milliseconds())
@@ -198,6 +217,7 @@ func main() {
 			Opts:        opts,
 			Live:        *live,
 			MaxSessions: *maxSessions,
+			Router:      shard.Options{Codec: codec, MaxSessions: *maxSessions},
 		})
 		if *live {
 			fmt.Fprintln(os.Stderr, "live ingest enabled: POST /api/v1/ingest")

@@ -1,0 +1,62 @@
+// Package apidto holds the /api/v1 wire-shape DTOs shared by the HTTP
+// server, the scatter-gather router and the inter-node binary codec.
+//
+// It exists as a leaf so that internal/wire (the binary codec) and
+// internal/server (the JSON surface) can both speak these exact types
+// without importing each other: server re-exports them under their
+// historical names (server.StateV1DTO et al.), so every existing caller
+// keeps compiling while the codec encodes the same structs the JSON
+// encoder does — there is one definition of the state shape, not two
+// that could drift.
+package apidto
+
+import "pivote/internal/heatmap"
+
+// EntityDTO is one recommended entity of a state response.
+type EntityDTO struct {
+	ID    uint32  `json:"id"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+	Type  string  `json:"type,omitempty"`
+}
+
+// FeatureDTO is one recommended semantic feature of a state response.
+type FeatureDTO struct {
+	Label      string  `json:"label"`
+	AnchorID   uint32  `json:"anchorId"`
+	R          float64 `json:"r"`
+	ExtentSize int     `json:"extentSize"`
+}
+
+// TimelineDTO is one exploration step of the session timeline.
+type TimelineDTO struct {
+	Step         int    `json:"step"`
+	Kind         string `json:"kind"`
+	Label        string `json:"label"`
+	RevisitOf    int    `json:"revisitOf,omitempty"`
+	ChangesQuery bool   `json:"changesQuery"`
+}
+
+// StateV1DTO is the /api/v1 state shape: unrequested areas are omitted
+// entirely (the engine leaves them nil under field selection), so a
+// ?include=entities response carries no feature, heat-map or timeline
+// payload at all.
+type StateV1DTO struct {
+	Description string          `json:"description"`
+	Entities    []EntityDTO     `json:"entities,omitempty"`
+	Features    []FeatureDTO    `json:"features,omitempty"`
+	Heat        *heatmap.Matrix `json:"heat,omitempty"`
+	Timeline    []TimelineDTO   `json:"timeline,omitempty"`
+	// Fallback marks an entity page produced by the PPR fallback (the SF
+	// extents yielded no candidates). The router's merge rule depends on
+	// it: fallback pages are dropped whenever any shard produced a real
+	// SF page, and merged only when every shard fell back.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// OpsResponse is the POST /api/v1/ops success body: how many ops were
+// applied plus the final state, pruned to the requested fields.
+type OpsResponse struct {
+	Applied int        `json:"applied"`
+	State   StateV1DTO `json:"state"`
+}

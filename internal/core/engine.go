@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pivote/internal/expand"
@@ -254,17 +255,48 @@ func (sh *Shared) Catalog() *semfeat.Catalog { return sh.Generation().Catalog }
 // Every operation pins the generation that is current when it starts and
 // uses it end to end — validation, ranking and rendering all see one
 // immutable graph even if the compactor swaps mid-request. The pin is a
-// local value, never stored on the engine, so an idle session retains no
-// old generation: the RCU reclaim ("GC frees a generation once the last
-// pinned reader drops it") is bounded by in-flight operations, not by
-// session lifetime. Building a pin is three small allocations — the
-// per-generation wrappers (feature engine, expander) are plain structs
-// over the generation's shared cache.
+// local value, never stored on the engine, so an in-flight operation
+// retains no old generation beyond its own duration. Building a pin is
+// three small allocations — the per-generation wrappers (feature engine,
+// expander) are plain structs over the generation's shared cache.
+//
+// The one deliberate exception is the evaluation cache: the last
+// successful evaluation is memoized (keyed on the generation it ran
+// against, the session mutation version and the field selection), so the
+// dominant serving pattern — repeated GET /state reads of an unchanged
+// session — re-serves the memoized result instead of re-running search,
+// feature ranking and heat-map construction. The cached entry keeps its
+// generation reachable until the next evaluation or the session's
+// eviction, which bounds RCU generation reclaim by the live-session cap
+// rather than by in-flight operations alone.
 type Engine struct {
 	shared *Shared
 	sess   *session.Session
 	log    []Op // every successfully applied op, in order
 	opts   Options
+
+	// ver counts successful session mutations (ApplyOps batches,
+	// including replays, which route through ApplyOps). Mutations are
+	// serialized by the caller (the HTTP server holds the session lock),
+	// so a plain field suffices; concurrent readers observe it under the
+	// same read lock.
+	ver uint64
+	// cache holds the memoized last evaluation. Atomic because reads
+	// (and their store-on-miss) run concurrently under the server's read
+	// lock.
+	cache atomic.Pointer[evalEntry]
+}
+
+// evalEntry is one memoized evaluation. An entry is valid while the
+// engine still serves the same generation, the session has not mutated
+// and the field selection matches exactly (field subsets must not be
+// served from a superset result: unrequested areas must stay absent
+// from the response bytes).
+type evalEntry struct {
+	gen    *live.Generation
+	ver    uint64
+	fields Fields
+	res    *Result
 }
 
 // pin is one generation plus the session-options wrappers over it.
@@ -388,6 +420,10 @@ func (e *Engine) ApplyOps(ctx context.Context, ops []Op, fields Fields) (*Result
 		opErrorsTotal.Inc()
 		return nil, len(ops), err
 	}
+	// The batch evaluated the post-mutation session already — seed the
+	// cache so the common "apply, then re-read state" pattern hits.
+	e.ver++
+	e.cache.Store(&evalEntry{gen: p.gen, ver: e.ver, fields: fields, res: res})
 	if !t0.IsZero() {
 		d := time.Since(t0)
 		if len(ops) == 1 {
@@ -517,15 +553,33 @@ func (e *Engine) applyLegacy(op Op) *Result {
 
 // Evaluate re-runs the current query without recording a new action.
 func (e *Engine) Evaluate() *Result {
-	res, _ := e.evaluate(context.Background(), e.pinGen(), FieldsAll)
+	res, _ := e.EvaluateCtx(context.Background(), FieldsAll)
 	return res
 }
 
 // EvaluateCtx re-runs the current query with cancellation and field
 // selection, without recording a new action. The generation current at
-// entry serves the whole evaluation.
+// entry serves the whole evaluation. Re-reads of an unchanged session on
+// an unchanged generation are served from the evaluation cache — the
+// memoized Result is immutable by convention (every consumer renders
+// from it without writing), so one value serves concurrent readers.
 func (e *Engine) EvaluateCtx(ctx context.Context, fields Fields) (*Result, error) {
-	return e.evaluate(ctx, e.pinGen(), fields)
+	if err := ctx.Err(); err != nil {
+		return nil, asTyped(err)
+	}
+	if ent := e.cache.Load(); ent != nil &&
+		ent.ver == e.ver && ent.fields == fields && ent.gen == e.shared.Generation() {
+		evalCacheHits.Inc()
+		return ent.res, nil
+	}
+	evalCacheMisses.Inc()
+	p := e.pinGen()
+	res, err := e.evaluate(ctx, p, fields)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.Store(&evalEntry{gen: p.gen, ver: e.ver, fields: fields, res: res})
+	return res, nil
 }
 
 func (e *Engine) evaluate(ctx context.Context, p *pin, fields Fields) (*Result, error) {

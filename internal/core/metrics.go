@@ -13,8 +13,10 @@ var (
 	stageHist      [obs.NumStages]*obs.Histogram
 	opSeconds      map[OpKind]*obs.Histogram
 	opsTotal       map[OpKind]*obs.Counter
-	opBatchSeconds *obs.Histogram
-	opErrorsTotal  *obs.Counter
+	opBatchSeconds  *obs.Histogram
+	opErrorsTotal   *obs.Counter
+	evalCacheHits   *obs.Counter
+	evalCacheMisses *obs.Counter
 )
 
 func init() {
@@ -43,6 +45,10 @@ func init() {
 		obs.L("kind", "batch"))
 	opErrorsTotal = obs.Default.Counter("pivote_op_errors_total",
 		"Operations rejected (validation, cancellation, evaluation failure).")
+	evalCacheHits = obs.Default.Counter("pivote_eval_cache_total",
+		"State evaluations served from the memoized last result.", obs.L("result", "hit"))
+	evalCacheMisses = obs.Default.Counter("pivote_eval_cache_total",
+		"State evaluations served from the memoized last result.", obs.L("result", "miss"))
 }
 
 // stageStart returns the stage clock, or the zero Time when

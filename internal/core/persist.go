@@ -78,6 +78,29 @@ func (e *Engine) ReplaySessionCtx(ctx context.Context, data []byte, fields Field
 	if err != nil {
 		return nil, idx, err
 	}
+	return e.replayOps(ctx, ops, fields)
+}
+
+// ReplayDTOsCtx is ReplaySessionCtx over already-decoded op DTOs — the
+// entry point for the binary session-file codec, whose decoder lives
+// outside this package. Error envelopes (indices, "session: op N"
+// wrapping) are identical to the JSON path, so a client cannot tell
+// which encoding carried the replay.
+func (e *Engine) ReplayDTOsCtx(ctx context.Context, dtos []OpDTO, fields Fields) (*Result, int, error) {
+	ops := make([]Op, 0, len(dtos))
+	for i, d := range dtos {
+		op, err := DecodeOp(e.Graph(), d)
+		if err != nil {
+			return nil, i, wrapf(err, "session: op %d", i)
+		}
+		ops = append(ops, op)
+	}
+	return e.replayOps(ctx, ops, fields)
+}
+
+// replayOps swaps in a fresh session, applies the ops, and restores the
+// previous session wholesale on any failure.
+func (e *Engine) replayOps(ctx context.Context, ops []Op, fields Fields) (*Result, int, error) {
 	oldSess, oldLog := e.sess, e.log
 	e.sess, e.log = session.New(), nil
 	res, i, err := e.ApplyOps(ctx, ops, fields)

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"pivote/internal/apidto"
 	"pivote/internal/core"
 	"pivote/internal/heatmap"
 	"pivote/internal/kg"
@@ -21,27 +22,15 @@ type stateDTO struct {
 	Timeline    []TimelineDTO   `json:"timeline"`
 }
 
-type EntityDTO struct {
-	ID    uint32  `json:"id"`
-	Name  string  `json:"name"`
-	Score float64 `json:"score"`
-	Type  string  `json:"type,omitempty"`
-}
-
-type FeatureDTO struct {
-	Label      string  `json:"label"`
-	AnchorID   uint32  `json:"anchorId"`
-	R          float64 `json:"r"`
-	ExtentSize int     `json:"extentSize"`
-}
-
-type TimelineDTO struct {
-	Step         int    `json:"step"`
-	Kind         string `json:"kind"`
-	Label        string `json:"label"`
-	RevisitOf    int    `json:"revisitOf,omitempty"`
-	ChangesQuery bool   `json:"changesQuery"`
-}
+// The v1 wire types live in internal/apidto (a leaf package shared with
+// the inter-node binary codec in internal/wire) and are re-exported
+// here under their historical names, so the server, the router and the
+// codec all speak the exact same struct definitions.
+type (
+	EntityDTO   = apidto.EntityDTO
+	FeatureDTO  = apidto.FeatureDTO
+	TimelineDTO = apidto.TimelineDTO
+)
 
 type profileDTO struct {
 	ID         uint32    `json:"id"`
@@ -71,18 +60,7 @@ type errorDTO struct {
 // of the v1 wire types) so the scatter-gather router can decode, merge
 // and re-encode shard responses without drifting from the shapes the
 // shard nodes serve.
-type StateV1DTO struct {
-	Description string          `json:"description"`
-	Entities    []EntityDTO     `json:"entities,omitempty"`
-	Features    []FeatureDTO    `json:"features,omitempty"`
-	Heat        *heatmap.Matrix `json:"heat,omitempty"`
-	Timeline    []TimelineDTO   `json:"timeline,omitempty"`
-	// Fallback marks an entity page produced by the PPR fallback (the SF
-	// extents yielded no candidates). The router's merge rule depends on
-	// it: fallback pages are dropped whenever any shard produced a real
-	// SF page, and merged only when every shard fell back.
-	Fallback bool `json:"fallback,omitempty"`
-}
+type StateV1DTO = apidto.StateV1DTO
 
 // ToStateV1DTO renders a result in the v1 wire shape against the graph
 // it was evaluated on.

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"strconv"
 
+	"pivote/internal/apidto"
 	"pivote/internal/core"
 	"pivote/internal/obs"
+	"pivote/internal/wire"
 )
 
 // GenerationHeader carries the generation a state-bearing response was
@@ -61,11 +63,9 @@ type opsRequest struct {
 }
 
 // OpsResponse is the success body: how many ops were applied plus the
-// final state, pruned to the requested fields.
-type OpsResponse struct {
-	Applied int        `json:"applied"`
-	State   StateV1DTO `json:"state"`
-}
+// final state, pruned to the requested fields. Defined in apidto so the
+// binary codec encodes the identical struct.
+type OpsResponse = apidto.OpsResponse
 
 // StatusOf maps a typed error kind onto its HTTP status. Exported so the
 // scatter-gather router reproduces the exact status a shard node (or the
@@ -110,13 +110,30 @@ func includeOf(r *http.Request, body string) (core.Fields, error) {
 // before the lock is taken, so malformed batches never serialize behind
 // the session.
 func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
+	wantWire := negotiateWire(w, r)
 	var req opsRequest
 	// Same 4 MB cap as the session-load endpoints: a session replay is
 	// "POST the ops array back", so the two paths must accept the same
 	// sizes — and neither may buffer an unbounded body.
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
-		writeV1Err(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
-		return
+	if isWireBody(r) {
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+		if err != nil {
+			writeV1Err(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
+			return
+		}
+		ops, include, err := wire.DecodeOpsRequest(raw)
+		if err != nil {
+			writeV1Err(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
+			return
+		}
+		req = opsRequest{Ops: ops, Include: include}
+		mWireReqWire.Inc()
+	} else {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+			writeV1Err(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
+			return
+		}
+		mWireReqJSON.Inc()
 	}
 	fields, err := includeOf(r, req.Include)
 	if err != nil {
@@ -159,13 +176,20 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setGenHeader(w, res)
-	writeJSON(w, http.StatusOK, OpsResponse{Applied: applied, State: ToStateV1DTO(resultGraph(s, res), res)})
+	st := ToStateV1DTO(resultGraph(s, res), res)
+	if wantWire {
+		writeWireOps(w, applied, &st)
+		return
+	}
+	mWireRespJSON.Inc()
+	writeJSON(w, http.StatusOK, OpsResponse{Applied: applied, State: st})
 }
 
 // handleV1State evaluates the current query, assembling only the
 // requested areas — ?include=entities skips heat-map construction
 // entirely.
 func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
+	wantWire := negotiateWire(w, r)
 	fields, err := includeOf(r, "")
 	if err != nil {
 		writeV1Err(w, err, nil)
@@ -179,7 +203,13 @@ func (s *Server) handleV1State(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setGenHeader(w, res)
-	writeJSON(w, http.StatusOK, ToStateV1DTO(resultGraph(s, res), res))
+	st := ToStateV1DTO(resultGraph(s, res), res)
+	if wantWire {
+		writeWireState(w, &st)
+		return
+	}
+	mWireRespJSON.Inc()
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleV1SessionSave downloads the op log. The body is exactly what
@@ -204,6 +234,7 @@ func (s *Server) handleV1SessionSave(w http.ResponseWriter, r *http.Request) {
 // the router repairs stale shards through this endpoint, and a client
 // must not be able to tell a repaired response from a direct one.
 func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
+	wantWire := negotiateWire(w, r)
 	fields, err := includeOf(r, "")
 	if err != nil {
 		writeV1Err(w, err, nil)
@@ -214,9 +245,28 @@ func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
 		writeV1Err(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
 		return
 	}
-	s.mu.Lock()
-	res, idx, err := s.eng.ReplaySessionCtx(r.Context(), raw, fields)
-	s.mu.Unlock()
+	var res *core.Result
+	var idx int
+	if isWireBody(r) {
+		ver, dtos, derr := wire.DecodeSessionFile(raw)
+		if derr != nil {
+			writeV1Err(w, core.Errf(core.KindInvalid, "session: %v", derr), nil)
+			return
+		}
+		if ver != 2 {
+			writeV1Err(w, core.Errf(core.KindInvalid, "session: unsupported version %d", ver), nil)
+			return
+		}
+		mWireReqWire.Inc()
+		s.mu.Lock()
+		res, idx, err = s.eng.ReplayDTOsCtx(r.Context(), dtos, fields)
+		s.mu.Unlock()
+	} else {
+		mWireReqJSON.Inc()
+		s.mu.Lock()
+		res, idx, err = s.eng.ReplaySessionCtx(r.Context(), raw, fields)
+		s.mu.Unlock()
+	}
 	if err != nil {
 		if idx >= 0 {
 			writeV1Err(w, err, &idx)
@@ -226,5 +276,11 @@ func (s *Server) handleV1SessionLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setGenHeader(w, res)
-	writeJSON(w, http.StatusOK, ToStateV1DTO(resultGraph(s, res), res))
+	st := ToStateV1DTO(resultGraph(s, res), res)
+	if wantWire {
+		writeWireState(w, &st)
+		return
+	}
+	mWireRespJSON.Inc()
+	writeJSON(w, http.StatusOK, st)
 }

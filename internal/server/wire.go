@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pivote/internal/obs"
+	"pivote/internal/wire"
+)
+
+// Inter-node content negotiation.
+//
+// The binary codec (internal/wire) is strictly an intra-cluster
+// optimization: JSON stays the public contract, and nothing about a
+// response a browser or curl sees changes. The handshake is plain HTTP
+// content negotiation with one advertisement header:
+//
+//	request   Accept: application/x-pivote-wire     "I can read wire"
+//	          Content-Type: application/x-pivote-wire  (body is wire)
+//	response  X-Pivote-Wire: 1                      "I can speak wire"
+//	          Content-Type: application/x-pivote-wire  (body is wire)
+//
+// Only the state-bearing /api/v1 routes negotiate (ops, state, session
+// load); everything else — ingest reports, snapshots, the session
+// download (a user-facing file) — stays exactly as it was. The
+// advertisement rides on EVERY negotiated response including error
+// envelopes, so a router learns a replica's capability from the first
+// hop no matter how it ends. Error envelopes themselves are always
+// JSON: the router relays them verbatim to public clients, and a typed
+// JSON envelope is the public contract for failures.
+//
+// A node that predates the codec simply never sends the advertisement
+// and never sees a wire body (the router only encodes after seeing
+// X-Pivote-Wire), so mixed-version clusters degrade per-hop to JSON
+// instead of breaking.
+
+// WireHeader is the capability advertisement: a server that can decode
+// and encode the binary codec sets it to wire.Version on every
+// negotiated route. Exported for the router, which sniffs it to decide
+// when to start sending wire-encoded request bodies.
+const WireHeader = "X-Pivote-Wire"
+
+// Codec traffic counters: which codec request bodies arrived in and
+// responses left in, on the negotiated routes only.
+var (
+	mWireReqWire  = obs.Default.Counter("pivote_wire_requests_total", "State-bearing /api/v1 request bodies by codec.", obs.L("codec", "wire"))
+	mWireReqJSON  = obs.Default.Counter("pivote_wire_requests_total", "State-bearing /api/v1 request bodies by codec.", obs.L("codec", "json"))
+	mWireRespWire = obs.Default.Counter("pivote_wire_responses_total", "State-bearing /api/v1 responses by codec.", obs.L("codec", "wire"))
+	mWireRespJSON = obs.Default.Counter("pivote_wire_responses_total", "State-bearing /api/v1 responses by codec.", obs.L("codec", "json"))
+
+	mWireEncPoolHit  = obs.Default.Counter("pivote_wire_encode_pool_total", "Wire encode-buffer pool fetches.", obs.L("outcome", "hit"))
+	mWireEncPoolMiss = obs.Default.Counter("pivote_wire_encode_pool_total", "Wire encode-buffer pool fetches.", obs.L("outcome", "miss"))
+)
+
+// negotiateWire advertises codec support on the response and reports
+// whether the peer asked for a wire-encoded body. Called first thing in
+// every negotiated handler, before any write, so even an error envelope
+// carries the advertisement.
+func negotiateWire(w http.ResponseWriter, r *http.Request) bool {
+	w.Header().Set(WireHeader, strconv.Itoa(wire.Version))
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
+}
+
+// isWireBody reports whether the request body is wire-encoded.
+func isWireBody(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == wire.ContentType || strings.HasPrefix(ct, wire.ContentType+";")
+}
+
+// wireEncPool recycles encode buffers across responses; state pages are
+// a few KB, so steady-state serving stops allocating for them entirely.
+var wireEncPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func wireEncBuf() *[]byte {
+	bp := wireEncPool.Get().(*[]byte)
+	if cap(*bp) > 0 {
+		mWireEncPoolHit.Inc()
+	} else {
+		mWireEncPoolMiss.Inc()
+	}
+	return bp
+}
+
+// writeWire sends one encoded message. The explicit Content-Length lets
+// the router size its pooled read buffer exactly.
+func writeWire(w http.ResponseWriter, enc []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(enc)
+	mWireRespWire.Inc()
+}
+
+// writeWireState is the wire twin of writeJSON(StateV1DTO).
+func writeWireState(w http.ResponseWriter, st *StateV1DTO) {
+	bp := wireEncBuf()
+	enc := wire.AppendState((*bp)[:0], st)
+	writeWire(w, enc)
+	*bp = enc[:0]
+	wireEncPool.Put(bp)
+}
+
+// writeWireOps is the wire twin of writeJSON(OpsResponse).
+func writeWireOps(w http.ResponseWriter, applied int, st *StateV1DTO) {
+	bp := wireEncBuf()
+	enc := wire.AppendOpsResponse((*bp)[:0], applied, st)
+	writeWire(w, enc)
+	*bp = enc[:0]
+	wireEncPool.Put(bp)
+}

@@ -56,6 +56,45 @@ func BenchmarkScatterGather(b *testing.B) {
 		})
 	}
 
+	// Codec face-off on the same read path: the identical 4-shard fan
+	// with the inter-node codec forced off (JSON hops) versus forced on
+	// (binary wire hops into pooled scratch). The in-run wire/json
+	// ratios are gated in benchgates.json on both ns/op and allocs/op —
+	// the codec exists to cut the distribution tax, and the gate is what
+	// keeps it cut.
+	for _, codec := range []struct {
+		name string
+		c    Codec
+	}{{"json", CodecJSON}, {"wire", CodecWire}} {
+		b.Run(fmt.Sprintf("codec=%s/shards=4", codec.name), func(b *testing.B) {
+			cl := NewCluster(g, ClusterConfig{Shards: 4, Opts: core.Options{}, Router: Options{Codec: codec.c}})
+			defer cl.Close()
+			h := cl.Handler()
+
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/ops",
+				strings.NewReader(`{"ops":[{"op":"submit","keywords":"forrest gump"}]}`))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("setup submit: %d %s", rec.Code, rec.Body.String())
+			}
+			cookie := rec.Result().Cookies()[0]
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/api/v1/state", nil)
+				req.AddCookie(cookie)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("state: %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+
 	// Replicated read path: 4 shards times M replicas, parallel
 	// sessions. Each benchmark goroutine owns one router session (its
 	// preferred replicas differ round-robin), so with M>1 concurrent

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+
+	"pivote/internal/server"
+)
+
+// Pooled response-body buffers for the scatter path. Every router↔shard
+// hop used to burn one io.ReadAll growth chain per response; here the
+// buffer comes out of a sync.Pool pre-sized from Content-Length (the
+// in-process transport and net/http both set it), is handed to the
+// shardResp, and goes back to the pool once the response is consumed.
+// Oversized bodies (snapshot fetches can run to megabytes) are served
+// but never pooled, so a burst of large transfers cannot pin memory.
+//
+// The same caps double as the router's defense against a misbehaving
+// shard: an internal hop may not return more than the public surface
+// would accept in the first place (4 MiB, the session/ops MaxBytesReader
+// cap), except the snapshot fetch, which mirrors the 16 MiB ingest cap.
+
+const (
+	// maxHopBytes caps ordinary internal-hop response bodies.
+	maxHopBytes = 4 << 20
+	// maxSnapshotBytes caps GET /api/v1/snapshot responses.
+	maxSnapshotBytes = 16 << 20
+	// maxPooledBody bounds what a returned buffer may retain.
+	maxPooledBody = 1 << 20
+)
+
+// errHopTooLarge marks a response that exceeded its cap; sendReplica
+// converts it to a typed unavailable error without burning retries (the
+// oversized answer is deterministic, not transient).
+var errHopTooLarge = errors.New("response exceeds internal hop byte cap")
+
+// limitFor picks the cap for one hop by path.
+func limitFor(pathq string) int64 {
+	if strings.HasPrefix(pathq, "/api/v1/snapshot") {
+		return maxSnapshotBytes
+	}
+	return maxHopBytes
+}
+
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readBody drains r into a pooled buffer, failing typed once more than
+// limit bytes show up. contentLength < 0 means unknown. The returned
+// pointer rides in the shardResp so free() can hand the buffer back.
+func readBody(r io.Reader, contentLength, limit int64) ([]byte, *[]byte, error) {
+	if contentLength > limit {
+		return nil, nil, errHopTooLarge
+	}
+	bp := bodyPool.Get().(*[]byte)
+	if cap(*bp) > 0 {
+		mBodyPoolHit.Inc()
+	} else {
+		mBodyPoolMiss.Inc()
+	}
+	buf := (*bp)[:0]
+	if contentLength > int64(cap(buf)) {
+		buf = make([]byte, 0, contentLength)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		room := cap(buf) - len(buf)
+		// Never read more than one byte past the cap: that byte is the
+		// overflow detector, anything further is wasted work.
+		if over := int64(len(buf)+room) - (limit + 1); over > 0 {
+			room -= int(over)
+		}
+		if room <= 0 {
+			*bp = buf[:0]
+			bodyPool.Put(bp)
+			return nil, nil, errHopTooLarge
+		}
+		n, err := r.Read(buf[len(buf) : len(buf)+room])
+		buf = buf[:len(buf)+n]
+		if int64(len(buf)) > limit {
+			*bp = buf[:0]
+			bodyPool.Put(bp)
+			return nil, nil, errHopTooLarge
+		}
+		if err == io.EOF {
+			return buf, bp, nil
+		}
+		if err != nil {
+			*bp = buf[:0]
+			bodyPool.Put(bp)
+			return nil, nil, err
+		}
+	}
+}
+
+// free returns the response's body buffer to the pool. Callers own the
+// responses they receive and free them after the last touch of
+// body/header; free is nil-safe and idempotent, and nils the body so a
+// late use fails loudly (empty) instead of silently reading a buffer
+// another request now owns.
+func (sr *shardResp) free() {
+	if sr == nil || sr.bp == nil {
+		return
+	}
+	if cap(sr.body) <= maxPooledBody {
+		*sr.bp = sr.body[:0]
+		bodyPool.Put(sr.bp)
+	}
+	sr.bp, sr.body = nil, nil
+}
+
+// freeOuts frees every outcome of a fan.
+func freeOuts(outs []shardOutcome) {
+	for k := range outs {
+		outs[k].resp.free()
+	}
+}
+
+// stateScratch is the pooled per-fan decode target: one StateV1DTO per
+// shard, each element keeping its entity/feature/timeline slices and
+// heat matrix across uses so steady-state decoding allocates nothing on
+// the wire path. The merged response ALIASES element 0's slices
+// (MergeStates reuses the first page's description, timeline and heat
+// axes), so scratch release must happen strictly after the merged
+// response is written — handlers defer putScratch for exactly that
+// reason.
+type stateScratch struct {
+	states []server.StateV1DTO
+}
+
+var scratchPool = sync.Pool{New: func() any { return &stateScratch{} }}
+
+func getScratch(n int) *stateScratch {
+	sc := scratchPool.Get().(*stateScratch)
+	if cap(sc.states) > 0 {
+		mScratchPoolHit.Inc()
+	} else {
+		mScratchPoolMiss.Inc()
+	}
+	if cap(sc.states) < n {
+		fresh := make([]server.StateV1DTO, n)
+		copy(fresh, sc.states[:cap(sc.states)])
+		sc.states = fresh
+	}
+	sc.states = sc.states[:n]
+	return sc
+}
+
+func putScratch(sc *stateScratch) { scratchPool.Put(sc) }

@@ -46,20 +46,44 @@ func chaosHost(k, r int) string { return fmt.Sprintf("shard%dr%d.inproc", k, r) 
 // every step (a rotating one, so each replica takes turns being down
 // and coming back with a stale session). Every response must stay
 // byte-identical to the single-process server: failover and
-// repair-by-replay must be invisible.
+// repair-by-replay must be invisible. The suite runs once per codec
+// mode — negotiated, forced wire, forced JSON, and a mixed cluster with
+// one pre-codec shard — because failover and repair-by-replay are
+// exactly where a codec bug would corrupt state invisibly.
 func TestChaosEquivalence(t *testing.T) {
+	modes := []struct {
+		name     string
+		codec    Codec
+		jsonOnly []int
+	}{
+		{"codec=auto", CodecAuto, nil},
+		{"codec=wire", CodecWire, nil},
+		{"codec=json", CodecJSON, nil},
+		{"codec=mixed", CodecAuto, []int{1}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			runChaosEquivalence(t, mode.codec, mode.jsonOnly)
+		})
+	}
+}
+
+func runChaosEquivalence(t *testing.T, codec Codec, jsonOnly []int) {
 	const replicas = 3
 	f := kgtest.Build()
 	opts := core.Options{}
 	single := newEquivClient(t, server.NewMulti(f.Graph, opts, 16).Handler())
 	fault := NewFaultTransport(nil)
+	ro := chaosOpts()
+	ro.Codec = codec
 	cl := NewCluster(f.Graph, ClusterConfig{
-		Shards:   2,
-		Replicas: replicas,
-		Opts:     opts,
-		Live:     true,
-		Router:   chaosOpts(),
-		Fault:    fault,
+		Shards:         2,
+		Replicas:       replicas,
+		Opts:           opts,
+		Live:           true,
+		Router:         ro,
+		Fault:          fault,
+		JSONOnlyShards: jsonOnly,
 	})
 	t.Cleanup(func() { _ = cl.Close() })
 	clustered := newEquivClient(t, cl.Handler())

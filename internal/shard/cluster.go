@@ -34,6 +34,11 @@ type ClusterConfig struct {
 	// the router and the nodes. The caller keeps the pointer and scripts
 	// failures against hosts named "shard<k>r<r>.inproc".
 	Fault *FaultTransport
+	// JSONOnlyShards lists shards whose nodes simulate a pre-codec
+	// version: the wire offer is stripped from their requests and the
+	// advertisement from their responses, so the router's negotiation
+	// falls back to JSON on exactly those hops. For mixed-cluster tests.
+	JSONOnlyShards []int
 }
 
 // Cluster is N shard nodes (times M replicas) plus a router in one
@@ -70,6 +75,12 @@ func NewCluster(g *kg.Graph, cfg ClusterConfig) *Cluster {
 	for k := 0; k < p.N(); k++ {
 		nodes[k] = make([]*server.Multi, m)
 		urls[k] = make([]string, m)
+		jsonOnly := false
+		for _, j := range cfg.JSONOnlyShards {
+			if j == k {
+				jsonOnly = true
+			}
+		}
 		for r := 0; r < m; r++ {
 			opts := cfg.Opts
 			opts.Partition = OwnerOf(p, k)
@@ -80,7 +91,11 @@ func NewCluster(g *kg.Graph, cfg ClusterConfig) *Cluster {
 				sh = core.NewShared(g, opts)
 			}
 			nodes[k][r] = server.NewMultiShared(sh, opts, cfg.MaxSessions)
-			urls[k][r] = tr.Register(fmt.Sprintf("shard%dr%d.inproc", k, r), nodes[k][r].Handler())
+			h := nodes[k][r].Handler()
+			if jsonOnly {
+				h = stripWire(h)
+			}
+			urls[k][r] = tr.Register(fmt.Sprintf("shard%dr%d.inproc", k, r), h)
 		}
 	}
 	ro := cfg.Router
@@ -97,6 +112,31 @@ func NewCluster(g *kg.Graph, cfg ClusterConfig) *Cluster {
 		Router:      NewReplicatedRouter(urls, ro),
 		Nodes:       nodes,
 	}
+}
+
+// stripWire makes a node look like a pre-codec version: the inbound
+// Accept offer is removed (so the node answers JSON) and the outbound
+// X-Pivote-Wire advertisement is suppressed (so the router records the
+// replica as JSON-only).
+func stripWire(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		h.ServeHTTP(&stripWireWriter{ResponseWriter: w}, r)
+	})
+}
+
+type stripWireWriter struct {
+	http.ResponseWriter
+}
+
+func (sw *stripWireWriter) WriteHeader(code int) {
+	sw.Header().Del(server.WireHeader)
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *stripWireWriter) Write(b []byte) (int, error) {
+	sw.Header().Del(server.WireHeader)
+	return sw.ResponseWriter.Write(b)
 }
 
 // Handler serves the router's API surface.

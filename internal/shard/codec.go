@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pivote/internal/core"
+	"pivote/internal/server"
+	"pivote/internal/wire"
+)
+
+// Router-side half of the inter-node codec negotiation (the server half
+// lives in internal/server/wire.go). The router offers the binary codec
+// with an Accept header on every wire-eligible hop; a capable replica
+// advertises back with X-Pivote-Wire, and from then on the router also
+// sends wire-encoded REQUEST bodies to that replica. Capability is
+// tracked per replica, so a mixed cluster — some nodes predating the
+// codec — degrades exactly those hops to JSON and nothing else.
+//
+// Public responses never change: the router decodes whichever codec a
+// shard answered with and re-encodes the merged result as JSON through
+// the same WriteJSON every shard node uses. Error envelopes are always
+// JSON (shards never wire-encode them), so relaying them verbatim stays
+// byte-identical too.
+
+// Codec selects the router's inter-node codec policy.
+type Codec int
+
+const (
+	// CodecAuto (default) negotiates per replica: offer wire, fall back
+	// to JSON until — and wherever — the advertisement is seen.
+	CodecAuto Codec = iota
+	// CodecJSON forces JSON on every hop (kill switch; also what the
+	// equivalence suites use to pin the fallback path).
+	CodecJSON
+	// CodecWire forces wire encoding without waiting for the
+	// advertisement — for homogeneous clusters and tests; a node that
+	// cannot decode it will reject request bodies.
+	CodecWire
+)
+
+// wireCap is the per-replica negotiation state.
+const (
+	wireCapUnknown int32 = 0  // no negotiated response seen yet
+	wireCapYes     int32 = 1  // replica advertised X-Pivote-Wire
+	wireCapNo      int32 = -1 // replica answered without the advertisement
+)
+
+func newWireCap(shards [][]string) [][]atomic.Int32 {
+	grid := make([][]atomic.Int32, len(shards))
+	for k := range shards {
+		grid[k] = make([]atomic.Int32, len(shards[k]))
+	}
+	return grid
+}
+
+// wireEligible reports whether a hop may negotiate the codec: exactly
+// the state-bearing session routes. GET /api/v1/session is excluded on
+// purpose — its body is relayed verbatim to the client as the session
+// file download — and the control surface (ingest, snapshot, adopt,
+// live, compact) keeps its existing formats.
+func wireEligible(method, pathq string) bool {
+	switch method {
+	case http.MethodGet:
+		return strings.HasPrefix(pathq, "/api/v1/state")
+	case http.MethodPost:
+		return strings.HasPrefix(pathq, "/api/v1/ops") || strings.HasPrefix(pathq, "/api/v1/session")
+	}
+	return false
+}
+
+// useWire decides whether to wire-encode a request body for replica
+// (k, r).
+func (rt *Router) useWire(k, r int) bool {
+	switch rt.opts.Codec {
+	case CodecWire:
+		return true
+	case CodecJSON:
+		return false
+	default:
+		return rt.wireCap[k][r].Load() == wireCapYes
+	}
+}
+
+// observeWireCap records a replica's advertisement state from a
+// negotiated response (any status — the shard advertises on error
+// envelopes too).
+func (rt *Router) observeWireCap(k, r int, header http.Header) {
+	if header.Get(server.WireHeader) != "" {
+		rt.wireCap[k][r].Store(wireCapYes)
+	} else {
+		rt.wireCap[k][r].Store(wireCapNo)
+	}
+}
+
+// hopBody is a fan-out request body held in both codecs, each encoded
+// lazily and at most once no matter how many replicas the fan (plus its
+// repairs and failovers) touches. The sync.Once guards make concurrent
+// per-shard goroutines safe without any lock on the hot path.
+type hopBody struct {
+	jsonOnce sync.Once
+	jsonBuf  []byte
+	mkJSON   func() []byte // nil when jsonBuf is pre-encoded
+	wireOnce sync.Once
+	wireBuf  []byte
+	mkWire   func() []byte // nil when no wire form exists for this body
+}
+
+// jsonOnlyBody wraps pre-encoded JSON bytes (e.g. a client upload
+// relayed as-is) that have no wire twin.
+func jsonOnlyBody(b []byte) *hopBody { return &hopBody{jsonBuf: b} }
+
+// pick resolves the encoding to send to replica (k, r).
+func (rt *Router) pick(hb *hopBody, k, r int) (body []byte, contentType string) {
+	if hb == nil {
+		return nil, ""
+	}
+	if hb.mkWire != nil && rt.useWire(k, r) {
+		hb.wireOnce.Do(func() { hb.wireBuf = hb.mkWire() })
+		return hb.wireBuf, wire.ContentType
+	}
+	if hb.mkJSON != nil {
+		hb.jsonOnce.Do(func() { hb.jsonBuf = hb.mkJSON() })
+	}
+	return hb.jsonBuf, "application/json"
+}
+
+// isWireResp reports whether a shard response body is wire-encoded.
+// Dispatching on the response's own Content-Type (rather than on what
+// the router asked for) keeps decoding robust during negotiation
+// transitions — whatever the shard actually sent is what gets decoded.
+func isWireResp(resp *shardResp) bool {
+	ct := resp.header.Get("Content-Type")
+	return ct == wire.ContentType || strings.HasPrefix(ct, wire.ContentType+";")
+}
+
+// decodeStateResp decodes a GET /api/v1/state (or session-replay)
+// response into st, reusing st's capacity from a previous decode.
+func decodeStateResp(resp *shardResp, st *server.StateV1DTO) error {
+	if isWireResp(resp) {
+		mHopsWire.Inc()
+		return wire.DecodeState(resp.body, st)
+	}
+	mHopsJSON.Inc()
+	// Zero the reused target first: JSON leaves fields whose keys are
+	// absent untouched, and a stale area from the previous decode must
+	// not leak into this page.
+	*st = server.StateV1DTO{}
+	return json.Unmarshal(resp.body, st)
+}
+
+// decodeOpsResp decodes a POST /api/v1/ops response into (applied, st).
+func decodeOpsResp(resp *shardResp, applied *int, st *server.StateV1DTO) error {
+	if isWireResp(resp) {
+		mHopsWire.Inc()
+		return wire.DecodeOpsResponse(resp.body, applied, st)
+	}
+	mHopsJSON.Inc()
+	*applied = 0
+	*st = server.StateV1DTO{}
+	aux := struct {
+		Applied *int               `json:"applied"`
+		State   *server.StateV1DTO `json:"state"`
+	}{applied, st}
+	return json.Unmarshal(resp.body, &aux)
+}
+
+// opsBody builds the hop body for an op batch: the JSON twin of the
+// shard nodes' opsRequest shape plus the wire form. core.OpDTO contains
+// nothing json.Marshal can fail on.
+func opsBody(ops []core.OpDTO, include string) *hopBody {
+	return &hopBody{
+		mkJSON: func() []byte {
+			b, _ := json.Marshal(opsRequestJSON{Ops: ops, Include: include})
+			return b
+		},
+		mkWire: func() []byte { return wire.AppendOpsRequest(nil, ops, include) },
+	}
+}

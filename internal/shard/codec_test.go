@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"testing"
+
+	"pivote/internal/core"
+)
+
+// Codec equivalence: the inter-node codec must be invisible from the
+// outside. The full scripted session runs with the binary codec forced
+// on, forced off, and in a mixed cluster where one shard predates the
+// codec — every public response must stay byte-identical to a
+// single-process server's, and the hop counters must prove the intended
+// codec actually carried the traffic (a silent fallback to JSON would
+// otherwise pass these suites while voiding the perf win).
+
+// hopDeltas runs fn and reports how many shard responses were decoded
+// from each codec while it ran. The counters are process-global, so the
+// suites below must not run in parallel with other router traffic.
+func hopDeltas(fn func()) (wireHops, jsonHops uint64) {
+	w0, j0 := mHopsWire.Value(), mHopsJSON.Value()
+	fn()
+	return mHopsWire.Value() - w0, mHopsJSON.Value() - j0
+}
+
+func TestEquivalenceCodecWire(t *testing.T) {
+	wireHops, jsonHops := hopDeltas(func() {
+		runEquivalenceCfg(t, ClusterConfig{
+			Shards: 4,
+			Router: Options{Codec: CodecWire},
+		})
+	})
+	if wireHops == 0 {
+		t.Fatal("CodecWire ran no wire hops; the suite exercised nothing")
+	}
+	if jsonHops != 0 {
+		t.Fatalf("CodecWire decoded %d JSON hops; forced wire must not fall back", jsonHops)
+	}
+}
+
+func TestEquivalenceCodecJSON(t *testing.T) {
+	wireHops, jsonHops := hopDeltas(func() {
+		runEquivalenceCfg(t, ClusterConfig{
+			Shards: 4,
+			Router: Options{Codec: CodecJSON},
+		})
+	})
+	if jsonHops == 0 {
+		t.Fatal("CodecJSON ran no JSON hops; the suite exercised nothing")
+	}
+	if wireHops != 0 {
+		t.Fatalf("CodecJSON decoded %d wire hops; the kill switch leaked", wireHops)
+	}
+}
+
+// TestEquivalenceCodecMixed pins the negotiation: shard 1's nodes
+// simulate a pre-codec version, so under CodecAuto the router must run
+// wire hops against shards 0/2/3 and JSON hops against shard 1 — in the
+// SAME fans — and still merge to byte-identical public output.
+func TestEquivalenceCodecMixed(t *testing.T) {
+	wireHops, jsonHops := hopDeltas(func() {
+		runEquivalenceCfg(t, ClusterConfig{
+			Shards:         4,
+			JSONOnlyShards: []int{1},
+			Router:         Options{Codec: CodecAuto},
+		})
+	})
+	if wireHops == 0 {
+		t.Fatal("mixed cluster negotiated no wire hops; auto-negotiation is broken")
+	}
+	if jsonHops == 0 {
+		t.Fatal("mixed cluster ran no JSON hops; the pre-codec shard was not exercised")
+	}
+	if wireHops < jsonHops {
+		t.Fatalf("mixed 3:1 cluster decoded wire=%d json=%d hops; the wire majority should dominate",
+			wireHops, jsonHops)
+	}
+}
+
+// TestEquivalenceCodecPagination re-runs the page-boundary suite with
+// the codec forced on: truncation inside MergeSorted must behave
+// identically when the pages arrive wire-encoded into pooled scratch.
+func TestEquivalenceCodecPagination(t *testing.T) {
+	for _, k := range []int{1, 3, 50} {
+		runEquivalenceCfg(t, ClusterConfig{
+			Shards: 4,
+			Opts:   core.Options{TopEntities: k, TopFeatures: 6},
+			Router: Options{Codec: CodecWire},
+		})
+	}
+}

@@ -131,9 +131,16 @@ func (c *equivClient) do(t *testing.T, step equivStep) (int, string, http.Header
 
 func runEquivalence(t *testing.T, shards int, opts core.Options) {
 	t.Helper()
+	runEquivalenceCfg(t, ClusterConfig{Shards: shards, Opts: opts})
+}
+
+// runEquivalenceCfg runs the scripted session against a single-process
+// server and a cluster built from cfg, demanding byte-identical output.
+func runEquivalenceCfg(t *testing.T, cfg ClusterConfig) {
+	t.Helper()
 	f := kgtest.Build()
-	single := newEquivClient(t, server.NewMulti(f.Graph, opts, 16).Handler())
-	cl := NewCluster(f.Graph, ClusterConfig{Shards: shards, Opts: opts})
+	single := newEquivClient(t, server.NewMulti(f.Graph, cfg.Opts, 16).Handler())
+	cl := NewCluster(f.Graph, cfg)
 	t.Cleanup(func() { _ = cl.Close() })
 	clustered := newEquivClient(t, cl.Handler())
 

@@ -27,6 +27,24 @@ var (
 		"Replicas marked diverged (excluded from reads until resynced).")
 	mGenRereads = obs.Default.Counter("pivote_router_genreread_total",
 		"State re-reads because shards answered from mixed generations.")
+	mGenCoalesced = obs.Default.Counter("pivote_router_genwait_coalesced_total",
+		"Generation-agreement waits coalesced into another session's probe (single-flight).")
+	// Inter-node codec traffic, by the codec the shard's response body
+	// actually arrived in (the wire/JSON split is what the equivalence
+	// suites assert on to prove which path ran).
+	mHopsWire = obs.Default.Counter("pivote_router_hops_total",
+		"Decoded state-bearing shard responses by codec.", obs.L("codec", "wire"))
+	mHopsJSON = obs.Default.Counter("pivote_router_hops_total",
+		"Decoded state-bearing shard responses by codec.", obs.L("codec", "json"))
+	// Buffer-pool effectiveness on the scatter path.
+	mBodyPoolHit = obs.Default.Counter("pivote_router_body_pool_total",
+		"Response-body buffer pool fetches.", obs.L("outcome", "hit"))
+	mBodyPoolMiss = obs.Default.Counter("pivote_router_body_pool_total",
+		"Response-body buffer pool fetches.", obs.L("outcome", "miss"))
+	mScratchPoolHit = obs.Default.Counter("pivote_router_scratch_pool_total",
+		"Per-fan state decode scratch fetches.", obs.L("outcome", "hit"))
+	mScratchPoolMiss = obs.Default.Counter("pivote_router_scratch_pool_total",
+		"Per-fan state decode scratch fetches.", obs.L("outcome", "miss"))
 	mSwapPhase = map[string]*obs.Histogram{
 		"prepare": swapPhaseHist("prepare"),
 		"fetch":   swapPhaseHist("fetch"),

@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/url"
@@ -19,6 +20,7 @@ import (
 	"pivote/internal/errs"
 	"pivote/internal/obs"
 	"pivote/internal/server"
+	"pivote/internal/wire"
 )
 
 // Options tune a Router; zero values select the documented defaults.
@@ -52,6 +54,11 @@ type Options struct {
 	// MaxSessions bounds the router-side session LRU (default 64, like
 	// server.Multi).
 	MaxSessions int
+	// Codec selects the inter-node codec policy: CodecAuto (default)
+	// negotiates the binary codec per replica and falls back to JSON,
+	// CodecJSON forces the fallback everywhere, CodecWire forces the
+	// codec on without negotiating. See codec.go.
+	Codec Codec
 	// Transport issues the shard requests; nil selects
 	// http.DefaultTransport. The in-process cluster plugs its
 	// InprocTransport (optionally wrapped in a FaultTransport) in here.
@@ -148,6 +155,13 @@ type Router struct {
 
 	// rr spreads fresh sessions across replicas.
 	rr atomic.Uint32
+
+	// wireCap is the per-replica codec negotiation state (see codec.go).
+	wireCap [][]atomic.Int32
+
+	// genFlight coalesces concurrent generation-agreement waits across
+	// sessions (see flight.go).
+	genFlight flightGroup
 }
 
 // routerSession is the per-cookie state: the replayable op log, one
@@ -172,6 +186,28 @@ type routerSession struct {
 	synced  [][]int
 	pref    []int
 	elem    *list.Element
+
+	// logEnc caches the repair body (the v2 session file of log) in both
+	// codecs, so repairing R replicas — or repairing again next request —
+	// re-encodes nothing. Refreshed via refreshLogEnc whenever the log
+	// changes, always under rs.mu and never while a fan is in flight;
+	// fan goroutines only read the pointer and encode through its
+	// sync.Onces.
+	logEnc *hopBody
+}
+
+// refreshLogEnc rebinds the cached repair encodings to the current log.
+// The closures capture the slice VALUE, so a later append to rs.log can
+// neither change nor race an encoding already handed out.
+func (rs *routerSession) refreshLogEnc() {
+	log := rs.log
+	rs.logEnc = &hopBody{
+		mkJSON: func() []byte {
+			b, _ := json.Marshal(sessionFileJSON{Version: 2, Ops: log})
+			return b
+		},
+		mkWire: func() []byte { return wire.AppendSessionFile(nil, 2, log) },
+	}
 }
 
 // unsynced marks a replica session in an unknown or diverged state.
@@ -223,6 +259,7 @@ func NewReplicatedRouter(urls [][]string, opts Options) *Router {
 		ctrl:     ctrl,
 		health:   health,
 		scatter:  scatterHist(shards),
+		wireCap:  newWireCap(shards),
 	}
 }
 
@@ -303,6 +340,7 @@ func (rt *Router) getOrCreate(token string) (*routerSession, string, error) {
 		synced:  make([][]int, len(rt.shards)),
 		pref:    make([]int, len(rt.shards)),
 	}
+	rs.refreshLogEnc()
 	seed := int(rt.rr.Add(1))
 	for k := range rt.shards {
 		rs.cookies[k] = make([]string, len(rt.shards[k]))
@@ -330,11 +368,14 @@ func newToken() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// shardResp is one replica's reply, body fully read.
+// shardResp is one replica's reply, body fully read into a pooled
+// buffer. The consumer that receives it owns it and calls free() after
+// the last touch of body/header (see bufpool.go).
 type shardResp struct {
 	status int
 	header http.Header
 	body   []byte
+	bp     *[]byte // pool ticket for body's buffer; nil once freed
 }
 
 func (sr *shardResp) sessionCookie() string {
@@ -394,6 +435,13 @@ func (rt *Router) sendReplica(parent, ctx context.Context, k, r int, method, pat
 			}
 			return resp, nil
 		}
+		if errors.Is(err, errHopTooLarge) {
+			// An oversized body is a deterministic answer, not a transient
+			// fault: retrying would re-download the same overflow.
+			h.recordFailure(err.Error(), rt.opts.BreakerThreshold, rt.opts.BreakerCooldown)
+			return nil, errs.Errf(errs.KindUnavailable, "shard %d replica %d (%s): %v",
+				k, r, rt.shards[k][r], err)
+		}
 		lastErr = err
 		if ctx.Err() != nil {
 			if parent.Err() != nil {
@@ -427,34 +475,45 @@ func (rt *Router) sendOnce(ctx context.Context, k, r int, method, pathq string, 
 	if cookie != "" {
 		req.AddCookie(&http.Cookie{Name: sessionCookie, Value: cookie})
 	}
+	offerWire := rt.opts.Codec != CodecJSON && wireEligible(method, pathq)
+	if offerWire {
+		req.Header.Set("Accept", wire.ContentType)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	if offerWire {
+		// Negotiated routes always advertise (even on error envelopes),
+		// so any response is a definitive capability verdict.
+		rt.observeWireCap(k, r, resp.Header)
+	}
+	data, bp, err := readBody(resp.Body, resp.ContentLength, limitFor(pathq))
 	if err != nil {
 		// A truncated or torn body is a transport failure, not an
 		// answer: the status line arrived but the response did not.
+		// (An oversized one is typed and handled by sendReplica.)
 		return nil, err
 	}
-	return &shardResp{status: resp.StatusCode, header: resp.Header, body: data}, nil
+	return &shardResp{status: resp.StatusCode, header: resp.Header, body: data, bp: bp}, nil
 }
 
 // repair replays the session's op log into replica (k, r), rebuilding
 // the shard-side session from scratch. Replay is idempotent
 // (LoadSession replaces the session wholesale), and ?include=timeline
 // keeps it cheap: the shard skips ranking and heat-map work entirely.
+// The body comes from the session's cached log encodings (rs.logEnc) —
+// repairing many replicas, or the same one across requests, re-encodes
+// the log zero times.
 func (rt *Router) repair(parent, ctx context.Context, rs *routerSession, k, r int) error {
-	body, err := json.Marshal(sessionFileJSON{Version: 2, Ops: append([]core.OpDTO{}, rs.log...)})
-	if err != nil {
-		return errs.Errf(errs.KindInternal, "shard: encode repair log: %v", err)
-	}
+	body, contentType := rt.pick(rs.logEnc, k, r)
 	resp, err := rt.sendReplica(parent, ctx, k, r, http.MethodPost, "/api/v1/session?include=timeline",
-		body, "application/json", rs.cookies[k][r], 1)
+		body, contentType, rs.cookies[k][r], 1)
 	if err != nil {
 		return err
 	}
+	defer resp.free()
 	if c := resp.sessionCookie(); c != "" {
 		rs.cookies[k][r] = c
 	}
@@ -474,13 +533,14 @@ func (rt *Router) repair(parent, ctx context.Context, rs *routerSession, k, r in
 // (detected by a changed session cookie: shard nodes never adopt an
 // unknown token, so a different Set-Cookie value proves the response
 // came from a fresh, empty session instead of ours).
-func (rt *Router) statefulReplica(parent, ctx context.Context, rs *routerSession, k, r int, method, pathq string, body []byte, retries int) (*shardResp, error) {
+func (rt *Router) statefulReplica(parent, ctx context.Context, rs *routerSession, k, r int, method, pathq string, hb *hopBody, retries int) (*shardResp, error) {
 	if rs.synced[k][r] != len(rs.log) {
 		if err := rt.repair(parent, ctx, rs, k, r); err != nil {
 			return nil, err
 		}
 	}
-	resp, err := rt.sendReplica(parent, ctx, k, r, method, pathq, body, "application/json", rs.cookies[k][r], retries)
+	body, contentType := rt.pick(hb, k, r)
+	resp, err := rt.sendReplica(parent, ctx, k, r, method, pathq, body, contentType, rs.cookies[k][r], retries)
 	if err != nil {
 		// Ambiguous outcome (a mutation may or may not have landed):
 		// force a repair before this replica serves this session again.
@@ -492,12 +552,15 @@ func (rt *Router) statefulReplica(parent, ctx context.Context, rs *routerSession
 	case rs.cookies[k][r] == "":
 		rs.cookies[k][r] = c
 	case c != "" && c != rs.cookies[k][r]:
+		resp.free() // fresh-session answer; superseded by the redo below
 		rs.cookies[k][r] = c
 		if err := rt.repair(parent, ctx, rs, k, r); err != nil {
 			rs.synced[k][r] = unsynced
 			return nil, err
 		}
-		resp, err = rt.sendReplica(parent, ctx, k, r, method, pathq, body, "application/json", rs.cookies[k][r], retries)
+		// Re-pick: the negotiation state may have flipped on the repair.
+		body, contentType = rt.pick(hb, k, r)
+		resp, err = rt.sendReplica(parent, ctx, k, r, method, pathq, body, contentType, rs.cookies[k][r], retries)
 		if err != nil {
 			rs.synced[k][r] = unsynced
 			return nil, err
@@ -518,7 +581,7 @@ func (rt *Router) statefulReplica(parent, ctx context.Context, rs *routerSession
 // unavailable error. retries > 0 marks the request idempotent (reads,
 // replays); mutations pass 0 and fail over on transport errors alone —
 // the stale-repair machinery is their retry path.
-func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method, pathq string, body []byte, retries int) (*shardResp, int, error) {
+func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method, pathq string, hb *hopBody, retries int) (*shardResp, int, error) {
 	reqCtx, cancel := context.WithTimeout(ctx, rt.opts.RequestTimeout)
 	defer cancel()
 	order, dirty := rt.replicaOrder(k, rs.pref[k])
@@ -531,7 +594,7 @@ func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method
 	firstServerReplica := -1
 	var lastErr error
 	for i, r := range order {
-		resp, err := rt.statefulReplica(ctx, reqCtx, rs, k, r, method, pathq, body, retries)
+		resp, err := rt.statefulReplica(ctx, reqCtx, rs, k, r, method, pathq, hb, retries)
 		if err != nil {
 			if errs.KindOf(err) == errs.KindCanceled {
 				return nil, r, err
@@ -552,6 +615,7 @@ func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method
 			rs.synced[k][r] = unsynced
 			lastErr = errs.Errf(errs.KindUnavailable,
 				"shard %d replica %d: generation %d behind committed %d", k, r, g, rt.committedGen())
+			resp.free()
 			continue
 		}
 		if idempotent && resp.status >= http.StatusInternalServerError {
@@ -559,10 +623,13 @@ func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method
 			// give the other replicas a chance to serve.
 			if firstServerErr == nil {
 				firstServerErr, firstServerReplica = resp, r
+			} else {
+				resp.free()
 			}
 			continue
 		}
 		rs.pref[k] = r
+		firstServerErr.free() // a later replica served; the 5xx loses
 		return resp, r, nil
 	}
 	if firstServerErr != nil {
@@ -578,14 +645,14 @@ func (rt *Router) stateful(ctx context.Context, rs *routerSession, k int, method
 // concurrently. The caller holds rs.mu; the goroutines touch disjoint
 // per-shard slots (cookies, staleness, preference are per-shard
 // slices).
-func (rt *Router) fanStateful(ctx context.Context, rs *routerSession, method, pathq string, body []byte, retries int) []shardOutcome {
+func (rt *Router) fanStateful(ctx context.Context, rs *routerSession, method, pathq string, hb *hopBody, retries int) []shardOutcome {
 	outs := make([]shardOutcome, len(rt.shards))
 	var wg sync.WaitGroup
 	for k := range rt.shards {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			resp, r, err := rt.stateful(ctx, rs, k, method, pathq, body, retries)
+			resp, r, err := rt.stateful(ctx, rs, k, method, pathq, hb, retries)
 			outs[k] = shardOutcome{resp: resp, err: err, replica: r}
 		}(k)
 	}
@@ -700,30 +767,38 @@ func (rt *Router) genPause(ctx context.Context) {
 // and merges the pages, re-reading while a compaction swap leaves the
 // shards on different generations (reads are idempotent, so the loop is
 // safe). On failure it writes the error response and reports false.
-func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *routerSession, pathq string) (server.StateV1DTO, bool) {
+//
+// sc is the caller's pooled decode scratch; the merged state ALIASES
+// its first element's slices, so the caller must not release sc until
+// the merged response has been written.
+func (rt *Router) fanMergeState(ctx context.Context, w http.ResponseWriter, rs *routerSession, pathq string, sc *stateScratch) (server.StateV1DTO, bool) {
 	for attempt := 0; ; attempt++ {
 		outs := rt.fanStateful(ctx, rs, http.MethodGet, pathq, nil, 1)
 		if k := firstFailure(outs); k >= 0 {
 			failOut(w, outs, k)
+			freeOuts(outs)
 			return server.StateV1DTO{}, false
 		}
 		if !sameGeneration(outs) {
+			freeOuts(outs)
 			if attempt < genRetries {
 				mGenRereads.Inc()
-				rt.genPause(ctx)
+				rt.awaitAgreement(ctx)
 				continue
 			}
 			server.WriteV1Error(w, errs.Errf(errs.KindUnavailable,
 				"shard: cluster did not converge on one generation"), nil)
 			return server.StateV1DTO{}, false
 		}
-		states := make([]server.StateV1DTO, len(outs))
+		states := sc.states
 		for k, out := range outs {
-			if err := json.Unmarshal(out.resp.body, &states[k]); err != nil {
+			if err := decodeStateResp(out.resp, &states[k]); err != nil {
 				server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", k, err), nil)
+				freeOuts(outs)
 				return server.StateV1DTO{}, false
 			}
 		}
+		freeOuts(outs) // decoded pages hold no references into the bodies
 		merged, err := MergeStates(states, rt.opts.TopEntities)
 		if err != nil {
 			server.WriteV1Error(w, err, nil)
@@ -766,22 +841,23 @@ func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSe
 		server.WriteV1Error(w, core.Errf(core.KindInvalid, "bad request body: %v", err), nil)
 		return
 	}
-	fwd, err := json.Marshal(req)
-	if err != nil {
-		server.WriteV1Error(w, core.Errf(core.KindInternal, "encode ops: %v", err), nil)
-		return
-	}
+	// The fan body is encoded lazily, at most once per codec, no matter
+	// how many replicas (and repairs) the fan ends up touching.
+	hb := opsBody(req.Ops, req.Include)
 	pathq := "/api/v1/ops" + rawQuery(r)
 
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	sc := getScratch(len(rt.shards))
+	defer putScratch(sc) // merged response aliases sc; release after write
 	// No blind resend for ops: a retry after an ambiguous transport
 	// failure could double-apply the batch. Failover plus the
 	// stale-repair machinery is the retry path instead.
-	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, fwd, 0)
+	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, hb, 0)
 	if k := firstFailure(outs); k >= 0 {
 		markApplied(rs, outs)
 		failOut(w, outs, k)
+		freeOuts(outs)
 		return
 	}
 	// Unanimous success: the batch is part of every shard's session, so
@@ -789,8 +865,10 @@ func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSe
 	// reproduce the sessions as they are. The replicas that served the
 	// batch are the only ones holding the grown log.
 	rs.log = append(rs.log, req.Ops...)
+	rs.refreshLogEnc()
 	markSynced(rs, outs, len(rs.log))
 	if !sameGeneration(outs) {
+		freeOuts(outs)
 		// A compaction swap landed mid-fan: the pages come from different
 		// generations and must not be merged. The ops ARE applied; re-read
 		// the (deterministic) session state until the shards agree on one
@@ -798,27 +876,27 @@ func (rt *Router) handleOps(w http.ResponseWriter, r *http.Request, rs *routerSe
 		// outcome, since the swap also could have landed just before the
 		// batch.
 		applied := len(req.Ops)
-		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, req.Include))
+		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, req.Include), sc)
 		if !ok {
 			return
 		}
 		server.WriteJSON(w, http.StatusOK, server.OpsResponse{Applied: applied, State: merged})
 		return
 	}
-	states := make([]server.StateV1DTO, len(outs))
 	applied := 0
 	for k, out := range outs {
-		var or server.OpsResponse
-		if err := json.Unmarshal(out.resp.body, &or); err != nil {
+		var shardApplied int
+		if err := decodeOpsResp(out.resp, &shardApplied, &sc.states[k]); err != nil {
 			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad ops response: %v", k, err), nil)
+			freeOuts(outs)
 			return
 		}
-		states[k] = or.State
 		if k == 0 {
-			applied = or.Applied
+			applied = shardApplied
 		}
 	}
-	merged, err := MergeStates(states, rt.opts.TopEntities)
+	freeOuts(outs)
+	merged, err := MergeStates(sc.states, rt.opts.TopEntities)
 	if err != nil {
 		server.WriteV1Error(w, err, nil)
 		return
@@ -832,7 +910,9 @@ func (rt *Router) handleState(w http.ResponseWriter, r *http.Request, rs *router
 	pathq := "/api/v1/state" + rawQuery(r)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	merged, ok := rt.fanMergeState(r.Context(), w, rs, pathq)
+	sc := getScratch(len(rt.shards))
+	defer putScratch(sc) // merged response aliases sc; release after write
+	merged, ok := rt.fanMergeState(r.Context(), w, rs, pathq, sc)
 	if !ok {
 		return
 	}
@@ -852,6 +932,7 @@ func (rt *Router) handleSessionSave(w http.ResponseWriter, r *http.Request, rs *
 		return
 	}
 	relay(w, resp)
+	resp.free()
 }
 
 // handleSessionLoad fans a session replay to every shard. On unanimous
@@ -864,25 +945,38 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 		server.WriteV1Error(w, core.Errf(core.KindInvalid, "read body: %v", err), nil)
 		return
 	}
+	// Pre-decode the upload once: a decodable file gets a wire twin for
+	// the fan (encoded lazily, shared across replicas); an undecodable
+	// one is still fanned verbatim as JSON so the shards produce the
+	// byte-identical rejection envelope a single-process server would.
+	hb := jsonOnlyBody(raw)
+	dtos, derr := core.DecodeSessionDTOs(raw)
+	if derr == nil {
+		hb.mkWire = func() []byte { return wire.AppendSessionFile(nil, 2, dtos) }
+	}
 	pathq := "/api/v1/session" + rawQuery(r)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	sc := getScratch(len(rt.shards))
+	defer putScratch(sc) // merged response aliases sc; release after write
 	// Replay is idempotent, so the transport-level retry is safe here.
-	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, raw, 1)
+	outs := rt.fanStateful(r.Context(), rs, http.MethodPost, pathq, hb, 1)
 	if k := firstFailure(outs); k >= 0 {
 		markApplied(rs, outs)
 		failOut(w, outs, k)
+		freeOuts(outs)
 		return
 	}
 	// All shards accepted the replay, so the file decodes; its DTOs are
 	// the new log. (A v1-format upload synthesizes the same ops the
 	// shards synthesized.)
-	dtos, err := core.DecodeSessionDTOs(raw)
-	if err != nil {
-		server.WriteV1Error(w, core.Errf(core.KindInternal, "session accepted by shards but not decodable: %v", err), nil)
+	if derr != nil {
+		server.WriteV1Error(w, core.Errf(core.KindInternal, "session accepted by shards but not decodable: %v", derr), nil)
+		freeOuts(outs)
 		return
 	}
 	rs.log = dtos
+	rs.refreshLogEnc()
 	// The log was REPLACED, so no stale mark may survive by length
 	// coincidence: void everyone, then credit the repliers.
 	for k := range rs.synced {
@@ -892,23 +986,25 @@ func (rt *Router) handleSessionLoad(w http.ResponseWriter, r *http.Request, rs *
 	}
 	markSynced(rs, outs, len(rs.log))
 	if !sameGeneration(outs) {
+		freeOuts(outs)
 		// Same rule as handleOps: the replay landed everywhere, but the
 		// pages straddle a compaction swap — re-read instead of merging.
-		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, ""))
+		merged, ok := rt.fanMergeState(r.Context(), w, rs, statePathFor(r, ""), sc)
 		if !ok {
 			return
 		}
 		server.WriteJSON(w, http.StatusOK, merged)
 		return
 	}
-	states := make([]server.StateV1DTO, len(outs))
 	for k, out := range outs {
-		if err := json.Unmarshal(out.resp.body, &states[k]); err != nil {
+		if err := decodeStateResp(out.resp, &sc.states[k]); err != nil {
 			server.WriteV1Error(w, core.Errf(core.KindInternal, "shard %d: bad state response: %v", k, err), nil)
+			freeOuts(outs)
 			return
 		}
 	}
-	merged, err := MergeStates(states, rt.opts.TopEntities)
+	freeOuts(outs)
+	merged, err := MergeStates(sc.states, rt.opts.TopEntities)
 	if err != nil {
 		server.WriteV1Error(w, err, nil)
 		return
@@ -993,6 +1089,15 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		err  error
 	}
 	results := make([][]replicaOut, len(rt.shards))
+	defer func() {
+		// Every replica response is compared (and one relayed) before the
+		// handler returns; release all the bodies in one sweep.
+		for k := range results {
+			for rep := range results[k] {
+				results[k][rep].resp.free()
+			}
+		}
+	}()
 	reqCtx, cancel := context.WithTimeout(r.Context(), rt.opts.RequestTimeout)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -1133,6 +1238,13 @@ func (rt *Router) handleLive(w http.ResponseWriter, r *http.Request) {
 		err  error
 	}
 	probes := make([][]probe, len(rt.shards))
+	defer func() {
+		for k := range probes {
+			for rep := range probes[k] {
+				probes[k][rep].resp.free()
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for k := range rt.shards {
 		probes[k] = make([]probe, len(rt.shards[k]))

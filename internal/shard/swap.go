@@ -105,6 +105,7 @@ search:
 	shardEnd(mSwapPhase["prepare"], tPrepare)
 	var report server.IngestResponse
 	if err := json.Unmarshal(resp.body, &report); err != nil {
+		resp.free()
 		return nil, errs.Errf(errs.KindInternal, "shard %d: bad compact response: %v", pk, err)
 	}
 
@@ -124,6 +125,7 @@ search:
 			err = errs.Errf(errs.KindUnavailable,
 				"shard %d replica %d: snapshot fetch failed with status %d", pk, pr, snap.status)
 		}
+		snap.free()
 		return nil, err
 	}
 	shardEnd(mSwapPhase["fetch"], tFetch)
@@ -161,7 +163,10 @@ search:
 					return
 				}
 				var ar server.AdoptResponse
-				if aresp.status != http.StatusOK || json.Unmarshal(aresp.body, &ar) != nil || ar.Generation != adoptGen {
+				decodeErr := json.Unmarshal(aresp.body, &ar)
+				bad := aresp.status != http.StatusOK || decodeErr != nil || ar.Generation != adoptGen
+				aresp.free()
+				if bad {
 					h.markDirty("generation adoption rejected")
 					return
 				}
@@ -173,6 +178,7 @@ search:
 		}
 	}
 	wg.Wait()
+	snap.free() // adopters are done with the snapshot bytes
 	shardEnd(mSwapPhase["adopt"], tAdopt)
 
 	// Commit: record the generation. Replicas later observed below it
@@ -193,4 +199,5 @@ func (rt *Router) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relay(w, resp)
+	resp.free()
 }
